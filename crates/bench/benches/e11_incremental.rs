@@ -1,0 +1,143 @@
+//! E11 (ablation) — incremental delta propagation vs full
+//! recompute-and-diff: the design choice behind `IncrementalLens`.
+//!
+//! The paper's delta-lens citation motivates propagating *changes*
+//! rather than whole states; this bench quantifies the win on a
+//! select–join–project pipeline as the base grows and the edit batch
+//! stays small.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dex_lens::edit::Delta;
+use dex_rellens::{IncrementalLens, JoinPolicy, RelLensExpr, UpdatePolicy};
+use dex_relational::{tuple, Expr, Instance, Name, RelSchema, Schema, Tuple};
+use std::hint::black_box;
+
+
+/// Short measurement windows: the suite's job is shape, not
+/// publication-grade confidence intervals; this keeps the full
+/// `cargo bench --workspace` run to a couple of minutes.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10)
+}
+
+fn schema() -> Schema {
+    Schema::with_relations(vec![
+        RelSchema::untyped("Person", vec!["id", "name", "age"]).unwrap(),
+        RelSchema::untyped("AgeBand", vec!["age", "band"]).unwrap(),
+    ])
+    .unwrap()
+}
+
+fn pipeline() -> RelLensExpr {
+    RelLensExpr::base("Person")
+        .select(Expr::attr("age").ge(Expr::lit(18i64)))
+        .join(RelLensExpr::base("AgeBand"), JoinPolicy::DeleteBoth)
+        .project(
+            vec!["id", "band"],
+            vec![
+                ("name", UpdatePolicy::Null),
+                ("age", UpdatePolicy::Null),
+            ],
+        )
+}
+
+fn base_instance(n: usize) -> Instance {
+    let mut inst = Instance::empty(schema());
+    for i in 0..n {
+        inst.insert(
+            "Person",
+            tuple![i as i64, format!("p{i}").as_str(), (i % 60) as i64],
+        )
+        .unwrap();
+    }
+    for a in 0..60i64 {
+        inst.insert("AgeBand", tuple![a, format!("band{}", a / 10).as_str()])
+            .unwrap();
+    }
+    inst
+}
+
+fn edit_batch(n: usize, k: usize) -> Delta {
+    let mut d = Delta::default();
+    for i in 0..k {
+        d.inserts.push((
+            Name::new("Person"),
+            tuple![(n + i) as i64, format!("new{i}").as_str(), 33i64],
+        ));
+        d.deletes.push((
+            Name::new("Person"),
+            tuple![i as i64, format!("p{i}").as_str(), (i % 60) as i64],
+        ));
+    }
+    d
+}
+
+fn diff_views(
+    v0: &dex_relational::Relation,
+    v1: &dex_relational::Relation,
+) -> (Vec<Tuple>, Vec<Tuple>) {
+    let ins: Vec<Tuple> = v1.tuples().difference(v0.tuples()).cloned().collect();
+    let del: Vec<Tuple> = v0.tuples().difference(v1.tuples()).cloned().collect();
+    (ins, del)
+}
+
+fn bench_incremental_vs_full(c: &mut Criterion) {
+    let expr = pipeline();
+    let mut group = c.benchmark_group("e11_incremental");
+    for n in [1_000usize, 10_000] {
+        let base = base_instance(n);
+        let delta = edit_batch(n, 16);
+        let after = delta.apply(&base).unwrap();
+        group.throughput(Throughput::Elements(16));
+
+        group.bench_with_input(
+            BenchmarkId::new("full_recompute_diff", n),
+            &(&base, &after),
+            |b, (base, after)| {
+                b.iter(|| {
+                    let v0 = expr.get(black_box(base)).unwrap();
+                    let v1 = expr.get(black_box(after)).unwrap();
+                    diff_views(&v0, &v1)
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("incremental_apply", n),
+            &base,
+            |b, base| {
+                b.iter_batched(
+                    || IncrementalLens::new(&expr, base.schema(), base).unwrap(),
+                    |mut inc| inc.apply(black_box(&delta)).unwrap(),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+
+        // Steady state: the lens is built once, deltas stream through.
+        group.bench_with_input(
+            BenchmarkId::new("incremental_steady_state", n),
+            &base,
+            |b, base| {
+                let mut inc = IncrementalLens::new(&expr, base.schema(), base).unwrap();
+                let undo = delta.inverse();
+                b.iter(|| {
+                    let d1 = inc.apply(black_box(&delta)).unwrap();
+                    let d2 = inc.apply(black_box(&undo)).unwrap();
+                    (d1, d2)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_incremental_vs_full
+}
+criterion_main!(benches);

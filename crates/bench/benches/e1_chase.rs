@@ -1,0 +1,58 @@
+//! E1 — chase scaling on the paper's Example 1 (Emp → Manager):
+//! standard vs oblivious chase, 10² … 10⁴ employees.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dex_bench::{emp_mapping, emps};
+use dex_chase::{exchange_with, ChaseOptions, ChaseVariant};
+use std::hint::black_box;
+
+
+/// Short measurement windows: the suite's job is shape, not
+/// publication-grade confidence intervals; this keeps the full
+/// `cargo bench --workspace` run to a couple of minutes.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10)
+}
+
+fn bench_chase(c: &mut Criterion) {
+    let mapping = emp_mapping();
+    let mut group = c.benchmark_group("e1_chase");
+    for n in [100usize, 1_000, 10_000] {
+        let src = emps(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("standard", n), &src, |b, src| {
+            b.iter(|| {
+                exchange_with(
+                    black_box(&mapping),
+                    black_box(src),
+                    ChaseOptions::default(),
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("oblivious", n), &src, |b, src| {
+            b.iter(|| {
+                exchange_with(
+                    black_box(&mapping),
+                    black_box(src),
+                    ChaseOptions {
+                        variant: ChaseVariant::Oblivious,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_chase
+}
+criterion_main!(benches);

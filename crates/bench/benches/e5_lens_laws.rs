@@ -1,0 +1,68 @@
+//! E5 — lens-law checking throughput: how fast the executable laws run
+//! over relational lenses (these checks gate every put in a cautious
+//! deployment, so their cost matters).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dex_bench::{persons, persons_mapping};
+use dex_lens::laws;
+use dex_rellens::{Environment, InstanceLens, RelLensExpr, UpdatePolicy};
+use std::hint::black_box;
+
+
+/// Short measurement windows: the suite's job is shape, not
+/// publication-grade confidence intervals; this keeps the full
+/// `cargo bench --workspace` run to a couple of minutes.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10)
+}
+
+fn project_lens() -> InstanceLens {
+    InstanceLens::new(
+        RelLensExpr::base("Person1").project(
+            vec!["id", "name"],
+            vec![
+                ("age", UpdatePolicy::Null),
+                ("city", UpdatePolicy::fd_or_null(vec!["name"])),
+            ],
+        ),
+        persons_mapping().source().clone(),
+        Environment::new(),
+    )
+    .unwrap()
+}
+
+fn bench_law_checks(c: &mut Criterion) {
+    let l = project_lens();
+    let mut group = c.benchmark_group("e5_lens_laws");
+    for n in [50usize, 500, 2_000] {
+        let db = persons(n);
+        let view = l.try_get(&db).unwrap();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("get_put", n), &db, |b, db| {
+            b.iter(|| laws::check_get_put(black_box(&l), black_box(db)).is_ok())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("put_get", n),
+            &(db.clone(), view.clone()),
+            |b, (db, view)| {
+                b.iter(|| {
+                    laws::check_put_get(black_box(&l), black_box(view), black_box(db)).is_ok()
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("create_get", n), &view, |b, view| {
+            b.iter(|| laws::check_create_get(black_box(&l), black_box(view)).is_ok())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_law_checks
+}
+criterion_main!(benches);

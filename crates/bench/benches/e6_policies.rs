@@ -1,0 +1,109 @@
+//! E6 — the update-policy ablation (paper §3's four options): put
+//! latency per policy for a batch of new view rows, plus the
+//! data-preservation score under churn.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dex_bench::{persons, persons_mapping};
+use dex_relational::{Name, Relation, Value};
+use dex_rellens::{Environment, InstanceLens, RelLensExpr, UpdatePolicy};
+use std::hint::black_box;
+
+
+/// Short measurement windows: the suite's job is shape, not
+/// publication-grade confidence intervals; this keeps the full
+/// `cargo bench --workspace` run to a couple of minutes.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10)
+}
+
+fn lens(policy: UpdatePolicy) -> InstanceLens {
+    let mut env = Environment::new();
+    env.insert(Name::new("session_city"), Value::str("Sydney"));
+    InstanceLens::new(
+        RelLensExpr::base("Person1").project(
+            vec!["id", "name", "age"],
+            vec![("city", policy)],
+        ),
+        persons_mapping().source().clone(),
+        env,
+    )
+    .unwrap()
+}
+
+fn policies() -> Vec<(&'static str, UpdatePolicy)> {
+    vec![
+        ("null", UpdatePolicy::Null),
+        ("const", UpdatePolicy::Const("X".into())),
+        ("env", UpdatePolicy::Env(Name::new("session_city"))),
+        ("fd", UpdatePolicy::fd_or_null(vec!["name"])),
+    ]
+}
+
+fn bench_policy_put(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_policies/put_batch");
+    let db = persons(1_000);
+    for (label, policy) in policies() {
+        let l = lens(policy);
+        // A view with 200 brand-new rows (policy fills fire for each).
+        let mut view: Relation = l.try_get(&db).unwrap();
+        for i in 0..200i64 {
+            view.insert(dex_relational::tuple![
+                10_000 + i,
+                format!("new{i}").as_str(),
+                33i64
+            ])
+            .unwrap();
+        }
+        group.throughput(Throughput::Elements(200));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(view, db.clone()),
+            |b, (view, db)| {
+                b.iter(|| l.try_put(black_box(view), black_box(db)).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Data preservation under churn, printed as a Criterion-adjacent
+/// report (the “who wins” series for EXPERIMENTS.md).
+fn report_preservation(c: &mut Criterion) {
+    // One measured row per policy: delete 100 rows from the view, put,
+    // re-insert them, put again; count exact ground-truth rows restored.
+    let db = persons(500);
+    let mut summary = String::new();
+    for (label, policy) in policies() {
+        let l = lens(policy);
+        let view = l.try_get(&db).unwrap();
+        let mut churned = view.clone();
+        let victims: Vec<_> = churned.iter().take(100).cloned().collect();
+        for v in &victims {
+            churned.remove(v);
+        }
+        let without = l.try_put(&churned, &db).unwrap();
+        let back = l.try_put(&view, &without).unwrap();
+        let preserved = back
+            .relation("Person1")
+            .unwrap()
+            .iter()
+            .filter(|t| db.relation("Person1").unwrap().contains(t))
+            .count();
+        summary.push_str(&format!("policy={label} preserved={preserved}/500\n"));
+    }
+    println!("--- e6 data-preservation score (churn of 100 rows) ---\n{summary}");
+    // Keep criterion happy with a trivial measurement tied to the run.
+    c.bench_function("e6_policies/preservation_report", |b| {
+        b.iter(|| black_box(&summary).len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_policy_put, report_preservation
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! E7 — the §4 pipeline: st-tgd → lens-template compile time vs
+//! mapping size, and compiled-lens forward throughput vs the chase on
+//! the same mapping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dex_bench::{persons, persons_mapping, takes, university_mapping};
+use dex_chase::exchange;
+use dex_core::{compile, Engine};
+use dex_logic::parse_mapping;
+use dex_rellens::Environment;
+use std::hint::black_box;
+
+/// A synthetic mapping with `k` independent projection tgds.
+
+/// Short measurement windows: the suite's job is shape, not
+/// publication-grade confidence intervals; this keeps the full
+/// `cargo bench --workspace` run to a couple of minutes.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10)
+}
+
+fn wide_mapping(k: usize) -> dex_logic::Mapping {
+    let mut text = String::new();
+    for i in 0..k {
+        text.push_str(&format!("source S{i}(a, b, c);\n"));
+        text.push_str(&format!("target T{i}(a, b, extra);\n"));
+    }
+    for i in 0..k {
+        text.push_str(&format!("S{i}(x, y, w) -> T{i}(x, y, z);\n"));
+    }
+    parse_mapping(&text).unwrap()
+}
+
+fn bench_compile_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_compile/compile_time");
+    for k in [1usize, 8, 32] {
+        let m = wide_mapping(k);
+        group.throughput(Throughput::Elements(k as u64));
+        group.bench_with_input(BenchmarkId::new("tgds", k), &m, |b, m| {
+            b.iter(|| compile(black_box(m)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_forward_vs_chase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_compile/forward_vs_chase");
+
+    // The Person1/Person2 projection mapping.
+    let pm = persons_mapping();
+    let pengine = Engine::new(compile(&pm).unwrap(), Environment::new()).unwrap();
+    for n in [100usize, 1_000, 5_000] {
+        let src = persons(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("persons/chase", n), &src, |b, src| {
+            b.iter(|| exchange(black_box(&pm), black_box(src)).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("persons/lens_forward", n),
+            &src,
+            |b, src| b.iter(|| pengine.forward(black_box(src), None).unwrap()),
+        );
+    }
+
+    // The Figure 1 mapping (multi-atom rhs).
+    let um = university_mapping();
+    let uengine = Engine::new(compile(&um).unwrap(), Environment::new()).unwrap();
+    for n in [100usize, 1_000] {
+        let src = takes(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("university/chase", n), &src, |b, src| {
+            b.iter(|| exchange(black_box(&um), black_box(src)).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("university/lens_forward", n),
+            &src,
+            |b, src| b.iter(|| uengine.forward(black_box(src), None).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_compile_time, bench_forward_vs_chase
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! E8 — backward propagation throughput vs edit batch size: the cost
+//! of pushing target edits to the source through the compiled lenses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dex_bench::{persons, persons_mapping};
+use dex_core::{compile, Engine};
+use dex_rellens::Environment;
+use dex_relational::{Instance, Tuple, Value};
+use std::hint::black_box;
+
+
+/// Short measurement windows: the suite's job is shape, not
+/// publication-grade confidence intervals; this keeps the full
+/// `cargo bench --workspace` run to a couple of minutes.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10)
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let m = persons_mapping();
+    let engine = Engine::new(compile(&m).unwrap(), Environment::new()).unwrap();
+    let src = persons(2_000);
+    let tgt = engine.forward(&src, None).unwrap();
+
+    let mut group = c.benchmark_group("e8_roundtrip/backward");
+    for batch in [1usize, 32, 256] {
+        // Edit: delete `batch` rows and insert `batch` new rows.
+        let mut edited = tgt.clone();
+        let victims: Vec<Tuple> = edited
+            .relation("Person2")
+            .unwrap()
+            .iter()
+            .take(batch)
+            .cloned()
+            .collect();
+        for v in &victims {
+            edited.remove("Person2", v).unwrap();
+        }
+        for i in 0..batch {
+            edited
+                .insert(
+                    "Person2",
+                    Tuple::new(vec![
+                        Value::int(100_000 + i as i64),
+                        Value::str(format!("fresh{i}")),
+                        Value::int(1),
+                        Value::str("0000"),
+                    ]),
+                )
+                .unwrap();
+        }
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(batch),
+            &edited,
+            |b, edited: &Instance| {
+                b.iter(|| engine.backward(black_box(edited), black_box(&src)).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_forward_update(c: &mut Criterion) {
+    // Forward as an update (prev target provided) — the stateful cospan
+    // direction users hit on every sync.
+    let m = persons_mapping();
+    let engine = Engine::new(compile(&m).unwrap(), Environment::new()).unwrap();
+    let mut group = c.benchmark_group("e8_roundtrip/forward_update");
+    for n in [500usize, 2_000] {
+        let src = persons(n);
+        let tgt = engine.forward(&src, None).unwrap();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(src, tgt),
+            |b, (src, tgt)| {
+                b.iter(|| engine.forward(black_box(src), Some(black_box(tgt))).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_backward, bench_forward_update
+}
+criterion_main!(benches);

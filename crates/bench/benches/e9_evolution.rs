@@ -1,0 +1,118 @@
+//! E9 — Figure 2: the two schema-evolution strategies head to head —
+//! (a) invert the evolution lenses and compose, (b) channel-propagate
+//! the SMOs and run the rewritten mapping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dex_core::{compile, Engine};
+use dex_evolution::{propagate_all, ColumnDefault, EvolutionLens, Smo};
+use dex_lens::symmetric::{invert, SymLens};
+use dex_logic::parse_mapping;
+use dex_rellens::Environment;
+use dex_relational::{AttrType, Instance, Name, Tuple, Value};
+use std::hint::black_box;
+
+
+/// Short measurement windows: the suite's job is shape, not
+/// publication-grade confidence intervals; this keeps the full
+/// `cargo bench --workspace` run to a couple of minutes.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10)
+}
+
+fn mapping() -> dex_logic::Mapping {
+    parse_mapping(
+        r#"
+        source Person(id, name, age);
+        target Contact(name);
+        Person(i, n, a) -> Contact(n);
+        "#,
+    )
+    .unwrap()
+}
+
+fn evolution() -> Vec<Smo> {
+    vec![
+        Smo::RenameTable {
+            from: Name::new("Person"),
+            to: Name::new("People"),
+        },
+        Smo::AddColumn {
+            table: Name::new("People"),
+            column: Name::new("city"),
+            ty: AttrType::Any,
+            default: ColumnDefault::Const("unknown".into()),
+        },
+    ]
+}
+
+fn evolved_instance(n: usize) -> Instance {
+    let evo = EvolutionLens::new(evolution(), mapping().source().clone()).unwrap();
+    let mut inst = Instance::empty(evo.final_schema().unwrap().clone());
+    for i in 0..n {
+        inst.insert(
+            "People",
+            Tuple::new(vec![
+                Value::int(i as i64),
+                Value::str(format!("p{i}")),
+                Value::int(30),
+                Value::str("Sydney"),
+            ]),
+        )
+        .unwrap();
+    }
+    inst
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let m = mapping();
+    let mut group = c.benchmark_group("e9_evolution");
+    for n in [100usize, 1_000] {
+        let evolved = evolved_instance(n);
+        group.throughput(Throughput::Elements(n as u64));
+
+        // (a) invert evolution lens + engine forward (engine pre-built;
+        // the per-sync cost is what matters).
+        let evo = EvolutionLens::new(evolution(), m.source().clone()).unwrap();
+        let engine = Engine::new(compile(&m).unwrap(), Environment::new()).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("invert_and_compose", n),
+            &evolved,
+            |b, evolved| {
+                b.iter(|| {
+                    let inv = invert(evo.clone());
+                    let (a_inst, _) = inv.put_r(black_box(evolved), &inv.missing());
+                    engine.forward(&a_inst, None).unwrap()
+                })
+            },
+        );
+
+        // (b) channel propagation (mapping rewritten once, then run).
+        let m2 = propagate_all(&evolution(), &m).unwrap();
+        let engine2 = Engine::new(compile(&m2).unwrap(), Environment::new()).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("channel_propagation", n),
+            &evolved,
+            |b, evolved| b.iter(|| engine2.forward(black_box(evolved), None).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_propagation_rewrite(c: &mut Criterion) {
+    // The one-time rewriting cost of strategy (b).
+    let m = mapping();
+    let smos = evolution();
+    c.bench_function("e9_evolution/propagate_rewrite", |b| {
+        b.iter(|| propagate_all(black_box(&smos), black_box(&m)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_strategies, bench_propagation_rewrite
+}
+criterion_main!(benches);

@@ -1,0 +1,659 @@
+//! The chase: source instance → universal solution.
+
+use crate::error::ChaseError;
+use dex_logic::eval::{extend_matches, has_match, match_conjunction, Valuation};
+use dex_logic::{Mapping, StTgd};
+use dex_relational::{Instance, Name, NullGen, NullId, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which chase to run for the source-to-target phase.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ChaseVariant {
+    /// The **standard** chase: fire a tgd only when its right-hand side
+    /// has no satisfying extension yet. Produces fewer redundant nulls.
+    #[default]
+    Standard,
+    /// The **oblivious** chase: fire once for every left-hand-side
+    /// match, unconditionally. Simpler and order-insensitive; produces a
+    /// canonical (possibly redundant) universal solution.
+    Oblivious,
+}
+
+/// Chase configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaseOptions {
+    /// Source-to-target variant.
+    pub variant: ChaseVariant,
+    /// Maximum number of rule-firing rounds for the *target* chase
+    /// (guards non-terminating target tgds).
+    pub max_rounds: usize,
+    /// Match the st-tgd premises in parallel (one task per tgd). Pays
+    /// off for mappings with several expensive premises; firing stays
+    /// sequential and deterministic either way.
+    pub parallel: bool,
+}
+
+impl Default for ChaseOptions {
+    fn default() -> Self {
+        ChaseOptions {
+            variant: ChaseVariant::Standard,
+            max_rounds: 10_000,
+            parallel: false,
+        }
+    }
+}
+
+/// The outcome of a successful exchange.
+#[derive(Clone, Debug)]
+pub struct ExchangeResult {
+    /// The materialized universal solution.
+    pub target: Instance,
+    /// Number of labeled nulls invented.
+    pub nulls_created: usize,
+    /// Number of tgd firings (st + target).
+    pub firings: usize,
+}
+
+/// Materialize a universal solution for `src` under `mapping` with
+/// default options. This is the paper's “how to materialize the best
+/// solution for I under M”.
+///
+/// ```
+/// use dex_chase::exchange;
+/// use dex_logic::parse_mapping;
+/// use dex_relational::{tuple, Instance};
+///
+/// let m = parse_mapping(r#"
+///     source Emp(name);
+///     target Manager(emp, mgr);
+///     Emp(x) -> Manager(x, y);
+/// "#).unwrap();
+/// let src = Instance::with_facts(
+///     m.source().clone(),
+///     vec![("Emp", vec![tuple!["Alice"]])],
+/// ).unwrap();
+/// let result = exchange(&m, &src).unwrap();
+/// assert_eq!(result.nulls_created, 1);    // Alice's unknown manager
+/// assert!(m.is_solution(&src, &result.target));
+/// ```
+pub fn exchange(mapping: &Mapping, src: &Instance) -> Result<ExchangeResult, ChaseError> {
+    exchange_with(mapping, src, ChaseOptions::default())
+}
+
+/// Materialize with explicit options.
+pub fn exchange_with(
+    mapping: &Mapping,
+    src: &Instance,
+    opts: ChaseOptions,
+) -> Result<ExchangeResult, ChaseError> {
+    let mut target = Instance::empty(mapping.target().clone());
+    // Fresh nulls must avoid any nulls already present in the source.
+    let mut gen = src.null_gen();
+    let mut firings = 0usize;
+    let nulls_before = gen.clone();
+
+    // Phase 1: source-to-target. The lhs only mentions source relations,
+    // so a single pass over all (tgd, match) pairs suffices. Matching
+    // is read-only over the source, so it can fan out across tgds;
+    // firing is kept sequential for determinism.
+    let all_matches: Vec<(usize, Vec<Valuation>)> =
+        if opts.parallel && mapping.st_tgds().len() > 1 {
+            crossbeam::scope(|scope| {
+                let handles: Vec<_> = mapping
+                    .st_tgds()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, tgd)| {
+                        scope.spawn(move |_| (i, match_conjunction(&tgd.lhs, src)))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .expect("chase match threads panicked")
+        } else {
+            mapping
+                .st_tgds()
+                .iter()
+                .enumerate()
+                .map(|(i, tgd)| (i, match_conjunction(&tgd.lhs, src)))
+                .collect()
+        };
+    for (i, matches) in all_matches {
+        let tgd = &mapping.st_tgds()[i];
+        let rhs_vars: BTreeSet<Name> = tgd.rhs_vars().into_iter().collect();
+        for m in matches {
+            let frontier: Valuation = m
+                .into_iter()
+                .filter(|(k, _)| rhs_vars.contains(k))
+                .collect();
+            if opts.variant == ChaseVariant::Standard
+                && has_match(&tgd.rhs, &target, &frontier)
+            {
+                continue;
+            }
+            fire(tgd, &frontier, &mut target, &mut gen)?;
+            firings += 1;
+        }
+    }
+
+    // Phase 2: target dependencies to fixpoint.
+    let mut rounds = 0usize;
+    loop {
+        let mut changed = false;
+
+        // Target tgds (standard chase within the target).
+        for tgd in mapping.target_tgds() {
+            let rhs_vars: BTreeSet<Name> = tgd.rhs_vars().into_iter().collect();
+            // Collect matches first: firing mutates the instance.
+            let matches: Vec<Valuation> = match_conjunction(&tgd.lhs, &target);
+            for m in matches {
+                let frontier: Valuation = m
+                    .into_iter()
+                    .filter(|(k, _)| rhs_vars.contains(k))
+                    .collect();
+                if has_match(&tgd.rhs, &target, &frontier) {
+                    continue;
+                }
+                fire(tgd, &frontier, &mut target, &mut gen)?;
+                firings += 1;
+                changed = true;
+            }
+        }
+
+        // Target egds: equate values, merging nulls or failing on
+        // distinct constants.
+        for egd in mapping.target_egds() {
+            let (new_target, merges) = chase_one_egd(egd, target)?;
+            target = new_target;
+            if merges > 0 {
+                firings += merges;
+                changed = true;
+            }
+        }
+
+        if !changed {
+            break;
+        }
+        rounds += 1;
+        if rounds > opts.max_rounds {
+            return Err(ChaseError::StepLimitExceeded {
+                limit: opts.max_rounds,
+            });
+        }
+    }
+
+    let nulls_created = count_new_nulls(&nulls_before, &gen);
+    Ok(ExchangeResult {
+        target,
+        nulls_created,
+        firings,
+    })
+}
+
+/// Chase one egd to its local fixpoint: repeatedly merge a null with
+/// the value it is equated to (one merge at a time, then re-match).
+/// Returns the new instance and the number of merges applied.
+fn chase_one_egd(
+    egd: &dex_logic::Egd,
+    mut target: Instance,
+) -> Result<(Instance, usize), ChaseError> {
+    let mut merges = 0usize;
+    loop {
+        let mut subst: BTreeMap<NullId, Value> = BTreeMap::new();
+        'find: for m in match_conjunction(&egd.lhs, &target) {
+            for (a, b) in &egd.equalities {
+                let va = a.eval(&m).expect("egd variables bound by body");
+                let vb = b.eval(&m).expect("egd variables bound by body");
+                if va == vb {
+                    continue;
+                }
+                match (&va, &vb) {
+                    (Value::Null(n), _) => {
+                        subst.insert(*n, vb.clone());
+                    }
+                    (_, Value::Null(n)) => {
+                        subst.insert(*n, va.clone());
+                    }
+                    _ => {
+                        return Err(ChaseError::EgdFailure {
+                            egd: egd.to_string(),
+                            left: va.to_string(),
+                            right: vb.to_string(),
+                        });
+                    }
+                }
+                break 'find; // apply one merge at a time
+            }
+        }
+        if subst.is_empty() {
+            return Ok((target, merges));
+        }
+        target = target.substitute_nulls(&subst);
+        merges += 1;
+    }
+}
+
+/// Chase a set of egds over an instance to fixpoint (merging nulls;
+/// failing when two distinct constants are forced equal). This is the
+/// standalone entry point used by the lens engine to enforce target
+/// keys after a forward pass.
+pub fn enforce_egds(
+    inst: &Instance,
+    egds: &[dex_logic::Egd],
+) -> Result<Instance, ChaseError> {
+    let mut target = inst.clone();
+    loop {
+        let mut changed = false;
+        for egd in egds {
+            let (next, merges) = chase_one_egd(egd, target)?;
+            target = next;
+            changed |= merges > 0;
+        }
+        if !changed {
+            return Ok(target);
+        }
+    }
+}
+
+fn count_new_nulls(before: &NullGen, after: &NullGen) -> usize {
+    // NullGen is a counter; expose the difference via fresh ids.
+    let mut b = before.clone();
+    let mut a = after.clone();
+    (a.fresh_id().0 - b.fresh_id().0) as usize
+}
+
+/// Fire one tgd for one frontier valuation: extend the valuation with
+/// fresh nulls for the existential variables and insert the rhs facts.
+fn fire(
+    tgd: &StTgd,
+    frontier: &Valuation,
+    target: &mut Instance,
+    gen: &mut NullGen,
+) -> Result<(), ChaseError> {
+    let mut v = frontier.clone();
+    for y in tgd.existential_vars() {
+        v.insert(y, gen.fresh());
+    }
+    for atom in &tgd.rhs {
+        let t = atom
+            .instantiate(&v)
+            .expect("all rhs variables bound after existential extension");
+        target.insert(atom.relation.as_str(), t)?;
+    }
+    Ok(())
+}
+
+/// Check that `solution` is universal for `src` under `mapping` by
+/// verifying (i) it is a solution, and (ii) it maps homomorphically into
+/// `other` for each provided solution. (Used by tests; universality
+/// against *all* solutions is a theorem about the chase, checked here
+/// against sampled ones.)
+pub fn maps_into_all<'a>(
+    solution: &Instance,
+    others: impl IntoIterator<Item = &'a Instance>,
+) -> bool {
+    others
+        .into_iter()
+        .all(|o| dex_relational::is_homomorphic_to(solution, o))
+}
+
+/// The set of valuations of `atoms` over `inst` extended by `partial` —
+/// re-exported convenience for downstream crates building on chase
+/// internals.
+pub fn matches_with(
+    atoms: &[dex_logic::Atom],
+    inst: &Instance,
+    partial: &Valuation,
+) -> Vec<Valuation> {
+    extend_matches(atoms, inst, partial)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_logic::{parse_mapping, Atom};
+    use dex_relational::{tuple, RelSchema, Schema, Tuple};
+
+    fn example1_mapping() -> Mapping {
+        parse_mapping(
+            r#"
+            source Emp(name);
+            target Manager(emp, mgr);
+            Emp(x) -> Manager(x, y);
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn emp_instance(names: &[&str]) -> Instance {
+        Instance::with_facts(
+            example1_mapping().source().clone(),
+            vec![("Emp", names.iter().map(|n| tuple![*n]).collect())],
+        )
+        .unwrap()
+    }
+
+    /// Paper Example 1: the chase produces J* with one fresh null per
+    /// employee.
+    #[test]
+    fn example1_chase_produces_j_star() {
+        let m = example1_mapping();
+        let src = emp_instance(&["Alice", "Bob"]);
+        let res = exchange(&m, &src).unwrap();
+        assert_eq!(res.target.fact_count(), 2);
+        assert_eq!(res.nulls_created, 2);
+        assert_eq!(res.firings, 2);
+        // Every tuple pairs a constant employee with a null manager.
+        let rel = res.target.relation("Manager").unwrap();
+        for t in rel.iter() {
+            assert!(t[0].is_const());
+            assert!(t[1].is_null());
+        }
+        // It is a solution and maps into the paper's J1 and J2.
+        assert!(m.is_solution(&src, &res.target));
+        let j1 = Instance::with_facts(
+            m.target().clone(),
+            vec![(
+                "Manager",
+                vec![tuple!["Alice", "Alice"], tuple!["Bob", "Alice"]],
+            )],
+        )
+        .unwrap();
+        let j2 = Instance::with_facts(
+            m.target().clone(),
+            vec![(
+                "Manager",
+                vec![tuple!["Alice", "Bob"], tuple!["Bob", "Ted"]],
+            )],
+        )
+        .unwrap();
+        assert!(maps_into_all(&res.target, [&j1, &j2]));
+    }
+
+    #[test]
+    fn standard_chase_skips_satisfied_matches() {
+        // Two tgds with the same rhs requirement: the second pass adds
+        // nothing under the standard chase.
+        let m = parse_mapping(
+            r#"
+            source E1(name);
+            source E2(name);
+            target T(name, info);
+            E1(x) -> T(x, y);
+            E2(x) -> T(x, y);
+            "#,
+        )
+        .unwrap();
+        let mut src = Instance::empty(m.source().clone());
+        src.insert("E1", tuple!["a"]).unwrap();
+        src.insert("E2", tuple!["a"]).unwrap();
+        let std = exchange_with(&m, &src, ChaseOptions::default()).unwrap();
+        assert_eq!(std.target.fact_count(), 1, "second firing suppressed");
+        let obl = exchange_with(
+            &m,
+            &src,
+            ChaseOptions {
+                variant: ChaseVariant::Oblivious,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(obl.target.fact_count(), 2, "oblivious fires twice");
+        // Both are universal solutions: homomorphically equivalent.
+        assert!(dex_relational::homomorphism::homomorphically_equivalent(
+            &std.target,
+            &obl.target
+        ));
+    }
+
+    #[test]
+    fn figure1_university_exchange() {
+        let m = parse_mapping(
+            r#"
+            source Takes(name, course);
+            target Student(id, name);
+            target Assgn(name, course);
+            Takes(x, y) -> Student(z, x) & Assgn(x, y);
+            "#,
+        )
+        .unwrap();
+        let src = Instance::with_facts(
+            m.source().clone(),
+            vec![(
+                "Takes",
+                vec![tuple!["Alice", "DB"], tuple!["Alice", "PL"], tuple!["Bob", "DB"]],
+            )],
+        )
+        .unwrap();
+        let res = exchange(&m, &src).unwrap();
+        // Three Assgn facts; Student facts: standard chase checks whether
+        // ∃z Student(z, name) ∧ Assgn(name, course) already holds per
+        // (name, course) pair, so Alice gets ids possibly shared.
+        assert_eq!(res.target.relation("Assgn").unwrap().len(), 3);
+        assert!(res.target.relation("Student").unwrap().len() >= 2);
+        assert!(m.is_solution(&src, &res.target));
+    }
+
+    #[test]
+    fn target_tgd_chases_to_fixpoint() {
+        // R(x) -> S(x); target: S(x) -> T(x).
+        let m = parse_mapping(
+            r#"
+            source R(a);
+            target S(a);
+            target T(a);
+            R(x) -> S(x);
+            S(x) -> T(x);
+            "#,
+        )
+        .unwrap();
+        let src = Instance::with_facts(m.source().clone(), vec![("R", vec![tuple!["v"]])])
+            .unwrap();
+        let res = exchange(&m, &src).unwrap();
+        assert!(res.target.contains("S", &tuple!["v"]));
+        assert!(res.target.contains("T", &tuple!["v"]));
+    }
+
+    #[test]
+    fn egd_merges_nulls() {
+        // Emp -> Manager with key(emp): two tgds give Alice two null
+        // managers; the key merges them.
+        let m = parse_mapping(
+            r#"
+            source E1(name);
+            source E2(name);
+            target Manager(emp, mgr);
+            key Manager(emp);
+            E1(x) -> Manager(x, y);
+            E2(x) -> Manager(x, y);
+            "#,
+        )
+        .unwrap();
+        let mut src = Instance::empty(m.source().clone());
+        src.insert("E1", tuple!["Alice"]).unwrap();
+        src.insert("E2", tuple!["Alice"]).unwrap();
+        // Oblivious chase to force two distinct nulls first.
+        let res = exchange_with(
+            &m,
+            &src,
+            ChaseOptions {
+                variant: ChaseVariant::Oblivious,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            res.target.relation("Manager").unwrap().len(),
+            1,
+            "egd merged the two null-managed facts"
+        );
+        assert!(m.is_solution(&src, &res.target));
+    }
+
+    #[test]
+    fn egd_resolves_null_to_constant() {
+        let m = parse_mapping(
+            r#"
+            source E(name);
+            source Boss(name, boss);
+            target Manager(emp, mgr);
+            key Manager(emp);
+            E(x) -> Manager(x, y);
+            Boss(x, b) -> Manager(x, b);
+            "#,
+        )
+        .unwrap();
+        let mut src = Instance::empty(m.source().clone());
+        src.insert("E", tuple!["Alice"]).unwrap();
+        src.insert("Boss", tuple!["Alice", "Ted"]).unwrap();
+        let res = exchange_with(
+            &m,
+            &src,
+            ChaseOptions {
+                variant: ChaseVariant::Oblivious,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let rel = res.target.relation("Manager").unwrap();
+        assert_eq!(rel.len(), 1);
+        assert!(rel.contains(&tuple!["Alice", "Ted"]), "null resolved to Ted");
+    }
+
+    #[test]
+    fn egd_failure_on_distinct_constants() {
+        let m = parse_mapping(
+            r#"
+            source B1(name, boss);
+            source B2(name, boss);
+            target Manager(emp, mgr);
+            key Manager(emp);
+            B1(x, b) -> Manager(x, b);
+            B2(x, b) -> Manager(x, b);
+            "#,
+        )
+        .unwrap();
+        let mut src = Instance::empty(m.source().clone());
+        src.insert("B1", tuple!["Alice", "Ted"]).unwrap();
+        src.insert("B2", tuple!["Alice", "Bob"]).unwrap();
+        let err = exchange(&m, &src).unwrap_err();
+        assert!(matches!(err, ChaseError::EgdFailure { .. }));
+    }
+
+    #[test]
+    fn non_terminating_target_tgd_hits_limit() {
+        // target: S(x) -> S(y) with fresh y each time — not weakly
+        // acyclic, never reaches fixpoint under the standard chase?
+        // (Standard chase: S(x) -> ∃y S(y) is satisfied once any S fact
+        // exists, so it *does* terminate. Use a two-relation ping-pong
+        // that keeps inventing values instead.)
+        let m = parse_mapping(
+            r#"
+            source R(a);
+            target S(a, b);
+            R(x) -> S(x, y);
+            S(x, y) -> S(y, z);
+            "#,
+        )
+        .unwrap();
+        let src = Instance::with_facts(m.source().clone(), vec![("R", vec![tuple!["v"]])])
+            .unwrap();
+        let err = exchange_with(
+            &m,
+            &src,
+            ChaseOptions {
+                variant: ChaseVariant::Standard,
+                max_rounds: 25,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ChaseError::StepLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn source_nulls_do_not_collide_with_fresh_ones() {
+        let m = example1_mapping();
+        let mut src = Instance::empty(m.source().clone());
+        src.insert("Emp", Tuple::new(vec![Value::null(0)])).unwrap();
+        let res = exchange(&m, &src).unwrap();
+        let mut nulls = BTreeSet::new();
+        for (_, t) in res.target.facts() {
+            t.collect_nulls(&mut nulls);
+        }
+        assert_eq!(nulls.len(), 2, "source null + one fresh manager null");
+    }
+
+    #[test]
+    fn parallel_matching_agrees_with_sequential() {
+        let m = parse_mapping(
+            r#"
+            source Father(p, c);
+            source Mother(p, c);
+            target Parent(p, c);
+            target Child(c);
+            Father(x, y) -> Parent(x, y);
+            Mother(x, y) -> Parent(x, y);
+            Father(x, y) -> Child(y);
+            Mother(x, y) -> Child(y);
+            "#,
+        )
+        .unwrap();
+        let mut src = Instance::empty(m.source().clone());
+        for i in 0..20i64 {
+            src.insert("Father", tuple![format!("f{i}").as_str(), format!("c{i}").as_str()])
+                .unwrap();
+            src.insert("Mother", tuple![format!("m{i}").as_str(), format!("d{i}").as_str()])
+                .unwrap();
+        }
+        let seq = exchange_with(&m, &src, ChaseOptions::default()).unwrap();
+        let par = exchange_with(
+            &m,
+            &src,
+            ChaseOptions {
+                parallel: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(seq.target, par.target, "parallel matching is deterministic");
+        assert_eq!(seq.firings, par.firings);
+    }
+
+    #[test]
+    fn empty_source_empty_target() {
+        let m = example1_mapping();
+        let res = exchange(&m, &Instance::empty(m.source().clone())).unwrap();
+        assert!(res.target.is_empty());
+        assert_eq!(res.nulls_created, 0);
+    }
+
+    #[test]
+    fn constants_in_tgds_propagate() {
+        let m = parse_mapping(
+            r#"
+            source R(a);
+            target S(a, tag);
+            R(x) -> S(x, 'imported');
+            "#,
+        )
+        .unwrap();
+        let src = Instance::with_facts(m.source().clone(), vec![("R", vec![tuple!["v"]])])
+            .unwrap();
+        let res = exchange(&m, &src).unwrap();
+        assert!(res.target.contains("S", &tuple!["v", "imported"]));
+    }
+
+    #[test]
+    fn matches_with_reexport() {
+        let _m = example1_mapping();
+        let src = emp_instance(&["Alice"]);
+        let ms = matches_with(
+            &[Atom::vars("Emp", &["x"])],
+            &src,
+            &Valuation::new(),
+        );
+        assert_eq!(ms.len(), 1);
+        let _ = Schema::with_relations(vec![RelSchema::untyped("X", vec!["a"]).unwrap()]);
+    }
+}

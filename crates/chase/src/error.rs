@@ -1,0 +1,67 @@
+//! Chase failure modes.
+
+use dex_relational::RelationalError;
+use std::fmt;
+
+/// Errors raised while chasing.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ChaseError {
+    /// An egd tried to equate two distinct constants — the exchange has
+    /// **no solution** (hard failure in the data-exchange sense).
+    EgdFailure {
+        /// Display of the egd that failed.
+        egd: String,
+        /// The two constants that were forced equal.
+        left: String,
+        /// Second constant.
+        right: String,
+    },
+    /// The target-dependency chase did not reach a fixpoint within the
+    /// step budget (possible for non-weakly-acyclic dependencies).
+    StepLimitExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// An underlying relational error (arity/type violations etc.).
+    Relational(RelationalError),
+}
+
+impl fmt::Display for ChaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaseError::EgdFailure { egd, left, right } => write!(
+                f,
+                "chase failed: egd `{egd}` forces distinct constants {left} = {right}"
+            ),
+            ChaseError::StepLimitExceeded { limit } => {
+                write!(f, "chase exceeded {limit} steps without reaching a fixpoint")
+            }
+            ChaseError::Relational(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChaseError {}
+
+impl From<RelationalError> for ChaseError {
+    fn from(e: RelationalError) -> Self {
+        ChaseError::Relational(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = ChaseError::StepLimitExceeded { limit: 10 };
+        assert!(e.to_string().contains("10 steps"));
+        let e = ChaseError::EgdFailure {
+            egd: "E".into(),
+            left: "a".into(),
+            right: "b".into(),
+        };
+        assert!(e.to_string().contains("a = b"));
+    }
+}

@@ -1,0 +1,29 @@
+//! # dex-chase — materializing data exchange
+//!
+//! The operational heart of classical data exchange (paper §2): given a
+//! mapping and a source instance, **chase** the source through the
+//! st-tgds to materialize a *universal solution* — the preferred,
+//! most-general solution `J*` of the paper's Example 1 — then chase the
+//! target dependencies (tgds and egds) to fixpoint.
+//!
+//! Also here:
+//! * the **SO-tgd chase** (Skolem-term nulls), needed to execute
+//!   composed mappings (Example 2),
+//! * **weak-acyclicity** checking, the standard termination guarantee,
+//! * **core** computation — minimizing a universal solution,
+//! * conjunctive queries and **certain answers** over universal
+//!   solutions.
+
+pub mod chase;
+pub mod core_min;
+pub mod error;
+pub mod query;
+pub mod sochase;
+pub mod termination;
+
+pub use chase::{enforce_egds, exchange, exchange_with, ChaseOptions, ChaseVariant, ExchangeResult};
+pub use core_min::core_of;
+pub use error::ChaseError;
+pub use query::{certain_answers, ConjunctiveQuery, UnionQuery};
+pub use sochase::so_exchange;
+pub use termination::is_weakly_acyclic;

@@ -1,0 +1,165 @@
+//! Weak acyclicity: the standard sufficient condition for chase
+//! termination (Fagin, Kolaitis, Miller, Popa — the paper's [11]).
+//!
+//! Build the *dependency graph* over positions `(relation, index)`:
+//! for every tgd, every universal variable `x` occurring at lhs position
+//! `p` and rhs position `q` contributes a **regular edge** `p → q`; and
+//! for every existential variable at rhs position `q'`, a **special
+//! edge** `p → q'` from each lhs position `p` of every universal
+//! variable exported to the rhs. The set is weakly acyclic iff no cycle
+//! passes through a special edge — then the chase terminates in
+//! polynomial time.
+
+use dex_logic::{StTgd, Term};
+use dex_relational::Name;
+use std::collections::{BTreeMap, BTreeSet};
+
+type Position = (Name, usize);
+
+/// Is this set of (target) tgds weakly acyclic?
+pub fn is_weakly_acyclic(tgds: &[StTgd]) -> bool {
+    // Edges: (from, to, special?).
+    let mut edges: BTreeSet<(Position, Position, bool)> = BTreeSet::new();
+
+    for tgd in tgds {
+        // Positions of each universal variable on the lhs.
+        let mut lhs_positions: BTreeMap<Name, Vec<Position>> = BTreeMap::new();
+        for atom in &tgd.lhs {
+            for (i, t) in atom.args.iter().enumerate() {
+                if let Term::Var(v) = t {
+                    lhs_positions
+                        .entry(v.clone())
+                        .or_default()
+                        .push((atom.relation.clone(), i));
+                }
+            }
+        }
+        let existentials: BTreeSet<Name> = tgd.existential_vars().into_iter().collect();
+        // Universal variables exported to the rhs.
+        let exported: BTreeSet<Name> = tgd
+            .rhs_vars()
+            .into_iter()
+            .filter(|v| lhs_positions.contains_key(v.as_str()))
+            .collect();
+
+        for atom in &tgd.rhs {
+            for (i, t) in atom.args.iter().enumerate() {
+                let q = (atom.relation.clone(), i);
+                match t {
+                    Term::Var(v) if existentials.contains(v.as_str()) => {
+                        // Special edge from every lhs position of every
+                        // exported universal variable.
+                        for u in &exported {
+                            for p in &lhs_positions[u] {
+                                edges.insert((p.clone(), q.clone(), true));
+                            }
+                        }
+                    }
+                    Term::Var(v) => {
+                        if let Some(ps) = lhs_positions.get(v.as_str()) {
+                            for p in ps {
+                                edges.insert((p.clone(), q.clone(), false));
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    // Weakly acyclic iff no special edge lies on a cycle: i.e. for every
+    // special edge (p, q), q must not reach p.
+    let mut adj: BTreeMap<Position, Vec<Position>> = BTreeMap::new();
+    for (p, q, _) in &edges {
+        adj.entry(p.clone()).or_default().push(q.clone());
+    }
+    let reaches = |from: &Position, to: &Position| -> bool {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![from.clone()];
+        while let Some(n) = stack.pop() {
+            if &n == to {
+                return true;
+            }
+            if !seen.insert(n.clone()) {
+                continue;
+            }
+            if let Some(next) = adj.get(&n) {
+                stack.extend(next.iter().cloned());
+            }
+        }
+        false
+    };
+    for (p, q, special) in &edges {
+        if *special && (q == p || reaches(q, p)) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_logic::parser::parse_tgd;
+
+    #[test]
+    fn empty_set_is_weakly_acyclic() {
+        assert!(is_weakly_acyclic(&[]));
+    }
+
+    #[test]
+    fn full_tgds_always_weakly_acyclic() {
+        let tgds = vec![
+            parse_tgd("S(x, y) -> T(x, y)").unwrap(),
+            parse_tgd("T(x, y) -> S(y, x)").unwrap(),
+        ];
+        assert!(is_weakly_acyclic(&tgds), "no existentials, no special edges");
+    }
+
+    #[test]
+    fn self_feeding_existential_cycle_detected() {
+        // S(x, y) -> ∃z S(y, z): special edge into S.2 which feeds back.
+        let tgds = vec![parse_tgd("S(x, y) -> S(y, z)").unwrap()];
+        assert!(!is_weakly_acyclic(&tgds));
+    }
+
+    #[test]
+    fn acyclic_existentials_are_fine() {
+        // S(x) -> ∃z T(x, z): special edge S.0 -> T.1, no cycle back.
+        let tgds = vec![parse_tgd("S(x) -> T(x, z)").unwrap()];
+        assert!(is_weakly_acyclic(&tgds));
+    }
+
+    #[test]
+    fn two_rule_ping_pong_cycle_detected() {
+        // S(x) -> ∃z T(x, z); T(x, y) -> S(y): special edge S.0→T.1,
+        // regular T.1→S.0 — cycle through special edge.
+        let tgds = vec![
+            parse_tgd("S(x) -> T(x, z)").unwrap(),
+            parse_tgd("T(x, y) -> S(y)").unwrap(),
+        ];
+        assert!(!is_weakly_acyclic(&tgds));
+    }
+
+    #[test]
+    fn regular_cycle_without_specials_is_fine() {
+        // Copy cycles are fine: S(x) -> T(x); T(x) -> S(x).
+        let tgds = vec![
+            parse_tgd("S(x) -> T(x)").unwrap(),
+            parse_tgd("T(x) -> S(x)").unwrap(),
+        ];
+        assert!(is_weakly_acyclic(&tgds));
+    }
+
+    #[test]
+    fn inclusion_dependency_chain_ok() {
+        // Emp(e, d) -> ∃m Dept(d, m); Dept(d, m) -> Mgr(m): no path back
+        // into Emp positions.
+        let tgds = vec![
+            parse_tgd("Emp(e, d) -> Dept(d, m)").unwrap(),
+            parse_tgd("Dept(d, m) -> Mgr(m)").unwrap(),
+        ];
+        assert!(is_weakly_acyclic(&tgds));
+    }
+}

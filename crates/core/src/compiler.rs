@@ -1,0 +1,915 @@
+//! The st-tgd → lens-template compiler (paper §4, step “The collection
+//! of st-tgds is translated statically to a relational lens template”).
+//!
+//! For every target atom `R(t̄)` of every st-tgd the compiler builds a
+//! **cospan of relational lenses** sharing the *determined view* `V_R`
+//! — the columns of `R` bound to universal (frontier) variables:
+//!
+//! ```text
+//!   source instance --source lens--> V_R <--target lens-- target R
+//! ```
+//!
+//! * the **source lens** renames/joins/filters the source relations so
+//!   that `get` computes `V_R` (and `put` translates view changes back
+//!   onto the source tables);
+//! * the **target lens** projects `R` onto `V_R`; its dropped columns
+//!   are exactly the tgd's existential positions — each becomes a
+//!   policy **hole** defaulting to fresh nulls, so the engine's
+//!   forward direction with defaults coincides with the chase.
+//!
+//! Multiple tgds producing the same relation fold into a union lens
+//! (with an insertion-routing hole). The compiler REFUSES (with
+//! reasons) anything it cannot translate faithfully, and reports
+//! per-tgd fidelity — the executable form of the paper's requested
+//! “completeness proof of that compiler”.
+
+use crate::error::CoreError;
+use crate::template::{
+    CompileReport, Fidelity, Hole, HoleBinding, HoleSite, MappingTemplate, RelationLens, Step,
+};
+use dex_logic::{Mapping, StTgd, Term};
+use dex_rellens::{JoinPolicy, RelLensExpr, UnionPolicy, UpdatePolicy};
+use dex_relational::{Constant, Expr, Name, RelSchema};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A hole not yet assigned a global id, with a path relative to the
+/// contribution root.
+struct PendingHole {
+    question: String,
+    column: Option<Name>,
+    kind: PendingKind,
+    path: Vec<Step>,
+}
+
+enum PendingKind {
+    SourceColumn,
+    TargetColumn,
+    Join,
+    Union,
+}
+
+fn prepend(holes: &mut [PendingHole], step: Step) {
+    for h in holes.iter_mut() {
+        h.path.insert(0, step);
+    }
+}
+
+/// The shape of one target atom: which positions are determined,
+/// constant, or existential.
+#[derive(PartialEq, Eq, Debug, Clone)]
+struct TargetShape {
+    rel: Name,
+    /// `(position, attr)` for frontier-variable positions.
+    frontier: Vec<(usize, Name)>,
+    /// `(position, attr, constant)` positions.
+    consts: Vec<(usize, Name, Constant)>,
+    /// `(position, attr)` existential positions.
+    existentials: Vec<(usize, Name)>,
+    /// `(position, attr, first-occurrence attr)` for repeated variables:
+    /// the column provably equals an earlier column of the same atom.
+    copies: Vec<(usize, Name, Name)>,
+}
+
+struct Contribution {
+    source_expr: RelLensExpr,
+    shape: TargetShape,
+    holes: Vec<PendingHole>,
+}
+
+/// Compile a mapping's st-tgds into a lens template.
+///
+/// ```
+/// use dex_core::{compile, Engine};
+/// use dex_logic::parse_mapping;
+/// use dex_rellens::Environment;
+/// use dex_relational::{tuple, Instance};
+///
+/// let m = parse_mapping(r#"
+///     source Emp(name);
+///     target Manager(emp, mgr);
+///     Emp(x) -> Manager(x, y);
+/// "#).unwrap();
+/// let template = compile(&m).unwrap();
+/// // One policy question: what to do with the undetermined column.
+/// assert_eq!(template.holes.len(), 1);
+/// assert!(template.holes[0].question.contains("Manager.mgr"));
+///
+/// let engine = Engine::new(template, Environment::new()).unwrap();
+/// let src = Instance::with_facts(
+///     m.source().clone(),
+///     vec![("Emp", vec![tuple!["Alice"]])],
+/// ).unwrap();
+/// let tgt = engine.forward(&src, None).unwrap();
+/// assert!(m.is_solution(&src, &tgt));
+/// ```
+pub fn compile(mapping: &Mapping) -> Result<MappingTemplate, CoreError> {
+    let mut reasons: Vec<String> = Vec::new();
+    let mut contributions: Vec<(usize, Contribution)> = Vec::new();
+    let mut report = CompileReport::default();
+
+    if !mapping.target_tgds().is_empty() {
+        reasons.push(
+            "target tgds (within-target implications) are not part of the compilable \
+             fragment; enforce them with the chase instead. Target egds (keys) ARE \
+             supported — the engine chases them after each forward pass"
+                .into(),
+        );
+    }
+
+    for (ti, tgd) in mapping.st_tgds().iter().enumerate() {
+        let mut tgd_reasons: Vec<String> = Vec::new();
+
+        // Self-joins in the premise are outside the fragment (the lens
+        // trees address base tables by name).
+        let mut lhs_rels = BTreeSet::new();
+        for a in &tgd.lhs {
+            if !lhs_rels.insert(a.relation.clone()) {
+                reasons.push(format!(
+                    "tgd `{tgd}` joins relation `{}` with itself; self-joins need aliasing, \
+                     which the lens fragment does not support",
+                    a.relation
+                ));
+            }
+        }
+
+        // Shared existentials across target atoms lose correlation.
+        if tgd.rhs.len() > 1 {
+            let ex: BTreeSet<Name> = tgd.existential_vars().into_iter().collect();
+            let mut counts: BTreeMap<Name, usize> = BTreeMap::new();
+            for atom in &tgd.rhs {
+                let mut vs = Vec::new();
+                atom.collect_vars(&mut vs);
+                for v in vs.into_iter().filter(|v| ex.contains(v)) {
+                    *counts.entry(v).or_default() += 1;
+                }
+            }
+            for (v, n) in counts {
+                if n > 1 {
+                    tgd_reasons.push(format!(
+                        "existential variable `{v}` is shared between target atoms; the \
+                         compiled lenses invent its value independently per relation"
+                    ));
+                }
+            }
+        }
+
+        for atom in &tgd.rhs {
+            match compile_target_atom(mapping, tgd, atom) {
+                Ok(c) => contributions.push((ti, c)),
+                Err(rs) => reasons.extend(rs),
+            }
+        }
+
+        report.entries.push((
+            tgd.to_string(),
+            if tgd_reasons.is_empty() {
+                Fidelity::Exact
+            } else {
+                Fidelity::Approximate(tgd_reasons)
+            },
+        ));
+    }
+
+    if !reasons.is_empty() {
+        return Err(CoreError::Unsupported { reasons });
+    }
+
+    // Group contributions by target relation and fold unions.
+    let mut by_rel: BTreeMap<Name, Vec<Contribution>> = BTreeMap::new();
+    for (_, c) in contributions {
+        by_rel.entry(c.shape.rel.clone()).or_default().push(c);
+    }
+
+    let mut lenses = Vec::new();
+    let mut holes: Vec<Hole> = Vec::new();
+    for (rel, contribs) in by_rel {
+        // All contributions must agree on the shape.
+        let shape = contribs[0].shape.clone();
+        for c in &contribs[1..] {
+            if c.shape != shape {
+                return Err(CoreError::Unsupported {
+                    reasons: vec![format!(
+                        "tgds producing `{rel}` disagree on which columns are determined \
+                         ({:?} vs {:?}); a single view lens cannot serve both",
+                        shape, c.shape
+                    )],
+                });
+            }
+        }
+
+        // Fold source expressions with Union (insertion-routing holes).
+        let mut iter = contribs.into_iter();
+        let first = iter.next().expect("non-empty group");
+        let mut source_expr = first.source_expr;
+        let mut pending = first.holes;
+        for (k, c) in iter.enumerate() {
+            prepend(&mut pending, Step::Left);
+            let mut right_holes = c.holes;
+            prepend(&mut right_holes, Step::Right);
+            pending.extend(right_holes);
+            source_expr = source_expr.union(c.source_expr, UnionPolicy::InsertLeft);
+            pending.push(PendingHole {
+                question: format!(
+                    "relation `{rel}` is produced by several rules (union #{k}); which \
+                     branch should receive rows inserted into `{rel}`?"
+                ),
+                column: None,
+                kind: PendingKind::Union,
+                path: vec![],
+            });
+        }
+
+        // Target lens: select the constant and copy positions, project
+        // onto the frontier.
+        let mut target_expr = RelLensExpr::base(rel.clone());
+        let mut pred: Option<Expr> = None;
+        for (_, attr, c) in &shape.consts {
+            let e = Expr::attr(attr.clone()).eq(Expr::Lit(c.clone()));
+            pred = Some(match pred {
+                None => e,
+                Some(p) => p.and(e),
+            });
+        }
+        for (_, attr, of) in &shape.copies {
+            let e = Expr::attr(attr.clone()).eq(Expr::attr(of.clone()));
+            pred = Some(match pred {
+                None => e,
+                Some(p) => p.and(e),
+            });
+        }
+        if let Some(p) = pred {
+            target_expr = target_expr.select(p);
+        }
+        let mut target_holes: Vec<PendingHole> = Vec::new();
+        if !shape.consts.is_empty() || !shape.existentials.is_empty() || !shape.copies.is_empty()
+        {
+            let kept: Vec<&str> = shape.frontier.iter().map(|(_, a)| a.as_str()).collect();
+            let mut policies: Vec<(&str, UpdatePolicy)> = Vec::new();
+            for (_, attr, c) in &shape.consts {
+                policies.push((attr.as_str(), UpdatePolicy::Const(c.clone())));
+            }
+            for (_, attr, of) in &shape.copies {
+                // Copies of frontier columns restore from the kept copy;
+                // copies of existential columns can only be re-invented
+                // alongside their original — CopyOf works when the
+                // original is kept, otherwise fall back to Null (the
+                // pair is regenerated consistently only on the forward
+                // path, which fills both from the same policy source).
+                let kept_has_of = shape.frontier.iter().any(|(_, a)| a == of);
+                if kept_has_of {
+                    policies.push((attr.as_str(), UpdatePolicy::CopyOf(of.clone())));
+                } else {
+                    policies.push((attr.as_str(), UpdatePolicy::Null));
+                }
+            }
+            for (_, attr) in &shape.existentials {
+                policies.push((attr.as_str(), UpdatePolicy::Null));
+                target_holes.push(PendingHole {
+                    question: format!("how does one populate the `{rel}.{attr}` field?"),
+                    column: Some(attr.clone()),
+                    kind: PendingKind::TargetColumn,
+                    path: vec![],
+                });
+            }
+            target_expr = target_expr.project(kept, policies);
+        }
+
+        // Assign global hole ids.
+        for ph in pending {
+            let id = holes.len();
+            holes.push(Hole {
+                id,
+                question: ph.question,
+                site: match ph.kind {
+                    PendingKind::SourceColumn => HoleSite::SourceColumn {
+                        target_rel: rel.clone(),
+                        column: ph.column.clone().expect("source column hole"),
+                        path: ph.path.clone(),
+                    },
+                    PendingKind::Join => HoleSite::Join {
+                        target_rel: rel.clone(),
+                        path: ph.path.clone(),
+                    },
+                    PendingKind::Union => HoleSite::Union {
+                        target_rel: rel.clone(),
+                        path: ph.path.clone(),
+                    },
+                    PendingKind::TargetColumn => unreachable!("source-side pending"),
+                },
+                current: match ph.kind {
+                    PendingKind::SourceColumn => HoleBinding::Column(UpdatePolicy::Null),
+                    PendingKind::Join => HoleBinding::Join(JoinPolicy::DeleteBoth),
+                    PendingKind::Union => HoleBinding::Union(UnionPolicy::InsertLeft),
+                    PendingKind::TargetColumn => unreachable!(),
+                },
+            });
+        }
+        for ph in target_holes {
+            let id = holes.len();
+            holes.push(Hole {
+                id,
+                question: ph.question,
+                site: HoleSite::TargetColumn {
+                    target_rel: rel.clone(),
+                    column: ph.column.clone().expect("target column hole"),
+                    path: ph.path.clone(),
+                },
+                current: HoleBinding::Column(UpdatePolicy::Null),
+            });
+        }
+
+        // The shared view header.
+        let view = RelSchema::untyped(
+            rel.clone(),
+            shape
+                .frontier
+                .iter()
+                .map(|(_, a)| a.clone())
+                .collect::<Vec<Name>>(),
+        )
+        .map_err(CoreError::Relational)?;
+
+        lenses.push(RelationLens {
+            target_rel: rel,
+            view,
+            source_expr,
+            target_expr,
+        });
+    }
+
+    let template = MappingTemplate {
+        source: mapping.source().clone(),
+        target: mapping.target().clone(),
+        lenses,
+        holes,
+        target_egds: mapping.target_egds().to_vec(),
+        report,
+    };
+
+    // Sanity: every lens pair validates and the headers agree.
+    for lens in &template.lenses {
+        let sv = lens
+            .source_expr
+            .view_schema(&template.source)
+            .map_err(|e| CoreError::Unsupported {
+                reasons: vec![format!(
+                    "internal: source lens for `{}` failed validation: {e}",
+                    lens.target_rel
+                )],
+            })?;
+        let tv = lens
+            .target_expr
+            .view_schema(&template.target)
+            .map_err(|e| CoreError::Unsupported {
+                reasons: vec![format!(
+                    "internal: target lens for `{}` failed validation: {e}",
+                    lens.target_rel
+                )],
+            })?;
+        let sa: Vec<&Name> = sv.attr_names().collect();
+        let ta: Vec<&Name> = tv.attr_names().collect();
+        if sa != ta {
+            return Err(CoreError::Unsupported {
+                reasons: vec![format!(
+                    "internal: view headers disagree for `{}`: {sv} vs {tv}",
+                    lens.target_rel
+                )],
+            });
+        }
+    }
+
+    Ok(template)
+}
+
+/// Compile one `(tgd, target atom)` pair into a contribution.
+fn compile_target_atom(
+    mapping: &Mapping,
+    tgd: &StTgd,
+    atom: &dex_logic::Atom,
+) -> Result<Contribution, Vec<String>> {
+    let mut errs = Vec::new();
+    let target_schema = match mapping.target().relation(atom.relation.as_str()) {
+        Some(s) => s.clone(),
+        None => {
+            return Err(vec![format!(
+                "target relation `{}` missing from schema",
+                atom.relation
+            )])
+        }
+    };
+    let lhs_vars: BTreeSet<Name> = tgd.lhs_vars().into_iter().collect();
+
+    // Classify the target atom's positions.
+    let mut shape = TargetShape {
+        rel: atom.relation.clone(),
+        frontier: vec![],
+        consts: vec![],
+        existentials: vec![],
+        copies: vec![],
+    };
+    // First-occurrence attribute per variable (for repeated variables).
+    let mut first_attr: BTreeMap<Name, Name> = BTreeMap::new();
+    let mut frontier_vars: Vec<Name> = Vec::new();
+    for (i, t) in atom.args.iter().enumerate() {
+        let attr = target_schema.attrs()[i].0.clone();
+        match t {
+            Term::Var(v) if lhs_vars.contains(v.as_str()) => {
+                if let Some(fa) = first_attr.get(v.as_str()) {
+                    // Repeated frontier variable: the column equals the
+                    // first occurrence — compiled as a copy, exactly.
+                    shape.copies.push((i, attr, fa.clone()));
+                    continue;
+                }
+                first_attr.insert(v.clone(), attr.clone());
+                shape.frontier.push((i, attr));
+                frontier_vars.push(v.clone());
+            }
+            Term::Var(v) => {
+                if let Some(fa) = first_attr.get(v.as_str()) {
+                    // Repeated existential: both columns carry the same
+                    // invented value — also a copy.
+                    shape.copies.push((i, attr, fa.clone()));
+                    continue;
+                }
+                first_attr.insert(v.clone(), attr.clone());
+                shape.existentials.push((i, attr));
+            }
+            Term::Const(c) => shape.consts.push((i, attr, c.clone())),
+            Term::Func(..) => errs.push(format!(
+                "tgd `{tgd}` has a function term in `{atom}`; SO-tgds are executed by the \
+                 chase, not compiled to lenses"
+            )),
+        }
+    }
+    if !errs.is_empty() {
+        return Err(errs);
+    }
+
+    // Per-premise-atom lens: Base → (Select) → (Project) → (Rename).
+    let mut atom_exprs: Vec<(RelLensExpr, Vec<PendingHole>)> = Vec::new();
+    for latom in &tgd.lhs {
+        let src_schema = match mapping.source().relation(latom.relation.as_str()) {
+            Some(s) => s.clone(),
+            None => {
+                return Err(vec![format!(
+                    "source relation `{}` missing from schema",
+                    latom.relation
+                )])
+            }
+        };
+        let mut expr = RelLensExpr::base(latom.relation.clone());
+        let mut pred: Option<Expr> = None;
+        // first occurrence attr per variable
+        let mut first_attr: BTreeMap<Name, Name> = BTreeMap::new();
+        let mut kept: Vec<Name> = Vec::new(); // original attr names to keep
+        let mut dropped: Vec<(Name, UpdatePolicy)> = Vec::new();
+        for (i, t) in latom.args.iter().enumerate() {
+            let attr = src_schema.attrs()[i].0.clone();
+            match t {
+                Term::Var(v) => {
+                    if let Some(fa) = first_attr.get(v.as_str()) {
+                        // Duplicate variable: equality select + CopyOf.
+                        let e = Expr::attr(fa.clone()).eq(Expr::attr(attr.clone()));
+                        pred = Some(match pred {
+                            None => e,
+                            Some(p) => p.and(e),
+                        });
+                        dropped.push((attr, UpdatePolicy::CopyOf(fa.clone())));
+                    } else {
+                        first_attr.insert(v.clone(), attr.clone());
+                        kept.push(attr);
+                    }
+                }
+                Term::Const(c) => {
+                    let e = Expr::attr(attr.clone()).eq(Expr::Lit(c.clone()));
+                    pred = Some(match pred {
+                        None => e,
+                        Some(p) => p.and(e),
+                    });
+                    dropped.push((attr, UpdatePolicy::Const(c.clone())));
+                }
+                Term::Func(..) => {
+                    return Err(vec![format!(
+                        "function term in premise atom `{latom}` of `{tgd}`"
+                    )])
+                }
+            }
+        }
+        if let Some(p) = pred {
+            expr = expr.select(p);
+        }
+        if !dropped.is_empty() {
+            expr = expr.project(
+                kept.iter().map(Name::as_str).collect(),
+                dropped
+                    .iter()
+                    .map(|(a, p)| (a.as_str(), p.clone()))
+                    .collect(),
+            );
+        }
+        // Rename kept attrs to their variable names (skipping
+        // identities).
+        let renames: Vec<(Name, Name)> = first_attr
+            .iter()
+            .filter(|(v, a)| v != a)
+            .map(|(v, a)| (a.clone(), v.clone()))
+            .collect();
+        if !renames.is_empty() {
+            expr = RelLensExpr::Rename {
+                input: Box::new(expr),
+                renaming: renames.into_iter().collect(),
+            };
+        }
+        atom_exprs.push((expr, Vec::new()));
+    }
+
+    // Join the premise atoms (tgd joins = natural joins on variable
+    // columns).
+    let mut iter = atom_exprs.into_iter();
+    let (mut source_expr, mut holes) = iter.next().expect("validated non-empty lhs");
+    for (k, (e, hs)) in iter.enumerate() {
+        prepend(&mut holes, Step::Left);
+        let mut right = hs;
+        prepend(&mut right, Step::Right);
+        holes.extend(right);
+        source_expr = source_expr.join(e, JoinPolicy::DeleteBoth);
+        holes.push(PendingHole {
+            question: format!(
+                "a row deleted from `{}`'s view joins source relations (join #{k} in \
+                 `{tgd}`); through which input should the deletion propagate?",
+                atom.relation
+            ),
+            column: None,
+            kind: PendingKind::Join,
+            path: vec![],
+        });
+    }
+
+    // Final projection to the frontier variables (in target-atom
+    // order); dropped source variables get policy holes.
+    let all_vars: Vec<Name> = tgd.lhs_vars();
+    let dropped_vars: Vec<Name> = all_vars
+        .iter()
+        .filter(|v| !frontier_vars.contains(v))
+        .cloned()
+        .collect();
+    if !dropped_vars.is_empty() || needs_reorder(&all_vars, &frontier_vars) {
+        prepend(&mut holes, Step::Left);
+        let mut policies: Vec<(&str, UpdatePolicy)> = Vec::new();
+        for v in &dropped_vars {
+            policies.push((v.as_str(), UpdatePolicy::Null));
+            holes.push(PendingHole {
+                question: format!(
+                    "source variable `{v}` (of `{tgd}`) is not represented in `{}`; \
+                     how should it be filled when rows flow back from the target?",
+                    atom.relation
+                ),
+                column: Some(v.clone()),
+                kind: PendingKind::SourceColumn,
+                path: vec![],
+            });
+        }
+        source_expr = source_expr.project(
+            frontier_vars.iter().map(Name::as_str).collect(),
+            policies,
+        );
+    }
+
+    // Rename variables to the target attribute names.
+    let renames: Vec<(Name, Name)> = frontier_vars
+        .iter()
+        .zip(shape.frontier.iter())
+        .filter(|(v, (_, a))| v != &a)
+        .map(|(v, (_, a))| (v.clone(), a.clone()))
+        .collect();
+    if !renames.is_empty() {
+        prepend(&mut holes, Step::Left);
+        source_expr = RelLensExpr::Rename {
+            input: Box::new(source_expr),
+            renaming: renames.into_iter().collect(),
+        };
+    }
+
+    Ok(Contribution {
+        source_expr,
+        shape,
+        holes,
+    })
+}
+
+fn needs_reorder(all_vars: &[Name], frontier: &[Name]) -> bool {
+    // Projection is also needed when the frontier is a strict prefix
+    // permutation; cheap check: identical sequences?
+    all_vars != frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_logic::parse_mapping;
+
+    #[test]
+    fn example1_compiles_with_one_target_hole() {
+        let m = parse_mapping(
+            r#"
+            source Emp(name);
+            target Manager(emp, mgr);
+            Emp(x) -> Manager(x, y);
+            "#,
+        )
+        .unwrap();
+        let t = compile(&m).unwrap();
+        assert_eq!(t.lenses.len(), 1);
+        assert_eq!(t.holes.len(), 1);
+        assert!(t.holes[0].question.contains("Manager.mgr"));
+        assert!(matches!(
+            t.holes[0].site,
+            HoleSite::TargetColumn { .. }
+        ));
+        assert!(t.report.all_exact());
+        // The source lens renames name→emp; the target lens projects
+        // away mgr with a null default.
+        let lens = t.lens_for("Manager").unwrap();
+        // name → x (variable naming) then x → emp (target naming).
+        let plan = lens.source_expr.plan_string();
+        assert!(plan.contains("Rename[x→emp]"), "{plan}");
+        assert!(plan.contains("Rename[name→x]"), "{plan}");
+        assert!(lens
+            .target_expr
+            .plan_string()
+            .contains("Project[emp | mgr := null]"));
+    }
+
+    #[test]
+    fn persons_example_has_holes_both_directions() {
+        // The introduction's Person1/Person2 scenario.
+        let m = parse_mapping(
+            r#"
+            source Person1(id, name, age, city);
+            target Person2(id, name, salary, zipcode);
+            Person1(i, n, a, c) -> Person2(i, n, s, z);
+            "#,
+        )
+        .unwrap();
+        let t = compile(&m).unwrap();
+        // Target holes: salary, zipcode. Source holes: age, city.
+        assert_eq!(t.holes.len(), 4);
+        let questions: Vec<&str> = t.holes.iter().map(|h| h.question.as_str()).collect();
+        assert!(questions.iter().any(|q| q.contains("Person2.salary")));
+        assert!(questions.iter().any(|q| q.contains("Person2.zipcode")));
+        assert!(questions.iter().any(|q| q.contains("`a`")));
+        assert!(questions.iter().any(|q| q.contains("`c`")));
+        assert!(t.report.all_exact());
+    }
+
+    #[test]
+    fn union_of_two_tgds_gets_union_hole() {
+        let m = parse_mapping(
+            r#"
+            source Father(p, c);
+            source Mother(p, c);
+            target Parent(p, c);
+            Father(x, y) -> Parent(x, y);
+            Mother(x, y) -> Parent(x, y);
+            "#,
+        )
+        .unwrap();
+        let t = compile(&m).unwrap();
+        assert_eq!(t.lenses.len(), 1);
+        let union_holes: Vec<&Hole> = t
+            .holes
+            .iter()
+            .filter(|h| matches!(h.site, HoleSite::Union { .. }))
+            .collect();
+        assert_eq!(union_holes.len(), 1);
+        assert!(union_holes[0].question.contains("which"));
+        let lens = t.lens_for("Parent").unwrap();
+        assert!(lens.source_expr.plan_string().contains("Union[insert-left]"));
+    }
+
+    #[test]
+    fn join_premise_gets_join_hole() {
+        let m = parse_mapping(
+            r#"
+            source Student(id, name);
+            source Assgn(name, course);
+            target Enrollment(id, course);
+            Student(x, y) & Assgn(y, w) -> Enrollment(x, w);
+            "#,
+        )
+        .unwrap();
+        let t = compile(&m).unwrap();
+        let join_holes: Vec<&Hole> = t
+            .holes
+            .iter()
+            .filter(|h| matches!(h.site, HoleSite::Join { .. }))
+            .collect();
+        assert_eq!(join_holes.len(), 1);
+        // The shared variable y is dropped by the final projection →
+        // one source-column hole.
+        let src_holes: Vec<&Hole> = t
+            .holes
+            .iter()
+            .filter(|h| matches!(h.site, HoleSite::SourceColumn { .. }))
+            .collect();
+        assert_eq!(src_holes.len(), 1);
+        assert!(src_holes[0].question.contains("`y`"));
+    }
+
+    #[test]
+    fn figure1_upper_is_approximate_when_existential_shared() {
+        // Student(z, x) & StudentCard(z): z shared → approximate.
+        let m = parse_mapping(
+            r#"
+            source Takes(name, course);
+            target Student(id, name);
+            target StudentCard(id);
+            Takes(x, y) -> Student(z, x) & StudentCard(z);
+            "#,
+        )
+        .unwrap();
+        let t = compile(&m).unwrap();
+        assert!(!t.report.all_exact());
+        let (_, fid) = &t.report.entries[0];
+        match fid {
+            Fidelity::Approximate(rs) => {
+                assert!(rs[0].contains("`z`"));
+            }
+            Fidelity::Exact => panic!("expected approximate"),
+        }
+    }
+
+    #[test]
+    fn figure1_upper_unshared_existentials_exact() {
+        let m = parse_mapping(
+            r#"
+            source Takes(name, course);
+            target Student(id, name);
+            target Assgn(name, course);
+            Takes(x, y) -> Student(z, x) & Assgn(x, y);
+            "#,
+        )
+        .unwrap();
+        let t = compile(&m).unwrap();
+        assert!(t.report.all_exact());
+        assert_eq!(t.lenses.len(), 2);
+        // Student: one target hole (id); Assgn: none.
+        let student = t.lens_for("Student").unwrap();
+        assert!(student
+            .target_expr
+            .plan_string()
+            .contains("Project[name | id := null]"));
+        let assgn = t.lens_for("Assgn").unwrap();
+        assert_eq!(assgn.target_expr, RelLensExpr::base("Assgn"));
+    }
+
+    #[test]
+    fn constants_compile_to_selects_and_const_policies() {
+        let m = parse_mapping(
+            r#"
+            source R(a);
+            target S(a, tag);
+            R(x) -> S(x, 'imported');
+            "#,
+        )
+        .unwrap();
+        let t = compile(&m).unwrap();
+        let lens = t.lens_for("S").unwrap();
+        let plan = lens.target_expr.plan_string();
+        assert!(plan.contains("Select[tag = \"imported\"]"), "{plan}");
+        assert!(plan.contains("tag := const \"imported\""), "{plan}");
+        assert!(t.holes.is_empty(), "constants are exact, no holes");
+    }
+
+    #[test]
+    fn self_join_rejected_with_reason() {
+        let m = parse_mapping(
+            r#"
+            source S(a, b);
+            target T(a, c);
+            S(x, y) & S(y, z) -> T(x, z);
+            "#,
+        )
+        .unwrap();
+        let err = compile(&m).unwrap_err();
+        match err {
+            CoreError::Unsupported { reasons } => {
+                assert!(reasons[0].contains("self-join"), "{reasons:?}");
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn repeated_target_variable_compiles_as_copy() {
+        let m = parse_mapping(
+            r#"
+            source R(a);
+            target S(a, b);
+            R(x) -> S(x, x);
+            "#,
+        )
+        .unwrap();
+        let t = compile(&m).unwrap();
+        assert!(t.report.all_exact());
+        assert!(t.holes.is_empty(), "the copy is determined — no hole");
+        let lens = t.lens_for("S").unwrap();
+        let plan = lens.target_expr.plan_string();
+        assert!(plan.contains("Select[b = a]"), "{plan}");
+        assert!(plan.contains("b := copy of a"), "{plan}");
+    }
+
+    #[test]
+    fn repeated_existential_compiles_with_diagonal_select() {
+        // R(x) -> S(x, z, z): both z-columns must agree; the target
+        // lens selects the diagonal.
+        let m = parse_mapping(
+            r#"
+            source R(a);
+            target S(a, b, c);
+            R(x) -> S(x, z, z);
+            "#,
+        )
+        .unwrap();
+        let t = compile(&m).unwrap();
+        let lens = t.lens_for("S").unwrap();
+        let plan = lens.target_expr.plan_string();
+        assert!(plan.contains("Select[c = b]"), "{plan}");
+        assert_eq!(t.holes.len(), 1, "one hole for the existential b");
+    }
+
+    #[test]
+    fn duplicate_source_variable_compiles_with_copyof() {
+        // Manager(x, x) -> SelfMngr(x): the duplicate premise variable
+        // becomes an equality select plus a CopyOf policy.
+        let m = parse_mapping(
+            r#"
+            source Manager(emp, mgr);
+            target SelfMngr(emp);
+            Manager(x, x) -> SelfMngr(x);
+            "#,
+        )
+        .unwrap();
+        let t = compile(&m).unwrap();
+        let lens = t.lens_for("SelfMngr").unwrap();
+        let plan = lens.source_expr.plan_string();
+        assert!(plan.contains("Select[emp = mgr]"), "{plan}");
+        assert!(plan.contains("mgr := copy of emp"), "{plan}");
+        assert!(t.report.all_exact());
+    }
+
+    #[test]
+    fn hole_paths_bind_after_union_folding() {
+        // Two joining tgds into one relation: join holes sit under the
+        // union; binding through the recorded paths must land on the
+        // right nodes.
+        let m = parse_mapping(
+            r#"
+            source A(k, v);
+            source B(k, w);
+            source C(k, v);
+            source D(k, w);
+            target Out(v, w);
+            A(k, x) & B(k, y) -> Out(x, y);
+            C(k, x) & D(k, y) -> Out(x, y);
+            "#,
+        )
+        .unwrap();
+        let mut t = compile(&m).unwrap();
+        let join_holes: Vec<usize> = t
+            .holes
+            .iter()
+            .filter(|h| matches!(h.site, HoleSite::Join { .. }))
+            .map(|h| h.id)
+            .collect();
+        assert_eq!(join_holes.len(), 2);
+        for id in join_holes {
+            t.bind(id, HoleBinding::Join(JoinPolicy::DeleteLeft)).unwrap();
+        }
+        let plan = t.lens_for("Out").unwrap().source_expr.plan_string();
+        assert_eq!(plan.matches("Join[delete-left]").count(), 2, "{plan}");
+        assert!(!plan.contains("Join[delete-both]"), "{plan}");
+    }
+
+    #[test]
+    fn shape_mismatch_between_tgds_rejected() {
+        // tgd1 determines S.b, tgd2 leaves it existential.
+        let m = parse_mapping(
+            r#"
+            source R1(a, b);
+            source R2(a);
+            target S(a, b);
+            R1(x, y) -> S(x, y);
+            R2(x) -> S(x, y);
+            "#,
+        )
+        .unwrap();
+        let err = compile(&m).unwrap_err();
+        match err {
+            CoreError::Unsupported { reasons } => {
+                assert!(reasons[0].contains("disagree"), "{reasons:?}");
+            }
+            other => panic!("{other}"),
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Compiler and engine failure modes.
+
+use std::fmt;
+
+/// Errors from compiling st-tgds to lens templates or running the
+/// exchange engine.
+#[derive(Clone, PartialEq, Debug)]
+pub enum CoreError {
+    /// The mapping falls outside the compilable fragment; every reason
+    /// is listed (the compiler never silently mis-compiles).
+    Unsupported {
+        /// One entry per blocking construct.
+        reasons: Vec<String>,
+    },
+    /// A hole id that does not exist.
+    UnknownHole(usize),
+    /// A binding of the wrong kind for the hole (e.g. a column policy
+    /// for a join hole).
+    WrongBindingKind {
+        /// The hole id.
+        hole: usize,
+        /// What the hole expects.
+        expected: &'static str,
+    },
+    /// A target key (egd) failed during enforcement — the exchange has
+    /// no solution for this source/edit.
+    Chase(dex_chase::ChaseError),
+    /// An underlying relational-lens error.
+    Rellens(dex_rellens::RellensError),
+    /// An underlying relational error.
+    Relational(dex_relational::RelationalError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Unsupported { reasons } => {
+                writeln!(f, "mapping not compilable to lens templates:")?;
+                for r in reasons {
+                    writeln!(f, "  - {r}")?;
+                }
+                Ok(())
+            }
+            CoreError::UnknownHole(id) => write!(f, "no hole with id {id}"),
+            CoreError::WrongBindingKind { hole, expected } => {
+                write!(f, "hole {hole} expects a {expected} binding")
+            }
+            CoreError::Chase(e) => write!(f, "{e}"),
+            CoreError::Rellens(e) => write!(f, "{e}"),
+            CoreError::Relational(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<dex_chase::ChaseError> for CoreError {
+    fn from(e: dex_chase::ChaseError) -> Self {
+        CoreError::Chase(e)
+    }
+}
+
+impl From<dex_rellens::RellensError> for CoreError {
+    fn from(e: dex_rellens::RellensError) -> Self {
+        CoreError::Rellens(e)
+    }
+}
+
+impl From<dex_relational::RelationalError> for CoreError {
+    fn from(e: dex_relational::RelationalError) -> Self {
+        CoreError::Relational(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_lists_reasons() {
+        let e = CoreError::Unsupported {
+            reasons: vec!["self-join".into(), "repeated target variable".into()],
+        };
+        let s = e.to_string();
+        assert!(s.contains("self-join"));
+        assert!(s.contains("repeated target variable"));
+    }
+}

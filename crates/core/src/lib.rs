@@ -1,0 +1,45 @@
+//! # dex-core — the st-tgd-to-lens compiler and bidirectional exchange engine
+//!
+//! This crate is the paper's contribution made executable: the §4
+//! pipeline
+//!
+//! ```text
+//! visual correspondences → st-tgds → relational-lens TEMPLATE → mapping PLAN
+//! ```
+//!
+//! * [`compile`] translates a set of st-tgds into a **lens template**:
+//!   one pair of relational-lens expressions per produced target
+//!   relation — a *source lens* (source instance → determined view) and
+//!   a *target lens* (target relation → the same view). Together they
+//!   form a **cospan** whose stateful propagation is a symmetric lens
+//!   (cf. `dex_lens::span`).
+//! * The template exposes **holes** — every place the st-tgds
+//!   underdetermine the update behaviour (“what do I do with this extra
+//!   column”, “through which input does a join delete propagate”) —
+//!   each with a human-readable question and a sensible default
+//!   (labeled nulls, exactly what the chase would do).
+//! * [`Engine`] binds the template to an environment and executes it:
+//!   [`Engine::forward`] materializes the target (chase-equivalent for
+//!   the exact fragment, verified by tests), [`Engine::backward`]
+//!   propagates target edits to the source, and
+//!   [`Engine::sym`] wraps both directions as a
+//!   [`dex_lens::SymLens`] so the generic symmetric machinery
+//!   (composition, inversion, edit sessions) applies.
+//! * [`Engine::show_plan`] renders the compiled plan — the paper's
+//!   “show plan capability similar to that used in relational database
+//!   engines”.
+//! * [`CompileReport`] is the executable *completeness statement*: each
+//!   tgd is classified `Exact` (the lens pair reproduces the chase and
+//!   round-trips) or `Approximate` with the precise reasons.
+
+pub mod compiler;
+pub mod engine;
+pub mod error;
+pub mod template;
+
+pub use compiler::compile;
+pub use engine::{Engine, EngineSymLens, ForwardStats, RelationStats};
+pub use error::CoreError;
+pub use template::{
+    CompileReport, Fidelity, Hole, HoleBinding, HoleSite, MappingTemplate, RelationLens,
+};

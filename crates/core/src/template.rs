@@ -1,0 +1,422 @@
+//! Lens templates: compiled mappings with policy **holes**.
+//!
+//! Paper §4: “one can equally consider a relational lens template as a
+//! way to describe a family of potential lenses corresponding to a
+//! specific relational operator but missing its update policy … With
+//! the data exchange scenario, one would need to somehow fill in the
+//! relational lens template parameters, needing answers to questions
+//! like ‘what do I do with this extra column’.”
+//!
+//! A [`MappingTemplate`] is the compiled form of a set of st-tgds: one
+//! [`RelationLens`] per produced target relation, plus the list of
+//! [`Hole`]s — each hole carries the user-facing *question*, its
+//! current (default) binding, and a path to the tree node it
+//! configures. Binding a hole rewrites the plan in place.
+
+use crate::error::CoreError;
+use dex_logic::Egd;
+use dex_rellens::{JoinPolicy, RelLensExpr, UnionPolicy, UpdatePolicy};
+use dex_relational::{Name, RelSchema, Schema};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A step into a [`RelLensExpr`] tree: which child to descend into.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Step {
+    /// The unary child (Select/Project/Rename input) or a binary
+    /// node's left child.
+    Left,
+    /// A binary node's right child.
+    Right,
+}
+
+/// Where in the template a hole lives.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum HoleSite {
+    /// A dropped column in the *source* lens of `target_rel` — the
+    /// “what happens to this source column when rows come back”
+    /// question (the intro's “Is the Age field preserved?”).
+    SourceColumn {
+        /// Which relation lens.
+        target_rel: Name,
+        /// The dropped source column (variable name).
+        column: Name,
+        /// Path to the Project node.
+        path: Vec<Step>,
+    },
+    /// A dropped (existentially quantified) column in the *target*
+    /// lens — “How does one populate the Salary field?”.
+    TargetColumn {
+        /// Which relation lens.
+        target_rel: Name,
+        /// The target column.
+        column: Name,
+        /// Path to the Project node.
+        path: Vec<Step>,
+    },
+    /// A join node in the source lens — through which input does a
+    /// deletion propagate?
+    Join {
+        /// Which relation lens.
+        target_rel: Name,
+        /// Path to the Join node.
+        path: Vec<Step>,
+    },
+    /// A union node in the source lens — which input receives
+    /// insertions?
+    Union {
+        /// Which relation lens.
+        target_rel: Name,
+        /// Path to the Union node.
+        path: Vec<Step>,
+    },
+}
+
+impl HoleSite {
+    fn target_rel(&self) -> &Name {
+        match self {
+            HoleSite::SourceColumn { target_rel, .. }
+            | HoleSite::TargetColumn { target_rel, .. }
+            | HoleSite::Join { target_rel, .. }
+            | HoleSite::Union { target_rel, .. } => target_rel,
+        }
+    }
+
+    /// Is this hole in the source lens (as opposed to the target lens)?
+    fn in_source_lens(&self) -> bool {
+        !matches!(self, HoleSite::TargetColumn { .. })
+    }
+}
+
+/// A value for a hole.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum HoleBinding {
+    /// A column-fill policy.
+    Column(UpdatePolicy),
+    /// A join deletion policy.
+    Join(JoinPolicy),
+    /// A union insertion-routing policy.
+    Union(UnionPolicy),
+}
+
+impl fmt::Display for HoleBinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HoleBinding::Column(p) => write!(f, "{p}"),
+            HoleBinding::Join(p) => write!(f, "{p}"),
+            HoleBinding::Union(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// One open template parameter.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Hole {
+    /// Stable id (index into the template's hole list).
+    pub id: usize,
+    /// The user-facing question.
+    pub question: String,
+    /// Where the hole lives.
+    pub site: HoleSite,
+    /// The current binding (defaults are chase-like: nulls, delete-both,
+    /// insert-left).
+    pub current: HoleBinding,
+}
+
+impl fmt::Display for Hole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "hole #{}: {} [current: {}]", self.id, self.question, self.current)
+    }
+}
+
+/// How faithfully a tgd compiled.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Fidelity {
+    /// The lens pair reproduces the tgd's chase semantics exactly.
+    Exact,
+    /// Compiled, but with listed deviations.
+    Approximate(Vec<String>),
+}
+
+/// The compiler's completeness statement, per tgd.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct CompileReport {
+    /// `(tgd display, fidelity)` pairs, in input order.
+    pub entries: Vec<(String, Fidelity)>,
+}
+
+impl CompileReport {
+    /// Did every tgd compile exactly?
+    pub fn all_exact(&self) -> bool {
+        self.entries
+            .iter()
+            .all(|(_, f)| matches!(f, Fidelity::Exact))
+    }
+}
+
+impl fmt::Display for CompileReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (tgd, fid) in &self.entries {
+            match fid {
+                Fidelity::Exact => writeln!(f, "[exact]       {tgd}")?,
+                Fidelity::Approximate(rs) => {
+                    writeln!(f, "[approximate] {tgd}")?;
+                    for r in rs {
+                        writeln!(f, "              · {r}")?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The compiled lens pair for one target relation: the **cospan**
+/// `source —source_expr→ view ←target_expr— target`.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct RelationLens {
+    /// The target relation this pair produces/consumes.
+    pub target_rel: Name,
+    /// The shared determined view's header.
+    pub view: RelSchema,
+    /// Lens from the source instance to the view.
+    pub source_expr: RelLensExpr,
+    /// Lens from the target instance (relation `target_rel`) to the
+    /// view.
+    pub target_expr: RelLensExpr,
+}
+
+/// A compiled mapping: relation lenses + holes + the completeness
+/// report.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct MappingTemplate {
+    /// The source schema.
+    pub source: Schema,
+    /// The target schema.
+    pub target: Schema,
+    /// One lens pair per produced target relation, in name order.
+    pub lenses: Vec<RelationLens>,
+    /// The open template parameters.
+    pub holes: Vec<Hole>,
+    /// Target key constraints (egds), enforced by the engine after
+    /// every forward pass.
+    pub target_egds: Vec<Egd>,
+    /// Per-tgd fidelity.
+    pub report: CompileReport,
+}
+
+impl MappingTemplate {
+    /// Bind hole `id` to a new value, rewriting the plan.
+    pub fn bind(&mut self, id: usize, binding: HoleBinding) -> Result<(), CoreError> {
+        let hole = self
+            .holes
+            .get(id)
+            .cloned()
+            .ok_or(CoreError::UnknownHole(id))?;
+        // Kind check.
+        match (&hole.current, &binding) {
+            (HoleBinding::Column(_), HoleBinding::Column(_))
+            | (HoleBinding::Join(_), HoleBinding::Join(_))
+            | (HoleBinding::Union(_), HoleBinding::Union(_)) => {}
+            (HoleBinding::Column(_), _) => {
+                return Err(CoreError::WrongBindingKind {
+                    hole: id,
+                    expected: "column policy",
+                })
+            }
+            (HoleBinding::Join(_), _) => {
+                return Err(CoreError::WrongBindingKind {
+                    hole: id,
+                    expected: "join policy",
+                })
+            }
+            (HoleBinding::Union(_), _) => {
+                return Err(CoreError::WrongBindingKind {
+                    hole: id,
+                    expected: "union policy",
+                })
+            }
+        }
+        let rel = hole.site.target_rel().clone();
+        let lens = self
+            .lenses
+            .iter_mut()
+            .find(|l| l.target_rel == rel)
+            .ok_or(CoreError::UnknownHole(id))?;
+        let (expr, path, column): (&mut RelLensExpr, &[Step], Option<&Name>) = match &hole.site {
+            HoleSite::SourceColumn { path, column, .. } => {
+                (&mut lens.source_expr, path, Some(column))
+            }
+            HoleSite::TargetColumn { path, column, .. } => {
+                (&mut lens.target_expr, path, Some(column))
+            }
+            HoleSite::Join { path, .. } | HoleSite::Union { path, .. } => {
+                let e = if hole.site.in_source_lens() {
+                    &mut lens.source_expr
+                } else {
+                    &mut lens.target_expr
+                };
+                (e, path, None)
+            }
+        };
+        let node = descend(expr, path)?;
+        match (&binding, node) {
+            (HoleBinding::Column(p), RelLensExpr::Project { policies, .. }) => {
+                let col = column.expect("column holes carry a column");
+                policies.insert(col.clone(), p.clone());
+            }
+            (HoleBinding::Join(p), RelLensExpr::Join { policy, .. }) => {
+                *policy = *p;
+            }
+            (HoleBinding::Union(p), RelLensExpr::Union { policy, .. }) => {
+                *policy = *p;
+            }
+            _ => {
+                return Err(CoreError::WrongBindingKind {
+                    hole: id,
+                    expected: "a binding matching the node at the hole's path",
+                })
+            }
+        }
+        self.holes[id].current = binding;
+        Ok(())
+    }
+
+    /// The lens pair for `target_rel`, if produced by the mapping.
+    pub fn lens_for(&self, target_rel: &str) -> Option<&RelationLens> {
+        self.lenses.iter().find(|l| l.target_rel == target_rel)
+    }
+}
+
+fn descend<'a>(
+    expr: &'a mut RelLensExpr,
+    path: &[Step],
+) -> Result<&'a mut RelLensExpr, CoreError> {
+    let mut node = expr;
+    for step in path {
+        node = match (node, step) {
+            (RelLensExpr::Select { input, .. }, Step::Left)
+            | (RelLensExpr::Project { input, .. }, Step::Left)
+            | (RelLensExpr::Rename { input, .. }, Step::Left) => input,
+            (RelLensExpr::Join { left, .. }, Step::Left)
+            | (RelLensExpr::Union { left, .. }, Step::Left) => left,
+            (RelLensExpr::Join { right, .. }, Step::Right)
+            | (RelLensExpr::Union { right, .. }, Step::Right) => right,
+            _ => {
+                return Err(CoreError::Unsupported {
+                    reasons: vec!["internal: hole path does not match plan shape".into()],
+                })
+            }
+        };
+    }
+    Ok(node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_relational::RelSchema;
+
+    fn tiny_template() -> MappingTemplate {
+        // source Emp(name); target Manager(emp, mgr); Emp(x) -> Manager(x, y)
+        let source = Schema::with_relations(vec![
+            RelSchema::untyped("Emp", vec!["name"]).unwrap()
+        ])
+        .unwrap();
+        let target = Schema::with_relations(vec![
+            RelSchema::untyped("Manager", vec!["emp", "mgr"]).unwrap()
+        ])
+        .unwrap();
+        let source_expr = RelLensExpr::base("Emp")
+            .project(vec!["name"], vec![])
+            .rename(vec![("name", "emp")]);
+        let target_expr = RelLensExpr::base("Manager")
+            .project(vec!["emp"], vec![("mgr", UpdatePolicy::Null)]);
+        let view = RelSchema::untyped("Manager", vec!["emp"]).unwrap();
+        MappingTemplate {
+            source,
+            target,
+            lenses: vec![RelationLens {
+                target_rel: Name::new("Manager"),
+                view,
+                source_expr,
+                target_expr,
+            }],
+            holes: vec![Hole {
+                id: 0,
+                question: "what do I do with column `Manager.mgr`?".into(),
+                site: HoleSite::TargetColumn {
+                    target_rel: Name::new("Manager"),
+                    column: Name::new("mgr"),
+                    path: vec![],
+                },
+                current: HoleBinding::Column(UpdatePolicy::Null),
+            }],
+            target_egds: vec![],
+            report: CompileReport::default(),
+        }
+    }
+
+    #[test]
+    fn bind_rewrites_target_policy() {
+        let mut t = tiny_template();
+        t.bind(0, HoleBinding::Column(UpdatePolicy::Const("TBD".into())))
+            .unwrap();
+        match &t.lenses[0].target_expr {
+            RelLensExpr::Project { policies, .. } => {
+                assert_eq!(
+                    policies.get("mgr"),
+                    Some(&UpdatePolicy::Const("TBD".into()))
+                );
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+        assert_eq!(
+            t.holes[0].current,
+            HoleBinding::Column(UpdatePolicy::Const("TBD".into()))
+        );
+    }
+
+    #[test]
+    fn bind_unknown_hole_rejected() {
+        let mut t = tiny_template();
+        assert!(matches!(
+            t.bind(7, HoleBinding::Column(UpdatePolicy::Null)),
+            Err(CoreError::UnknownHole(7))
+        ));
+    }
+
+    #[test]
+    fn bind_wrong_kind_rejected() {
+        let mut t = tiny_template();
+        assert!(matches!(
+            t.bind(0, HoleBinding::Join(JoinPolicy::DeleteLeft)),
+            Err(CoreError::WrongBindingKind { .. })
+        ));
+    }
+
+    #[test]
+    fn report_display() {
+        let report = CompileReport {
+            entries: vec![
+                ("tgd1".into(), Fidelity::Exact),
+                (
+                    "tgd2".into(),
+                    Fidelity::Approximate(vec!["shared existential".into()]),
+                ),
+            ],
+        };
+        assert!(!report.all_exact());
+        let s = report.to_string();
+        assert!(s.contains("[exact]"));
+        assert!(s.contains("shared existential"));
+    }
+
+    #[test]
+    fn hole_display() {
+        let t = tiny_template();
+        let s = t.holes[0].to_string();
+        assert!(s.contains("hole #0"));
+        assert!(s.contains("current: null"));
+    }
+}

@@ -1,0 +1,663 @@
+//! Channel-style propagation of SMOs *through* a schema mapping.
+//!
+//! The paper's second evolution strategy (§4, citing [24]): instead of
+//! prepending inverted evolution lenses, rewrite the st-tgds so the
+//! mapping speaks the evolved schema directly. “It may prove useful to
+//! end users … to have a choice between adapting one schema and
+//! composing the mappings …, or propagate the evolution primitives
+//! through the mapping.”
+//!
+//! Supported here (the honest fragment — everything else returns
+//! [`EvolutionError::CannotPropagate`] with the reason):
+//! * source side: create/drop/rename table, add/drop/rename column,
+//!   horizontal split, vertical partition, vertical join;
+//! * target side: rename table, add/drop/rename column.
+
+use crate::error::EvolutionError;
+use crate::smo::Smo;
+use dex_logic::{Atom, Mapping, StTgd, Term};
+use dex_relational::{Name, Schema};
+
+/// Which side of the mapping a table lives on.
+enum Side {
+    Source,
+    Target,
+}
+
+fn side_of(mapping: &Mapping, table: &Name) -> Result<Side, EvolutionError> {
+    if mapping.source().relation(table.as_str()).is_some() {
+        Ok(Side::Source)
+    } else if mapping.target().relation(table.as_str()).is_some() {
+        Ok(Side::Target)
+    } else {
+        Err(EvolutionError::UnknownTable(table.clone()))
+    }
+}
+
+/// Propagate one SMO through `mapping`, producing the rewritten
+/// mapping (evolved schema on the side the SMO touches).
+pub fn propagate(smo: &Smo, mapping: &Mapping) -> Result<Mapping, EvolutionError> {
+    if mapping.has_target_deps() {
+        return Err(EvolutionError::CannotPropagate {
+            smo: smo.to_string(),
+            reason: "mappings with target dependencies are not supported".into(),
+        });
+    }
+    let table = primary_table(smo);
+    let side = match &table {
+        Some(t) => side_of(mapping, t)?,
+        None => Side::Source, // CreateTable: default to source
+    };
+    match side {
+        Side::Source => propagate_source(smo, mapping),
+        Side::Target => propagate_target(smo, mapping),
+    }
+}
+
+/// Propagate a whole evolution sequence.
+pub fn propagate_all(smos: &[Smo], mapping: &Mapping) -> Result<Mapping, EvolutionError> {
+    let mut m = mapping.clone();
+    for smo in smos {
+        m = propagate(smo, &m)?;
+    }
+    Ok(m)
+}
+
+fn primary_table(smo: &Smo) -> Option<Name> {
+    match smo {
+        Smo::CreateTable(_) => None,
+        Smo::DropTable(n) => Some(n.clone()),
+        Smo::RenameTable { from, .. } => Some(from.clone()),
+        Smo::AddColumn { table, .. }
+        | Smo::DropColumn { table, .. }
+        | Smo::RenameColumn { table, .. }
+        | Smo::SplitHorizontal { table, .. }
+        | Smo::PartitionVertical { table, .. } => Some(table.clone()),
+        Smo::MergeHorizontal { left, .. } | Smo::JoinVertical { left, .. } => {
+            Some(left.clone())
+        }
+    }
+}
+
+fn rebuild(
+    source: Schema,
+    target: Schema,
+    tgds: Vec<StTgd>,
+) -> Result<Mapping, EvolutionError> {
+    Mapping::new(source, target, tgds).map_err(EvolutionError::Relational)
+}
+
+fn propagate_source(smo: &Smo, mapping: &Mapping) -> Result<Mapping, EvolutionError> {
+    let new_source = smo.apply_schema(mapping.source())?;
+    let target = mapping.target().clone();
+    let tgds = mapping.st_tgds().to_vec();
+    match smo {
+        Smo::CreateTable(_) | Smo::RenameColumn { .. } => {
+            // Positional tgds are untouched by column renames; a new
+            // table is simply unmapped.
+            rebuild(new_source, target, tgds)
+        }
+        Smo::DropTable(n) => {
+            let kept: Vec<StTgd> = tgds
+                .into_iter()
+                .filter(|t| t.lhs.iter().all(|a| &a.relation != n))
+                .collect();
+            rebuild(new_source, target, kept)
+        }
+        Smo::RenameTable { from, to } => {
+            let rewritten = tgds
+                .into_iter()
+                .map(|mut t| {
+                    for a in t.lhs.iter_mut() {
+                        if &a.relation == from {
+                            a.relation = to.clone();
+                        }
+                    }
+                    t
+                })
+                .collect();
+            rebuild(new_source, target, rewritten)
+        }
+        Smo::AddColumn { table, .. } => {
+            // Premise atoms over the table gain one fresh variable at
+            // the new (last) position.
+            let mut counter = 0usize;
+            let rewritten = tgds
+                .into_iter()
+                .map(|mut t| {
+                    for a in t.lhs.iter_mut() {
+                        if &a.relation == table {
+                            let fresh = Name::new(format!("vadd{counter}"));
+                            counter += 1;
+                            a.args.push(Term::Var(fresh));
+                        }
+                    }
+                    t
+                })
+                .collect();
+            rebuild(new_source, target, rewritten)
+        }
+        Smo::DropColumn { table, column, .. } => {
+            let pos = mapping
+                .source()
+                .expect_relation(table.as_str())
+                .map_err(EvolutionError::Relational)?
+                .position(column.as_str())
+                .ok_or_else(|| EvolutionError::UnknownColumn {
+                    table: table.clone(),
+                    column: column.clone(),
+                })?;
+            // Variables that lose their only binding become existential
+            // on the target side (documented information loss).
+            let rewritten = tgds
+                .into_iter()
+                .map(|mut t| {
+                    for a in t.lhs.iter_mut() {
+                        if &a.relation == table {
+                            a.args.remove(pos);
+                        }
+                    }
+                    t
+                })
+                .collect();
+            rebuild(new_source, target, rewritten)
+        }
+        Smo::SplitHorizontal {
+            table,
+            true_table,
+            false_table,
+            ..
+        } => {
+            // Each tgd with a premise atom over the split table becomes
+            // two tgds, one per half — split predicates are not
+            // expressible in tgd premises, and do not need to be: the
+            // halves partition the rows.
+            let mut out = Vec::new();
+            for t in tgds {
+                if t.lhs.iter().any(|a| &a.relation == table) {
+                    for half in [true_table, false_table] {
+                        let mut copy = t.clone();
+                        for a in copy.lhs.iter_mut() {
+                            if &a.relation == table {
+                                a.relation = half.clone();
+                            }
+                        }
+                        out.push(copy);
+                    }
+                } else {
+                    out.push(t);
+                }
+            }
+            rebuild(new_source, target, out)
+        }
+        Smo::PartitionVertical { table, left, right } => {
+            // A premise atom T(x̄) becomes L(x̄_L) ∧ R(x̄_R); the shared
+            // key columns keep their variables, so the natural join is
+            // preserved.
+            let rel = mapping
+                .source()
+                .expect_relation(table.as_str())
+                .map_err(EvolutionError::Relational)?
+                .clone();
+            let pos_of = |c: &Name| -> Result<usize, EvolutionError> {
+                rel.position(c.as_str())
+                    .ok_or_else(|| EvolutionError::UnknownColumn {
+                        table: table.clone(),
+                        column: c.clone(),
+                    })
+            };
+            let left_pos: Vec<usize> =
+                left.1.iter().map(&pos_of).collect::<Result<_, _>>()?;
+            let right_pos: Vec<usize> =
+                right.1.iter().map(&pos_of).collect::<Result<_, _>>()?;
+            let rewritten = tgds
+                .into_iter()
+                .map(|t| {
+                    let mut lhs = Vec::new();
+                    for a in t.lhs {
+                        if a.relation == *table {
+                            lhs.push(Atom::new(
+                                left.0.clone(),
+                                left_pos.iter().map(|&i| a.args[i].clone()).collect(),
+                            ));
+                            lhs.push(Atom::new(
+                                right.0.clone(),
+                                right_pos.iter().map(|&i| a.args[i].clone()).collect(),
+                            ));
+                        } else {
+                            lhs.push(a);
+                        }
+                    }
+                    StTgd::new(lhs, t.rhs)
+                })
+                .collect();
+            rebuild(new_source, target, rewritten)
+        }
+        Smo::JoinVertical { left, right, out } => {
+            // Premise atoms over either input become atoms over the
+            // joined table, with fresh variables for the other side's
+            // private columns.
+            let l_rel = mapping
+                .source()
+                .expect_relation(left.as_str())
+                .map_err(EvolutionError::Relational)?
+                .clone();
+            let r_rel = mapping
+                .source()
+                .expect_relation(right.as_str())
+                .map_err(EvolutionError::Relational)?
+                .clone();
+            let joined = new_source
+                .expect_relation(out.as_str())
+                .map_err(EvolutionError::Relational)?
+                .clone();
+            let mut counter = 0usize;
+            let rewritten = tgds
+                .into_iter()
+                .map(|t| {
+                    let mut lhs = Vec::new();
+                    for a in t.lhs {
+                        let src_rel = if a.relation == *left {
+                            Some(&l_rel)
+                        } else if a.relation == *right {
+                            Some(&r_rel)
+                        } else {
+                            None
+                        };
+                        match src_rel {
+                            None => lhs.push(a),
+                            Some(rel) => {
+                                let mut args = Vec::with_capacity(joined.arity());
+                                for jattr in joined.attr_names() {
+                                    match rel.position(jattr.as_str()) {
+                                        Some(i) => args.push(a.args[i].clone()),
+                                        None => {
+                                            let fresh =
+                                                Name::new(format!("vjoin{counter}"));
+                                            counter += 1;
+                                            args.push(Term::Var(fresh));
+                                        }
+                                    }
+                                }
+                                lhs.push(Atom::new(out.clone(), args));
+                            }
+                        }
+                    }
+                    StTgd::new(lhs, t.rhs)
+                })
+                .collect();
+            rebuild(new_source, target, rewritten)
+        }
+        Smo::MergeHorizontal { .. } => Err(EvolutionError::CannotPropagate {
+            smo: smo.to_string(),
+            reason: "merging source tables loses the provenance the premise atoms rely on; \
+                     use the invert-and-compose lens strategy instead"
+                .into(),
+        }),
+    }
+}
+
+fn propagate_target(smo: &Smo, mapping: &Mapping) -> Result<Mapping, EvolutionError> {
+    let source = mapping.source().clone();
+    let new_target = smo.apply_schema(mapping.target())?;
+    let tgds = mapping.st_tgds().to_vec();
+    match smo {
+        Smo::RenameTable { from, to } => {
+            let rewritten = tgds
+                .into_iter()
+                .map(|mut t| {
+                    for a in t.rhs.iter_mut() {
+                        if &a.relation == from {
+                            a.relation = to.clone();
+                        }
+                    }
+                    t
+                })
+                .collect();
+            rebuild(source, new_target, rewritten)
+        }
+        Smo::RenameColumn { .. } => rebuild(source, new_target, tgds),
+        Smo::AddColumn { table, .. } => {
+            // Conclusion atoms gain a fresh existential at the new
+            // position — exactly a new “extra column” hole.
+            let mut counter = 0usize;
+            let rewritten = tgds
+                .into_iter()
+                .map(|mut t| {
+                    for a in t.rhs.iter_mut() {
+                        if &a.relation == table {
+                            let fresh = Name::new(format!("zadd{counter}"));
+                            counter += 1;
+                            a.args.push(Term::Var(fresh));
+                        }
+                    }
+                    t
+                })
+                .collect();
+            rebuild(source, new_target, rewritten)
+        }
+        Smo::DropColumn { table, column, .. } => {
+            let pos = mapping
+                .target()
+                .expect_relation(table.as_str())
+                .map_err(EvolutionError::Relational)?
+                .position(column.as_str())
+                .ok_or_else(|| EvolutionError::UnknownColumn {
+                    table: table.clone(),
+                    column: column.clone(),
+                })?;
+            let rewritten = tgds
+                .into_iter()
+                .map(|mut t| {
+                    for a in t.rhs.iter_mut() {
+                        if &a.relation == table {
+                            a.args.remove(pos);
+                        }
+                    }
+                    t
+                })
+                .collect();
+            rebuild(source, new_target, rewritten)
+        }
+        other => Err(EvolutionError::CannotPropagate {
+            smo: other.to_string(),
+            reason: "only rename/add-column/drop-column propagate through the target side; \
+                     restructure the target with the lens strategy instead"
+                .into(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smo::ColumnDefault;
+    use dex_chase::exchange;
+    use dex_logic::parse_mapping;
+    use dex_relational::{tuple, AttrType, Expr, Instance};
+
+    fn base_mapping() -> Mapping {
+        parse_mapping(
+            r#"
+            source Person(id, name, age);
+            target Contact(name);
+            Person(i, n, a) -> Contact(n);
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rename_source_table_rewrites_premises() {
+        let m = propagate(
+            &Smo::RenameTable {
+                from: Name::new("Person"),
+                to: Name::new("People"),
+            },
+            &base_mapping(),
+        )
+        .unwrap();
+        assert!(m.source().relation("People").is_some());
+        assert_eq!(m.st_tgds()[0].lhs[0].relation, "People");
+    }
+
+    #[test]
+    fn drop_source_table_drops_its_tgds() {
+        let m = propagate(&Smo::DropTable(Name::new("Person")), &base_mapping()).unwrap();
+        assert!(m.st_tgds().is_empty());
+        assert!(m.source().is_empty());
+    }
+
+    #[test]
+    fn add_source_column_extends_premise_atoms() {
+        let m = propagate(
+            &Smo::AddColumn {
+                table: Name::new("Person"),
+                column: Name::new("city"),
+                ty: AttrType::Any,
+                default: ColumnDefault::Null,
+            },
+            &base_mapping(),
+        )
+        .unwrap();
+        assert_eq!(m.st_tgds()[0].lhs[0].arity(), 4);
+        // Behaviour preserved on migrated data.
+        let src = Instance::with_facts(
+            m.source().clone(),
+            vec![("Person", vec![tuple![1i64, "Alice", 30i64, "Sydney"]])],
+        )
+        .unwrap();
+        let j = exchange(&m, &src).unwrap().target;
+        assert!(j.contains("Contact", &tuple!["Alice"]));
+    }
+
+    #[test]
+    fn drop_unexported_source_column_is_lossless() {
+        let m = propagate(
+            &Smo::DropColumn {
+                table: Name::new("Person"),
+                column: Name::new("age"),
+                restore_default: ColumnDefault::Null,
+            },
+            &base_mapping(),
+        )
+        .unwrap();
+        assert_eq!(m.st_tgds()[0].lhs[0].arity(), 2);
+        let src = Instance::with_facts(
+            m.source().clone(),
+            vec![("Person", vec![tuple![1i64, "Alice"]])],
+        )
+        .unwrap();
+        let j = exchange(&m, &src).unwrap().target;
+        assert!(j.contains("Contact", &tuple!["Alice"]));
+    }
+
+    #[test]
+    fn drop_exported_source_column_makes_target_existential() {
+        // Dropping `name` removes Contact's only determined column: the
+        // tgd's rhs variable becomes existential.
+        let m = propagate(
+            &Smo::DropColumn {
+                table: Name::new("Person"),
+                column: Name::new("name"),
+                restore_default: ColumnDefault::Null,
+            },
+            &base_mapping(),
+        )
+        .unwrap();
+        assert!(!m.st_tgds()[0].is_full());
+        let src = Instance::with_facts(
+            m.source().clone(),
+            vec![("Person", vec![tuple![1i64, 30i64]])],
+        )
+        .unwrap();
+        let j = exchange(&m, &src).unwrap().target;
+        assert_eq!(j.fact_count(), 1);
+        assert!(!j.is_ground(), "contact name is now a labeled null");
+    }
+
+    #[test]
+    fn split_source_table_duplicates_tgds() {
+        let m = propagate(
+            &Smo::SplitHorizontal {
+                table: Name::new("Person"),
+                pred: Expr::attr("age").ge(Expr::lit(35i64)),
+                true_table: Name::new("Senior"),
+                false_table: Name::new("Junior"),
+            },
+            &base_mapping(),
+        )
+        .unwrap();
+        assert_eq!(m.st_tgds().len(), 2);
+        // Behavioural equivalence with the lens route: every person
+        // still yields a contact.
+        let src = Instance::with_facts(
+            m.source().clone(),
+            vec![
+                ("Senior", vec![tuple![2i64, "Bob", 40i64]]),
+                ("Junior", vec![tuple![1i64, "Alice", 30i64]]),
+            ],
+        )
+        .unwrap();
+        let j = exchange(&m, &src).unwrap().target;
+        assert!(j.contains("Contact", &tuple!["Alice"]));
+        assert!(j.contains("Contact", &tuple!["Bob"]));
+    }
+
+    #[test]
+    fn partition_source_table_splits_premise_atom() {
+        let m = propagate(
+            &Smo::PartitionVertical {
+                table: Name::new("Person"),
+                left: (Name::new("PN"), vec![Name::new("id"), Name::new("name")]),
+                right: (Name::new("PA"), vec![Name::new("id"), Name::new("age")]),
+            },
+            &base_mapping(),
+        )
+        .unwrap();
+        let tgd = &m.st_tgds()[0];
+        assert_eq!(tgd.lhs.len(), 2);
+        assert_eq!(tgd.lhs[0].relation, "PN");
+        assert_eq!(tgd.lhs[1].relation, "PA");
+        // Shared key variable joins the halves.
+        assert_eq!(tgd.lhs[0].args[0], tgd.lhs[1].args[0]);
+        let src = Instance::with_facts(
+            m.source().clone(),
+            vec![
+                ("PN", vec![tuple![1i64, "Alice"]]),
+                ("PA", vec![tuple![1i64, 30i64]]),
+            ],
+        )
+        .unwrap();
+        let j = exchange(&m, &src).unwrap().target;
+        assert!(j.contains("Contact", &tuple!["Alice"]));
+    }
+
+    #[test]
+    fn join_vertical_rewrites_both_inputs() {
+        let m0 = parse_mapping(
+            r#"
+            source PN(id, name);
+            source PA(id, age);
+            target Contact(name);
+            target Ages(age);
+            PN(i, n) -> Contact(n);
+            PA(i, a) -> Ages(a);
+            "#,
+        )
+        .unwrap();
+        let m = propagate(
+            &Smo::JoinVertical {
+                left: Name::new("PN"),
+                right: Name::new("PA"),
+                out: Name::new("Person"),
+            },
+            &m0,
+        )
+        .unwrap();
+        for t in m.st_tgds() {
+            assert_eq!(t.lhs[0].relation, "Person");
+            assert_eq!(t.lhs[0].arity(), 3);
+        }
+        let src = Instance::with_facts(
+            m.source().clone(),
+            vec![("Person", vec![tuple![1i64, "Alice", 30i64]])],
+        )
+        .unwrap();
+        let j = exchange(&m, &src).unwrap().target;
+        assert!(j.contains("Contact", &tuple!["Alice"]));
+        assert!(j.contains("Ages", &tuple![30i64]));
+    }
+
+    #[test]
+    fn merge_is_honestly_rejected() {
+        let m0 = parse_mapping(
+            r#"
+            source Cats(name);
+            source Dogs(name);
+            target Pets(name);
+            Cats(x) -> Pets(x);
+            Dogs(x) -> Pets(x);
+            "#,
+        )
+        .unwrap();
+        let err = propagate(
+            &Smo::MergeHorizontal {
+                left: Name::new("Cats"),
+                right: Name::new("Dogs"),
+                out: Name::new("Animals"),
+            },
+            &m0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EvolutionError::CannotPropagate { .. }));
+    }
+
+    #[test]
+    fn target_side_rename_and_columns() {
+        let m = propagate(
+            &Smo::RenameTable {
+                from: Name::new("Contact"),
+                to: Name::new("Card"),
+            },
+            &base_mapping(),
+        )
+        .unwrap();
+        assert_eq!(m.st_tgds()[0].rhs[0].relation, "Card");
+
+        let m2 = propagate(
+            &Smo::AddColumn {
+                table: Name::new("Contact"),
+                column: Name::new("phone"),
+                ty: AttrType::Any,
+                default: ColumnDefault::Null,
+            },
+            &base_mapping(),
+        )
+        .unwrap();
+        let tgd = &m2.st_tgds()[0];
+        assert_eq!(tgd.rhs[0].arity(), 2);
+        assert_eq!(tgd.existential_vars().len(), 1, "new column is existential");
+
+        let m3 = propagate(
+            &Smo::DropColumn {
+                table: Name::new("Contact"),
+                column: Name::new("name"),
+                restore_default: ColumnDefault::Null,
+            },
+            &base_mapping(),
+        )
+        .unwrap();
+        assert_eq!(m3.st_tgds()[0].rhs[0].arity(), 0);
+    }
+
+    #[test]
+    fn propagate_all_chains() {
+        let m = propagate_all(
+            &[
+                Smo::RenameTable {
+                    from: Name::new("Person"),
+                    to: Name::new("People"),
+                },
+                Smo::AddColumn {
+                    table: Name::new("People"),
+                    column: Name::new("city"),
+                    ty: AttrType::Any,
+                    default: ColumnDefault::Null,
+                },
+            ],
+            &base_mapping(),
+        )
+        .unwrap();
+        assert_eq!(m.st_tgds()[0].lhs[0].relation, "People");
+        assert_eq!(m.st_tgds()[0].lhs[0].arity(), 4);
+    }
+
+    #[test]
+    fn unknown_table_rejected() {
+        assert!(matches!(
+            propagate(&Smo::DropTable(Name::new("Nope")), &base_mapping()),
+            Err(EvolutionError::UnknownTable(_))
+        ));
+    }
+}

@@ -1,0 +1,79 @@
+//! Evolution failure modes.
+
+use dex_relational::{Name, RelationalError};
+use std::fmt;
+
+/// Errors applying schema-modification operators.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EvolutionError {
+    /// The operator references a table that does not exist.
+    UnknownTable(Name),
+    /// The operator references a column that does not exist.
+    UnknownColumn {
+        /// The table.
+        table: Name,
+        /// The missing column.
+        column: Name,
+    },
+    /// The operator would create a name collision.
+    NameCollision(Name),
+    /// Channel propagation cannot rewrite the mapping for this SMO.
+    CannotPropagate {
+        /// The operator display.
+        smo: String,
+        /// Why.
+        reason: String,
+    },
+    /// A row violates the predicate discipline of a split table.
+    SplitViolation {
+        /// The table.
+        table: Name,
+        /// The row.
+        row: String,
+    },
+    /// An underlying relational error.
+    Relational(RelationalError),
+}
+
+impl fmt::Display for EvolutionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvolutionError::UnknownTable(n) => write!(f, "unknown table `{n}`"),
+            EvolutionError::UnknownColumn { table, column } => {
+                write!(f, "table `{table}` has no column `{column}`")
+            }
+            EvolutionError::NameCollision(n) => {
+                write!(f, "name `{n}` already exists")
+            }
+            EvolutionError::CannotPropagate { smo, reason } => {
+                write!(f, "cannot propagate `{smo}` through the mapping: {reason}")
+            }
+            EvolutionError::SplitViolation { table, row } => {
+                write!(f, "row {row} violates the predicate of split table `{table}`")
+            }
+            EvolutionError::Relational(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvolutionError {}
+
+impl From<RelationalError> for EvolutionError {
+    fn from(e: RelationalError) -> Self {
+        EvolutionError::Relational(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = EvolutionError::UnknownColumn {
+            table: Name::new("T"),
+            column: Name::new("c"),
+        };
+        assert!(e.to_string().contains("no column"));
+    }
+}

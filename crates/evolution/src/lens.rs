@@ -1,0 +1,297 @@
+//! SMOs as symmetric lenses; evolutions as lens sequences.
+//!
+//! Paper §4: “composing mappings specified using lenses is as simple
+//! as concatenating them. So, if there is a mapping from S to T as
+//! [m₁, m₂, m₃], and one can express a schema evolution operation
+//! against S to S′ as a sequence of symmetric lenses [ℓ₁, ℓ₂], then
+//! one can construct a mapping from S′ to T as
+//! [ℓ₂⁻¹, ℓ₁⁻¹, m₁, m₂, m₃].”
+//!
+//! [`SmoLens`] makes one SMO a [`SymLens`]; [`EvolutionLens`] chains a
+//! sequence; `dex_lens::invert` / `compose_sym` (or the
+//! [`SymLens::inverted`]/[`SymLens::then_sym`] methods) implement the
+//! bracketed concatenation above.
+
+use crate::error::EvolutionError;
+use crate::smo::Smo;
+use dex_lens::SymLens;
+use dex_relational::{Instance, Schema};
+
+/// One SMO as a symmetric lens between instances of the old and the
+/// evolved schema. The complement holds the last state seen on each
+/// side, so one-sided data (dropped columns, dropped tables) survives
+/// round trips.
+#[derive(Clone, Debug)]
+pub struct SmoLens {
+    smo: Smo,
+    old_schema: Schema,
+    new_schema: Schema,
+}
+
+impl SmoLens {
+    /// Build, validating the SMO against `old_schema`.
+    pub fn new(smo: Smo, old_schema: Schema) -> Result<Self, EvolutionError> {
+        let new_schema = smo.apply_schema(&old_schema)?;
+        Ok(SmoLens {
+            smo,
+            old_schema,
+            new_schema,
+        })
+    }
+
+    /// The operator.
+    pub fn smo(&self) -> &Smo {
+        &self.smo
+    }
+
+    /// The pre-evolution schema.
+    pub fn old_schema(&self) -> &Schema {
+        &self.old_schema
+    }
+
+    /// The evolved schema.
+    pub fn new_schema(&self) -> &Schema {
+        &self.new_schema
+    }
+
+    /// Fallible forward migration.
+    pub fn try_forward(
+        &self,
+        src: &Instance,
+        prev_tgt: Option<&Instance>,
+    ) -> Result<Instance, EvolutionError> {
+        self.smo.forward(src, prev_tgt)
+    }
+
+    /// Fallible backward migration.
+    pub fn try_backward(
+        &self,
+        tgt: &Instance,
+        prev_src: Option<&Instance>,
+    ) -> Result<Instance, EvolutionError> {
+        self.smo.backward(tgt, &self.old_schema, prev_src)
+    }
+}
+
+impl SymLens for SmoLens {
+    type Left = Instance;
+    type Right = Instance;
+    type Compl = (Option<Instance>, Option<Instance>);
+
+    fn missing(&self) -> Self::Compl {
+        (None, None)
+    }
+
+    fn put_r(&self, x: &Instance, c: &Self::Compl) -> (Instance, Self::Compl) {
+        let y = self
+            .try_forward(x, c.1.as_ref())
+            .expect("SMO forward failed");
+        (y.clone(), (Some(x.clone()), Some(y)))
+    }
+
+    fn put_l(&self, y: &Instance, c: &Self::Compl) -> (Instance, Self::Compl) {
+        let x = self
+            .try_backward(y, c.0.as_ref())
+            .expect("SMO backward failed");
+        (x.clone(), (Some(x), Some(y.clone())))
+    }
+}
+
+/// A sequence of SMO lenses — an *evolution* — as a single symmetric
+/// lens.
+#[derive(Clone, Debug, Default)]
+pub struct EvolutionLens {
+    steps: Vec<SmoLens>,
+}
+
+impl EvolutionLens {
+    /// Build from a sequence of SMOs, chaining the schemas.
+    pub fn new(smos: Vec<Smo>, initial: Schema) -> Result<Self, EvolutionError> {
+        let mut steps = Vec::with_capacity(smos.len());
+        let mut schema = initial;
+        for smo in smos {
+            let step = SmoLens::new(smo, schema)?;
+            schema = step.new_schema().clone();
+            steps.push(step);
+        }
+        Ok(EvolutionLens { steps })
+    }
+
+    /// The individual steps.
+    pub fn steps(&self) -> &[SmoLens] {
+        &self.steps
+    }
+
+    /// The fully evolved schema.
+    pub fn final_schema(&self) -> Option<&Schema> {
+        self.steps.last().map(SmoLens::new_schema)
+    }
+}
+
+impl SymLens for EvolutionLens {
+    type Left = Instance;
+    type Right = Instance;
+    type Compl = Vec<(Option<Instance>, Option<Instance>)>;
+
+    fn missing(&self) -> Self::Compl {
+        vec![(None, None); self.steps.len()]
+    }
+
+    fn put_r(&self, x: &Instance, c: &Self::Compl) -> (Instance, Self::Compl) {
+        let mut state = x.clone();
+        let mut compl = Vec::with_capacity(self.steps.len());
+        for (step, sc) in self.steps.iter().zip(c.iter()) {
+            let (next, nc) = step.put_r(&state, sc);
+            state = next;
+            compl.push(nc);
+        }
+        (state, compl)
+    }
+
+    fn put_l(&self, y: &Instance, c: &Self::Compl) -> (Instance, Self::Compl) {
+        let mut state = y.clone();
+        let mut compl = vec![(None, None); self.steps.len()];
+        for (i, step) in self.steps.iter().enumerate().rev() {
+            let (prev, nc) = step.put_l(&state, &c[i]);
+            state = prev;
+            compl[i] = nc;
+        }
+        (state, compl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smo::ColumnDefault;
+    use dex_lens::laws;
+    use dex_lens::symmetric::invert;
+    use dex_relational::{tuple, AttrType, Expr, Name, RelSchema};
+
+    fn person_schema() -> Schema {
+        Schema::with_relations(vec![
+            RelSchema::untyped("Person", vec!["id", "name", "age"]).unwrap()
+        ])
+        .unwrap()
+    }
+
+    fn person_db() -> Instance {
+        Instance::with_facts(
+            person_schema(),
+            vec![(
+                "Person",
+                vec![tuple![1i64, "Alice", 30i64], tuple![2i64, "Bob", 40i64]],
+            )],
+        )
+        .unwrap()
+    }
+
+    fn rename_lens() -> SmoLens {
+        SmoLens::new(
+            Smo::RenameTable {
+                from: Name::new("Person"),
+                to: Name::new("People"),
+            },
+            person_schema(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn smolens_laws_for_lossless_smos() {
+        let l = rename_lens();
+        let fwd = l.try_forward(&person_db(), None).unwrap();
+        let report = laws::check_sym_well_behaved(
+            &l,
+            &[person_db()],
+            &[fwd],
+            &[l.missing()],
+        );
+        assert!(report.all_ok(), "{report}");
+    }
+
+    #[test]
+    fn smolens_round_trip_restores_dropped_column() {
+        let l = SmoLens::new(
+            Smo::DropColumn {
+                table: Name::new("Person"),
+                column: Name::new("age"),
+                restore_default: ColumnDefault::Null,
+            },
+            person_schema(),
+        )
+        .unwrap();
+        let (narrow, c1) = l.put_r(&person_db(), &l.missing());
+        assert_eq!(narrow.schema().relation("Person").unwrap().arity(), 2);
+        // Delete Bob on the evolved side; push back.
+        let mut edited = narrow.clone();
+        edited.remove("Person", &tuple![2i64, "Bob"]).unwrap();
+        let (back, _) = l.put_l(&edited, &c1);
+        assert_eq!(back.fact_count(), 1);
+        assert!(
+            back.contains("Person", &tuple![1i64, "Alice", 30i64]),
+            "age restored from the complement"
+        );
+    }
+
+    #[test]
+    fn evolution_sequence_chains_schemas() {
+        let evo = EvolutionLens::new(
+            vec![
+                Smo::RenameTable {
+                    from: Name::new("Person"),
+                    to: Name::new("People"),
+                },
+                Smo::AddColumn {
+                    table: Name::new("People"),
+                    column: Name::new("city"),
+                    ty: AttrType::Any,
+                    default: ColumnDefault::Const("unknown".into()),
+                },
+                Smo::SplitHorizontal {
+                    table: Name::new("People"),
+                    pred: Expr::attr("age").ge(Expr::lit(35i64)),
+                    true_table: Name::new("Seniors"),
+                    false_table: Name::new("Juniors"),
+                },
+            ],
+            person_schema(),
+        )
+        .unwrap();
+        let final_schema = evo.final_schema().unwrap();
+        assert!(final_schema.relation("Seniors").is_some());
+        assert!(final_schema.relation("Juniors").is_some());
+
+        let (evolved, c) = evo.put_r(&person_db(), &evo.missing());
+        assert!(evolved.contains("Seniors", &tuple![2i64, "Bob", 40i64, "unknown"]));
+        assert!(evolved.contains("Juniors", &tuple![1i64, "Alice", 30i64, "unknown"]));
+        // Round trip.
+        let (back, _) = evo.put_l(&evolved, &c);
+        assert_eq!(back, person_db());
+    }
+
+    #[test]
+    fn inverted_evolution_goes_the_other_way() {
+        let evo = EvolutionLens::new(
+            vec![Smo::RenameTable {
+                from: Name::new("Person"),
+                to: Name::new("People"),
+            }],
+            person_schema(),
+        )
+        .unwrap();
+        let inv = invert(evo.clone());
+        let (renamed, _) = evo.put_r(&person_db(), &evo.missing());
+        // The inverse pushes evolved → original.
+        let (orig, _) = inv.put_r(&renamed, &inv.missing());
+        assert_eq!(orig, person_db());
+    }
+
+    #[test]
+    fn empty_evolution_is_identity_ish() {
+        let evo = EvolutionLens::new(vec![], person_schema()).unwrap();
+        let (same, _) = evo.put_r(&person_db(), &evo.missing());
+        assert_eq!(same, person_db());
+        assert!(evo.final_schema().is_none());
+    }
+}

@@ -1,0 +1,30 @@
+//! # dex-evolution — schema evolution (paper Figure 2)
+//!
+//! “Consider a mapping M between schemas A and B, and assume that
+//! schema A evolves into a schema A′. … The relationship between the
+//! new schema A′ and schema B can be obtained by inverting mapping M′
+//! and then composing the result with mapping M.” (§2)
+//!
+//! The paper's §4 offers **two** lens-flavoured solutions and this
+//! crate implements both:
+//!
+//! 1. **Invert-and-compose** (“composing mappings specified using
+//!    lenses is as simple as concatenating them … one can construct a
+//!    mapping from S′ to T as [ℓ₂⁻¹, ℓ₁⁻¹, m₁, m₂, m₃]”): every schema
+//!    modification operator ([`Smo`]) is a symmetric lens
+//!    ([`SmoLens`]), sequences concatenate ([`EvolutionLens`]), and
+//!    inversion is free — prepend the inverted evolution to any
+//!    mapping lens.
+//! 2. **Channel-style propagation** (the paper's [24]): push the SMOs
+//!    *through* the st-tgd mapping, producing a rewritten mapping over
+//!    the evolved schema ([`propagate`], [`propagate_all`]).
+
+pub mod channel;
+pub mod error;
+pub mod lens;
+pub mod smo;
+
+pub use channel::{propagate, propagate_all};
+pub use error::EvolutionError;
+pub use lens::{EvolutionLens, SmoLens};
+pub use smo::{ColumnDefault, Smo};

@@ -1,0 +1,1030 @@
+//! Schema-modification operators (SMOs).
+//!
+//! The channel-style primitives of the paper's [24] (“Updatable and
+//! Evolvable Transforms for Virtual Databases”): each operator evolves
+//! a schema and carries *bidirectional* instance semantics —
+//! [`Smo::forward`] migrates data onto the evolved schema,
+//! [`Smo::backward`] migrates it back, and both consult the previous
+//! opposite-side state so that data private to one side survives round
+//! trips (the lens discipline).
+
+use crate::error::EvolutionError;
+use dex_relational::algebra;
+use dex_relational::{
+    AttrType, Constant, Expr, Instance, Name, NullGen, RelSchema, Schema, Tuple, Value,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Default for a newly added column.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ColumnDefault {
+    /// A fresh labeled null per row.
+    Null,
+    /// A constant.
+    Const(Constant),
+}
+
+impl fmt::Display for ColumnDefault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnDefault::Null => write!(f, "null"),
+            ColumnDefault::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A schema-modification operator.
+///
+/// ```
+/// use dex_evolution::{ColumnDefault, Smo};
+/// use dex_relational::{tuple, Instance, Name, RelSchema, Schema};
+///
+/// let schema = Schema::with_relations(vec![
+///     RelSchema::untyped("Person", vec!["id", "name"]).unwrap(),
+/// ]).unwrap();
+/// let smo = Smo::RenameTable {
+///     from: Name::new("Person"),
+///     to: Name::new("People"),
+/// };
+/// let db = Instance::with_facts(schema.clone(), vec![
+///     ("Person", vec![tuple![1i64, "Alice"]]),
+/// ]).unwrap();
+/// let evolved = smo.forward(&db, None).unwrap();
+/// assert!(evolved.contains("People", &tuple![1i64, "Alice"]));
+/// let back = smo.backward(&evolved, &schema, None).unwrap();
+/// assert_eq!(back, db);
+/// ```
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum Smo {
+    /// Add a new, empty table.
+    CreateTable(RelSchema),
+    /// Remove a table (its data is recoverable only from memory).
+    DropTable(Name),
+    /// Rename a table.
+    RenameTable {
+        /// Old name.
+        from: Name,
+        /// New name.
+        to: Name,
+    },
+    /// Add a column with a default.
+    AddColumn {
+        /// The table.
+        table: Name,
+        /// The new column's name.
+        column: Name,
+        /// The new column's type.
+        ty: AttrType,
+        /// Fill for pre-existing rows.
+        default: ColumnDefault,
+    },
+    /// Drop a column.
+    DropColumn {
+        /// The table.
+        table: Name,
+        /// The column to drop.
+        column: Name,
+        /// Fill when rows travel back to the old schema.
+        restore_default: ColumnDefault,
+    },
+    /// Rename a column.
+    RenameColumn {
+        /// The table.
+        table: Name,
+        /// Old column name.
+        from: Name,
+        /// New column name.
+        to: Name,
+    },
+    /// Split a table horizontally by a predicate.
+    SplitHorizontal {
+        /// The table to split.
+        table: Name,
+        /// The discriminating predicate.
+        pred: Expr,
+        /// Receives the rows satisfying the predicate.
+        true_table: Name,
+        /// Receives the rest.
+        false_table: Name,
+    },
+    /// Merge two same-header tables into one (inverse of split, but
+    /// provenance is lost — backward routes unseen rows to `left`).
+    MergeHorizontal {
+        /// Left input.
+        left: Name,
+        /// Right input.
+        right: Name,
+        /// The merged table.
+        out: Name,
+    },
+    /// Split a table vertically into two overlapping projections
+    /// (shared columns act as the join key).
+    PartitionVertical {
+        /// The table to partition.
+        table: Name,
+        /// `(new name, columns)` of the first part.
+        left: (Name, Vec<Name>),
+        /// `(new name, columns)` of the second part.
+        right: (Name, Vec<Name>),
+    },
+    /// Natural-join two tables into one (inverse of partition).
+    JoinVertical {
+        /// Left input.
+        left: Name,
+        /// Right input.
+        right: Name,
+        /// The joined table.
+        out: Name,
+    },
+}
+
+impl fmt::Display for Smo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Smo::CreateTable(s) => write!(f, "CREATE TABLE {s}"),
+            Smo::DropTable(n) => write!(f, "DROP TABLE {n}"),
+            Smo::RenameTable { from, to } => write!(f, "RENAME TABLE {from} TO {to}"),
+            Smo::AddColumn {
+                table,
+                column,
+                default,
+                ..
+            } => write!(f, "ADD COLUMN {table}.{column} DEFAULT {default}"),
+            Smo::DropColumn { table, column, .. } => {
+                write!(f, "DROP COLUMN {table}.{column}")
+            }
+            Smo::RenameColumn { table, from, to } => {
+                write!(f, "RENAME COLUMN {table}.{from} TO {to}")
+            }
+            Smo::SplitHorizontal {
+                table,
+                pred,
+                true_table,
+                false_table,
+            } => write!(
+                f,
+                "SPLIT {table} ON {pred} INTO {true_table} / {false_table}"
+            ),
+            Smo::MergeHorizontal { left, right, out } => {
+                write!(f, "MERGE {left}, {right} INTO {out}")
+            }
+            Smo::PartitionVertical { table, left, right } => write!(
+                f,
+                "PARTITION {table} INTO {}({}) / {}({})",
+                left.0,
+                join_names(&left.1),
+                right.0,
+                join_names(&right.1)
+            ),
+            Smo::JoinVertical { left, right, out } => {
+                write!(f, "JOIN {left}, {right} INTO {out}")
+            }
+        }
+    }
+}
+
+fn join_names(ns: &[Name]) -> String {
+    ns.iter().map(Name::as_str).collect::<Vec<_>>().join(", ")
+}
+
+impl Smo {
+    /// Evolve a schema.
+    pub fn apply_schema(&self, schema: &Schema) -> Result<Schema, EvolutionError> {
+        let mut out = schema.clone();
+        match self {
+            Smo::CreateTable(s) => {
+                if out.relation(s.name().as_str()).is_some() {
+                    return Err(EvolutionError::NameCollision(s.name().clone()));
+                }
+                out.add_relation(s.clone())?;
+            }
+            Smo::DropTable(n) => {
+                out.remove_relation(n.as_str())
+                    .ok_or_else(|| EvolutionError::UnknownTable(n.clone()))?;
+            }
+            Smo::RenameTable { from, to } => {
+                let rel = out
+                    .remove_relation(from.as_str())
+                    .ok_or_else(|| EvolutionError::UnknownTable(from.clone()))?;
+                if out.relation(to.as_str()).is_some() {
+                    return Err(EvolutionError::NameCollision(to.clone()));
+                }
+                out.add_relation(rel.renamed(to.clone()))?;
+            }
+            Smo::AddColumn {
+                table, column, ty, ..
+            } => {
+                let rel = out
+                    .remove_relation(table.as_str())
+                    .ok_or_else(|| EvolutionError::UnknownTable(table.clone()))?;
+                let mut attrs = rel.attrs().to_vec();
+                if attrs.iter().any(|(a, _)| a == column) {
+                    return Err(EvolutionError::NameCollision(column.clone()));
+                }
+                attrs.push((column.clone(), *ty));
+                let mut new_rel = RelSchema::new(rel.name().clone(), attrs)?;
+                *new_rel.fds_mut() = rel.fds().clone();
+                out.add_relation(new_rel)?;
+            }
+            Smo::DropColumn { table, column, .. } => {
+                let rel = out
+                    .remove_relation(table.as_str())
+                    .ok_or_else(|| EvolutionError::UnknownTable(table.clone()))?;
+                if rel.position(column.as_str()).is_none() {
+                    return Err(EvolutionError::UnknownColumn {
+                        table: table.clone(),
+                        column: column.clone(),
+                    });
+                }
+                let attrs: Vec<(Name, AttrType)> = rel
+                    .attrs()
+                    .iter()
+                    .filter(|(a, _)| a != column)
+                    .cloned()
+                    .collect();
+                let kept: std::collections::BTreeSet<Name> =
+                    attrs.iter().map(|(a, _)| a.clone()).collect();
+                let mut new_rel = RelSchema::new(rel.name().clone(), attrs)?;
+                *new_rel.fds_mut() = rel.fds().restrict_to(&kept);
+                out.add_relation(new_rel)?;
+            }
+            Smo::RenameColumn { table, from, to } => {
+                let rel = out
+                    .remove_relation(table.as_str())
+                    .ok_or_else(|| EvolutionError::UnknownTable(table.clone()))?;
+                if rel.position(from.as_str()).is_none() {
+                    return Err(EvolutionError::UnknownColumn {
+                        table: table.clone(),
+                        column: from.clone(),
+                    });
+                }
+                if rel.position(to.as_str()).is_some() {
+                    return Err(EvolutionError::NameCollision(to.clone()));
+                }
+                let mut renaming = BTreeMap::new();
+                renaming.insert(from.clone(), to.clone());
+                let attrs: Vec<(Name, AttrType)> = rel
+                    .attrs()
+                    .iter()
+                    .map(|(a, t)| {
+                        (
+                            renaming.get(a).cloned().unwrap_or_else(|| a.clone()),
+                            *t,
+                        )
+                    })
+                    .collect();
+                let mut new_rel = RelSchema::new(rel.name().clone(), attrs)?;
+                *new_rel.fds_mut() = rel.fds().rename(&renaming);
+                out.add_relation(new_rel)?;
+            }
+            Smo::SplitHorizontal {
+                table,
+                pred,
+                true_table,
+                false_table,
+            } => {
+                let rel = out
+                    .remove_relation(table.as_str())
+                    .ok_or_else(|| EvolutionError::UnknownTable(table.clone()))?;
+                for a in pred.referenced_attrs() {
+                    if rel.position(a.as_str()).is_none() {
+                        return Err(EvolutionError::UnknownColumn {
+                            table: table.clone(),
+                            column: a,
+                        });
+                    }
+                }
+                for n in [true_table, false_table] {
+                    if out.relation(n.as_str()).is_some() {
+                        return Err(EvolutionError::NameCollision(n.clone()));
+                    }
+                }
+                out.add_relation(rel.clone().renamed(true_table.clone()))?;
+                out.add_relation(rel.renamed(false_table.clone()))?;
+            }
+            Smo::MergeHorizontal { left, right, out: o } => {
+                let l = out
+                    .remove_relation(left.as_str())
+                    .ok_or_else(|| EvolutionError::UnknownTable(left.clone()))?;
+                let r = out
+                    .remove_relation(right.as_str())
+                    .ok_or_else(|| EvolutionError::UnknownTable(right.clone()))?;
+                let la: Vec<&Name> = l.attr_names().collect();
+                let ra: Vec<&Name> = r.attr_names().collect();
+                if la != ra {
+                    return Err(EvolutionError::Relational(
+                        dex_relational::RelationalError::SchemaMismatch {
+                            context: format!("merge headers differ: {l} vs {r}"),
+                        },
+                    ));
+                }
+                if out.relation(o.as_str()).is_some() {
+                    return Err(EvolutionError::NameCollision(o.clone()));
+                }
+                out.add_relation(l.renamed(o.clone()))?;
+            }
+            Smo::PartitionVertical { table, left, right } => {
+                let rel = out
+                    .remove_relation(table.as_str())
+                    .ok_or_else(|| EvolutionError::UnknownTable(table.clone()))?;
+                for (name, cols) in [left, right] {
+                    if out.relation(name.as_str()).is_some() {
+                        return Err(EvolutionError::NameCollision(name.clone()));
+                    }
+                    let attrs: Vec<(Name, AttrType)> = cols
+                        .iter()
+                        .map(|c| {
+                            rel.position(c.as_str())
+                                .map(|i| rel.attrs()[i].clone())
+                                .ok_or_else(|| EvolutionError::UnknownColumn {
+                                    table: table.clone(),
+                                    column: c.clone(),
+                                })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    let kept: std::collections::BTreeSet<Name> =
+                        attrs.iter().map(|(a, _)| a.clone()).collect();
+                    let mut part = RelSchema::new(name.clone(), attrs)?;
+                    *part.fds_mut() = rel.fds().restrict_to(&kept);
+                    out.add_relation(part)?;
+                }
+            }
+            Smo::JoinVertical { left, right, out: o } => {
+                let l = out
+                    .remove_relation(left.as_str())
+                    .ok_or_else(|| EvolutionError::UnknownTable(left.clone()))?;
+                let r = out
+                    .remove_relation(right.as_str())
+                    .ok_or_else(|| EvolutionError::UnknownTable(right.clone()))?;
+                if out.relation(o.as_str()).is_some() {
+                    return Err(EvolutionError::NameCollision(o.clone()));
+                }
+                let mut attrs = l.attrs().to_vec();
+                for (a, t) in r.attrs() {
+                    if l.position(a.as_str()).is_none() {
+                        attrs.push((a.clone(), *t));
+                    }
+                }
+                let mut joined = RelSchema::new(o.clone(), attrs)?;
+                let mut fds = l.fds().clone();
+                for fd in r.fds().iter() {
+                    fds.insert(fd.clone());
+                }
+                *joined.fds_mut() = fds;
+                out.add_relation(joined)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Migrate an instance onto the evolved schema. `prev_tgt` (the
+    /// last state on the evolved side, if any) lets one-sided data
+    /// survive: a created table keeps its contents, an added column
+    /// keeps manually entered values.
+    pub fn forward(
+        &self,
+        src: &Instance,
+        prev_tgt: Option<&Instance>,
+    ) -> Result<Instance, EvolutionError> {
+        let new_schema = self.apply_schema(src.schema())?;
+        let mut out = Instance::empty(new_schema.clone());
+        let mut gen = fresh_gen(src, prev_tgt);
+        match self {
+            Smo::CreateTable(s) => {
+                copy_all(src, &mut out)?;
+                if let Some(prev) = prev_tgt {
+                    if let Some(rel) = prev.relation(s.name().as_str()) {
+                        for t in rel.iter() {
+                            out.insert(s.name().as_str(), t.clone())?;
+                        }
+                    }
+                }
+            }
+            Smo::DropTable(n) => {
+                copy_except(src, &mut out, &[n])?;
+            }
+            Smo::RenameTable { from, to } => {
+                copy_except(src, &mut out, &[from])?;
+                let rel = src.expect_relation(from.as_str())?;
+                for t in rel.iter() {
+                    out.insert(to.as_str(), t.clone())?;
+                }
+            }
+            Smo::AddColumn {
+                table,
+                column,
+                default,
+                ..
+            } => {
+                copy_except(src, &mut out, &[table])?;
+                let rel = src.expect_relation(table.as_str())?;
+                // Restore manually entered values from the previous
+                // evolved state, matching rows on the old columns.
+                let mut index: BTreeMap<Tuple, Vec<Tuple>> = BTreeMap::new();
+                if let Some(prev) = prev_tgt {
+                    if let Some(prel) = prev.relation(table.as_str()) {
+                        let col_pos = prel.schema().position(column.as_str());
+                        if let Some(cp) = col_pos {
+                            let old_positions: Vec<usize> = (0..prel.schema().arity())
+                                .filter(|i| *i != cp)
+                                .collect();
+                            for t in prel.iter() {
+                                index
+                                    .entry(t.project(&old_positions))
+                                    .or_default()
+                                    .push(t.clone());
+                            }
+                        }
+                    }
+                }
+                for t in rel.iter() {
+                    match index.get(t) {
+                        Some(matches) => {
+                            for m in matches {
+                                out.insert(table.as_str(), m.clone())?;
+                            }
+                        }
+                        None => {
+                            let fill = match default {
+                                ColumnDefault::Null => gen.fresh(),
+                                ColumnDefault::Const(c) => Value::Const(c.clone()),
+                            };
+                            let mut vals = t.values().to_vec();
+                            vals.push(fill);
+                            out.insert(table.as_str(), Tuple::new(vals))?;
+                        }
+                    }
+                }
+            }
+            Smo::DropColumn { table, column, .. } => {
+                copy_except(src, &mut out, &[table])?;
+                let rel = src.expect_relation(table.as_str())?;
+                let keep: Vec<usize> = (0..rel.schema().arity())
+                    .filter(|i| rel.schema().attrs()[*i].0 != *column)
+                    .collect();
+                for t in rel.iter() {
+                    out.insert(table.as_str(), t.project(&keep))?;
+                }
+            }
+            Smo::RenameColumn { table, .. } => {
+                copy_except(src, &mut out, &[table])?;
+                let rel = src.expect_relation(table.as_str())?;
+                for t in rel.iter() {
+                    out.insert(table.as_str(), t.clone())?;
+                }
+            }
+            Smo::SplitHorizontal {
+                table,
+                pred,
+                true_table,
+                false_table,
+            } => {
+                copy_except(src, &mut out, &[table])?;
+                let rel = src.expect_relation(table.as_str())?;
+                for t in rel.iter() {
+                    let dest = if pred.eval_bool(rel.schema(), t)? {
+                        true_table
+                    } else {
+                        false_table
+                    };
+                    out.insert(dest.as_str(), t.clone())?;
+                }
+            }
+            Smo::MergeHorizontal { left, right, out: o } => {
+                copy_except(src, &mut out, &[left, right])?;
+                for n in [left, right] {
+                    let rel = src.expect_relation(n.as_str())?;
+                    for t in rel.iter() {
+                        out.insert(o.as_str(), t.clone())?;
+                    }
+                }
+            }
+            Smo::PartitionVertical { table, left, right } => {
+                copy_except(src, &mut out, &[table])?;
+                let rel = src.expect_relation(table.as_str())?;
+                for (name, cols) in [left, right] {
+                    let positions: Vec<usize> = cols
+                        .iter()
+                        .map(|c| rel.schema().position(c.as_str()).expect("validated"))
+                        .collect();
+                    for t in rel.iter() {
+                        out.insert(name.as_str(), t.project(&positions))?;
+                    }
+                }
+            }
+            Smo::JoinVertical { left, right, out: o } => {
+                copy_except(src, &mut out, &[left, right])?;
+                let l = src.expect_relation(left.as_str())?;
+                let r = src.expect_relation(right.as_str())?;
+                let joined = algebra::natural_join(l, r, o.as_str())?;
+                for t in joined.iter() {
+                    out.insert(o.as_str(), t.clone())?;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Migrate an evolved-schema instance back to the old schema.
+    /// `old_schema` is the pre-evolution schema; `prev_src` (the last
+    /// old-side state) lets dropped data be restored.
+    pub fn backward(
+        &self,
+        tgt: &Instance,
+        old_schema: &Schema,
+        prev_src: Option<&Instance>,
+    ) -> Result<Instance, EvolutionError> {
+        let mut out = Instance::empty(old_schema.clone());
+        let mut gen = fresh_gen(tgt, prev_src);
+        match self {
+            Smo::CreateTable(s) => {
+                copy_except(tgt, &mut out, &[s.name()])?;
+            }
+            Smo::DropTable(n) => {
+                copy_all(tgt, &mut out)?;
+                if let Some(prev) = prev_src {
+                    if let Some(rel) = prev.relation(n.as_str()) {
+                        for t in rel.iter() {
+                            out.insert(n.as_str(), t.clone())?;
+                        }
+                    }
+                }
+            }
+            Smo::RenameTable { from, to } => {
+                copy_except(tgt, &mut out, &[to])?;
+                let rel = tgt.expect_relation(to.as_str())?;
+                for t in rel.iter() {
+                    out.insert(from.as_str(), t.clone())?;
+                }
+            }
+            Smo::AddColumn { table, .. } => {
+                copy_except(tgt, &mut out, &[table])?;
+                let rel = tgt.expect_relation(table.as_str())?;
+                // The added column is last (apply_schema pushes it).
+                let keep: Vec<usize> = (0..rel.schema().arity() - 1).collect();
+                for t in rel.iter() {
+                    out.insert(table.as_str(), t.project(&keep))?;
+                }
+            }
+            Smo::DropColumn {
+                table,
+                column,
+                restore_default,
+            } => {
+                copy_except(tgt, &mut out, &[table])?;
+                let rel = tgt.expect_relation(table.as_str())?;
+                let old_rel = old_schema.expect_relation(table.as_str())?;
+                let col_pos = old_rel.position(column.as_str()).ok_or_else(|| {
+                    EvolutionError::UnknownColumn {
+                        table: table.clone(),
+                        column: column.clone(),
+                    }
+                })?;
+                // Restore dropped values from the previous old state.
+                let old_keep: Vec<usize> =
+                    (0..old_rel.arity()).filter(|i| *i != col_pos).collect();
+                let mut index: BTreeMap<Tuple, Vec<Tuple>> = BTreeMap::new();
+                if let Some(prev) = prev_src {
+                    if let Some(prel) = prev.relation(table.as_str()) {
+                        for t in prel.iter() {
+                            index
+                                .entry(t.project(&old_keep))
+                                .or_default()
+                                .push(t.clone());
+                        }
+                    }
+                }
+                for t in rel.iter() {
+                    match index.get(t) {
+                        Some(matches) => {
+                            for m in matches {
+                                out.insert(table.as_str(), m.clone())?;
+                            }
+                        }
+                        None => {
+                            let fill = match restore_default {
+                                ColumnDefault::Null => gen.fresh(),
+                                ColumnDefault::Const(c) => Value::Const(c.clone()),
+                            };
+                            let mut vals = t.values().to_vec();
+                            vals.insert(col_pos, fill);
+                            out.insert(table.as_str(), Tuple::new(vals))?;
+                        }
+                    }
+                }
+            }
+            Smo::RenameColumn { table, .. } => {
+                copy_except(tgt, &mut out, &[table])?;
+                let rel = tgt.expect_relation(table.as_str())?;
+                for t in rel.iter() {
+                    out.insert(table.as_str(), t.clone())?;
+                }
+            }
+            Smo::SplitHorizontal {
+                table,
+                pred,
+                true_table,
+                false_table,
+            } => {
+                copy_except(tgt, &mut out, &[true_table, false_table])?;
+                let tt = tgt.expect_relation(true_table.as_str())?;
+                let ft = tgt.expect_relation(false_table.as_str())?;
+                for (rel, must_hold) in [(tt, true), (ft, false)] {
+                    for t in rel.iter() {
+                        if pred.eval_bool(rel.schema(), t)? != must_hold {
+                            return Err(EvolutionError::SplitViolation {
+                                table: rel.name().clone(),
+                                row: t.to_string(),
+                            });
+                        }
+                        out.insert(table.as_str(), t.clone())?;
+                    }
+                }
+            }
+            Smo::MergeHorizontal { left, right, out: o } => {
+                copy_except(tgt, &mut out, &[o])?;
+                let merged = tgt.expect_relation(o.as_str())?;
+                let in_prev = |side: &Name, t: &Tuple| {
+                    prev_src
+                        .and_then(|p| p.relation(side.as_str()))
+                        .is_some_and(|r| r.contains(t))
+                };
+                for t in merged.iter() {
+                    let was_left = in_prev(left, t);
+                    let was_right = in_prev(right, t);
+                    if was_left || !was_right {
+                        // provenance says left, or brand new → left
+                        out.insert(left.as_str(), t.clone())?;
+                    }
+                    if was_right {
+                        out.insert(right.as_str(), t.clone())?;
+                    }
+                }
+            }
+            Smo::PartitionVertical { table, left, right } => {
+                copy_except(tgt, &mut out, &[&left.0, &right.0])?;
+                let l = tgt.expect_relation(left.0.as_str())?;
+                let r = tgt.expect_relation(right.0.as_str())?;
+                let joined = algebra::natural_join(l, r, table.as_str())?;
+                // Reorder columns to the old schema's order.
+                let old_rel = old_schema.expect_relation(table.as_str())?;
+                let positions: Vec<usize> = old_rel
+                    .attr_names()
+                    .map(|a| {
+                        joined
+                            .schema()
+                            .position(a.as_str())
+                            .expect("partition covers all columns")
+                    })
+                    .collect();
+                for t in joined.iter() {
+                    out.insert(table.as_str(), t.project(&positions))?;
+                }
+            }
+            Smo::JoinVertical { left, right, out: o } => {
+                copy_except(tgt, &mut out, &[o])?;
+                let joined = tgt.expect_relation(o.as_str())?;
+                for side in [left, right] {
+                    let old_rel = old_schema.expect_relation(side.as_str())?;
+                    let positions: Vec<usize> = old_rel
+                        .attr_names()
+                        .map(|a| {
+                            joined.schema().position(a.as_str()).ok_or_else(|| {
+                                EvolutionError::UnknownColumn {
+                                    table: o.clone(),
+                                    column: a.clone(),
+                                }
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    for t in joined.iter() {
+                        out.insert(side.as_str(), t.project(&positions))?;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn fresh_gen(a: &Instance, b: Option<&Instance>) -> NullGen {
+    let mut max = 0u64;
+    let mut track = |i: &Instance| {
+        if let Some(n) = i.nulls().iter().next_back() {
+            max = max.max(n.0 + 1);
+        }
+    };
+    track(a);
+    if let Some(b) = b {
+        track(b);
+    }
+    NullGen::starting_at(max)
+}
+
+fn copy_all(src: &Instance, out: &mut Instance) -> Result<(), EvolutionError> {
+    for (n, t) in src.facts() {
+        out.insert(n.as_str(), t.clone())?;
+    }
+    Ok(())
+}
+
+fn copy_except(
+    src: &Instance,
+    out: &mut Instance,
+    skip: &[&Name],
+) -> Result<(), EvolutionError> {
+    for (n, t) in src.facts() {
+        if skip.contains(&n) {
+            continue;
+        }
+        out.insert(n.as_str(), t.clone())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_relational::tuple;
+
+    fn person_schema() -> Schema {
+        Schema::with_relations(vec![
+            RelSchema::untyped("Person", vec!["id", "name", "age"]).unwrap()
+        ])
+        .unwrap()
+    }
+
+    fn person_db() -> Instance {
+        Instance::with_facts(
+            person_schema(),
+            vec![(
+                "Person",
+                vec![tuple![1i64, "Alice", 30i64], tuple![2i64, "Bob", 40i64]],
+            )],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn create_and_drop_table() {
+        let smo = Smo::CreateTable(RelSchema::untyped("Log", vec!["msg"]).unwrap());
+        let s2 = smo.apply_schema(&person_schema()).unwrap();
+        assert!(s2.relation("Log").is_some());
+        let fwd = smo.forward(&person_db(), None).unwrap();
+        assert!(fwd.relation("Log").unwrap().is_empty());
+        assert_eq!(fwd.relation("Person").unwrap().len(), 2);
+        // Data entered in the new table survives a later forward.
+        let mut evolved = fwd.clone();
+        evolved.insert("Log", tuple!["hello"]).unwrap();
+        let fwd2 = smo.forward(&person_db(), Some(&evolved)).unwrap();
+        assert!(fwd2.contains("Log", &tuple!["hello"]));
+        // Backward just drops the new table.
+        let back = smo.backward(&evolved, &person_schema(), None).unwrap();
+        assert_eq!(back.schema(), &person_schema());
+        assert_eq!(back.fact_count(), 2);
+
+        // Drop: forward loses, backward restores from memory.
+        let drop = Smo::DropTable(Name::new("Person"));
+        let dropped = drop.forward(&person_db(), None).unwrap();
+        assert!(dropped.relation("Person").is_none());
+        let restored = drop
+            .backward(&dropped, &person_schema(), Some(&person_db()))
+            .unwrap();
+        assert_eq!(restored, person_db());
+    }
+
+    #[test]
+    fn rename_table_round_trip() {
+        let smo = Smo::RenameTable {
+            from: Name::new("Person"),
+            to: Name::new("People"),
+        };
+        let fwd = smo.forward(&person_db(), None).unwrap();
+        assert!(fwd.contains("People", &tuple![1i64, "Alice", 30i64]));
+        let back = smo.backward(&fwd, &person_schema(), None).unwrap();
+        assert_eq!(back, person_db());
+    }
+
+    #[test]
+    fn add_column_with_defaults_and_memory() {
+        let smo = Smo::AddColumn {
+            table: Name::new("Person"),
+            column: Name::new("city"),
+            ty: AttrType::Any,
+            default: ColumnDefault::Const("unknown".into()),
+        };
+        let fwd = smo.forward(&person_db(), None).unwrap();
+        assert!(fwd.contains("Person", &tuple![1i64, "Alice", 30i64, "unknown"]));
+        // A user fills in the city; a later forward keeps it.
+        let mut edited = fwd.clone();
+        edited
+            .remove("Person", &tuple![1i64, "Alice", 30i64, "unknown"])
+            .unwrap();
+        edited
+            .insert("Person", tuple![1i64, "Alice", 30i64, "Sydney"])
+            .unwrap();
+        let fwd2 = smo.forward(&person_db(), Some(&edited)).unwrap();
+        assert!(fwd2.contains("Person", &tuple![1i64, "Alice", 30i64, "Sydney"]));
+        // Backward projects the column away.
+        let back = smo.backward(&edited, &person_schema(), None).unwrap();
+        assert_eq!(back, person_db());
+    }
+
+    #[test]
+    fn add_column_null_default_mints_fresh_nulls() {
+        let smo = Smo::AddColumn {
+            table: Name::new("Person"),
+            column: Name::new("city"),
+            ty: AttrType::Any,
+            default: ColumnDefault::Null,
+        };
+        let fwd = smo.forward(&person_db(), None).unwrap();
+        let nulls = fwd.nulls();
+        assert_eq!(nulls.len(), 2, "one fresh null per row");
+    }
+
+    #[test]
+    fn drop_column_restores_from_memory() {
+        let smo = Smo::DropColumn {
+            table: Name::new("Person"),
+            column: Name::new("age"),
+            restore_default: ColumnDefault::Null,
+        };
+        let s2 = smo.apply_schema(&person_schema()).unwrap();
+        assert_eq!(s2.relation("Person").unwrap().arity(), 2);
+        let fwd = smo.forward(&person_db(), None).unwrap();
+        assert!(fwd.contains("Person", &tuple![1i64, "Alice"]));
+        // Backward with memory: ages restored exactly.
+        let back = smo
+            .backward(&fwd, &person_schema(), Some(&person_db()))
+            .unwrap();
+        assert_eq!(back, person_db());
+        // Backward without memory: nulls.
+        let cold = smo.backward(&fwd, &person_schema(), None).unwrap();
+        assert_eq!(cold.fact_count(), 2);
+        assert!(!cold.is_ground());
+        // New rows on the evolved side get the restore default.
+        let mut evolved = fwd.clone();
+        evolved.insert("Person", tuple![3i64, "Carol"]).unwrap();
+        let back2 = smo
+            .backward(&evolved, &person_schema(), Some(&person_db()))
+            .unwrap();
+        let carol = back2
+            .relation("Person")
+            .unwrap()
+            .iter()
+            .find(|t| t[0] == Value::int(3))
+            .unwrap()
+            .clone();
+        assert!(carol[2].is_null());
+    }
+
+    #[test]
+    fn rename_column_round_trip() {
+        let smo = Smo::RenameColumn {
+            table: Name::new("Person"),
+            from: Name::new("age"),
+            to: Name::new("years"),
+        };
+        let s2 = smo.apply_schema(&person_schema()).unwrap();
+        assert!(s2.relation("Person").unwrap().position("years").is_some());
+        let fwd = smo.forward(&person_db(), None).unwrap();
+        let back = smo.backward(&fwd, &person_schema(), None).unwrap();
+        assert_eq!(back, person_db());
+    }
+
+    #[test]
+    fn split_and_unsplit() {
+        let smo = Smo::SplitHorizontal {
+            table: Name::new("Person"),
+            pred: Expr::attr("age").ge(Expr::lit(35i64)),
+            true_table: Name::new("Senior"),
+            false_table: Name::new("Junior"),
+        };
+        let fwd = smo.forward(&person_db(), None).unwrap();
+        assert!(fwd.contains("Senior", &tuple![2i64, "Bob", 40i64]));
+        assert!(fwd.contains("Junior", &tuple![1i64, "Alice", 30i64]));
+        let back = smo.backward(&fwd, &person_schema(), None).unwrap();
+        assert_eq!(back, person_db());
+        // A row in the wrong half is a split violation.
+        let mut bad = fwd.clone();
+        bad.insert("Senior", tuple![3i64, "Kid", 10i64]).unwrap();
+        assert!(matches!(
+            smo.backward(&bad, &person_schema(), None),
+            Err(EvolutionError::SplitViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_uses_provenance() {
+        let schema = Schema::with_relations(vec![
+            RelSchema::untyped("Cats", vec!["name"]).unwrap(),
+            RelSchema::untyped("Dogs", vec!["name"]).unwrap(),
+        ])
+        .unwrap();
+        let db = Instance::with_facts(
+            schema.clone(),
+            vec![
+                ("Cats", vec![tuple!["felix"]]),
+                ("Dogs", vec![tuple!["rex"]]),
+            ],
+        )
+        .unwrap();
+        let smo = Smo::MergeHorizontal {
+            left: Name::new("Cats"),
+            right: Name::new("Dogs"),
+            out: Name::new("Pets"),
+        };
+        let fwd = smo.forward(&db, None).unwrap();
+        assert_eq!(fwd.relation("Pets").unwrap().len(), 2);
+        // Add a new pet; backward routes it to the left (Cats) by the
+        // fixed policy, while provenance routes the others.
+        let mut edited = fwd.clone();
+        edited.insert("Pets", tuple!["hamster"]).unwrap();
+        let back = smo.backward(&edited, &schema, Some(&db)).unwrap();
+        assert!(back.contains("Cats", &tuple!["felix"]));
+        assert!(back.contains("Dogs", &tuple!["rex"]));
+        assert!(back.contains("Cats", &tuple!["hamster"]));
+        assert!(!back.contains("Dogs", &tuple!["hamster"]));
+    }
+
+    #[test]
+    fn vertical_partition_and_rejoin() {
+        let smo = Smo::PartitionVertical {
+            table: Name::new("Person"),
+            left: (Name::new("PersonName"), vec![Name::new("id"), Name::new("name")]),
+            right: (Name::new("PersonAge"), vec![Name::new("id"), Name::new("age")]),
+        };
+        let fwd = smo.forward(&person_db(), None).unwrap();
+        assert!(fwd.contains("PersonName", &tuple![1i64, "Alice"]));
+        assert!(fwd.contains("PersonAge", &tuple![1i64, 30i64]));
+        let back = smo.backward(&fwd, &person_schema(), None).unwrap();
+        assert_eq!(back, person_db());
+    }
+
+    #[test]
+    fn join_vertical_and_back() {
+        let schema = Schema::with_relations(vec![
+            RelSchema::untyped("PN", vec!["id", "name"]).unwrap(),
+            RelSchema::untyped("PA", vec!["id", "age"]).unwrap(),
+        ])
+        .unwrap();
+        let db = Instance::with_facts(
+            schema.clone(),
+            vec![
+                ("PN", vec![tuple![1i64, "Alice"]]),
+                ("PA", vec![tuple![1i64, 30i64]]),
+            ],
+        )
+        .unwrap();
+        let smo = Smo::JoinVertical {
+            left: Name::new("PN"),
+            right: Name::new("PA"),
+            out: Name::new("Person"),
+        };
+        let fwd = smo.forward(&db, None).unwrap();
+        assert!(fwd.contains("Person", &tuple![1i64, "Alice", 30i64]));
+        let back = smo.backward(&fwd, &schema, None).unwrap();
+        assert_eq!(back, db);
+    }
+
+    #[test]
+    fn schema_errors_reported() {
+        assert!(matches!(
+            Smo::DropTable(Name::new("Nope")).apply_schema(&person_schema()),
+            Err(EvolutionError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            Smo::RenameColumn {
+                table: Name::new("Person"),
+                from: Name::new("nope"),
+                to: Name::new("x"),
+            }
+            .apply_schema(&person_schema()),
+            Err(EvolutionError::UnknownColumn { .. })
+        ));
+        assert!(matches!(
+            Smo::AddColumn {
+                table: Name::new("Person"),
+                column: Name::new("name"),
+                ty: AttrType::Any,
+                default: ColumnDefault::Null,
+            }
+            .apply_schema(&person_schema()),
+            Err(EvolutionError::NameCollision(_))
+        ));
+    }
+
+    #[test]
+    fn display_forms() {
+        let smo = Smo::SplitHorizontal {
+            table: Name::new("T"),
+            pred: Expr::attr("a").ge(Expr::lit(1i64)),
+            true_table: Name::new("Hi"),
+            false_table: Name::new("Lo"),
+        };
+        assert_eq!(smo.to_string(), "SPLIT T ON a >= 1 INTO Hi / Lo");
+    }
+}

@@ -1,0 +1,417 @@
+//! Asymmetric (set-based) lenses.
+//!
+//! The paper §3: “The most basic form of a lens, called a set-based
+//! lens, consists of two sets S and V and two functions g (pronounced
+//! get) S → V, and p (pronounced put) V × S → S.” We add the standard
+//! `create : V → S` (put with no old source) needed when the backward
+//! direction must invent a source — the relational-lens templates use
+//! it for inserted rows.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// A set-based asymmetric lens from `Source` to `View`.
+///
+/// ```
+/// use dex_lens::{ConstComplement, Lens};
+///
+/// // View a (name, age) record as just its name.
+/// let lens: ConstComplement<String, u32> = ConstComplement::new(0);
+/// let record = ("alice".to_string(), 30);
+/// assert_eq!(lens.get(&record), "alice");
+/// // put replaces the name but keeps the hidden age.
+/// assert_eq!(lens.put(&"bob".into(), &record), ("bob".to_string(), 30));
+/// // create fills the hidden part with the configured default.
+/// assert_eq!(lens.create(&"carol".into()), ("carol".to_string(), 0));
+/// ```
+///
+/// Well-behavedness (checked by [`crate::laws`]):
+/// * **PutGet** — `get(put(v, s)) = v`: the updated source really
+///   reflects the view.
+/// * **GetPut** — `put(get(s), s) = s`: a trivial update is trivial.
+/// * **CreateGet** — `get(create(v)) = v`.
+/// * **PutPut** (optional, *very well-behaved* lenses) —
+///   `put(v, put(v', s)) = put(v, s)`.
+pub trait Lens {
+    /// The source (whole) type.
+    type Source;
+    /// The view (part) type.
+    type View;
+
+    /// Extract the view of a source.
+    fn get(&self, s: &Self::Source) -> Self::View;
+
+    /// Update the source to reflect an edited view.
+    fn put(&self, v: &Self::View, s: &Self::Source) -> Self::Source;
+
+    /// Build a source from a view alone (no previous source).
+    fn create(&self, v: &Self::View) -> Self::Source;
+
+    /// Compose with another lens (`self` first, then `next`).
+    fn then<M>(self, next: M) -> ComposeLens<Self, M>
+    where
+        Self: Sized,
+        M: Lens<Source = Self::View>,
+    {
+        ComposeLens {
+            first: self,
+            second: next,
+        }
+    }
+}
+
+/// A boxed, type-erased lens.
+pub type BoxLens<S, V> = Box<dyn Lens<Source = S, View = V> + Send + Sync>;
+
+impl<S, V> Lens for Box<dyn Lens<Source = S, View = V> + Send + Sync> {
+    type Source = S;
+    type View = V;
+    fn get(&self, s: &S) -> V {
+        (**self).get(s)
+    }
+    fn put(&self, v: &V, s: &S) -> S {
+        (**self).put(v, s)
+    }
+    fn create(&self, v: &V) -> S {
+        (**self).create(v)
+    }
+}
+
+impl<L: Lens + ?Sized> Lens for Arc<L> {
+    type Source = L::Source;
+    type View = L::View;
+    fn get(&self, s: &Self::Source) -> Self::View {
+        (**self).get(s)
+    }
+    fn put(&self, v: &Self::View, s: &Self::Source) -> Self::Source {
+        (**self).put(v, s)
+    }
+    fn create(&self, v: &Self::View) -> Self::Source {
+        (**self).create(v)
+    }
+}
+
+/// The identity lens.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IdentityLens<T>(PhantomData<fn(T) -> T>);
+
+impl<T> IdentityLens<T> {
+    /// Build the identity lens.
+    pub fn new() -> Self {
+        IdentityLens(PhantomData)
+    }
+}
+
+impl<T: Clone> Lens for IdentityLens<T> {
+    type Source = T;
+    type View = T;
+    fn get(&self, s: &T) -> T {
+        s.clone()
+    }
+    fn put(&self, v: &T, _s: &T) -> T {
+        v.clone()
+    }
+    fn create(&self, v: &T) -> T {
+        v.clone()
+    }
+}
+
+/// Sequential composition of two lenses (a lens again — lenses compose,
+/// paper §3).
+#[derive(Clone, Copy, Debug)]
+pub struct ComposeLens<L, M> {
+    first: L,
+    second: M,
+}
+
+impl<L, M> ComposeLens<L, M> {
+    /// Compose `first; second`.
+    pub fn new(first: L, second: M) -> Self {
+        ComposeLens { first, second }
+    }
+}
+
+impl<L, M> Lens for ComposeLens<L, M>
+where
+    L: Lens,
+    M: Lens<Source = L::View>,
+{
+    type Source = L::Source;
+    type View = M::View;
+
+    fn get(&self, s: &L::Source) -> M::View {
+        self.second.get(&self.first.get(s))
+    }
+
+    fn put(&self, v: &M::View, s: &L::Source) -> L::Source {
+        let mid = self.first.get(s);
+        let mid2 = self.second.put(v, &mid);
+        self.first.put(&mid2, s)
+    }
+
+    fn create(&self, v: &M::View) -> L::Source {
+        self.first.create(&self.second.create(v))
+    }
+}
+
+/// A lens built from an isomorphism (forward, backward). Always very
+/// well-behaved when the two functions are mutually inverse.
+pub struct IsoLens<S, V> {
+    fwd: Arc<dyn Fn(&S) -> V + Send + Sync>,
+    bwd: Arc<dyn Fn(&V) -> S + Send + Sync>,
+}
+
+impl<S, V> Clone for IsoLens<S, V> {
+    fn clone(&self) -> Self {
+        IsoLens {
+            fwd: Arc::clone(&self.fwd),
+            bwd: Arc::clone(&self.bwd),
+        }
+    }
+}
+
+impl<S, V> IsoLens<S, V> {
+    /// Build from a pair of mutually-inverse functions.
+    pub fn new(
+        fwd: impl Fn(&S) -> V + Send + Sync + 'static,
+        bwd: impl Fn(&V) -> S + Send + Sync + 'static,
+    ) -> Self {
+        IsoLens {
+            fwd: Arc::new(fwd),
+            bwd: Arc::new(bwd),
+        }
+    }
+}
+
+impl<S, V> Lens for IsoLens<S, V> {
+    type Source = S;
+    type View = V;
+    fn get(&self, s: &S) -> V {
+        (self.fwd)(s)
+    }
+    fn put(&self, v: &V, _s: &S) -> S {
+        (self.bwd)(v)
+    }
+    fn create(&self, v: &V) -> S {
+        (self.bwd)(v)
+    }
+}
+
+type GetFn<S, V> = Arc<dyn Fn(&S) -> V + Send + Sync>;
+type PutFn<S, V> = Arc<dyn Fn(&V, &S) -> S + Send + Sync>;
+type CreateFn<S, V> = Arc<dyn Fn(&V) -> S + Send + Sync>;
+
+/// A lens built from explicit `get`/`put`/`create` closures. The
+/// closures must satisfy the laws — use [`crate::laws`] to check.
+pub struct FnLens<S, V> {
+    get: GetFn<S, V>,
+    put: PutFn<S, V>,
+    create: CreateFn<S, V>,
+}
+
+impl<S, V> Clone for FnLens<S, V> {
+    fn clone(&self) -> Self {
+        FnLens {
+            get: Arc::clone(&self.get),
+            put: Arc::clone(&self.put),
+            create: Arc::clone(&self.create),
+        }
+    }
+}
+
+impl<S, V> FnLens<S, V> {
+    /// Build from closures.
+    pub fn new(
+        get: impl Fn(&S) -> V + Send + Sync + 'static,
+        put: impl Fn(&V, &S) -> S + Send + Sync + 'static,
+        create: impl Fn(&V) -> S + Send + Sync + 'static,
+    ) -> Self {
+        FnLens {
+            get: Arc::new(get),
+            put: Arc::new(put),
+            create: Arc::new(create),
+        }
+    }
+}
+
+impl<S, V> Lens for FnLens<S, V> {
+    type Source = S;
+    type View = V;
+    fn get(&self, s: &S) -> V {
+        (self.get)(s)
+    }
+    fn put(&self, v: &V, s: &S) -> S {
+        (self.put)(v, s)
+    }
+    fn create(&self, v: &V) -> S {
+        (self.create)(v)
+    }
+}
+
+/// Product of two lenses: acts componentwise on pairs.
+#[derive(Clone, Copy, Debug)]
+pub struct PairLens<L, M> {
+    left: L,
+    right: M,
+}
+
+impl<L, M> PairLens<L, M> {
+    /// Build the product lens.
+    pub fn new(left: L, right: M) -> Self {
+        PairLens { left, right }
+    }
+}
+
+impl<L, M> Lens for PairLens<L, M>
+where
+    L: Lens,
+    M: Lens,
+{
+    type Source = (L::Source, M::Source);
+    type View = (L::View, M::View);
+
+    fn get(&self, s: &Self::Source) -> Self::View {
+        (self.left.get(&s.0), self.right.get(&s.1))
+    }
+
+    fn put(&self, v: &Self::View, s: &Self::Source) -> Self::Source {
+        (self.left.put(&v.0, &s.0), self.right.put(&v.1, &s.1))
+    }
+
+    fn create(&self, v: &Self::View) -> Self::Source {
+        (self.left.create(&v.0), self.right.create(&v.1))
+    }
+}
+
+/// The constant-complement projection lens on pairs: view the first
+/// component, keep the second as hidden complement; `create` fills the
+/// complement with a configured default.
+#[derive(Clone, Debug)]
+pub struct ConstComplement<A, C> {
+    default: C,
+    _marker: PhantomData<fn(A) -> A>,
+}
+
+impl<A, C: Clone> ConstComplement<A, C> {
+    /// Build with the complement default used by `create`.
+    pub fn new(default: C) -> Self {
+        ConstComplement {
+            default,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<A: Clone, C: Clone> Lens for ConstComplement<A, C> {
+    type Source = (A, C);
+    type View = A;
+
+    fn get(&self, s: &(A, C)) -> A {
+        s.0.clone()
+    }
+
+    fn put(&self, v: &A, s: &(A, C)) -> (A, C) {
+        (v.clone(), s.1.clone())
+    }
+
+    fn create(&self, v: &A) -> (A, C) {
+        (v.clone(), self.default.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+
+    /// The running toy: a "database" (name, age) viewed as just the name.
+    fn name_lens() -> ConstComplement<String, u32> {
+        ConstComplement::new(0)
+    }
+
+    #[test]
+    fn const_complement_laws() {
+        let l = name_lens();
+        let s = ("alice".to_string(), 30u32);
+        let v = "bob".to_string();
+        assert!(laws::check_get_put(&l, &s).is_ok());
+        assert!(laws::check_put_get(&l, &v, &s).is_ok());
+        assert!(laws::check_create_get(&l, &v).is_ok());
+        assert!(laws::check_put_put(&l, &v, &"carol".to_string(), &s).is_ok());
+        // Behaviour: put replaces the name, keeps the age.
+        assert_eq!(l.put(&v, &s), ("bob".to_string(), 30));
+        assert_eq!(l.create(&v), ("bob".to_string(), 0));
+    }
+
+    #[test]
+    fn identity_laws_and_behaviour() {
+        let l: IdentityLens<i64> = IdentityLens::new();
+        assert_eq!(l.get(&7), 7);
+        assert_eq!(l.put(&8, &7), 8);
+        assert!(laws::check_get_put(&l, &3).is_ok());
+        assert!(laws::check_put_get(&l, &4, &3).is_ok());
+    }
+
+    #[test]
+    fn composition_threads_the_middle() {
+        // ((name, age), city) --first--> (name, age) --second--> name
+        let first: ConstComplement<(String, u32), String> =
+            ConstComplement::new("nowhere".into());
+        let second: ConstComplement<String, u32> = ConstComplement::new(0);
+        let l = first.then(second);
+        let s = (("alice".to_string(), 30u32), "Sydney".to_string());
+        assert_eq!(l.get(&s), "alice");
+        let s2 = l.put(&"bob".to_string(), &s);
+        assert_eq!(s2, (("bob".to_string(), 30), "Sydney".to_string()));
+        assert!(laws::check_get_put(&l, &s).is_ok());
+        assert!(laws::check_put_get(&l, &"z".to_string(), &s).is_ok());
+        let created = l.create(&"new".to_string());
+        assert_eq!(created, (("new".to_string(), 0), "nowhere".to_string()));
+    }
+
+    #[test]
+    fn iso_lens_round_trips() {
+        let l: IsoLens<i64, String> =
+            IsoLens::new(|n: &i64| n.to_string(), |s: &String| s.parse().unwrap());
+        assert_eq!(l.get(&42), "42");
+        assert_eq!(l.put(&"7".to_string(), &0), 7);
+        assert!(laws::check_get_put(&l, &13).is_ok());
+        assert!(laws::check_put_get(&l, &"5".to_string(), &1).is_ok());
+    }
+
+    #[test]
+    fn fn_lens_law_violation_detected() {
+        // A broken "lens" whose put ignores the view.
+        let broken: FnLens<i64, i64> =
+            FnLens::new(|s| *s, |_v, s| *s, |v| *v);
+        let err = laws::check_put_get(&broken, &5, &3).unwrap_err();
+        assert!(err.to_string().contains("PutGet"));
+    }
+
+    #[test]
+    fn pair_lens_componentwise() {
+        let l = PairLens::new(IdentityLens::<i64>::new(), name_lens());
+        let s = (1i64, ("a".to_string(), 9u32));
+        assert_eq!(l.get(&s), (1, "a".to_string()));
+        let v = (2i64, "b".to_string());
+        assert_eq!(l.put(&v, &s), (2, ("b".to_string(), 9)));
+        assert!(laws::check_get_put(&l, &s).is_ok());
+        assert!(laws::check_put_get(&l, &v, &s).is_ok());
+    }
+
+    #[test]
+    fn boxed_lens_is_a_lens() {
+        let b: BoxLens<(String, u32), String> = Box::new(name_lens());
+        let s = ("x".to_string(), 1u32);
+        assert_eq!(b.get(&s), "x");
+        assert!(laws::check_get_put(&b, &s).is_ok());
+    }
+
+    #[test]
+    fn arc_lens_is_a_lens() {
+        let a = Arc::new(name_lens());
+        let s = ("x".to_string(), 1u32);
+        assert_eq!(a.get(&s), "x");
+        assert_eq!(a.put(&"y".to_string(), &s), ("y".to_string(), 1));
+    }
+}

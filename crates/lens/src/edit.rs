@@ -1,0 +1,315 @@
+//! Deltas and edit propagation over database instances.
+//!
+//! The paper §3 mentions delta lenses [8, 21] and edit lenses [16]:
+//! instead of whole-state `put`s, propagate *changes*. This module
+//! provides the instance-level delta algebra (diff / apply / compose /
+//! invert) and [`EditSession`], a stateful controller that wraps any
+//! symmetric lens over [`Instance`]s and exposes an edit-based
+//! interface: feed it a delta on one side, receive the induced delta on
+//! the other.
+
+use crate::symmetric::SymLens;
+use dex_relational::{Instance, Name, RelationalError, Tuple};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One atomic edit to an instance.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub enum Edit {
+    /// Insert a fact.
+    Insert(Name, Tuple),
+    /// Delete a fact.
+    Delete(Name, Tuple),
+}
+
+impl fmt::Display for Edit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Edit::Insert(r, t) => write!(f, "+{r}{t}"),
+            Edit::Delete(r, t) => write!(f, "-{r}{t}"),
+        }
+    }
+}
+
+/// A set-oriented delta between two instances: inserts and deletes.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct Delta {
+    /// Facts present in the new state but not the old.
+    pub inserts: Vec<(Name, Tuple)>,
+    /// Facts present in the old state but not the new.
+    pub deletes: Vec<(Name, Tuple)>,
+}
+
+impl Delta {
+    /// The empty delta.
+    pub fn empty() -> Self {
+        Delta::default()
+    }
+
+    /// Is this a no-op?
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// Number of atomic edits.
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+
+    /// Compute the delta turning `from` into `to` (same schema
+    /// expected).
+    pub fn diff(from: &Instance, to: &Instance) -> Delta {
+        let mut d = Delta::default();
+        for (rel, t) in to.facts() {
+            if !from.contains(rel.as_str(), t) {
+                d.inserts.push((rel.clone(), t.clone()));
+            }
+        }
+        for (rel, t) in from.facts() {
+            if !to.contains(rel.as_str(), t) {
+                d.deletes.push((rel.clone(), t.clone()));
+            }
+        }
+        d
+    }
+
+    /// Apply to an instance: deletes first, then inserts.
+    pub fn apply(&self, inst: &Instance) -> Result<Instance, RelationalError> {
+        let mut out = inst.clone();
+        for (rel, t) in &self.deletes {
+            out.remove(rel.as_str(), t)?;
+        }
+        for (rel, t) in &self.inserts {
+            out.insert(rel.as_str(), t.clone())?;
+        }
+        Ok(out)
+    }
+
+    /// The inverse delta (undo).
+    pub fn inverse(&self) -> Delta {
+        Delta {
+            inserts: self.deletes.clone(),
+            deletes: self.inserts.clone(),
+        }
+    }
+
+    /// Sequential composition `self; then` (apply `self` first). Edits
+    /// that cancel out are removed.
+    pub fn then(&self, then: &Delta) -> Delta {
+        use std::collections::BTreeSet;
+        let mut ins: BTreeSet<(Name, Tuple)> = self.inserts.iter().cloned().collect();
+        let mut del: BTreeSet<(Name, Tuple)> = self.deletes.iter().cloned().collect();
+        for d in &then.deletes {
+            if !ins.remove(d) {
+                del.insert(d.clone());
+            }
+        }
+        for i in &then.inserts {
+            if !del.remove(i) {
+                ins.insert(i.clone());
+            }
+        }
+        Delta {
+            inserts: ins.into_iter().collect(),
+            deletes: del.into_iter().collect(),
+        }
+    }
+
+    /// View as a list of atomic edits (deletes first).
+    pub fn edits(&self) -> Vec<Edit> {
+        self.deletes
+            .iter()
+            .map(|(r, t)| Edit::Delete(r.clone(), t.clone()))
+            .chain(
+                self.inserts
+                    .iter()
+                    .map(|(r, t)| Edit::Insert(r.clone(), t.clone())),
+            )
+            .collect()
+    }
+}
+
+impl fmt::Display for Delta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "(no changes)");
+        }
+        for (i, e) in self.edits().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A stateful edit-propagation session over a symmetric lens between
+/// two [`Instance`] repositories.
+///
+/// This is the state-based-to-edit-based wrapper: it tracks both
+/// current states and the lens complement; [`EditSession::edit_left`]
+/// applies a delta to the left state, pushes the new state through the
+/// lens, and returns the induced delta on the right (and symmetrically
+/// for [`EditSession::edit_right`]).
+pub struct EditSession<L: SymLens<Left = Instance, Right = Instance>> {
+    lens: L,
+    left: Instance,
+    right: Instance,
+    compl: L::Compl,
+}
+
+impl<L: SymLens<Left = Instance, Right = Instance>> EditSession<L> {
+    /// Start a session by pushing `left` through the lens to
+    /// initialize the right state.
+    pub fn start_from_left(lens: L, left: Instance) -> Self {
+        let (right, compl) = lens.put_r(&left, &lens.missing());
+        EditSession {
+            lens,
+            left,
+            right,
+            compl,
+        }
+    }
+
+    /// The current left state.
+    pub fn left(&self) -> &Instance {
+        &self.left
+    }
+
+    /// The current right state.
+    pub fn right(&self) -> &Instance {
+        &self.right
+    }
+
+    /// Apply a delta to the left repository; returns the delta induced
+    /// on the right repository.
+    pub fn edit_left(&mut self, delta: &Delta) -> Result<Delta, RelationalError> {
+        let new_left = delta.apply(&self.left)?;
+        let (new_right, compl) = self.lens.put_r(&new_left, &self.compl);
+        let induced = Delta::diff(&self.right, &new_right);
+        self.left = new_left;
+        self.right = new_right;
+        self.compl = compl;
+        Ok(induced)
+    }
+
+    /// Apply a delta to the right repository; returns the delta induced
+    /// on the left repository.
+    pub fn edit_right(&mut self, delta: &Delta) -> Result<Delta, RelationalError> {
+        let new_right = delta.apply(&self.right)?;
+        let (new_left, compl) = self.lens.put_l(&new_right, &self.compl);
+        let induced = Delta::diff(&self.left, &new_left);
+        self.left = new_left;
+        self.right = new_right;
+        self.compl = compl;
+        Ok(induced)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_relational::{tuple, RelSchema, Schema};
+
+    fn schema() -> Schema {
+        Schema::with_relations(vec![RelSchema::untyped("R", vec!["a"]).unwrap()]).unwrap()
+    }
+
+    fn inst(vals: &[&str]) -> Instance {
+        Instance::with_facts(
+            schema(),
+            vec![("R", vals.iter().map(|v| tuple![*v]).collect())],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn diff_and_apply_round_trip() {
+        let a = inst(&["x", "y"]);
+        let b = inst(&["y", "z"]);
+        let d = Delta::diff(&a, &b);
+        assert_eq!(d.inserts.len(), 1);
+        assert_eq!(d.deletes.len(), 1);
+        assert_eq!(d.apply(&a).unwrap(), b);
+        // Inverse undoes.
+        assert_eq!(d.inverse().apply(&b).unwrap(), a);
+    }
+
+    #[test]
+    fn empty_diff_for_equal_instances() {
+        let a = inst(&["x"]);
+        let d = Delta::diff(&a, &a);
+        assert!(d.is_empty());
+        assert_eq!(d.to_string(), "(no changes)");
+    }
+
+    #[test]
+    fn composition_cancels_opposites() {
+        let a = inst(&["x"]);
+        let b = inst(&["x", "y"]);
+        let d1 = Delta::diff(&a, &b); // +y
+        let d2 = Delta::diff(&b, &a); // -y
+        let both = d1.then(&d2);
+        assert!(both.is_empty());
+        // And the composition law: apply(then) == apply;apply.
+        let c = inst(&["x", "z"]);
+        let d3 = Delta::diff(&b, &c);
+        let seq = d1.then(&d3);
+        assert_eq!(seq.apply(&a).unwrap(), c);
+    }
+
+    #[test]
+    fn edits_render() {
+        let d = Delta::diff(&inst(&["x"]), &inst(&["y"]));
+        let s = d.to_string();
+        assert!(s.contains("-R(x)"));
+        assert!(s.contains("+R(y)"));
+    }
+
+    /// A toy symmetric lens between two copies of R: the identity.
+    #[derive(Clone)]
+    struct IdInst;
+    impl SymLens for IdInst {
+        type Left = Instance;
+        type Right = Instance;
+        type Compl = ();
+        fn missing(&self) {}
+        fn put_r(&self, x: &Instance, _c: &()) -> (Instance, ()) {
+            (x.clone(), ())
+        }
+        fn put_l(&self, y: &Instance, _c: &()) -> (Instance, ()) {
+            (y.clone(), ())
+        }
+    }
+
+    #[test]
+    fn edit_session_propagates_deltas() {
+        let mut sess = EditSession::start_from_left(IdInst, inst(&["x"]));
+        assert_eq!(sess.right(), &inst(&["x"]));
+        let d = Delta {
+            inserts: vec![(Name::new("R"), tuple!["y"])],
+            deletes: vec![],
+        };
+        let induced = sess.edit_left(&d).unwrap();
+        assert_eq!(induced.inserts.len(), 1);
+        assert_eq!(sess.right(), &inst(&["x", "y"]));
+        // Edit the right: left follows.
+        let d2 = Delta {
+            inserts: vec![],
+            deletes: vec![(Name::new("R"), tuple!["x"])],
+        };
+        let induced2 = sess.edit_right(&d2).unwrap();
+        assert_eq!(induced2.deletes.len(), 1);
+        assert_eq!(sess.left(), &inst(&["y"]));
+    }
+
+    #[test]
+    fn delta_apply_checks_schema() {
+        let d = Delta {
+            inserts: vec![(Name::new("Nope"), tuple!["y"])],
+            deletes: vec![],
+        };
+        assert!(d.apply(&inst(&["x"])).is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! Executable lens laws.
+//!
+//! The paper §3 defines a lens as *well-behaved* when it satisfies
+//! **PutGet** (`g(p(v, s)) = v`) and **GetPut** (`p(g(s), s) = s`).
+//! These checkers turn the laws into test assertions reused by every
+//! lens implementation in the workspace (and by the proptest suites).
+
+use crate::asymmetric::Lens;
+use crate::symmetric::SymLens;
+use std::fmt;
+
+/// A law violation, with the law's name and a rendering of the
+/// counterexample.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LawViolation {
+    /// Which law failed (e.g. `"PutGet"`).
+    pub law: &'static str,
+    /// Human-readable description of the counterexample.
+    pub detail: String,
+}
+
+impl fmt::Display for LawViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} violated: {}", self.law, self.detail)
+    }
+}
+
+impl std::error::Error for LawViolation {}
+
+/// GetPut: `put(get(s), s) = s`.
+pub fn check_get_put<L: Lens>(l: &L, s: &L::Source) -> Result<(), LawViolation>
+where
+    L::Source: PartialEq + fmt::Debug,
+{
+    let v = l.get(s);
+    let s2 = l.put(&v, s);
+    if &s2 == s {
+        Ok(())
+    } else {
+        Err(LawViolation {
+            law: "GetPut",
+            detail: format!("put(get(s), s) = {s2:?} ≠ s = {s:?}"),
+        })
+    }
+}
+
+/// PutGet: `get(put(v, s)) = v`.
+pub fn check_put_get<L: Lens>(l: &L, v: &L::View, s: &L::Source) -> Result<(), LawViolation>
+where
+    L::View: PartialEq + fmt::Debug,
+{
+    let s2 = l.put(v, s);
+    let v2 = l.get(&s2);
+    if &v2 == v {
+        Ok(())
+    } else {
+        Err(LawViolation {
+            law: "PutGet",
+            detail: format!("get(put(v, s)) = {v2:?} ≠ v = {v:?}"),
+        })
+    }
+}
+
+/// CreateGet: `get(create(v)) = v`.
+pub fn check_create_get<L: Lens>(l: &L, v: &L::View) -> Result<(), LawViolation>
+where
+    L::View: PartialEq + fmt::Debug,
+{
+    let s = l.create(v);
+    let v2 = l.get(&s);
+    if &v2 == v {
+        Ok(())
+    } else {
+        Err(LawViolation {
+            law: "CreateGet",
+            detail: format!("get(create(v)) = {v2:?} ≠ v = {v:?}"),
+        })
+    }
+}
+
+/// PutPut (very well-behaved lenses): `put(v, put(v', s)) = put(v, s)`.
+pub fn check_put_put<L: Lens>(
+    l: &L,
+    v: &L::View,
+    v_prime: &L::View,
+    s: &L::Source,
+) -> Result<(), LawViolation>
+where
+    L::Source: PartialEq + fmt::Debug,
+{
+    let a = l.put(v, &l.put(v_prime, s));
+    let b = l.put(v, s);
+    if a == b {
+        Ok(())
+    } else {
+        Err(LawViolation {
+            law: "PutPut",
+            detail: format!("put(v, put(v', s)) = {a:?} ≠ put(v, s) = {b:?}"),
+        })
+    }
+}
+
+/// A batch law report over sampled sources and views.
+#[derive(Clone, Debug, Default)]
+pub struct LawReport {
+    /// Total checks run.
+    pub checks: usize,
+    /// Violations found.
+    pub violations: Vec<LawViolation>,
+}
+
+impl LawReport {
+    /// Did every check pass?
+    pub fn all_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for LawReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.all_ok() {
+            write!(f, "{} lens-law checks passed", self.checks)
+        } else {
+            writeln!(
+                f,
+                "{} / {} lens-law checks failed:",
+                self.violations.len(),
+                self.checks
+            )?;
+            for v in &self.violations {
+                writeln!(f, "  {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Run GetPut over all sources, PutGet and CreateGet over all
+/// (view, source) combinations.
+pub fn check_well_behaved<L: Lens>(
+    l: &L,
+    sources: &[L::Source],
+    views: &[L::View],
+) -> LawReport
+where
+    L::Source: PartialEq + fmt::Debug,
+    L::View: PartialEq + fmt::Debug,
+{
+    let mut report = LawReport::default();
+    for s in sources {
+        report.checks += 1;
+        if let Err(v) = check_get_put(l, s) {
+            report.violations.push(v);
+        }
+        for v in views {
+            report.checks += 1;
+            if let Err(e) = check_put_get(l, v, s) {
+                report.violations.push(e);
+            }
+        }
+    }
+    for v in views {
+        report.checks += 1;
+        if let Err(e) = check_create_get(l, v) {
+            report.violations.push(e);
+        }
+    }
+    report
+}
+
+/// Symmetric-lens law **PutRL**: if `put_r(x, c) = (y, c')` then
+/// `put_l(y, c') = (x, c')` — pushing back the value you just produced
+/// changes nothing (Hofmann–Pierce–Wagner).
+pub fn check_put_rl<L: SymLens>(l: &L, x: &L::Left, c: &L::Compl) -> Result<(), LawViolation>
+where
+    L::Left: PartialEq + fmt::Debug,
+    L::Compl: PartialEq + fmt::Debug,
+{
+    let (y, c1) = l.put_r(x, c);
+    let (x2, c2) = l.put_l(&y, &c1);
+    if &x2 == x && c2 == c1 {
+        Ok(())
+    } else {
+        Err(LawViolation {
+            law: "PutRL",
+            detail: format!(
+                "put_l(put_r(x, c)) = ({x2:?}, {c2:?}) ≠ ({x:?}, {c1:?})"
+            ),
+        })
+    }
+}
+
+/// Symmetric-lens law **PutLR**: the mirror image of PutRL.
+pub fn check_put_lr<L: SymLens>(l: &L, y: &L::Right, c: &L::Compl) -> Result<(), LawViolation>
+where
+    L::Right: PartialEq + fmt::Debug,
+    L::Compl: PartialEq + fmt::Debug,
+{
+    let (x, c1) = l.put_l(y, c);
+    let (y2, c2) = l.put_r(&x, &c1);
+    if &y2 == y && c2 == c1 {
+        Ok(())
+    } else {
+        Err(LawViolation {
+            law: "PutLR",
+            detail: format!(
+                "put_r(put_l(y, c)) = ({y2:?}, {c2:?}) ≠ ({y:?}, {c1:?})"
+            ),
+        })
+    }
+}
+
+/// Check both symmetric laws over samples.
+pub fn check_sym_well_behaved<L: SymLens>(
+    l: &L,
+    lefts: &[L::Left],
+    rights: &[L::Right],
+    compls: &[L::Compl],
+) -> LawReport
+where
+    L::Left: PartialEq + fmt::Debug,
+    L::Right: PartialEq + fmt::Debug,
+    L::Compl: PartialEq + fmt::Debug,
+{
+    let mut report = LawReport::default();
+    for c in compls {
+        for x in lefts {
+            report.checks += 1;
+            if let Err(e) = check_put_rl(l, x, c) {
+                report.violations.push(e);
+            }
+        }
+        for y in rights {
+            report.checks += 1;
+            if let Err(e) = check_put_lr(l, y, c) {
+                report.violations.push(e);
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asymmetric::{ConstComplement, FnLens};
+
+    #[test]
+    fn report_aggregates_violations() {
+        let broken: FnLens<i64, i64> = FnLens::new(|s| *s, |_v, s| *s, |v| *v);
+        let report = check_well_behaved(&broken, &[1, 2], &[5]);
+        assert!(!report.all_ok());
+        assert!(report.checks > report.violations.len());
+        assert!(report.to_string().contains("PutGet"));
+    }
+
+    #[test]
+    fn good_lens_clean_report() {
+        let l: ConstComplement<String, u32> = ConstComplement::new(0);
+        let report = check_well_behaved(
+            &l,
+            &[("a".into(), 1), ("b".into(), 2)],
+            &["x".into(), "y".into()],
+        );
+        assert!(report.all_ok(), "{report}");
+        assert_eq!(report.checks, 2 + 4 + 2);
+        assert!(report.to_string().contains("passed"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # dex-lens — bidirectional transformations
+//!
+//! The programming-language side of the paper (§3): **lenses**.
+//!
+//! * [`asymmetric`] — set-based lenses `(get, put, create)` with the
+//!   well-behavedness laws (GetPut, PutGet, and the optional PutPut),
+//!   plus the combinator algebra (identity, composition, isomorphisms,
+//!   products).
+//! * [`symmetric`] — Hofmann–Pierce–Wagner complement-based symmetric
+//!   lenses, closed under composition and with **free inversion**
+//!   (“each symmetric lens has an inversion obtained by exchanging the
+//!   roles of S and T”), the property that makes them the paper's
+//!   candidate *closed mapping language*.
+//! * [`span`] — spans `S ← U → T` of asymmetric lenses, which induce
+//!   symmetric lenses, and cospans `S → X ← T` (the paper notes these
+//!   are *not* symmetric lenses but are used in practical data
+//!   exchange).
+//! * [`edit`] — deltas and edit propagation: tuple-level diffs and the
+//!   state-to-edit wrapper (the simplest bridge to delta/edit lenses).
+//! * [`laws`] — executable law checking used across the workspace's
+//!   test suites.
+
+pub mod asymmetric;
+pub mod edit;
+pub mod laws;
+pub mod quotient;
+pub mod span;
+pub mod symmetric;
+
+pub use asymmetric::{
+    BoxLens, ComposeLens, ConstComplement, FnLens, IdentityLens, IsoLens, Lens, PairLens,
+};
+pub use laws::{LawReport, LawViolation};
+pub use quotient::QuotientLens;
+pub use span::{CospanLens, MemorylessCospan, SpanLens};
+pub use symmetric::{
+    compose_sym, invert, BoxSymLens, ComposeSym, FromLens, IdentitySym, InvertSym, SymLens,
+};

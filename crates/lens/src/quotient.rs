@@ -1,0 +1,198 @@
+//! Quotient lenses (Foster, Pilkiewicz & Pierce — the paper's [15]).
+//!
+//! A quotient lens is a lens whose laws hold only *up to equivalence
+//! relations* on the source and the view: `get(put(v, s)) ≈ v` rather
+//! than `=`. The paper lists them among the well-behaved asymmetric
+//! lens families; they matter for data exchange because many practical
+//! views are canonical only up to formatting (case, whitespace,
+//! ordering) — demanding syntactic equality would reject useful lenses.
+//!
+//! [`QuotientLens`] wraps an ordinary [`Lens`] with two equivalence
+//! predicates; [`check_q_get_put`] / [`check_q_put_get`] are the
+//! law checkers relativized to them; [`canonizer`] builds the common
+//! case — a lens that is only lossy up to a normalization function.
+
+use crate::asymmetric::{FnLens, Lens};
+use crate::laws::LawViolation;
+use std::fmt;
+use std::sync::Arc;
+
+/// An equivalence predicate.
+pub type Equiv<T> = Arc<dyn Fn(&T, &T) -> bool + Send + Sync>;
+
+/// A lens together with equivalences on both sides.
+pub struct QuotientLens<L: Lens> {
+    inner: L,
+    source_equiv: Equiv<L::Source>,
+    view_equiv: Equiv<L::View>,
+}
+
+impl<L: Lens> QuotientLens<L> {
+    /// Wrap `inner` with the given equivalences.
+    pub fn new(
+        inner: L,
+        source_equiv: impl Fn(&L::Source, &L::Source) -> bool + Send + Sync + 'static,
+        view_equiv: impl Fn(&L::View, &L::View) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        QuotientLens {
+            inner,
+            source_equiv: Arc::new(source_equiv),
+            view_equiv: Arc::new(view_equiv),
+        }
+    }
+
+    /// The wrapped lens.
+    pub fn inner(&self) -> &L {
+        &self.inner
+    }
+
+    /// Are two sources equivalent?
+    pub fn source_equiv(&self, a: &L::Source, b: &L::Source) -> bool {
+        (self.source_equiv)(a, b)
+    }
+
+    /// Are two views equivalent?
+    pub fn view_equiv(&self, a: &L::View, b: &L::View) -> bool {
+        (self.view_equiv)(a, b)
+    }
+
+    /// Forward.
+    pub fn get(&self, s: &L::Source) -> L::View {
+        self.inner.get(s)
+    }
+
+    /// Backward.
+    pub fn put(&self, v: &L::View, s: &L::Source) -> L::Source {
+        self.inner.put(v, s)
+    }
+
+    /// Creation.
+    pub fn create(&self, v: &L::View) -> L::Source {
+        self.inner.create(v)
+    }
+}
+
+/// GetPut up to source equivalence: `put(get(s), s) ≈_S s`.
+pub fn check_q_get_put<L: Lens>(
+    l: &QuotientLens<L>,
+    s: &L::Source,
+) -> Result<(), LawViolation>
+where
+    L::Source: fmt::Debug,
+{
+    let s2 = l.put(&l.get(s), s);
+    if l.source_equiv(&s2, s) {
+        Ok(())
+    } else {
+        Err(LawViolation {
+            law: "Q-GetPut",
+            detail: format!("put(get(s), s) = {s2:?} ≉ s = {s:?}"),
+        })
+    }
+}
+
+/// PutGet up to view equivalence: `get(put(v, s)) ≈_V v`.
+pub fn check_q_put_get<L: Lens>(
+    l: &QuotientLens<L>,
+    v: &L::View,
+    s: &L::Source,
+) -> Result<(), LawViolation>
+where
+    L::View: fmt::Debug,
+{
+    let v2 = l.get(&l.put(v, s));
+    if l.view_equiv(&v2, v) {
+        Ok(())
+    } else {
+        Err(LawViolation {
+            law: "Q-PutGet",
+            detail: format!("get(put(v, s)) = {v2:?} ≉ v = {v:?}"),
+        })
+    }
+}
+
+/// The canonizer pattern: a view normalized by `canon` — `get`
+/// canonizes, `put` stores the canonized view — quotient-well-behaved
+/// with `v ≈ w ⟺ canon(v) = canon(w)`.
+pub fn canonizer<V>(
+    canon: impl Fn(&V) -> V + Send + Sync + Clone + 'static,
+) -> QuotientLens<FnLens<V, V>>
+where
+    V: Clone + PartialEq + 'static,
+{
+    let c1 = canon.clone();
+    let c2 = canon.clone();
+    let c3 = canon.clone();
+    let c4 = canon.clone();
+    let lens: FnLens<V, V> = FnLens::new(
+        move |s: &V| c1(s),
+        move |v: &V, _s: &V| c2(v),
+        move |v: &V| c3(v),
+    );
+    let c5 = canon.clone();
+    QuotientLens::new(
+        lens,
+        move |a: &V, b: &V| c4(a) == c4(b),
+        move |a: &V, b: &V| c5(a) == c5(b),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asymmetric::FnLens;
+    use crate::laws;
+
+    /// Case-insensitive name storage: the classic quotient example.
+    fn lowercase_lens() -> QuotientLens<FnLens<String, String>> {
+        canonizer(|s: &String| s.to_lowercase())
+    }
+
+    #[test]
+    fn canonizer_satisfies_quotient_laws() {
+        let l = lowercase_lens();
+        for s in ["Alice", "BOB", "carol"] {
+            assert!(check_q_get_put(&l, &s.to_string()).is_ok());
+        }
+        for (v, s) in [("ALICE", "x"), ("Bob", "y")] {
+            assert!(check_q_put_get(&l, &v.to_string(), &s.to_string()).is_ok());
+        }
+    }
+
+    #[test]
+    fn strict_laws_fail_where_quotient_laws_hold() {
+        // The same lens is NOT well-behaved under syntactic equality:
+        // put("ALICE", s) stores "alice", and get returns "alice" ≠
+        // "ALICE".
+        let l = lowercase_lens();
+        let strict = laws::check_put_get(l.inner(), &"ALICE".to_string(), &"x".to_string());
+        assert!(strict.is_err(), "strict PutGet must fail");
+        assert!(check_q_put_get(&l, &"ALICE".to_string(), &"x".to_string()).is_ok());
+    }
+
+    #[test]
+    fn violations_still_detected() {
+        // A genuinely broken lens stays broken even up to equivalence.
+        let broken: FnLens<String, String> = FnLens::new(
+            |s: &String| s.clone(),
+            |_v: &String, s: &String| s.clone(), // ignores the view
+            |v: &String| v.clone(),
+        );
+        let q = QuotientLens::new(
+            broken,
+            |a: &String, b: &String| a == b,
+            |a: &String, b: &String| a.to_lowercase() == b.to_lowercase(),
+        );
+        let err = check_q_put_get(&q, &"new".to_string(), &"old".to_string());
+        assert!(err.is_err());
+        assert!(err.unwrap_err().to_string().contains("Q-PutGet"));
+    }
+
+    #[test]
+    fn whitespace_canonizer() {
+        let l = canonizer(|s: &String| s.split_whitespace().collect::<Vec<_>>().join(" "));
+        assert!(check_q_get_put(&l, &"  a   b ".to_string()).is_ok());
+        assert!(l.view_equiv(&"a b".to_string(), &" a  b ".to_string()));
+        assert!(!l.view_equiv(&"a b".to_string(), &"a c".to_string()));
+    }
+}

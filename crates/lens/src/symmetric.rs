@@ -1,0 +1,397 @@
+//! Symmetric lenses (Hofmann–Pierce–Wagner, the paper's [17]).
+//!
+//! A symmetric lens between `Left` and `Right` keeps a *complement*
+//! `Compl` recording the information each side has that the other
+//! lacks. `put_r` pushes a left value across (updating the complement),
+//! `put_l` pushes right-to-left. `missing` is the initial complement.
+//!
+//! Two properties make symmetric lenses the paper's candidate **closed
+//! mapping language** (§3):
+//! * **composition** — complements pair up ([`ComposeSym`]);
+//! * **inversion is free** — swap the two directions ([`InvertSym`]):
+//!   “each symmetric lens has an inversion obtained by exchanging the
+//!   roles of S and T.”
+
+use crate::asymmetric::Lens;
+use std::sync::Arc;
+
+/// A complement-based symmetric lens.
+pub trait SymLens {
+    /// The left repository type.
+    type Left;
+    /// The right repository type.
+    type Right;
+    /// The complement (shared memory) type.
+    type Compl;
+
+    /// The initial complement (HPW's `missing`).
+    fn missing(&self) -> Self::Compl;
+
+    /// Push a left value to the right.
+    fn put_r(&self, x: &Self::Left, c: &Self::Compl) -> (Self::Right, Self::Compl);
+
+    /// Push a right value to the left.
+    fn put_l(&self, y: &Self::Right, c: &Self::Compl) -> (Self::Left, Self::Compl);
+
+    /// Compose with another symmetric lens (complements pair).
+    fn then_sym<M>(self, next: M) -> ComposeSym<Self, M>
+    where
+        Self: Sized,
+        M: SymLens<Left = Self::Right>,
+    {
+        ComposeSym {
+            first: self,
+            second: next,
+        }
+    }
+
+    /// Invert by swapping the directions — for free.
+    fn inverted(self) -> InvertSym<Self>
+    where
+        Self: Sized,
+    {
+        InvertSym { inner: self }
+    }
+}
+
+/// A boxed, type-erased symmetric lens.
+pub type BoxSymLens<X, Y, C> = Box<dyn SymLens<Left = X, Right = Y, Compl = C> + Send + Sync>;
+
+impl<X, Y, C> SymLens for Box<dyn SymLens<Left = X, Right = Y, Compl = C> + Send + Sync> {
+    type Left = X;
+    type Right = Y;
+    type Compl = C;
+    fn missing(&self) -> C {
+        (**self).missing()
+    }
+    fn put_r(&self, x: &X, c: &C) -> (Y, C) {
+        (**self).put_r(x, c)
+    }
+    fn put_l(&self, y: &Y, c: &C) -> (X, C) {
+        (**self).put_l(y, c)
+    }
+}
+
+impl<L: SymLens + ?Sized> SymLens for Arc<L> {
+    type Left = L::Left;
+    type Right = L::Right;
+    type Compl = L::Compl;
+    fn missing(&self) -> Self::Compl {
+        (**self).missing()
+    }
+    fn put_r(&self, x: &Self::Left, c: &Self::Compl) -> (Self::Right, Self::Compl) {
+        (**self).put_r(x, c)
+    }
+    fn put_l(&self, y: &Self::Right, c: &Self::Compl) -> (Self::Left, Self::Compl) {
+        (**self).put_l(y, c)
+    }
+}
+
+/// The identity symmetric lens.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IdentitySym<T>(std::marker::PhantomData<fn(T) -> T>);
+
+impl<T> IdentitySym<T> {
+    /// Build the identity.
+    pub fn new() -> Self {
+        IdentitySym(std::marker::PhantomData)
+    }
+}
+
+impl<T: Clone> SymLens for IdentitySym<T> {
+    type Left = T;
+    type Right = T;
+    type Compl = ();
+    fn missing(&self) {}
+    fn put_r(&self, x: &T, _c: &()) -> (T, ()) {
+        (x.clone(), ())
+    }
+    fn put_l(&self, y: &T, _c: &()) -> (T, ()) {
+        (y.clone(), ())
+    }
+}
+
+/// Composition of symmetric lenses; the complement is the pair of
+/// complements.
+#[derive(Clone, Copy, Debug)]
+pub struct ComposeSym<L, M> {
+    first: L,
+    second: M,
+}
+
+impl<L, M> ComposeSym<L, M> {
+    /// Compose `first; second`.
+    pub fn new(first: L, second: M) -> Self {
+        ComposeSym { first, second }
+    }
+}
+
+/// Compose two symmetric lenses (free function form).
+pub fn compose_sym<L, M>(first: L, second: M) -> ComposeSym<L, M>
+where
+    L: SymLens,
+    M: SymLens<Left = L::Right>,
+{
+    ComposeSym { first, second }
+}
+
+impl<L, M> SymLens for ComposeSym<L, M>
+where
+    L: SymLens,
+    M: SymLens<Left = L::Right>,
+{
+    type Left = L::Left;
+    type Right = M::Right;
+    type Compl = (L::Compl, M::Compl);
+
+    fn missing(&self) -> Self::Compl {
+        (self.first.missing(), self.second.missing())
+    }
+
+    fn put_r(&self, x: &L::Left, c: &Self::Compl) -> (M::Right, Self::Compl) {
+        let (mid, c1) = self.first.put_r(x, &c.0);
+        let (y, c2) = self.second.put_r(&mid, &c.1);
+        (y, (c1, c2))
+    }
+
+    fn put_l(&self, y: &M::Right, c: &Self::Compl) -> (L::Left, Self::Compl) {
+        let (mid, c2) = self.second.put_l(y, &c.1);
+        let (x, c1) = self.first.put_l(&mid, &c.0);
+        (x, (c1, c2))
+    }
+}
+
+/// Inversion of a symmetric lens: swap left and right. The paper's key
+/// structural advantage over st-tgds — inversion always exists and is
+/// an involution.
+#[derive(Clone, Copy, Debug)]
+pub struct InvertSym<L> {
+    inner: L,
+}
+
+impl<L> InvertSym<L> {
+    /// Invert `inner`.
+    pub fn new(inner: L) -> Self {
+        InvertSym { inner }
+    }
+
+    /// Undo the inversion, returning the inner lens.
+    pub fn into_inner(self) -> L {
+        self.inner
+    }
+}
+
+/// Invert a symmetric lens (free function form).
+///
+/// ```
+/// use dex_lens::symmetric::{invert, IdentitySym, SymLens};
+///
+/// let id: IdentitySym<i64> = IdentitySym::new();
+/// let inv = invert(IdentitySym::<i64>::new());
+/// let (y, _) = id.put_r(&7, &id.missing());
+/// let (y2, _) = inv.put_l(&7, &inv.missing());
+/// assert_eq!(y, y2); // inversion swaps the directions
+/// ```
+pub fn invert<L: SymLens>(l: L) -> InvertSym<L> {
+    InvertSym { inner: l }
+}
+
+impl<L: SymLens> SymLens for InvertSym<L> {
+    type Left = L::Right;
+    type Right = L::Left;
+    type Compl = L::Compl;
+
+    fn missing(&self) -> L::Compl {
+        self.inner.missing()
+    }
+
+    fn put_r(&self, x: &L::Right, c: &L::Compl) -> (L::Left, L::Compl) {
+        self.inner.put_l(x, c)
+    }
+
+    fn put_l(&self, y: &L::Left, c: &L::Compl) -> (L::Right, L::Compl) {
+        self.inner.put_r(y, c)
+    }
+}
+
+/// Embed an asymmetric lens `S → V` as a symmetric lens between `S`
+/// and `V`; the complement remembers the last source (so `put_l` can
+/// restore the hidden part).
+#[derive(Clone, Debug)]
+pub struct FromLens<L: Lens> {
+    inner: L,
+    /// Fallback source for `put_l` with the `missing` complement.
+    seed: Option<L::Source>,
+}
+
+impl<L: Lens> FromLens<L> {
+    /// Embed `inner`; with no previous source, `put_l` falls back to
+    /// `create`.
+    pub fn new(inner: L) -> Self {
+        FromLens { inner, seed: None }
+    }
+
+    /// Embed with an explicit initial source used before any `put_r`.
+    pub fn with_seed(inner: L, seed: L::Source) -> Self {
+        FromLens {
+            inner,
+            seed: Some(seed),
+        }
+    }
+}
+
+impl<L> SymLens for FromLens<L>
+where
+    L: Lens,
+    L::Source: Clone,
+    L::View: Clone,
+{
+    type Left = L::Source;
+    type Right = L::View;
+    type Compl = Option<L::Source>;
+
+    fn missing(&self) -> Option<L::Source> {
+        self.seed.clone()
+    }
+
+    fn put_r(&self, x: &L::Source, _c: &Option<L::Source>) -> (L::View, Option<L::Source>) {
+        (self.inner.get(x), Some(x.clone()))
+    }
+
+    fn put_l(&self, y: &L::View, c: &Option<L::Source>) -> (L::Source, Option<L::Source>) {
+        let s = match c {
+            Some(prev) => self.inner.put(y, prev),
+            None => self.inner.create(y),
+        };
+        let compl = Some(s.clone());
+        (s, compl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asymmetric::ConstComplement;
+    use crate::laws;
+
+    /// A symmetric lens between (name, age) and (name, city): the
+    /// complement stores the (age, city) pair neither side shares.
+    #[derive(Clone)]
+    struct NameBridge;
+
+    impl SymLens for NameBridge {
+        type Left = (String, u32);
+        type Right = (String, String);
+        type Compl = (u32, String);
+
+        fn missing(&self) -> (u32, String) {
+            (0, "unknown".into())
+        }
+
+        fn put_r(&self, x: &(String, u32), c: &(u32, String)) -> ((String, String), (u32, String)) {
+            ((x.0.clone(), c.1.clone()), (x.1, c.1.clone()))
+        }
+
+        fn put_l(&self, y: &(String, String), c: &(u32, String)) -> ((String, u32), (u32, String)) {
+            ((y.0.clone(), c.0), (c.0, y.1.clone()))
+        }
+    }
+
+    #[test]
+    fn name_bridge_laws() {
+        let l = NameBridge;
+        let report = laws::check_sym_well_behaved(
+            &l,
+            &[("alice".into(), 30), ("bob".into(), 40)],
+            &[("carol".into(), "Sydney".into())],
+            &[l.missing(), (7, "Santiago".into())],
+        );
+        assert!(report.all_ok(), "{report}");
+    }
+
+    #[test]
+    fn round_trip_preserves_private_data() {
+        let l = NameBridge;
+        let c0 = l.missing();
+        // Push left → right: age 30 is remembered in the complement.
+        let ((name, city), c1) = l.put_r(&("alice".into(), 30), &c0);
+        assert_eq!(name, "alice");
+        assert_eq!(city, "unknown");
+        // Edit the right side's city, push back: age restored.
+        let ((name2, age), c2) = l.put_l(&("alice".into(), "Sydney".into()), &c1);
+        assert_eq!((name2.as_str(), age), ("alice", 30));
+        // Push right again: city survived in the complement.
+        let ((_, city2), _) = l.put_r(&("alice".into(), 30), &c2);
+        assert_eq!(city2, "Sydney");
+    }
+
+    #[test]
+    fn inversion_swaps_directions() {
+        let l = NameBridge;
+        let inv = invert(NameBridge);
+        let c = l.missing();
+        let (y, c1) = l.put_r(&("a".into(), 1), &c);
+        let (y2, c2) = inv.put_l(&("a".into(), 1), &c);
+        assert_eq!(y, y2);
+        assert_eq!(c1, c2);
+        // Double inversion is the identity on behaviour.
+        let dbl = invert(invert(NameBridge));
+        let (y3, _) = dbl.put_r(&("a".into(), 1), &c);
+        assert_eq!(y, y3);
+    }
+
+    #[test]
+    fn composition_pairs_complements() {
+        // (name,age) <-> (name,city) <-> name (via FromLens of a
+        // projection lens).
+        let proj: ConstComplement<String, String> = ConstComplement::new("nocity".into());
+        // Right type of NameBridge is (String, String) = (name, city);
+        // embed proj as symmetric (String, String) <-> String.
+        let second = FromLens::new(proj);
+        let l = compose_sym(NameBridge, second);
+        let c0 = l.missing();
+        let (name, c1) = l.put_r(&("alice".into(), 30), &c0);
+        assert_eq!(name, "alice");
+        // Push back an edited name: age restored from complement 1,
+        // city from complement 2.
+        let ((name2, age), _c2) = l.put_l(&"alicia".to_string(), &c1);
+        assert_eq!(name2, "alicia");
+        assert_eq!(age, 30);
+    }
+
+    #[test]
+    fn from_lens_laws() {
+        let proj: ConstComplement<String, u32> = ConstComplement::new(0);
+        let sym = FromLens::new(proj);
+        let report = laws::check_sym_well_behaved(
+            &sym,
+            &[("a".into(), 3), ("b".into(), 4)],
+            &["x".to_string()],
+            &[None, Some(("c".into(), 9))],
+        );
+        assert!(report.all_ok(), "{report}");
+    }
+
+    #[test]
+    fn from_lens_missing_uses_create() {
+        let proj: ConstComplement<String, u32> = ConstComplement::new(42);
+        let sym = FromLens::new(proj);
+        let (s, _) = sym.put_l(&"fresh".to_string(), &None);
+        assert_eq!(s, ("fresh".to_string(), 42));
+    }
+
+    #[test]
+    fn identity_sym_laws() {
+        let l: IdentitySym<i64> = IdentitySym::new();
+        let report = laws::check_sym_well_behaved(&l, &[1, 2], &[3], &[()]);
+        assert!(report.all_ok());
+    }
+
+    #[test]
+    fn boxed_symlens() {
+        let b: BoxSymLens<(String, u32), (String, String), (u32, String)> =
+            Box::new(NameBridge);
+        let (y, _) = b.put_r(&("n".into(), 5), &b.missing());
+        assert_eq!(y.0, "n");
+    }
+}

@@ -1,0 +1,160 @@
+//! Relational atoms `R(t₁, …, tₙ)`.
+
+use crate::term::Term;
+use dex_relational::{Name, RelationalError, Schema, Tuple, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A relational atom: a relation name applied to terms.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Atom {
+    /// The relation name.
+    pub relation: Name,
+    /// The argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Build an atom.
+    pub fn new(relation: impl Into<Name>, args: Vec<Term>) -> Self {
+        Atom {
+            relation: relation.into(),
+            args,
+        }
+    }
+
+    /// Shorthand: atom whose arguments are all variables.
+    pub fn vars(relation: impl Into<Name>, vars: &[&str]) -> Self {
+        Atom::new(relation, vars.iter().map(|v| Term::var(*v)).collect())
+    }
+
+    /// Arity of the atom.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Collect variables in first-occurrence order.
+    pub fn collect_vars(&self, out: &mut Vec<Name>) {
+        for a in &self.args {
+            a.collect_vars(out);
+        }
+    }
+
+    /// All variables of the atom, in order.
+    pub fn variables(&self) -> Vec<Name> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    /// Validate against a schema: the relation must exist with matching
+    /// arity.
+    pub fn validate(&self, schema: &Schema) -> Result<(), RelationalError> {
+        let rel = schema.expect_relation(self.relation.as_str())?;
+        if rel.arity() != self.arity() {
+            return Err(RelationalError::ArityMismatch {
+                relation: self.relation.clone(),
+                expected: rel.arity(),
+                actual: self.arity(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Instantiate into a tuple under `valuation`. Returns `None` if a
+    /// variable is unbound.
+    pub fn instantiate(&self, valuation: &BTreeMap<Name, Value>) -> Option<Tuple> {
+        self.args.iter().map(|t| t.eval(valuation)).collect::<Option<Vec<_>>>().map(Tuple::new)
+    }
+
+    /// Substitute variables by terms.
+    pub fn substitute(&self, subst: &BTreeMap<Name, Term>) -> Atom {
+        Atom {
+            relation: self.relation.clone(),
+            args: self.args.iter().map(|t| t.substitute(subst)).collect(),
+        }
+    }
+
+    /// Rename all variables with a prefix.
+    pub fn prefix_vars(&self, prefix: &str) -> Atom {
+        Atom {
+            relation: self.relation.clone(),
+            args: self.args.iter().map(|t| t.prefix_vars(prefix)).collect(),
+        }
+    }
+
+    /// Does any argument contain a Skolem-function application?
+    pub fn has_func(&self) -> bool {
+        self.args.iter().any(Term::has_func)
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Display a conjunction of atoms joined by `∧`.
+pub(crate) fn display_conjunction(atoms: &[Atom]) -> String {
+    atoms
+        .iter()
+        .map(|a| a.to_string())
+        .collect::<Vec<_>>()
+        .join(" ∧ ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_relational::{RelSchema, Schema};
+
+    fn schema() -> Schema {
+        Schema::with_relations(vec![
+            RelSchema::untyped("Emp", vec!["name"]).unwrap(),
+            RelSchema::untyped("Manager", vec!["emp", "mgr"]).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn vars_shorthand() {
+        let a = Atom::vars("Manager", &["x", "y"]);
+        assert_eq!(a.arity(), 2);
+        assert_eq!(a.variables(), vec![Name::new("x"), Name::new("y")]);
+    }
+
+    #[test]
+    fn validate_checks_existence_and_arity() {
+        let s = schema();
+        assert!(Atom::vars("Emp", &["x"]).validate(&s).is_ok());
+        assert!(Atom::vars("Emp", &["x", "y"]).validate(&s).is_err());
+        assert!(Atom::vars("Nope", &["x"]).validate(&s).is_err());
+    }
+
+    #[test]
+    fn instantiate_builds_tuple() {
+        let a = Atom::new("Manager", vec![Term::var("x"), Term::cnst("Ted")]);
+        let mut v = BTreeMap::new();
+        v.insert(Name::new("x"), Value::str("Alice"));
+        let t = a.instantiate(&v).unwrap();
+        assert_eq!(t, dex_relational::tuple!["Alice", "Ted"]);
+        // Unbound variable → None.
+        let b = Atom::vars("Manager", &["x", "z"]);
+        assert_eq!(b.instantiate(&v), None);
+    }
+
+    #[test]
+    fn display_conjunction_form() {
+        let atoms = vec![Atom::vars("Emp", &["x"]), Atom::vars("Manager", &["x", "y"])];
+        assert_eq!(display_conjunction(&atoms), "Emp(x) ∧ Manager(x, y)");
+    }
+}

@@ -1,0 +1,418 @@
+//! Visual correspondences compiled to st-tgds (paper Figure 1).
+//!
+//! In practice (paper §2, citing Clio [9]) “an end user does not
+//! directly specify a mapping by writing down an st-tgd, but by
+//! specifying some simple correspondences usually exploiting some
+//! visual interface … These visual representations are then compiled
+//! into sets of st-tgds.”
+//!
+//! The model here: a [`CorrespondenceSet`] is a list of
+//! [`CorrespondenceGroup`]s (one per box-and-lines diagram). A group
+//! names the participating source and target relations, the *join
+//! lines* drawn inside each side (equalities between attributes), and
+//! the *arrows* drawn across (source attribute → target attribute).
+//! Compilation produces one st-tgd per group: source relations become
+//! the left-hand conjunction with join lines unifying variables; target
+//! attributes that no arrow reaches become existential variables —
+//! exactly the provenance of the labeled nulls the exchange will later
+//! create (and of the update-policy holes the lens compiler exposes).
+
+use crate::atom::Atom;
+use crate::term::Term;
+use crate::tgd::StTgd;
+use dex_relational::{Name, RelationalError, Schema};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A (relation, attribute) position.
+pub type AttrRef = (Name, Name);
+
+fn attr_ref(rel: &str, attr: &str) -> AttrRef {
+    (Name::new(rel), Name::new(attr))
+}
+
+/// An arrow from a source attribute to a target attribute.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Arrow {
+    /// Source (relation, attribute).
+    pub from: AttrRef,
+    /// Target (relation, attribute).
+    pub to: AttrRef,
+}
+
+impl Arrow {
+    /// Build an arrow `rel.attr → rel.attr`.
+    pub fn new(from_rel: &str, from_attr: &str, to_rel: &str, to_attr: &str) -> Self {
+        Arrow {
+            from: attr_ref(from_rel, from_attr),
+            to: attr_ref(to_rel, to_attr),
+        }
+    }
+}
+
+/// One diagram: the relations in play, the join lines on each side, and
+/// the arrows across.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct CorrespondenceGroup {
+    /// Source relations (each may appear once per group).
+    pub source_rels: Vec<Name>,
+    /// Target relations.
+    pub target_rels: Vec<Name>,
+    /// Join lines among source attributes (equalities).
+    pub source_joins: Vec<(AttrRef, AttrRef)>,
+    /// Join lines among target attributes (shared existentials).
+    pub target_joins: Vec<(AttrRef, AttrRef)>,
+    /// The cross arrows.
+    pub arrows: Vec<Arrow>,
+}
+
+impl CorrespondenceGroup {
+    /// Start a group over the given relations.
+    pub fn new(source_rels: Vec<&str>, target_rels: Vec<&str>) -> Self {
+        CorrespondenceGroup {
+            source_rels: source_rels.into_iter().map(Name::new).collect(),
+            target_rels: target_rels.into_iter().map(Name::new).collect(),
+            ..Default::default()
+        }
+    }
+
+    /// Add a join line between two source attributes.
+    pub fn join_source(mut self, a: (&str, &str), b: (&str, &str)) -> Self {
+        self.source_joins
+            .push((attr_ref(a.0, a.1), attr_ref(b.0, b.1)));
+        self
+    }
+
+    /// Add a join line between two target attributes (they will share
+    /// one existential variable unless an arrow reaches them).
+    pub fn join_target(mut self, a: (&str, &str), b: (&str, &str)) -> Self {
+        self.target_joins
+            .push((attr_ref(a.0, a.1), attr_ref(b.0, b.1)));
+        self
+    }
+
+    /// Add an arrow.
+    pub fn arrow(mut self, from: (&str, &str), to: (&str, &str)) -> Self {
+        self.arrows.push(Arrow::new(from.0, from.1, to.0, to.1));
+        self
+    }
+
+    /// Compile this group to one st-tgd.
+    pub fn compile(&self, source: &Schema, target: &Schema) -> Result<StTgd, RelationalError> {
+        // Union-find over source attribute positions, seeded by joins.
+        let mut parent: BTreeMap<AttrRef, AttrRef> = BTreeMap::new();
+        for rel in &self.source_rels {
+            let rs = source.expect_relation(rel.as_str())?;
+            for a in rs.attr_names() {
+                parent.insert((rel.clone(), a.clone()), (rel.clone(), a.clone()));
+            }
+        }
+        fn find(parent: &mut BTreeMap<AttrRef, AttrRef>, x: &AttrRef) -> AttrRef {
+            let p = parent
+                .get(x)
+                .unwrap_or_else(|| panic!("unknown attribute {}.{}", x.0, x.1))
+                .clone();
+            if &p == x {
+                return p;
+            }
+            let root = find(parent, &p);
+            parent.insert(x.clone(), root.clone());
+            root
+        }
+        for (a, b) in &self.source_joins {
+            if !parent.contains_key(a) {
+                return Err(RelationalError::UnknownAttribute {
+                    relation: a.0.clone(),
+                    attribute: a.1.clone(),
+                });
+            }
+            if !parent.contains_key(b) {
+                return Err(RelationalError::UnknownAttribute {
+                    relation: b.0.clone(),
+                    attribute: b.1.clone(),
+                });
+            }
+            let ra = find(&mut parent, a);
+            let rb = find(&mut parent, b);
+            parent.insert(ra, rb);
+        }
+
+        // Name each source equivalence class with a readable variable.
+        let mut namer = VarNamer::default();
+        let mut class_var: BTreeMap<AttrRef, Name> = BTreeMap::new();
+        let mut var_of = |parent: &mut BTreeMap<AttrRef, AttrRef>,
+                          pos: &AttrRef,
+                          namer: &mut VarNamer|
+         -> Name {
+            let root = find(parent, pos);
+            class_var
+                .entry(root)
+                .or_insert_with(|| namer.universal())
+                .clone()
+        };
+
+        // Build lhs atoms.
+        let mut lhs = Vec::new();
+        let mut src_var: BTreeMap<AttrRef, Name> = BTreeMap::new();
+        for rel in &self.source_rels {
+            let rs = source.expect_relation(rel.as_str())?;
+            let mut args = Vec::with_capacity(rs.arity());
+            for a in rs.attr_names() {
+                let pos = (rel.clone(), a.clone());
+                let v = var_of(&mut parent, &pos, &mut namer);
+                src_var.insert(pos, v.clone());
+                args.push(Term::Var(v));
+            }
+            lhs.push(Atom::new(rel.clone(), args));
+        }
+
+        // Arrows: target position → source variable.
+        let mut tgt_assignment: BTreeMap<AttrRef, Term> = BTreeMap::new();
+        for arrow in &self.arrows {
+            let v = src_var
+                .get(&arrow.from)
+                .ok_or_else(|| RelationalError::UnknownAttribute {
+                    relation: arrow.from.0.clone(),
+                    attribute: arrow.from.1.clone(),
+                })?
+                .clone();
+            tgt_assignment.insert(arrow.to.clone(), Term::Var(v));
+        }
+
+        // Target joins: unreached positions joined together share an
+        // existential.
+        let mut tgt_parent: BTreeMap<AttrRef, AttrRef> = BTreeMap::new();
+        for rel in &self.target_rels {
+            let rs = target.expect_relation(rel.as_str())?;
+            for a in rs.attr_names() {
+                tgt_parent.insert((rel.clone(), a.clone()), (rel.clone(), a.clone()));
+            }
+        }
+        for (a, b) in &self.target_joins {
+            if !tgt_parent.contains_key(a) || !tgt_parent.contains_key(b) {
+                return Err(RelationalError::UnknownAttribute {
+                    relation: a.0.clone(),
+                    attribute: a.1.clone(),
+                });
+            }
+            let ra = find(&mut tgt_parent, a);
+            let rb = find(&mut tgt_parent, b);
+            tgt_parent.insert(ra, rb);
+        }
+        // Propagate arrow assignments across target joins, then invent
+        // existentials for untouched classes.
+        let mut class_term: BTreeMap<AttrRef, Term> = BTreeMap::new();
+        for (pos, term) in &tgt_assignment {
+            let root = find(&mut tgt_parent, pos);
+            class_term.insert(root, term.clone());
+        }
+        let mut rhs = Vec::new();
+        for rel in &self.target_rels {
+            let rs = target.expect_relation(rel.as_str())?;
+            let mut args = Vec::with_capacity(rs.arity());
+            for a in rs.attr_names() {
+                let pos = (rel.clone(), a.clone());
+                let root = find(&mut tgt_parent, &pos);
+                let term = class_term
+                    .entry(root)
+                    .or_insert_with(|| Term::Var(namer.existential()))
+                    .clone();
+                args.push(term);
+            }
+            rhs.push(Atom::new(rel.clone(), args));
+        }
+
+        Ok(StTgd::new(lhs, rhs))
+    }
+}
+
+/// A set of correspondence groups — the whole diagram.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct CorrespondenceSet {
+    /// The groups.
+    pub groups: Vec<CorrespondenceGroup>,
+}
+
+impl CorrespondenceSet {
+    /// Build from groups.
+    pub fn new(groups: Vec<CorrespondenceGroup>) -> Self {
+        CorrespondenceSet { groups }
+    }
+
+    /// Compile every group; one st-tgd per group.
+    pub fn compile(&self, source: &Schema, target: &Schema) -> Result<Vec<StTgd>, RelationalError> {
+        self.groups.iter().map(|g| g.compile(source, target)).collect()
+    }
+}
+
+/// Readable variable names: universals x, y, w, u, v, …; existentials
+/// z, z1, z2, ….
+#[derive(Default)]
+struct VarNamer {
+    universal_count: usize,
+    existential_count: usize,
+}
+
+impl VarNamer {
+    fn universal(&mut self) -> Name {
+        const SEQ: [&str; 5] = ["x", "y", "w", "u", "v"];
+        let n = self.universal_count;
+        self.universal_count += 1;
+        if n < SEQ.len() {
+            Name::new(SEQ[n])
+        } else {
+            Name::new(format!("x{n}"))
+        }
+    }
+
+    fn existential(&mut self) -> Name {
+        let n = self.existential_count;
+        self.existential_count += 1;
+        if n == 0 {
+            Name::new("z")
+        } else {
+            Name::new(format!("z{n}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_relational::RelSchema;
+
+    /// The schemas of the paper's Figure 1.
+    fn figure1_schemas() -> (Schema, Schema) {
+        let source = Schema::with_relations(vec![
+            RelSchema::untyped("Takes", vec!["name", "course"]).unwrap(),
+            RelSchema::untyped("SrcStudent", vec!["id", "name"]).unwrap(),
+            RelSchema::untyped("SrcAssgn", vec!["name", "course"]).unwrap(),
+        ])
+        .unwrap();
+        let target = Schema::with_relations(vec![
+            RelSchema::untyped("Student", vec!["id", "name"]).unwrap(),
+            RelSchema::untyped("Assgn", vec!["name", "course"]).unwrap(),
+            RelSchema::untyped("Enrollment", vec!["id", "course"]).unwrap(),
+        ])
+        .unwrap();
+        (source, target)
+    }
+
+    /// Upper part of Figure 1:
+    /// `∀x∀y (Takes(x, y) → ∃z (Student(z, x) ∧ Assgn(x, y)))`.
+    #[test]
+    fn figure1_upper_compiles_to_paper_tgd() {
+        let (source, target) = figure1_schemas();
+        let g = CorrespondenceGroup::new(vec!["Takes"], vec!["Student", "Assgn"])
+            .arrow(("Takes", "name"), ("Student", "name"))
+            .arrow(("Takes", "name"), ("Assgn", "name"))
+            .arrow(("Takes", "course"), ("Assgn", "course"));
+        let tgd = g.compile(&source, &target).unwrap();
+        assert_eq!(
+            tgd.to_string(),
+            "∀x,y (Takes(x, y) → ∃z Student(z, x) ∧ Assgn(x, y))"
+        );
+    }
+
+    /// Lower part of Figure 1:
+    /// `∀x∀w (∃y (Student(x, y) ∧ Assgn(y, w)) → Enrollment(x, w))`
+    /// (the paper writes the source-side existential explicitly; with
+    /// implicit quantification the same tgd is
+    /// `Student(x,y) ∧ Assgn(y,w) → Enrollment(x,w)`).
+    #[test]
+    fn figure1_lower_compiles_to_paper_tgd() {
+        let (source, target) = figure1_schemas();
+        let g = CorrespondenceGroup::new(vec!["SrcStudent", "SrcAssgn"], vec!["Enrollment"])
+            .join_source(("SrcStudent", "name"), ("SrcAssgn", "name"))
+            .arrow(("SrcStudent", "id"), ("Enrollment", "id"))
+            .arrow(("SrcAssgn", "course"), ("Enrollment", "course"));
+        let tgd = g.compile(&source, &target).unwrap();
+        assert_eq!(tgd.lhs.len(), 2);
+        assert_eq!(tgd.rhs.len(), 1);
+        // The join forces one shared variable between the two lhs atoms.
+        let v0 = tgd.lhs[0].args[1].clone(); // SrcStudent.name
+        let v1 = tgd.lhs[1].args[0].clone(); // SrcAssgn.name
+        assert_eq!(v0, v1);
+        assert!(tgd.is_full(), "no target existentials here");
+        assert_eq!(
+            tgd.to_string(),
+            "∀x,y,w (SrcStudent(x, y) ∧ SrcAssgn(y, w) → Enrollment(x, w))"
+        );
+    }
+
+    #[test]
+    fn whole_figure1_compiles_as_a_set() {
+        let (source, target) = figure1_schemas();
+        let set = CorrespondenceSet::new(vec![
+            CorrespondenceGroup::new(vec!["Takes"], vec!["Student", "Assgn"])
+                .arrow(("Takes", "name"), ("Student", "name"))
+                .arrow(("Takes", "name"), ("Assgn", "name"))
+                .arrow(("Takes", "course"), ("Assgn", "course")),
+            CorrespondenceGroup::new(vec!["SrcStudent", "SrcAssgn"], vec!["Enrollment"])
+                .join_source(("SrcStudent", "name"), ("SrcAssgn", "name"))
+                .arrow(("SrcStudent", "id"), ("Enrollment", "id"))
+                .arrow(("SrcAssgn", "course"), ("Enrollment", "course")),
+        ]);
+        let tgds = set.compile(&source, &target).unwrap();
+        assert_eq!(tgds.len(), 2);
+        for t in &tgds {
+            assert!(t.validate(&source, &target).is_ok());
+        }
+    }
+
+    #[test]
+    fn unreached_target_attrs_get_distinct_existentials() {
+        let source = Schema::with_relations(vec![
+            RelSchema::untyped("P1", vec!["id", "name"]).unwrap()
+        ])
+        .unwrap();
+        let target = Schema::with_relations(vec![RelSchema::untyped(
+            "P2",
+            vec!["id", "name", "salary", "zip"],
+        )
+        .unwrap()])
+        .unwrap();
+        let g = CorrespondenceGroup::new(vec!["P1"], vec!["P2"])
+            .arrow(("P1", "id"), ("P2", "id"))
+            .arrow(("P1", "name"), ("P2", "name"));
+        let tgd = g.compile(&source, &target).unwrap();
+        let ex = tgd.existential_vars();
+        assert_eq!(ex.len(), 2, "salary and zip each get their own ∃ var");
+        assert_ne!(ex[0], ex[1]);
+    }
+
+    #[test]
+    fn target_join_shares_one_existential() {
+        let source = Schema::with_relations(vec![
+            RelSchema::untyped("R", vec!["a"]).unwrap()
+        ])
+        .unwrap();
+        let target = Schema::with_relations(vec![
+            RelSchema::untyped("S", vec!["a", "k"]).unwrap(),
+            RelSchema::untyped("T", vec!["k", "b"]).unwrap(),
+        ])
+        .unwrap();
+        let g = CorrespondenceGroup::new(vec!["R"], vec!["S", "T"])
+            .arrow(("R", "a"), ("S", "a"))
+            .join_target(("S", "k"), ("T", "k"));
+        let tgd = g.compile(&source, &target).unwrap();
+        // S(x, z) ∧ T(z, z1): the joined k's share z; T.b gets its own.
+        assert_eq!(tgd.rhs[0].args[1], tgd.rhs[1].args[0]);
+        assert_ne!(tgd.rhs[1].args[0], tgd.rhs[1].args[1]);
+    }
+
+    #[test]
+    fn arrow_from_unknown_attribute_errors() {
+        let (source, target) = figure1_schemas();
+        let g = CorrespondenceGroup::new(vec!["Takes"], vec!["Student"])
+            .arrow(("Takes", "nope"), ("Student", "name"));
+        assert!(g.compile(&source, &target).is_err());
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        let (source, target) = figure1_schemas();
+        let g = CorrespondenceGroup::new(vec!["Missing"], vec!["Student"]);
+        assert!(g.compile(&source, &target).is_err());
+    }
+}

@@ -1,0 +1,294 @@
+//! Conjunctive-formula matching over instances.
+//!
+//! This is the workhorse shared by satisfaction checking and the chase:
+//! find every valuation of the variables of a conjunction of atoms that
+//! makes all atoms facts of the instance.
+
+use crate::atom::Atom;
+use crate::term::Term;
+use dex_relational::{Instance, Name, Tuple, Value};
+use std::collections::BTreeMap;
+
+/// A variable assignment.
+pub type Valuation = BTreeMap<Name, Value>;
+
+/// All valuations satisfying the conjunction in `inst`.
+pub fn match_conjunction(atoms: &[Atom], inst: &Instance) -> Vec<Valuation> {
+    extend_matches(atoms, inst, &Valuation::new())
+}
+
+/// All extensions of `partial` satisfying the conjunction in `inst`.
+///
+/// Atoms are matched in an order chosen greedily: at each step the atom
+/// with the most already-bound variables (ties broken by smaller
+/// candidate relation) is matched next, which keeps the join tree
+/// selective.
+pub fn extend_matches(atoms: &[Atom], inst: &Instance, partial: &Valuation) -> Vec<Valuation> {
+    let mut out = Vec::new();
+    let mut remaining: Vec<&Atom> = atoms.iter().collect();
+    let mut v = partial.clone();
+    search(&mut remaining, inst, &mut v, &mut out);
+    out
+}
+
+/// Does at least one extension of `partial` satisfy the conjunction?
+/// Stops at the first witness.
+pub fn has_match(atoms: &[Atom], inst: &Instance, partial: &Valuation) -> bool {
+    // A dedicated early-exit traversal: reuse `search` would collect all.
+    fn go(remaining: &mut Vec<&Atom>, inst: &Instance, v: &mut Valuation) -> bool {
+        let Some(idx) = pick_next(remaining, inst, v) else {
+            return true;
+        };
+        let atom = remaining.swap_remove(idx);
+        let found = match inst.relation(atom.relation.as_str()) {
+            None => false,
+            Some(rel) => rel.iter().any(|t| {
+                let mut v2 = v.clone();
+                unify_atom(atom, t, &mut v2)
+                    && {
+                        let saved = std::mem::replace(v, v2);
+                        let ok = go(remaining, inst, v);
+                        if !ok {
+                            *v = saved;
+                        }
+                        ok
+                    }
+            }),
+        };
+        if !found {
+            remaining.push(atom); // restore for caller's backtracking
+        }
+        found
+    }
+    let mut remaining: Vec<&Atom> = atoms.iter().collect();
+    let mut v = partial.clone();
+    go(&mut remaining, inst, &mut v)
+}
+
+fn pick_next(remaining: &[&Atom], inst: &Instance, v: &Valuation) -> Option<usize> {
+    if remaining.is_empty() {
+        return None;
+    }
+    let score = |a: &Atom| -> (usize, usize) {
+        let bound = a
+            .variables()
+            .iter()
+            .filter(|x| v.contains_key(x.as_str()))
+            .count();
+        let unbound = a.variables().len() - bound;
+        let size = inst
+            .relation(a.relation.as_str())
+            .map(|r| r.len())
+            .unwrap_or(0);
+        (unbound, size)
+    };
+    let mut best = 0;
+    let mut best_score = score(remaining[0]);
+    for (i, a) in remaining.iter().enumerate().skip(1) {
+        let s = score(a);
+        if s < best_score {
+            best = i;
+            best_score = s;
+        }
+    }
+    Some(best)
+}
+
+fn search(
+    remaining: &mut Vec<&Atom>,
+    inst: &Instance,
+    v: &mut Valuation,
+    out: &mut Vec<Valuation>,
+) {
+    let Some(idx) = pick_next(remaining, inst, v) else {
+        out.push(v.clone());
+        return;
+    };
+    let atom = remaining.swap_remove(idx);
+    if let Some(rel) = inst.relation(atom.relation.as_str()) {
+        for t in rel.iter() {
+            let mut v2 = v.clone();
+            if unify_atom(atom, t, &mut v2) {
+                let saved = std::mem::replace(v, v2);
+                search(remaining, inst, v, out);
+                *v = saved;
+            }
+        }
+    }
+    remaining.push(atom);
+}
+
+/// Unify one atom's terms against a tuple, extending `v`. Returns
+/// `false` (with `v` possibly dirtied — callers clone) on mismatch.
+fn unify_atom(atom: &Atom, tuple: &Tuple, v: &mut Valuation) -> bool {
+    debug_assert_eq!(atom.arity(), tuple.arity());
+    for (term, val) in atom.args.iter().zip(tuple.iter()) {
+        if !unify_term(term, val, v) {
+            return false;
+        }
+    }
+    true
+}
+
+fn unify_term(term: &Term, val: &Value, v: &mut Valuation) -> bool {
+    match term {
+        Term::Var(x) => match v.get(x.as_str()) {
+            Some(bound) => bound == val,
+            None => {
+                v.insert(x.clone(), val.clone());
+                true
+            }
+        },
+        Term::Const(c) => matches!(val, Value::Const(vc) if vc == c),
+        Term::Func(_, _) => {
+            // Function terms match only if fully evaluable under the
+            // current valuation, by syntactic equality.
+            match term.eval(v) {
+                Some(ev) => &ev == val,
+                None => false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_relational::{tuple, RelSchema, Schema};
+
+    fn db() -> Instance {
+        let schema = Schema::with_relations(vec![
+            RelSchema::untyped("Student", vec!["id", "name"]).unwrap(),
+            RelSchema::untyped("Assgn", vec!["name", "course"]).unwrap(),
+        ])
+        .unwrap();
+        Instance::with_facts(
+            schema,
+            vec![
+                (
+                    "Student",
+                    vec![tuple![1i64, "Alice"], tuple![2i64, "Bob"]],
+                ),
+                (
+                    "Assgn",
+                    vec![
+                        tuple!["Alice", "DB"],
+                        tuple!["Alice", "PL"],
+                        tuple!["Bob", "DB"],
+                    ],
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_atom_all_matches() {
+        let ms = match_conjunction(&[Atom::vars("Student", &["i", "n"])], &db());
+        assert_eq!(ms.len(), 2);
+    }
+
+    #[test]
+    fn join_via_shared_variable() {
+        // Student(i, n) ∧ Assgn(n, c): 3 joined rows.
+        let atoms = vec![
+            Atom::vars("Student", &["i", "n"]),
+            Atom::vars("Assgn", &["n", "c"]),
+        ];
+        let ms = match_conjunction(&atoms, &db());
+        assert_eq!(ms.len(), 3);
+        assert!(ms.iter().all(|m| m.len() == 3));
+    }
+
+    #[test]
+    fn constants_filter() {
+        let atoms = vec![Atom::new(
+            "Assgn",
+            vec![Term::var("n"), Term::cnst("DB")],
+        )];
+        let ms = match_conjunction(&atoms, &db());
+        assert_eq!(ms.len(), 2);
+    }
+
+    #[test]
+    fn repeated_variable_requires_equal_values() {
+        // Assgn(x, x): no row has name == course.
+        let atoms = vec![Atom::vars("Assgn", &["x", "x"])];
+        assert!(match_conjunction(&atoms, &db()).is_empty());
+    }
+
+    #[test]
+    fn partial_valuation_restricts() {
+        let mut partial = Valuation::new();
+        partial.insert(Name::new("n"), Value::str("Alice"));
+        let ms = extend_matches(&[Atom::vars("Assgn", &["n", "c"])], &db(), &partial);
+        assert_eq!(ms.len(), 2);
+        assert!(ms.iter().all(|m| m["n"] == Value::str("Alice")));
+    }
+
+    #[test]
+    fn has_match_early_exit_agrees() {
+        let atoms = vec![
+            Atom::vars("Student", &["i", "n"]),
+            Atom::vars("Assgn", &["n", "c"]),
+        ];
+        assert!(has_match(&atoms, &db(), &Valuation::new()));
+        let none = vec![Atom::new(
+            "Student",
+            vec![Term::var("i"), Term::cnst("Zed")],
+        )];
+        assert!(!has_match(&none, &db(), &Valuation::new()));
+    }
+
+    #[test]
+    fn empty_conjunction_matches_once() {
+        let ms = match_conjunction(&[], &db());
+        assert_eq!(ms.len(), 1);
+        assert!(ms[0].is_empty());
+    }
+
+    #[test]
+    fn unknown_relation_no_match() {
+        let ms = match_conjunction(&[Atom::vars("Nope", &["x"])], &db());
+        assert!(ms.is_empty());
+    }
+
+    #[test]
+    fn cartesian_when_no_shared_vars() {
+        let atoms = vec![
+            Atom::vars("Student", &["i", "n"]),
+            Atom::vars("Assgn", &["m", "c"]),
+        ];
+        let ms = match_conjunction(&atoms, &db());
+        assert_eq!(ms.len(), 6);
+    }
+
+    #[test]
+    fn function_term_matches_by_evaluation() {
+        use dex_relational::Tuple;
+        let schema = Schema::with_relations(vec![
+            RelSchema::untyped("Boss", vec!["emp", "mgr"]).unwrap()
+        ])
+        .unwrap();
+        let mut inst = Instance::empty(schema);
+        inst.insert(
+            "Boss",
+            Tuple::new(vec![
+                Value::str("Alice"),
+                Value::skolem("f", vec![Value::str("Alice")]),
+            ]),
+        )
+        .unwrap();
+        // Boss(x, f(x)) should match with x = Alice.
+        let atoms = vec![Atom::new(
+            "Boss",
+            vec![
+                Term::var("x"),
+                Term::func("f", vec![Term::var("x")]),
+            ],
+        )];
+        let ms = match_conjunction(&atoms, &inst);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0]["x"], Value::str("Alice"));
+    }
+}

@@ -1,0 +1,33 @@
+//! # dex-logic — schema-mapping logic
+//!
+//! The declarative layer of `dex`: first-order terms and atoms,
+//! **source-to-target tuple-generating dependencies** (st-tgds, the
+//! paper's formula (1)), target tgds and egds, **disjunctive tgds** (the
+//! shape of Example 3's inverse), and **second-order tgds** (SO-tgds,
+//! the shape of Example 2's composition), together with:
+//!
+//! * conjunctive-formula matching over instances (the evaluation engine
+//!   shared with the chase),
+//! * satisfaction checking — does a pair `(I, J)` satisfy a mapping?
+//! * a text parser and a paper-style pretty-printer for the mapping
+//!   language,
+//! * the **visual-correspondence compiler** (paper Figure 1): Clio-style
+//!   attribute arrows compiled into st-tgds.
+
+pub mod atom;
+pub mod correspondence;
+pub mod eval;
+pub mod mapping;
+pub mod parser;
+pub mod sotgd;
+pub mod term;
+pub mod tgd;
+
+pub use atom::Atom;
+pub use correspondence::{Arrow, CorrespondenceGroup, CorrespondenceSet};
+pub use eval::{extend_matches, match_conjunction, Valuation};
+pub use mapping::Mapping;
+pub use parser::{parse_disj_tgd, parse_egd, parse_mapping, parse_query, parse_tgd, ParseError};
+pub use sotgd::{SoClause, SoTgd};
+pub use term::Term;
+pub use tgd::{DisjTgd, Egd, StTgd};

@@ -1,0 +1,915 @@
+//! A text syntax for schema mappings.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! mapping    := (decl | rule)* ;
+//! decl       := ("source" | "target") Ident "(" attrs ")" ";"
+//!             | "key" Ident "(" attrs ")" ";"
+//! rule       := conj "->" disj ";"
+//! conj       := atom ("&" atom)*
+//! disj       := conj ("|" conj)*          -- "|" only in disjunctive rules
+//! atom       := Ident "(" term ("," term)* ")"
+//! term       := Ident | Int | String | "true" | "false"
+//! ```
+//!
+//! Variables are lowercase-initial identifiers; existential
+//! quantification is implicit (a right-hand-side variable not occurring
+//! on the left is existential, exactly as in the paper's formula (1)).
+//! Comments run from `--` or `//` to end of line.
+//!
+//! Example (the paper's Figure 1 mapping):
+//!
+//! ```text
+//! source Takes(name, course);
+//! target Student(id, name);
+//! target Assgn(name, course);
+//! Takes(x, y) -> Student(z, x) & Assgn(x, y);
+//! ```
+
+use crate::atom::Atom;
+use crate::mapping::Mapping;
+use crate::term::Term;
+use crate::tgd::{DisjTgd, Egd, StTgd};
+use dex_relational::{Constant, Fd, Name, RelSchema, RelationalError, Schema};
+use std::fmt;
+
+/// A parse failure, with 1-based line/column of the offending token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<RelationalError> for ParseError {
+    fn from(e: RelationalError) -> Self {
+        ParseError {
+            message: e.to_string(),
+            line: 0,
+            col: 0,
+        }
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Semi,
+    Arrow,
+    Amp,
+    Pipe,
+    Eq,
+    Turnstile,
+    Eof,
+}
+
+#[derive(Clone, Debug)]
+struct SpannedTok {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+fn tokenize(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut chars = input.chars().peekable();
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                col = 1;
+            } else if c.is_some() {
+                col += 1;
+            }
+            c
+        }};
+    }
+    loop {
+        let (l, c0) = (line, col);
+        let Some(&c) = chars.peek() else {
+            out.push(SpannedTok {
+                tok: Tok::Eof,
+                line,
+                col,
+            });
+            return Ok(out);
+        };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            '(' => {
+                bump!();
+                out.push(SpannedTok { tok: Tok::LParen, line: l, col: c0 });
+            }
+            ')' => {
+                bump!();
+                out.push(SpannedTok { tok: Tok::RParen, line: l, col: c0 });
+            }
+            ',' => {
+                bump!();
+                out.push(SpannedTok { tok: Tok::Comma, line: l, col: c0 });
+            }
+            ';' => {
+                bump!();
+                out.push(SpannedTok { tok: Tok::Semi, line: l, col: c0 });
+            }
+            '&' => {
+                bump!();
+                out.push(SpannedTok { tok: Tok::Amp, line: l, col: c0 });
+            }
+            '|' => {
+                bump!();
+                out.push(SpannedTok { tok: Tok::Pipe, line: l, col: c0 });
+            }
+            '=' => {
+                bump!();
+                out.push(SpannedTok { tok: Tok::Eq, line: l, col: c0 });
+            }
+            ':' => {
+                bump!();
+                if chars.peek() == Some(&'-') {
+                    bump!();
+                    out.push(SpannedTok { tok: Tok::Turnstile, line: l, col: c0 });
+                } else {
+                    return Err(ParseError {
+                        message: "expected `:-`".into(),
+                        line: l,
+                        col: c0,
+                    });
+                }
+            }
+            '-' => {
+                bump!();
+                match chars.peek() {
+                    Some('>') => {
+                        bump!();
+                        out.push(SpannedTok { tok: Tok::Arrow, line: l, col: c0 });
+                    }
+                    Some('-') => {
+                        // comment to end of line
+                        while let Some(&c2) = chars.peek() {
+                            if c2 == '\n' {
+                                break;
+                            }
+                            bump!();
+                        }
+                    }
+                    Some(d) if d.is_ascii_digit() => {
+                        let mut n = String::from("-");
+                        while let Some(&d) = chars.peek() {
+                            if d.is_ascii_digit() {
+                                n.push(d);
+                                bump!();
+                            } else {
+                                break;
+                            }
+                        }
+                        let v = n.parse::<i64>().map_err(|_| ParseError {
+                            message: format!("bad integer literal {n}"),
+                            line: l,
+                            col: c0,
+                        })?;
+                        out.push(SpannedTok { tok: Tok::Int(v), line: l, col: c0 });
+                    }
+                    _ => {
+                        return Err(ParseError {
+                            message: "expected `->`, `--`, or a number after `-`".into(),
+                            line: l,
+                            col: c0,
+                        })
+                    }
+                }
+            }
+            '/' => {
+                bump!();
+                if chars.peek() == Some(&'/') {
+                    while let Some(&c2) = chars.peek() {
+                        if c2 == '\n' {
+                            break;
+                        }
+                        bump!();
+                    }
+                } else {
+                    return Err(ParseError {
+                        message: "expected `//`".into(),
+                        line: l,
+                        col: c0,
+                    });
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                bump!();
+                let mut s = String::new();
+                loop {
+                    match bump!() {
+                        Some(c2) if c2 == quote => break,
+                        Some(c2) => s.push(c2),
+                        None => {
+                            return Err(ParseError {
+                                message: "unterminated string literal".into(),
+                                line: l,
+                                col: c0,
+                            })
+                        }
+                    }
+                }
+                out.push(SpannedTok { tok: Tok::Str(s), line: l, col: c0 });
+            }
+            d if d.is_ascii_digit() => {
+                let mut n = String::new();
+                while let Some(&d2) = chars.peek() {
+                    if d2.is_ascii_digit() {
+                        n.push(d2);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                let v = n.parse::<i64>().map_err(|_| ParseError {
+                    message: format!("bad integer literal {n}"),
+                    line: l,
+                    col: c0,
+                })?;
+                out.push(SpannedTok { tok: Tok::Int(v), line: l, col: c0 });
+            }
+            a if a.is_alphabetic() || a == '_' => {
+                let mut s = String::new();
+                while let Some(&a2) = chars.peek() {
+                    if a2.is_alphanumeric() || a2 == '_' {
+                        s.push(a2);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(SpannedTok { tok: Tok::Ident(s), line: l, col: c0 });
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character {other:?}"),
+                    line: l,
+                    col: c0,
+                })
+            }
+        }
+    }
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &SpannedTok {
+        &self.toks[self.pos.min(self.toks.len() - 1)]
+    }
+
+    fn next(&mut self) -> SpannedTok {
+        let t = self.toks[self.pos.min(self.toks.len() - 1)].clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        let t = self.peek();
+        ParseError {
+            message: message.into(),
+            line: t.line,
+            col: t.col,
+        }
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), ParseError> {
+        if &self.peek().tok == tok {
+            self.next();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek().tok.clone() {
+            Tok::Ident(s) => {
+                self.next();
+                Ok(s)
+            }
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        match self.peek().tok.clone() {
+            Tok::Ident(s) => {
+                self.next();
+                match s.as_str() {
+                    "true" => Ok(Term::cnst(true)),
+                    "false" => Ok(Term::cnst(false)),
+                    _ => Ok(Term::var(s)),
+                }
+            }
+            Tok::Int(i) => {
+                self.next();
+                Ok(Term::Const(Constant::Int(i)))
+            }
+            Tok::Str(s) => {
+                self.next();
+                Ok(Term::Const(Constant::Str(s)))
+            }
+            _ => Err(self.err("expected a term (variable, number, or string)")),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        let rel = self.ident("a relation name")?;
+        self.expect(&Tok::LParen, "`(`")?;
+        let mut args = vec![self.term()?];
+        while self.peek().tok == Tok::Comma {
+            self.next();
+            args.push(self.term()?);
+        }
+        self.expect(&Tok::RParen, "`)`")?;
+        Ok(Atom::new(rel, args))
+    }
+
+    fn conjunction(&mut self) -> Result<Vec<Atom>, ParseError> {
+        let mut atoms = vec![self.atom()?];
+        while self.peek().tok == Tok::Amp {
+            self.next();
+            atoms.push(self.atom()?);
+        }
+        Ok(atoms)
+    }
+
+    /// rule := conj -> conj (| conj)* ;   (a tgd)
+    fn rule(&mut self) -> Result<DisjTgd, ParseError> {
+        match self.rule_or_egd()? {
+            Rule::Tgd(d) => Ok(d),
+            Rule::Egd(_) => Err(self.err("expected a tgd, found an egd rule")),
+        }
+    }
+
+    /// rule := conj -> conj (| conj)* ;             (a tgd)
+    ///       | conj -> term = term (& term = term)* ; (an egd)
+    fn rule_or_egd(&mut self) -> Result<Rule, ParseError> {
+        let lhs = self.conjunction()?;
+        self.expect(&Tok::Arrow, "`->`")?;
+        // Lookahead: `Ident (` begins an atom (tgd); `term =` begins an
+        // equality (egd).
+        let is_atom = matches!(
+            (&self.toks[self.pos].tok, self.toks.get(self.pos + 1).map(|t| &t.tok)),
+            (Tok::Ident(_), Some(Tok::LParen))
+        );
+        if is_atom {
+            let mut disjuncts = vec![self.conjunction()?];
+            while self.peek().tok == Tok::Pipe {
+                self.next();
+                disjuncts.push(self.conjunction()?);
+            }
+            self.expect(&Tok::Semi, "`;`")?;
+            Ok(Rule::Tgd(DisjTgd::new(lhs, disjuncts)))
+        } else {
+            let mut equalities = Vec::new();
+            loop {
+                let a = self.term()?;
+                self.expect(&Tok::Eq, "`=`")?;
+                let b = self.term()?;
+                equalities.push((a, b));
+                if self.peek().tok == Tok::Amp {
+                    self.next();
+                    continue;
+                }
+                break;
+            }
+            self.expect(&Tok::Semi, "`;`")?;
+            Ok(Rule::Egd(Egd::new(lhs, equalities)))
+        }
+    }
+
+    fn attr_list(&mut self) -> Result<Vec<String>, ParseError> {
+        self.expect(&Tok::LParen, "`(`")?;
+        let mut attrs = vec![self.ident("an attribute name")?];
+        while self.peek().tok == Tok::Comma {
+            self.next();
+            attrs.push(self.ident("an attribute name")?);
+        }
+        self.expect(&Tok::RParen, "`)`")?;
+        Ok(attrs)
+    }
+}
+
+/// A parsed rule: either a (disjunctive) tgd or an egd.
+enum Rule {
+    Tgd(DisjTgd),
+    Egd(Egd),
+}
+
+/// Parse a conjunctive query like `q(x, c) :- Student(i, x), Assgn(x, c)`
+/// (commas or `&` separate body atoms). Returns the head variables and
+/// the body.
+pub fn parse_query(input: &str) -> Result<(Vec<Name>, Vec<Atom>), ParseError> {
+    let toks = tokenize(input.trim())?;
+    let mut p = Parser { toks, pos: 0 };
+    let _name = p.ident("a query name")?;
+    p.expect(&Tok::LParen, "`(`")?;
+    let mut head = Vec::new();
+    if p.peek().tok != Tok::RParen {
+        head.push(Name::new(p.ident("a head variable")?));
+        while p.peek().tok == Tok::Comma {
+            p.next();
+            head.push(Name::new(p.ident("a head variable")?));
+        }
+    }
+    p.expect(&Tok::RParen, "`)`")?;
+    p.expect(&Tok::Turnstile, "`:-`")?;
+    let mut body = vec![p.atom()?];
+    while matches!(p.peek().tok, Tok::Comma | Tok::Amp) {
+        p.next();
+        body.push(p.atom()?);
+    }
+    if p.peek().tok == Tok::Semi {
+        p.next();
+    }
+    if p.peek().tok != Tok::Eof {
+        return Err(p.err("trailing input after query"));
+    }
+    Ok((head, body))
+}
+
+/// Parse a single egd rule like
+/// `Manager(x, y) & Manager(x, z) -> y = z;`.
+pub fn parse_egd(input: &str) -> Result<Egd, ParseError> {
+    let mut input = input.trim().to_string();
+    if !input.ends_with(';') {
+        input.push(';');
+    }
+    let toks = tokenize(&input)?;
+    let mut p = Parser { toks, pos: 0 };
+    match p.rule_or_egd()? {
+        Rule::Egd(e) => {
+            if p.peek().tok != Tok::Eof {
+                return Err(p.err("trailing input after rule"));
+            }
+            Ok(e)
+        }
+        Rule::Tgd(_) => Err(p.err("expected an egd (t1 = t2 on the right-hand side)")),
+    }
+}
+
+/// Parse a single tgd rule like `Emp(x) -> Manager(x, y);` (the
+/// trailing `;` is optional here).
+pub fn parse_tgd(input: &str) -> Result<StTgd, ParseError> {
+    let mut input = input.trim().to_string();
+    if !input.ends_with(';') {
+        input.push(';');
+    }
+    let toks = tokenize(&input)?;
+    let mut p = Parser { toks, pos: 0 };
+    let d = p.rule()?;
+    if d.disjuncts.len() != 1 {
+        return Err(p.err("expected a non-disjunctive tgd"));
+    }
+    if p.peek().tok != Tok::Eof {
+        return Err(p.err("trailing input after rule"));
+    }
+    Ok(StTgd::new(d.lhs, d.disjuncts.into_iter().next().unwrap()))
+}
+
+/// Parse a disjunctive tgd rule like `Parent(x,y) -> Father(x,y) | Mother(x,y);`.
+pub fn parse_disj_tgd(input: &str) -> Result<DisjTgd, ParseError> {
+    let mut input = input.trim().to_string();
+    if !input.ends_with(';') {
+        input.push(';');
+    }
+    let toks = tokenize(&input)?;
+    let mut p = Parser { toks, pos: 0 };
+    let d = p.rule()?;
+    if p.peek().tok != Tok::Eof {
+        return Err(p.err("trailing input after rule"));
+    }
+    Ok(d)
+}
+
+/// Parse a full mapping file: `source`/`target`/`key` declarations plus
+/// rules. Rules whose left-hand relations are all target relations are
+/// classified as *target tgds*; rules with equalities on the right are
+/// target egds; everything else must be an st-tgd.
+///
+/// ```
+/// use dex_logic::parse_mapping;
+///
+/// let m = parse_mapping(r#"
+///     source Emp(name);
+///     target Manager(emp, mgr);
+///     key Manager(emp);
+///     Emp(x) -> Manager(x, y);
+/// "#).unwrap();
+/// assert_eq!(m.st_tgds().len(), 1);
+/// assert_eq!(m.target_egds().len(), 1);
+/// assert_eq!(
+///     m.st_tgds()[0].to_string(),
+///     "∀x (Emp(x) → ∃y Manager(x, y))"
+/// );
+/// ```
+pub fn parse_mapping(input: &str) -> Result<Mapping, ParseError> {
+    let toks = tokenize(input)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut source = Schema::new();
+    let mut target = Schema::new();
+    let mut keys: Vec<(String, Vec<String>)> = Vec::new();
+    let mut rules: Vec<DisjTgd> = Vec::new();
+    let mut egd_rules: Vec<Egd> = Vec::new();
+
+    loop {
+        match p.peek().tok.clone() {
+            Tok::Eof => break,
+            Tok::Ident(kw) if kw == "source" || kw == "target" => {
+                // Lookahead: `source Rel(attrs);` — but `source` could in
+                // principle be a relation name in a rule; we require
+                // declarations to look like `source Ident (`.
+                let save = p.pos;
+                p.next();
+                if matches!(p.peek().tok, Tok::Ident(_)) {
+                    let rel = p.ident("a relation name")?;
+                    let attrs = p.attr_list()?;
+                    p.expect(&Tok::Semi, "`;`")?;
+                    let rs = RelSchema::untyped(rel, attrs)?;
+                    if kw == "source" {
+                        source.add_relation(rs)?;
+                    } else {
+                        target.add_relation(rs)?;
+                    }
+                } else {
+                    // Not a declaration after all: re-parse as a rule.
+                    p.pos = save;
+                    match p.rule_or_egd()? {
+                        Rule::Tgd(d) => rules.push(d),
+                        Rule::Egd(e) => egd_rules.push(e),
+                    }
+                }
+            }
+            Tok::Ident(kw) if kw == "key" => {
+                p.next();
+                let rel = p.ident("a relation name")?;
+                let attrs = p.attr_list()?;
+                p.expect(&Tok::Semi, "`;`")?;
+                keys.push((rel, attrs));
+            }
+            Tok::Ident(_) => match p.rule_or_egd()? {
+                Rule::Tgd(d) => rules.push(d),
+                Rule::Egd(e) => egd_rules.push(e),
+            },
+            _ => return Err(p.err("expected a declaration or a rule")),
+        }
+    }
+
+    // Apply key declarations: FD on the schema + an egd if on the target.
+    let mut target_egds: Vec<Egd> = Vec::new();
+    for (rel, attrs) in keys {
+        let (schema, is_target) = if target.relation(&rel).is_some() {
+            (&mut target, true)
+        } else if source.relation(&rel).is_some() {
+            (&mut source, false)
+        } else {
+            return Err(ParseError {
+                message: format!("key declared on unknown relation `{rel}`"),
+                line: 0,
+                col: 0,
+            });
+        };
+        let rs = schema.relation(&rel).unwrap().clone();
+        let arity = rs.arity();
+        let key_positions: Vec<usize> = attrs
+            .iter()
+            .map(|a| {
+                rs.position(a).ok_or_else(|| ParseError {
+                    message: format!("key attribute `{a}` not in relation `{rel}`"),
+                    line: 0,
+                    col: 0,
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let non_key: Vec<Name> = rs
+            .attr_names()
+            .enumerate()
+            .filter(|(i, _)| !key_positions.contains(i))
+            .map(|(_, a)| a.clone())
+            .collect();
+        if !non_key.is_empty() {
+            let fd = Fd::new(
+                attrs.iter().map(Name::new).collect::<Vec<_>>(),
+                non_key,
+            );
+            let updated = rs.clone().with_fd(fd)?;
+            schema.remove_relation(&rel);
+            schema.add_relation(updated)?;
+        }
+        if is_target {
+            target_egds.extend(Egd::key(&rel, arity, &key_positions));
+        }
+    }
+
+    // Explicit egd rules must live entirely on the target side.
+    for e in egd_rules {
+        let all_target = e
+            .lhs
+            .iter()
+            .all(|a| target.relation(a.relation.as_str()).is_some());
+        if !all_target {
+            return Err(ParseError {
+                message: format!(
+                    "egd `{e}` must mention only target relations (egds are \
+                     target dependencies)"
+                ),
+                line: 0,
+                col: 0,
+            });
+        }
+        target_egds.push(e);
+    }
+
+    // Classify rules.
+    let mut st_tgds = Vec::new();
+    let mut target_tgds = Vec::new();
+    for r in rules {
+        if r.disjuncts.len() != 1 {
+            return Err(ParseError {
+                message: format!("disjunctive rule `{r}` not allowed in a mapping file"),
+                line: 0,
+                col: 0,
+            });
+        }
+        let tgd = StTgd::new(r.lhs, r.disjuncts.into_iter().next().unwrap());
+        let lhs_all_target = tgd
+            .lhs
+            .iter()
+            .all(|a| target.relation(a.relation.as_str()).is_some());
+        if lhs_all_target {
+            target_tgds.push(tgd);
+        } else {
+            st_tgds.push(tgd);
+        }
+    }
+
+    Ok(Mapping::with_target_deps(
+        source,
+        target,
+        st_tgds,
+        target_tgds,
+        target_egds,
+    )?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_single_tgd() {
+        let t = parse_tgd("Emp(x) -> Manager(x, y)").unwrap();
+        assert_eq!(t.to_string(), "∀x (Emp(x) → ∃y Manager(x, y))");
+    }
+
+    #[test]
+    fn parse_tgd_with_constants() {
+        let t = parse_tgd("R(x, 42, 'alice') -> S(x, \"bob\", true);").unwrap();
+        assert_eq!(t.lhs[0].args[1], Term::cnst(42i64));
+        assert_eq!(t.lhs[0].args[2], Term::cnst("alice"));
+        assert_eq!(t.rhs[0].args[1], Term::cnst("bob"));
+        assert_eq!(t.rhs[0].args[2], Term::cnst(true));
+    }
+
+    #[test]
+    fn parse_negative_int() {
+        let t = parse_tgd("R(x, -5) -> S(x);").unwrap();
+        assert_eq!(t.lhs[0].args[1], Term::cnst(-5i64));
+    }
+
+    #[test]
+    fn parse_conjunction_both_sides() {
+        let t =
+            parse_tgd("Student(x, y) & Assgn(y, z) -> Enrollment(x, z);").unwrap();
+        assert_eq!(t.lhs.len(), 2);
+        assert_eq!(t.rhs.len(), 1);
+        assert!(t.is_full());
+    }
+
+    #[test]
+    fn parse_disjunctive_rule() {
+        let d = parse_disj_tgd("Parent(x, y) -> Father(x, y) | Mother(x, y)").unwrap();
+        assert_eq!(d.disjuncts.len(), 2);
+        assert_eq!(
+            d.to_string(),
+            "Parent(x, y) → Father(x, y) ∨ Mother(x, y)"
+        );
+    }
+
+    #[test]
+    fn parse_full_mapping_file() {
+        let m = parse_mapping(
+            r#"
+            -- the paper's Figure 1, upper part
+            source Takes(name, course);
+            target Student(id, name);
+            target Assgn(name, course);
+
+            Takes(x, y) -> Student(z, x) & Assgn(x, y);
+            "#,
+        )
+        .unwrap();
+        assert_eq!(m.source().len(), 1);
+        assert_eq!(m.target().len(), 2);
+        assert_eq!(m.st_tgds().len(), 1);
+        assert_eq!(
+            m.st_tgds()[0].to_string(),
+            "∀x,y (Takes(x, y) → ∃z Student(z, x) ∧ Assgn(x, y))"
+        );
+    }
+
+    #[test]
+    fn parse_mapping_with_key() {
+        let m = parse_mapping(
+            r#"
+            source Emp(name);
+            target Manager(emp, mgr);
+            key Manager(emp);
+            Emp(x) -> Manager(x, y);
+            "#,
+        )
+        .unwrap();
+        assert_eq!(m.target_egds().len(), 1);
+        assert_eq!(
+            m.target()
+                .relation("Manager")
+                .unwrap()
+                .fds()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn target_rules_classified_as_target_tgds() {
+        let m = parse_mapping(
+            r#"
+            source R(a);
+            target S(a);
+            target T(a);
+            R(x) -> S(x);
+            S(x) -> T(x);
+            "#,
+        )
+        .unwrap();
+        assert_eq!(m.st_tgds().len(), 1);
+        assert_eq!(m.target_tgds().len(), 1);
+    }
+
+    #[test]
+    fn comments_both_styles() {
+        let t = parse_tgd(
+            "Emp(x) -- trailing comment\n// full line\n -> Manager(x, y);",
+        )
+        .unwrap();
+        assert_eq!(t.lhs[0].relation, "Emp");
+    }
+
+    #[test]
+    fn error_positions_reported() {
+        let e = parse_tgd("Emp(x) -> ").unwrap_err();
+        assert!(e.line >= 1);
+        assert!(e.message.contains("expected"));
+        let e = parse_mapping("source ;").unwrap_err();
+        assert!(e.message.contains("expected"));
+    }
+
+    #[test]
+    fn unknown_key_relation_errors() {
+        let e = parse_mapping("source R(a);\nkey S(a);").unwrap_err();
+        assert!(e.message.contains("unknown relation"));
+    }
+
+    #[test]
+    fn bad_arity_rejected_at_mapping_level() {
+        let e = parse_mapping(
+            r#"
+            source R(a);
+            target S(a, b);
+            R(x, y) -> S(x, y);
+            "#,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("arity"));
+    }
+
+    #[test]
+    fn round_trip_through_display() {
+        // parse → display (paper style) differs from input syntax, but
+        // re-parsing the machine-readable form must agree.
+        let t1 = parse_tgd("Takes(x, y) -> Student(z, x) & Assgn(x, y)").unwrap();
+        let roundtrip = format!(
+            "{} -> {}",
+            t1.lhs
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(" & "),
+            t1.rhs
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(" & ")
+        );
+        let t2 = parse_tgd(&roundtrip).unwrap();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn parse_query_head_and_body() {
+        let (head, body) = parse_query("q(n, c) :- Student(i, n), Assgn(n, c)").unwrap();
+        assert_eq!(head, vec![Name::new("n"), Name::new("c")]);
+        assert_eq!(body.len(), 2);
+        assert_eq!(body[0].relation, "Student");
+        // `&` works as a separator too; `;` is optional; boolean query.
+        let (head, body) = parse_query("q() :- R(x) & S(x);").unwrap();
+        assert!(head.is_empty());
+        assert_eq!(body.len(), 2);
+        assert!(parse_query("q(x) :-").is_err());
+        assert!(parse_query("q(x) Student(x)").is_err());
+    }
+
+    #[test]
+    fn parse_explicit_egd_rule() {
+        let e = parse_egd("Manager(x, y) & Manager(x, z) -> y = z").unwrap();
+        assert_eq!(e.lhs.len(), 2);
+        assert_eq!(e.equalities.len(), 1);
+        assert_eq!(e.to_string(), "Manager(x, y) ∧ Manager(x, z) → y = z");
+        // Multiple equalities.
+        let e2 = parse_egd("R(x, y, u, v) & R(x, z, w, q) -> y = z & u = w").unwrap();
+        assert_eq!(e2.equalities.len(), 2);
+    }
+
+    #[test]
+    fn egd_rules_in_mapping_become_target_egds() {
+        let m = parse_mapping(
+            r#"
+            source Emp(name);
+            target Manager(emp, mgr);
+            Emp(x) -> Manager(x, y);
+            Manager(x, y) & Manager(x, z) -> y = z;
+            "#,
+        )
+        .unwrap();
+        assert_eq!(m.target_egds().len(), 1);
+        assert_eq!(m.st_tgds().len(), 1);
+    }
+
+    #[test]
+    fn source_side_egd_rejected() {
+        let err = parse_mapping(
+            r#"
+            source Emp(name);
+            target Manager(emp, mgr);
+            Emp(x) & Emp(y) -> x = y;
+            "#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("target relations"));
+    }
+
+    #[test]
+    fn parse_egd_rejects_tgds_and_vice_versa() {
+        assert!(parse_egd("Emp(x) -> Manager(x, y)").is_err());
+        assert!(parse_tgd("R(x, y) -> x = y").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_reported() {
+        let e = parse_tgd("R('abc) -> S(x)").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+    }
+}

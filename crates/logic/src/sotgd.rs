@@ -1,0 +1,634 @@
+//! Second-order tuple-generating dependencies (SO-tgds).
+//!
+//! SO-tgds (Fagin, Kolaitis, Popa, Tan — cited as [12] in the paper)
+//! extend st-tgds with existentially quantified *function symbols* and
+//! equalities on the left-hand side. They are exactly the language
+//! needed to close st-tgds under composition: the paper's Example 2
+//! derives
+//!
+//! ```text
+//! ∃f [ ∀x (Emp(x) → Boss(x, f(x)))
+//!    ∧ ∀x (Emp(x) ∧ x = f(x) → SelfMngr(x)) ]
+//! ```
+//!
+//! which is not first-order expressible.
+
+use crate::atom::{display_conjunction, Atom};
+use crate::eval::match_conjunction;
+use crate::term::Term;
+use crate::tgd::StTgd;
+use dex_relational::{Instance, Name, RelationalError, Schema, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// One clause `∀x̄ (φ ∧ eqs → ψ)` of an SO-tgd. Source atoms are
+/// function-free; equalities and target atoms may contain applications
+/// of the existential function symbols.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct SoClause {
+    /// Function-free source atoms.
+    pub lhs_atoms: Vec<Atom>,
+    /// Equalities (may mention function terms).
+    pub lhs_eqs: Vec<(Term, Term)>,
+    /// Target atoms (may mention function terms).
+    pub rhs_atoms: Vec<Atom>,
+}
+
+impl SoClause {
+    /// Build a clause.
+    pub fn new(lhs_atoms: Vec<Atom>, lhs_eqs: Vec<(Term, Term)>, rhs_atoms: Vec<Atom>) -> Self {
+        SoClause {
+            lhs_atoms,
+            lhs_eqs,
+            rhs_atoms,
+        }
+    }
+
+    /// Universal variables of the clause (those of the source atoms).
+    pub fn vars(&self) -> Vec<Name> {
+        let mut out = Vec::new();
+        for a in &self.lhs_atoms {
+            a.collect_vars(&mut out);
+        }
+        out
+    }
+}
+
+impl fmt::Display for SoClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let vars = self.vars();
+        if !vars.is_empty() {
+            write!(
+                f,
+                "∀{} (",
+                vars.iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )?;
+        } else {
+            write!(f, "(")?;
+        }
+        write!(f, "{}", display_conjunction(&self.lhs_atoms))?;
+        for (a, b) in &self.lhs_eqs {
+            write!(f, " ∧ {a} = {b}")?;
+        }
+        write!(f, " → {})", display_conjunction(&self.rhs_atoms))
+    }
+}
+
+/// A second-order tgd: `∃f̄ [ clause₁ ∧ … ∧ clauseₙ ]`.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct SoTgd {
+    /// Existential function symbols with their arities.
+    pub functions: Vec<(Name, usize)>,
+    /// The conjoined clauses.
+    pub clauses: Vec<SoClause>,
+}
+
+impl SoTgd {
+    /// Build an SO-tgd.
+    pub fn new(functions: Vec<(Name, usize)>, clauses: Vec<SoClause>) -> Self {
+        SoTgd { functions, clauses }
+    }
+
+    /// Skolemize a set of st-tgds into an equivalent SO-tgd: each
+    /// existential variable `y` of tgd `i` becomes a fresh function
+    /// symbol applied to the tgd's frontier (the universal variables
+    /// exported to the right-hand side).
+    ///
+    /// This is the standard embedding of st-tgds into SO-tgds — the
+    /// first step of the composition algorithm.
+    pub fn from_st_tgds(tgds: &[StTgd]) -> SoTgd {
+        let mut functions = Vec::new();
+        let mut clauses = Vec::new();
+        let mut namer = FnNamer::default();
+        for tgd in tgds {
+            let frontier = tgd.frontier();
+            let frontier_terms: Vec<Term> =
+                frontier.iter().map(|v| Term::Var(v.clone())).collect();
+            let mut subst: BTreeMap<Name, Term> = BTreeMap::new();
+            for y in tgd.existential_vars() {
+                let fname = namer.fresh();
+                functions.push((fname.clone(), frontier.len()));
+                subst.insert(y.clone(), Term::Func(fname, frontier_terms.clone()));
+            }
+            let rhs = tgd
+                .rhs
+                .iter()
+                .map(|a| a.substitute(&subst))
+                .collect::<Vec<_>>();
+            clauses.push(SoClause::new(tgd.lhs.clone(), vec![], rhs));
+        }
+        SoTgd { functions, clauses }
+    }
+
+    /// If every clause is equality-free and function-free, the SO-tgd is
+    /// an ordinary set of st-tgds again — return them. This is the
+    /// de-skolemization used to show full st-tgds are closed under
+    /// composition.
+    pub fn try_into_st_tgds(&self) -> Option<Vec<StTgd>> {
+        let mut out = Vec::new();
+        for c in &self.clauses {
+            if !c.lhs_eqs.is_empty() {
+                return None;
+            }
+            if c.rhs_atoms.iter().any(Atom::has_func) {
+                return None;
+            }
+            out.push(StTgd::new(c.lhs_atoms.clone(), c.rhs_atoms.clone()));
+        }
+        Some(out)
+    }
+
+    /// Validate clause atoms against the source/target schemas.
+    pub fn validate(&self, source: &Schema, target: &Schema) -> Result<(), RelationalError> {
+        for c in &self.clauses {
+            for a in &c.lhs_atoms {
+                a.validate(source)?;
+                if a.has_func() {
+                    return Err(RelationalError::EvalError(format!(
+                        "SO-tgd source atom {a} must be function-free"
+                    )));
+                }
+            }
+            for a in &c.rhs_atoms {
+                a.validate(target)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Bounded satisfaction check: does there exist an interpretation of
+    /// the function symbols — ranging over the active domain of `src`
+    /// and `tgt` plus the constants of the dependency — under which
+    /// every clause holds for `(src, tgt)`?
+    ///
+    /// Exact for the (finite) instances given; the restriction to the
+    /// active domain is the standard finite bound for testing and keeps
+    /// this a decision procedure. Cost is exponential in the number of
+    /// *distinct needed function applications*, which is small on the
+    /// workloads this is used for (non-expressibility witnesses and
+    /// composition tests).
+    pub fn satisfied_by_bounded(&self, src: &Instance, tgt: &Instance) -> bool {
+        // Candidate range for function values.
+        let mut domain: BTreeSet<Value> = BTreeSet::new();
+        for (_, t) in src.facts().chain(tgt.facts()) {
+            for v in t.iter() {
+                domain.insert(v.clone());
+            }
+        }
+        for c in &self.clauses {
+            for a in &c.rhs_atoms {
+                collect_consts_atom(a, &mut domain);
+            }
+            for (x, y) in &c.lhs_eqs {
+                collect_consts_term(x, &mut domain);
+                collect_consts_term(y, &mut domain);
+            }
+        }
+        let domain: Vec<Value> = domain.into_iter().collect();
+        if domain.is_empty() {
+            // No values anywhere: clauses can only be vacuous.
+            return self
+                .clauses
+                .iter()
+                .all(|c| match_conjunction(&c.lhs_atoms, src).is_empty());
+        }
+
+        // Ground constraints: one per (clause, lhs valuation).
+        let mut constraints: Vec<GroundConstraint> = Vec::new();
+        for c in &self.clauses {
+            for m in match_conjunction(&c.lhs_atoms, src) {
+                constraints.push(GroundConstraint {
+                    eqs: c
+                        .lhs_eqs
+                        .iter()
+                        .map(|(a, b)| (ground(a, &m), ground(b, &m)))
+                        .collect(),
+                    rhs: c
+                        .rhs_atoms
+                        .iter()
+                        .map(|a| {
+                            (
+                                a.relation.clone(),
+                                a.args.iter().map(|t| ground(t, &m)).collect(),
+                            )
+                        })
+                        .collect(),
+                });
+            }
+        }
+
+        let mut assign: BTreeMap<(Name, Vec<Value>), Value> = BTreeMap::new();
+        solve(&constraints, &domain, tgt, &mut assign)
+    }
+}
+
+/// A term with variables already replaced by values; only function
+/// applications remain symbolic.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum GroundTerm {
+    Val(Value),
+    App(Name, Vec<GroundTerm>),
+}
+
+struct GroundConstraint {
+    eqs: Vec<(GroundTerm, GroundTerm)>,
+    rhs: Vec<(Name, Vec<GroundTerm>)>,
+}
+
+fn ground(t: &Term, m: &BTreeMap<Name, Value>) -> GroundTerm {
+    match t {
+        Term::Var(v) => GroundTerm::Val(
+            m.get(v.as_str())
+                .cloned()
+                .expect("clause variable must occur in source atoms"),
+        ),
+        Term::Const(c) => GroundTerm::Val(Value::Const(c.clone())),
+        Term::Func(f, args) => {
+            GroundTerm::App(f.clone(), args.iter().map(|a| ground(a, m)).collect())
+        }
+    }
+}
+
+fn collect_consts_term(t: &Term, out: &mut BTreeSet<Value>) {
+    match t {
+        Term::Var(_) => {}
+        Term::Const(c) => {
+            out.insert(Value::Const(c.clone()));
+        }
+        Term::Func(_, args) => args.iter().for_each(|a| collect_consts_term(a, out)),
+    }
+}
+
+fn collect_consts_atom(a: &Atom, out: &mut BTreeSet<Value>) {
+    for t in &a.args {
+        collect_consts_term(t, out);
+    }
+}
+
+/// Evaluate a ground term under a partial function assignment.
+/// `Err(app)` reports the first unassigned application blocking
+/// evaluation.
+fn eval_ground(
+    t: &GroundTerm,
+    assign: &BTreeMap<(Name, Vec<Value>), Value>,
+) -> Result<Value, (Name, Vec<Value>)> {
+    match t {
+        GroundTerm::Val(v) => Ok(v.clone()),
+        GroundTerm::App(f, args) => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval_ground(a, assign)?);
+            }
+            let key = (f.clone(), vals);
+            match assign.get(&key) {
+                Some(v) => Ok(v.clone()),
+                None => Err(key),
+            }
+        }
+    }
+}
+
+enum ConstraintState {
+    Satisfied,
+    Violated,
+    NeedsBranch((Name, Vec<Value>)),
+}
+
+fn eval_constraint(
+    c: &GroundConstraint,
+    tgt: &Instance,
+    assign: &BTreeMap<(Name, Vec<Value>), Value>,
+) -> ConstraintState {
+    // Equalities: conjunction on the lhs. Any false equality makes the
+    // clause vacuously satisfied.
+    for (a, b) in &c.eqs {
+        let va = match eval_ground(a, assign) {
+            Ok(v) => v,
+            Err(app) => return ConstraintState::NeedsBranch(app),
+        };
+        let vb = match eval_ground(b, assign) {
+            Ok(v) => v,
+            Err(app) => return ConstraintState::NeedsBranch(app),
+        };
+        if va != vb {
+            return ConstraintState::Satisfied;
+        }
+    }
+    // All equalities hold: rhs atoms must be facts of tgt.
+    for (rel, args) in &c.rhs {
+        let mut vals = Vec::with_capacity(args.len());
+        for a in args {
+            match eval_ground(a, assign) {
+                Ok(v) => vals.push(v),
+                Err(app) => return ConstraintState::NeedsBranch(app),
+            }
+        }
+        if !tgt.contains(rel.as_str(), &dex_relational::Tuple::new(vals)) {
+            return ConstraintState::Violated;
+        }
+    }
+    ConstraintState::Satisfied
+}
+
+fn solve(
+    constraints: &[GroundConstraint],
+    domain: &[Value],
+    tgt: &Instance,
+    assign: &mut BTreeMap<(Name, Vec<Value>), Value>,
+) -> bool {
+    for c in constraints {
+        match eval_constraint(c, tgt, assign) {
+            ConstraintState::Satisfied => continue,
+            ConstraintState::Violated => return false,
+            ConstraintState::NeedsBranch(app) => {
+                for d in domain {
+                    assign.insert(app.clone(), d.clone());
+                    if solve(constraints, domain, tgt, assign) {
+                        return true;
+                    }
+                }
+                assign.remove(&app);
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Generates readable function-symbol names: f, g, h, then f3, f4, ….
+#[derive(Default)]
+struct FnNamer {
+    count: usize,
+}
+
+impl FnNamer {
+    fn fresh(&mut self) -> Name {
+        let name = match self.count {
+            0 => "f".to_string(),
+            1 => "g".to_string(),
+            2 => "h".to_string(),
+            n => format!("f{n}"),
+        };
+        self.count += 1;
+        Name::new(name)
+    }
+}
+
+impl fmt::Display for SoTgd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.functions.is_empty() {
+            for (i, c) in self.clauses.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ∧ ")?;
+                }
+                write!(f, "{c}")?;
+            }
+            return Ok(());
+        }
+        write!(
+            f,
+            "∃{} [ ",
+            self.functions
+                .iter()
+                .map(|(n, _)| n.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        )?;
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, " ]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_relational::{tuple, RelSchema, Schema};
+
+    fn emp_schema() -> Schema {
+        Schema::with_relations(vec![RelSchema::untyped("Emp", vec!["name"]).unwrap()]).unwrap()
+    }
+
+    fn boss_schema() -> Schema {
+        Schema::with_relations(vec![
+            RelSchema::untyped("Boss", vec!["emp", "mgr"]).unwrap(),
+            RelSchema::untyped("SelfMngr", vec!["emp"]).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    /// The paper's Example 2 composition result.
+    fn example2_sotgd() -> SoTgd {
+        SoTgd::new(
+            vec![(Name::new("f"), 1)],
+            vec![
+                SoClause::new(
+                    vec![Atom::vars("Emp", &["x"])],
+                    vec![],
+                    vec![Atom::new(
+                        "Boss",
+                        vec![Term::var("x"), Term::func("f", vec![Term::var("x")])],
+                    )],
+                ),
+                SoClause::new(
+                    vec![Atom::vars("Emp", &["x"])],
+                    vec![(Term::var("x"), Term::func("f", vec![Term::var("x")]))],
+                    vec![Atom::vars("SelfMngr", &["x"])],
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn skolemization_of_example1() {
+        let tgd = StTgd::new(
+            vec![Atom::vars("Emp", &["x"])],
+            vec![Atom::vars("Manager", &["x", "y"])],
+        );
+        let so = SoTgd::from_st_tgds(&[tgd]);
+        assert_eq!(so.functions, vec![(Name::new("f"), 1)]);
+        assert_eq!(so.clauses.len(), 1);
+        assert_eq!(
+            so.clauses[0].rhs_atoms[0],
+            Atom::new(
+                "Manager",
+                vec![Term::var("x"), Term::func("f", vec![Term::var("x")])]
+            )
+        );
+    }
+
+    #[test]
+    fn full_tgds_skolemize_function_free_and_back() {
+        let tgd = StTgd::new(
+            vec![Atom::vars("Manager", &["x", "y"])],
+            vec![Atom::vars("Boss", &["x", "y"])],
+        );
+        let so = SoTgd::from_st_tgds(std::slice::from_ref(&tgd));
+        assert!(so.functions.is_empty());
+        let back = so.try_into_st_tgds().unwrap();
+        assert_eq!(back, vec![tgd]);
+    }
+
+    #[test]
+    fn sotgd_with_equalities_not_convertible() {
+        assert!(example2_sotgd().try_into_st_tgds().is_none());
+    }
+
+    #[test]
+    fn display_matches_paper_example2() {
+        let so = example2_sotgd();
+        assert_eq!(
+            so.to_string(),
+            "∃f [ ∀x (Emp(x) → Boss(x, f(x))) ∧ ∀x (Emp(x) ∧ x = f(x) → SelfMngr(x)) ]"
+        );
+    }
+
+    #[test]
+    fn bounded_satisfaction_example2_selfmanager_required() {
+        let so = example2_sotgd();
+        let src = Instance::with_facts(emp_schema(), vec![("Emp", vec![tuple!["Alice"]])])
+            .unwrap();
+        // Boss(Alice, Alice) forces f(Alice) = Alice only if we pick that
+        // interpretation — and then SelfMngr(Alice) is required.
+        let with_self = Instance::with_facts(
+            boss_schema(),
+            vec![
+                ("Boss", vec![tuple!["Alice", "Alice"]]),
+                ("SelfMngr", vec![tuple!["Alice"]]),
+            ],
+        )
+        .unwrap();
+        assert!(so.satisfied_by_bounded(&src, &with_self));
+
+        // Boss(Alice, Alice) without SelfMngr(Alice): the only f making
+        // clause 1 true is f(Alice)=Alice, which then violates clause 2.
+        let without_self = Instance::with_facts(
+            boss_schema(),
+            vec![("Boss", vec![tuple!["Alice", "Alice"]])],
+        )
+        .unwrap();
+        assert!(!so.satisfied_by_bounded(&src, &without_self));
+
+        // Boss(Alice, Ted): f(Alice)=Ted ≠ Alice, no SelfMngr needed.
+        let ted = Instance::with_facts(
+            boss_schema(),
+            vec![("Boss", vec![tuple!["Alice", "Ted"]])],
+        )
+        .unwrap();
+        assert!(so.satisfied_by_bounded(&src, &ted));
+
+        // Empty target with non-empty source: clause 1 unsatisfiable.
+        let empty = Instance::empty(boss_schema());
+        assert!(!so.satisfied_by_bounded(&src, &empty));
+
+        // Empty source: vacuously satisfied.
+        assert!(so.satisfied_by_bounded(&Instance::empty(emp_schema()), &empty));
+    }
+
+    #[test]
+    fn bounded_satisfaction_plain_sttgd_agrees() {
+        // For function-free SO-tgds the bounded check coincides with
+        // ordinary satisfaction.
+        let tgd = StTgd::new(
+            vec![Atom::vars("Emp", &["x"])],
+            vec![Atom::vars("SelfMngr", &["x"])],
+        );
+        let so = SoTgd::new(
+            vec![],
+            vec![SoClause::new(tgd.lhs.clone(), vec![], tgd.rhs.clone())],
+        );
+        let src = Instance::with_facts(emp_schema(), vec![("Emp", vec![tuple!["Alice"]])])
+            .unwrap();
+        let good = Instance::with_facts(
+            boss_schema(),
+            vec![("SelfMngr", vec![tuple!["Alice"]])],
+        )
+        .unwrap();
+        let bad = Instance::empty(boss_schema());
+        assert_eq!(
+            so.satisfied_by_bounded(&src, &good),
+            tgd.satisfied_by(&src, &good)
+        );
+        assert_eq!(
+            so.satisfied_by_bounded(&src, &bad),
+            tgd.satisfied_by(&src, &bad)
+        );
+    }
+
+    #[test]
+    fn skolemized_tgds_bounded_check_models_existentials() {
+        // Emp(x) → ∃y Manager(x, y), skolemized; satisfied by any target
+        // giving Alice some manager from the active domain.
+        let tgd = StTgd::new(
+            vec![Atom::vars("Emp", &["x"])],
+            vec![Atom::vars("Manager", &["x", "y"])],
+        );
+        let so = SoTgd::from_st_tgds(&[tgd]);
+        let src = Instance::with_facts(emp_schema(), vec![("Emp", vec![tuple!["Alice"]])])
+            .unwrap();
+        let mgr_schema = Schema::with_relations(vec![
+            RelSchema::untyped("Manager", vec!["e", "m"]).unwrap()
+        ])
+        .unwrap();
+        let tgt = Instance::with_facts(
+            mgr_schema.clone(),
+            vec![("Manager", vec![tuple!["Alice", "Ted"]])],
+        )
+        .unwrap();
+        assert!(so.satisfied_by_bounded(&src, &tgt));
+        let empty = Instance::empty(mgr_schema);
+        assert!(!so.satisfied_by_bounded(&src, &empty));
+    }
+
+    #[test]
+    fn validate_rejects_functions_in_source_atoms() {
+        let so = SoTgd::new(
+            vec![(Name::new("f"), 1)],
+            vec![SoClause::new(
+                vec![Atom::new(
+                    "Emp",
+                    vec![Term::func("f", vec![Term::var("x")])],
+                )],
+                vec![],
+                vec![],
+            )],
+        );
+        assert!(so.validate(&emp_schema(), &boss_schema()).is_err());
+    }
+
+    #[test]
+    fn nested_function_terms_evaluate() {
+        // Clause: Emp(x) ∧ x = f(f(x)) → SelfMngr(x).
+        // With Emp = {a}, domain {a}: f(a)=a forced; then f(f(a))=a = x,
+        // so SelfMngr(a) required.
+        let so = SoTgd::new(
+            vec![(Name::new("f"), 1)],
+            vec![SoClause::new(
+                vec![Atom::vars("Emp", &["x"])],
+                vec![(
+                    Term::var("x"),
+                    Term::func("f", vec![Term::func("f", vec![Term::var("x")])]),
+                )],
+                vec![Atom::vars("SelfMngr", &["x"])],
+            )],
+        );
+        let src = Instance::with_facts(emp_schema(), vec![("Emp", vec![tuple!["a"]])])
+            .unwrap();
+        let without = Instance::empty(boss_schema());
+        assert!(
+            !so.satisfied_by_bounded(&src, &without),
+            "domain is {{a}}: f(f(a)) = a is forced, SelfMngr(a) missing"
+        );
+        let with = Instance::with_facts(boss_schema(), vec![("SelfMngr", vec![tuple!["a"]])])
+            .unwrap();
+        assert!(so.satisfied_by_bounded(&src, &with));
+    }
+}

@@ -1,0 +1,509 @@
+//! Tuple-generating and equality-generating dependencies.
+//!
+//! [`StTgd`] is the paper's formula (1):
+//! `∀x̄ (∃ȳ φ_S(x̄, ȳ) → ∃z̄ ψ_T(x̄, z̄))` — a conjunction of source
+//! atoms implying a conjunction of target atoms. Quantification is
+//! implicit in the variable occurrences: variables shared between the
+//! two sides are universal; variables appearing only on the right are
+//! existential (the source-side-only variables are existential on the
+//! left, which is equivalent to universal for satisfaction).
+//!
+//! [`Egd`]s equate variables and are used as target dependencies (keys).
+//! [`DisjTgd`]s have a disjunction of conjunctions on the right — the
+//! shape the paper's Example 3 shows is unavoidable for inverses.
+
+use crate::atom::{display_conjunction, Atom};
+use crate::eval::{extend_matches, has_match, match_conjunction, Valuation};
+use crate::term::Term;
+use dex_relational::{Instance, Name, RelationalError, Schema};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A source-to-target tuple-generating dependency.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct StTgd {
+    /// Source-side conjunction φ_S.
+    pub lhs: Vec<Atom>,
+    /// Target-side conjunction ψ_T.
+    pub rhs: Vec<Atom>,
+}
+
+impl StTgd {
+    /// Build an st-tgd.
+    pub fn new(lhs: Vec<Atom>, rhs: Vec<Atom>) -> Self {
+        StTgd { lhs, rhs }
+    }
+
+    /// Variables of the left-hand side (first-occurrence order).
+    pub fn lhs_vars(&self) -> Vec<Name> {
+        let mut out = Vec::new();
+        for a in &self.lhs {
+            a.collect_vars(&mut out);
+        }
+        out
+    }
+
+    /// Variables of the right-hand side (first-occurrence order).
+    pub fn rhs_vars(&self) -> Vec<Name> {
+        let mut out = Vec::new();
+        for a in &self.rhs {
+            a.collect_vars(&mut out);
+        }
+        out
+    }
+
+    /// The frontier: variables shared by both sides (universally
+    /// quantified and exported to the target).
+    pub fn frontier(&self) -> Vec<Name> {
+        let rhs: BTreeSet<Name> = self.rhs_vars().into_iter().collect();
+        self.lhs_vars()
+            .into_iter()
+            .filter(|v| rhs.contains(v))
+            .collect()
+    }
+
+    /// Existential variables: on the right only.
+    pub fn existential_vars(&self) -> Vec<Name> {
+        let lhs: BTreeSet<Name> = self.lhs_vars().into_iter().collect();
+        self.rhs_vars()
+            .into_iter()
+            .filter(|v| !lhs.contains(v))
+            .collect()
+    }
+
+    /// Is the tgd *full* (no existential variables)? Full st-tgds are
+    /// closed under composition (Fagin et al., cited in paper §2).
+    pub fn is_full(&self) -> bool {
+        self.existential_vars().is_empty()
+    }
+
+    /// Is the tgd GAV-shaped (single target atom, no existentials)?
+    pub fn is_gav(&self) -> bool {
+        self.rhs.len() == 1 && self.is_full()
+    }
+
+    /// Is the tgd LAV-shaped (single source atom)?
+    pub fn is_lav(&self) -> bool {
+        self.lhs.len() == 1
+    }
+
+    /// Validate against source and target schemas.
+    pub fn validate(&self, source: &Schema, target: &Schema) -> Result<(), RelationalError> {
+        if self.lhs.is_empty() {
+            return Err(RelationalError::EvalError(
+                "st-tgd must have a non-empty source side".into(),
+            ));
+        }
+        for a in &self.lhs {
+            a.validate(source)?;
+        }
+        for a in &self.rhs {
+            a.validate(target)?;
+        }
+        Ok(())
+    }
+
+    /// Does the pair `(src, tgt)` satisfy this tgd? For every valuation
+    /// of the left-hand side in `src` there must exist an extension
+    /// satisfying the right-hand side in `tgt`.
+    pub fn satisfied_by(&self, src: &Instance, tgt: &Instance) -> bool {
+        let rhs_vars: BTreeSet<Name> = self.rhs_vars().into_iter().collect();
+        for m in match_conjunction(&self.lhs, src) {
+            // Only the frontier carries over to the rhs.
+            let frontier: Valuation = m
+                .into_iter()
+                .filter(|(k, _)| rhs_vars.contains(k))
+                .collect();
+            if !has_match(&self.rhs, tgt, &frontier) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Rename every variable with a prefix (freshening).
+    pub fn prefix_vars(&self, prefix: &str) -> StTgd {
+        StTgd {
+            lhs: self.lhs.iter().map(|a| a.prefix_vars(prefix)).collect(),
+            rhs: self.rhs.iter().map(|a| a.prefix_vars(prefix)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for StTgd {
+    /// Paper-style display, e.g.
+    /// `∀x (Emp(x) → ∃y Manager(x, y))`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let universals: Vec<Name> = self
+            .lhs_vars()
+            .into_iter()
+            .collect();
+        let existentials = self.existential_vars();
+        if !universals.is_empty() {
+            write!(
+                f,
+                "∀{} (",
+                universals
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )?;
+        } else {
+            write!(f, "(")?;
+        }
+        write!(f, "{} → ", display_conjunction(&self.lhs))?;
+        if !existentials.is_empty() {
+            write!(
+                f,
+                "∃{} ",
+                existentials
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )?;
+        }
+        write!(f, "{})", display_conjunction(&self.rhs))
+    }
+}
+
+/// An equality-generating dependency: `∀x̄ (φ(x̄) → t₁ = t₂ ∧ …)`.
+/// Used as a target dependency (keys, and more generally egds).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Egd {
+    /// The body conjunction.
+    pub lhs: Vec<Atom>,
+    /// The equalities implied.
+    pub equalities: Vec<(Term, Term)>,
+}
+
+impl Egd {
+    /// Build an egd.
+    pub fn new(lhs: Vec<Atom>, equalities: Vec<(Term, Term)>) -> Self {
+        Egd { lhs, equalities }
+    }
+
+    /// The key egd for `rel`: two tuples agreeing on `key_positions`
+    /// agree everywhere.
+    pub fn key(rel: &str, arity: usize, key_positions: &[usize]) -> Vec<Egd> {
+        // One egd per non-key position, sharing the same body.
+        let t1: Vec<Term> = (0..arity).map(|i| Term::var(format!("x{i}"))).collect();
+        let t2: Vec<Term> = (0..arity)
+            .map(|i| {
+                if key_positions.contains(&i) {
+                    Term::var(format!("x{i}"))
+                } else {
+                    Term::var(format!("y{i}"))
+                }
+            })
+            .collect();
+        let body = vec![Atom::new(rel, t1.clone()), Atom::new(rel, t2.clone())];
+        (0..arity)
+            .filter(|i| !key_positions.contains(i))
+            .map(|i| Egd::new(body.clone(), vec![(t1[i].clone(), t2[i].clone())]))
+            .collect()
+    }
+
+    /// Does `inst` satisfy the egd? (Equalities must hold syntactically
+    /// for every match.)
+    pub fn satisfied_by(&self, inst: &Instance) -> bool {
+        for m in match_conjunction(&self.lhs, inst) {
+            for (a, b) in &self.equalities {
+                if a.eval(&m) != b.eval(&m) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Validate against a schema.
+    pub fn validate(&self, schema: &Schema) -> Result<(), RelationalError> {
+        for a in &self.lhs {
+            a.validate(schema)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Egd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} → ", display_conjunction(&self.lhs))?;
+        for (i, (a, b)) in self.equalities.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{a} = {b}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A disjunctive tgd: `∀x̄ (φ(x̄) → χ₁ ∨ … ∨ χₖ)` where each disjunct is
+/// a conjunction of atoms (possibly with its own existentials). The
+/// paper's Example 3 inverse `Parent(x,y) → Father(x,y) ∨ Mother(x,y)`
+/// has this shape.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct DisjTgd {
+    /// Body conjunction.
+    pub lhs: Vec<Atom>,
+    /// The disjuncts, each a conjunction.
+    pub disjuncts: Vec<Vec<Atom>>,
+}
+
+impl DisjTgd {
+    /// Build a disjunctive tgd.
+    pub fn new(lhs: Vec<Atom>, disjuncts: Vec<Vec<Atom>>) -> Self {
+        DisjTgd { lhs, disjuncts }
+    }
+
+    /// An ordinary st-tgd viewed as a one-disjunct disjunctive tgd.
+    pub fn from_tgd(tgd: &StTgd) -> Self {
+        DisjTgd {
+            lhs: tgd.lhs.clone(),
+            disjuncts: vec![tgd.rhs.clone()],
+        }
+    }
+
+    /// Does the pair `(src, tgt)` satisfy the dependency?
+    pub fn satisfied_by(&self, src: &Instance, tgt: &Instance) -> bool {
+        let rhs_vars: BTreeSet<Name> = self
+            .disjuncts
+            .iter()
+            .flat_map(|d| {
+                let mut out = Vec::new();
+                for a in d {
+                    a.collect_vars(&mut out);
+                }
+                out
+            })
+            .collect();
+        for m in match_conjunction(&self.lhs, src) {
+            let frontier: Valuation = m
+                .into_iter()
+                .filter(|(k, _)| rhs_vars.contains(k))
+                .collect();
+            let ok = self
+                .disjuncts
+                .iter()
+                .any(|d| !extend_matches(d, tgt, &frontier).is_empty());
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for DisjTgd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} → ", display_conjunction(&self.lhs))?;
+        for (i, d) in self.disjuncts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            if self.disjuncts.len() > 1 && d.len() > 1 {
+                write!(f, "({})", display_conjunction(d))?;
+            } else {
+                write!(f, "{}", display_conjunction(d))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_relational::{tuple, RelSchema, Schema, Tuple, Value};
+
+    fn emp_schema() -> Schema {
+        Schema::with_relations(vec![RelSchema::untyped("Emp", vec!["name"]).unwrap()]).unwrap()
+    }
+
+    fn mgr_schema() -> Schema {
+        Schema::with_relations(vec![
+            RelSchema::untyped("Manager", vec!["emp", "mgr"]).unwrap()
+        ])
+        .unwrap()
+    }
+
+    /// The paper's st-tgd (2): Emp(x) → ∃y Manager(x, y).
+    fn example1_tgd() -> StTgd {
+        StTgd::new(
+            vec![Atom::vars("Emp", &["x"])],
+            vec![Atom::vars("Manager", &["x", "y"])],
+        )
+    }
+
+    #[test]
+    fn quantifier_classification() {
+        let t = example1_tgd();
+        assert_eq!(t.frontier(), vec![Name::new("x")]);
+        assert_eq!(t.existential_vars(), vec![Name::new("y")]);
+        assert!(!t.is_full());
+        assert!(t.is_lav());
+        assert!(!t.is_gav());
+    }
+
+    #[test]
+    fn full_tgd_classification() {
+        let t = StTgd::new(
+            vec![Atom::vars("Manager", &["x", "y"])],
+            vec![Atom::vars("Boss", &["x", "y"])],
+        );
+        assert!(t.is_full());
+        assert!(t.is_gav());
+    }
+
+    #[test]
+    fn example1_satisfaction() {
+        let t = example1_tgd();
+        let src = Instance::with_facts(
+            emp_schema(),
+            vec![("Emp", vec![tuple!["Alice"], tuple!["Bob"]])],
+        )
+        .unwrap();
+        // J1, J2, J* from the paper are all solutions.
+        let j1 = Instance::with_facts(
+            mgr_schema(),
+            vec![(
+                "Manager",
+                vec![tuple!["Alice", "Alice"], tuple!["Bob", "Alice"]],
+            )],
+        )
+        .unwrap();
+        let j_star = Instance::with_facts(
+            mgr_schema(),
+            vec![(
+                "Manager",
+                vec![
+                    Tuple::new(vec![Value::str("Alice"), Value::null(1)]),
+                    Tuple::new(vec![Value::str("Bob"), Value::null(2)]),
+                ],
+            )],
+        )
+        .unwrap();
+        assert!(t.satisfied_by(&src, &j1));
+        assert!(t.satisfied_by(&src, &j_star));
+        // An instance missing Bob's manager is not a solution.
+        let bad = Instance::with_facts(
+            mgr_schema(),
+            vec![("Manager", vec![tuple!["Alice", "Ted"]])],
+        )
+        .unwrap();
+        assert!(!t.satisfied_by(&src, &bad));
+        // Empty target with empty source is fine.
+        assert!(t.satisfied_by(&Instance::empty(emp_schema()), &Instance::empty(mgr_schema())));
+    }
+
+    #[test]
+    fn validation() {
+        let t = example1_tgd();
+        assert!(t.validate(&emp_schema(), &mgr_schema()).is_ok());
+        assert!(t.validate(&mgr_schema(), &emp_schema()).is_err());
+        let empty_lhs = StTgd::new(vec![], vec![Atom::vars("Manager", &["x", "y"])]);
+        assert!(empty_lhs.validate(&emp_schema(), &mgr_schema()).is_err());
+    }
+
+    #[test]
+    fn display_matches_paper_form() {
+        let t = example1_tgd();
+        assert_eq!(t.to_string(), "∀x (Emp(x) → ∃y Manager(x, y))");
+    }
+
+    #[test]
+    fn egd_key_construction_and_check() {
+        // Manager(e, m): key on position 0 — one egd equating position 1.
+        let egds = Egd::key("Manager", 2, &[0]);
+        assert_eq!(egds.len(), 1);
+        let ok = Instance::with_facts(
+            mgr_schema(),
+            vec![(
+                "Manager",
+                vec![tuple!["Alice", "Ted"], tuple!["Bob", "Ted"]],
+            )],
+        )
+        .unwrap();
+        assert!(egds[0].satisfied_by(&ok));
+        let bad = Instance::with_facts(
+            mgr_schema(),
+            vec![(
+                "Manager",
+                vec![tuple!["Alice", "Ted"], tuple!["Alice", "Bob"]],
+            )],
+        )
+        .unwrap();
+        assert!(!egds[0].satisfied_by(&bad));
+    }
+
+    #[test]
+    fn disjunctive_tgd_example3_inverse() {
+        // Parent(x, y) → Father(x, y) ∨ Mother(x, y)
+        let d = DisjTgd::new(
+            vec![Atom::vars("Parent", &["x", "y"])],
+            vec![
+                vec![Atom::vars("Father", &["x", "y"])],
+                vec![Atom::vars("Mother", &["x", "y"])],
+            ],
+        );
+        let parent_schema = Schema::with_relations(vec![
+            RelSchema::untyped("Parent", vec!["p", "c"]).unwrap()
+        ])
+        .unwrap();
+        let fm_schema = Schema::with_relations(vec![
+            RelSchema::untyped("Father", vec!["p", "c"]).unwrap(),
+            RelSchema::untyped("Mother", vec!["p", "c"]).unwrap(),
+        ])
+        .unwrap();
+        let j = Instance::with_facts(
+            parent_schema,
+            vec![("Parent", vec![tuple!["Leslie", "Alice"]])],
+        )
+        .unwrap();
+        // Both I1 (Father) and I2 (Mother) satisfy the disjunctive tgd.
+        let i1 = Instance::with_facts(
+            fm_schema.clone(),
+            vec![("Father", vec![tuple!["Leslie", "Alice"]])],
+        )
+        .unwrap();
+        let i2 = Instance::with_facts(
+            fm_schema.clone(),
+            vec![("Mother", vec![tuple!["Leslie", "Alice"]])],
+        )
+        .unwrap();
+        let neither = Instance::empty(fm_schema);
+        assert!(d.satisfied_by(&j, &i1));
+        assert!(d.satisfied_by(&j, &i2));
+        assert!(!d.satisfied_by(&j, &neither));
+        assert_eq!(
+            d.to_string(),
+            "Parent(x, y) → Father(x, y) ∨ Mother(x, y)"
+        );
+    }
+
+    #[test]
+    fn prefix_vars_freshens_whole_tgd() {
+        let t = example1_tgd().prefix_vars("a_");
+        assert_eq!(t.frontier(), vec![Name::new("a_x")]);
+        assert_eq!(t.existential_vars(), vec![Name::new("a_y")]);
+    }
+
+    #[test]
+    fn from_tgd_single_disjunct_equisatisfiable() {
+        let t = example1_tgd();
+        let d = DisjTgd::from_tgd(&t);
+        let src = Instance::with_facts(emp_schema(), vec![("Emp", vec![tuple!["Alice"]])])
+            .unwrap();
+        let tgt = Instance::with_facts(
+            mgr_schema(),
+            vec![("Manager", vec![tuple!["Alice", "Ted"]])],
+        )
+        .unwrap();
+        assert_eq!(t.satisfied_by(&src, &tgt), d.satisfied_by(&src, &tgt));
+        let empty = Instance::empty(mgr_schema());
+        assert_eq!(t.satisfied_by(&src, &empty), d.satisfied_by(&src, &empty));
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the mapping language: display → re-parse is the
+//! identity on randomly generated tgds.
+
+use dex_logic::{parse_disj_tgd, parse_tgd, Atom, DisjTgd, StTgd, Term};
+use proptest::prelude::*;
+
+/// Render a tgd in the *input* syntax (`&`-joined atoms, `->`).
+fn render_tgd(t: &StTgd) -> String {
+    let side = |atoms: &[Atom]| {
+        atoms
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(" & ")
+    };
+    format!("{} -> {}", side(&t.lhs), side(&t.rhs))
+}
+
+fn render_disj(t: &DisjTgd) -> String {
+    let side = |atoms: &[Atom]| {
+        atoms
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(" & ")
+    };
+    format!(
+        "{} -> {}",
+        side(&t.lhs),
+        t.disjuncts
+            .iter()
+            .map(|d| side(d))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    )
+}
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (0usize..6).prop_map(|i| Term::var(format!("v{i}"))),
+        (-5i64..100).prop_map(Term::cnst),
+        "[a-z]{1,6}".prop_map(|s| Term::cnst(s.as_str())),
+        any::<bool>().prop_map(Term::cnst),
+    ]
+}
+
+fn arb_atom(rel_pool: &'static [&'static str]) -> impl Strategy<Value = Atom> {
+    (
+        proptest::sample::select(rel_pool),
+        proptest::collection::vec(arb_term(), 1..4),
+    )
+        .prop_map(|(r, args)| Atom::new(r, args))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// parse(render(t)) == t for arbitrary tgds.
+    #[test]
+    fn tgd_display_parse_round_trip(
+        lhs in proptest::collection::vec(arb_atom(&["R", "S", "T"]), 1..3),
+        rhs in proptest::collection::vec(arb_atom(&["U", "V"]), 1..3),
+    ) {
+        let t = StTgd::new(lhs, rhs);
+        let text = render_tgd(&t);
+        let back = parse_tgd(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        prop_assert_eq!(back, t);
+    }
+
+    /// Same for disjunctive rules.
+    #[test]
+    fn disj_tgd_round_trip(
+        lhs in proptest::collection::vec(arb_atom(&["R"]), 1..3),
+        disjuncts in proptest::collection::vec(
+            proptest::collection::vec(arb_atom(&["U", "V"]), 1..3), 1..3),
+    ) {
+        let t = DisjTgd::new(lhs, disjuncts);
+        let text = render_disj(&t);
+        let back = parse_disj_tgd(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        prop_assert_eq!(back, t);
+    }
+
+    /// The tokenizer never panics on arbitrary input (errors are fine).
+    #[test]
+    fn parser_total_on_garbage(s in "\\PC{0,60}") {
+        let _ = parse_tgd(&s);
+        let _ = dex_logic::parse_mapping(&s);
+    }
+}

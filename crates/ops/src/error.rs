@@ -1,0 +1,58 @@
+//! Operator failure modes.
+
+use std::fmt;
+
+/// Errors raised by mapping-management operators.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum OpsError {
+    /// The two mappings do not share the middle schema.
+    SchemaChainMismatch {
+        /// Description of what differed.
+        detail: String,
+    },
+    /// The mapping falls outside the fragment an operator supports.
+    UnsupportedFragment {
+        /// Which operator.
+        operator: &'static str,
+        /// Why the mapping is outside the fragment.
+        reason: String,
+    },
+    /// An underlying relational error.
+    Relational(dex_relational::RelationalError),
+}
+
+impl fmt::Display for OpsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpsError::SchemaChainMismatch { detail } => {
+                write!(f, "cannot chain mappings: {detail}")
+            }
+            OpsError::UnsupportedFragment { operator, reason } => {
+                write!(f, "{operator} does not support this mapping: {reason}")
+            }
+            OpsError::Relational(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for OpsError {}
+
+impl From<dex_relational::RelationalError> for OpsError {
+    fn from(e: dex_relational::RelationalError) -> Self {
+        OpsError::Relational(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = OpsError::UnsupportedFragment {
+            operator: "maximum_recovery",
+            reason: "multi-atom rhs".into(),
+        };
+        assert!(e.to_string().contains("maximum_recovery"));
+    }
+}

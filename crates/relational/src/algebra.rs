@@ -1,0 +1,413 @@
+//! Relational algebra over [`Relation`] instances.
+//!
+//! These are the *forward* (get) building blocks of relational lenses
+//! (paper §3: “relational lenses have … general parity with relational
+//! algebra”): selection, projection, renaming, natural join, union,
+//! difference, and product. Each operator derives the result schema,
+//! including a sound (conservative) propagation of functional
+//! dependencies.
+
+use crate::error::RelationalError;
+use crate::expr::Expr;
+use crate::fd::FdSet;
+use crate::name::Name;
+use crate::relation::Relation;
+use crate::schema::{AttrType, RelSchema};
+use crate::tuple::Tuple;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// σ — keep the tuples satisfying `pred`. The schema (and FDs) are
+/// unchanged except for the result name.
+pub fn select(rel: &Relation, pred: &Expr, out_name: &str) -> Result<Relation, RelationalError> {
+    let mut out_schema = rel.schema().clone().renamed(out_name);
+    *out_schema.fds_mut() = rel.schema().fds().clone();
+    let mut out = Relation::empty(out_schema);
+    for t in rel.iter() {
+        if pred.eval_bool(rel.schema(), t)? {
+            out.insert(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// π — project onto `attrs` (order given). Duplicate output rows
+/// collapse (set semantics). FDs that mention only kept attributes are
+/// retained.
+pub fn project(
+    rel: &Relation,
+    attrs: &[&str],
+    out_name: &str,
+) -> Result<Relation, RelationalError> {
+    let mut positions = Vec::with_capacity(attrs.len());
+    let mut out_attrs: Vec<(Name, AttrType)> = Vec::with_capacity(attrs.len());
+    for a in attrs {
+        let pos = rel
+            .schema()
+            .position(a)
+            .ok_or_else(|| RelationalError::UnknownAttribute {
+                relation: rel.name().clone(),
+                attribute: Name::new(*a),
+            })?;
+        positions.push(pos);
+        out_attrs.push(rel.schema().attrs()[pos].clone());
+    }
+    let kept: BTreeSet<Name> = out_attrs.iter().map(|(a, _)| a.clone()).collect();
+    let fds = rel.schema().fds().restrict_to(&kept);
+    let mut schema = RelSchema::new(out_name, out_attrs)?;
+    *schema.fds_mut() = fds;
+    let mut out = Relation::empty(schema);
+    for t in rel.iter() {
+        out.insert(t.project(&positions))?;
+    }
+    Ok(out)
+}
+
+/// ρ — rename attributes according to `renaming` (unmapped attributes
+/// keep their names). FDs are renamed along.
+pub fn rename_attrs(
+    rel: &Relation,
+    renaming: &BTreeMap<Name, Name>,
+    out_name: &str,
+) -> Result<Relation, RelationalError> {
+    for from in renaming.keys() {
+        if rel.schema().position(from.as_str()).is_none() {
+            return Err(RelationalError::UnknownAttribute {
+                relation: rel.name().clone(),
+                attribute: from.clone(),
+            });
+        }
+    }
+    let attrs: Vec<(Name, AttrType)> = rel
+        .schema()
+        .attrs()
+        .iter()
+        .map(|(a, t)| {
+            (
+                renaming.get(a).cloned().unwrap_or_else(|| a.clone()),
+                *t,
+            )
+        })
+        .collect();
+    let mut schema = RelSchema::new(out_name, attrs)?;
+    *schema.fds_mut() = rel.schema().fds().rename(renaming);
+    let mut out = Relation::empty(schema);
+    for t in rel.iter() {
+        out.insert(t.clone())?;
+    }
+    Ok(out)
+}
+
+/// ⋈ — natural join: match on all shared attribute names. The output
+/// header is `a`'s attributes followed by `b`'s non-shared attributes.
+/// FDs of both sides are retained (sound: both projections hold).
+pub fn natural_join(
+    a: &Relation,
+    b: &Relation,
+    out_name: &str,
+) -> Result<Relation, RelationalError> {
+    let a_names: Vec<Name> = a.schema().attr_names().cloned().collect();
+    let b_names: Vec<Name> = b.schema().attr_names().cloned().collect();
+    let shared: Vec<Name> = a_names
+        .iter()
+        .filter(|n| b_names.contains(n))
+        .cloned()
+        .collect();
+    let shared_a: Vec<usize> = shared
+        .iter()
+        .map(|n| a.schema().position(n.as_str()).unwrap())
+        .collect();
+    let shared_b: Vec<usize> = shared
+        .iter()
+        .map(|n| b.schema().position(n.as_str()).unwrap())
+        .collect();
+    let b_extra: Vec<usize> = (0..b.schema().arity())
+        .filter(|i| !shared_b.contains(i))
+        .collect();
+
+    let mut attrs: Vec<(Name, AttrType)> = a.schema().attrs().to_vec();
+    for &i in &b_extra {
+        attrs.push(b.schema().attrs()[i].clone());
+    }
+    let mut schema = RelSchema::new(out_name, attrs)?;
+    let mut fds = FdSet::new();
+    for fd in a.schema().fds().iter().chain(b.schema().fds().iter()) {
+        fds.insert(fd.clone());
+    }
+    *schema.fds_mut() = fds;
+
+    let mut out = Relation::empty(schema);
+    // Hash-join on the shared projection (BTreeMap for determinism).
+    let mut index: BTreeMap<Tuple, Vec<&Tuple>> = BTreeMap::new();
+    for tb in b.iter() {
+        index.entry(tb.project(&shared_b)).or_default().push(tb);
+    }
+    for ta in a.iter() {
+        if let Some(matches) = index.get(&ta.project(&shared_a)) {
+            for tb in matches {
+                out.insert(ta.concat(&tb.project(&b_extra)))?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn require_same_header(a: &Relation, b: &Relation, op: &str) -> Result<(), RelationalError> {
+    let ha: Vec<&Name> = a.schema().attr_names().collect();
+    let hb: Vec<&Name> = b.schema().attr_names().collect();
+    if ha != hb {
+        return Err(RelationalError::SchemaMismatch {
+            context: format!(
+                "{op}: headers differ ({} vs {})",
+                a.schema(),
+                b.schema()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// ∪ — set union; headers must agree. Only FDs common to both sides are
+/// sound for the union, so the result keeps the intersection.
+pub fn union(a: &Relation, b: &Relation, out_name: &str) -> Result<Relation, RelationalError> {
+    require_same_header(a, b, "union")?;
+    let mut schema = a.schema().clone().renamed(out_name);
+    let common: FdSet = a
+        .schema()
+        .fds()
+        .iter()
+        .filter(|fd| b.schema().fds().implies(fd))
+        .cloned()
+        .collect();
+    *schema.fds_mut() = common;
+    let mut out = Relation::empty(schema);
+    for t in a.iter().chain(b.iter()) {
+        out.insert(t.clone())?;
+    }
+    Ok(out)
+}
+
+/// − — set difference; headers must agree.
+pub fn difference(
+    a: &Relation,
+    b: &Relation,
+    out_name: &str,
+) -> Result<Relation, RelationalError> {
+    require_same_header(a, b, "difference")?;
+    let mut schema = a.schema().clone().renamed(out_name);
+    *schema.fds_mut() = a.schema().fds().clone();
+    let mut out = Relation::empty(schema);
+    for t in a.iter() {
+        if !b.contains(t) {
+            out.insert(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// ∩ — set intersection; headers must agree.
+pub fn intersection(
+    a: &Relation,
+    b: &Relation,
+    out_name: &str,
+) -> Result<Relation, RelationalError> {
+    require_same_header(a, b, "intersection")?;
+    let mut schema = a.schema().clone().renamed(out_name);
+    *schema.fds_mut() = a.schema().fds().clone();
+    let mut out = Relation::empty(schema);
+    for t in a.iter() {
+        if b.contains(t) {
+            out.insert(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// × — cartesian product; attribute names must be disjoint.
+pub fn product(a: &Relation, b: &Relation, out_name: &str) -> Result<Relation, RelationalError> {
+    let a_names: BTreeSet<&Name> = a.schema().attr_names().collect();
+    if b.schema().attr_names().any(|n| a_names.contains(n)) {
+        return Err(RelationalError::SchemaMismatch {
+            context: "product: attribute names must be disjoint (rename first)".into(),
+        });
+    }
+    let mut attrs = a.schema().attrs().to_vec();
+    attrs.extend_from_slice(b.schema().attrs());
+    let schema = RelSchema::new(out_name, attrs)?;
+    let mut out = Relation::empty(schema);
+    for ta in a.iter() {
+        for tb in b.iter() {
+            out.insert(ta.concat(tb))?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd::Fd;
+    use crate::tuple;
+    use crate::value::Value;
+
+    fn people() -> Relation {
+        let s = RelSchema::untyped("People", vec!["id", "name", "city"])
+            .unwrap()
+            .with_fd(Fd::new(vec!["id"], vec!["name", "city"]))
+            .unwrap();
+        Relation::from_tuples(
+            s,
+            vec![
+                tuple![1i64, "Alice", "Sydney"],
+                tuple![2i64, "Bob", "Santiago"],
+                tuple![3i64, "Carol", "Sydney"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn select_filters_and_keeps_schema() {
+        let r = people();
+        let out = select(
+            &r,
+            &Expr::attr("city").eq(Expr::lit("Sydney")),
+            "SydneyFolk",
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.name(), "SydneyFolk");
+        assert_eq!(out.schema().arity(), 3);
+        assert_eq!(out.schema().fds().len(), 1);
+    }
+
+    #[test]
+    fn project_collapses_duplicates_and_restricts_fds() {
+        let r = people();
+        let out = project(&r, &["city"], "Cities").unwrap();
+        assert_eq!(out.len(), 2, "Sydney deduplicated");
+        assert_eq!(out.schema().fds().len(), 0, "id FD dropped");
+        let out2 = project(&r, &["id", "name"], "IdName").unwrap();
+        assert_eq!(out2.schema().fds().len(), 0, "fd mentions city, dropped");
+        // Projection can reorder.
+        let out3 = project(&r, &["name", "id"], "NI").unwrap();
+        assert!(out3.contains(&tuple!["Alice", 1i64]));
+    }
+
+    #[test]
+    fn project_unknown_attr_errors() {
+        let r = people();
+        assert!(project(&r, &["zip"], "X").is_err());
+    }
+
+    #[test]
+    fn rename_moves_fds() {
+        let r = people();
+        let mut m = BTreeMap::new();
+        m.insert(Name::new("id"), Name::new("pid"));
+        let out = rename_attrs(&r, &m, "People2").unwrap();
+        assert_eq!(out.schema().position("pid"), Some(0));
+        assert!(out
+            .schema()
+            .fds()
+            .implies(&Fd::new(vec!["pid"], vec!["name"])));
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn natural_join_on_shared_attrs() {
+        let cities = Relation::from_tuples(
+            RelSchema::untyped("CityZip", vec!["city", "zip"]).unwrap(),
+            vec![tuple!["Sydney", 2000i64], tuple!["Santiago", 8320000i64]],
+        )
+        .unwrap();
+        let out = natural_join(&people(), &cities, "J").unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.schema().arity(), 4);
+        assert!(out.contains(&tuple![1i64, "Alice", "Sydney", 2000i64]));
+    }
+
+    #[test]
+    fn join_with_no_shared_attrs_is_product() {
+        let flags = Relation::from_tuples(
+            RelSchema::untyped("F", vec!["flag"]).unwrap(),
+            vec![tuple![true], tuple![false]],
+        )
+        .unwrap();
+        let out = natural_join(&people(), &flags, "J").unwrap();
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn join_nulls_match_syntactically() {
+        let a = Relation::from_tuples(
+            RelSchema::untyped("A", vec!["k", "x"]).unwrap(),
+            vec![Tuple::new(vec![Value::null(0), Value::int(1)])],
+        )
+        .unwrap();
+        let b = Relation::from_tuples(
+            RelSchema::untyped("B", vec!["k", "y"]).unwrap(),
+            vec![
+                Tuple::new(vec![Value::null(0), Value::int(2)]),
+                Tuple::new(vec![Value::null(1), Value::int(3)]),
+            ],
+        )
+        .unwrap();
+        let out = natural_join(&a, &b, "J").unwrap();
+        assert_eq!(out.len(), 1, "⊥0 joins only with ⊥0");
+    }
+
+    #[test]
+    fn union_requires_same_header_and_intersects_fds() {
+        let r1 = people();
+        let extra = Relation::from_tuples(
+            RelSchema::untyped("More", vec!["id", "name", "city"]).unwrap(),
+            vec![tuple![9i64, "Zed", "Quito"], tuple![1i64, "Alice", "Sydney"]],
+        )
+        .unwrap();
+        let out = union(&r1, &extra, "U").unwrap();
+        assert_eq!(out.len(), 4, "duplicate Alice collapses");
+        assert_eq!(
+            out.schema().fds().len(),
+            0,
+            "FD not guaranteed by the un-keyed side"
+        );
+        let narrow = project(&r1, &["id"], "X").unwrap();
+        assert!(union(&r1, &narrow, "U").is_err());
+    }
+
+    #[test]
+    fn difference_and_intersection() {
+        let r = people();
+        let sydney = select(&r, &Expr::attr("city").eq(Expr::lit("Sydney")), "S").unwrap();
+        let rest = difference(&r, &sydney, "D").unwrap();
+        assert_eq!(rest.len(), 1);
+        assert!(rest.contains(&tuple![2i64, "Bob", "Santiago"]));
+        let both = intersection(&r, &sydney, "I").unwrap();
+        assert_eq!(both.len(), 2);
+    }
+
+    #[test]
+    fn product_requires_disjoint_names() {
+        let r = people();
+        assert!(product(&r, &r, "P").is_err());
+        let flags = Relation::from_tuples(
+            RelSchema::untyped("F", vec!["flag"]).unwrap(),
+            vec![tuple![true]],
+        )
+        .unwrap();
+        let out = product(&r, &flags, "P").unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.schema().arity(), 4);
+    }
+
+    #[test]
+    fn composition_select_then_project() {
+        // π_name(σ_city=Sydney(People)) — the textbook pipeline.
+        let r = people();
+        let s = select(&r, &Expr::attr("city").eq(Expr::lit("Sydney")), "t").unwrap();
+        let p = project(&s, &["name"], "Names").unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(p.contains(&tuple!["Alice"]));
+        assert!(p.contains(&tuple!["Carol"]));
+    }
+}

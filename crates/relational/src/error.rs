@@ -1,0 +1,129 @@
+//! Structured errors for the relational substrate.
+
+use crate::name::Name;
+use std::fmt;
+
+/// Errors raised by schema construction, instance mutation, and algebra
+/// evaluation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RelationalError {
+    /// A relation with this name already exists in the schema.
+    DuplicateRelation(Name),
+    /// No relation with this name exists.
+    UnknownRelation(Name),
+    /// An attribute name is repeated within one relation schema.
+    DuplicateAttribute {
+        /// The relation being defined.
+        relation: Name,
+        /// The repeated attribute.
+        attribute: Name,
+    },
+    /// An attribute was referenced that the relation does not have.
+    UnknownAttribute {
+        /// The relation consulted.
+        relation: Name,
+        /// The missing attribute.
+        attribute: Name,
+    },
+    /// A tuple's width does not match the relation's arity.
+    ArityMismatch {
+        /// The relation receiving the tuple.
+        relation: Name,
+        /// Declared arity.
+        expected: usize,
+        /// Width of the offending tuple.
+        actual: usize,
+    },
+    /// A value does not inhabit the declared attribute type.
+    TypeMismatch {
+        /// The relation receiving the tuple.
+        relation: Name,
+        /// The attribute whose type was violated.
+        attribute: Name,
+        /// Display form of the offending value.
+        value: String,
+    },
+    /// Two relations being combined have incompatible headers.
+    SchemaMismatch {
+        /// What the operation was doing.
+        context: String,
+    },
+    /// A predicate or expression referenced an attribute not in scope.
+    UnboundAttribute(Name),
+    /// Expression evaluation failed (e.g. comparing incompatible values,
+    /// or applying arithmetic to a null).
+    EvalError(String),
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationalError::DuplicateRelation(n) => {
+                write!(f, "relation `{n}` already defined")
+            }
+            RelationalError::UnknownRelation(n) => write!(f, "unknown relation `{n}`"),
+            RelationalError::DuplicateAttribute {
+                relation,
+                attribute,
+            } => write!(f, "duplicate attribute `{attribute}` in relation `{relation}`"),
+            RelationalError::UnknownAttribute {
+                relation,
+                attribute,
+            } => write!(f, "relation `{relation}` has no attribute `{attribute}`"),
+            RelationalError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "arity mismatch for `{relation}`: expected {expected} values, got {actual}"
+            ),
+            RelationalError::TypeMismatch {
+                relation,
+                attribute,
+                value,
+            } => write!(
+                f,
+                "type mismatch for `{relation}.{attribute}`: value {value} not admitted"
+            ),
+            RelationalError::SchemaMismatch { context } => {
+                write!(f, "schema mismatch: {context}")
+            }
+            RelationalError::UnboundAttribute(a) => {
+                write!(f, "attribute `{a}` is not in scope")
+            }
+            RelationalError::EvalError(msg) => write!(f, "evaluation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RelationalError::ArityMismatch {
+            relation: Name::new("Emp"),
+            expected: 1,
+            actual: 2,
+        };
+        assert_eq!(
+            e.to_string(),
+            "arity mismatch for `Emp`: expected 1 values, got 2"
+        );
+        let e = RelationalError::UnknownAttribute {
+            relation: Name::new("R"),
+            attribute: Name::new("x"),
+        };
+        assert!(e.to_string().contains("no attribute"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&RelationalError::UnknownRelation(Name::new("R")));
+    }
+}

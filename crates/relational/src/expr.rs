@@ -1,0 +1,468 @@
+//! A small scalar expression / predicate language over named attributes.
+//!
+//! Used by the algebra's selection operator, by relational-lens
+//! selection templates, and by schema evolution's horizontal split.
+//!
+//! Semantics over nulls: equality compares values syntactically (a
+//! labeled null equals itself only — the same convention used for FD
+//! checking), while ordering comparisons require ground constants of the
+//! same type and report an [`RelationalError::EvalError`] otherwise.
+
+use crate::error::RelationalError;
+use crate::name::Name;
+use crate::schema::RelSchema;
+use crate::tuple::Tuple;
+use crate::value::{Constant, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Comparison operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum BinCmp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for BinCmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinCmp::Eq => "=",
+            BinCmp::Ne => "<>",
+            BinCmp::Lt => "<",
+            BinCmp::Le => "<=",
+            BinCmp::Gt => ">",
+            BinCmp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Arithmetic operators (integers only).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A boolean/scalar expression evaluated against one tuple.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Expr {
+    /// The value of an attribute.
+    Attr(Name),
+    /// A literal constant.
+    Lit(Constant),
+    /// Comparison of two sub-expressions.
+    Cmp(BinCmp, Box<Expr>, Box<Expr>),
+    /// Integer arithmetic on two sub-expressions.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// String concatenation of two sub-expressions.
+    Concat(Box<Expr>, Box<Expr>),
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Is the sub-expression a labeled null (or Skolem term)?
+    IsNull(Box<Expr>),
+    /// Constant truth.
+    True,
+    /// Constant falsity.
+    False,
+}
+
+impl Expr {
+    /// Attribute reference.
+    pub fn attr(a: impl Into<Name>) -> Expr {
+        Expr::Attr(a.into())
+    }
+
+    /// Literal.
+    pub fn lit(c: impl Into<Constant>) -> Expr {
+        Expr::Lit(c.into())
+    }
+
+    /// `self = other`
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Cmp(BinCmp::Eq, Box::new(self), Box::new(other))
+    }
+
+    /// `self <> other`
+    pub fn ne(self, other: Expr) -> Expr {
+        Expr::Cmp(BinCmp::Ne, Box::new(self), Box::new(other))
+    }
+
+    /// `self < other`
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::Cmp(BinCmp::Lt, Box::new(self), Box::new(other))
+    }
+
+    /// `self <= other`
+    pub fn le(self, other: Expr) -> Expr {
+        Expr::Cmp(BinCmp::Le, Box::new(self), Box::new(other))
+    }
+
+    /// `self > other`
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::Cmp(BinCmp::Gt, Box::new(self), Box::new(other))
+    }
+
+    /// `self >= other`
+    pub fn ge(self, other: Expr) -> Expr {
+        Expr::Cmp(BinCmp::Ge, Box::new(self), Box::new(other))
+    }
+
+    /// `self AND other`
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self`
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// `self + other` (integers).
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Expr) -> Expr {
+        Expr::Arith(ArithOp::Add, Box::new(self), Box::new(other))
+    }
+
+    /// `self - other` (integers).
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, other: Expr) -> Expr {
+        Expr::Arith(ArithOp::Sub, Box::new(self), Box::new(other))
+    }
+
+    /// `self * other` (integers).
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, other: Expr) -> Expr {
+        Expr::Arith(ArithOp::Mul, Box::new(self), Box::new(other))
+    }
+
+    /// `self || other` — string concatenation.
+    pub fn concat(self, other: Expr) -> Expr {
+        Expr::Concat(Box::new(self), Box::new(other))
+    }
+
+    /// `self IS NULL`
+    pub fn is_null(self) -> Expr {
+        Expr::IsNull(Box::new(self))
+    }
+
+    /// Evaluate to a [`Value`] against `tuple` under `schema`.
+    pub fn eval(&self, schema: &RelSchema, tuple: &Tuple) -> Result<Value, RelationalError> {
+        match self {
+            Expr::Attr(a) => {
+                let pos = schema
+                    .position(a.as_str())
+                    .ok_or_else(|| RelationalError::UnboundAttribute(a.clone()))?;
+                Ok(tuple[pos].clone())
+            }
+            Expr::Lit(c) => Ok(Value::Const(c.clone())),
+            Expr::Cmp(op, l, r) => {
+                let lv = l.eval(schema, tuple)?;
+                let rv = r.eval(schema, tuple)?;
+                compare(*op, &lv, &rv).map(Value::Const)
+            }
+            Expr::Arith(op, l, r) => {
+                let lv = l.eval(schema, tuple)?;
+                let rv = r.eval(schema, tuple)?;
+                match (lv.as_int(), rv.as_int()) {
+                    (Some(a), Some(b)) => {
+                        let v = match op {
+                            ArithOp::Add => a.checked_add(b),
+                            ArithOp::Sub => a.checked_sub(b),
+                            ArithOp::Mul => a.checked_mul(b),
+                        }
+                        .ok_or_else(|| {
+                            RelationalError::EvalError(format!(
+                                "integer overflow computing {a} {op} {b}"
+                            ))
+                        })?;
+                        Ok(Value::int(v))
+                    }
+                    _ => Err(RelationalError::EvalError(format!(
+                        "arithmetic `{lv} {op} {rv}` requires integer constants"
+                    ))),
+                }
+            }
+            Expr::Concat(l, r) => {
+                let lv = l.eval(schema, tuple)?;
+                let rv = r.eval(schema, tuple)?;
+                match (lv.as_str(), rv.as_str()) {
+                    (Some(a), Some(b)) => Ok(Value::str(format!("{a}{b}"))),
+                    _ => Err(RelationalError::EvalError(format!(
+                        "concatenation `{lv} || {rv}` requires string constants"
+                    ))),
+                }
+            }
+            Expr::And(l, r) => {
+                let lv = l.eval_bool(schema, tuple)?;
+                if !lv {
+                    return Ok(Value::bool(false));
+                }
+                Ok(Value::bool(r.eval_bool(schema, tuple)?))
+            }
+            Expr::Or(l, r) => {
+                let lv = l.eval_bool(schema, tuple)?;
+                if lv {
+                    return Ok(Value::bool(true));
+                }
+                Ok(Value::bool(r.eval_bool(schema, tuple)?))
+            }
+            Expr::Not(e) => Ok(Value::bool(!e.eval_bool(schema, tuple)?)),
+            Expr::IsNull(e) => {
+                let v = e.eval(schema, tuple)?;
+                Ok(Value::bool(!v.is_const()))
+            }
+            Expr::True => Ok(Value::bool(true)),
+            Expr::False => Ok(Value::bool(false)),
+        }
+    }
+
+    /// Evaluate, requiring a boolean result.
+    pub fn eval_bool(&self, schema: &RelSchema, tuple: &Tuple) -> Result<bool, RelationalError> {
+        match self.eval(schema, tuple)? {
+            Value::Const(Constant::Bool(b)) => Ok(b),
+            other => Err(RelationalError::EvalError(format!(
+                "expected boolean, got {other}"
+            ))),
+        }
+    }
+
+    /// Attribute names referenced by the expression.
+    pub fn referenced_attrs(&self) -> Vec<Name> {
+        fn go(e: &Expr, out: &mut Vec<Name>) {
+            match e {
+                Expr::Attr(a) => {
+                    if !out.contains(a) {
+                        out.push(a.clone());
+                    }
+                }
+                Expr::Lit(_) | Expr::True | Expr::False => {}
+                Expr::Cmp(_, l, r)
+                | Expr::Arith(_, l, r)
+                | Expr::Concat(l, r)
+                | Expr::And(l, r)
+                | Expr::Or(l, r) => {
+                    go(l, out);
+                    go(r, out);
+                }
+                Expr::Not(x) | Expr::IsNull(x) => go(x, out),
+            }
+        }
+        let mut out = Vec::new();
+        go(self, &mut out);
+        out
+    }
+}
+
+fn compare(op: BinCmp, l: &Value, r: &Value) -> Result<Constant, RelationalError> {
+    match op {
+        // Equality is syntactic: nulls equal only themselves.
+        BinCmp::Eq => Ok(Constant::Bool(l == r)),
+        BinCmp::Ne => Ok(Constant::Bool(l != r)),
+        _ => {
+            let (lc, rc) = match (l, r) {
+                (Value::Const(a), Value::Const(b)) => (a, b),
+                _ => {
+                    return Err(RelationalError::EvalError(format!(
+                        "ordering comparison `{l} {op} {r}` requires ground constants"
+                    )))
+                }
+            };
+            let ord = match (lc, rc) {
+                (Constant::Int(a), Constant::Int(b)) => a.cmp(b),
+                (Constant::Str(a), Constant::Str(b)) => a.cmp(b),
+                (Constant::Bool(a), Constant::Bool(b)) => a.cmp(b),
+                _ => {
+                    return Err(RelationalError::EvalError(format!(
+                        "cannot order {lc} against {rc}: mismatched types"
+                    )))
+                }
+            };
+            let b = match op {
+                BinCmp::Lt => ord.is_lt(),
+                BinCmp::Le => ord.is_le(),
+                BinCmp::Gt => ord.is_gt(),
+                BinCmp::Ge => ord.is_ge(),
+                BinCmp::Eq | BinCmp::Ne => unreachable!(),
+            };
+            Ok(Constant::Bool(b))
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Attr(a) => write!(f, "{a}"),
+            Expr::Lit(Constant::Str(s)) => write!(f, "{s:?}"),
+            Expr::Lit(c) => write!(f, "{c}"),
+            Expr::Cmp(op, l, r) => write!(f, "{l} {op} {r}"),
+            Expr::Arith(op, l, r) => write!(f, "({l} {op} {r})"),
+            Expr::Concat(l, r) => write!(f, "({l} || {r})"),
+            Expr::And(l, r) => write!(f, "({l} AND {r})"),
+            Expr::Or(l, r) => write!(f, "({l} OR {r})"),
+            Expr::Not(e) => write!(f, "NOT ({e})"),
+            Expr::IsNull(e) => write!(f, "{e} IS NULL"),
+            Expr::True => write!(f, "TRUE"),
+            Expr::False => write!(f, "FALSE"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn person() -> RelSchema {
+        RelSchema::untyped("P", vec!["id", "name", "age"]).unwrap()
+    }
+
+    #[test]
+    fn attribute_lookup_and_literals() {
+        let s = person();
+        let t = tuple![1i64, "Alice", 30i64];
+        assert_eq!(
+            Expr::attr("name").eval(&s, &t).unwrap(),
+            Value::str("Alice")
+        );
+        assert_eq!(Expr::lit(5i64).eval(&s, &t).unwrap(), Value::int(5));
+        assert!(matches!(
+            Expr::attr("zip").eval(&s, &t).unwrap_err(),
+            RelationalError::UnboundAttribute(_)
+        ));
+    }
+
+    #[test]
+    fn comparisons() {
+        let s = person();
+        let t = tuple![1i64, "Alice", 30i64];
+        let e = Expr::attr("age").ge(Expr::lit(18i64));
+        assert!(e.eval_bool(&s, &t).unwrap());
+        let e = Expr::attr("name").lt(Expr::lit("Bob"));
+        assert!(e.eval_bool(&s, &t).unwrap());
+        let e = Expr::attr("age").eq(Expr::lit(31i64));
+        assert!(!e.eval_bool(&s, &t).unwrap());
+    }
+
+    #[test]
+    fn mixed_type_ordering_errors() {
+        let s = person();
+        let t = tuple![1i64, "Alice", 30i64];
+        let e = Expr::attr("name").lt(Expr::lit(5i64));
+        assert!(e.eval_bool(&s, &t).is_err());
+    }
+
+    #[test]
+    fn null_equality_is_syntactic() {
+        let s = person();
+        let t = Tuple::new(vec![Value::null(0), Value::str("x"), Value::null(0)]);
+        // id = age: both ⊥0 → true.
+        assert!(Expr::attr("id")
+            .eq(Expr::attr("age"))
+            .eval_bool(&s, &t)
+            .unwrap());
+        // id = 1 → false (null ≠ constant).
+        assert!(!Expr::attr("id")
+            .eq(Expr::lit(1i64))
+            .eval_bool(&s, &t)
+            .unwrap());
+        // Ordering against a null errors.
+        assert!(Expr::attr("id")
+            .lt(Expr::lit(1i64))
+            .eval_bool(&s, &t)
+            .is_err());
+    }
+
+    #[test]
+    fn is_null_predicate() {
+        let s = person();
+        let t = Tuple::new(vec![Value::null(0), Value::str("x"), Value::int(3)]);
+        assert!(Expr::attr("id").is_null().eval_bool(&s, &t).unwrap());
+        assert!(!Expr::attr("age").is_null().eval_bool(&s, &t).unwrap());
+    }
+
+    #[test]
+    fn boolean_connectives_short_circuit() {
+        let s = person();
+        let t = tuple![1i64, "Alice", 30i64];
+        // RHS would error (ordering on string vs int), but AND
+        // short-circuits on false LHS.
+        let e = Expr::False.and(Expr::attr("name").lt(Expr::lit(5i64)));
+        assert!(!e.eval_bool(&s, &t).unwrap());
+        let e = Expr::True.or(Expr::attr("name").lt(Expr::lit(5i64)));
+        assert!(e.eval_bool(&s, &t).unwrap());
+        let e = Expr::True.and(Expr::False.not());
+        assert!(e.eval_bool(&s, &t).unwrap());
+    }
+
+    #[test]
+    fn arithmetic_and_concat() {
+        let s = person();
+        let t = tuple![1i64, "Alice", 30i64];
+        // age * 1000 + 5
+        let e = Expr::attr("age").mul(Expr::lit(1000i64)).add(Expr::lit(5i64));
+        assert_eq!(e.eval(&s, &t).unwrap(), Value::int(30_005));
+        assert_eq!(e.to_string(), "((age * 1000) + 5)");
+        // name || "!"
+        let e = Expr::attr("name").concat(Expr::lit("!"));
+        assert_eq!(e.eval(&s, &t).unwrap(), Value::str("Alice!"));
+        // Type errors are loud.
+        assert!(Expr::attr("name").add(Expr::lit(1i64)).eval(&s, &t).is_err());
+        assert!(Expr::attr("age").concat(Expr::lit("x")).eval(&s, &t).is_err());
+        // Overflow is loud, not wrapping.
+        let big = Expr::lit(i64::MAX).mul(Expr::lit(2i64));
+        assert!(big.eval(&s, &t).is_err());
+    }
+
+    #[test]
+    fn referenced_attrs_deduplicated() {
+        let e = Expr::attr("a")
+            .eq(Expr::attr("b"))
+            .and(Expr::attr("a").is_null());
+        assert_eq!(e.referenced_attrs(), vec![Name::new("a"), Name::new("b")]);
+    }
+
+    #[test]
+    fn display() {
+        let e = Expr::attr("age")
+            .ge(Expr::lit(18i64))
+            .and(Expr::attr("name").eq(Expr::lit("Bob")));
+        assert_eq!(e.to_string(), "(age >= 18 AND name = \"Bob\")");
+    }
+}

@@ -1,0 +1,364 @@
+//! Functional dependencies: representation, closure, and checking.
+//!
+//! Functional dependencies drive the least-lossy update policy of
+//! relational lenses (paper §3: “use a functional dependency c′ → c …
+//! the least lossy” option) and the relational *revision* operator used
+//! by lens `put`. This module provides the classical FD toolkit:
+//! attribute-set closure (Armstrong), implication testing, key
+//! derivation, and satisfaction checking over instances with nulls.
+
+use crate::name::Name;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A functional dependency `lhs → rhs` over one relation's attributes.
+///
+/// Attribute lists are kept sorted and deduplicated, so two FDs written
+/// in different orders compare equal.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Fd {
+    lhs: Vec<Name>,
+    rhs: Vec<Name>,
+}
+
+impl Fd {
+    /// Build `lhs → rhs`. Duplicates are removed and both sides sorted.
+    pub fn new<A: Into<Name>, B: Into<Name>>(lhs: Vec<A>, rhs: Vec<B>) -> Self {
+        let mut l: Vec<Name> = lhs.into_iter().map(Into::into).collect();
+        let mut r: Vec<Name> = rhs.into_iter().map(Into::into).collect();
+        l.sort();
+        l.dedup();
+        r.sort();
+        r.dedup();
+        Fd { lhs: l, rhs: r }
+    }
+
+    /// Determinant attributes.
+    pub fn lhs(&self) -> &[Name] {
+        &self.lhs
+    }
+
+    /// Determined attributes.
+    pub fn rhs(&self) -> &[Name] {
+        &self.rhs
+    }
+
+    /// Is this FD trivial (`rhs ⊆ lhs`)?
+    pub fn is_trivial(&self) -> bool {
+        self.rhs.iter().all(|a| self.lhs.contains(a))
+    }
+
+    /// Every attribute mentioned by the FD.
+    pub fn attributes(&self) -> BTreeSet<Name> {
+        self.lhs.iter().chain(self.rhs.iter()).cloned().collect()
+    }
+
+    /// Apply an attribute renaming, leaving unmapped attributes unchanged.
+    pub fn rename(&self, renaming: &BTreeMap<Name, Name>) -> Fd {
+        let map = |a: &Name| renaming.get(a).cloned().unwrap_or_else(|| a.clone());
+        Fd::new(
+            self.lhs.iter().map(map).collect::<Vec<_>>(),
+            self.rhs.iter().map(map).collect::<Vec<_>>(),
+        )
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let join = |v: &[Name]| {
+            v.iter()
+                .map(Name::as_str)
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        write!(f, "{} -> {}", join(&self.lhs), join(&self.rhs))
+    }
+}
+
+/// A set of functional dependencies over one relation.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct FdSet {
+    fds: BTreeSet<Fd>,
+}
+
+impl FdSet {
+    /// The empty FD set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from a vector of FDs.
+    pub fn from_fds(fds: Vec<Fd>) -> Self {
+        FdSet {
+            fds: fds.into_iter().collect(),
+        }
+    }
+
+    /// Add an FD.
+    pub fn insert(&mut self, fd: Fd) {
+        self.fds.insert(fd);
+    }
+
+    /// Iterate in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &Fd> + '_ {
+        self.fds.iter()
+    }
+
+    /// Number of FDs.
+    pub fn len(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty()
+    }
+
+    /// Attribute-set closure under these FDs (Armstrong's axioms).
+    pub fn closure(&self, attrs: &BTreeSet<Name>) -> BTreeSet<Name> {
+        let mut closure = attrs.clone();
+        loop {
+            let mut grew = false;
+            for fd in &self.fds {
+                if fd.lhs.iter().all(|a| closure.contains(a)) {
+                    for a in &fd.rhs {
+                        if closure.insert(a.clone()) {
+                            grew = true;
+                        }
+                    }
+                }
+            }
+            if !grew {
+                return closure;
+            }
+        }
+    }
+
+    /// Does this set imply `fd`?
+    pub fn implies(&self, fd: &Fd) -> bool {
+        let start: BTreeSet<Name> = fd.lhs.iter().cloned().collect();
+        let cl = self.closure(&start);
+        fd.rhs.iter().all(|a| cl.contains(a))
+    }
+
+    /// Are two FD sets equivalent (each implies the other)?
+    pub fn equivalent(&self, other: &FdSet) -> bool {
+        self.fds.iter().all(|fd| other.implies(fd))
+            && other.fds.iter().all(|fd| self.implies(fd))
+    }
+
+    /// Is `candidate` a superkey for a relation with attributes
+    /// `all_attrs`?
+    pub fn is_superkey(&self, candidate: &BTreeSet<Name>, all_attrs: &BTreeSet<Name>) -> bool {
+        let cl = self.closure(candidate);
+        all_attrs.iter().all(|a| cl.contains(a))
+    }
+
+    /// All minimal keys of a relation with attributes `all_attrs`.
+    ///
+    /// Exponential in the worst case (key discovery is), but the
+    /// relations in schema mappings are narrow; this searches subsets in
+    /// ascending size and prunes supersets of found keys.
+    pub fn minimal_keys(&self, all_attrs: &BTreeSet<Name>) -> Vec<BTreeSet<Name>> {
+        let attrs: Vec<Name> = all_attrs.iter().cloned().collect();
+        let n = attrs.len();
+        let mut keys: Vec<BTreeSet<Name>> = Vec::new();
+        // Subset enumeration by popcount-ascending order.
+        let mut masks: Vec<u64> = (0..(1u64 << n)).collect();
+        masks.sort_by_key(|m| m.count_ones());
+        'outer: for mask in masks {
+            let cand: BTreeSet<Name> = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| attrs[i].clone())
+                .collect();
+            for k in &keys {
+                if k.is_subset(&cand) {
+                    continue 'outer;
+                }
+            }
+            if self.is_superkey(&cand, all_attrs) {
+                keys.push(cand);
+            }
+        }
+        keys
+    }
+
+    /// Restrict to FDs that only mention attributes in `attrs`
+    /// (projection of a dependency set — sound but not complete for
+    /// implied FDs; callers needing completeness should close first).
+    pub fn restrict_to(&self, attrs: &BTreeSet<Name>) -> FdSet {
+        FdSet {
+            fds: self
+                .fds
+                .iter()
+                .filter(|fd| fd.attributes().is_subset(attrs))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Apply an attribute renaming to every FD.
+    pub fn rename(&self, renaming: &BTreeMap<Name, Name>) -> FdSet {
+        FdSet {
+            fds: self.fds.iter().map(|fd| fd.rename(renaming)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for FdSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, fd) in self.fds.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{fd}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Fd> for FdSet {
+    fn from_iter<T: IntoIterator<Item = Fd>>(iter: T) -> Self {
+        FdSet {
+            fds: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A reported violation of an FD by a pair of tuples.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FdViolation {
+    /// The violated dependency.
+    pub fd: Fd,
+    /// Index-free display of the first offending tuple.
+    pub tuple_a: String,
+    /// Index-free display of the second offending tuple.
+    pub tuple_b: String,
+}
+
+impl fmt::Display for FdViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FD {} violated by {} and {}",
+            self.fd, self.tuple_a, self.tuple_b
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(v: &[&str]) -> BTreeSet<Name> {
+        v.iter().map(Name::new).collect()
+    }
+
+    #[test]
+    fn fd_normalizes_order_and_duplicates() {
+        let a = Fd::new(vec!["b", "a", "a"], vec!["d", "c"]);
+        let b = Fd::new(vec!["a", "b"], vec!["c", "d"]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trivial_fd_detected() {
+        assert!(Fd::new(vec!["a", "b"], vec!["a"]).is_trivial());
+        assert!(!Fd::new(vec!["a"], vec!["b"]).is_trivial());
+    }
+
+    #[test]
+    fn closure_follows_chains() {
+        let fds = FdSet::from_fds(vec![
+            Fd::new(vec!["a"], vec!["b"]),
+            Fd::new(vec!["b"], vec!["c"]),
+            Fd::new(vec!["c", "d"], vec!["e"]),
+        ]);
+        let cl = fds.closure(&names(&["a"]));
+        assert_eq!(cl, names(&["a", "b", "c"]));
+        let cl = fds.closure(&names(&["a", "d"]));
+        assert_eq!(cl, names(&["a", "b", "c", "d", "e"]));
+    }
+
+    #[test]
+    fn implication() {
+        let fds = FdSet::from_fds(vec![
+            Fd::new(vec!["a"], vec!["b"]),
+            Fd::new(vec!["b"], vec!["c"]),
+        ]);
+        assert!(fds.implies(&Fd::new(vec!["a"], vec!["c"])));
+        assert!(!fds.implies(&Fd::new(vec!["c"], vec!["a"])));
+        // Trivial FDs are always implied.
+        assert!(fds.implies(&Fd::new(vec!["x"], vec!["x"])));
+    }
+
+    #[test]
+    fn equivalence() {
+        let f1 = FdSet::from_fds(vec![Fd::new(vec!["a"], vec!["b", "c"])]);
+        let f2 = FdSet::from_fds(vec![
+            Fd::new(vec!["a"], vec!["b"]),
+            Fd::new(vec!["a"], vec!["c"]),
+        ]);
+        assert!(f1.equivalent(&f2));
+        let f3 = FdSet::from_fds(vec![Fd::new(vec!["a"], vec!["b"])]);
+        assert!(!f1.equivalent(&f3));
+    }
+
+    #[test]
+    fn minimal_keys_of_classic_example() {
+        // R(a, b, c) with a→b, b→c: the only minimal key is {a}.
+        let fds = FdSet::from_fds(vec![
+            Fd::new(vec!["a"], vec!["b"]),
+            Fd::new(vec!["b"], vec!["c"]),
+        ]);
+        let keys = fds.minimal_keys(&names(&["a", "b", "c"]));
+        assert_eq!(keys, vec![names(&["a"])]);
+    }
+
+    #[test]
+    fn minimal_keys_multiple() {
+        // R(a, b) with a→b and b→a: both {a} and {b} are keys.
+        let fds = FdSet::from_fds(vec![
+            Fd::new(vec!["a"], vec!["b"]),
+            Fd::new(vec!["b"], vec!["a"]),
+        ]);
+        let keys = fds.minimal_keys(&names(&["a", "b"]));
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains(&names(&["a"])));
+        assert!(keys.contains(&names(&["b"])));
+    }
+
+    #[test]
+    fn no_fds_key_is_everything() {
+        let fds = FdSet::new();
+        let keys = fds.minimal_keys(&names(&["a", "b"]));
+        assert_eq!(keys, vec![names(&["a", "b"])]);
+    }
+
+    #[test]
+    fn restrict_keeps_only_contained_fds() {
+        let fds = FdSet::from_fds(vec![
+            Fd::new(vec!["a"], vec!["b"]),
+            Fd::new(vec!["b"], vec!["c"]),
+        ]);
+        let r = fds.restrict_to(&names(&["a", "b"]));
+        assert_eq!(r.len(), 1);
+        assert!(r.implies(&Fd::new(vec!["a"], vec!["b"])));
+    }
+
+    #[test]
+    fn rename_maps_both_sides() {
+        let fd = Fd::new(vec!["a"], vec!["b"]);
+        let mut m = BTreeMap::new();
+        m.insert(Name::new("a"), Name::new("x"));
+        let r = fd.rename(&m);
+        assert_eq!(r, Fd::new(vec!["x"], vec!["b"]));
+    }
+
+    #[test]
+    fn display() {
+        let fd = Fd::new(vec!["Zip"], vec!["City", "State"]);
+        assert_eq!(fd.to_string(), "Zip -> City, State");
+    }
+}

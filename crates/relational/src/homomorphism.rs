@@ -1,0 +1,288 @@
+//! Homomorphisms between instances with labeled nulls.
+//!
+//! A homomorphism `h : I → J` maps the values of `I` to values of `J`
+//! such that (i) `h` is the identity on constants, and (ii) for every
+//! fact `R(v₁, …, vₙ)` of `I`, `R(h(v₁), …, h(vₙ))` is a fact of `J`.
+//! Labeled nulls (and Skolem terms, which behave as structured nulls
+//! here) may map to anything, consistently.
+//!
+//! Homomorphisms are the ordering by which data exchange ranks solutions
+//! (paper §2, Example 1): a *universal* solution maps homomorphically
+//! into every solution, which is why the null-filled `J*` is preferred.
+
+use crate::instance::Instance;
+use crate::name::Name;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// A value mapping witnessing a homomorphism. Keys are the non-constant
+/// values (nulls / Skolem terms) of the domain instance.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Homomorphism {
+    map: BTreeMap<Value, Value>,
+}
+
+impl Homomorphism {
+    /// The empty (identity-on-constants) mapping.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Image of a value: constants map to themselves, mapped nulls to
+    /// their images; unmapped nulls map to themselves.
+    pub fn apply(&self, v: &Value) -> Value {
+        match v {
+            Value::Const(_) => v.clone(),
+            other => self.map.get(other).cloned().unwrap_or_else(|| other.clone()),
+        }
+    }
+
+    /// Image of a tuple.
+    pub fn apply_tuple(&self, t: &Tuple) -> Tuple {
+        t.iter().map(|v| self.apply(v)).collect()
+    }
+
+    /// Try to extend with `v ↦ w`. Fails (returns `false`) if `v` is a
+    /// constant different from `w`, or if `v` is already mapped to a
+    /// different image.
+    pub fn bind(&mut self, v: &Value, w: &Value) -> bool {
+        match v {
+            Value::Const(_) => v == w,
+            _ => match self.map.get(v) {
+                Some(existing) => existing == w,
+                None => {
+                    self.map.insert(v.clone(), w.clone());
+                    true
+                }
+            },
+        }
+    }
+
+    /// The raw mapping on non-constant values.
+    pub fn mapping(&self) -> &BTreeMap<Value, Value> {
+        &self.map
+    }
+
+    /// Number of mapped values.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the mapping empty (identity)?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Compose: `(g ∘ self)(v) = g(self(v))`.
+    pub fn then(&self, g: &Homomorphism) -> Homomorphism {
+        let mut out = g.clone();
+        for (k, v) in &self.map {
+            out.map.insert(k.clone(), g.apply(v));
+        }
+        out
+    }
+
+    /// Check that this mapping really is a homomorphism from `from` to
+    /// `to`.
+    pub fn verify(&self, from: &Instance, to: &Instance) -> bool {
+        from.facts()
+            .all(|(n, t)| to.contains(n.as_str(), &self.apply_tuple(t)))
+    }
+}
+
+/// Search for a homomorphism `from → to`. Returns a witness if one
+/// exists.
+///
+/// Backtracking search over the facts of `from`, matching each against
+/// same-relation facts of `to` under the partial mapping built so far.
+/// Facts are processed most-constrained-first (fewest candidate targets)
+/// to keep the search shallow on realistic exchange outputs.
+pub fn find_homomorphism(from: &Instance, to: &Instance) -> Option<Homomorphism> {
+    // Collect the facts of `from`; fail fast if a relation has facts but
+    // no candidates in `to`.
+    let mut facts: Vec<(&Name, &Tuple)> = from.facts().collect();
+    let candidate_count = |rel: &Name| -> usize {
+        to.relation(rel.as_str()).map(|r| r.len()).unwrap_or(0)
+    };
+    for (n, _) in &facts {
+        if candidate_count(n) == 0 {
+            return None;
+        }
+    }
+    facts.sort_by_key(|(n, _)| candidate_count(n));
+
+    fn search(
+        facts: &[(&Name, &Tuple)],
+        idx: usize,
+        to: &Instance,
+        h: &mut Homomorphism,
+    ) -> bool {
+        if idx == facts.len() {
+            return true;
+        }
+        let (rel, t) = facts[idx];
+        let target = match to.relation(rel.as_str()) {
+            Some(r) => r,
+            None => return false,
+        };
+        for cand in target.iter() {
+            let saved = h.clone();
+            let mut ok = true;
+            for (v, w) in t.iter().zip(cand.iter()) {
+                if !h.bind(v, w) {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok && search(facts, idx + 1, to, h) {
+                return true;
+            }
+            *h = saved;
+        }
+        false
+    }
+
+    let mut h = Homomorphism::new();
+    if search(&facts, 0, to, &mut h) {
+        Some(h)
+    } else {
+        None
+    }
+}
+
+/// Does a homomorphism `from → to` exist?
+pub fn is_homomorphic_to(from: &Instance, to: &Instance) -> bool {
+    find_homomorphism(from, to).is_some()
+}
+
+/// Are the two instances homomorphically equivalent (maps both ways)?
+pub fn homomorphically_equivalent(a: &Instance, b: &Instance) -> bool {
+    is_homomorphic_to(a, b) && is_homomorphic_to(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{RelSchema, Schema};
+    use crate::tuple;
+
+    fn mgr_schema() -> Schema {
+        Schema::with_relations(vec![
+            RelSchema::untyped("Manager", vec!["emp", "mgr"]).unwrap()
+        ])
+        .unwrap()
+    }
+
+    fn mk(facts: Vec<Tuple>) -> Instance {
+        Instance::with_facts(mgr_schema(), vec![("Manager", facts)]).unwrap()
+    }
+
+    /// Paper Example 1: J* (with nulls) maps into J1 and J2; not vice
+    /// versa once J1 equates values the nulls keep distinct… actually J1
+    /// maps back into J* only if its constants appear there — they don't.
+    #[test]
+    fn example1_universal_solution_maps_into_all_solutions() {
+        let j_star = mk(vec![
+            Tuple::new(vec![Value::str("Alice"), Value::null(1)]),
+            Tuple::new(vec![Value::str("Bob"), Value::null(2)]),
+        ]);
+        let j1 = mk(vec![tuple!["Alice", "Alice"], tuple!["Bob", "Alice"]]);
+        let j2 = mk(vec![tuple!["Alice", "Bob"], tuple!["Bob", "Ted"]]);
+
+        let h1 = find_homomorphism(&j_star, &j1).expect("J* -> J1");
+        assert!(h1.verify(&j_star, &j1));
+        let h2 = find_homomorphism(&j_star, &j2).expect("J* -> J2");
+        assert!(h2.verify(&j_star, &j2));
+
+        // J1 contains the constant fact (Alice, Alice) which J* lacks, so
+        // no homomorphism J1 -> J* exists (constants are fixed).
+        assert!(!is_homomorphic_to(&j1, &j_star));
+        assert!(!is_homomorphic_to(&j2, &j_star));
+    }
+
+    #[test]
+    fn constants_must_match_exactly() {
+        let a = mk(vec![tuple!["Alice", "Bob"]]);
+        let b = mk(vec![tuple!["Alice", "Ted"]]);
+        assert!(!is_homomorphic_to(&a, &b));
+        assert!(is_homomorphic_to(&a, &a));
+    }
+
+    #[test]
+    fn null_binding_is_consistent() {
+        // (x, x) cannot map to (Alice, Bob).
+        let a = mk(vec![Tuple::new(vec![Value::null(0), Value::null(0)])]);
+        let b = mk(vec![tuple!["Alice", "Bob"]]);
+        assert!(!is_homomorphic_to(&a, &b));
+        let c = mk(vec![tuple!["Alice", "Alice"]]);
+        assert!(is_homomorphic_to(&a, &c));
+    }
+
+    #[test]
+    fn nulls_can_merge() {
+        // (x, y) maps to (Alice, Alice): distinct nulls may share image.
+        let a = mk(vec![Tuple::new(vec![Value::null(0), Value::null(1)])]);
+        let b = mk(vec![tuple!["Alice", "Alice"]]);
+        let h = find_homomorphism(&a, &b).unwrap();
+        assert_eq!(h.len(), 2);
+        assert!(h.verify(&a, &b));
+    }
+
+    #[test]
+    fn empty_instance_maps_anywhere() {
+        let e = Instance::empty(mgr_schema());
+        let b = mk(vec![tuple!["Alice", "Bob"]]);
+        assert!(is_homomorphic_to(&e, &b));
+        assert!(!is_homomorphic_to(&b, &e));
+    }
+
+    #[test]
+    fn backtracking_finds_non_greedy_assignment() {
+        // a: (x, Bob), (x, Ted) — x must map to something with edges to
+        // both Bob and Ted.
+        let a = mk(vec![
+            Tuple::new(vec![Value::null(0), Value::str("Bob")]),
+            Tuple::new(vec![Value::null(0), Value::str("Ted")]),
+        ]);
+        let b = mk(vec![
+            tuple!["Alice", "Bob"],
+            tuple!["Carol", "Bob"],
+            tuple!["Carol", "Ted"],
+        ]);
+        let h = find_homomorphism(&a, &b).expect("must pick Carol, not Alice");
+        assert_eq!(h.apply(&Value::null(0)), Value::str("Carol"));
+    }
+
+    #[test]
+    fn homomorphic_equivalence() {
+        let a = mk(vec![Tuple::new(vec![Value::str("A"), Value::null(0)])]);
+        let b = mk(vec![Tuple::new(vec![Value::str("A"), Value::null(9)])]);
+        assert!(homomorphically_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn composition_of_homomorphisms() {
+        let mut f = Homomorphism::new();
+        f.bind(&Value::null(0), &Value::null(1));
+        let mut g = Homomorphism::new();
+        g.bind(&Value::null(1), &Value::str("x"));
+        let fg = f.then(&g);
+        assert_eq!(fg.apply(&Value::null(0)), Value::str("x"));
+        assert_eq!(fg.apply(&Value::null(1)), Value::str("x"));
+    }
+
+    #[test]
+    fn skolem_terms_act_as_structured_nulls() {
+        let a = mk(vec![Tuple::new(vec![
+            Value::str("Alice"),
+            Value::skolem("f", vec![Value::str("Alice")]),
+        ])]);
+        let b = mk(vec![tuple!["Alice", "Ted"]]);
+        let h = find_homomorphism(&a, &b).unwrap();
+        assert_eq!(
+            h.apply(&Value::skolem("f", vec![Value::str("Alice")])),
+            Value::str("Ted")
+        );
+    }
+}

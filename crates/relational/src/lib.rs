@@ -1,0 +1,43 @@
+//! # dex-relational — the relational substrate
+//!
+//! This crate implements the typed relational model that every other layer
+//! of `dex` builds on: constants and **labeled nulls** (the paper's `⊥₁`,
+//! `⊥₂` in Example 1), Skolem terms (needed by SO-tgd composition), typed
+//! schemas, relation and database instances with set semantics,
+//! functional dependencies with closure/key reasoning, homomorphisms
+//! between instances (the yardstick by which data exchange ranks
+//! solutions), a scalar predicate language, and a full relational-algebra
+//! evaluator.
+//!
+//! Design notes:
+//! * All collections are ordered (`BTreeMap`/`BTreeSet`) so that instances
+//!   have a canonical form; equality of instances is therefore semantic
+//!   set equality, and printed output is deterministic.
+//! * Names are interned behind [`Name`] (`Arc<str>`) — cloning a schema or
+//!   a tuple never re-allocates attribute/relation names.
+//! * Instances validate arity and (optionally) attribute types on insert;
+//!   constraint checking (FDs, keys) is explicit and returns structured
+//!   violations rather than panicking.
+
+pub mod algebra;
+pub mod error;
+pub mod expr;
+pub mod fd;
+pub mod homomorphism;
+pub mod instance;
+pub mod name;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use error::RelationalError;
+pub use expr::{ArithOp, BinCmp, Expr};
+pub use fd::{Fd, FdSet, FdViolation};
+pub use homomorphism::{find_homomorphism, is_homomorphic_to, Homomorphism};
+pub use instance::Instance;
+pub use name::Name;
+pub use relation::Relation;
+pub use schema::{AttrType, RelSchema, Schema};
+pub use tuple::Tuple;
+pub use value::{Constant, NullGen, NullId, Value};

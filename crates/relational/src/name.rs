@@ -1,0 +1,146 @@
+//! Cheap, clonable identifiers for relations and attributes.
+
+use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned identifier (relation name, attribute name, Skolem-function
+/// name, …).
+///
+/// `Name` wraps an `Arc<str>`, so cloning is a reference-count bump and
+/// the same spelling compares equal regardless of provenance. Ordering is
+/// lexicographic, which keeps every `BTreeMap<Name, _>` in the system in a
+/// human-predictable order.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Name(Arc<str>);
+
+impl Name {
+    /// Create a name from anything string-like.
+    pub fn new(s: impl AsRef<str>) -> Self {
+        Name(Arc::from(s.as_ref()))
+    }
+
+    /// View the name as a `&str`.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", &*self.0)
+    }
+}
+
+impl From<&str> for Name {
+    fn from(s: &str) -> Self {
+        Name::new(s)
+    }
+}
+
+impl From<String> for Name {
+    fn from(s: String) -> Self {
+        Name(Arc::from(s))
+    }
+}
+
+impl From<&Name> for Name {
+    fn from(n: &Name) -> Self {
+        n.clone()
+    }
+}
+
+impl Borrow<str> for Name {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Name {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq<str> for Name {
+    fn eq(&self, other: &str) -> bool {
+        &*self.0 == other
+    }
+}
+
+impl PartialEq<&str> for Name {
+    fn eq(&self, other: &&str) -> bool {
+        &*self.0 == *other
+    }
+}
+
+impl Serialize for Name {
+    fn serialize<S: serde::Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+        ser.serialize_str(&self.0)
+    }
+}
+
+impl<'de> Deserialize<'de> for Name {
+    fn deserialize<D: serde::Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(de)?;
+        Ok(Name::from(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn equality_is_by_spelling() {
+        assert_eq!(Name::new("Emp"), Name::new(String::from("Emp")));
+        assert_ne!(Name::new("Emp"), Name::new("emp"));
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = Name::new("Manager");
+        let b = a.clone();
+        assert!(std::ptr::eq(a.as_str(), b.as_str()));
+    }
+
+    #[test]
+    fn btreemap_lookup_by_str_via_borrow() {
+        let mut m: BTreeMap<Name, i32> = BTreeMap::new();
+        m.insert(Name::new("R"), 1);
+        assert_eq!(m.get("R"), Some(&1));
+        assert_eq!(m.get("S"), None);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut v = [Name::new("b"), Name::new("a"), Name::new("ab")];
+        v.sort();
+        let strs: Vec<&str> = v.iter().map(Name::as_str).collect();
+        assert_eq!(strs, ["a", "ab", "b"]);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let n = Name::new("Person1");
+        assert_eq!(n.to_string(), "Person1");
+        assert_eq!(format!("{n:?}"), "\"Person1\"");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let n = Name::new("Takes");
+        let js = serde_json::to_string(&n).unwrap();
+        assert_eq!(js, "\"Takes\"");
+        let back: Name = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, n);
+    }
+}

@@ -1,0 +1,340 @@
+//! Relation instances: sets of tuples conforming to a relation schema.
+
+use crate::error::RelationalError;
+use crate::fd::FdViolation;
+use crate::name::Name;
+use crate::schema::RelSchema;
+use crate::tuple::Tuple;
+use crate::value::{NullId, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A relation instance: the schema of the relation plus a *set* of
+/// tuples (set semantics, canonical `BTreeSet` order).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Relation {
+    schema: RelSchema,
+    tuples: BTreeSet<Tuple>,
+}
+
+impl Relation {
+    /// The empty instance of `schema`.
+    pub fn empty(schema: RelSchema) -> Self {
+        Relation {
+            schema,
+            tuples: BTreeSet::new(),
+        }
+    }
+
+    /// Build an instance and insert `tuples`, validating each.
+    pub fn from_tuples(
+        schema: RelSchema,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<Self, RelationalError> {
+        let mut r = Relation::empty(schema);
+        for t in tuples {
+            r.insert(t)?;
+        }
+        Ok(r)
+    }
+
+    /// The relation schema.
+    pub fn schema(&self) -> &RelSchema {
+        &self.schema
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &Name {
+        self.schema.name()
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Is the instance empty?
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Validate a tuple against arity and attribute types.
+    pub fn validate(&self, t: &Tuple) -> Result<(), RelationalError> {
+        if t.arity() != self.schema.arity() {
+            return Err(RelationalError::ArityMismatch {
+                relation: self.name().clone(),
+                expected: self.schema.arity(),
+                actual: t.arity(),
+            });
+        }
+        for ((attr, ty), v) in self.schema.attrs().iter().zip(t.iter()) {
+            if !ty.admits(v) {
+                return Err(RelationalError::TypeMismatch {
+                    relation: self.name().clone(),
+                    attribute: attr.clone(),
+                    value: v.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert a tuple (validated). Returns `true` if it was new.
+    pub fn insert(&mut self, t: Tuple) -> Result<bool, RelationalError> {
+        self.validate(&t)?;
+        Ok(self.tuples.insert(t))
+    }
+
+    /// Remove a tuple. Returns `true` if it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        self.tuples.remove(t)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Iterate over tuples in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.tuples.iter()
+    }
+
+    /// The tuple set.
+    pub fn tuples(&self) -> &BTreeSet<Tuple> {
+        &self.tuples
+    }
+
+    /// Remove all tuples.
+    pub fn clear(&mut self) {
+        self.tuples.clear();
+    }
+
+    /// Keep only tuples satisfying `pred`.
+    pub fn retain(&mut self, mut pred: impl FnMut(&Tuple) -> bool) {
+        self.tuples.retain(|t| pred(t));
+    }
+
+    /// Named access: the value of attribute `attr` in tuple `t`.
+    pub fn value_of<'t>(&self, t: &'t Tuple, attr: &str) -> Option<&'t Value> {
+        self.schema.position(attr).and_then(|i| t.get(i))
+    }
+
+    /// Collect every null id occurring in the instance.
+    pub fn collect_nulls(&self, out: &mut BTreeSet<NullId>) {
+        for t in &self.tuples {
+            t.collect_nulls(out);
+        }
+    }
+
+    /// Apply a null substitution to every tuple (tuples may merge).
+    pub fn substitute_nulls(&self, subst: &BTreeMap<NullId, Value>) -> Relation {
+        Relation {
+            schema: self.schema.clone(),
+            tuples: self
+                .tuples
+                .iter()
+                .map(|t| t.substitute_nulls(subst))
+                .collect(),
+        }
+    }
+
+    /// Check the relation's declared FDs, reporting every violating pair.
+    ///
+    /// Null semantics: two values agree only if they are identical (a
+    /// labeled null agrees with itself). This is the standard semantics
+    /// for egd checking over instances with nulls.
+    pub fn fd_violations(&self) -> Vec<FdViolation> {
+        let mut out = Vec::new();
+        let tuples: Vec<&Tuple> = self.tuples.iter().collect();
+        for fd in self.schema.fds().iter() {
+            let lhs_pos: Vec<usize> = fd
+                .lhs()
+                .iter()
+                .filter_map(|a| self.schema.position(a.as_str()))
+                .collect();
+            let rhs_pos: Vec<usize> = fd
+                .rhs()
+                .iter()
+                .filter_map(|a| self.schema.position(a.as_str()))
+                .collect();
+            // Group by LHS projection.
+            let mut groups: BTreeMap<Tuple, Vec<&Tuple>> = BTreeMap::new();
+            for t in &tuples {
+                groups.entry(t.project(&lhs_pos)).or_default().push(t);
+            }
+            for group in groups.values() {
+                for i in 0..group.len() {
+                    for j in (i + 1)..group.len() {
+                        if group[i].project(&rhs_pos) != group[j].project(&rhs_pos) {
+                            out.push(FdViolation {
+                                fd: fd.clone(),
+                                tuple_a: group[i].to_string(),
+                                tuple_b: group[j].to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Does the instance satisfy all its declared FDs?
+    pub fn satisfies_fds(&self) -> bool {
+        self.fd_violations().is_empty()
+    }
+
+    /// Replace the schema (used by rename/evolution operators). The new
+    /// schema must have the same arity.
+    pub fn with_schema(self, schema: RelSchema) -> Result<Relation, RelationalError> {
+        if schema.arity() != self.schema.arity() {
+            return Err(RelationalError::SchemaMismatch {
+                context: format!(
+                    "with_schema: arity {} -> {}",
+                    self.schema.arity(),
+                    schema.arity()
+                ),
+            });
+        }
+        Ok(Relation {
+            schema,
+            tuples: self.tuples,
+        })
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for t in &self.tuples {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a Tuple;
+    type IntoIter = std::collections::btree_set::Iter<'a, Tuple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd::Fd;
+    use crate::schema::AttrType;
+    use crate::tuple;
+
+    fn emp_schema() -> RelSchema {
+        RelSchema::untyped("Emp", vec!["name"]).unwrap()
+    }
+
+    #[test]
+    fn insert_validates_arity() {
+        let mut r = Relation::empty(emp_schema());
+        assert!(r.insert(tuple!["Alice"]).unwrap());
+        let err = r.insert(tuple!["Alice", "Bob"]).unwrap_err();
+        assert!(matches!(err, RelationalError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn insert_validates_types() {
+        let s = RelSchema::new("R", vec![("n", AttrType::Int)]).unwrap();
+        let mut r = Relation::empty(s);
+        assert!(r.insert(tuple![1i64]).is_ok());
+        assert!(matches!(
+            r.insert(tuple!["x"]).unwrap_err(),
+            RelationalError::TypeMismatch { .. }
+        ));
+        // Nulls are always admitted.
+        assert!(r.insert(Tuple::new(vec![Value::null(0)])).is_ok());
+    }
+
+    #[test]
+    fn set_semantics_dedupe() {
+        let mut r = Relation::empty(emp_schema());
+        assert!(r.insert(tuple!["Alice"]).unwrap());
+        assert!(!r.insert(tuple!["Alice"]).unwrap());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn named_access() {
+        let s = RelSchema::untyped("P", vec!["id", "name"]).unwrap();
+        let r = Relation::from_tuples(s, vec![tuple![1i64, "Alice"]]).unwrap();
+        let t = r.iter().next().unwrap();
+        assert_eq!(r.value_of(t, "name"), Some(&Value::str("Alice")));
+        assert_eq!(r.value_of(t, "zip"), None);
+    }
+
+    #[test]
+    fn fd_violation_detection() {
+        let s = RelSchema::untyped("P", vec!["id", "name"])
+            .unwrap()
+            .with_fd(Fd::new(vec!["id"], vec!["name"]))
+            .unwrap();
+        let mut r = Relation::empty(s);
+        r.insert(tuple![1i64, "Alice"]).unwrap();
+        r.insert(tuple![1i64, "Bob"]).unwrap();
+        r.insert(tuple![2i64, "Carol"]).unwrap();
+        let v = r.fd_violations();
+        assert_eq!(v.len(), 1);
+        assert!(!r.satisfies_fds());
+    }
+
+    #[test]
+    fn fd_nulls_agree_only_with_themselves() {
+        let s = RelSchema::untyped("P", vec!["id", "name"])
+            .unwrap()
+            .with_fd(Fd::new(vec!["id"], vec!["name"]))
+            .unwrap();
+        let mut r = Relation::empty(s);
+        r.insert(Tuple::new(vec![Value::int(1), Value::null(0)]))
+            .unwrap();
+        r.insert(Tuple::new(vec![Value::int(1), Value::null(0)]))
+            .unwrap(); // same tuple, set-deduped
+        assert!(r.satisfies_fds());
+        r.insert(Tuple::new(vec![Value::int(1), Value::null(1)]))
+            .unwrap();
+        assert!(!r.satisfies_fds(), "distinct nulls disagree");
+    }
+
+    #[test]
+    fn substitution_merges_tuples() {
+        let s = emp_schema();
+        let mut r = Relation::empty(s);
+        r.insert(Tuple::new(vec![Value::null(0)])).unwrap();
+        r.insert(Tuple::new(vec![Value::null(1)])).unwrap();
+        assert_eq!(r.len(), 2);
+        let mut sub = BTreeMap::new();
+        sub.insert(NullId(0), Value::str("x"));
+        sub.insert(NullId(1), Value::str("x"));
+        let r2 = r.substitute_nulls(&sub);
+        assert_eq!(r2.len(), 1);
+    }
+
+    #[test]
+    fn with_schema_checks_arity() {
+        let r = Relation::empty(emp_schema());
+        let wide = RelSchema::untyped("E2", vec!["a", "b"]).unwrap();
+        assert!(r.clone().with_schema(wide).is_err());
+        let same = RelSchema::untyped("E2", vec!["a"]).unwrap();
+        let r2 = r.with_schema(same).unwrap();
+        assert_eq!(r2.name(), "E2");
+    }
+
+    #[test]
+    fn collect_nulls_over_instance() {
+        let mut r = Relation::empty(emp_schema());
+        r.insert(Tuple::new(vec![Value::null(3)])).unwrap();
+        r.insert(Tuple::new(vec![Value::str("a")])).unwrap();
+        let mut s = BTreeSet::new();
+        r.collect_nulls(&mut s);
+        assert_eq!(s, BTreeSet::from([NullId(3)]));
+    }
+}

@@ -1,0 +1,411 @@
+//! Typed relational schemas.
+//!
+//! A [`Schema`] is a set of relation schemas ([`RelSchema`]), each giving
+//! an ordered list of typed attributes plus its functional dependencies.
+//! Schemas are the *source* and *target* vocabularies of a data-exchange
+//! setting (paper §2): the mapping relates a source [`Schema`] to an
+//! independent target [`Schema`].
+
+use crate::error::RelationalError;
+use crate::fd::{Fd, FdSet};
+use crate::name::Name;
+use crate::value::{Constant, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The type of an attribute.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum AttrType {
+    /// Accepts any value — the dynamically-typed default, matching the
+    /// untyped relational model used by the data-exchange literature.
+    Any,
+    /// 64-bit integers.
+    Int,
+    /// Strings.
+    Str,
+    /// Booleans.
+    Bool,
+}
+
+impl AttrType {
+    /// Does `v` inhabit this type? Labeled nulls and Skolem terms inhabit
+    /// every type (they stand for unknown values of the right type).
+    #[allow(clippy::match_like_matches_macro)] // one arm per case reads better
+    pub fn admits(&self, v: &Value) -> bool {
+        match (self, v) {
+            (AttrType::Any, _) => true,
+            (_, Value::Null(_)) | (_, Value::Skolem(..)) => true,
+            (AttrType::Int, Value::Const(Constant::Int(_))) => true,
+            (AttrType::Str, Value::Const(Constant::Str(_))) => true,
+            (AttrType::Bool, Value::Const(Constant::Bool(_))) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttrType::Any => "any",
+            AttrType::Int => "int",
+            AttrType::Str => "str",
+            AttrType::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The schema of one relation: a name, an ordered list of typed
+/// attributes, and a set of functional dependencies.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct RelSchema {
+    name: Name,
+    attrs: Vec<(Name, AttrType)>,
+    fds: FdSet,
+}
+
+impl RelSchema {
+    /// Build a relation schema with explicitly typed attributes.
+    ///
+    /// Attribute names must be distinct.
+    pub fn new<N, A>(name: N, attrs: Vec<(A, AttrType)>) -> Result<Self, RelationalError>
+    where
+        N: Into<Name>,
+        A: Into<Name>,
+    {
+        let name = name.into();
+        let attrs: Vec<(Name, AttrType)> =
+            attrs.into_iter().map(|(a, t)| (a.into(), t)).collect();
+        let mut seen = std::collections::BTreeSet::new();
+        for (a, _) in &attrs {
+            if !seen.insert(a.clone()) {
+                return Err(RelationalError::DuplicateAttribute {
+                    relation: name,
+                    attribute: a.clone(),
+                });
+            }
+        }
+        Ok(RelSchema {
+            name,
+            attrs,
+            fds: FdSet::default(),
+        })
+    }
+
+    /// Build a relation schema whose attributes all have type
+    /// [`AttrType::Any`] — the common case in the data-exchange literature.
+    pub fn untyped<N, A>(name: N, attrs: Vec<A>) -> Result<Self, RelationalError>
+    where
+        N: Into<Name>,
+        A: Into<Name>,
+    {
+        RelSchema::new(
+            name,
+            attrs.into_iter().map(|a| (a, AttrType::Any)).collect(),
+        )
+    }
+
+    /// Add a functional dependency; its attributes must exist here.
+    pub fn with_fd(mut self, fd: Fd) -> Result<Self, RelationalError> {
+        for a in fd.lhs().iter().chain(fd.rhs().iter()) {
+            if self.position(a.as_str()).is_none() {
+                return Err(RelationalError::UnknownAttribute {
+                    relation: self.name.clone(),
+                    attribute: a.clone(),
+                });
+            }
+        }
+        self.fds.insert(fd);
+        Ok(self)
+    }
+
+    /// Declare `key_attrs` a key: the FD `key_attrs → (all other attrs)`.
+    pub fn with_key<A: Into<Name>>(self, key_attrs: Vec<A>) -> Result<Self, RelationalError> {
+        let lhs: Vec<Name> = key_attrs.into_iter().map(Into::into).collect();
+        let rhs: Vec<Name> = self
+            .attrs
+            .iter()
+            .map(|(a, _)| a.clone())
+            .filter(|a| !lhs.contains(a))
+            .collect();
+        if rhs.is_empty() {
+            // Key over all attributes: trivially satisfied, record nothing.
+            return Ok(self);
+        }
+        self.with_fd(Fd::new(lhs, rhs))
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &Name {
+        &self.name
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Ordered attribute names.
+    pub fn attr_names(&self) -> impl Iterator<Item = &Name> + '_ {
+        self.attrs.iter().map(|(a, _)| a)
+    }
+
+    /// Ordered `(name, type)` attribute pairs.
+    pub fn attrs(&self) -> &[(Name, AttrType)] {
+        &self.attrs
+    }
+
+    /// Position of attribute `attr`, if present.
+    pub fn position(&self, attr: &str) -> Option<usize> {
+        self.attrs.iter().position(|(a, _)| a == attr)
+    }
+
+    /// Type of attribute `attr`, if present.
+    pub fn attr_type(&self, attr: &str) -> Option<AttrType> {
+        self.attrs
+            .iter()
+            .find(|(a, _)| a == attr)
+            .map(|(_, t)| *t)
+    }
+
+    /// The functional dependencies declared on this relation.
+    pub fn fds(&self) -> &FdSet {
+        &self.fds
+    }
+
+    /// Mutable access to the FD set (used by schema-evolution operators).
+    pub fn fds_mut(&mut self) -> &mut FdSet {
+        &mut self.fds
+    }
+
+    /// Rename this relation (schema-evolution primitive).
+    pub fn renamed(mut self, new_name: impl Into<Name>) -> Self {
+        self.name = new_name.into();
+        self
+    }
+}
+
+impl fmt::Display for RelSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, (a, t)) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if *t == AttrType::Any {
+                write!(f, "{a}")?;
+            } else {
+                write!(f, "{a}: {t}")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// A database schema: a collection of relation schemas keyed by name.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct Schema {
+    relations: BTreeMap<Name, RelSchema>,
+}
+
+impl Schema {
+    /// The empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a schema from relation schemas; names must be distinct.
+    pub fn with_relations(rels: Vec<RelSchema>) -> Result<Self, RelationalError> {
+        let mut s = Schema::new();
+        for r in rels {
+            s.add_relation(r)?;
+        }
+        Ok(s)
+    }
+
+    /// Add one relation schema.
+    pub fn add_relation(&mut self, rel: RelSchema) -> Result<(), RelationalError> {
+        if self.relations.contains_key(rel.name()) {
+            return Err(RelationalError::DuplicateRelation(rel.name().clone()));
+        }
+        self.relations.insert(rel.name().clone(), rel);
+        Ok(())
+    }
+
+    /// Remove a relation schema, returning it if present.
+    pub fn remove_relation(&mut self, name: &str) -> Option<RelSchema> {
+        self.relations.remove(name)
+    }
+
+    /// Look up a relation schema by name.
+    pub fn relation(&self, name: &str) -> Option<&RelSchema> {
+        self.relations.get(name)
+    }
+
+    /// Mutable lookup (schema evolution).
+    pub fn relation_mut(&mut self, name: &str) -> Option<&mut RelSchema> {
+        self.relations.get_mut(name)
+    }
+
+    /// Like [`Schema::relation`] but returns a structured error.
+    pub fn expect_relation(&self, name: &str) -> Result<&RelSchema, RelationalError> {
+        self.relation(name)
+            .ok_or_else(|| RelationalError::UnknownRelation(Name::new(name)))
+    }
+
+    /// Iterate over relation schemas in name order.
+    pub fn relations(&self) -> impl Iterator<Item = &RelSchema> + '_ {
+        self.relations.values()
+    }
+
+    /// Relation names in order.
+    pub fn relation_names(&self) -> impl Iterator<Item = &Name> + '_ {
+        self.relations.keys()
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Is the schema empty?
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Do the two schemas share any relation name? Data-exchange settings
+    /// require disjoint source and target vocabularies.
+    pub fn overlaps(&self, other: &Schema) -> bool {
+        self.relations
+            .keys()
+            .any(|n| other.relations.contains_key(n.as_str()))
+    }
+
+    /// The union of two schemas with disjoint relation names.
+    pub fn disjoint_union(&self, other: &Schema) -> Result<Schema, RelationalError> {
+        let mut out = self.clone();
+        for r in other.relations() {
+            out.add_relation(r.clone())?;
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in self.relations.values() {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn person1() -> RelSchema {
+        RelSchema::untyped("Person1", vec!["Id", "Name", "Age", "City"]).unwrap()
+    }
+
+    #[test]
+    fn untyped_schema_has_any_attrs() {
+        let r = person1();
+        assert_eq!(r.arity(), 4);
+        assert_eq!(r.attr_type("Age"), Some(AttrType::Any));
+        assert_eq!(r.position("City"), Some(3));
+        assert_eq!(r.position("Zip"), None);
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = RelSchema::untyped("R", vec!["a", "a"]).unwrap_err();
+        assert!(matches!(err, RelationalError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn typed_admission() {
+        let r = RelSchema::new("R", vec![("n", AttrType::Int), ("s", AttrType::Str)]).unwrap();
+        assert!(r.attr_type("n").unwrap().admits(&Value::int(3)));
+        assert!(!r.attr_type("n").unwrap().admits(&Value::str("x")));
+        // Nulls and Skolem terms inhabit every type.
+        assert!(r.attr_type("n").unwrap().admits(&Value::null(0)));
+        assert!(r
+            .attr_type("s")
+            .unwrap()
+            .admits(&Value::skolem("f", vec![Value::int(1)])));
+    }
+
+    #[test]
+    fn fd_attributes_validated() {
+        let r = person1();
+        let ok = r.clone().with_fd(Fd::new(vec!["Id"], vec!["Name"]));
+        assert!(ok.is_ok());
+        let bad = r.with_fd(Fd::new(vec!["Id"], vec!["Salary"]));
+        assert!(matches!(
+            bad.unwrap_err(),
+            RelationalError::UnknownAttribute { .. }
+        ));
+    }
+
+    #[test]
+    fn key_expands_to_fd_over_remaining_attrs() {
+        let r = person1().with_key(vec!["Id"]).unwrap();
+        let fd = r.fds().iter().next().unwrap();
+        assert_eq!(fd.lhs(), &[Name::new("Id")]);
+        // Fd normalizes attribute order (sorted).
+        assert_eq!(
+            fd.rhs(),
+            &[Name::new("Age"), Name::new("City"), Name::new("Name")]
+        );
+    }
+
+    #[test]
+    fn key_over_all_attributes_is_trivial() {
+        let r = person1()
+            .with_key(vec!["Id", "Name", "Age", "City"])
+            .unwrap();
+        assert_eq!(r.fds().iter().count(), 0);
+    }
+
+    #[test]
+    fn schema_rejects_duplicate_relations() {
+        let mut s = Schema::new();
+        s.add_relation(person1()).unwrap();
+        let err = s.add_relation(person1()).unwrap_err();
+        assert!(matches!(err, RelationalError::DuplicateRelation(_)));
+    }
+
+    #[test]
+    fn overlap_and_disjoint_union() {
+        let s1 = Schema::with_relations(vec![person1()]).unwrap();
+        let s2 = Schema::with_relations(vec![RelSchema::untyped(
+            "Person2",
+            vec!["Id", "Name", "Salary", "ZipCode"],
+        )
+        .unwrap()])
+        .unwrap();
+        assert!(!s1.overlaps(&s2));
+        let u = s1.disjoint_union(&s2).unwrap();
+        assert_eq!(u.len(), 2);
+        assert!(s1.overlaps(&s1));
+        assert!(s1.disjoint_union(&s1).is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        let r = RelSchema::new("R", vec![("n", AttrType::Int)]).unwrap();
+        assert_eq!(r.to_string(), "R(n: int)");
+        assert_eq!(person1().to_string(), "Person1(Id, Name, Age, City)");
+    }
+
+    #[test]
+    fn expect_relation_error() {
+        let s = Schema::new();
+        assert!(matches!(
+            s.expect_relation("Nope").unwrap_err(),
+            RelationalError::UnknownRelation(_)
+        ));
+    }
+}

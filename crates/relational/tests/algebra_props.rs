@@ -1,0 +1,215 @@
+//! Property-based tests for the relational substrate: algebraic laws of
+//! the operators, FD closure properties, and homomorphism structure.
+
+use dex_relational::algebra::{
+    difference, intersection, natural_join, project, rename_attrs, select, union,
+};
+use dex_relational::homomorphism::{find_homomorphism, is_homomorphic_to};
+use dex_relational::{
+    tuple, Expr, Fd, FdSet, Instance, Name, RelSchema, Relation, Schema, Tuple, Value,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn rel_schema() -> RelSchema {
+    RelSchema::untyped("R", vec!["a", "b", "c"]).unwrap()
+}
+
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    proptest::collection::btree_set((0i64..6, 0i64..6, 0i64..4), 0..12).prop_map(|rows| {
+        Relation::from_tuples(
+            rel_schema(),
+            rows.into_iter()
+                .map(|(a, b, c)| tuple![a, b, c])
+                .collect::<Vec<_>>(),
+        )
+        .unwrap()
+    })
+}
+
+fn pred() -> Expr {
+    Expr::attr("a").le(Expr::attr("b"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// σ is idempotent: σ_P(σ_P(R)) = σ_P(R).
+    #[test]
+    fn select_idempotent(r in arb_relation()) {
+        let once = select(&r, &pred(), "R").unwrap();
+        let twice = select(&once, &pred(), "R").unwrap();
+        prop_assert_eq!(once.tuples(), twice.tuples());
+    }
+
+    /// σ distributes over ∪.
+    #[test]
+    fn select_distributes_over_union(r in arb_relation(), s in arb_relation()) {
+        let u = union(&r, &s, "R").unwrap();
+        let left = select(&u, &pred(), "R").unwrap();
+        let right = union(
+            &select(&r, &pred(), "R").unwrap(),
+            &select(&s, &pred(), "R").unwrap(),
+            "R",
+        ).unwrap();
+        prop_assert_eq!(left.tuples(), right.tuples());
+    }
+
+    /// π is monotone and never grows the relation.
+    #[test]
+    fn project_shrinks(r in arb_relation()) {
+        let p = project(&r, &["a", "b"], "P").unwrap();
+        prop_assert!(p.len() <= r.len());
+        // Projecting everything is the identity on tuples.
+        let all = project(&r, &["a", "b", "c"], "P").unwrap();
+        prop_assert_eq!(all.tuples(), r.tuples());
+    }
+
+    /// Union is commutative and associative; difference undoes union on
+    /// disjoint parts.
+    #[test]
+    fn union_laws(r in arb_relation(), s in arb_relation(), t in arb_relation()) {
+        let rs = union(&r, &s, "R").unwrap();
+        let sr = union(&s, &r, "R").unwrap();
+        prop_assert_eq!(rs.tuples(), sr.tuples());
+        let a = union(&rs, &t, "R").unwrap();
+        let st = union(&s, &t, "R").unwrap();
+        let b = union(&r, &st, "R").unwrap();
+        prop_assert_eq!(a.tuples(), b.tuples());
+        // (R ∪ S) − S ⊆ R.
+        let diff = difference(&rs, &s, "R").unwrap();
+        for tup in diff.iter() {
+            prop_assert!(r.contains(tup));
+        }
+    }
+
+    /// Intersection = R − (R − S).
+    #[test]
+    fn intersection_via_double_difference(r in arb_relation(), s in arb_relation()) {
+        let direct = intersection(&r, &s, "R").unwrap();
+        let viadiff = difference(&r, &difference(&r, &s, "R").unwrap(), "R").unwrap();
+        prop_assert_eq!(direct.tuples(), viadiff.tuples());
+    }
+
+    /// Natural join with self (same header) is idempotent-ish:
+    /// R ⋈ R = R.
+    #[test]
+    fn self_join_identity(r in arb_relation()) {
+        let j = natural_join(&r, &r, "R").unwrap();
+        prop_assert_eq!(j.tuples(), r.tuples());
+    }
+
+    /// Rename round-trips.
+    #[test]
+    fn rename_round_trip(r in arb_relation()) {
+        let mut fwd = BTreeMap::new();
+        fwd.insert(Name::new("a"), Name::new("x"));
+        fwd.insert(Name::new("b"), Name::new("y"));
+        let mut bwd = BTreeMap::new();
+        bwd.insert(Name::new("x"), Name::new("a"));
+        bwd.insert(Name::new("y"), Name::new("b"));
+        let renamed = rename_attrs(&r, &fwd, "R").unwrap();
+        let back = rename_attrs(&renamed, &bwd, "R").unwrap();
+        prop_assert_eq!(back.tuples(), r.tuples());
+        prop_assert_eq!(
+            back.schema().attr_names().collect::<Vec<_>>(),
+            r.schema().attr_names().collect::<Vec<_>>()
+        );
+    }
+
+    /// Join is bounded by the product size and projects back into its
+    /// operands.
+    #[test]
+    fn join_projections_sound(r in arb_relation(), s_rows in
+        proptest::collection::btree_set((0i64..6, 0i64..5), 0..10)) {
+        // S(b, d): shares column b with R(a, b, c).
+        let s_schema = RelSchema::untyped("S", vec!["b", "d"]).unwrap();
+        let s = Relation::from_tuples(
+            s_schema,
+            s_rows.into_iter().map(|(b, d)| tuple![b, d]).collect::<Vec<_>>(),
+        ).unwrap();
+        let j = natural_join(&r, &s, "J").unwrap();
+        prop_assert!(j.len() <= r.len() * s.len());
+        // Every joined row restricted to R's columns is an R row.
+        let back_r = project(&j, &["a", "b", "c"], "R").unwrap();
+        for tup in back_r.iter() {
+            prop_assert!(r.contains(tup));
+        }
+        let back_s = project(&j, &["b", "d"], "S").unwrap();
+        for tup in back_s.iter() {
+            prop_assert!(s.contains(tup));
+        }
+    }
+
+    /// FD closure is extensive, monotone, and idempotent.
+    #[test]
+    fn fd_closure_is_a_closure_operator(
+        fd_pairs in proptest::collection::vec((0usize..4, 0usize..4), 0..5),
+        start in proptest::collection::btree_set(0usize..4, 0..4),
+    ) {
+        let attrs = ["a", "b", "c", "d"];
+        let fds: FdSet = fd_pairs
+            .into_iter()
+            .map(|(x, y)| Fd::new(vec![attrs[x]], vec![attrs[y]]))
+            .collect();
+        let start: std::collections::BTreeSet<Name> =
+            start.into_iter().map(|i| Name::new(attrs[i])).collect();
+        let cl = fds.closure(&start);
+        prop_assert!(start.is_subset(&cl), "extensive");
+        prop_assert_eq!(fds.closure(&cl.clone()), cl.clone(), "idempotent");
+        // Monotone: closure of a subset is a subset of the closure.
+        if let Some(first) = start.iter().next() {
+            let mut smaller = start.clone();
+            smaller.remove(&first.clone());
+            prop_assert!(fds.closure(&smaller).is_subset(&cl));
+        }
+    }
+
+    /// Homomorphisms compose: if h : A → B and g : B → C exist, then
+    /// A → C exists.
+    #[test]
+    fn homomorphisms_compose(rows in proptest::collection::btree_set((0u8..3, 0u8..3), 1..5)) {
+        let schema = Schema::with_relations(vec![
+            RelSchema::untyped("E", vec!["s", "t"]).unwrap()
+        ]).unwrap();
+        // A: null-graph; B: half-ground; C: fully ground single loop.
+        let mut a = Instance::empty(schema.clone());
+        let mut b = Instance::empty(schema.clone());
+        let mut c = Instance::empty(schema.clone());
+        for (x, y) in &rows {
+            a.insert("E", Tuple::new(vec![Value::null(*x as u64), Value::null(*y as u64)])).unwrap();
+            b.insert("E", Tuple::new(vec![Value::str("v"), Value::null(*y as u64)])).unwrap();
+        }
+        b.insert("E", Tuple::new(vec![Value::str("v"), Value::str("v")])).unwrap();
+        c.insert("E", tuple!["v", "v"]).unwrap();
+        if is_homomorphic_to(&a, &b) && is_homomorphic_to(&b, &c) {
+            prop_assert!(is_homomorphic_to(&a, &c));
+        }
+        // And the composed witness verifies.
+        if let (Some(h1), Some(h2)) = (find_homomorphism(&a, &b), find_homomorphism(&b, &c)) {
+            let h = h1.then(&h2);
+            prop_assert!(h.verify(&a, &c));
+        }
+    }
+
+    /// The revision operator (via select-lens semantics) never violates
+    /// a key FD that held before.
+    #[test]
+    fn fd_violations_detected_exactly(rows in proptest::collection::vec((0i64..4, 0i64..4), 0..8)) {
+        let schema = RelSchema::untyped("K", vec!["k", "v"])
+            .unwrap()
+            .with_fd(Fd::new(vec!["k"], vec!["v"]))
+            .unwrap();
+        let mut rel = Relation::empty(schema);
+        for (k, v) in &rows {
+            rel.insert(tuple![*k, *v]).unwrap();
+        }
+        // Ground truth: group by k, count groups with >1 distinct v.
+        let mut by_k: BTreeMap<i64, std::collections::BTreeSet<i64>> = BTreeMap::new();
+        for t in rel.iter() {
+            by_k.entry(t[0].as_int().unwrap()).or_default().insert(t[1].as_int().unwrap());
+        }
+        let expected_violating_groups = by_k.values().filter(|vs| vs.len() > 1).count();
+        prop_assert_eq!(rel.satisfies_fds(), expected_violating_groups == 0);
+    }
+}

@@ -1,0 +1,526 @@
+//! The relational-lens expression tree.
+//!
+//! A [`RelLensExpr`] is simultaneously
+//! * a relational-algebra *query* (its `get` direction, evaluated by
+//!   [`crate::eval`]),
+//! * a *view-update translator* (its `put` direction, parameterized by
+//!   the node policies), and
+//! * a *mapping plan* — the thing the paper's §4 pipeline compiles
+//!   st-tgds into and that `show_plan` renders for the user.
+
+use crate::error::RellensError;
+use crate::policy::{JoinPolicy, UnionPolicy, UpdatePolicy};
+use dex_relational::{AttrType, Expr, Name, RelSchema, Schema};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A relational-lens operator tree.
+///
+/// ```
+/// use dex_rellens::{Environment, InstanceLens, RelLensExpr, UpdatePolicy};
+/// use dex_relational::{tuple, Expr, Instance, RelSchema, Schema};
+///
+/// let schema = Schema::with_relations(vec![
+///     RelSchema::untyped("Person", vec!["id", "name", "age"]).unwrap(),
+/// ]).unwrap();
+/// let lens = InstanceLens::new(
+///     RelLensExpr::base("Person")
+///         .select(Expr::attr("age").ge(Expr::lit(18i64)))
+///         .project(vec!["id", "name"], vec![("age", UpdatePolicy::Const(18i64.into()))]),
+///     schema.clone(),
+///     Environment::new(),
+/// ).unwrap();
+///
+/// let db = Instance::with_facts(schema, vec![
+///     ("Person", vec![tuple![1i64, "Alice", 30i64], tuple![2i64, "Kid", 7i64]]),
+/// ]).unwrap();
+/// let view = lens.try_get(&db).unwrap();
+/// assert_eq!(view.len(), 1);              // only Alice is an adult
+///
+/// // Insert through the view: the dropped column is filled by policy.
+/// let mut edited = view.clone();
+/// edited.insert(tuple![3i64, "Dan"]).unwrap();
+/// let db2 = lens.try_put(&edited, &db).unwrap();
+/// assert!(db2.contains("Person", &tuple![3i64, "Dan", 18i64]));
+/// ```
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum RelLensExpr {
+    /// A base table, by name.
+    Base(Name),
+    /// σ — the selection lens.
+    Select {
+        /// The input lens.
+        input: Box<RelLensExpr>,
+        /// Rows of the view satisfy this predicate.
+        pred: Expr,
+    },
+    /// π — the projection lens. `attrs` are kept (in order); every
+    /// dropped attribute needs an [`UpdatePolicy`].
+    Project {
+        /// The input lens.
+        input: Box<RelLensExpr>,
+        /// The kept attributes.
+        attrs: Vec<Name>,
+        /// Fill policies for the dropped attributes.
+        policies: BTreeMap<Name, UpdatePolicy>,
+    },
+    /// ρ — the renaming lens.
+    Rename {
+        /// The input lens.
+        input: Box<RelLensExpr>,
+        /// old name → new name.
+        renaming: BTreeMap<Name, Name>,
+    },
+    /// ⋈ — the (natural) join lens.
+    Join {
+        /// Left input.
+        left: Box<RelLensExpr>,
+        /// Right input.
+        right: Box<RelLensExpr>,
+        /// Deletion policy.
+        policy: JoinPolicy,
+    },
+    /// ∪ — the union lens.
+    Union {
+        /// Left input.
+        left: Box<RelLensExpr>,
+        /// Right input.
+        right: Box<RelLensExpr>,
+        /// Insertion-routing policy.
+        policy: UnionPolicy,
+    },
+}
+
+impl RelLensExpr {
+    /// Base-table shorthand.
+    pub fn base(name: impl Into<Name>) -> RelLensExpr {
+        RelLensExpr::Base(name.into())
+    }
+
+    /// Selection shorthand.
+    pub fn select(self, pred: Expr) -> RelLensExpr {
+        RelLensExpr::Select {
+            input: Box::new(self),
+            pred,
+        }
+    }
+
+    /// Projection shorthand.
+    pub fn project(
+        self,
+        attrs: Vec<&str>,
+        policies: Vec<(&str, UpdatePolicy)>,
+    ) -> RelLensExpr {
+        RelLensExpr::Project {
+            input: Box::new(self),
+            attrs: attrs.into_iter().map(Name::new).collect(),
+            policies: policies
+                .into_iter()
+                .map(|(a, p)| (Name::new(a), p))
+                .collect(),
+        }
+    }
+
+    /// Renaming shorthand.
+    pub fn rename(self, pairs: Vec<(&str, &str)>) -> RelLensExpr {
+        RelLensExpr::Rename {
+            input: Box::new(self),
+            renaming: pairs
+                .into_iter()
+                .map(|(a, b)| (Name::new(a), Name::new(b)))
+                .collect(),
+        }
+    }
+
+    /// Join shorthand.
+    pub fn join(self, right: RelLensExpr, policy: JoinPolicy) -> RelLensExpr {
+        RelLensExpr::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            policy,
+        }
+    }
+
+    /// Union shorthand.
+    pub fn union(self, right: RelLensExpr, policy: UnionPolicy) -> RelLensExpr {
+        RelLensExpr::Union {
+            left: Box::new(self),
+            right: Box::new(right),
+            policy,
+        }
+    }
+
+    /// The base relations referenced, in tree order.
+    pub fn base_relations(&self) -> Vec<Name> {
+        fn go(e: &RelLensExpr, out: &mut Vec<Name>) {
+            match e {
+                RelLensExpr::Base(n) => out.push(n.clone()),
+                RelLensExpr::Select { input, .. }
+                | RelLensExpr::Project { input, .. }
+                | RelLensExpr::Rename { input, .. } => go(input, out),
+                RelLensExpr::Join { left, right, .. }
+                | RelLensExpr::Union { left, right, .. } => {
+                    go(left, out);
+                    go(right, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        go(self, &mut out);
+        out
+    }
+
+    /// Validate against a database schema and compute the view schema.
+    ///
+    /// Checks: base relations exist and are used at most once (so `put`
+    /// is unambiguous), predicates reference in-scope attributes, every
+    /// dropped projection attribute has a policy, join/union headers
+    /// are compatible.
+    pub fn view_schema(&self, schema: &Schema) -> Result<RelSchema, RellensError> {
+        // Uniqueness of base relations.
+        let bases = self.base_relations();
+        let mut seen = BTreeSet::new();
+        for b in &bases {
+            if !seen.insert(b.clone()) {
+                return Err(RellensError::DuplicateBaseRelation(b.clone()));
+            }
+        }
+        self.view_schema_unchecked(schema)
+    }
+
+    fn view_schema_unchecked(&self, schema: &Schema) -> Result<RelSchema, RellensError> {
+        match self {
+            RelLensExpr::Base(n) => Ok(schema.expect_relation(n.as_str())?.clone()),
+            RelLensExpr::Select { input, pred } => {
+                let s = input.view_schema_unchecked(schema)?;
+                for a in pred.referenced_attrs() {
+                    if s.position(a.as_str()).is_none() {
+                        return Err(RellensError::Structural(format!(
+                            "selection predicate references `{a}` not present in {s}"
+                        )));
+                    }
+                }
+                Ok(s)
+            }
+            RelLensExpr::Project {
+                input,
+                attrs,
+                policies,
+            } => {
+                let s = input.view_schema_unchecked(schema)?;
+                let mut kept: Vec<(Name, AttrType)> = Vec::with_capacity(attrs.len());
+                for a in attrs {
+                    let pos = s.position(a.as_str()).ok_or_else(|| {
+                        RellensError::Structural(format!(
+                            "projection keeps `{a}` which {s} lacks"
+                        ))
+                    })?;
+                    kept.push(s.attrs()[pos].clone());
+                }
+                // Every dropped attribute needs a policy.
+                for (a, _) in s.attrs() {
+                    if !attrs.contains(a) && !policies.contains_key(a) {
+                        return Err(RellensError::Structural(format!(
+                            "projection drops `{a}` without an update policy \
+                             (the paper's “what do I do with this extra column?”)"
+                        )));
+                    }
+                }
+                for a in policies.keys() {
+                    if s.position(a.as_str()).is_none() || attrs.contains(a) {
+                        return Err(RellensError::Structural(format!(
+                            "policy given for `{a}` which is not a dropped attribute"
+                        )));
+                    }
+                }
+                let kept_names: BTreeSet<Name> =
+                    kept.iter().map(|(a, _)| a.clone()).collect();
+                let mut out = RelSchema::new(s.name().clone(), kept)
+                    .map_err(RellensError::Relational)?;
+                *out.fds_mut() = s.fds().restrict_to(&kept_names);
+                Ok(out)
+            }
+            RelLensExpr::Rename { input, renaming } => {
+                let s = input.view_schema_unchecked(schema)?;
+                for from in renaming.keys() {
+                    if s.position(from.as_str()).is_none() {
+                        return Err(RellensError::Structural(format!(
+                            "rename of `{from}` which {s} lacks"
+                        )));
+                    }
+                }
+                let attrs: Vec<(Name, AttrType)> = s
+                    .attrs()
+                    .iter()
+                    .map(|(a, t)| {
+                        (
+                            renaming.get(a).cloned().unwrap_or_else(|| a.clone()),
+                            *t,
+                        )
+                    })
+                    .collect();
+                let mut out = RelSchema::new(s.name().clone(), attrs)
+                    .map_err(RellensError::Relational)?;
+                *out.fds_mut() = s.fds().rename(renaming);
+                Ok(out)
+            }
+            RelLensExpr::Join { left, right, .. } => {
+                let l = left.view_schema_unchecked(schema)?;
+                let r = right.view_schema_unchecked(schema)?;
+                let mut attrs = l.attrs().to_vec();
+                for (a, t) in r.attrs() {
+                    if l.position(a.as_str()).is_none() {
+                        attrs.push((a.clone(), *t));
+                    }
+                }
+                let mut out = RelSchema::new(l.name().clone(), attrs)
+                    .map_err(RellensError::Relational)?;
+                let mut fds = l.fds().clone();
+                for fd in r.fds().iter() {
+                    fds.insert(fd.clone());
+                }
+                *out.fds_mut() = fds;
+                Ok(out)
+            }
+            RelLensExpr::Union { left, right, .. } => {
+                let l = left.view_schema_unchecked(schema)?;
+                let r = right.view_schema_unchecked(schema)?;
+                let la: Vec<&Name> = l.attr_names().collect();
+                let ra: Vec<&Name> = r.attr_names().collect();
+                if la != ra {
+                    return Err(RellensError::Structural(format!(
+                        "union headers differ: {l} vs {r}"
+                    )));
+                }
+                let mut out = l.clone();
+                let common = l
+                    .fds()
+                    .iter()
+                    .filter(|fd| r.fds().implies(fd))
+                    .cloned()
+                    .collect();
+                *out.fds_mut() = common;
+                Ok(out)
+            }
+        }
+    }
+
+    /// Render as an indented plan — the paper's “show plan” for
+    /// mappings.
+    pub fn plan_string(&self) -> String {
+        let mut out = String::new();
+        self.render(0, &mut out);
+        out
+    }
+
+    fn render(&self, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        match self {
+            RelLensExpr::Base(n) => {
+                out.push_str(&format!("{pad}Base[{n}]\n"));
+            }
+            RelLensExpr::Select { input, pred } => {
+                out.push_str(&format!("{pad}Select[{pred}]\n"));
+                input.render(depth + 1, out);
+            }
+            RelLensExpr::Project {
+                input,
+                attrs,
+                policies,
+            } => {
+                let kept = attrs
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let pols = policies
+                    .iter()
+                    .map(|(a, p)| format!("{a} := {p}"))
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                if pols.is_empty() {
+                    out.push_str(&format!("{pad}Project[{kept}]\n"));
+                } else {
+                    out.push_str(&format!("{pad}Project[{kept} | {pols}]\n"));
+                }
+                input.render(depth + 1, out);
+            }
+            RelLensExpr::Rename { input, renaming } => {
+                let pairs = renaming
+                    .iter()
+                    .map(|(a, b)| format!("{a}→{b}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                out.push_str(&format!("{pad}Rename[{pairs}]\n"));
+                input.render(depth + 1, out);
+            }
+            RelLensExpr::Join {
+                left,
+                right,
+                policy,
+            } => {
+                out.push_str(&format!("{pad}Join[{policy}]\n"));
+                left.render(depth + 1, out);
+                right.render(depth + 1, out);
+            }
+            RelLensExpr::Union {
+                left,
+                right,
+                policy,
+            } => {
+                out.push_str(&format!("{pad}Union[{policy}]\n"));
+                left.render(depth + 1, out);
+                right.render(depth + 1, out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for RelLensExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.plan_string().trim_end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_relational::Fd;
+
+    fn db_schema() -> Schema {
+        Schema::with_relations(vec![
+            RelSchema::untyped("Person", vec!["id", "name", "age", "city"])
+                .unwrap()
+                .with_fd(Fd::new(vec!["id"], vec!["name", "age", "city"]))
+                .unwrap(),
+            RelSchema::untyped("CityZip", vec!["city", "zip"]).unwrap(),
+            RelSchema::untyped("Other", vec!["id", "name"]).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn base_schema_passthrough() {
+        let e = RelLensExpr::base("Person");
+        let s = e.view_schema(&db_schema()).unwrap();
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.fds().len(), 1);
+    }
+
+    #[test]
+    fn unknown_base_rejected() {
+        let e = RelLensExpr::base("Nope");
+        assert!(e.view_schema(&db_schema()).is_err());
+    }
+
+    #[test]
+    fn select_checks_predicate_scope() {
+        let ok = RelLensExpr::base("Person").select(Expr::attr("age").ge(Expr::lit(18i64)));
+        assert!(ok.view_schema(&db_schema()).is_ok());
+        let bad = RelLensExpr::base("Person").select(Expr::attr("zip").is_null());
+        assert!(bad.view_schema(&db_schema()).is_err());
+    }
+
+    #[test]
+    fn project_requires_policies_for_dropped() {
+        let missing = RelLensExpr::base("Person").project(vec!["id", "name"], vec![]);
+        let err = missing.view_schema(&db_schema()).unwrap_err();
+        assert!(err.to_string().contains("update policy"));
+        let ok = RelLensExpr::base("Person").project(
+            vec!["id", "name"],
+            vec![
+                ("age", UpdatePolicy::Null),
+                ("city", UpdatePolicy::fd_or_null(vec!["name"])),
+            ],
+        );
+        let s = ok.view_schema(&db_schema()).unwrap();
+        assert_eq!(s.arity(), 2);
+        // FD id -> name survives projection? The declared FD mentions
+        // age and city, so it is dropped by the conservative restriction.
+        assert_eq!(s.fds().len(), 0);
+    }
+
+    #[test]
+    fn project_policy_for_kept_attr_rejected() {
+        let bad = RelLensExpr::base("Person").project(
+            vec!["id", "name"],
+            vec![
+                ("name", UpdatePolicy::Null),
+                ("age", UpdatePolicy::Null),
+                ("city", UpdatePolicy::Null),
+            ],
+        );
+        assert!(bad.view_schema(&db_schema()).is_err());
+    }
+
+    #[test]
+    fn rename_schema() {
+        let e = RelLensExpr::base("Person").rename(vec![("id", "pid")]);
+        let s = e.view_schema(&db_schema()).unwrap();
+        assert_eq!(s.position("pid"), Some(0));
+        assert!(s
+            .fds()
+            .implies(&Fd::new(vec!["pid"], vec!["name"])));
+    }
+
+    #[test]
+    fn join_schema_merges_headers() {
+        let e = RelLensExpr::base("Person")
+            .join(RelLensExpr::base("CityZip"), JoinPolicy::DeleteLeft);
+        let s = e.view_schema(&db_schema()).unwrap();
+        assert_eq!(s.arity(), 5);
+        assert!(s.position("zip").is_some());
+    }
+
+    #[test]
+    fn union_requires_same_headers() {
+        let bad = RelLensExpr::base("Person")
+            .union(RelLensExpr::base("CityZip"), UnionPolicy::InsertLeft);
+        assert!(bad.view_schema(&db_schema()).is_err());
+        let ok = RelLensExpr::base("Person")
+            .project(
+                vec!["id", "name"],
+                vec![("age", UpdatePolicy::Null), ("city", UpdatePolicy::Null)],
+            )
+            .union(RelLensExpr::base("Other"), UnionPolicy::InsertLeft);
+        assert!(ok.view_schema(&db_schema()).is_ok());
+    }
+
+    #[test]
+    fn duplicate_base_rejected() {
+        let e = RelLensExpr::base("Person")
+            .join(RelLensExpr::base("Person"), JoinPolicy::DeleteLeft);
+        assert!(matches!(
+            e.view_schema(&db_schema()).unwrap_err(),
+            RellensError::DuplicateBaseRelation(_)
+        ));
+    }
+
+    #[test]
+    fn plan_rendering() {
+        let e = RelLensExpr::base("Person")
+            .select(Expr::attr("age").ge(Expr::lit(18i64)))
+            .project(
+                vec!["id", "name"],
+                vec![
+                    ("age", UpdatePolicy::Const(18i64.into())),
+                    ("city", UpdatePolicy::fd_or_null(vec!["name"])),
+                ],
+            );
+        let plan = e.plan_string();
+        assert!(plan.contains("Project[id, name | age := const 18; city := fd(name) else null]"));
+        assert!(plan.contains("  Select[age >= 18]"));
+        assert!(plan.contains("    Base[Person]"));
+    }
+
+    #[test]
+    fn base_relations_in_tree_order() {
+        let e = RelLensExpr::base("Person")
+            .join(RelLensExpr::base("CityZip"), JoinPolicy::DeleteBoth);
+        assert_eq!(
+            e.base_relations(),
+            vec![Name::new("Person"), Name::new("CityZip")]
+        );
+    }
+}

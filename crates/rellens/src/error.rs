@@ -1,0 +1,76 @@
+//! Relational-lens failure modes.
+
+use dex_relational::{Name, RelationalError};
+use std::fmt;
+
+/// Errors raised building or running relational lenses.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RellensError {
+    /// A view row violates the selection predicate it must satisfy.
+    PredicateViolation {
+        /// Display of the predicate.
+        predicate: String,
+        /// Display of the offending row.
+        row: String,
+    },
+    /// An environment value was requested but not provided.
+    MissingEnvValue(Name),
+    /// The view relation's header does not match the lens's view schema.
+    ViewSchemaMismatch {
+        /// What was expected.
+        expected: String,
+        /// What arrived.
+        actual: String,
+    },
+    /// A base relation is used more than once in one lens tree, which
+    /// would make `put` ambiguous.
+    DuplicateBaseRelation(Name),
+    /// The lens tree references something the schema lacks, or another
+    /// structural problem.
+    Structural(String),
+    /// An underlying relational error.
+    Relational(RelationalError),
+}
+
+impl fmt::Display for RellensError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RellensError::PredicateViolation { predicate, row } => {
+                write!(f, "view row {row} violates selection predicate {predicate}")
+            }
+            RellensError::MissingEnvValue(n) => {
+                write!(f, "environment value `{n}` required by an update policy is missing")
+            }
+            RellensError::ViewSchemaMismatch { expected, actual } => {
+                write!(f, "view schema mismatch: expected {expected}, got {actual}")
+            }
+            RellensError::DuplicateBaseRelation(n) => write!(
+                f,
+                "base relation `{n}` appears more than once in the lens tree; put would be ambiguous"
+            ),
+            RellensError::Structural(msg) => write!(f, "structural error: {msg}"),
+            RellensError::Relational(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RellensError {}
+
+impl From<RelationalError> for RellensError {
+    fn from(e: RelationalError) -> Self {
+        RellensError::Relational(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = RellensError::MissingEnvValue(Name::new("today"));
+        assert!(e.to_string().contains("today"));
+        let e = RellensError::DuplicateBaseRelation(Name::new("R"));
+        assert!(e.to_string().contains("ambiguous"));
+    }
+}

@@ -1,0 +1,41 @@
+//! # dex-rellens — relational lenses
+//!
+//! The paper §3's concrete lens family: “relational lenses have a
+//! strong correlation with relational algebra; for instance, there is a
+//! ‘projection’ lens corresponding to the projection operator π.”
+//!
+//! The central type is [`RelLensExpr`], a tree of relational-lens
+//! operators (base table, select, project, rename, join, union) whose
+//! `get` evaluates like relational algebra over an [`Instance`] and
+//! whose `put` **translates view updates back** to the base tables.
+//! Where information is missing on the way back, an explicit
+//! [`UpdatePolicy`] decides — the paper's four options for a dropped
+//! column:
+//!
+//! * always use a **null**,
+//! * always use a **constant**,
+//! * insert an **environment** value (current user, today's date, …),
+//! * use a **functional dependency** / the surviving source rows to
+//!   restore the value (the least lossy option).
+//!
+//! Join and union carry their own policies (which side receives
+//! inserts, which side absorbs deletes) — §3: “the join and union lens
+//! templates must have update policies specifying whether updates are
+//! propagated to the left or right inputs, or to both.”
+//!
+//! [`revision`] implements the FD-driven *relational revision* operator
+//! used to keep puts consistent with declared dependencies.
+
+pub mod ast;
+pub mod error;
+pub mod eval;
+pub mod incremental;
+pub mod policy;
+pub mod revision;
+
+pub use ast::RelLensExpr;
+pub use error::RellensError;
+pub use eval::InstanceLens;
+pub use incremental::{IncrementalLens, RelDelta};
+pub use policy::{Environment, JoinPolicy, UnionPolicy, UpdatePolicy};
+pub use revision::revise;

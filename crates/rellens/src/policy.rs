@@ -1,0 +1,392 @@
+//! Update policies — the explicit answers to “what do I do with this
+//! extra column?” (paper §3/§4).
+//!
+//! A projection lens restores *surviving* rows from the source by
+//! matching on the kept columns; the policy decides how to fill a
+//! dropped column **for rows that are new in the view** (paper §3:
+//! “if the operator drops a column c, and a new row is added to the
+//! output (view) state, there are several possibilities as to how to
+//! populate that column c when adding the row to the input state”).
+
+use crate::error::RellensError;
+use dex_relational::{Constant, Expr, Name, NullGen, RelSchema, Relation, Tuple, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Values supplied by the surrounding system (current user, current
+/// time, tenant id, …) — the paper's “environment information, domain
+/// policy, or other sources … inaccessible to the current formal
+/// treatment”.
+pub type Environment = BTreeMap<Name, Value>;
+
+/// How a projection lens fills a dropped column of a new row.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum UpdatePolicy {
+    /// Always use a fresh labeled null — the same choice the chase
+    /// makes for an existential position.
+    Null,
+    /// Always use this constant.
+    Const(Constant),
+    /// Insert the environment value registered under this key.
+    Env(Name),
+    /// Copy the value of another (kept) column of the same view row —
+    /// used by the compiler for duplicated variables, where the dropped
+    /// column is provably equal to a kept one.
+    CopyOf(Name),
+    /// Compute the value from the new row's kept columns — the intro's
+    /// “should it be filled in … as a function of the ZipCode field?”
+    /// made literal: any [`Expr`] over the kept column names.
+    Compute(Expr),
+    /// Use a functional dependency `via → c`: look up the value from
+    /// any existing source row agreeing on the `via` columns (the
+    /// paper's least-lossy option); fall back when no such row exists.
+    FdLookup {
+        /// The determining (kept) columns.
+        via: Vec<Name>,
+        /// Policy when no source row matches.
+        fallback: Box<UpdatePolicy>,
+    },
+}
+
+impl UpdatePolicy {
+    /// FD lookup through `via` with a null fallback — the relational
+    /// lenses' preferred default.
+    pub fn fd_or_null(via: Vec<&str>) -> UpdatePolicy {
+        UpdatePolicy::FdLookup {
+            via: via.into_iter().map(Name::new).collect(),
+            fallback: Box::new(UpdatePolicy::Null),
+        }
+    }
+
+    /// Produce the fill value for one dropped attribute of a new view
+    /// row. `view_row_kept` gives the new row's values for the *kept*
+    /// columns (by name); `old_input` is the pre-update source
+    /// relation, consulted by [`UpdatePolicy::FdLookup`].
+    pub fn fill(
+        &self,
+        dropped_attr: &Name,
+        view_row_kept: &BTreeMap<Name, Value>,
+        old_input: &Relation,
+        env: &Environment,
+        nulls: &mut NullGen,
+    ) -> Result<Value, RellensError> {
+        match self {
+            UpdatePolicy::Null => Ok(nulls.fresh()),
+            UpdatePolicy::Const(c) => Ok(Value::Const(c.clone())),
+            UpdatePolicy::Env(key) => env
+                .get(key.as_str())
+                .cloned()
+                .ok_or_else(|| RellensError::MissingEnvValue(key.clone())),
+            UpdatePolicy::CopyOf(col) => {
+                view_row_kept.get(col.as_str()).cloned().ok_or_else(|| {
+                    RellensError::Structural(format!(
+                        "CopyOf source column `{col}` is not a kept column"
+                    ))
+                })
+            }
+            UpdatePolicy::Compute(expr) => {
+                // Evaluate against a synthetic one-row relation built
+                // from the kept columns.
+                let (names, vals): (Vec<Name>, Vec<Value>) = view_row_kept
+                    .iter()
+                    .map(|(n, v)| (n.clone(), v.clone()))
+                    .unzip();
+                let schema = RelSchema::untyped("·view-row", names)
+                    .map_err(RellensError::Relational)?;
+                let row = Tuple::new(vals);
+                expr.eval(&schema, &row).map_err(RellensError::Relational)
+            }
+            UpdatePolicy::FdLookup { via, fallback } => {
+                let dropped_pos = old_input
+                    .schema()
+                    .position(dropped_attr.as_str())
+                    .ok_or_else(|| {
+                        RellensError::Structural(format!(
+                            "FdLookup target `{dropped_attr}` missing from {}",
+                            old_input.schema()
+                        ))
+                    })?;
+                let via_pos: Vec<usize> = via
+                    .iter()
+                    .map(|a| {
+                        old_input.schema().position(a.as_str()).ok_or_else(|| {
+                            RellensError::Structural(format!(
+                                "FdLookup via-column `{a}` missing from {}",
+                                old_input.schema()
+                            ))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                let wanted: Option<Vec<&Value>> =
+                    via.iter().map(|a| view_row_kept.get(a.as_str())).collect();
+                let Some(wanted) = wanted else {
+                    return Err(RellensError::Structural(format!(
+                        "FdLookup via-columns {via:?} must be kept columns"
+                    )));
+                };
+                for row in old_input.iter() {
+                    if via_pos.iter().zip(&wanted).all(|(&i, w)| &&row[i] == w) {
+                        return Ok(row[dropped_pos].clone());
+                    }
+                }
+                fallback.fill(dropped_attr, view_row_kept, old_input, env, nulls)
+            }
+        }
+    }
+}
+
+impl fmt::Display for UpdatePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdatePolicy::Null => write!(f, "null"),
+            UpdatePolicy::Const(Constant::Str(s)) => write!(f, "const {s:?}"),
+            UpdatePolicy::Const(c) => write!(f, "const {c}"),
+            UpdatePolicy::Env(k) => write!(f, "env ${k}"),
+            UpdatePolicy::CopyOf(col) => write!(f, "copy of {col}"),
+            UpdatePolicy::Compute(e) => write!(f, "compute {e}"),
+            UpdatePolicy::FdLookup { via, fallback } => {
+                let cols = via
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                write!(f, "fd({cols}) else {fallback}")
+            }
+        }
+    }
+}
+
+/// Which base side absorbs a **deletion** from a join view (Bohannon
+/// et al.'s `join_dl` etc.).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum JoinPolicy {
+    /// Delete the left component row.
+    #[default]
+    DeleteLeft,
+    /// Delete the right component row.
+    DeleteRight,
+    /// Delete both component rows.
+    DeleteBoth,
+}
+
+impl fmt::Display for JoinPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            JoinPolicy::DeleteLeft => "delete-left",
+            JoinPolicy::DeleteRight => "delete-right",
+            JoinPolicy::DeleteBoth => "delete-both",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which base side receives an **insertion** into a union view.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum UnionPolicy {
+    /// Route new rows to the left input.
+    #[default]
+    InsertLeft,
+    /// Route new rows to the right input.
+    InsertRight,
+}
+
+impl fmt::Display for UnionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnionPolicy::InsertLeft => "insert-left",
+            UnionPolicy::InsertRight => "insert-right",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_relational::{tuple, RelSchema};
+
+    fn addr_rel() -> Relation {
+        Relation::from_tuples(
+            RelSchema::untyped("Addr", vec!["name", "zip", "city"]).unwrap(),
+            vec![
+                tuple!["alice", 2000i64, "Sydney"],
+                tuple!["bob", 8320000i64, "Santiago"],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn kept(pairs: Vec<(&str, Value)>) -> BTreeMap<Name, Value> {
+        pairs.into_iter().map(|(a, v)| (Name::new(a), v)).collect()
+    }
+
+    #[test]
+    fn null_policy_mints_fresh_nulls() {
+        let mut g = NullGen::new();
+        let env = Environment::new();
+        let rel = addr_rel();
+        let row = kept(vec![]);
+        let a = UpdatePolicy::Null
+            .fill(&Name::new("city"), &row, &rel, &env, &mut g)
+            .unwrap();
+        let b = UpdatePolicy::Null
+            .fill(&Name::new("city"), &row, &rel, &env, &mut g)
+            .unwrap();
+        assert!(a.is_null() && b.is_null());
+        assert_ne!(a, b, "each fill invents a distinct unknown");
+    }
+
+    #[test]
+    fn const_policy() {
+        let mut g = NullGen::new();
+        let p = UpdatePolicy::Const(Constant::Int(0));
+        assert_eq!(
+            p.fill(
+                &Name::new("city"),
+                &kept(vec![]),
+                &addr_rel(),
+                &Environment::new(),
+                &mut g
+            )
+            .unwrap(),
+            Value::int(0)
+        );
+    }
+
+    #[test]
+    fn env_policy_reads_environment() {
+        let mut g = NullGen::new();
+        let mut env = Environment::new();
+        env.insert(Name::new("current_user"), Value::str("jft"));
+        let p = UpdatePolicy::Env(Name::new("current_user"));
+        assert_eq!(
+            p.fill(&Name::new("city"), &kept(vec![]), &addr_rel(), &env, &mut g)
+                .unwrap(),
+            Value::str("jft")
+        );
+        let missing = UpdatePolicy::Env(Name::new("nope"));
+        assert!(matches!(
+            missing
+                .fill(&Name::new("city"), &kept(vec![]), &addr_rel(), &env, &mut g)
+                .unwrap_err(),
+            RellensError::MissingEnvValue(_)
+        ));
+    }
+
+    #[test]
+    fn fd_lookup_finds_value_via_other_rows() {
+        // New row with zip 2000: city restored as Sydney from alice's
+        // row — the paper's FD option c′ → c.
+        let mut g = NullGen::new();
+        let p = UpdatePolicy::fd_or_null(vec!["zip"]);
+        let row = kept(vec![("zip", Value::int(2000))]);
+        assert_eq!(
+            p.fill(
+                &Name::new("city"),
+                &row,
+                &addr_rel(),
+                &Environment::new(),
+                &mut g
+            )
+            .unwrap(),
+            Value::str("Sydney")
+        );
+    }
+
+    #[test]
+    fn fd_lookup_falls_back_when_unmatched() {
+        let mut g = NullGen::new();
+        let p = UpdatePolicy::fd_or_null(vec!["zip"]);
+        let row = kept(vec![("zip", Value::int(99999))]);
+        let v = p
+            .fill(
+                &Name::new("city"),
+                &row,
+                &addr_rel(),
+                &Environment::new(),
+                &mut g,
+            )
+            .unwrap();
+        assert!(v.is_null(), "unknown zip → null fallback");
+    }
+
+    #[test]
+    fn fd_lookup_with_const_fallback() {
+        let mut g = NullGen::new();
+        let p = UpdatePolicy::FdLookup {
+            via: vec![Name::new("zip")],
+            fallback: Box::new(UpdatePolicy::Const("somewhere".into())),
+        };
+        let row = kept(vec![("zip", Value::int(99999))]);
+        assert_eq!(
+            p.fill(
+                &Name::new("city"),
+                &row,
+                &addr_rel(),
+                &Environment::new(),
+                &mut g
+            )
+            .unwrap(),
+            Value::str("somewhere")
+        );
+    }
+
+    #[test]
+    fn copy_of_policy_reads_kept_column() {
+        let mut g = NullGen::new();
+        let p = UpdatePolicy::CopyOf(Name::new("name"));
+        let row = kept(vec![("name", Value::str("alice"))]);
+        assert_eq!(
+            p.fill(&Name::new("alias"), &row, &addr_rel(), &Environment::new(), &mut g)
+                .unwrap(),
+            Value::str("alice")
+        );
+        let missing = p
+            .fill(&Name::new("alias"), &kept(vec![]), &addr_rel(), &Environment::new(), &mut g)
+            .unwrap_err();
+        assert!(matches!(missing, RellensError::Structural(_)));
+    }
+
+    #[test]
+    fn compute_policy_derives_from_kept_columns() {
+        let mut g = NullGen::new();
+        // salary := zip * 10 (a silly but checkable function).
+        let p = UpdatePolicy::Compute(Expr::attr("zip").mul(Expr::lit(10i64)));
+        let row = kept(vec![("zip", Value::int(2000))]);
+        assert_eq!(
+            p.fill(&Name::new("salary"), &row, &addr_rel(), &Environment::new(), &mut g)
+                .unwrap(),
+            Value::int(20_000)
+        );
+        // Referencing a non-kept column is a loud error.
+        let bad = UpdatePolicy::Compute(Expr::attr("nope").mul(Expr::lit(2i64)));
+        assert!(bad
+            .fill(&Name::new("salary"), &row, &addr_rel(), &Environment::new(), &mut g)
+            .is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(UpdatePolicy::Null.to_string(), "null");
+        assert_eq!(
+            UpdatePolicy::Const(Constant::Str("x".into())).to_string(),
+            "const \"x\""
+        );
+        assert_eq!(UpdatePolicy::Env(Name::new("now")).to_string(), "env $now");
+        assert_eq!(
+            UpdatePolicy::CopyOf(Name::new("name")).to_string(),
+            "copy of name"
+        );
+        assert_eq!(
+            UpdatePolicy::Compute(Expr::attr("zip").mul(Expr::lit(10i64))).to_string(),
+            "compute (zip * 10)"
+        );
+        assert_eq!(
+            UpdatePolicy::fd_or_null(vec!["zip"]).to_string(),
+            "fd(zip) else null"
+        );
+        assert_eq!(JoinPolicy::DeleteLeft.to_string(), "delete-left");
+        assert_eq!(UnionPolicy::InsertRight.to_string(), "insert-right");
+    }
+}

@@ -1,0 +1,143 @@
+//! The relational **revision** operator.
+//!
+//! Bohannon, Pierce & Vaughan's relational lenses keep puts consistent
+//! with functional dependencies by *revising* a relation against
+//! incoming tuples: when a new tuple agrees with existing tuples on the
+//! left-hand side of an FD, the existing tuples are updated to agree on
+//! the right-hand side too (the new data wins), instead of creating an
+//! FD violation.
+
+use dex_relational::{Fd, Relation, RelationalError, Tuple};
+
+/// Revise `rel` by `incoming`: for every FD `X → Y` declared on the
+/// relation, any existing tuple that agrees with `incoming` on `X` is
+/// rewritten to agree on `Y` as well; finally `incoming` is inserted.
+///
+/// The result always contains `incoming` and satisfies the declared
+/// FDs with respect to it (assuming `rel` satisfied them before).
+pub fn revise(rel: &Relation, incoming: &Tuple) -> Result<Relation, RelationalError> {
+    let schema = rel.schema().clone();
+    let mut out = Relation::empty(schema.clone());
+    let fds: Vec<Fd> = schema.fds().iter().cloned().collect();
+    'tuples: for t in rel.iter() {
+        let mut t = t.clone();
+        for fd in &fds {
+            let lhs_pos: Vec<usize> = fd
+                .lhs()
+                .iter()
+                .filter_map(|a| schema.position(a.as_str()))
+                .collect();
+            let rhs_pos: Vec<usize> = fd
+                .rhs()
+                .iter()
+                .filter_map(|a| schema.position(a.as_str()))
+                .collect();
+            if t.project(&lhs_pos) == incoming.project(&lhs_pos) {
+                for &i in &rhs_pos {
+                    t = t.with_value(i, incoming[i].clone());
+                }
+            }
+            if &t == incoming {
+                continue 'tuples; // fully absorbed
+            }
+        }
+        out.insert(t)?;
+    }
+    out.insert(incoming.clone())?;
+    Ok(out)
+}
+
+/// Revise a relation by a whole batch of incoming tuples, in order.
+pub fn revise_all<'a>(
+    rel: &Relation,
+    incoming: impl IntoIterator<Item = &'a Tuple>,
+) -> Result<Relation, RelationalError> {
+    let mut out = rel.clone();
+    for t in incoming {
+        out = revise(&out, t)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_relational::{tuple, RelSchema};
+
+    fn keyed_schema() -> RelSchema {
+        RelSchema::untyped("P", vec!["id", "name", "city"])
+            .unwrap()
+            .with_fd(Fd::new(vec!["id"], vec!["name", "city"]))
+            .unwrap()
+    }
+
+    #[test]
+    fn revision_updates_conflicting_tuple() {
+        let r = Relation::from_tuples(
+            keyed_schema(),
+            vec![tuple![1i64, "Alice", "Sydney"], tuple![2i64, "Bob", "Lima"]],
+        )
+        .unwrap();
+        // Incoming tuple with id 1 but a new city: old tuple revised.
+        let out = revise(&r, &tuple![1i64, "Alice", "Quito"]).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&tuple![1i64, "Alice", "Quito"]));
+        assert!(!out.contains(&tuple![1i64, "Alice", "Sydney"]));
+        assert!(out.satisfies_fds());
+    }
+
+    #[test]
+    fn revision_plain_insert_when_no_conflict() {
+        let r = Relation::from_tuples(keyed_schema(), vec![tuple![1i64, "A", "X"]]).unwrap();
+        let out = revise(&r, &tuple![2i64, "B", "Y"]).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.satisfies_fds());
+    }
+
+    #[test]
+    fn revision_idempotent_for_existing_tuple() {
+        let r = Relation::from_tuples(keyed_schema(), vec![tuple![1i64, "A", "X"]]).unwrap();
+        let out = revise(&r, &tuple![1i64, "A", "X"]).unwrap();
+        assert_eq!(out, r);
+    }
+
+    #[test]
+    fn revision_without_fds_is_plain_insert() {
+        let schema = RelSchema::untyped("Q", vec!["a", "b"]).unwrap();
+        let r = Relation::from_tuples(schema, vec![tuple![1i64, 2i64]]).unwrap();
+        let out = revise(&r, &tuple![1i64, 3i64]).unwrap();
+        assert_eq!(out.len(), 2, "no FD, both tuples coexist");
+    }
+
+    #[test]
+    fn multi_fd_revision() {
+        // Zip → City and Id → everything.
+        let schema = RelSchema::untyped("Addr", vec!["id", "zip", "city"])
+            .unwrap()
+            .with_fd(Fd::new(vec!["zip"], vec!["city"]))
+            .unwrap();
+        let r = Relation::from_tuples(
+            schema,
+            vec![
+                tuple![1i64, 2000i64, "Sydney"],
+                tuple![2i64, 2000i64, "Sidney"], // stale spelling
+            ],
+        )
+        .unwrap();
+        let out = revise(&r, &tuple![3i64, 2000i64, "Sydney"]).unwrap();
+        // Tuple 2's city revised to match the zip FD.
+        assert!(out.contains(&tuple![2i64, 2000i64, "Sydney"]));
+        assert!(!out.contains(&tuple![2i64, 2000i64, "Sidney"]));
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn revise_all_applies_in_order() {
+        let r = Relation::empty(keyed_schema());
+        let t1 = tuple![1i64, "A", "X"];
+        let t2 = tuple![1i64, "A", "Y"]; // same key, later wins
+        let out = revise_all(&r, [&t1, &t2]).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&t2));
+    }
+}

@@ -1,0 +1,299 @@
+//! `dexcli` — command-line front end for the dex engine.
+//!
+//! ```text
+//! dexcli plan     <mapping.dex>                          show the compiled lens plan
+//! dexcli check    <mapping.dex>                          parse + fidelity + termination report
+//! dexcli chase    <mapping.dex> <source.json>            classical chase (universal solution)
+//! dexcli exchange <mapping.dex> <source.json> [prev.json] lens-engine forward
+//! dexcli backward <mapping.dex> <target.json> <source.json> lens-engine backward
+//! dexcli compose  <m1.dex> <m2.dex>                      compose mappings (SO-tgd or st-tgds)
+//! dexcli recover  <mapping.dex>                          maximum recovery (disjunctive rules)
+//! ```
+//!
+//! Instance JSON format — facts only, schema comes from the mapping:
+//!
+//! ```json
+//! { "Emp": [["Alice"], ["Bob"]], "Dept": [["Alice", 1]] }
+//! ```
+//!
+//! Labeled nulls appear in output as `{"null": n}`; Skolem terms as
+//! `{"skolem": "f", "args": [...]}`.
+
+use dex::chase::{certain_answers, exchange, ConjunctiveQuery};
+use dex::core::{compile, Engine};
+use dex::logic::{parse_mapping, Mapping};
+use dex::ops::{compose, maximum_recovery};
+use dex::rellens::Environment;
+use dex::relational::{Instance, Schema, Tuple, Value};
+use serde_json::{json, Map, Value as Json};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let usage = "usage: dexcli <plan|check|chase|exchange|backward|compose|recover|query> <args…>\n\
+                 run `dexcli help` for details";
+    let cmd = args.first().ok_or(usage)?;
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => {
+            println!("{}", HELP);
+            Ok(())
+        }
+        "plan" => {
+            let m = load_mapping(args.get(1).ok_or(usage)?)?;
+            let engine = build_engine(&m)?;
+            println!("{}", engine.show_plan());
+            Ok(())
+        }
+        "check" => {
+            let m = load_mapping(args.get(1).ok_or(usage)?)?;
+            check(&m);
+            Ok(())
+        }
+        "chase" => {
+            let m = load_mapping(args.get(1).ok_or(usage)?)?;
+            let src = load_instance(args.get(2).ok_or(usage)?, m.source())?;
+            let res = exchange(&m, &src).map_err(|e| e.to_string())?;
+            eprintln!(
+                "chased {} source facts; {} nulls invented, {} rule firings",
+                src.fact_count(),
+                res.nulls_created,
+                res.firings
+            );
+            println!("{}", render_instance(&res.target));
+            Ok(())
+        }
+        "exchange" => {
+            let mut rest: Vec<&String> = args[1..].iter().collect();
+            let stats = rest.iter().position(|a| a.as_str() == "--stats");
+            if let Some(i) = stats {
+                rest.remove(i);
+            }
+            let m = load_mapping(rest.first().ok_or(usage)?)?;
+            let src = load_instance(rest.get(1).ok_or(usage)?, m.source())?;
+            let prev = match rest.get(2) {
+                Some(p) => Some(load_instance(p, m.target())?),
+                None => None,
+            };
+            let engine = build_engine(&m)?;
+            let (out, st) = engine
+                .forward_with_stats(&src, prev.as_ref())
+                .map_err(|e| e.to_string())?;
+            if stats.is_some() {
+                eprint!("{st}");
+            }
+            println!("{}", render_instance(&out));
+            Ok(())
+        }
+        "backward" => {
+            let m = load_mapping(args.get(1).ok_or(usage)?)?;
+            let tgt = load_instance(args.get(2).ok_or(usage)?, m.target())?;
+            let src = load_instance(args.get(3).ok_or(usage)?, m.source())?;
+            let engine = build_engine(&m)?;
+            let out = engine.backward(&tgt, &src).map_err(|e| e.to_string())?;
+            println!("{}", render_instance(&out));
+            Ok(())
+        }
+        "compose" => {
+            let m1 = load_mapping(args.get(1).ok_or(usage)?)?;
+            let m2 = load_mapping(args.get(2).ok_or(usage)?)?;
+            let comp = compose(&m1, &m2).map_err(|e| e.to_string())?;
+            match &comp.st_tgds {
+                Some(tgds) => {
+                    eprintln!("composition is first-order ({} st-tgds):", tgds.len());
+                    for t in tgds {
+                        println!("{t}");
+                    }
+                }
+                None => {
+                    eprintln!("composition requires second-order quantification:");
+                    println!("{comp}");
+                }
+            }
+            Ok(())
+        }
+        "query" => {
+            // dexcli query <mapping> <source.json> "q(x) :- Manager(x, m)"
+            let m = load_mapping(args.get(1).ok_or(usage)?)?;
+            let src = load_instance(args.get(2).ok_or(usage)?, m.source())?;
+            let qtext = args.get(3).ok_or(usage)?;
+            let (head, body) =
+                dex::logic::parse_query(qtext).map_err(|e| e.to_string())?;
+            let q = ConjunctiveQuery::new(
+                head.iter().map(|n| n.as_str()).collect(),
+                body,
+            )
+            .map_err(|e| e.to_string())?;
+            q.validate(m.target()).map_err(|e| e.to_string())?;
+            let j = exchange(&m, &src).map_err(|e| e.to_string())?.target;
+            let answers = certain_answers(&q, &j);
+            eprintln!(
+                "{} certain answer(s) over the universal solution",
+                answers.len()
+            );
+            let rows: Vec<Json> = answers
+                .iter()
+                .map(|t| Json::Array(t.iter().map(value_to_json).collect()))
+                .collect();
+            println!("{}", serde_json::to_string_pretty(&Json::Array(rows)).unwrap());
+            Ok(())
+        }
+        "recover" => {
+            let m = load_mapping(args.get(1).ok_or(usage)?)?;
+            let rec = maximum_recovery(&m).map_err(|e| e.to_string())?;
+            println!("{rec}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{usage}")),
+    }
+}
+
+const HELP: &str = r#"dexcli — bidirectional data exchange from the command line
+
+commands:
+  plan     <mapping.dex>                         compile and show the lens plan
+  check    <mapping.dex>                         fidelity + termination report
+  chase    <mapping.dex> <source.json>           materialize the universal solution
+  exchange <mapping.dex> <source.json> [prev.json]  lens-engine forward exchange
+  backward <mapping.dex> <target.json> <source.json>  propagate target edits back
+  compose  <m1.dex> <m2.dex>                     compose two mappings
+  recover  <mapping.dex>                         print the maximum recovery
+  query    <mapping.dex> <source.json> "q(x) :- R(x, y)"
+                                                 certain answers over the exchange
+
+mapping files use the dex mapping language:
+  source Emp(name);
+  target Manager(emp, mgr);
+  key Manager(emp);
+  Emp(x) -> Manager(x, y);
+
+instance JSON: {"Emp": [["Alice"], ["Bob"]]}"#;
+
+fn load_mapping(path: &str) -> Result<Mapping, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_mapping(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn build_engine(m: &Mapping) -> Result<Engine, String> {
+    let template = compile(m).map_err(|e| e.to_string())?;
+    Engine::new(template, Environment::new()).map_err(|e| e.to_string())
+}
+
+fn check(m: &Mapping) {
+    println!("source schema:\n{}", m.source());
+    println!("target schema:\n{}", m.target());
+    println!("st-tgds: {}", m.st_tgds().len());
+    for t in m.st_tgds() {
+        println!("  {t}");
+    }
+    if !m.target_egds().is_empty() {
+        println!("target egds: {}", m.target_egds().len());
+        for e in m.target_egds() {
+            println!("  {e}");
+        }
+    }
+    if !m.target_tgds().is_empty() {
+        let wa = dex::chase::is_weakly_acyclic(m.target_tgds());
+        println!(
+            "target tgds: {} (weakly acyclic: {})",
+            m.target_tgds().len(),
+            if wa { "yes — chase terminates" } else { "NO — chase may diverge" }
+        );
+    }
+    match compile(m) {
+        Ok(t) => {
+            println!("lens compilation: ok ({} holes)", t.holes.len());
+            print!("{}", t.report);
+            for h in &t.holes {
+                println!("  {h}");
+            }
+        }
+        Err(e) => println!("lens compilation: UNSUPPORTED\n{e}"),
+    }
+}
+
+fn load_instance(path: &str, schema: &Schema) -> Result<Instance, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let json: Json =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: bad JSON: {e}"))?;
+    let obj = json
+        .as_object()
+        .ok_or_else(|| format!("{path}: expected a JSON object of relations"))?;
+    let mut inst = Instance::empty(schema.clone());
+    for (rel, rows) in obj {
+        let rows = rows
+            .as_array()
+            .ok_or_else(|| format!("{path}: `{rel}` must be an array of rows"))?;
+        for row in rows {
+            let cells = row
+                .as_array()
+                .ok_or_else(|| format!("{path}: rows of `{rel}` must be arrays"))?;
+            let tuple: Tuple = cells
+                .iter()
+                .map(json_to_value)
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| format!("{path}: {e}"))?
+                .into();
+            inst.insert(rel, tuple)
+                .map_err(|e| format!("{path}: {e}"))?;
+        }
+    }
+    Ok(inst)
+}
+
+fn json_to_value(j: &Json) -> Result<Value, String> {
+    match j {
+        Json::String(s) => Ok(Value::str(s.clone())),
+        Json::Number(n) => n
+            .as_i64()
+            .map(Value::int)
+            .ok_or_else(|| format!("non-integer number {n}")),
+        Json::Bool(b) => Ok(Value::bool(*b)),
+        Json::Object(o) => {
+            if let Some(id) = o.get("null").and_then(Json::as_u64) {
+                return Ok(Value::null(id));
+            }
+            Err(format!("unsupported value {j}"))
+        }
+        other => Err(format!("unsupported value {other}")),
+    }
+}
+
+fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Const(dex::relational::Constant::Int(i)) => json!(i),
+        Value::Const(dex::relational::Constant::Str(s)) => json!(s),
+        Value::Const(dex::relational::Constant::Bool(b)) => json!(b),
+        Value::Null(n) => json!({ "null": n.0 }),
+        Value::Skolem(f, args) => json!({
+            "skolem": f.as_str(),
+            "args": args.iter().map(value_to_json).collect::<Vec<_>>(),
+        }),
+    }
+}
+
+fn render_instance(inst: &Instance) -> String {
+    let mut obj = Map::new();
+    for rel in inst.relations() {
+        if rel.is_empty() {
+            continue;
+        }
+        let rows: Vec<Json> = rel
+            .iter()
+            .map(|t| Json::Array(t.iter().map(value_to_json).collect()))
+            .collect();
+        obj.insert(rel.name().to_string(), Json::Array(rows));
+    }
+    serde_json::to_string_pretty(&Json::Object(obj)).expect("serializable")
+}

@@ -1,0 +1,16 @@
+//! `dex` — umbrella crate re-exporting the full bidirectional data-exchange
+//! stack: relational substrate, mapping logic, chase engine, mapping
+//! operators, lens framework, relational lenses, the st-tgd-to-lens
+//! compiler, and schema evolution.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! per-experiment reproduction index.
+
+pub use dex_chase as chase;
+pub use dex_core as core;
+pub use dex_evolution as evolution;
+pub use dex_lens as lens;
+pub use dex_logic as logic;
+pub use dex_ops as ops;
+pub use dex_relational as relational;
+pub use dex_rellens as rellens;

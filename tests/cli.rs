@@ -1,0 +1,183 @@
+//! End-to-end tests of the `dexcli` binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn dexcli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dexcli"))
+}
+
+fn write_tmp(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("dexcli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(content.as_bytes()).unwrap();
+    path
+}
+
+fn emp_mapping_file() -> std::path::PathBuf {
+    write_tmp(
+        "emp.dex",
+        r#"
+        source Emp(name);
+        target Manager(emp, mgr);
+        Emp(x) -> Manager(x, y);
+        "#,
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = dexcli().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("exchange"));
+    assert!(text.contains("mapping files"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = dexcli().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn plan_shows_holes() {
+    let m = emp_mapping_file();
+    let out = dexcli().arg("plan").arg(&m).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("== mapping plan =="), "{text}");
+    assert!(text.contains("Manager.mgr"), "{text}");
+}
+
+#[test]
+fn chase_and_exchange_agree_on_shape() {
+    let m = emp_mapping_file();
+    let src = write_tmp("src.json", r#"{"Emp": [["Alice"], ["Bob"]]}"#);
+    for cmd in ["chase", "exchange"] {
+        let out = dexcli().arg(cmd).arg(&m).arg(&src).output().unwrap();
+        assert!(out.status.success(), "{cmd} failed");
+        let text = String::from_utf8(out.stdout).unwrap();
+        let json: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let rows = json["Manager"].as_array().unwrap();
+        assert_eq!(rows.len(), 2, "{cmd}: {text}");
+        for row in rows {
+            assert!(row[1].get("null").is_some(), "{cmd}: manager is a null");
+        }
+    }
+}
+
+#[test]
+fn backward_propagates_edit() {
+    let m = emp_mapping_file();
+    let src = write_tmp("src2.json", r#"{"Emp": [["Alice"]]}"#);
+    let tgt = write_tmp(
+        "tgt2.json",
+        r#"{"Manager": [["Alice", {"null": 0}], ["Carol", "Ted"]]}"#,
+    );
+    let out = dexcli()
+        .arg("backward")
+        .arg(&m)
+        .arg(&tgt)
+        .arg(&src)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    let json: serde_json::Value = serde_json::from_str(&text).unwrap();
+    let names: Vec<&str> = json["Emp"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|r| r[0].as_str().unwrap())
+        .collect();
+    assert_eq!(names, ["Alice", "Carol"]);
+}
+
+#[test]
+fn compose_prints_second_order_result() {
+    let m1 = emp_mapping_file();
+    let m2 = write_tmp(
+        "m2.dex",
+        r#"
+        source Manager(emp, mgr);
+        target Boss(emp, mgr);
+        target SelfMngr(emp);
+        Manager(x, y) -> Boss(x, y);
+        Manager(x, x) -> SelfMngr(x);
+        "#,
+    );
+    let out = dexcli().arg("compose").arg(&m1).arg(&m2).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("∃f"), "{text}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("second-order"), "{err}");
+}
+
+#[test]
+fn recover_prints_disjunction() {
+    let m = write_tmp(
+        "parents.dex",
+        r#"
+        source Father(p, c);
+        source Mother(p, c);
+        target Parent(p, c);
+        Father(x, y) -> Parent(x, y);
+        Mother(x, y) -> Parent(x, y);
+        "#,
+    );
+    let out = dexcli().arg("recover").arg(&m).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("Father(v0, v1) ∨ Mother(v0, v1)"), "{text}");
+}
+
+#[test]
+fn query_certain_answers() {
+    let m = emp_mapping_file();
+    let src = write_tmp("srcq.json", r#"{"Emp": [["Alice"], ["Bob"]]}"#);
+    let out = dexcli()
+        .arg("query")
+        .arg(&m)
+        .arg(&src)
+        .arg("q(e) :- Manager(e, m)")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let json: serde_json::Value =
+        serde_json::from_str(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    let names: Vec<&str> = json
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|r| r[0].as_str().unwrap())
+        .collect();
+    assert_eq!(names, ["Alice", "Bob"]);
+    // Managers are nulls: no certain (e, m) pairs.
+    let out2 = dexcli()
+        .arg("query")
+        .arg(&m)
+        .arg(&src)
+        .arg("q(e, m) :- Manager(e, m)")
+        .output()
+        .unwrap();
+    assert!(out2.status.success());
+    let json2: serde_json::Value =
+        serde_json::from_str(&String::from_utf8(out2.stdout).unwrap()).unwrap();
+    assert!(json2.as_array().unwrap().is_empty());
+}
+
+#[test]
+fn bad_instance_reports_error() {
+    let m = emp_mapping_file();
+    let bad = write_tmp("bad.json", r#"{"Nope": [["x"]]}"#);
+    let out = dexcli().arg("chase").arg(&m).arg(&bad).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown relation"), "{err}");
+}

@@ -1,0 +1,270 @@
+//! E7 — paper §4: the st-tgd → lens pipeline. The compiled engine's
+//! forward direction must agree with the chase (the compiler
+//! correctness / completeness artifact), plans must render, and the
+//! classifier must be honest about the fragment.
+
+use dex::chase::exchange;
+use dex::core::{compile, CoreError, Engine};
+use dex::logic::parse_mapping;
+use dex::rellens::Environment;
+use dex::relational::homomorphism::homomorphically_equivalent;
+use dex::relational::{tuple, Instance};
+use proptest::prelude::*;
+
+/// Every mapping in the compilable fragment we ship: forward ==
+/// chase (up to hom-equivalence) on a non-trivial instance.
+#[test]
+fn forward_agrees_with_chase_across_fragment() {
+    type Facts = Vec<(&'static str, Vec<dex::relational::Tuple>)>;
+    let cases: Vec<(&str, Facts)> = vec![
+        (
+            // Copy (full, GAV).
+            r#"
+            source A(x, y);
+            target B(x, y);
+            A(u, v) -> B(u, v);
+            "#,
+            vec![("A", vec![tuple![1i64, 2i64], tuple![3i64, 4i64]])],
+        ),
+        (
+            // Projection + existential.
+            r#"
+            source Person1(id, name, age, city);
+            target Person2(id, name, salary, zipcode);
+            Person1(i, n, a, c) -> Person2(i, n, s, z);
+            "#,
+            vec![(
+                "Person1",
+                vec![
+                    tuple![1i64, "Alice", 30i64, "Sydney"],
+                    tuple![2i64, "Bob", 40i64, "Lima"],
+                ],
+            )],
+        ),
+        (
+            // Union.
+            r#"
+            source Father(p, c);
+            source Mother(p, c);
+            target Parent(p, c);
+            Father(x, y) -> Parent(x, y);
+            Mother(x, y) -> Parent(x, y);
+            "#,
+            vec![
+                ("Father", vec![tuple!["Leslie", "Alice"]]),
+                ("Mother", vec![tuple!["Robin", "Sam"], tuple!["Leslie", "Alice"]]),
+            ],
+        ),
+        (
+            // Join.
+            r#"
+            source Student(id, name);
+            source Assgn(name, course);
+            target Enrollment(id, course);
+            Student(x, y) & Assgn(y, w) -> Enrollment(x, w);
+            "#,
+            vec![
+                ("Student", vec![tuple![1i64, "Alice"], tuple![2i64, "Bob"]]),
+                (
+                    "Assgn",
+                    vec![tuple!["Alice", "DB"], tuple!["Alice", "PL"], tuple!["Bob", "DB"]],
+                ),
+            ],
+        ),
+        (
+            // Constants + selection + duplicate source variable.
+            r#"
+            source Manager(emp, mgr);
+            target SelfMngr(emp, tag);
+            Manager(x, x) -> SelfMngr(x, 'self');
+            "#,
+            vec![(
+                "Manager",
+                vec![tuple!["Alice", "Alice"], tuple!["Bob", "Ted"]],
+            )],
+        ),
+        (
+            // Repeated target variable (copy positions).
+            r#"
+            source R(a);
+            target S(a, b);
+            R(x) -> S(x, x);
+            "#,
+            vec![("R", vec![tuple!["u"], tuple!["v"]])],
+        ),
+        (
+            // Multi-atom target (Figure 1 upper).
+            r#"
+            source Takes(name, course);
+            target Student(id, name);
+            target Assgn(name, course);
+            Takes(x, y) -> Student(z, x) & Assgn(x, y);
+            "#,
+            vec![(
+                "Takes",
+                vec![tuple!["Alice", "DB"], tuple!["Bob", "PL"]],
+            )],
+        ),
+    ];
+    for (text, facts) in cases {
+        let m = parse_mapping(text).unwrap();
+        let src = Instance::with_facts(m.source().clone(), facts).unwrap();
+        let chase_out = exchange(&m, &src).unwrap().target;
+        let engine = Engine::new(compile(&m).unwrap(), Environment::new()).unwrap();
+        let lens_out = engine.forward(&src, None).unwrap();
+        assert!(m.is_solution(&src, &lens_out), "not a solution:\n{lens_out}");
+        assert!(
+            homomorphically_equivalent(&chase_out, &lens_out),
+            "mapping:\n{text}\nchase:\n{chase_out}\nlens:\n{lens_out}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Randomized agreement for the union mapping.
+    #[test]
+    fn forward_agrees_with_chase_random_union(
+        fathers in proptest::collection::btree_set((0i64..8, 0i64..8), 0..6),
+        mothers in proptest::collection::btree_set((0i64..8, 0i64..8), 0..6),
+    ) {
+        let m = parse_mapping(
+            r#"
+            source Father(p, c);
+            source Mother(p, c);
+            target Parent(p, c);
+            Father(x, y) -> Parent(x, y);
+            Mother(x, y) -> Parent(x, y);
+            "#,
+        ).unwrap();
+        let mut src = Instance::empty(m.source().clone());
+        for (p, c) in fathers {
+            src.insert("Father", tuple![p, c]).unwrap();
+        }
+        for (p, c) in mothers {
+            src.insert("Mother", tuple![p, c]).unwrap();
+        }
+        let chase_out = exchange(&m, &src).unwrap().target;
+        let engine = Engine::new(compile(&m).unwrap(), Environment::new()).unwrap();
+        let lens_out = engine.forward(&src, None).unwrap();
+        prop_assert_eq!(chase_out, lens_out, "full mapping: outputs equal exactly");
+    }
+
+    /// Randomized agreement for the join mapping.
+    #[test]
+    fn forward_agrees_with_chase_random_join(
+        students in proptest::collection::btree_set((0i64..6, 0i64..4), 0..5),
+        assgns in proptest::collection::btree_set((0i64..4, 0i64..4), 0..5),
+    ) {
+        let m = parse_mapping(
+            r#"
+            source Student(id, name);
+            source Assgn(name, course);
+            target Enrollment(id, course);
+            Student(x, y) & Assgn(y, w) -> Enrollment(x, w);
+            "#,
+        ).unwrap();
+        let mut src = Instance::empty(m.source().clone());
+        for (id, n) in students {
+            src.insert("Student", tuple![id, format!("n{n}").as_str()]).unwrap();
+        }
+        for (n, c) in assgns {
+            src.insert("Assgn", tuple![format!("n{n}").as_str(), format!("c{c}").as_str()]).unwrap();
+        }
+        let chase_out = exchange(&m, &src).unwrap().target;
+        let engine = Engine::new(compile(&m).unwrap(), Environment::new()).unwrap();
+        let lens_out = engine.forward(&src, None).unwrap();
+        prop_assert_eq!(chase_out, lens_out);
+    }
+}
+
+#[test]
+fn show_plan_is_complete_and_readable() {
+    let m = parse_mapping(
+        r#"
+        source Student(id, name);
+        source Assgn(name, course);
+        target Enrollment(id, course);
+        Student(x, y) & Assgn(y, w) -> Enrollment(x, w);
+        "#,
+    )
+    .unwrap();
+    let engine = Engine::new(compile(&m).unwrap(), Environment::new()).unwrap();
+    let plan = engine.show_plan();
+    for needle in [
+        "== mapping plan ==",
+        "target Enrollment",
+        "Join[delete-both]",
+        "Base[Student]",
+        "Base[Assgn]",
+        "== policy questions ==",
+        "== fidelity ==",
+        "[exact]",
+    ] {
+        assert!(plan.contains(needle), "plan missing {needle:?}:\n{plan}");
+    }
+}
+
+#[test]
+fn classifier_reports_approximation_reasons() {
+    let m = parse_mapping(
+        r#"
+        source R(a);
+        target S(k, a);
+        target T(k);
+        R(x) -> S(z, x) & T(z);
+        "#,
+    )
+    .unwrap();
+    let t = compile(&m).unwrap();
+    assert!(!t.report.all_exact());
+    let rendered = t.report.to_string();
+    assert!(rendered.contains("[approximate]"), "{rendered}");
+    assert!(rendered.contains("`z`"), "{rendered}");
+}
+
+#[test]
+fn out_of_fragment_mappings_are_refused_not_miscompiled() {
+    for text in [
+        // Self-join.
+        "source S(a, b);\ntarget T(a, c);\nS(x, y) & S(y, z) -> T(x, z);",
+    ] {
+        let m = parse_mapping(text).unwrap();
+        match compile(&m) {
+            Err(CoreError::Unsupported { reasons }) => {
+                assert!(!reasons.is_empty());
+            }
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn compiled_get_equals_chase_then_policies_differ_only_in_fills() {
+    // With a Const policy instead of Null, forward output differs from
+    // the chase exactly on the existential columns.
+    use dex::core::HoleBinding;
+    use dex::rellens::UpdatePolicy;
+    let m = parse_mapping(
+        r#"
+        source Emp(name);
+        target Manager(emp, mgr);
+        Emp(x) -> Manager(x, y);
+        "#,
+    )
+    .unwrap();
+    let mut t = compile(&m).unwrap();
+    t.bind(0, HoleBinding::Column(UpdatePolicy::Const("TBD".into())))
+        .unwrap();
+    let engine = Engine::new(t, Environment::new()).unwrap();
+    let src = Instance::with_facts(
+        m.source().clone(),
+        vec![("Emp", vec![tuple!["Alice"]])],
+    )
+    .unwrap();
+    let out = engine.forward(&src, None).unwrap();
+    assert!(out.contains("Manager", &tuple!["Alice", "TBD"]));
+    // Still a solution (a constant witness satisfies the existential).
+    assert!(m.is_solution(&src, &out));
+}

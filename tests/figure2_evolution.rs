@@ -1,0 +1,173 @@
+//! E9 — paper Figure 2 + §4: the schema evolution problem, solved both
+//! ways — (a) invert the evolution lenses and prepend them to the
+//! mapping, (b) propagate the SMOs through the st-tgds — and shown
+//! equivalent on the shared fragment.
+
+use dex::core::{compile, Engine};
+use dex::evolution::{propagate_all, ColumnDefault, EvolutionLens, Smo};
+use dex::lens::symmetric::{invert, SymLens};
+use dex::logic::parse_mapping;
+use dex::rellens::Environment;
+use dex::relational::{tuple, AttrType, Expr, Instance, Name};
+
+fn mapping() -> dex::logic::Mapping {
+    parse_mapping(
+        r#"
+        source Person(id, name, age);
+        target Contact(name);
+        Person(i, n, a) -> Contact(n);
+        "#,
+    )
+    .unwrap()
+}
+
+fn evolution() -> Vec<Smo> {
+    vec![
+        Smo::RenameTable {
+            from: Name::new("Person"),
+            to: Name::new("People"),
+        },
+        Smo::AddColumn {
+            table: Name::new("People"),
+            column: Name::new("city"),
+            ty: AttrType::Any,
+            default: ColumnDefault::Const("unknown".into()),
+        },
+    ]
+}
+
+fn evolved_instance(evo: &EvolutionLens) -> Instance {
+    Instance::with_facts(
+        evo.final_schema().unwrap().clone(),
+        vec![(
+            "People",
+            vec![
+                tuple![1i64, "Alice", 30i64, "Sydney"],
+                tuple![2i64, "Bob", 40i64, "Santiago"],
+            ],
+        )],
+    )
+    .unwrap()
+}
+
+/// Strategy (a): `[ℓ⁻¹ ; M]` — invert the evolution, then the mapping.
+fn via_lenses(evolved: &Instance) -> Instance {
+    let m = mapping();
+    let evo = EvolutionLens::new(evolution(), m.source().clone()).unwrap();
+    let inv = invert(evo);
+    let (a_instance, _) = inv.put_r(evolved, &inv.missing());
+    let engine = Engine::new(compile(&m).unwrap(), Environment::new()).unwrap();
+    engine.forward(&a_instance, None).unwrap()
+}
+
+/// Strategy (b): channel propagation — rewrite the mapping over A′.
+fn via_channel(evolved: &Instance) -> Instance {
+    let m2 = propagate_all(&evolution(), &mapping()).unwrap();
+    let engine = Engine::new(compile(&m2).unwrap(), Environment::new()).unwrap();
+    engine.forward(evolved, None).unwrap()
+}
+
+#[test]
+fn both_strategies_agree() {
+    let evo = EvolutionLens::new(evolution(), mapping().source().clone()).unwrap();
+    let evolved = evolved_instance(&evo);
+    assert_eq!(via_lenses(&evolved), via_channel(&evolved));
+}
+
+#[test]
+fn evolved_mapping_round_trips() {
+    let m2 = propagate_all(&evolution(), &mapping()).unwrap();
+    let engine = Engine::new(compile(&m2).unwrap(), Environment::new()).unwrap();
+    let evo = EvolutionLens::new(evolution(), mapping().source().clone()).unwrap();
+    let evolved = evolved_instance(&evo);
+    let tgt = engine.forward(&evolved, None).unwrap();
+    assert!(tgt.contains("Contact", &tuple!["Alice"]));
+    // Edit the target, push back into the EVOLVED source.
+    let mut edited = tgt.clone();
+    edited.insert("Contact", tuple!["Carol"]).unwrap();
+    let evolved2 = engine.backward(&edited, &evolved).unwrap();
+    assert!(evolved2
+        .relation("People")
+        .unwrap()
+        .iter()
+        .any(|t| t[1] == dex::relational::Value::str("Carol")));
+}
+
+#[test]
+fn inverted_evolution_restores_old_schema_and_data() {
+    let m = mapping();
+    let evo = EvolutionLens::new(evolution(), m.source().clone()).unwrap();
+    let old = Instance::with_facts(
+        m.source().clone(),
+        vec![("Person", vec![tuple![1i64, "Alice", 30i64]])],
+    )
+    .unwrap();
+    let (evolved, c) = evo.put_r(&old, &evo.missing());
+    assert!(evolved.contains("People", &tuple![1i64, "Alice", 30i64, "unknown"]));
+    let (back, _) = evo.put_l(&evolved, &c);
+    assert_eq!(back, old);
+}
+
+#[test]
+fn longer_evolution_with_split() {
+    // A three-step evolution ending in a horizontal split; strategy (a)
+    // handles it (lenses compose), and strategy (b) handles it too
+    // (split duplicates the tgds).
+    let m = mapping();
+    let smos = vec![
+        Smo::RenameTable {
+            from: Name::new("Person"),
+            to: Name::new("People"),
+        },
+        Smo::SplitHorizontal {
+            table: Name::new("People"),
+            pred: Expr::attr("age").ge(Expr::lit(35i64)),
+            true_table: Name::new("Seniors"),
+            false_table: Name::new("Juniors"),
+        },
+    ];
+    let evo = EvolutionLens::new(smos.clone(), m.source().clone()).unwrap();
+    let evolved = Instance::with_facts(
+        evo.final_schema().unwrap().clone(),
+        vec![
+            ("Seniors", vec![tuple![2i64, "Bob", 40i64]]),
+            ("Juniors", vec![tuple![1i64, "Alice", 30i64]]),
+        ],
+    )
+    .unwrap();
+
+    // (a) invert + map.
+    let inv = invert(evo.clone());
+    let (a_inst, _) = inv.put_r(&evolved, &inv.missing());
+    let engine_a = Engine::new(compile(&m).unwrap(), Environment::new()).unwrap();
+    let via_a = engine_a.forward(&a_inst, None).unwrap();
+
+    // (b) propagate.
+    let m2 = propagate_all(&smos, &m).unwrap();
+    assert_eq!(m2.st_tgds().len(), 2, "split duplicated the tgd");
+    let engine_b = Engine::new(compile(&m2).unwrap(), Environment::new()).unwrap();
+    let via_b = engine_b.forward(&evolved, None).unwrap();
+
+    assert_eq!(via_a, via_b);
+    assert!(via_a.contains("Contact", &tuple!["Alice"]));
+    assert!(via_a.contains("Contact", &tuple!["Bob"]));
+}
+
+#[test]
+fn figure2_composed_lens_is_a_symmetric_lens() {
+    // The composite [ℓ⁻¹ ; M-engine-lens] from A′ to B is itself a
+    // symmetric lens — the “closed mapping language” point: build it,
+    // push right, push back, state is stable.
+    let m = mapping();
+    let evo = EvolutionLens::new(evolution(), m.source().clone()).unwrap();
+    let evolved = evolved_instance(&evo);
+    let engine = Engine::new(compile(&m).unwrap(), Environment::new()).unwrap();
+
+    let composite = invert(evo).then_sym(engine.sym());
+    let (b, c1) = composite.put_r(&evolved, &composite.missing());
+    assert!(b.contains("Contact", &tuple!["Alice"]));
+    let (aprime2, c2) = composite.put_l(&b, &c1);
+    assert_eq!(aprime2, evolved, "PutRL at the composite level");
+    let (b2, _) = composite.put_r(&aprime2, &c2);
+    assert_eq!(b2, b);
+}

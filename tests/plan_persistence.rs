@@ -1,0 +1,87 @@
+//! Plan persistence: a compiled (and policy-bound) mapping template
+//! serializes to JSON and reloads into an equivalent engine — mapping
+//! plans are first-class artifacts, not ephemeral compiler state.
+
+use dex::core::{compile, Engine, HoleBinding, MappingTemplate};
+use dex::logic::parse_mapping;
+use dex::rellens::{Environment, UpdatePolicy};
+use dex::relational::{tuple, Instance};
+
+fn mapping() -> dex::logic::Mapping {
+    parse_mapping(
+        r#"
+        source Person1(id, name, age, city);
+        target Person2(id, name, salary, zipcode);
+        key Person2(id);
+        Person1(i, n, a, c) -> Person2(i, n, s, z);
+        "#,
+    )
+    .unwrap()
+}
+
+#[test]
+fn template_json_round_trip() {
+    let t = compile(&mapping()).unwrap();
+    let js = serde_json::to_string_pretty(&t).unwrap();
+    let back: MappingTemplate = serde_json::from_str(&js).unwrap();
+    assert_eq!(back, t);
+    // The serialized plan names the policy questions (a human can read
+    // the artifact).
+    assert!(js.contains("Person2.salary"), "{js}");
+}
+
+#[test]
+fn bound_template_survives_persistence() {
+    let mut t = compile(&mapping()).unwrap();
+    // Bind the salary hole before "saving".
+    let salary_hole = t
+        .holes
+        .iter()
+        .find(|h| h.question.contains("salary"))
+        .unwrap()
+        .id;
+    t.bind(
+        salary_hole,
+        HoleBinding::Column(UpdatePolicy::Const(55_000i64.into())),
+    )
+    .unwrap();
+    let js = serde_json::to_string(&t).unwrap();
+
+    // "Load" in a fresh process and run.
+    let loaded: MappingTemplate = serde_json::from_str(&js).unwrap();
+    let engine = Engine::new(loaded, Environment::new()).unwrap();
+    let src = Instance::with_facts(
+        mapping().source().clone(),
+        vec![("Person1", vec![tuple![1i64, "Alice", 30i64, "Sydney"]])],
+    )
+    .unwrap();
+    let tgt = engine.forward(&src, None).unwrap();
+    let row = tgt.relation("Person2").unwrap().iter().next().unwrap();
+    assert_eq!(row[2], dex::relational::Value::int(55_000), "bound policy applied");
+    assert!(row[3].is_null(), "unbound hole keeps its default");
+}
+
+#[test]
+fn engines_from_original_and_reloaded_templates_agree() {
+    let t = compile(&mapping()).unwrap();
+    let js = serde_json::to_string(&t).unwrap();
+    let loaded: MappingTemplate = serde_json::from_str(&js).unwrap();
+    let e1 = Engine::new(t, Environment::new()).unwrap();
+    let e2 = Engine::new(loaded, Environment::new()).unwrap();
+    let src = Instance::with_facts(
+        mapping().source().clone(),
+        vec![(
+            "Person1",
+            vec![
+                tuple![1i64, "Alice", 30i64, "Sydney"],
+                tuple![2i64, "Bob", 40i64, "Lima"],
+            ],
+        )],
+    )
+    .unwrap();
+    assert_eq!(
+        e1.forward(&src, None).unwrap(),
+        e2.forward(&src, None).unwrap()
+    );
+    assert_eq!(e1.show_plan(), e2.show_plan());
+}
