@@ -6,7 +6,6 @@ use dex_bench::null_spokes;
 use dex_chase::core_of;
 use std::hint::black_box;
 
-
 /// Short measurement windows: the suite's job is shape, not
 /// publication-grade confidence intervals; this keeps the full
 /// `cargo bench --workspace` run to a couple of minutes.

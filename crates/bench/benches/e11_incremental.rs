@@ -8,10 +8,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dex_lens::edit::Delta;
-use dex_rellens::{IncrementalLens, JoinPolicy, RelLensExpr, UpdatePolicy};
 use dex_relational::{tuple, Expr, Instance, Name, RelSchema, Schema, Tuple};
+use dex_rellens::{IncrementalLens, JoinPolicy, RelLensExpr, UpdatePolicy};
 use std::hint::black_box;
-
 
 /// Short measurement windows: the suite's job is shape, not
 /// publication-grade confidence intervals; this keeps the full
@@ -37,10 +36,7 @@ fn pipeline() -> RelLensExpr {
         .join(RelLensExpr::base("AgeBand"), JoinPolicy::DeleteBoth)
         .project(
             vec!["id", "band"],
-            vec![
-                ("name", UpdatePolicy::Null),
-                ("age", UpdatePolicy::Null),
-            ],
+            vec![("name", UpdatePolicy::Null), ("age", UpdatePolicy::Null)],
         )
 }
 

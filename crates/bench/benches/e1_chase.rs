@@ -3,9 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dex_bench::{emp_mapping, emps};
-use dex_chase::{exchange_with, ChaseOptions, ChaseVariant};
+use dex_chase::{exchange_with, ChaseOptions, ChaseVariant, Matcher};
 use std::hint::black_box;
-
 
 /// Short measurement windows: the suite's job is shape, not
 /// publication-grade confidence intervals; this keeps the full
@@ -25,12 +24,7 @@ fn bench_chase(c: &mut Criterion) {
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("standard", n), &src, |b, src| {
             b.iter(|| {
-                exchange_with(
-                    black_box(&mapping),
-                    black_box(src),
-                    ChaseOptions::default(),
-                )
-                .unwrap()
+                exchange_with(black_box(&mapping), black_box(src), ChaseOptions::default()).unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("oblivious", n), &src, |b, src| {
@@ -40,6 +34,22 @@ fn bench_chase(c: &mut Criterion) {
                     black_box(src),
                     ChaseOptions {
                         variant: ChaseVariant::Oblivious,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+        // The retained full-scan oracle — the pre-index implementation —
+        // for the speedup comparison (quadratic, so it dominates the
+        // suite's runtime at 10⁴ already).
+        group.bench_with_input(BenchmarkId::new("standard_scan", n), &src, |b, src| {
+            b.iter(|| {
+                exchange_with(
+                    black_box(&mapping),
+                    black_box(src),
+                    ChaseOptions {
+                        matcher: Matcher::Scan,
                         ..Default::default()
                     },
                 )

@@ -3,11 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dex_bench::{takes, university_mapping};
-use dex_chase::exchange;
+use dex_chase::{exchange, exchange_with, ChaseOptions, Matcher};
 use dex_logic::{CorrespondenceGroup, CorrespondenceSet};
 use dex_relational::{RelSchema, Schema};
 use std::hint::black_box;
-
 
 /// Short measurement windows: the suite's job is shape, not
 /// publication-grade confidence intervals; this keeps the full
@@ -42,18 +41,37 @@ fn bench_correspondence_compile(c: &mut Criterion) {
     .arrow(("Takes", "name"), ("Assgn", "name"))
     .arrow(("Takes", "course"), ("Assgn", "course"))]);
     c.bench_function("e2_university/correspondence_compile", |b| {
-        b.iter(|| diagram.compile(black_box(&source), black_box(&target)).unwrap())
+        b.iter(|| {
+            diagram
+                .compile(black_box(&source), black_box(&target))
+                .unwrap()
+        })
     });
 }
 
 fn bench_university_chase(c: &mut Criterion) {
     let mapping = university_mapping();
     let mut group = c.benchmark_group("e2_university/chase");
-    for n in [100usize, 1_000, 5_000] {
+    for n in [100usize, 1_000, 5_000, 10_000] {
         let src = takes(n);
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &src, |b, src| {
             b.iter(|| exchange(black_box(&mapping), black_box(src)).unwrap())
+        });
+        // Full-scan oracle (the pre-index implementation), for the
+        // speedup comparison; quadratic, so capped at 10⁴.
+        group.bench_with_input(BenchmarkId::new("scan", n), &src, |b, src| {
+            b.iter(|| {
+                exchange_with(
+                    black_box(&mapping),
+                    black_box(src),
+                    ChaseOptions {
+                        matcher: Matcher::Scan,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            })
         });
     }
     group.finish();

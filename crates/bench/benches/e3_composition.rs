@@ -8,7 +8,6 @@ use dex_chase::{exchange, so_exchange};
 use dex_ops::compose;
 use std::hint::black_box;
 
-
 /// Short measurement windows: the suite's job is shape, not
 /// publication-grade confidence intervals; this keeps the full
 /// `cargo bench --workspace` run to a couple of minutes.
@@ -58,9 +57,7 @@ fn bench_one_step_vs_two_step(c: &mut Criterion) {
             })
         });
         group.bench_with_input(BenchmarkId::new("one_step_sochase", n), &src, |b, src| {
-            b.iter(|| {
-                so_exchange(black_box(&comp.sotgd), m23.target(), black_box(src)).unwrap()
-            })
+            b.iter(|| so_exchange(black_box(&comp.sotgd), m23.target(), black_box(src)).unwrap())
         });
     }
     group.finish();

@@ -7,7 +7,6 @@ use dex_ops::{is_recovery_witness, maximum_recovery, not_invertible_witness};
 use dex_relational::{tuple, Instance};
 use std::hint::black_box;
 
-
 /// Short measurement windows: the suite's job is shape, not
 /// publication-grade confidence intervals; this keeps the full
 /// `cargo bench --workspace` run to a couple of minutes.
@@ -34,11 +33,7 @@ fn bench_recovery_verification(c: &mut Criterion) {
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &sample, |b, sample| {
             b.iter(|| {
-                is_recovery_witness(
-                    black_box(&m),
-                    black_box(&rec),
-                    std::slice::from_ref(sample),
-                )
+                is_recovery_witness(black_box(&m), black_box(&rec), std::slice::from_ref(sample))
             })
         });
     }
@@ -62,10 +57,9 @@ fn bench_invertibility_witness(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_recovery_construction,
-    bench_recovery_verification,
-    bench_invertibility_witness
-);
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_recovery_construction, bench_recovery_verification, bench_invertibility_witness
+}
 criterion_main!(benches);

@@ -8,7 +8,6 @@ use dex_lens::laws;
 use dex_rellens::{Environment, InstanceLens, RelLensExpr, UpdatePolicy};
 use std::hint::black_box;
 
-
 /// Short measurement windows: the suite's job is shape, not
 /// publication-grade confidence intervals; this keeps the full
 /// `cargo bench --workspace` run to a couple of minutes.

@@ -8,7 +8,6 @@ use dex_relational::{Name, Relation, Value};
 use dex_rellens::{Environment, InstanceLens, RelLensExpr, UpdatePolicy};
 use std::hint::black_box;
 
-
 /// Short measurement windows: the suite's job is shape, not
 /// publication-grade confidence intervals; this keeps the full
 /// `cargo bench --workspace` run to a couple of minutes.
@@ -23,10 +22,7 @@ fn lens(policy: UpdatePolicy) -> InstanceLens {
     let mut env = Environment::new();
     env.insert(Name::new("session_city"), Value::str("Sydney"));
     InstanceLens::new(
-        RelLensExpr::base("Person1").project(
-            vec!["id", "name", "age"],
-            vec![("city", policy)],
-        ),
+        RelLensExpr::base("Person1").project(vec!["id", "name", "age"], vec![("city", policy)]),
         persons_mapping().source().clone(),
         env,
     )
@@ -61,9 +57,7 @@ fn bench_policy_put(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(label),
             &(view, db.clone()),
-            |b, (view, db)| {
-                b.iter(|| l.try_put(black_box(view), black_box(db)).unwrap())
-            },
+            |b, (view, db)| b.iter(|| l.try_put(black_box(view), black_box(db)).unwrap()),
         );
     }
     group.finish();

@@ -10,8 +10,6 @@ use dex_logic::parse_mapping;
 use dex_rellens::Environment;
 use std::hint::black_box;
 
-/// A synthetic mapping with `k` independent projection tgds.
-
 /// Short measurement windows: the suite's job is shape, not
 /// publication-grade confidence intervals; this keeps the full
 /// `cargo bench --workspace` run to a couple of minutes.
@@ -22,6 +20,7 @@ fn quick_config() -> Criterion {
         .sample_size(10)
 }
 
+/// A synthetic mapping with `k` independent projection tgds.
 fn wide_mapping(k: usize) -> dex_logic::Mapping {
     let mut text = String::new();
     for i in 0..k {

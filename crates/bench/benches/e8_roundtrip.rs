@@ -4,10 +4,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dex_bench::{persons, persons_mapping};
 use dex_core::{compile, Engine};
-use dex_rellens::Environment;
 use dex_relational::{Instance, Tuple, Value};
+use dex_rellens::Environment;
 use std::hint::black_box;
-
 
 /// Short measurement windows: the suite's job is shape, not
 /// publication-grade confidence intervals; this keeps the full
@@ -78,7 +77,11 @@ fn bench_forward_update(c: &mut Criterion) {
             BenchmarkId::from_parameter(n),
             &(src, tgt),
             |b, (src, tgt)| {
-                b.iter(|| engine.forward(black_box(src), Some(black_box(tgt))).unwrap())
+                b.iter(|| {
+                    engine
+                        .forward(black_box(src), Some(black_box(tgt)))
+                        .unwrap()
+                })
             },
         );
     }

@@ -7,10 +7,9 @@ use dex_core::{compile, Engine};
 use dex_evolution::{propagate_all, ColumnDefault, EvolutionLens, Smo};
 use dex_lens::symmetric::{invert, SymLens};
 use dex_logic::parse_mapping;
-use dex_rellens::Environment;
 use dex_relational::{AttrType, Instance, Name, Tuple, Value};
+use dex_rellens::Environment;
 use std::hint::black_box;
-
 
 /// Short measurement windows: the suite's job is shape, not
 /// publication-grade confidence intervals; this keeps the full

@@ -28,7 +28,8 @@ pub fn emps(n: usize) -> Instance {
     let m = emp_mapping();
     let mut inst = Instance::empty(m.source().clone());
     for i in 0..n {
-        inst.insert("Emp", tuple![format!("emp{i}").as_str()]).unwrap();
+        inst.insert("Emp", tuple![format!("emp{i}").as_str()])
+            .unwrap();
     }
     inst
 }
@@ -114,7 +115,11 @@ pub fn parents(n: usize) -> Instance {
     let mut rng = StdRng::seed_from_u64(SEED);
     let mut inst = Instance::empty(m.source().clone());
     for i in 0..n {
-        let rel = if rng.gen_bool(0.5) { "Father" } else { "Mother" };
+        let rel = if rng.gen_bool(0.5) {
+            "Father"
+        } else {
+            "Mother"
+        };
         inst.insert(
             rel,
             tuple![format!("p{i}").as_str(), format!("c{i}").as_str()],
@@ -172,11 +177,8 @@ pub fn null_spokes(n: usize, null_fraction: f64) -> Instance {
         } else {
             Value::str(format!("spoke{i}"))
         };
-        inst.insert(
-            "Manager",
-            Tuple::new(vec![Value::str(hub), spoke]),
-        )
-        .unwrap();
+        inst.insert("Manager", Tuple::new(vec![Value::str(hub), spoke]))
+            .unwrap();
     }
     inst
 }

@@ -1,9 +1,12 @@
 //! The chase: source instance → universal solution.
 
 use crate::error::ChaseError;
-use dex_logic::eval::{extend_matches, has_match, match_conjunction, Valuation};
-use dex_logic::{Mapping, StTgd};
-use dex_relational::{Instance, Name, NullGen, NullId, Value};
+use dex_logic::eval::{
+    extend_matches, extend_matches_mode, has_match_mode, match_conjunction_mode, unify_with_tuple,
+    MatchMode, Valuation,
+};
+use dex_logic::{Atom, Mapping, StTgd};
+use dex_relational::{Instance, Name, NullGen, NullId, RelationalError, Tuple, Value};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Which chase to run for the source-to-target phase.
@@ -19,6 +22,31 @@ pub enum ChaseVariant {
     Oblivious,
 }
 
+/// How tgd premises are matched against instances.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Matcher {
+    /// Probe per-position hash indexes, and run the target chase
+    /// semi-naively: each round only considers premise matches that
+    /// touch at least one tuple inserted in the previous round. This
+    /// is the default.
+    #[default]
+    Indexed,
+    /// Full-scan matching with naive (re-match everything each round)
+    /// target chase. Kept as the correctness oracle: it produces the
+    /// *identical* instance — same tuples, same null allocation order
+    /// — as [`Matcher::Indexed`].
+    Scan,
+}
+
+impl Matcher {
+    fn mode(self) -> MatchMode {
+        match self {
+            Matcher::Indexed => MatchMode::Indexed,
+            Matcher::Scan => MatchMode::Scan,
+        }
+    }
+}
+
 /// Chase configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct ChaseOptions {
@@ -31,6 +59,8 @@ pub struct ChaseOptions {
     /// off for mappings with several expensive premises; firing stays
     /// sequential and deterministic either way.
     pub parallel: bool,
+    /// Matching strategy (indexed semi-naive vs full-scan oracle).
+    pub matcher: Matcher,
 }
 
 impl Default for ChaseOptions {
@@ -39,7 +69,44 @@ impl Default for ChaseOptions {
             variant: ChaseVariant::Standard,
             max_rounds: 10_000,
             parallel: false,
+            matcher: Matcher::default(),
         }
+    }
+}
+
+/// Counters collected while chasing, for `--stats` style reporting.
+#[derive(Clone, Debug, Default)]
+pub struct ChaseStats {
+    /// Source-to-target firings (phase 1).
+    pub st_firings: usize,
+    /// Completed target-chase rounds that changed the instance.
+    pub rounds: usize,
+    /// Target tgd firings in each round (one entry per round started,
+    /// including the final no-op round that proves the fixpoint).
+    pub firings_per_round: Vec<usize>,
+    /// Size of the delta (new tuples since the previous round) seen at
+    /// the start of each round. The first entry is the phase-1 output.
+    pub delta_sizes: Vec<usize>,
+    /// Index structures (re)built across source and target.
+    pub index_builds: u64,
+    /// Index probes served across source and target.
+    pub index_probes: u64,
+}
+
+impl std::fmt::Display for ChaseStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "-- chase statistics --")?;
+        writeln!(f, "  st-tgd firings:   {}", self.st_firings)?;
+        writeln!(f, "  target rounds:    {}", self.rounds)?;
+        if !self.firings_per_round.is_empty() {
+            writeln!(f, "  firings/round:    {:?}", self.firings_per_round)?;
+        }
+        if !self.delta_sizes.is_empty() {
+            writeln!(f, "  delta sizes:      {:?}", self.delta_sizes)?;
+        }
+        writeln!(f, "  index builds:     {}", self.index_builds)?;
+        writeln!(f, "  index probes:     {}", self.index_probes)?;
+        Ok(())
     }
 }
 
@@ -52,6 +119,8 @@ pub struct ExchangeResult {
     pub nulls_created: usize,
     /// Number of tgd firings (st + target).
     pub firings: usize,
+    /// Counters collected along the way.
+    pub stats: ChaseStats,
 }
 
 /// Materialize a universal solution for `src` under `mapping` with
@@ -81,6 +150,17 @@ pub fn exchange(mapping: &Mapping, src: &Instance) -> Result<ExchangeResult, Cha
 }
 
 /// Materialize with explicit options.
+///
+/// Both matchers produce the identical result. The target chase runs
+/// in *rounds*: every round matches all target tgds against the
+/// instance as it stood at the start of the round, sorts the resulting
+/// firing obligations canonically, then fires them (re-checking
+/// satisfaction against the live instance). Under [`Matcher::Indexed`]
+/// a round only re-matches premises against the tuples inserted in
+/// the previous round (semi-naive): any older match was already fired
+/// or satisfied in an earlier round, so re-deriving it is pure waste —
+/// unless an egd substitution rewrote the instance, in which case the
+/// next round falls back to a full re-match.
 pub fn exchange_with(
     mapping: &Mapping,
     src: &Instance,
@@ -91,33 +171,39 @@ pub fn exchange_with(
     let mut gen = src.null_gen();
     let mut firings = 0usize;
     let nulls_before = gen.clone();
+    let mut stats = ChaseStats::default();
+    let mode = opts.matcher.mode();
+    let src_stats_before = src.index_stats();
+    // Index counters from target snapshots discarded by egd
+    // substitution (which rebuilds the instance).
+    let mut lost: (u64, u64) = (0, 0);
 
     // Phase 1: source-to-target. The lhs only mentions source relations,
     // so a single pass over all (tgd, match) pairs suffices. Matching
     // is read-only over the source, so it can fan out across tgds;
     // firing is kept sequential for determinism.
-    let all_matches: Vec<(usize, Vec<Valuation>)> =
-        if opts.parallel && mapping.st_tgds().len() > 1 {
-            crossbeam::scope(|scope| {
-                let handles: Vec<_> = mapping
-                    .st_tgds()
-                    .iter()
-                    .enumerate()
-                    .map(|(i, tgd)| {
-                        scope.spawn(move |_| (i, match_conjunction(&tgd.lhs, src)))
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
-            })
-            .expect("chase match threads panicked")
-        } else {
-            mapping
+    let all_matches: Vec<(usize, Vec<Valuation>)> = if opts.parallel && mapping.st_tgds().len() > 1
+    {
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = mapping
                 .st_tgds()
                 .iter()
                 .enumerate()
-                .map(|(i, tgd)| (i, match_conjunction(&tgd.lhs, src)))
-                .collect()
-        };
+                .map(|(i, tgd)| {
+                    scope.spawn(move |_| (i, match_conjunction_mode(&tgd.lhs, src, mode)))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("chase match threads panicked")
+    } else {
+        mapping
+            .st_tgds()
+            .iter()
+            .enumerate()
+            .map(|(i, tgd)| (i, match_conjunction_mode(&tgd.lhs, src, mode)))
+            .collect()
+    };
     for (i, matches) in all_matches {
         let tgd = &mapping.st_tgds()[i];
         let rhs_vars: BTreeSet<Name> = tgd.rhs_vars().into_iter().collect();
@@ -127,7 +213,7 @@ pub fn exchange_with(
                 .filter(|(k, _)| rhs_vars.contains(k))
                 .collect();
             if opts.variant == ChaseVariant::Standard
-                && has_match(&tgd.rhs, &target, &frontier)
+                && has_match_mode(&tgd.rhs, &target, &frontier, mode)
             {
                 continue;
             }
@@ -135,39 +221,69 @@ pub fn exchange_with(
             firings += 1;
         }
     }
+    stats.st_firings = firings;
 
     // Phase 2: target dependencies to fixpoint.
+    let semi_naive = opts.matcher == Matcher::Indexed;
     let mut rounds = 0usize;
+    // After an egd substitution the whole instance is effectively new,
+    // so the next round must do a full re-match even under Indexed.
+    let mut full_rematch = false;
     loop {
-        let mut changed = false;
+        // Tuples inserted since the previous round (round 1 sees the
+        // phase-1 output). Drained in both modes so logs stay bounded.
+        let delta: BTreeMap<Name, Vec<Tuple>> = target.drain_deltas().into_iter().collect();
+        stats.delta_sizes.push(delta.values().map(Vec::len).sum());
 
-        // Target tgds (standard chase within the target).
-        for tgd in mapping.target_tgds() {
+        // Collect this round's firing obligations against the
+        // round-start instance, then sort them canonically so the
+        // firing (and hence null allocation) order is independent of
+        // how the matches were enumerated.
+        let use_delta = semi_naive && !full_rematch;
+        full_rematch = false;
+        let mut pending: Vec<(usize, Valuation)> = Vec::new();
+        for (ti, tgd) in mapping.target_tgds().iter().enumerate() {
             let rhs_vars: BTreeSet<Name> = tgd.rhs_vars().into_iter().collect();
-            // Collect matches first: firing mutates the instance.
-            let matches: Vec<Valuation> = match_conjunction(&tgd.lhs, &target);
+            let matches: Vec<Valuation> = if use_delta {
+                delta_matches(&tgd.lhs, &target, &delta, mode)
+            } else {
+                match_conjunction_mode(&tgd.lhs, &target, mode)
+            };
             for m in matches {
                 let frontier: Valuation = m
                     .into_iter()
                     .filter(|(k, _)| rhs_vars.contains(k))
                     .collect();
-                if has_match(&tgd.rhs, &target, &frontier) {
-                    continue;
-                }
-                fire(tgd, &frontier, &mut target, &mut gen)?;
-                firings += 1;
-                changed = true;
+                pending.push((ti, frontier));
             }
         }
+        pending.sort();
+
+        let mut round_firings = 0usize;
+        for (ti, frontier) in pending {
+            let tgd = &mapping.target_tgds()[ti];
+            // Re-check against the live instance: an earlier firing
+            // this round (or a semi-naive duplicate derivation of the
+            // same match) may already satisfy this obligation.
+            if has_match_mode(&tgd.rhs, &target, &frontier, mode) {
+                continue;
+            }
+            fire(tgd, &frontier, &mut target, &mut gen)?;
+            round_firings += 1;
+        }
+        stats.firings_per_round.push(round_firings);
+        firings += round_firings;
+        let mut changed = round_firings > 0;
 
         // Target egds: equate values, merging nulls or failing on
         // distinct constants.
         for egd in mapping.target_egds() {
-            let (new_target, merges) = chase_one_egd(egd, target)?;
+            let (new_target, merges) = chase_one_egd(egd, target, mode, &mut lost)?;
             target = new_target;
             if merges > 0 {
                 firings += merges;
                 changed = true;
+                full_rematch = true;
             }
         }
 
@@ -181,26 +297,68 @@ pub fn exchange_with(
             });
         }
     }
+    stats.rounds = rounds;
+
+    let (src_b, src_p) = src.index_stats();
+    let (tgt_b, tgt_p) = target.index_stats();
+    stats.index_builds = lost.0 + tgt_b + (src_b - src_stats_before.0);
+    stats.index_probes = lost.1 + tgt_p + (src_p - src_stats_before.1);
 
     let nulls_created = count_new_nulls(&nulls_before, &gen);
     Ok(ExchangeResult {
         target,
         nulls_created,
         firings,
+        stats,
     })
+}
+
+/// Semi-naive premise matching: every match of `atoms` over `inst`
+/// that uses at least one delta tuple, found by pinning each atom
+/// occurrence to each delta tuple of its relation and extending the
+/// remaining atoms. Matches touching several delta tuples are derived
+/// once per touch; the caller's satisfaction re-check deduplicates.
+fn delta_matches(
+    atoms: &[Atom],
+    inst: &Instance,
+    delta: &BTreeMap<Name, Vec<Tuple>>,
+    mode: MatchMode,
+) -> Vec<Valuation> {
+    let mut out = Vec::new();
+    for (i, atom) in atoms.iter().enumerate() {
+        let Some(new_tuples) = delta.get(&atom.relation) else {
+            continue;
+        };
+        let rest: Vec<Atom> = atoms
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, a)| a.clone())
+            .collect();
+        for t in new_tuples {
+            if let Some(seed) = unify_with_tuple(atom, t, &Valuation::new()) {
+                out.extend(extend_matches_mode(&rest, inst, &seed, mode));
+            }
+        }
+    }
+    out
 }
 
 /// Chase one egd to its local fixpoint: repeatedly merge a null with
 /// the value it is equated to (one merge at a time, then re-match).
-/// Returns the new instance and the number of merges applied.
+/// Returns the new instance and the number of merges applied. `lost`
+/// accumulates the index counters of instance snapshots discarded by
+/// substitution.
 fn chase_one_egd(
     egd: &dex_logic::Egd,
     mut target: Instance,
+    mode: MatchMode,
+    lost: &mut (u64, u64),
 ) -> Result<(Instance, usize), ChaseError> {
     let mut merges = 0usize;
     loop {
         let mut subst: BTreeMap<NullId, Value> = BTreeMap::new();
-        'find: for m in match_conjunction(&egd.lhs, &target) {
+        'find: for m in match_conjunction_mode(&egd.lhs, &target, mode) {
             for (a, b) in &egd.equalities {
                 let va = a.eval(&m).expect("egd variables bound by body");
                 let vb = b.eval(&m).expect("egd variables bound by body");
@@ -228,6 +386,9 @@ fn chase_one_egd(
         if subst.is_empty() {
             return Ok((target, merges));
         }
+        let (b, p) = target.index_stats();
+        lost.0 += b;
+        lost.1 += p;
         target = target.substitute_nulls(&subst);
         merges += 1;
     }
@@ -237,20 +398,50 @@ fn chase_one_egd(
 /// failing when two distinct constants are forced equal). This is the
 /// standalone entry point used by the lens engine to enforce target
 /// keys after a forward pass.
-pub fn enforce_egds(
+pub fn enforce_egds(inst: &Instance, egds: &[dex_logic::Egd]) -> Result<Instance, ChaseError> {
+    Ok(enforce_egds_with(inst, egds)?.0)
+}
+
+/// Counters from one [`enforce_egds_with`] run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EgdStats {
+    /// Fixpoint rounds taken (including the final no-op round).
+    pub rounds: usize,
+    /// Null merges applied across all rounds.
+    pub merges: usize,
+    /// Index structures (re)built while matching egd premises.
+    pub index_builds: u64,
+    /// Index probes served while matching egd premises.
+    pub index_probes: u64,
+}
+
+/// Like [`enforce_egds`], but also reports fixpoint rounds, merges, and
+/// index build/probe counters — the observability hook behind
+/// `Engine::forward_with_stats`.
+pub fn enforce_egds_with(
     inst: &Instance,
     egds: &[dex_logic::Egd],
-) -> Result<Instance, ChaseError> {
+) -> Result<(Instance, EgdStats), ChaseError> {
+    // The clone starts with zeroed index counters, so the instance's
+    // final counters (plus those lost to substitutions) are exactly
+    // this run's work.
     let mut target = inst.clone();
+    let mut stats = EgdStats::default();
+    let mut lost = (0u64, 0u64);
     loop {
         let mut changed = false;
         for egd in egds {
-            let (next, merges) = chase_one_egd(egd, target)?;
+            let (next, merges) = chase_one_egd(egd, target, MatchMode::default(), &mut lost)?;
             target = next;
+            stats.merges += merges;
             changed |= merges > 0;
         }
+        stats.rounds += 1;
         if !changed {
-            return Ok(target);
+            let (builds, probes) = target.index_stats();
+            stats.index_builds = lost.0 + builds;
+            stats.index_probes = lost.1 + probes;
+            return Ok((target, stats));
         }
     }
 }
@@ -263,7 +454,9 @@ fn count_new_nulls(before: &NullGen, after: &NullGen) -> usize {
 }
 
 /// Fire one tgd for one frontier valuation: extend the valuation with
-/// fresh nulls for the existential variables and insert the rhs facts.
+/// fresh nulls for the existential variables and insert the rhs facts,
+/// batched per relation and logged as deltas for the semi-naive
+/// rounds.
 fn fire(
     tgd: &StTgd,
     frontier: &Valuation,
@@ -274,11 +467,18 @@ fn fire(
     for y in tgd.existential_vars() {
         v.insert(y, gen.fresh());
     }
+    let mut by_rel: BTreeMap<&Name, Vec<Tuple>> = BTreeMap::new();
     for atom in &tgd.rhs {
         let t = atom
             .instantiate(&v)
             .expect("all rhs variables bound after existential extension");
-        target.insert(atom.relation.as_str(), t)?;
+        by_rel.entry(&atom.relation).or_default().push(t);
+    }
+    for (rel, ts) in by_rel {
+        target
+            .relation_mut(rel.as_str())
+            .ok_or_else(|| RelationalError::UnknownRelation(rel.clone()))?
+            .extend_validated_delta(ts)?;
     }
     Ok(())
 }
@@ -331,6 +531,13 @@ mod tests {
             vec![("Emp", names.iter().map(|n| tuple![*n]).collect())],
         )
         .unwrap()
+    }
+
+    fn scan_opts() -> ChaseOptions {
+        ChaseOptions {
+            matcher: Matcher::Scan,
+            ..Default::default()
+        }
     }
 
     /// Paper Example 1: the chase produces J* with one fresh null per
@@ -421,7 +628,11 @@ mod tests {
             m.source().clone(),
             vec![(
                 "Takes",
-                vec![tuple!["Alice", "DB"], tuple!["Alice", "PL"], tuple!["Bob", "DB"]],
+                vec![
+                    tuple!["Alice", "DB"],
+                    tuple!["Alice", "PL"],
+                    tuple!["Bob", "DB"],
+                ],
             )],
         )
         .unwrap();
@@ -447,8 +658,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        let src = Instance::with_facts(m.source().clone(), vec![("R", vec![tuple!["v"]])])
-            .unwrap();
+        let src = Instance::with_facts(m.source().clone(), vec![("R", vec![tuple!["v"]])]).unwrap();
         let res = exchange(&m, &src).unwrap();
         assert!(res.target.contains("S", &tuple!["v"]));
         assert!(res.target.contains("T", &tuple!["v"]));
@@ -517,7 +727,10 @@ mod tests {
         .unwrap();
         let rel = res.target.relation("Manager").unwrap();
         assert_eq!(rel.len(), 1);
-        assert!(rel.contains(&tuple!["Alice", "Ted"]), "null resolved to Ted");
+        assert!(
+            rel.contains(&tuple!["Alice", "Ted"]),
+            "null resolved to Ted"
+        );
     }
 
     #[test]
@@ -556,19 +769,21 @@ mod tests {
             "#,
         )
         .unwrap();
-        let src = Instance::with_facts(m.source().clone(), vec![("R", vec![tuple!["v"]])])
-            .unwrap();
-        let err = exchange_with(
-            &m,
-            &src,
-            ChaseOptions {
-                variant: ChaseVariant::Standard,
-                max_rounds: 25,
-                ..Default::default()
-            },
-        )
-        .unwrap_err();
-        assert!(matches!(err, ChaseError::StepLimitExceeded { .. }));
+        let src = Instance::with_facts(m.source().clone(), vec![("R", vec![tuple!["v"]])]).unwrap();
+        for matcher in [Matcher::Indexed, Matcher::Scan] {
+            let err = exchange_with(
+                &m,
+                &src,
+                ChaseOptions {
+                    variant: ChaseVariant::Standard,
+                    max_rounds: 25,
+                    matcher,
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+            assert!(matches!(err, ChaseError::StepLimitExceeded { .. }));
+        }
     }
 
     #[test]
@@ -601,23 +816,151 @@ mod tests {
         .unwrap();
         let mut src = Instance::empty(m.source().clone());
         for i in 0..20i64 {
-            src.insert("Father", tuple![format!("f{i}").as_str(), format!("c{i}").as_str()])
-                .unwrap();
-            src.insert("Mother", tuple![format!("m{i}").as_str(), format!("d{i}").as_str()])
-                .unwrap();
+            src.insert(
+                "Father",
+                tuple![format!("f{i}").as_str(), format!("c{i}").as_str()],
+            )
+            .unwrap();
+            src.insert(
+                "Mother",
+                tuple![format!("m{i}").as_str(), format!("d{i}").as_str()],
+            )
+            .unwrap();
         }
         let seq = exchange_with(&m, &src, ChaseOptions::default()).unwrap();
-        let par = exchange_with(
-            &m,
-            &src,
-            ChaseOptions {
-                parallel: true,
-                ..Default::default()
-            },
+        for matcher in [Matcher::Indexed, Matcher::Scan] {
+            let par = exchange_with(
+                &m,
+                &src,
+                ChaseOptions {
+                    parallel: true,
+                    matcher,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(seq.target, par.target, "parallel matching is deterministic");
+            assert_eq!(seq.firings, par.firings);
+        }
+    }
+
+    /// The acceptance property of the refactor: the indexed semi-naive
+    /// chase produces the literal instance (same tuples, same null
+    /// allocation order) as the full-scan naive oracle.
+    #[test]
+    fn indexed_semi_naive_equals_scan_oracle() {
+        let cases = [
+            // Chained target tgds.
+            (
+                r#"
+                source R(a);
+                target S(a);
+                target T(a, b);
+                target U(b);
+                R(x) -> S(x);
+                S(x) -> T(x, y);
+                T(x, y) -> U(y);
+                "#,
+                vec![("R", vec![tuple!["a"], tuple!["b"], tuple!["c"]])],
+            ),
+            // Target join premise.
+            (
+                r#"
+                source E(p, c);
+                target P(p, c);
+                target G(a, c);
+                E(x, y) -> P(x, y);
+                P(x, y) & P(y, z) -> G(x, z);
+                "#,
+                vec![(
+                    "E",
+                    vec![tuple!["a", "b"], tuple!["b", "c"], tuple!["c", "d"]],
+                )],
+            ),
+            // Egds interleaved with target tgds.
+            (
+                r#"
+                source E1(name);
+                source E2(name);
+                target Manager(emp, mgr);
+                target Peer(mgr);
+                key Manager(emp);
+                E1(x) -> Manager(x, y);
+                E2(x) -> Manager(x, y);
+                Manager(x, y) -> Peer(y);
+                "#,
+                vec![
+                    ("E1", vec![tuple!["Alice"], tuple!["Bob"]]),
+                    ("E2", vec![tuple!["Alice"], tuple!["Carol"]]),
+                ],
+            ),
+        ];
+        for (text, facts) in cases {
+            let m = parse_mapping(text).unwrap();
+            for variant in [ChaseVariant::Standard, ChaseVariant::Oblivious] {
+                let src = Instance::with_facts(m.source().clone(), facts.clone()).unwrap();
+                let indexed = exchange_with(
+                    &m,
+                    &src,
+                    ChaseOptions {
+                        variant,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                let scan = exchange_with(
+                    &m,
+                    &src,
+                    ChaseOptions {
+                        variant,
+                        matcher: Matcher::Scan,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    indexed.target, scan.target,
+                    "literal equality, {variant:?}: {text}"
+                );
+                assert_eq!(indexed.firings, scan.firings);
+                assert_eq!(indexed.nulls_created, scan.nulls_created);
+            }
+        }
+    }
+
+    /// Regression: once the delta runs dry the semi-naive loop exits
+    /// without another full re-match, and the recorded delta sizes
+    /// shrink to zero.
+    #[test]
+    fn empty_delta_exits_fixpoint() {
+        let m = parse_mapping(
+            r#"
+            source R(a);
+            target S(a);
+            target T(a);
+            R(x) -> S(x);
+            S(x) -> T(x);
+            "#,
         )
         .unwrap();
-        assert_eq!(seq.target, par.target, "parallel matching is deterministic");
-        assert_eq!(seq.firings, par.firings);
+        let src = Instance::with_facts(
+            m.source().clone(),
+            vec![("R", vec![tuple!["u"], tuple!["v"]])],
+        )
+        .unwrap();
+        let res = exchange(&m, &src).unwrap();
+        let stats = &res.stats;
+        assert_eq!(stats.st_firings, 2);
+        // Round 1: delta = 2 S-facts, fires 2 T-facts. Round 2: delta =
+        // 2 T-facts, nothing left to fire — the fixpoint round.
+        assert_eq!(stats.delta_sizes, vec![2, 2]);
+        assert_eq!(stats.firings_per_round, vec![2, 0]);
+        assert_eq!(stats.rounds, 1);
+        assert!(stats.index_probes > 0, "indexed mode probed");
+        // Scan oracle: same instance, no probes.
+        let scan = exchange_with(&m, &src, scan_opts()).unwrap();
+        assert_eq!(scan.target, res.target);
+        assert_eq!(scan.stats.index_probes, 0);
     }
 
     #[test]
@@ -638,8 +981,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        let src = Instance::with_facts(m.source().clone(), vec![("R", vec![tuple!["v"]])])
-            .unwrap();
+        let src = Instance::with_facts(m.source().clone(), vec![("R", vec![tuple!["v"]])]).unwrap();
         let res = exchange(&m, &src).unwrap();
         assert!(res.target.contains("S", &tuple!["v", "imported"]));
     }
@@ -648,11 +990,7 @@ mod tests {
     fn matches_with_reexport() {
         let _m = example1_mapping();
         let src = emp_instance(&["Alice"]);
-        let ms = matches_with(
-            &[Atom::vars("Emp", &["x"])],
-            &src,
-            &Valuation::new(),
-        );
+        let ms = matches_with(&[Atom::vars("Emp", &["x"])], &src, &Valuation::new());
         assert_eq!(ms.len(), 1);
         let _ = Schema::with_relations(vec![RelSchema::untyped("X", vec!["a"]).unwrap()]);
     }

@@ -175,26 +175,14 @@ mod tests {
         // Two parallel null chains over the same constant: one folds
         // into the other.
         let mut i = Instance::empty(mgr_schema());
-        i.insert(
-            "Manager",
-            Tuple::new(vec![Value::str("a"), Value::null(0)]),
-        )
-        .unwrap();
-        i.insert(
-            "Manager",
-            Tuple::new(vec![Value::null(0), Value::null(1)]),
-        )
-        .unwrap();
-        i.insert(
-            "Manager",
-            Tuple::new(vec![Value::str("a"), Value::null(2)]),
-        )
-        .unwrap();
-        i.insert(
-            "Manager",
-            Tuple::new(vec![Value::null(2), Value::null(3)]),
-        )
-        .unwrap();
+        i.insert("Manager", Tuple::new(vec![Value::str("a"), Value::null(0)]))
+            .unwrap();
+        i.insert("Manager", Tuple::new(vec![Value::null(0), Value::null(1)]))
+            .unwrap();
+        i.insert("Manager", Tuple::new(vec![Value::str("a"), Value::null(2)]))
+            .unwrap();
+        i.insert("Manager", Tuple::new(vec![Value::null(2), Value::null(3)]))
+            .unwrap();
         let c = core_of(&i);
         assert_eq!(c.fact_count(), 2, "one chain folds onto the other");
         assert!(homomorphically_equivalent(&c, &i));
@@ -204,11 +192,8 @@ mod tests {
     fn connected_nulls_fold_consistently() {
         // {R(⊥0, ⊥0), R(a, a)}: ⊥0 can map to a, folding to one fact.
         let mut i = Instance::empty(mgr_schema());
-        i.insert(
-            "Manager",
-            Tuple::new(vec![Value::null(0), Value::null(0)]),
-        )
-        .unwrap();
+        i.insert("Manager", Tuple::new(vec![Value::null(0), Value::null(0)]))
+            .unwrap();
         i.insert("Manager", tuple!["a", "a"]).unwrap();
         let c = core_of(&i);
         assert_eq!(c.fact_count(), 1);
@@ -219,11 +204,8 @@ mod tests {
         // {R(⊥0, ⊥0)} alone: ⊥0 has nowhere to go (only value is
         // itself); core unchanged.
         let mut i = Instance::empty(mgr_schema());
-        i.insert(
-            "Manager",
-            Tuple::new(vec![Value::null(0), Value::null(0)]),
-        )
-        .unwrap();
+        i.insert("Manager", Tuple::new(vec![Value::null(0), Value::null(0)]))
+            .unwrap();
         let c = core_of(&i);
         assert_eq!(c.fact_count(), 1);
         assert!(!c.is_ground());
@@ -241,7 +223,11 @@ mod tests {
         }
         i.insert("Manager", tuple!["hub", "spoke"]).unwrap();
         let c = core_of(&i);
-        assert_eq!(c.fact_count(), 1, "all null spokes fold into the ground one");
+        assert_eq!(
+            c.fact_count(),
+            1,
+            "all null spokes fold into the ground one"
+        );
         assert!(homomorphically_equivalent(&c, &i));
     }
 }

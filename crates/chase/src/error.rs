@@ -34,7 +34,10 @@ impl fmt::Display for ChaseError {
                 "chase failed: egd `{egd}` forces distinct constants {left} = {right}"
             ),
             ChaseError::StepLimitExceeded { limit } => {
-                write!(f, "chase exceeded {limit} steps without reaching a fixpoint")
+                write!(
+                    f,
+                    "chase exceeded {limit} steps without reaching a fixpoint"
+                )
             }
             ChaseError::Relational(e) => write!(f, "{e}"),
         }

@@ -21,7 +21,10 @@ pub mod query;
 pub mod sochase;
 pub mod termination;
 
-pub use chase::{enforce_egds, exchange, exchange_with, ChaseOptions, ChaseVariant, ExchangeResult};
+pub use chase::{
+    enforce_egds, enforce_egds_with, exchange, exchange_with, ChaseOptions, ChaseStats,
+    ChaseVariant, EgdStats, ExchangeResult, Matcher,
+};
 pub use core_min::core_of;
 pub use error::ChaseError;
 pub use query::{certain_answers, ConjunctiveQuery, UnionQuery};

@@ -102,10 +102,7 @@ impl UnionQuery {
 
     /// Evaluate over an instance.
     pub fn eval(&self, inst: &Instance) -> BTreeSet<Tuple> {
-        self.disjuncts
-            .iter()
-            .flat_map(|d| d.eval(inst))
-            .collect()
+        self.disjuncts.iter().flat_map(|d| d.eval(inst)).collect()
     }
 }
 
@@ -188,8 +185,7 @@ mod tests {
         )
         .unwrap();
         let j = exchange(&m, &src).unwrap().target;
-        let q = ConjunctiveQuery::new(vec!["m"], vec![Atom::vars("Manager", &["e", "m"])])
-            .unwrap();
+        let q = ConjunctiveQuery::new(vec!["m"], vec![Atom::vars("Manager", &["e", "m"])]).unwrap();
         assert_eq!(q.eval(&j).len(), 1, "naive eval sees the null");
         assert!(certain_answers(&q, &j).is_empty());
     }
@@ -228,10 +224,8 @@ mod tests {
 
     #[test]
     fn union_query_arity_checked_and_evaluated() {
-        let q1 = ConjunctiveQuery::new(vec!["x"], vec![Atom::vars("Father", &["x", "y"])])
-            .unwrap();
-        let q2 = ConjunctiveQuery::new(vec!["x"], vec![Atom::vars("Mother", &["x", "y"])])
-            .unwrap();
+        let q1 = ConjunctiveQuery::new(vec!["x"], vec![Atom::vars("Father", &["x", "y"])]).unwrap();
+        let q2 = ConjunctiveQuery::new(vec!["x"], vec![Atom::vars("Mother", &["x", "y"])]).unwrap();
         let u = UnionQuery::new(vec![q1.clone(), q2]).unwrap();
         let schema = dex_relational::Schema::with_relations(vec![
             dex_relational::RelSchema::untyped("Father", vec!["p", "c"]).unwrap(),
@@ -251,19 +245,14 @@ mod tests {
 
         let bad = UnionQuery::new(vec![
             q1,
-            ConjunctiveQuery::new(
-                vec!["x", "y"],
-                vec![Atom::vars("Mother", &["x", "y"])],
-            )
-            .unwrap(),
+            ConjunctiveQuery::new(vec!["x", "y"], vec![Atom::vars("Mother", &["x", "y"])]).unwrap(),
         ]);
         assert!(bad.is_err());
     }
 
     #[test]
     fn display() {
-        let q = ConjunctiveQuery::new(vec!["e"], vec![Atom::vars("Manager", &["e", "m"])])
-            .unwrap();
+        let q = ConjunctiveQuery::new(vec!["e"], vec![Atom::vars("Manager", &["e", "m"])]).unwrap();
         assert_eq!(q.to_string(), "q(e) :- Manager(e, m)");
     }
 }

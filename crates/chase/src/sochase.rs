@@ -115,15 +115,11 @@ mod tests {
     fn function_free_so_chase_agrees_with_plain_semantics() {
         let tgd = parse_tgd("Manager(x, y) -> Boss(x, y)").unwrap();
         let so = SoTgd::from_st_tgds(std::slice::from_ref(&tgd));
-        let mgr_schema = Schema::with_relations(vec![
-            RelSchema::untyped("Manager", vec!["e", "m"]).unwrap()
-        ])
-        .unwrap();
-        let src = Instance::with_facts(
-            mgr_schema,
-            vec![("Manager", vec![tuple!["Alice", "Ted"]])],
-        )
-        .unwrap();
+        let mgr_schema =
+            Schema::with_relations(vec![RelSchema::untyped("Manager", vec!["e", "m"]).unwrap()])
+                .unwrap();
+        let src = Instance::with_facts(mgr_schema, vec![("Manager", vec![tuple!["Alice", "Ted"]])])
+            .unwrap();
         let j = so_exchange(&so, &boss_schema(), &src).unwrap();
         assert!(j.contains("Boss", &tuple!["Alice", "Ted"]));
         assert_eq!(j.fact_count(), 1);
@@ -134,12 +130,10 @@ mod tests {
     fn skolemized_existential_becomes_skolem_value() {
         let tgd = parse_tgd("Emp(x) -> Manager2(x, y)").unwrap();
         let so = SoTgd::from_st_tgds(&[tgd]);
-        let t_schema = Schema::with_relations(vec![
-            RelSchema::untyped("Manager2", vec!["e", "m"]).unwrap()
-        ])
-        .unwrap();
-        let src = Instance::with_facts(emp_schema(), vec![("Emp", vec![tuple!["Alice"]])])
-            .unwrap();
+        let t_schema =
+            Schema::with_relations(vec![RelSchema::untyped("Manager2", vec!["e", "m"]).unwrap()])
+                .unwrap();
+        let src = Instance::with_facts(emp_schema(), vec![("Emp", vec![tuple!["Alice"]])]).unwrap();
         let j = so_exchange(&so, &t_schema, &src).unwrap();
         let t = j.relation("Manager2").unwrap().iter().next().unwrap();
         assert_eq!(t[0], Value::str("Alice"));
@@ -157,14 +151,10 @@ mod tests {
                 vec![Atom::vars("Q", &["x"])],
             )],
         );
-        let p_schema = Schema::with_relations(vec![
-            RelSchema::untyped("P", vec!["a", "b"]).unwrap()
-        ])
-        .unwrap();
-        let q_schema = Schema::with_relations(vec![
-            RelSchema::untyped("Q", vec!["a"]).unwrap()
-        ])
-        .unwrap();
+        let p_schema =
+            Schema::with_relations(vec![RelSchema::untyped("P", vec!["a", "b"]).unwrap()]).unwrap();
+        let q_schema =
+            Schema::with_relations(vec![RelSchema::untyped("Q", vec!["a"]).unwrap()]).unwrap();
         let src = Instance::with_facts(
             p_schema,
             vec![("P", vec![tuple!["a", "a"], tuple!["a", "b"]])],

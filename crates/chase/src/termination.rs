@@ -114,7 +114,10 @@ mod tests {
             parse_tgd("S(x, y) -> T(x, y)").unwrap(),
             parse_tgd("T(x, y) -> S(y, x)").unwrap(),
         ];
-        assert!(is_weakly_acyclic(&tgds), "no existentials, no special edges");
+        assert!(
+            is_weakly_acyclic(&tgds),
+            "no existentials, no special edges"
+        );
     }
 
     #[test]

@@ -28,8 +28,8 @@ use crate::template::{
     CompileReport, Fidelity, Hole, HoleBinding, HoleSite, MappingTemplate, RelationLens, Step,
 };
 use dex_logic::{Mapping, StTgd, Term};
-use dex_rellens::{JoinPolicy, RelLensExpr, UnionPolicy, UpdatePolicy};
 use dex_relational::{Constant, Expr, Name, RelSchema};
+use dex_rellens::{JoinPolicy, RelLensExpr, UnionPolicy, UpdatePolicy};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A hole not yet assigned a global id, with a path relative to the
@@ -241,8 +241,7 @@ pub fn compile(mapping: &Mapping) -> Result<MappingTemplate, CoreError> {
             target_expr = target_expr.select(p);
         }
         let mut target_holes: Vec<PendingHole> = Vec::new();
-        if !shape.consts.is_empty() || !shape.existentials.is_empty() || !shape.copies.is_empty()
-        {
+        if !shape.consts.is_empty() || !shape.existentials.is_empty() || !shape.copies.is_empty() {
             let kept: Vec<&str> = shape.frontier.iter().map(|(_, a)| a.as_str()).collect();
             let mut policies: Vec<(&str, UpdatePolicy)> = Vec::new();
             for (_, attr, c) in &shape.consts {
@@ -569,10 +568,8 @@ fn compile_target_atom(
                 path: vec![],
             });
         }
-        source_expr = source_expr.project(
-            frontier_vars.iter().map(Name::as_str).collect(),
-            policies,
-        );
+        source_expr =
+            source_expr.project(frontier_vars.iter().map(Name::as_str).collect(), policies);
     }
 
     // Rename variables to the target attribute names.
@@ -622,10 +619,7 @@ mod tests {
         assert_eq!(t.lenses.len(), 1);
         assert_eq!(t.holes.len(), 1);
         assert!(t.holes[0].question.contains("Manager.mgr"));
-        assert!(matches!(
-            t.holes[0].site,
-            HoleSite::TargetColumn { .. }
-        ));
+        assert!(matches!(t.holes[0].site, HoleSite::TargetColumn { .. }));
         assert!(t.report.all_exact());
         // The source lens renames name→emp; the target lens projects
         // away mgr with a null default.
@@ -684,7 +678,10 @@ mod tests {
         assert_eq!(union_holes.len(), 1);
         assert!(union_holes[0].question.contains("which"));
         let lens = t.lens_for("Parent").unwrap();
-        assert!(lens.source_expr.plan_string().contains("Union[insert-left]"));
+        assert!(lens
+            .source_expr
+            .plan_string()
+            .contains("Union[insert-left]"));
     }
 
     #[test]
@@ -884,7 +881,8 @@ mod tests {
             .collect();
         assert_eq!(join_holes.len(), 2);
         for id in join_holes {
-            t.bind(id, HoleBinding::Join(JoinPolicy::DeleteLeft)).unwrap();
+            t.bind(id, HoleBinding::Join(JoinPolicy::DeleteLeft))
+                .unwrap();
         }
         let plan = t.lens_for("Out").unwrap().source_expr.plan_string();
         assert_eq!(plan.matches("Join[delete-left]").count(), 2, "{plan}");

@@ -4,8 +4,8 @@ use crate::error::CoreError;
 use crate::template::MappingTemplate;
 use dex_lens::edit::Delta;
 use dex_lens::SymLens;
-use dex_rellens::{Environment, InstanceLens};
 use dex_relational::{Instance, Relation};
+use dex_rellens::{Environment, InstanceLens};
 use std::time::{Duration, Instant};
 
 /// An executable bidirectional data-exchange engine.
@@ -88,8 +88,7 @@ impl Engine {
             None => Instance::empty(self.template.target.clone()),
         };
         let mut stats = ForwardStats::default();
-        for ((rel, s_lens), (_, t_lens)) in
-            self.source_lenses.iter().zip(self.target_lenses.iter())
+        for ((rel, s_lens), (_, t_lens)) in self.source_lenses.iter().zip(self.target_lenses.iter())
         {
             let t0 = Instant::now();
             let view: Relation = s_lens.try_get(src)?;
@@ -106,8 +105,14 @@ impl Engine {
         }
         if !self.template.target_egds.is_empty() {
             let t0 = Instant::now();
-            tgt = dex_chase::enforce_egds(&tgt, &self.template.target_egds)?;
+            let (fixed, egd_stats) =
+                dex_chase::enforce_egds_with(&tgt, &self.template.target_egds)?;
+            tgt = fixed;
             stats.egd_time = t0.elapsed();
+            stats.egd_rounds = egd_stats.rounds;
+            stats.egd_merges = egd_stats.merges;
+            stats.index_builds += egd_stats.index_builds;
+            stats.index_probes += egd_stats.index_probes;
         }
         Ok((tgt, stats))
     }
@@ -116,15 +121,9 @@ impl Engine {
     /// puts are computed against `prev_source` and merged: a source row
     /// is deleted if **any** lens deletes it, inserted if any inserts
     /// it (insertions win over deletions of the same row).
-    pub fn backward(
-        &self,
-        tgt: &Instance,
-        prev_source: &Instance,
-    ) -> Result<Instance, CoreError> {
+    pub fn backward(&self, tgt: &Instance, prev_source: &Instance) -> Result<Instance, CoreError> {
         let mut merged = Delta::empty();
-        for ((_, s_lens), (_, t_lens)) in
-            self.source_lenses.iter().zip(self.target_lenses.iter())
-        {
+        for ((_, s_lens), (_, t_lens)) in self.source_lenses.iter().zip(self.target_lenses.iter()) {
             let view = t_lens.try_get(tgt)?;
             let candidate = s_lens.try_put(&view, prev_source)?;
             let delta = Delta::diff(prev_source, &candidate);
@@ -205,6 +204,14 @@ pub struct ForwardStats {
     pub per_relation: Vec<RelationStats>,
     /// Time spent enforcing target keys (zero when there are none).
     pub egd_time: Duration,
+    /// Key-enforcement fixpoint rounds (including the no-op round).
+    pub egd_rounds: usize,
+    /// Null merges applied while enforcing keys.
+    pub egd_merges: usize,
+    /// Index structures (re)built by the indexed matcher.
+    pub index_builds: u64,
+    /// Index probes served by the indexed matcher.
+    pub index_probes: u64,
 }
 
 impl std::fmt::Display for ForwardStats {
@@ -221,8 +228,17 @@ impl std::fmt::Display for ForwardStats {
             )?;
         }
         if self.egd_time > Duration::ZERO {
-            writeln!(f, "  key enforcement: {:.1?}", self.egd_time)?;
+            writeln!(
+                f,
+                "  key enforcement: {:.1?}  ({} round(s), {} merge(s))",
+                self.egd_time, self.egd_rounds, self.egd_merges
+            )?;
         }
+        writeln!(
+            f,
+            "  index builds: {}   index probes: {}",
+            self.index_builds, self.index_probes
+        )?;
         Ok(())
     }
 }
@@ -274,9 +290,9 @@ mod tests {
     use crate::template::HoleBinding;
     use dex_chase::exchange;
     use dex_logic::parse_mapping;
-    use dex_rellens::UpdatePolicy;
     use dex_relational::homomorphism::homomorphically_equivalent;
     use dex_relational::{tuple, Name, Tuple, Value};
+    use dex_rellens::UpdatePolicy;
 
     fn engine_for(text: &str) -> (dex_logic::Mapping, Engine) {
         let m = parse_mapping(text).unwrap();
@@ -325,7 +341,11 @@ mod tests {
             m.source().clone(),
             vec![(
                 "Takes",
-                vec![tuple!["Alice", "DB"], tuple!["Alice", "PL"], tuple!["Bob", "DB"]],
+                vec![
+                    tuple!["Alice", "DB"],
+                    tuple!["Alice", "PL"],
+                    tuple!["Bob", "DB"],
+                ],
             )],
         )
         .unwrap();
@@ -400,10 +420,7 @@ mod tests {
             .iter()
             .map(|t| t[0].clone())
             .collect();
-        assert_eq!(
-            emps,
-            vec![Value::str("Alice"), Value::str("Carol")]
-        );
+        assert_eq!(emps, vec![Value::str("Alice"), Value::str("Carol")]);
     }
 
     /// The stateful symmetric wrapper: target-private data (a manually
@@ -417,11 +434,8 @@ mod tests {
             Emp(x) -> Manager(x, y);
             "#,
         );
-        let src = Instance::with_facts(
-            m.source().clone(),
-            vec![("Emp", vec![tuple!["Alice"]])],
-        )
-        .unwrap();
+        let src =
+            Instance::with_facts(m.source().clone(), vec![("Emp", vec![tuple!["Alice"]])]).unwrap();
         let tgt = e.forward(&src, None).unwrap();
         // Someone fills in Alice's manager on the target side.
         let alice_row = tgt
@@ -463,11 +477,8 @@ mod tests {
         t.bind(0, HoleBinding::Column(UpdatePolicy::Const("TBD".into())))
             .unwrap();
         let e = Engine::new(t, Environment::new()).unwrap();
-        let src = Instance::with_facts(
-            m.source().clone(),
-            vec![("Emp", vec![tuple!["Alice"]])],
-        )
-        .unwrap();
+        let src =
+            Instance::with_facts(m.source().clone(), vec![("Emp", vec![tuple!["Alice"]])]).unwrap();
         let tgt = e.forward(&src, None).unwrap();
         assert!(tgt.contains("Manager", &tuple!["Alice", "TBD"]));
     }
@@ -491,11 +502,8 @@ mod tests {
         let mut env = Environment::new();
         env.insert(Name::new("default_mgr"), Value::str("TheBoss"));
         let e = Engine::new(t, env).unwrap();
-        let src = Instance::with_facts(
-            m.source().clone(),
-            vec![("Emp", vec![tuple!["Alice"]])],
-        )
-        .unwrap();
+        let src =
+            Instance::with_facts(m.source().clone(), vec![("Emp", vec![tuple!["Alice"]])]).unwrap();
         let tgt = e.forward(&src, None).unwrap();
         assert!(tgt.contains("Manager", &tuple!["Alice", "TheBoss"]));
     }
@@ -510,11 +518,8 @@ mod tests {
             "#,
         );
         let sym = e.sym();
-        let src = Instance::with_facts(
-            m.source().clone(),
-            vec![("Emp", vec![tuple!["Alice"]])],
-        )
-        .unwrap();
+        let src =
+            Instance::with_facts(m.source().clone(), vec![("Emp", vec![tuple!["Alice"]])]).unwrap();
         let (tgt, c1) = sym.put_r(&src, &sym.missing());
         assert_eq!(tgt.fact_count(), 1);
         // Push the target back unchanged: source unchanged (PutRL).
@@ -537,14 +542,8 @@ mod tests {
         let src = Instance::with_facts(
             m.source().clone(),
             vec![
-                (
-                    "Student",
-                    vec![tuple![1i64, "Alice"], tuple![2i64, "Bob"]],
-                ),
-                (
-                    "Assgn",
-                    vec![tuple!["Alice", "DB"], tuple!["Bob", "PL"]],
-                ),
+                ("Student", vec![tuple![1i64, "Alice"], tuple![2i64, "Bob"]]),
+                ("Assgn", vec![tuple!["Alice", "DB"], tuple!["Bob", "PL"]]),
             ],
         )
         .unwrap();
@@ -576,11 +575,8 @@ mod tests {
         )
         .unwrap();
         let e = Engine::new(compile(&m).unwrap(), Environment::new()).unwrap();
-        let src = Instance::with_facts(
-            m.source().clone(),
-            vec![("Emp", vec![tuple!["Alice"]])],
-        )
-        .unwrap();
+        let src =
+            Instance::with_facts(m.source().clone(), vec![("Emp", vec![tuple!["Alice"]])]).unwrap();
         // A target that drifted into a key violation: Alice has a null
         // manager row AND a manually entered one.
         let mut prev = Instance::empty(m.target().clone());

@@ -15,8 +15,8 @@
 
 use crate::error::CoreError;
 use dex_logic::Egd;
-use dex_rellens::{JoinPolicy, RelLensExpr, UnionPolicy, UpdatePolicy};
 use dex_relational::{Name, RelSchema, Schema};
+use dex_rellens::{JoinPolicy, RelLensExpr, UnionPolicy, UpdatePolicy};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -125,7 +125,11 @@ pub struct Hole {
 
 impl fmt::Display for Hole {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "hole #{}: {} [current: {}]", self.id, self.question, self.current)
+        write!(
+            f,
+            "hole #{}: {} [current: {}]",
+            self.id, self.question, self.current
+        )
     }
 }
 
@@ -288,10 +292,7 @@ impl MappingTemplate {
     }
 }
 
-fn descend<'a>(
-    expr: &'a mut RelLensExpr,
-    path: &[Step],
-) -> Result<&'a mut RelLensExpr, CoreError> {
+fn descend<'a>(expr: &'a mut RelLensExpr, path: &[Step]) -> Result<&'a mut RelLensExpr, CoreError> {
     let mut node = expr;
     for step in path {
         node = match (node, step) {
@@ -319,19 +320,18 @@ mod tests {
 
     fn tiny_template() -> MappingTemplate {
         // source Emp(name); target Manager(emp, mgr); Emp(x) -> Manager(x, y)
-        let source = Schema::with_relations(vec![
-            RelSchema::untyped("Emp", vec!["name"]).unwrap()
-        ])
-        .unwrap();
-        let target = Schema::with_relations(vec![
-            RelSchema::untyped("Manager", vec!["emp", "mgr"]).unwrap()
-        ])
-        .unwrap();
+        let source =
+            Schema::with_relations(vec![RelSchema::untyped("Emp", vec!["name"]).unwrap()]).unwrap();
+        let target =
+            Schema::with_relations(vec![
+                RelSchema::untyped("Manager", vec!["emp", "mgr"]).unwrap()
+            ])
+            .unwrap();
         let source_expr = RelLensExpr::base("Emp")
             .project(vec!["name"], vec![])
             .rename(vec![("name", "emp")]);
-        let target_expr = RelLensExpr::base("Manager")
-            .project(vec!["emp"], vec![("mgr", UpdatePolicy::Null)]);
+        let target_expr =
+            RelLensExpr::base("Manager").project(vec!["emp"], vec![("mgr", UpdatePolicy::Null)]);
         let view = RelSchema::untyped("Manager", vec!["emp"]).unwrap();
         MappingTemplate {
             source,

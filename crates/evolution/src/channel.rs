@@ -73,17 +73,11 @@ fn primary_table(smo: &Smo) -> Option<Name> {
         | Smo::RenameColumn { table, .. }
         | Smo::SplitHorizontal { table, .. }
         | Smo::PartitionVertical { table, .. } => Some(table.clone()),
-        Smo::MergeHorizontal { left, .. } | Smo::JoinVertical { left, .. } => {
-            Some(left.clone())
-        }
+        Smo::MergeHorizontal { left, .. } | Smo::JoinVertical { left, .. } => Some(left.clone()),
     }
 }
 
-fn rebuild(
-    source: Schema,
-    target: Schema,
-    tgds: Vec<StTgd>,
-) -> Result<Mapping, EvolutionError> {
+fn rebuild(source: Schema, target: Schema, tgds: Vec<StTgd>) -> Result<Mapping, EvolutionError> {
     Mapping::new(source, target, tgds).map_err(EvolutionError::Relational)
 }
 
@@ -206,10 +200,8 @@ fn propagate_source(smo: &Smo, mapping: &Mapping) -> Result<Mapping, EvolutionEr
                         column: c.clone(),
                     })
             };
-            let left_pos: Vec<usize> =
-                left.1.iter().map(&pos_of).collect::<Result<_, _>>()?;
-            let right_pos: Vec<usize> =
-                right.1.iter().map(&pos_of).collect::<Result<_, _>>()?;
+            let left_pos: Vec<usize> = left.1.iter().map(&pos_of).collect::<Result<_, _>>()?;
+            let right_pos: Vec<usize> = right.1.iter().map(&pos_of).collect::<Result<_, _>>()?;
             let rewritten = tgds
                 .into_iter()
                 .map(|t| {
@@ -272,8 +264,7 @@ fn propagate_source(smo: &Smo, mapping: &Mapping) -> Result<Mapping, EvolutionEr
                                     match rel.position(jattr.as_str()) {
                                         Some(i) => args.push(a.args[i].clone()),
                                         None => {
-                                            let fresh =
-                                                Name::new(format!("vjoin{counter}"));
+                                            let fresh = Name::new(format!("vjoin{counter}"));
                                             counter += 1;
                                             args.push(Term::Var(fresh));
                                         }

@@ -49,7 +49,10 @@ impl fmt::Display for EvolutionError {
                 write!(f, "cannot propagate `{smo}` through the mapping: {reason}")
             }
             EvolutionError::SplitViolation { table, row } => {
-                write!(f, "row {row} violates the predicate of split table `{table}`")
+                write!(
+                    f,
+                    "row {row} violates the predicate of split table `{table}`"
+                )
             }
             EvolutionError::Relational(e) => write!(f, "{e}"),
         }

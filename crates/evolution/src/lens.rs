@@ -169,9 +169,11 @@ mod tests {
     use dex_relational::{tuple, AttrType, Expr, Name, RelSchema};
 
     fn person_schema() -> Schema {
-        Schema::with_relations(vec![
-            RelSchema::untyped("Person", vec!["id", "name", "age"]).unwrap()
-        ])
+        Schema::with_relations(vec![RelSchema::untyped(
+            "Person",
+            vec!["id", "name", "age"],
+        )
+        .unwrap()])
         .unwrap()
     }
 
@@ -201,12 +203,7 @@ mod tests {
     fn smolens_laws_for_lossless_smos() {
         let l = rename_lens();
         let fwd = l.try_forward(&person_db(), None).unwrap();
-        let report = laws::check_sym_well_behaved(
-            &l,
-            &[person_db()],
-            &[fwd],
-            &[l.missing()],
-        );
+        let report = laws::check_sym_well_behaved(&l, &[person_db()], &[fwd], &[l.missing()]);
         assert!(report.all_ok(), "{report}");
     }
 

@@ -268,12 +268,7 @@ impl Smo {
                 let attrs: Vec<(Name, AttrType)> = rel
                     .attrs()
                     .iter()
-                    .map(|(a, t)| {
-                        (
-                            renaming.get(a).cloned().unwrap_or_else(|| a.clone()),
-                            *t,
-                        )
-                    })
+                    .map(|(a, t)| (renaming.get(a).cloned().unwrap_or_else(|| a.clone()), *t))
                     .collect();
                 let mut new_rel = RelSchema::new(rel.name().clone(), attrs)?;
                 *new_rel.fds_mut() = rel.fds().rename(&renaming);
@@ -304,7 +299,11 @@ impl Smo {
                 out.add_relation(rel.clone().renamed(true_table.clone()))?;
                 out.add_relation(rel.renamed(false_table.clone()))?;
             }
-            Smo::MergeHorizontal { left, right, out: o } => {
+            Smo::MergeHorizontal {
+                left,
+                right,
+                out: o,
+            } => {
                 let l = out
                     .remove_relation(left.as_str())
                     .ok_or_else(|| EvolutionError::UnknownTable(left.clone()))?;
@@ -351,7 +350,11 @@ impl Smo {
                     out.add_relation(part)?;
                 }
             }
-            Smo::JoinVertical { left, right, out: o } => {
+            Smo::JoinVertical {
+                left,
+                right,
+                out: o,
+            } => {
                 let l = out
                     .remove_relation(left.as_str())
                     .ok_or_else(|| EvolutionError::UnknownTable(left.clone()))?;
@@ -427,9 +430,8 @@ impl Smo {
                     if let Some(prel) = prev.relation(table.as_str()) {
                         let col_pos = prel.schema().position(column.as_str());
                         if let Some(cp) = col_pos {
-                            let old_positions: Vec<usize> = (0..prel.schema().arity())
-                                .filter(|i| *i != cp)
-                                .collect();
+                            let old_positions: Vec<usize> =
+                                (0..prel.schema().arity()).filter(|i| *i != cp).collect();
                             for t in prel.iter() {
                                 index
                                     .entry(t.project(&old_positions))
@@ -492,7 +494,11 @@ impl Smo {
                     out.insert(dest.as_str(), t.clone())?;
                 }
             }
-            Smo::MergeHorizontal { left, right, out: o } => {
+            Smo::MergeHorizontal {
+                left,
+                right,
+                out: o,
+            } => {
                 copy_except(src, &mut out, &[left, right])?;
                 for n in [left, right] {
                     let rel = src.expect_relation(n.as_str())?;
@@ -514,7 +520,11 @@ impl Smo {
                     }
                 }
             }
-            Smo::JoinVertical { left, right, out: o } => {
+            Smo::JoinVertical {
+                left,
+                right,
+                out: o,
+            } => {
                 copy_except(src, &mut out, &[left, right])?;
                 let l = src.expect_relation(left.as_str())?;
                 let r = src.expect_relation(right.as_str())?;
@@ -583,8 +593,7 @@ impl Smo {
                     }
                 })?;
                 // Restore dropped values from the previous old state.
-                let old_keep: Vec<usize> =
-                    (0..old_rel.arity()).filter(|i| *i != col_pos).collect();
+                let old_keep: Vec<usize> = (0..old_rel.arity()).filter(|i| *i != col_pos).collect();
                 let mut index: BTreeMap<Tuple, Vec<Tuple>> = BTreeMap::new();
                 if let Some(prev) = prev_src {
                     if let Some(prel) = prev.relation(table.as_str()) {
@@ -643,7 +652,11 @@ impl Smo {
                     }
                 }
             }
-            Smo::MergeHorizontal { left, right, out: o } => {
+            Smo::MergeHorizontal {
+                left,
+                right,
+                out: o,
+            } => {
                 copy_except(tgt, &mut out, &[o])?;
                 let merged = tgt.expect_relation(o.as_str())?;
                 let in_prev = |side: &Name, t: &Tuple| {
@@ -683,7 +696,11 @@ impl Smo {
                     out.insert(table.as_str(), t.project(&positions))?;
                 }
             }
-            Smo::JoinVertical { left, right, out: o } => {
+            Smo::JoinVertical {
+                left,
+                right,
+                out: o,
+            } => {
                 copy_except(tgt, &mut out, &[o])?;
                 let joined = tgt.expect_relation(o.as_str())?;
                 for side in [left, right] {
@@ -730,11 +747,7 @@ fn copy_all(src: &Instance, out: &mut Instance) -> Result<(), EvolutionError> {
     Ok(())
 }
 
-fn copy_except(
-    src: &Instance,
-    out: &mut Instance,
-    skip: &[&Name],
-) -> Result<(), EvolutionError> {
+fn copy_except(src: &Instance, out: &mut Instance, skip: &[&Name]) -> Result<(), EvolutionError> {
     for (n, t) in src.facts() {
         if skip.contains(&n) {
             continue;
@@ -750,9 +763,11 @@ mod tests {
     use dex_relational::tuple;
 
     fn person_schema() -> Schema {
-        Schema::with_relations(vec![
-            RelSchema::untyped("Person", vec!["id", "name", "age"]).unwrap()
-        ])
+        Schema::with_relations(vec![RelSchema::untyped(
+            "Person",
+            vec!["id", "name", "age"],
+        )
+        .unwrap()])
         .unwrap()
     }
 
@@ -954,8 +969,14 @@ mod tests {
     fn vertical_partition_and_rejoin() {
         let smo = Smo::PartitionVertical {
             table: Name::new("Person"),
-            left: (Name::new("PersonName"), vec![Name::new("id"), Name::new("name")]),
-            right: (Name::new("PersonAge"), vec![Name::new("id"), Name::new("age")]),
+            left: (
+                Name::new("PersonName"),
+                vec![Name::new("id"), Name::new("name")],
+            ),
+            right: (
+                Name::new("PersonAge"),
+                vec![Name::new("id"), Name::new("age")],
+            ),
         };
         let fwd = smo.forward(&person_db(), None).unwrap();
         assert!(fwd.contains("PersonName", &tuple![1i64, "Alice"]));

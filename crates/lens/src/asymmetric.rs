@@ -355,8 +355,7 @@ mod tests {
     #[test]
     fn composition_threads_the_middle() {
         // ((name, age), city) --first--> (name, age) --second--> name
-        let first: ConstComplement<(String, u32), String> =
-            ConstComplement::new("nowhere".into());
+        let first: ConstComplement<(String, u32), String> = ConstComplement::new("nowhere".into());
         let second: ConstComplement<String, u32> = ConstComplement::new(0);
         let l = first.then(second);
         let s = (("alice".to_string(), 30u32), "Sydney".to_string());
@@ -382,8 +381,7 @@ mod tests {
     #[test]
     fn fn_lens_law_violation_detected() {
         // A broken "lens" whose put ignores the view.
-        let broken: FnLens<i64, i64> =
-            FnLens::new(|s| *s, |_v, s| *s, |v| *v);
+        let broken: FnLens<i64, i64> = FnLens::new(|s| *s, |_v, s| *s, |v| *v);
         let err = laws::check_put_get(&broken, &5, &3).unwrap_err();
         assert!(err.to_string().contains("PutGet"));
     }

@@ -137,11 +137,7 @@ impl fmt::Display for LawReport {
 
 /// Run GetPut over all sources, PutGet and CreateGet over all
 /// (view, source) combinations.
-pub fn check_well_behaved<L: Lens>(
-    l: &L,
-    sources: &[L::Source],
-    views: &[L::View],
-) -> LawReport
+pub fn check_well_behaved<L: Lens>(l: &L, sources: &[L::Source], views: &[L::View]) -> LawReport
 where
     L::Source: PartialEq + fmt::Debug,
     L::View: PartialEq + fmt::Debug,
@@ -183,9 +179,7 @@ where
     } else {
         Err(LawViolation {
             law: "PutRL",
-            detail: format!(
-                "put_l(put_r(x, c)) = ({x2:?}, {c2:?}) ≠ ({x:?}, {c1:?})"
-            ),
+            detail: format!("put_l(put_r(x, c)) = ({x2:?}, {c2:?}) ≠ ({x:?}, {c1:?})"),
         })
     }
 }
@@ -203,9 +197,7 @@ where
     } else {
         Err(LawViolation {
             law: "PutLR",
-            detail: format!(
-                "put_r(put_l(y, c)) = ({y2:?}, {c2:?}) ≠ ({y:?}, {c1:?})"
-            ),
+            detail: format!("put_r(put_l(y, c)) = ({y2:?}, {c2:?}) ≠ ({y:?}, {c1:?})"),
         })
     }
 }

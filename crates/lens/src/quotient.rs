@@ -73,10 +73,7 @@ impl<L: Lens> QuotientLens<L> {
 }
 
 /// GetPut up to source equivalence: `put(get(s), s) ≈_S s`.
-pub fn check_q_get_put<L: Lens>(
-    l: &QuotientLens<L>,
-    s: &L::Source,
-) -> Result<(), LawViolation>
+pub fn check_q_get_put<L: Lens>(l: &QuotientLens<L>, s: &L::Source) -> Result<(), LawViolation>
 where
     L::Source: fmt::Debug,
 {

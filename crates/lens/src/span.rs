@@ -275,10 +275,7 @@ mod tests {
             &span,
             &[("alice".into(), 30), ("bob".into(), 40)],
             &[("carol".into(), "Quito".into())],
-            &[
-                None,
-                Some(("seed".into(), 7, "Lima".into())),
-            ],
+            &[None, Some(("seed".into(), 7, "Lima".into()))],
         );
         assert!(report.all_ok(), "{report}");
     }

@@ -389,8 +389,7 @@ mod tests {
 
     #[test]
     fn boxed_symlens() {
-        let b: BoxSymLens<(String, u32), (String, String), (u32, String)> =
-            Box::new(NameBridge);
+        let b: BoxSymLens<(String, u32), (String, String), (u32, String)> = Box::new(NameBridge);
         let (y, _) = b.put_r(&("n".into(), 5), &b.missing());
         assert_eq!(y.0, "n");
     }

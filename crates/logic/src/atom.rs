@@ -65,7 +65,11 @@ impl Atom {
     /// Instantiate into a tuple under `valuation`. Returns `None` if a
     /// variable is unbound.
     pub fn instantiate(&self, valuation: &BTreeMap<Name, Value>) -> Option<Tuple> {
-        self.args.iter().map(|t| t.eval(valuation)).collect::<Option<Vec<_>>>().map(Tuple::new)
+        self.args
+            .iter()
+            .map(|t| t.eval(valuation))
+            .collect::<Option<Vec<_>>>()
+            .map(Tuple::new)
     }
 
     /// Substitute variables by terms.
@@ -154,7 +158,10 @@ mod tests {
 
     #[test]
     fn display_conjunction_form() {
-        let atoms = vec![Atom::vars("Emp", &["x"]), Atom::vars("Manager", &["x", "y"])];
+        let atoms = vec![
+            Atom::vars("Emp", &["x"]),
+            Atom::vars("Manager", &["x", "y"]),
+        ];
         assert_eq!(display_conjunction(&atoms), "Emp(x) ∧ Manager(x, y)");
     }
 }

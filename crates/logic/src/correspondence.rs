@@ -241,7 +241,10 @@ impl CorrespondenceSet {
 
     /// Compile every group; one st-tgd per group.
     pub fn compile(&self, source: &Schema, target: &Schema) -> Result<Vec<StTgd>, RelationalError> {
-        self.groups.iter().map(|g| g.compile(source, target)).collect()
+        self.groups
+            .iter()
+            .map(|g| g.compile(source, target))
+            .collect()
     }
 }
 
@@ -362,10 +365,9 @@ mod tests {
 
     #[test]
     fn unreached_target_attrs_get_distinct_existentials() {
-        let source = Schema::with_relations(vec![
-            RelSchema::untyped("P1", vec!["id", "name"]).unwrap()
-        ])
-        .unwrap();
+        let source =
+            Schema::with_relations(vec![RelSchema::untyped("P1", vec!["id", "name"]).unwrap()])
+                .unwrap();
         let target = Schema::with_relations(vec![RelSchema::untyped(
             "P2",
             vec!["id", "name", "salary", "zip"],
@@ -383,10 +385,8 @@ mod tests {
 
     #[test]
     fn target_join_shares_one_existential() {
-        let source = Schema::with_relations(vec![
-            RelSchema::untyped("R", vec!["a"]).unwrap()
-        ])
-        .unwrap();
+        let source =
+            Schema::with_relations(vec![RelSchema::untyped("R", vec!["a"]).unwrap()]).unwrap();
         let target = Schema::with_relations(vec![
             RelSchema::untyped("S", vec!["a", "k"]).unwrap(),
             RelSchema::untyped("T", vec!["k", "b"]).unwrap(),

@@ -3,18 +3,46 @@
 //! This is the workhorse shared by satisfaction checking and the chase:
 //! find every valuation of the variables of a conjunction of atoms that
 //! makes all atoms facts of the instance.
+//!
+//! Two matching modes are supported. [`MatchMode::Indexed`] (the
+//! default) probes each relation's lazily built per-position hash
+//! indexes on whichever bound position has the shortest posting list,
+//! so a tuple is only visited if it agrees with the valuation on that
+//! position. [`MatchMode::Scan`] visits every tuple of the relation.
+//! Both modes pick atoms in the same greedy order and enumerate
+//! candidates in canonical tuple order, so they produce identical
+//! match lists; `Scan` is kept as a correctness oracle.
+//!
+//! Backtracking binds and unbinds variables in a single valuation
+//! (with an undo log) instead of cloning the valuation per candidate
+//! tuple.
 
 use crate::atom::Atom;
 use crate::term::Term;
-use dex_relational::{Instance, Name, Tuple, Value};
+use dex_relational::{Instance, Name, Probe, Relation, Tuple, Value};
 use std::collections::BTreeMap;
 
 /// A variable assignment.
 pub type Valuation = BTreeMap<Name, Value>;
 
+/// How candidate tuples are located during matching.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MatchMode {
+    /// Probe per-position hash indexes on bound positions.
+    #[default]
+    Indexed,
+    /// Scan every tuple of the candidate relation (oracle).
+    Scan,
+}
+
 /// All valuations satisfying the conjunction in `inst`.
 pub fn match_conjunction(atoms: &[Atom], inst: &Instance) -> Vec<Valuation> {
-    extend_matches(atoms, inst, &Valuation::new())
+    match_conjunction_mode(atoms, inst, MatchMode::default())
+}
+
+/// [`match_conjunction`] with an explicit matching mode.
+pub fn match_conjunction_mode(atoms: &[Atom], inst: &Instance, mode: MatchMode) -> Vec<Valuation> {
+    extend_matches_mode(atoms, inst, &Valuation::new(), mode)
 }
 
 /// All extensions of `partial` satisfying the conjunction in `inst`.
@@ -24,45 +52,61 @@ pub fn match_conjunction(atoms: &[Atom], inst: &Instance) -> Vec<Valuation> {
 /// candidate relation) is matched next, which keeps the join tree
 /// selective.
 pub fn extend_matches(atoms: &[Atom], inst: &Instance, partial: &Valuation) -> Vec<Valuation> {
+    extend_matches_mode(atoms, inst, partial, MatchMode::default())
+}
+
+/// [`extend_matches`] with an explicit matching mode.
+pub fn extend_matches_mode(
+    atoms: &[Atom],
+    inst: &Instance,
+    partial: &Valuation,
+    mode: MatchMode,
+) -> Vec<Valuation> {
     let mut out = Vec::new();
     let mut remaining: Vec<&Atom> = atoms.iter().collect();
     let mut v = partial.clone();
-    search(&mut remaining, inst, &mut v, &mut out);
+    let mut undo = Vec::new();
+    search(&mut remaining, inst, &mut v, &mut undo, mode, &mut |m| {
+        out.push(m.clone());
+        false
+    });
     out
 }
 
 /// Does at least one extension of `partial` satisfy the conjunction?
 /// Stops at the first witness.
 pub fn has_match(atoms: &[Atom], inst: &Instance, partial: &Valuation) -> bool {
-    // A dedicated early-exit traversal: reuse `search` would collect all.
-    fn go(remaining: &mut Vec<&Atom>, inst: &Instance, v: &mut Valuation) -> bool {
-        let Some(idx) = pick_next(remaining, inst, v) else {
-            return true;
-        };
-        let atom = remaining.swap_remove(idx);
-        let found = match inst.relation(atom.relation.as_str()) {
-            None => false,
-            Some(rel) => rel.iter().any(|t| {
-                let mut v2 = v.clone();
-                unify_atom(atom, t, &mut v2)
-                    && {
-                        let saved = std::mem::replace(v, v2);
-                        let ok = go(remaining, inst, v);
-                        if !ok {
-                            *v = saved;
-                        }
-                        ok
-                    }
-            }),
-        };
-        if !found {
-            remaining.push(atom); // restore for caller's backtracking
-        }
-        found
-    }
+    has_match_mode(atoms, inst, partial, MatchMode::default())
+}
+
+/// [`has_match`] with an explicit matching mode.
+pub fn has_match_mode(
+    atoms: &[Atom],
+    inst: &Instance,
+    partial: &Valuation,
+    mode: MatchMode,
+) -> bool {
     let mut remaining: Vec<&Atom> = atoms.iter().collect();
     let mut v = partial.clone();
-    go(&mut remaining, inst, &mut v)
+    let mut undo = Vec::new();
+    search(&mut remaining, inst, &mut v, &mut undo, mode, &mut |_| true)
+}
+
+/// Extend `partial` so that `atom` matches `tuple` exactly. Returns
+/// the extended valuation, or `None` on mismatch. This is the seeding
+/// step of semi-naive (delta-driven) evaluation: pin one atom to a
+/// delta tuple, then [`extend_matches_mode`] the rest.
+pub fn unify_with_tuple(atom: &Atom, tuple: &Tuple, partial: &Valuation) -> Option<Valuation> {
+    if atom.arity() != tuple.arity() {
+        return None;
+    }
+    let mut v = partial.clone();
+    let mut undo = Vec::new();
+    if unify_atom(atom, tuple, &mut v, &mut undo) {
+        Some(v)
+    } else {
+        None
+    }
 }
 
 fn pick_next(remaining: &[&Atom], inst: &Instance, v: &Valuation) -> Option<usize> {
@@ -94,48 +138,104 @@ fn pick_next(remaining: &[&Atom], inst: &Instance, v: &Valuation) -> Option<usiz
     Some(best)
 }
 
+/// The shortest index probe available for `atom` under `v`: among the
+/// positions whose term is already determined (a constant, a bound
+/// variable, or an evaluable function term), probe the one with the
+/// fewest matching tuples. `None` if no position is determined.
+fn best_probe(atom: &Atom, rel: &Relation, v: &Valuation) -> Option<Probe> {
+    let bound: Vec<(usize, Value)> = atom
+        .args
+        .iter()
+        .enumerate()
+        .filter_map(|(pos, term)| term.eval(v).map(|val| (pos, val)))
+        .collect();
+    let (pos, val) = bound
+        .iter()
+        .min_by_key(|(pos, val)| rel.posting_len(*pos, val))?;
+    Some(rel.probe(*pos, val))
+}
+
+/// Depth-first join search. `emit` is called on every complete match;
+/// returning `true` stops the search (used by `has_match`). Returns
+/// whether the search was stopped.
 fn search(
     remaining: &mut Vec<&Atom>,
     inst: &Instance,
     v: &mut Valuation,
-    out: &mut Vec<Valuation>,
-) {
+    undo: &mut Vec<Name>,
+    mode: MatchMode,
+    emit: &mut dyn FnMut(&Valuation) -> bool,
+) -> bool {
     let Some(idx) = pick_next(remaining, inst, v) else {
-        out.push(v.clone());
-        return;
+        return emit(v);
     };
     let atom = remaining.swap_remove(idx);
-    if let Some(rel) = inst.relation(atom.relation.as_str()) {
-        for t in rel.iter() {
-            let mut v2 = v.clone();
-            if unify_atom(atom, t, &mut v2) {
-                let saved = std::mem::replace(v, v2);
-                search(remaining, inst, v, out);
-                *v = saved;
+    let stopped = match inst.relation(atom.relation.as_str()) {
+        None => false,
+        Some(rel) => {
+            let probe = match mode {
+                MatchMode::Indexed => best_probe(atom, rel, v),
+                MatchMode::Scan => None,
+            };
+            match &probe {
+                Some(p) => try_candidates(p.iter(), atom, remaining, inst, v, undo, mode, emit),
+                None => try_candidates(rel.iter(), atom, remaining, inst, v, undo, mode, emit),
             }
         }
-    }
+    };
     remaining.push(atom);
+    stopped
 }
 
-/// Unify one atom's terms against a tuple, extending `v`. Returns
-/// `false` (with `v` possibly dirtied — callers clone) on mismatch.
-fn unify_atom(atom: &Atom, tuple: &Tuple, v: &mut Valuation) -> bool {
+#[allow(clippy::too_many_arguments)]
+fn try_candidates<'t>(
+    candidates: impl Iterator<Item = &'t Tuple>,
+    atom: &Atom,
+    remaining: &mut Vec<&Atom>,
+    inst: &Instance,
+    v: &mut Valuation,
+    undo: &mut Vec<Name>,
+    mode: MatchMode,
+    emit: &mut dyn FnMut(&Valuation) -> bool,
+) -> bool {
+    for t in candidates {
+        let mark = undo.len();
+        if unify_atom(atom, t, v, undo) && search(remaining, inst, v, undo, mode, emit) {
+            rollback(v, undo, mark);
+            return true;
+        }
+        rollback(v, undo, mark);
+    }
+    false
+}
+
+/// Unbind every variable bound after `mark`.
+fn rollback(v: &mut Valuation, undo: &mut Vec<Name>, mark: usize) {
+    for name in undo.drain(mark..) {
+        v.remove(name.as_str());
+    }
+}
+
+/// Unify one atom's terms against a tuple, extending `v` and recording
+/// fresh bindings in `undo`. Returns `false` on mismatch; the caller
+/// rolls back to its mark either way.
+fn unify_atom(atom: &Atom, tuple: &Tuple, v: &mut Valuation, undo: &mut Vec<Name>) -> bool {
     debug_assert_eq!(atom.arity(), tuple.arity());
     for (term, val) in atom.args.iter().zip(tuple.iter()) {
-        if !unify_term(term, val, v) {
+        if !unify_term(term, val, v, undo) {
             return false;
         }
     }
     true
 }
 
-fn unify_term(term: &Term, val: &Value, v: &mut Valuation) -> bool {
+fn unify_term(term: &Term, val: &Value, v: &mut Valuation, undo: &mut Vec<Name>) -> bool {
     match term {
         Term::Var(x) => match v.get(x.as_str()) {
             Some(bound) => bound == val,
             None => {
                 v.insert(x.clone(), val.clone());
+                undo.push(x.clone());
                 true
             }
         },
@@ -165,10 +265,7 @@ mod tests {
         Instance::with_facts(
             schema,
             vec![
-                (
-                    "Student",
-                    vec![tuple![1i64, "Alice"], tuple![2i64, "Bob"]],
-                ),
+                ("Student", vec![tuple![1i64, "Alice"], tuple![2i64, "Bob"]]),
                 (
                     "Assgn",
                     vec![
@@ -202,10 +299,7 @@ mod tests {
 
     #[test]
     fn constants_filter() {
-        let atoms = vec![Atom::new(
-            "Assgn",
-            vec![Term::var("n"), Term::cnst("DB")],
-        )];
+        let atoms = vec![Atom::new("Assgn", vec![Term::var("n"), Term::cnst("DB")])];
         let ms = match_conjunction(&atoms, &db());
         assert_eq!(ms.len(), 2);
     }
@@ -241,6 +335,34 @@ mod tests {
     }
 
     #[test]
+    fn indexed_and_scan_agree_exactly() {
+        // Same matches in the same order, across shapes: single atom,
+        // join, constants, repeated vars, cartesian.
+        let cases: Vec<Vec<Atom>> = vec![
+            vec![Atom::vars("Student", &["i", "n"])],
+            vec![
+                Atom::vars("Student", &["i", "n"]),
+                Atom::vars("Assgn", &["n", "c"]),
+            ],
+            vec![Atom::new("Assgn", vec![Term::var("n"), Term::cnst("DB")])],
+            vec![Atom::vars("Assgn", &["x", "x"])],
+            vec![
+                Atom::vars("Student", &["i", "n"]),
+                Atom::vars("Assgn", &["m", "c"]),
+            ],
+        ];
+        for atoms in cases {
+            let indexed = match_conjunction_mode(&atoms, &db(), MatchMode::Indexed);
+            let scan = match_conjunction_mode(&atoms, &db(), MatchMode::Scan);
+            assert_eq!(indexed, scan, "atoms: {atoms:?}");
+            assert_eq!(
+                has_match_mode(&atoms, &db(), &Valuation::new(), MatchMode::Indexed),
+                has_match_mode(&atoms, &db(), &Valuation::new(), MatchMode::Scan),
+            );
+        }
+    }
+
+    #[test]
     fn empty_conjunction_matches_once() {
         let ms = match_conjunction(&[], &db());
         assert_eq!(ms.len(), 1);
@@ -266,10 +388,9 @@ mod tests {
     #[test]
     fn function_term_matches_by_evaluation() {
         use dex_relational::Tuple;
-        let schema = Schema::with_relations(vec![
-            RelSchema::untyped("Boss", vec!["emp", "mgr"]).unwrap()
-        ])
-        .unwrap();
+        let schema =
+            Schema::with_relations(vec![RelSchema::untyped("Boss", vec!["emp", "mgr"]).unwrap()])
+                .unwrap();
         let mut inst = Instance::empty(schema);
         inst.insert(
             "Boss",
@@ -282,10 +403,7 @@ mod tests {
         // Boss(x, f(x)) should match with x = Alice.
         let atoms = vec![Atom::new(
             "Boss",
-            vec![
-                Term::var("x"),
-                Term::func("f", vec![Term::var("x")]),
-            ],
+            vec![Term::var("x"), Term::func("f", vec![Term::var("x")])],
         )];
         let ms = match_conjunction(&atoms, &inst);
         assert_eq!(ms.len(), 1);

@@ -257,8 +257,7 @@ mod tests {
             egds,
         )
         .unwrap();
-        let src = Instance::with_facts(emp_schema(), vec![("Emp", vec![tuple!["Alice"]])])
-            .unwrap();
+        let src = Instance::with_facts(emp_schema(), vec![("Emp", vec![tuple!["Alice"]])]).unwrap();
         let two_mgrs = Instance::with_facts(
             mgr_schema(),
             vec![(
@@ -281,10 +280,8 @@ mod tests {
         assert!(!example1().is_full());
         let full = Mapping::new(
             mgr_schema(),
-            Schema::with_relations(vec![
-                RelSchema::untyped("Boss", vec!["e", "m"]).unwrap()
-            ])
-            .unwrap(),
+            Schema::with_relations(vec![RelSchema::untyped("Boss", vec!["e", "m"]).unwrap()])
+                .unwrap(),
             vec![StTgd::new(
                 vec![Atom::vars("Manager", &["x", "y"])],
                 vec![Atom::vars("Boss", &["x", "y"])],

@@ -47,7 +47,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -120,37 +124,69 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
             }
             '(' => {
                 bump!();
-                out.push(SpannedTok { tok: Tok::LParen, line: l, col: c0 });
+                out.push(SpannedTok {
+                    tok: Tok::LParen,
+                    line: l,
+                    col: c0,
+                });
             }
             ')' => {
                 bump!();
-                out.push(SpannedTok { tok: Tok::RParen, line: l, col: c0 });
+                out.push(SpannedTok {
+                    tok: Tok::RParen,
+                    line: l,
+                    col: c0,
+                });
             }
             ',' => {
                 bump!();
-                out.push(SpannedTok { tok: Tok::Comma, line: l, col: c0 });
+                out.push(SpannedTok {
+                    tok: Tok::Comma,
+                    line: l,
+                    col: c0,
+                });
             }
             ';' => {
                 bump!();
-                out.push(SpannedTok { tok: Tok::Semi, line: l, col: c0 });
+                out.push(SpannedTok {
+                    tok: Tok::Semi,
+                    line: l,
+                    col: c0,
+                });
             }
             '&' => {
                 bump!();
-                out.push(SpannedTok { tok: Tok::Amp, line: l, col: c0 });
+                out.push(SpannedTok {
+                    tok: Tok::Amp,
+                    line: l,
+                    col: c0,
+                });
             }
             '|' => {
                 bump!();
-                out.push(SpannedTok { tok: Tok::Pipe, line: l, col: c0 });
+                out.push(SpannedTok {
+                    tok: Tok::Pipe,
+                    line: l,
+                    col: c0,
+                });
             }
             '=' => {
                 bump!();
-                out.push(SpannedTok { tok: Tok::Eq, line: l, col: c0 });
+                out.push(SpannedTok {
+                    tok: Tok::Eq,
+                    line: l,
+                    col: c0,
+                });
             }
             ':' => {
                 bump!();
                 if chars.peek() == Some(&'-') {
                     bump!();
-                    out.push(SpannedTok { tok: Tok::Turnstile, line: l, col: c0 });
+                    out.push(SpannedTok {
+                        tok: Tok::Turnstile,
+                        line: l,
+                        col: c0,
+                    });
                 } else {
                     return Err(ParseError {
                         message: "expected `:-`".into(),
@@ -164,7 +200,11 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
                 match chars.peek() {
                     Some('>') => {
                         bump!();
-                        out.push(SpannedTok { tok: Tok::Arrow, line: l, col: c0 });
+                        out.push(SpannedTok {
+                            tok: Tok::Arrow,
+                            line: l,
+                            col: c0,
+                        });
                     }
                     Some('-') => {
                         // comment to end of line
@@ -190,7 +230,11 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
                             line: l,
                             col: c0,
                         })?;
-                        out.push(SpannedTok { tok: Tok::Int(v), line: l, col: c0 });
+                        out.push(SpannedTok {
+                            tok: Tok::Int(v),
+                            line: l,
+                            col: c0,
+                        });
                     }
                     _ => {
                         return Err(ParseError {
@@ -235,7 +279,11 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
                         }
                     }
                 }
-                out.push(SpannedTok { tok: Tok::Str(s), line: l, col: c0 });
+                out.push(SpannedTok {
+                    tok: Tok::Str(s),
+                    line: l,
+                    col: c0,
+                });
             }
             d if d.is_ascii_digit() => {
                 let mut n = String::new();
@@ -252,7 +300,11 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
                     line: l,
                     col: c0,
                 })?;
-                out.push(SpannedTok { tok: Tok::Int(v), line: l, col: c0 });
+                out.push(SpannedTok {
+                    tok: Tok::Int(v),
+                    line: l,
+                    col: c0,
+                });
             }
             a if a.is_alphabetic() || a == '_' => {
                 let mut s = String::new();
@@ -264,7 +316,11 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
                         break;
                     }
                 }
-                out.push(SpannedTok { tok: Tok::Ident(s), line: l, col: c0 });
+                out.push(SpannedTok {
+                    tok: Tok::Ident(s),
+                    line: l,
+                    col: c0,
+                });
             }
             other => {
                 return Err(ParseError {
@@ -382,7 +438,10 @@ impl Parser {
         // Lookahead: `Ident (` begins an atom (tgd); `term =` begins an
         // equality (egd).
         let is_atom = matches!(
-            (&self.toks[self.pos].tok, self.toks.get(self.pos + 1).map(|t| &t.tok)),
+            (
+                &self.toks[self.pos].tok,
+                self.toks.get(self.pos + 1).map(|t| &t.tok)
+            ),
             (Tok::Ident(_), Some(Tok::LParen))
         );
         if is_atom {
@@ -621,10 +680,7 @@ pub fn parse_mapping(input: &str) -> Result<Mapping, ParseError> {
             .map(|(_, a)| a.clone())
             .collect();
         if !non_key.is_empty() {
-            let fd = Fd::new(
-                attrs.iter().map(Name::new).collect::<Vec<_>>(),
-                non_key,
-            );
+            let fd = Fd::new(attrs.iter().map(Name::new).collect::<Vec<_>>(), non_key);
             let updated = rs.clone().with_fd(fd)?;
             schema.remove_relation(&rel);
             schema.add_relation(updated)?;
@@ -712,8 +768,7 @@ mod tests {
 
     #[test]
     fn parse_conjunction_both_sides() {
-        let t =
-            parse_tgd("Student(x, y) & Assgn(y, z) -> Enrollment(x, z);").unwrap();
+        let t = parse_tgd("Student(x, y) & Assgn(y, z) -> Enrollment(x, z);").unwrap();
         assert_eq!(t.lhs.len(), 2);
         assert_eq!(t.rhs.len(), 1);
         assert!(t.is_full());
@@ -723,10 +778,7 @@ mod tests {
     fn parse_disjunctive_rule() {
         let d = parse_disj_tgd("Parent(x, y) -> Father(x, y) | Mother(x, y)").unwrap();
         assert_eq!(d.disjuncts.len(), 2);
-        assert_eq!(
-            d.to_string(),
-            "Parent(x, y) → Father(x, y) ∨ Mother(x, y)"
-        );
+        assert_eq!(d.to_string(), "Parent(x, y) → Father(x, y) ∨ Mother(x, y)");
     }
 
     #[test]
@@ -763,14 +815,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(m.target_egds().len(), 1);
-        assert_eq!(
-            m.target()
-                .relation("Manager")
-                .unwrap()
-                .fds()
-                .len(),
-            1
-        );
+        assert_eq!(m.target().relation("Manager").unwrap().fds().len(), 1);
     }
 
     #[test]
@@ -791,10 +836,7 @@ mod tests {
 
     #[test]
     fn comments_both_styles() {
-        let t = parse_tgd(
-            "Emp(x) -- trailing comment\n// full line\n -> Manager(x, y);",
-        )
-        .unwrap();
+        let t = parse_tgd("Emp(x) -- trailing comment\n// full line\n -> Manager(x, y);").unwrap();
         assert_eq!(t.lhs[0].relation, "Emp");
     }
 

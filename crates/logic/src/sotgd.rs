@@ -106,8 +106,7 @@ impl SoTgd {
         let mut namer = FnNamer::default();
         for tgd in tgds {
             let frontier = tgd.frontier();
-            let frontier_terms: Vec<Term> =
-                frontier.iter().map(|v| Term::Var(v.clone())).collect();
+            let frontier_terms: Vec<Term> = frontier.iter().map(|v| Term::Var(v.clone())).collect();
             let mut subst: BTreeMap<Name, Term> = BTreeMap::new();
             for y in tgd.existential_vars() {
                 let fname = namer.fresh();
@@ -494,8 +493,7 @@ mod tests {
     #[test]
     fn bounded_satisfaction_example2_selfmanager_required() {
         let so = example2_sotgd();
-        let src = Instance::with_facts(emp_schema(), vec![("Emp", vec![tuple!["Alice"]])])
-            .unwrap();
+        let src = Instance::with_facts(emp_schema(), vec![("Emp", vec![tuple!["Alice"]])]).unwrap();
         // Boss(Alice, Alice) forces f(Alice) = Alice only if we pick that
         // interpretation — and then SelfMngr(Alice) is required.
         let with_self = Instance::with_facts(
@@ -518,11 +516,8 @@ mod tests {
         assert!(!so.satisfied_by_bounded(&src, &without_self));
 
         // Boss(Alice, Ted): f(Alice)=Ted ≠ Alice, no SelfMngr needed.
-        let ted = Instance::with_facts(
-            boss_schema(),
-            vec![("Boss", vec![tuple!["Alice", "Ted"]])],
-        )
-        .unwrap();
+        let ted = Instance::with_facts(boss_schema(), vec![("Boss", vec![tuple!["Alice", "Ted"]])])
+            .unwrap();
         assert!(so.satisfied_by_bounded(&src, &ted));
 
         // Empty target with non-empty source: clause 1 unsatisfiable.
@@ -545,13 +540,9 @@ mod tests {
             vec![],
             vec![SoClause::new(tgd.lhs.clone(), vec![], tgd.rhs.clone())],
         );
-        let src = Instance::with_facts(emp_schema(), vec![("Emp", vec![tuple!["Alice"]])])
-            .unwrap();
-        let good = Instance::with_facts(
-            boss_schema(),
-            vec![("SelfMngr", vec![tuple!["Alice"]])],
-        )
-        .unwrap();
+        let src = Instance::with_facts(emp_schema(), vec![("Emp", vec![tuple!["Alice"]])]).unwrap();
+        let good =
+            Instance::with_facts(boss_schema(), vec![("SelfMngr", vec![tuple!["Alice"]])]).unwrap();
         let bad = Instance::empty(boss_schema());
         assert_eq!(
             so.satisfied_by_bounded(&src, &good),
@@ -572,12 +563,10 @@ mod tests {
             vec![Atom::vars("Manager", &["x", "y"])],
         );
         let so = SoTgd::from_st_tgds(&[tgd]);
-        let src = Instance::with_facts(emp_schema(), vec![("Emp", vec![tuple!["Alice"]])])
-            .unwrap();
-        let mgr_schema = Schema::with_relations(vec![
-            RelSchema::untyped("Manager", vec!["e", "m"]).unwrap()
-        ])
-        .unwrap();
+        let src = Instance::with_facts(emp_schema(), vec![("Emp", vec![tuple!["Alice"]])]).unwrap();
+        let mgr_schema =
+            Schema::with_relations(vec![RelSchema::untyped("Manager", vec!["e", "m"]).unwrap()])
+                .unwrap();
         let tgt = Instance::with_facts(
             mgr_schema.clone(),
             vec![("Manager", vec![tuple!["Alice", "Ted"]])],
@@ -620,15 +609,14 @@ mod tests {
                 vec![Atom::vars("SelfMngr", &["x"])],
             )],
         );
-        let src = Instance::with_facts(emp_schema(), vec![("Emp", vec![tuple!["a"]])])
-            .unwrap();
+        let src = Instance::with_facts(emp_schema(), vec![("Emp", vec![tuple!["a"]])]).unwrap();
         let without = Instance::empty(boss_schema());
         assert!(
             !so.satisfied_by_bounded(&src, &without),
             "domain is {{a}}: f(f(a)) = a is forced, SelfMngr(a) missing"
         );
-        let with = Instance::with_facts(boss_schema(), vec![("SelfMngr", vec![tuple!["a"]])])
-            .unwrap();
+        let with =
+            Instance::with_facts(boss_schema(), vec![("SelfMngr", vec![tuple!["a"]])]).unwrap();
         assert!(so.satisfied_by_bounded(&src, &with));
     }
 }

@@ -169,16 +169,16 @@ mod tests {
     fn prefix_vars_renames() {
         let t = Term::func("f", vec![Term::var("x"), Term::cnst(1i64)]);
         let p = t.prefix_vars("m1_");
-        assert_eq!(p, Term::func("f", vec![Term::var("m1_x"), Term::cnst(1i64)]));
+        assert_eq!(
+            p,
+            Term::func("f", vec![Term::var("m1_x"), Term::cnst(1i64)])
+        );
     }
 
     #[test]
     fn display() {
         assert_eq!(Term::var("x").to_string(), "x");
         assert_eq!(Term::cnst("Alice").to_string(), "\"Alice\"");
-        assert_eq!(
-            Term::func("f", vec![Term::var("x")]).to_string(),
-            "f(x)"
-        );
+        assert_eq!(Term::func("f", vec![Term::var("x")]).to_string(), "f(x)");
     }
 }

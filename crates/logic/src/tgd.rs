@@ -135,10 +135,7 @@ impl fmt::Display for StTgd {
     /// Paper-style display, e.g.
     /// `∀x (Emp(x) → ∃y Manager(x, y))`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let universals: Vec<Name> = self
-            .lhs_vars()
-            .into_iter()
-            .collect();
+        let universals: Vec<Name> = self.lhs_vars().into_iter().collect();
         let existentials = self.existential_vars();
         if !universals.is_empty() {
             write!(
@@ -396,7 +393,10 @@ mod tests {
         .unwrap();
         assert!(!t.satisfied_by(&src, &bad));
         // Empty target with empty source is fine.
-        assert!(t.satisfied_by(&Instance::empty(emp_schema()), &Instance::empty(mgr_schema())));
+        assert!(t.satisfied_by(
+            &Instance::empty(emp_schema()),
+            &Instance::empty(mgr_schema())
+        ));
     }
 
     #[test]
@@ -449,10 +449,9 @@ mod tests {
                 vec![Atom::vars("Mother", &["x", "y"])],
             ],
         );
-        let parent_schema = Schema::with_relations(vec![
-            RelSchema::untyped("Parent", vec!["p", "c"]).unwrap()
-        ])
-        .unwrap();
+        let parent_schema =
+            Schema::with_relations(vec![RelSchema::untyped("Parent", vec!["p", "c"]).unwrap()])
+                .unwrap();
         let fm_schema = Schema::with_relations(vec![
             RelSchema::untyped("Father", vec!["p", "c"]).unwrap(),
             RelSchema::untyped("Mother", vec!["p", "c"]).unwrap(),
@@ -478,10 +477,7 @@ mod tests {
         assert!(d.satisfied_by(&j, &i1));
         assert!(d.satisfied_by(&j, &i2));
         assert!(!d.satisfied_by(&j, &neither));
-        assert_eq!(
-            d.to_string(),
-            "Parent(x, y) → Father(x, y) ∨ Mother(x, y)"
-        );
+        assert_eq!(d.to_string(), "Parent(x, y) → Father(x, y) ∨ Mother(x, y)");
     }
 
     #[test]
@@ -495,8 +491,7 @@ mod tests {
     fn from_tgd_single_disjunct_equisatisfiable() {
         let t = example1_tgd();
         let d = DisjTgd::from_tgd(&t);
-        let src = Instance::with_facts(emp_schema(), vec![("Emp", vec![tuple!["Alice"]])])
-            .unwrap();
+        let src = Instance::with_facts(emp_schema(), vec![("Emp", vec![tuple!["Alice"]])]).unwrap();
         let tgt = Instance::with_facts(
             mgr_schema(),
             vec![("Manager", vec![tuple!["Alice", "Ted"]])],

@@ -234,7 +234,12 @@ fn rename_functions(so: &SoTgd, renames: &BTreeMap<Name, Name>) -> SoTgd {
                 SoClause::new(
                     c.lhs_atoms
                         .iter()
-                        .map(|a| Atom::new(a.relation.clone(), a.args.iter().map(|t| go(t, renames)).collect()))
+                        .map(|a| {
+                            Atom::new(
+                                a.relation.clone(),
+                                a.args.iter().map(|t| go(t, renames)).collect(),
+                            )
+                        })
                         .collect(),
                     c.lhs_eqs
                         .iter()
@@ -242,7 +247,12 @@ fn rename_functions(so: &SoTgd, renames: &BTreeMap<Name, Name>) -> SoTgd {
                         .collect(),
                     c.rhs_atoms
                         .iter()
-                        .map(|a| Atom::new(a.relation.clone(), a.args.iter().map(|t| go(t, renames)).collect()))
+                        .map(|a| {
+                            Atom::new(
+                                a.relation.clone(),
+                                a.args.iter().map(|t| go(t, renames)).collect(),
+                            )
+                        })
                         .collect(),
                 )
             })
@@ -293,11 +303,15 @@ fn simplify_clause(clause: &mut SoClause) {
             };
             for (l, r) in &clause.lhs_eqs {
                 match (l, r) {
-                    (Term::Var(y), t) if !lhs_vars.contains(y.as_str()) && !term_mentions_var(t, y) => {
+                    (Term::Var(y), t)
+                        if !lhs_vars.contains(y.as_str()) && !term_mentions_var(t, y) =>
+                    {
                         subst = Some((y.clone(), t.clone()));
                         break;
                     }
-                    (t, Term::Var(y)) if !lhs_vars.contains(y.as_str()) && !term_mentions_var(t, y) => {
+                    (t, Term::Var(y))
+                        if !lhs_vars.contains(y.as_str()) && !term_mentions_var(t, y) =>
+                    {
                         subst = Some((y.clone(), t.clone()));
                         break;
                     }
@@ -330,9 +344,7 @@ fn simplify_clause(clause: &mut SoClause) {
     let mut seen = BTreeSet::new();
     clause.lhs_atoms.retain(|a| seen.insert(a.clone()));
     let mut seen_eq = BTreeSet::new();
-    clause
-        .lhs_eqs
-        .retain(|e| seen_eq.insert(e.clone()));
+    clause.lhs_eqs.retain(|e| seen_eq.insert(e.clone()));
 }
 
 fn term_mentions_var(t: &Term, v: &Name) -> bool {
@@ -419,11 +431,9 @@ mod tests {
     #[test]
     fn composition_semantics_bounded() {
         let comp = compose(&m12(), &m23()).unwrap();
-        let src = Instance::with_facts(
-            m12().source().clone(),
-            vec![("Emp", vec![tuple!["Alice"]])],
-        )
-        .unwrap();
+        let src =
+            Instance::with_facts(m12().source().clone(), vec![("Emp", vec![tuple!["Alice"]])])
+                .unwrap();
         let c_schema = m23().target().clone();
         // Alice gets some boss (Ted): fine without SelfMngr.
         let ok = Instance::with_facts(
@@ -468,7 +478,10 @@ mod tests {
         )
         .unwrap();
         let comp = compose(&a2b, &b2c).unwrap();
-        let tgds = comp.st_tgds.clone().expect("full mappings stay first-order");
+        let tgds = comp
+            .st_tgds
+            .clone()
+            .expect("full mappings stay first-order");
         assert_eq!(tgds.len(), 2);
         let m = comp.into_mapping().unwrap();
         // Behaviour check.
@@ -558,25 +571,13 @@ mod tests {
     /// behavioural level).
     #[test]
     fn triple_chain_composes() {
-        let ab = parse_mapping(
-            "source A(x);\ntarget B(x);\nA(v) -> B(v);",
-        )
-        .unwrap();
-        let bc = parse_mapping(
-            "source B(x);\ntarget C(x);\nB(v) -> C(v);",
-        )
-        .unwrap();
-        let cd = parse_mapping(
-            "source C(x);\ntarget D(x);\nC(v) -> D(v);",
-        )
-        .unwrap();
+        let ab = parse_mapping("source A(x);\ntarget B(x);\nA(v) -> B(v);").unwrap();
+        let bc = parse_mapping("source B(x);\ntarget C(x);\nB(v) -> C(v);").unwrap();
+        let cd = parse_mapping("source C(x);\ntarget D(x);\nC(v) -> D(v);").unwrap();
         let ab_bc = compose(&ab, &bc).unwrap().into_mapping().unwrap();
         let abc_cd = compose(&ab_bc, &cd).unwrap().into_mapping().unwrap();
-        let src = Instance::with_facts(
-            ab.source().clone(),
-            vec![("A", vec![tuple!["v"]])],
-        )
-        .unwrap();
+        let src =
+            Instance::with_facts(ab.source().clone(), vec![("A", vec![tuple!["v"]])]).unwrap();
         let out = exchange(&abc_cd, &src).unwrap().target;
         assert!(out.contains("D", &tuple!["v"]));
     }

@@ -116,9 +116,7 @@ pub fn maximum_recovery(m: &Mapping) -> Result<MaxRecovery, OpsError> {
                 _ => {
                     return Err(OpsError::UnsupportedFragment {
                         operator: "maximum_recovery",
-                        reason: format!(
-                            "tgd `{tgd}` uses a non-variable target argument"
-                        ),
+                        reason: format!("tgd `{tgd}` uses a non-variable target argument"),
                     });
                 }
             }
@@ -133,9 +131,7 @@ pub fn maximum_recovery(m: &Mapping) -> Result<MaxRecovery, OpsError> {
             .expect_relation(rel.as_str())
             .map_err(OpsError::Relational)?
             .arity();
-        let head_vars: Vec<Name> = (0..arity)
-            .map(|i| Name::new(format!("v{i}")))
-            .collect();
+        let head_vars: Vec<Name> = (0..arity).map(|i| Name::new(format!("v{i}"))).collect();
         let head = Atom::new(
             rel.clone(),
             head_vars.iter().map(|v| Term::Var(v.clone())).collect(),
@@ -292,7 +288,10 @@ mod tests {
                 m.source().clone(),
                 vec![
                     ("Father", vec![tuple!["Leslie", "Alice"]]),
-                    ("Mother", vec![tuple!["Robin", "Sam"], tuple!["Robin", "Alex"]]),
+                    (
+                        "Mother",
+                        vec![tuple!["Robin", "Sam"], tuple!["Robin", "Alex"]],
+                    ),
                 ],
             )
             .unwrap(),
@@ -375,16 +374,10 @@ mod tests {
             "#,
         )
         .unwrap();
-        let i1 = Instance::with_facts(
-            m.source().clone(),
-            vec![("A", vec![tuple![1i64, 2i64]])],
-        )
-        .unwrap();
-        let i2 = Instance::with_facts(
-            m.source().clone(),
-            vec![("A", vec![tuple![3i64, 4i64]])],
-        )
-        .unwrap();
+        let i1 = Instance::with_facts(m.source().clone(), vec![("A", vec![tuple![1i64, 2i64]])])
+            .unwrap();
+        let i2 = Instance::with_facts(m.source().clone(), vec![("A", vec![tuple![3i64, 4i64]])])
+            .unwrap();
         assert!(!not_invertible_witness(&m, &i1, &i2));
         assert!(!not_invertible_witness(&m, &i1, &i1), "equal instances");
     }
@@ -408,11 +401,8 @@ mod tests {
         );
         // Behaviour: any person with that name is an acceptable
         // recovery.
-        let j = Instance::with_facts(
-            m.target().clone(),
-            vec![("Names", vec![tuple!["Alice"]])],
-        )
-        .unwrap();
+        let j = Instance::with_facts(m.target().clone(), vec![("Names", vec![tuple!["Alice"]])])
+            .unwrap();
         let i = Instance::with_facts(
             m.source().clone(),
             vec![("Person", vec![tuple![7i64, "Alice", 30i64]])],

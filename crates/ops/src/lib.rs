@@ -25,6 +25,4 @@ pub mod inverse;
 
 pub use compose::{compose, Composition};
 pub use error::OpsError;
-pub use inverse::{
-    is_recovery_witness, maximum_recovery, not_invertible_witness, MaxRecovery,
-};
+pub use inverse::{is_recovery_witness, maximum_recovery, not_invertible_witness, MaxRecovery};

@@ -81,12 +81,7 @@ pub fn rename_attrs(
         .schema()
         .attrs()
         .iter()
-        .map(|(a, t)| {
-            (
-                renaming.get(a).cloned().unwrap_or_else(|| a.clone()),
-                *t,
-            )
-        })
+        .map(|(a, t)| (renaming.get(a).cloned().unwrap_or_else(|| a.clone()), *t))
         .collect();
     let mut schema = RelSchema::new(out_name, attrs)?;
     *schema.fds_mut() = rel.schema().fds().rename(renaming);
@@ -97,14 +92,16 @@ pub fn rename_attrs(
     Ok(out)
 }
 
-/// ⋈ — natural join: match on all shared attribute names. The output
-/// header is `a`'s attributes followed by `b`'s non-shared attributes.
-/// FDs of both sides are retained (sound: both projections hold).
-pub fn natural_join(
-    a: &Relation,
-    b: &Relation,
-    out_name: &str,
-) -> Result<Relation, RelationalError> {
+/// Shared/extra position layout plus the (empty) output relation of a
+/// natural join.
+struct JoinParts {
+    out: Relation,
+    shared_a: Vec<usize>,
+    shared_b: Vec<usize>,
+    b_extra: Vec<usize>,
+}
+
+fn join_parts(a: &Relation, b: &Relation, out_name: &str) -> Result<JoinParts, RelationalError> {
     let a_names: Vec<Name> = a.schema().attr_names().cloned().collect();
     let b_names: Vec<Name> = b.schema().attr_names().cloned().collect();
     let shared: Vec<Name> = a_names
@@ -134,9 +131,68 @@ pub fn natural_join(
         fds.insert(fd.clone());
     }
     *schema.fds_mut() = fds;
+    Ok(JoinParts {
+        out: Relation::empty(schema),
+        shared_a,
+        shared_b,
+        b_extra,
+    })
+}
 
-    let mut out = Relation::empty(schema);
-    // Hash-join on the shared projection (BTreeMap for determinism).
+/// ⋈ — natural join: match on all shared attribute names. The output
+/// header is `a`'s attributes followed by `b`'s non-shared attributes.
+/// FDs of both sides are retained (sound: both projections hold).
+///
+/// Probes `b`'s per-position hash index (see
+/// [`Relation::probe`]) on the first shared attribute, filtering the
+/// candidates on the full shared projection; with no shared attributes
+/// this degenerates to the cartesian product.
+pub fn natural_join(
+    a: &Relation,
+    b: &Relation,
+    out_name: &str,
+) -> Result<Relation, RelationalError> {
+    let JoinParts {
+        mut out,
+        shared_a,
+        shared_b,
+        b_extra,
+    } = join_parts(a, b, out_name)?;
+    if shared_a.is_empty() {
+        for ta in a.iter() {
+            for tb in b.iter() {
+                out.insert(ta.concat(&tb.project(&b_extra)))?;
+            }
+        }
+        return Ok(out);
+    }
+    for ta in a.iter() {
+        let key = ta.project(&shared_a);
+        let probe = b.probe(shared_b[0], &key[0]);
+        for tb in probe.iter() {
+            if tb.project(&shared_b) == key {
+                out.insert(ta.concat(&tb.project(&b_extra)))?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// [`natural_join`] computed by a full scan of `b` per `a` tuple via a
+/// transient `BTreeMap` index — the pre-index implementation, kept as
+/// the correctness oracle for the probe-based join.
+#[doc(hidden)]
+pub fn natural_join_scan(
+    a: &Relation,
+    b: &Relation,
+    out_name: &str,
+) -> Result<Relation, RelationalError> {
+    let JoinParts {
+        mut out,
+        shared_a,
+        shared_b,
+        b_extra,
+    } = join_parts(a, b, out_name)?;
     let mut index: BTreeMap<Tuple, Vec<&Tuple>> = BTreeMap::new();
     for tb in b.iter() {
         index.entry(tb.project(&shared_b)).or_default().push(tb);
@@ -156,11 +212,7 @@ fn require_same_header(a: &Relation, b: &Relation, op: &str) -> Result<(), Relat
     let hb: Vec<&Name> = b.schema().attr_names().collect();
     if ha != hb {
         return Err(RelationalError::SchemaMismatch {
-            context: format!(
-                "{op}: headers differ ({} vs {})",
-                a.schema(),
-                b.schema()
-            ),
+            context: format!("{op}: headers differ ({} vs {})", a.schema(), b.schema()),
         });
     }
     Ok(())
@@ -187,11 +239,7 @@ pub fn union(a: &Relation, b: &Relation, out_name: &str) -> Result<Relation, Rel
 }
 
 /// − — set difference; headers must agree.
-pub fn difference(
-    a: &Relation,
-    b: &Relation,
-    out_name: &str,
-) -> Result<Relation, RelationalError> {
+pub fn difference(a: &Relation, b: &Relation, out_name: &str) -> Result<Relation, RelationalError> {
     require_same_header(a, b, "difference")?;
     let mut schema = a.schema().clone().renamed(out_name);
     *schema.fds_mut() = a.schema().fds().clone();
@@ -357,11 +405,43 @@ mod tests {
     }
 
     #[test]
+    fn indexed_join_agrees_with_scan_oracle() {
+        let cities = Relation::from_tuples(
+            RelSchema::untyped("CityZip", vec!["city", "zip"]).unwrap(),
+            vec![
+                tuple!["Sydney", 2000i64],
+                tuple!["Sydney", 2001i64],
+                tuple!["Santiago", 8320000i64],
+            ],
+        )
+        .unwrap();
+        let flags = Relation::from_tuples(
+            RelSchema::untyped("F", vec!["flag"]).unwrap(),
+            vec![tuple![true], tuple![false]],
+        )
+        .unwrap();
+        for (a, b) in [
+            (&people(), &cities),
+            (&cities, &people()),
+            (&people(), &flags),
+            (&people(), &people()),
+        ] {
+            let indexed = natural_join(a, b, "J").unwrap();
+            let scan = natural_join_scan(a, b, "J").unwrap();
+            assert_eq!(indexed, scan);
+            assert_eq!(indexed.schema(), scan.schema());
+        }
+    }
+
+    #[test]
     fn union_requires_same_header_and_intersects_fds() {
         let r1 = people();
         let extra = Relation::from_tuples(
             RelSchema::untyped("More", vec!["id", "name", "city"]).unwrap(),
-            vec![tuple![9i64, "Zed", "Quito"], tuple![1i64, "Alice", "Sydney"]],
+            vec![
+                tuple![9i64, "Zed", "Quito"],
+                tuple![1i64, "Alice", "Sydney"],
+            ],
         )
         .unwrap();
         let out = union(&r1, &extra, "U").unwrap();

@@ -65,7 +65,10 @@ impl fmt::Display for RelationalError {
             RelationalError::DuplicateAttribute {
                 relation,
                 attribute,
-            } => write!(f, "duplicate attribute `{attribute}` in relation `{relation}`"),
+            } => write!(
+                f,
+                "duplicate attribute `{attribute}` in relation `{relation}`"
+            ),
             RelationalError::UnknownAttribute {
                 relation,
                 attribute,

@@ -436,15 +436,23 @@ mod tests {
         let s = person();
         let t = tuple![1i64, "Alice", 30i64];
         // age * 1000 + 5
-        let e = Expr::attr("age").mul(Expr::lit(1000i64)).add(Expr::lit(5i64));
+        let e = Expr::attr("age")
+            .mul(Expr::lit(1000i64))
+            .add(Expr::lit(5i64));
         assert_eq!(e.eval(&s, &t).unwrap(), Value::int(30_005));
         assert_eq!(e.to_string(), "((age * 1000) + 5)");
         // name || "!"
         let e = Expr::attr("name").concat(Expr::lit("!"));
         assert_eq!(e.eval(&s, &t).unwrap(), Value::str("Alice!"));
         // Type errors are loud.
-        assert!(Expr::attr("name").add(Expr::lit(1i64)).eval(&s, &t).is_err());
-        assert!(Expr::attr("age").concat(Expr::lit("x")).eval(&s, &t).is_err());
+        assert!(Expr::attr("name")
+            .add(Expr::lit(1i64))
+            .eval(&s, &t)
+            .is_err());
+        assert!(Expr::attr("age")
+            .concat(Expr::lit("x"))
+            .eval(&s, &t)
+            .is_err());
         // Overflow is loud, not wrapping.
         let big = Expr::lit(i64::MAX).mul(Expr::lit(2i64));
         assert!(big.eval(&s, &t).is_err());

@@ -66,12 +66,7 @@ impl Fd {
 
 impl fmt::Display for Fd {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let join = |v: &[Name]| {
-            v.iter()
-                .map(Name::as_str)
-                .collect::<Vec<_>>()
-                .join(", ")
-        };
+        let join = |v: &[Name]| v.iter().map(Name::as_str).collect::<Vec<_>>().join(", ");
         write!(f, "{} -> {}", join(&self.lhs), join(&self.rhs))
     }
 }
@@ -144,8 +139,7 @@ impl FdSet {
 
     /// Are two FD sets equivalent (each implies the other)?
     pub fn equivalent(&self, other: &FdSet) -> bool {
-        self.fds.iter().all(|fd| other.implies(fd))
-            && other.fds.iter().all(|fd| self.implies(fd))
+        self.fds.iter().all(|fd| other.implies(fd)) && other.fds.iter().all(|fd| self.implies(fd))
     }
 
     /// Is `candidate` a superkey for a relation with attributes

@@ -34,7 +34,11 @@ impl Homomorphism {
     pub fn apply(&self, v: &Value) -> Value {
         match v {
             Value::Const(_) => v.clone(),
-            other => self.map.get(other).cloned().unwrap_or_else(|| other.clone()),
+            other => self
+                .map
+                .get(other)
+                .cloned()
+                .unwrap_or_else(|| other.clone()),
         }
     }
 
@@ -102,9 +106,8 @@ pub fn find_homomorphism(from: &Instance, to: &Instance) -> Option<Homomorphism>
     // Collect the facts of `from`; fail fast if a relation has facts but
     // no candidates in `to`.
     let mut facts: Vec<(&Name, &Tuple)> = from.facts().collect();
-    let candidate_count = |rel: &Name| -> usize {
-        to.relation(rel.as_str()).map(|r| r.len()).unwrap_or(0)
-    };
+    let candidate_count =
+        |rel: &Name| -> usize { to.relation(rel.as_str()).map(|r| r.len()).unwrap_or(0) };
     for (n, _) in &facts {
         if candidate_count(n) == 0 {
             return None;
@@ -112,12 +115,7 @@ pub fn find_homomorphism(from: &Instance, to: &Instance) -> Option<Homomorphism>
     }
     facts.sort_by_key(|(n, _)| candidate_count(n));
 
-    fn search(
-        facts: &[(&Name, &Tuple)],
-        idx: usize,
-        to: &Instance,
-        h: &mut Homomorphism,
-    ) -> bool {
+    fn search(facts: &[(&Name, &Tuple)], idx: usize, to: &Instance, h: &mut Homomorphism) -> bool {
         if idx == facts.len() {
             return true;
         }

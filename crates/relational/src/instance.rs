@@ -54,9 +54,10 @@ impl Instance {
     ) -> Result<Self, RelationalError> {
         let mut inst = Instance::empty(schema);
         for (rel, tuples) in facts {
-            for t in tuples {
-                inst.insert(rel, t)?;
-            }
+            inst.relations
+                .get_mut(rel)
+                .ok_or_else(|| RelationalError::UnknownRelation(Name::new(rel)))?
+                .extend_validated(tuples)?;
         }
         Ok(inst)
     }
@@ -94,6 +95,39 @@ impl Instance {
             .get_mut(rel)
             .ok_or_else(|| RelationalError::UnknownRelation(Name::new(rel)))?
             .insert(t)
+    }
+
+    /// Insert a fact with delta logging (see
+    /// [`Relation::insert_delta`]). Returns `true` if it was new.
+    pub fn insert_delta(&mut self, rel: &str, t: Tuple) -> Result<bool, RelationalError> {
+        self.relations
+            .get_mut(rel)
+            .ok_or_else(|| RelationalError::UnknownRelation(Name::new(rel)))?
+            .insert_delta(t)
+    }
+
+    /// Drain every relation's delta log, returning the relations that
+    /// had pending deltas (in name order) with their new tuples.
+    pub fn drain_deltas(&mut self) -> Vec<(Name, Vec<Tuple>)> {
+        self.relations
+            .iter_mut()
+            .filter(|(_, r)| r.delta_len() > 0)
+            .map(|(n, r)| (n.clone(), r.drain_delta()))
+            .collect()
+    }
+
+    /// Total number of undrained delta tuples across all relations.
+    pub fn delta_len(&self) -> usize {
+        self.relations.values().map(Relation::delta_len).sum()
+    }
+
+    /// Cumulative (index builds, index probes) summed over all
+    /// relation instances.
+    pub fn index_stats(&self) -> (u64, u64) {
+        self.relations
+            .values()
+            .map(Relation::index_stats)
+            .fold((0, 0), |(b, p), (rb, rp)| (b + rb, p + rp))
     }
 
     /// Remove a fact; `true` if it was present.
@@ -164,7 +198,12 @@ impl Instance {
 
     /// A null generator fresh for this instance.
     pub fn null_gen(&self) -> NullGen {
-        let start = self.nulls().iter().next_back().map(|n| n.0 + 1).unwrap_or(0);
+        let start = self
+            .nulls()
+            .iter()
+            .next_back()
+            .map(|n| n.0 + 1)
+            .unwrap_or(0);
         NullGen::starting_at(start)
     }
 
@@ -336,8 +375,8 @@ mod tests {
 
     #[test]
     fn subinstance_ordering() {
-        let small = Instance::with_facts(emp_schema(), vec![("Emp", vec![tuple!["Alice"]])])
-            .unwrap();
+        let small =
+            Instance::with_facts(emp_schema(), vec![("Emp", vec![tuple!["Alice"]])]).unwrap();
         let big = Instance::with_facts(
             emp_schema(),
             vec![("Emp", vec![tuple!["Alice"], tuple!["Bob"]])],
@@ -349,8 +388,7 @@ mod tests {
 
     #[test]
     fn union_same_schema() {
-        let a = Instance::with_facts(emp_schema(), vec![("Emp", vec![tuple!["Alice"]])])
-            .unwrap();
+        let a = Instance::with_facts(emp_schema(), vec![("Emp", vec![tuple!["Alice"]])]).unwrap();
         let b = Instance::with_facts(emp_schema(), vec![("Emp", vec![tuple!["Bob"]])]).unwrap();
         let u = a.union(&b).unwrap();
         assert_eq!(u.fact_count(), 2);
@@ -361,8 +399,7 @@ mod tests {
 
     #[test]
     fn merge_disjoint_and_project_back() {
-        let src = Instance::with_facts(emp_schema(), vec![("Emp", vec![tuple!["Alice"]])])
-            .unwrap();
+        let src = Instance::with_facts(emp_schema(), vec![("Emp", vec![tuple!["Alice"]])]).unwrap();
         let tgt = Instance::with_facts(
             mgr_schema(),
             vec![("Manager", vec![tuple!["Alice", "Bob"]])],
@@ -391,8 +428,7 @@ mod tests {
 
     #[test]
     fn display_skips_empty_relations() {
-        let i = Instance::with_facts(emp_schema(), vec![("Emp", vec![tuple!["Alice"]])])
-            .unwrap();
+        let i = Instance::with_facts(emp_schema(), vec![("Emp", vec![tuple!["Alice"]])]).unwrap();
         let s = i.to_string();
         assert!(s.contains("Emp:"));
         assert!(s.contains("(Alice)"));
@@ -400,8 +436,7 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let i = Instance::with_facts(emp_schema(), vec![("Emp", vec![tuple!["Alice"]])])
-            .unwrap();
+        let i = Instance::with_facts(emp_schema(), vec![("Emp", vec![tuple!["Alice"]])]).unwrap();
         let js = serde_json::to_string(&i).unwrap();
         let back: Instance = serde_json::from_str(&js).unwrap();
         assert_eq!(back, i);

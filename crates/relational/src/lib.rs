@@ -24,6 +24,7 @@ pub mod error;
 pub mod expr;
 pub mod fd;
 pub mod homomorphism;
+pub mod index;
 pub mod instance;
 pub mod name;
 pub mod relation;
@@ -35,6 +36,7 @@ pub use error::RelationalError;
 pub use expr::{ArithOp, BinCmp, Expr};
 pub use fd::{Fd, FdSet, FdViolation};
 pub use homomorphism::{find_homomorphism, is_homomorphic_to, Homomorphism};
+pub use index::{Probe, TupleId, TupleIndex};
 pub use instance::Instance;
 pub use name::Name;
 pub use relation::Relation;

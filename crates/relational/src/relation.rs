@@ -2,6 +2,7 @@
 
 use crate::error::RelationalError;
 use crate::fd::FdViolation;
+use crate::index::{IndexState, Probe};
 use crate::name::Name;
 use crate::schema::RelSchema;
 use crate::tuple::Tuple;
@@ -12,11 +13,30 @@ use std::fmt;
 
 /// A relation instance: the schema of the relation plus a *set* of
 /// tuples (set semantics, canonical `BTreeSet` order).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+///
+/// Alongside the tuple set, every relation carries an [`IndexState`]:
+/// lazily built hash indexes (attribute position -> value -> tuple
+/// ids over a versioned arena) plus the delta log for
+/// [`insert_delta`](Relation::insert_delta). The index state is pure
+/// cache: it is skipped by serde, ignored by `PartialEq`, kept warm
+/// incrementally across inserts, and invalidated by destructive
+/// mutations, so observable behavior (iteration order, serialization,
+/// equality) is exactly that of the plain tuple set.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Relation {
     schema: RelSchema,
     tuples: BTreeSet<Tuple>,
+    #[serde(skip)]
+    index: IndexState,
 }
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.tuples == other.tuples
+    }
+}
+
+impl Eq for Relation {}
 
 impl Relation {
     /// The empty instance of `schema`.
@@ -24,6 +44,7 @@ impl Relation {
         Relation {
             schema,
             tuples: BTreeSet::new(),
+            index: IndexState::default(),
         }
     }
 
@@ -33,9 +54,7 @@ impl Relation {
         tuples: impl IntoIterator<Item = Tuple>,
     ) -> Result<Self, RelationalError> {
         let mut r = Relation::empty(schema);
-        for t in tuples {
-            r.insert(t)?;
-        }
+        r.extend_validated(tuples)?;
         Ok(r)
     }
 
@@ -83,12 +102,90 @@ impl Relation {
     /// Insert a tuple (validated). Returns `true` if it was new.
     pub fn insert(&mut self, t: Tuple) -> Result<bool, RelationalError> {
         self.validate(&t)?;
-        Ok(self.tuples.insert(t))
+        let added = self.tuples.insert(t.clone());
+        if added {
+            self.index.append(&t);
+        }
+        Ok(added)
+    }
+
+    /// Insert a tuple (validated) and, if it is new, record it in the
+    /// delta log for a later [`drain_delta`](Relation::drain_delta).
+    /// Returns `true` if it was new.
+    pub fn insert_delta(&mut self, t: Tuple) -> Result<bool, RelationalError> {
+        self.validate(&t)?;
+        if self.tuples.contains(&t) {
+            return Ok(false);
+        }
+        self.tuples.insert(t.clone());
+        self.index.append(&t);
+        self.index.log_delta(t);
+        Ok(true)
+    }
+
+    /// Bulk insert. The whole batch is validated before anything is
+    /// inserted, so on error the relation is unchanged. Returns the
+    /// number of tuples that were new.
+    pub fn extend_validated(
+        &mut self,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<usize, RelationalError> {
+        let batch: Vec<Tuple> = tuples.into_iter().collect();
+        for t in &batch {
+            self.validate(t)?;
+        }
+        let mut added = 0;
+        for t in batch {
+            if self.tuples.insert(t.clone()) {
+                self.index.append(&t);
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+
+    /// Bulk insert with delta logging: like
+    /// [`extend_validated`](Relation::extend_validated), but every new
+    /// tuple is also recorded in the delta log.
+    pub fn extend_validated_delta(
+        &mut self,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<usize, RelationalError> {
+        let batch: Vec<Tuple> = tuples.into_iter().collect();
+        for t in &batch {
+            self.validate(t)?;
+        }
+        let mut added = 0;
+        for t in batch {
+            if !self.tuples.contains(&t) {
+                self.tuples.insert(t.clone());
+                self.index.append(&t);
+                self.index.log_delta(t);
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+
+    /// Take the tuples inserted through the delta-tracking APIs since
+    /// the last drain (in insertion order; duplicates never appear
+    /// because only genuinely new tuples are logged).
+    pub fn drain_delta(&mut self) -> Vec<Tuple> {
+        self.index.take_delta()
+    }
+
+    /// Number of undrained delta tuples.
+    pub fn delta_len(&self) -> usize {
+        self.index.delta_len()
     }
 
     /// Remove a tuple. Returns `true` if it was present.
     pub fn remove(&mut self, t: &Tuple) -> bool {
-        self.tuples.remove(t)
+        let removed = self.tuples.remove(t);
+        if removed {
+            self.index.bump();
+        }
+        removed
     }
 
     /// Membership test.
@@ -108,12 +205,38 @@ impl Relation {
 
     /// Remove all tuples.
     pub fn clear(&mut self) {
+        if !self.tuples.is_empty() {
+            self.index.bump();
+        }
         self.tuples.clear();
     }
 
     /// Keep only tuples satisfying `pred`.
     pub fn retain(&mut self, mut pred: impl FnMut(&Tuple) -> bool) {
+        let before = self.tuples.len();
         self.tuples.retain(|t| pred(t));
+        if self.tuples.len() != before {
+            self.index.bump();
+        }
+    }
+
+    /// All tuples whose value at position `pos` equals `value`,
+    /// answered from the lazily built hash index for that position.
+    /// Results come back in canonical (`BTreeSet`) order.
+    pub fn probe(&self, pos: usize, value: &Value) -> Probe {
+        self.index.probe(&self.tuples, pos, value)
+    }
+
+    /// How many tuples carry `value` at position `pos` (index-backed;
+    /// used to order join probes by selectivity).
+    pub fn posting_len(&self, pos: usize, value: &Value) -> usize {
+        self.index.posting_len(&self.tuples, pos, value)
+    }
+
+    /// Cumulative (index builds, index probes) served by this
+    /// relation instance.
+    pub fn index_stats(&self) -> (u64, u64) {
+        self.index.stats()
     }
 
     /// Named access: the value of attribute `attr` in tuple `t`.
@@ -137,6 +260,7 @@ impl Relation {
                 .iter()
                 .map(|t| t.substitute_nulls(subst))
                 .collect(),
+            index: IndexState::default(),
         }
     }
 
@@ -201,6 +325,7 @@ impl Relation {
         Ok(Relation {
             schema,
             tuples: self.tuples,
+            index: self.index,
         })
     }
 }

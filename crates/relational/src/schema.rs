@@ -75,8 +75,7 @@ impl RelSchema {
         A: Into<Name>,
     {
         let name = name.into();
-        let attrs: Vec<(Name, AttrType)> =
-            attrs.into_iter().map(|(a, t)| (a.into(), t)).collect();
+        let attrs: Vec<(Name, AttrType)> = attrs.into_iter().map(|(a, t)| (a.into(), t)).collect();
         let mut seen = std::collections::BTreeSet::new();
         for (a, _) in &attrs {
             if !seen.insert(a.clone()) {
@@ -163,10 +162,7 @@ impl RelSchema {
 
     /// Type of attribute `attr`, if present.
     pub fn attr_type(&self, attr: &str) -> Option<AttrType> {
-        self.attrs
-            .iter()
-            .find(|(a, _)| a == attr)
-            .map(|(_, t)| *t)
+        self.attrs.iter().find(|(a, _)| a == attr).map(|(_, t)| *t)
     }
 
     /// The functional dependencies declared on this relation.

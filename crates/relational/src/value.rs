@@ -186,10 +186,7 @@ impl Value {
     }
 
     /// Replace nulls according to `subst`, leaving unmapped nulls alone.
-    pub fn substitute_nulls(
-        &self,
-        subst: &std::collections::BTreeMap<NullId, Value>,
-    ) -> Value {
+    pub fn substitute_nulls(&self, subst: &std::collections::BTreeMap<NullId, Value>) -> Value {
         match self {
             Value::Const(_) => self.clone(),
             Value::Null(n) => subst.get(n).cloned().unwrap_or_else(|| self.clone()),
@@ -324,7 +321,10 @@ mod tests {
 
     #[test]
     fn collect_nulls_descends_into_skolems() {
-        let v = Value::skolem("f", vec![Value::null(7), Value::skolem("g", vec![Value::null(2)])]);
+        let v = Value::skolem(
+            "f",
+            vec![Value::null(7), Value::skolem("g", vec![Value::null(2)])],
+        );
         let mut out = BTreeSet::new();
         v.collect_nulls(&mut out);
         assert_eq!(out, BTreeSet::from([NullId(2), NullId(7)]));

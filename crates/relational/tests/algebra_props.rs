@@ -2,7 +2,7 @@
 //! the operators, FD closure properties, and homomorphism structure.
 
 use dex_relational::algebra::{
-    difference, intersection, natural_join, project, rename_attrs, select, union,
+    difference, intersection, natural_join, natural_join_scan, project, rename_attrs, select, union,
 };
 use dex_relational::homomorphism::{find_homomorphism, is_homomorphic_to};
 use dex_relational::{
@@ -138,6 +138,36 @@ proptest! {
         let back_s = project(&j, &["b", "d"], "S").unwrap();
         for tup in back_s.iter() {
             prop_assert!(s.contains(tup));
+        }
+    }
+
+    /// The index-probing join agrees with the retained full-scan
+    /// oracle on random inputs — shared attributes, disjoint headers
+    /// (cartesian product), and self-joins alike.
+    #[test]
+    fn natural_join_indexed_agrees_with_scan(
+        r in arb_relation(),
+        s_rows in proptest::collection::btree_set((0i64..6, 0i64..5), 0..10),
+        t_rows in proptest::collection::btree_set((0i64..4, 0i64..4), 0..8),
+    ) {
+        // S(b, d) shares column b with R(a, b, c).
+        let s = Relation::from_tuples(
+            RelSchema::untyped("S", vec!["b", "d"]).unwrap(),
+            s_rows.into_iter().map(|(b, d)| tuple![b, d]).collect::<Vec<_>>(),
+        ).unwrap();
+        // T(x, y) shares nothing with R: the join degenerates to ×.
+        let t = Relation::from_tuples(
+            RelSchema::untyped("T", vec!["x", "y"]).unwrap(),
+            t_rows.into_iter().map(|(x, y)| tuple![x, y]).collect::<Vec<_>>(),
+        ).unwrap();
+        for (a, b) in [(&r, &s), (&s, &r), (&r, &t), (&r, &r)] {
+            let indexed = natural_join(a, b, "J").unwrap();
+            let scan = natural_join_scan(a, b, "J").unwrap();
+            prop_assert_eq!(indexed.tuples(), scan.tuples());
+            prop_assert_eq!(
+                indexed.schema().attr_names().collect::<Vec<_>>(),
+                scan.schema().attr_names().collect::<Vec<_>>()
+            );
         }
     }
 

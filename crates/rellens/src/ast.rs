@@ -107,11 +107,7 @@ impl RelLensExpr {
     }
 
     /// Projection shorthand.
-    pub fn project(
-        self,
-        attrs: Vec<&str>,
-        policies: Vec<(&str, UpdatePolicy)>,
-    ) -> RelLensExpr {
+    pub fn project(self, attrs: Vec<&str>, policies: Vec<(&str, UpdatePolicy)>) -> RelLensExpr {
         RelLensExpr::Project {
             input: Box::new(self),
             attrs: attrs.into_iter().map(Name::new).collect(),
@@ -159,8 +155,7 @@ impl RelLensExpr {
                 RelLensExpr::Select { input, .. }
                 | RelLensExpr::Project { input, .. }
                 | RelLensExpr::Rename { input, .. } => go(input, out),
-                RelLensExpr::Join { left, right, .. }
-                | RelLensExpr::Union { left, right, .. } => {
+                RelLensExpr::Join { left, right, .. } | RelLensExpr::Union { left, right, .. } => {
                     go(left, out);
                     go(right, out);
                 }
@@ -212,9 +207,7 @@ impl RelLensExpr {
                 let mut kept: Vec<(Name, AttrType)> = Vec::with_capacity(attrs.len());
                 for a in attrs {
                     let pos = s.position(a.as_str()).ok_or_else(|| {
-                        RellensError::Structural(format!(
-                            "projection keeps `{a}` which {s} lacks"
-                        ))
+                        RellensError::Structural(format!("projection keeps `{a}` which {s} lacks"))
                     })?;
                     kept.push(s.attrs()[pos].clone());
                 }
@@ -234,10 +227,9 @@ impl RelLensExpr {
                         )));
                     }
                 }
-                let kept_names: BTreeSet<Name> =
-                    kept.iter().map(|(a, _)| a.clone()).collect();
-                let mut out = RelSchema::new(s.name().clone(), kept)
-                    .map_err(RellensError::Relational)?;
+                let kept_names: BTreeSet<Name> = kept.iter().map(|(a, _)| a.clone()).collect();
+                let mut out =
+                    RelSchema::new(s.name().clone(), kept).map_err(RellensError::Relational)?;
                 *out.fds_mut() = s.fds().restrict_to(&kept_names);
                 Ok(out)
             }
@@ -253,15 +245,10 @@ impl RelLensExpr {
                 let attrs: Vec<(Name, AttrType)> = s
                     .attrs()
                     .iter()
-                    .map(|(a, t)| {
-                        (
-                            renaming.get(a).cloned().unwrap_or_else(|| a.clone()),
-                            *t,
-                        )
-                    })
+                    .map(|(a, t)| (renaming.get(a).cloned().unwrap_or_else(|| a.clone()), *t))
                     .collect();
-                let mut out = RelSchema::new(s.name().clone(), attrs)
-                    .map_err(RellensError::Relational)?;
+                let mut out =
+                    RelSchema::new(s.name().clone(), attrs).map_err(RellensError::Relational)?;
                 *out.fds_mut() = s.fds().rename(renaming);
                 Ok(out)
             }
@@ -274,8 +261,8 @@ impl RelLensExpr {
                         attrs.push((a.clone(), *t));
                     }
                 }
-                let mut out = RelSchema::new(l.name().clone(), attrs)
-                    .map_err(RellensError::Relational)?;
+                let mut out =
+                    RelSchema::new(l.name().clone(), attrs).map_err(RellensError::Relational)?;
                 let mut fds = l.fds().clone();
                 for fd in r.fds().iter() {
                     fds.insert(fd.clone());
@@ -459,15 +446,13 @@ mod tests {
         let e = RelLensExpr::base("Person").rename(vec![("id", "pid")]);
         let s = e.view_schema(&db_schema()).unwrap();
         assert_eq!(s.position("pid"), Some(0));
-        assert!(s
-            .fds()
-            .implies(&Fd::new(vec!["pid"], vec!["name"])));
+        assert!(s.fds().implies(&Fd::new(vec!["pid"], vec!["name"])));
     }
 
     #[test]
     fn join_schema_merges_headers() {
-        let e = RelLensExpr::base("Person")
-            .join(RelLensExpr::base("CityZip"), JoinPolicy::DeleteLeft);
+        let e =
+            RelLensExpr::base("Person").join(RelLensExpr::base("CityZip"), JoinPolicy::DeleteLeft);
         let s = e.view_schema(&db_schema()).unwrap();
         assert_eq!(s.arity(), 5);
         assert!(s.position("zip").is_some());
@@ -489,8 +474,8 @@ mod tests {
 
     #[test]
     fn duplicate_base_rejected() {
-        let e = RelLensExpr::base("Person")
-            .join(RelLensExpr::base("Person"), JoinPolicy::DeleteLeft);
+        let e =
+            RelLensExpr::base("Person").join(RelLensExpr::base("Person"), JoinPolicy::DeleteLeft);
         assert!(matches!(
             e.view_schema(&db_schema()).unwrap_err(),
             RellensError::DuplicateBaseRelation(_)
@@ -516,8 +501,8 @@ mod tests {
 
     #[test]
     fn base_relations_in_tree_order() {
-        let e = RelLensExpr::base("Person")
-            .join(RelLensExpr::base("CityZip"), JoinPolicy::DeleteBoth);
+        let e =
+            RelLensExpr::base("Person").join(RelLensExpr::base("CityZip"), JoinPolicy::DeleteBoth);
         assert_eq!(
             e.base_relations(),
             vec![Name::new("Person"), Name::new("CityZip")]

@@ -5,7 +5,7 @@ use crate::error::RellensError;
 use crate::policy::{Environment, JoinPolicy, UnionPolicy};
 use crate::revision::revise_all;
 use dex_relational::algebra;
-use dex_relational::{Instance, Name, NullGen, Relation, RelSchema, Schema, Tuple, Value};
+use dex_relational::{Instance, Name, NullGen, RelSchema, Relation, Schema, Tuple, Value};
 use std::collections::BTreeMap;
 
 impl RelLensExpr {
@@ -118,11 +118,7 @@ impl RelLensExpr {
                 // Keep the rows the view never saw, then revise them by
                 // the view rows (FD conflicts resolve in the view's
                 // favour — the relational revision operator).
-                let not_p = algebra::select(
-                    &old_in,
-                    &pred.clone().not(),
-                    old_in.name().as_str(),
-                )?;
+                let not_p = algebra::select(&old_in, &pred.clone().not(), old_in.name().as_str())?;
                 let new_in = revise_all(&not_p, view.iter())?;
                 input.put_rec(&new_in, inst, env, gen)
             }
@@ -166,11 +162,8 @@ impl RelLensExpr {
                         }
                         None => {
                             // New row: fill dropped columns by policy.
-                            let kept_vals: BTreeMap<Name, Value> = attrs
-                                .iter()
-                                .cloned()
-                                .zip(vrow.iter().cloned())
-                                .collect();
+                            let kept_vals: BTreeMap<Name, Value> =
+                                attrs.iter().cloned().zip(vrow.iter().cloned()).collect();
                             let mut full = Vec::with_capacity(old_in.schema().arity());
                             for (a, _) in old_in.schema().attrs() {
                                 if let Some(i) = attrs.iter().position(|k| k == a) {
@@ -195,8 +188,7 @@ impl RelLensExpr {
                     .iter()
                     .map(|(a, b)| (b.clone(), a.clone()))
                     .collect();
-                let unrenamed =
-                    algebra::rename_attrs(view, &inverse, view.name().as_str())?;
+                let unrenamed = algebra::rename_attrs(view, &inverse, view.name().as_str())?;
                 input.put_rec(&unrenamed, inst, env, gen)
             }
             RelLensExpr::Join {
@@ -206,8 +198,7 @@ impl RelLensExpr {
             } => {
                 let old_l = left.get(inst)?;
                 let old_r = right.get(inst)?;
-                let old_join =
-                    algebra::natural_join(&old_l, &old_r, old_l.name().as_str())?;
+                let old_join = algebra::natural_join(&old_l, &old_r, old_l.name().as_str())?;
 
                 // Column positions of each side within the join header.
                 let jschema = old_join.schema().clone();
@@ -316,11 +307,7 @@ pub struct InstanceLens {
 
 impl InstanceLens {
     /// Validate `expr` against `schema` and build the lens.
-    pub fn new(
-        expr: RelLensExpr,
-        schema: Schema,
-        env: Environment,
-    ) -> Result<Self, RellensError> {
+    pub fn new(expr: RelLensExpr, schema: Schema, env: Environment) -> Result<Self, RellensError> {
         let view_schema = expr.view_schema(&schema)?;
         Ok(InstanceLens {
             expr,
@@ -447,9 +434,8 @@ mod tests {
 
     #[test]
     fn select_lens_laws_and_behaviour() {
-        let l = lens(
-            RelLensExpr::base("Person").select(Expr::attr("city").eq(Expr::lit("Sydney"))),
-        );
+        let l =
+            lens(RelLensExpr::base("Person").select(Expr::attr("city").eq(Expr::lit("Sydney"))));
         let v = l.get(&db());
         assert_eq!(v.len(), 2);
         assert!(laws::check_get_put(&l, &db()).is_ok());
@@ -464,9 +450,8 @@ mod tests {
 
     #[test]
     fn select_put_rejects_out_of_view_rows() {
-        let l = lens(
-            RelLensExpr::base("Person").select(Expr::attr("city").eq(Expr::lit("Sydney"))),
-        );
+        let l =
+            lens(RelLensExpr::base("Person").select(Expr::attr("city").eq(Expr::lit("Sydney"))));
         let mut v = l.get(&db());
         v.insert(tuple![9i64, "Zed", 1i64, "Quito"]).unwrap();
         let err = l.try_put(&v, &db()).unwrap_err();
@@ -478,9 +463,8 @@ mod tests {
         // Move Alice out of Sydney *via the view*? Not possible (view
         // rows must satisfy the predicate) — but editing her age in the
         // view must replace, not duplicate, her base row (key id).
-        let l = lens(
-            RelLensExpr::base("Person").select(Expr::attr("city").eq(Expr::lit("Sydney"))),
-        );
+        let l =
+            lens(RelLensExpr::base("Person").select(Expr::attr("city").eq(Expr::lit("Sydney"))));
         let mut v = l.get(&db());
         v.remove(&tuple![1i64, "Alice", 30i64, "Sydney"]);
         v.insert(tuple![1i64, "Alice", 31i64, "Sydney"]).unwrap();
@@ -495,10 +479,7 @@ mod tests {
     fn project_lens_restores_surviving_rows() {
         let l = lens(RelLensExpr::base("Person").project(
             vec!["id", "name"],
-            vec![
-                ("age", UpdatePolicy::Null),
-                ("city", UpdatePolicy::Null),
-            ],
+            vec![("age", UpdatePolicy::Null), ("city", UpdatePolicy::Null)],
         ));
         // GetPut: untouched view restores ages and cities exactly.
         assert!(laws::check_get_put(&l, &db()).is_ok());
@@ -524,10 +505,8 @@ mod tests {
             let mut env = Environment::new();
             env.insert(Name::new("default_age"), Value::int(21));
             InstanceLens::new(
-                RelLensExpr::base("Person").project(
-                    vec!["id", "name", "city"],
-                    vec![("age", age_policy)],
-                ),
+                RelLensExpr::base("Person")
+                    .project(vec!["id", "name", "city"], vec![("age", age_policy)]),
                 schema(),
                 env,
             )
@@ -577,8 +556,7 @@ mod tests {
     #[test]
     fn join_lens_insert_splits_row() {
         let l = lens(
-            RelLensExpr::base("Person")
-                .join(RelLensExpr::base("CityZip"), JoinPolicy::DeleteLeft),
+            RelLensExpr::base("Person").join(RelLensExpr::base("CityZip"), JoinPolicy::DeleteLeft),
         );
         let v = l.get(&db());
         assert_eq!(v.len(), 3);
@@ -597,8 +575,7 @@ mod tests {
         let deleted_row = tuple![2i64, "Bob", 40i64, "Santiago", 8320000i64];
         // DeleteLeft: Bob's Person row goes; Santiago's zip stays.
         let l = lens(
-            RelLensExpr::base("Person")
-                .join(RelLensExpr::base("CityZip"), JoinPolicy::DeleteLeft),
+            RelLensExpr::base("Person").join(RelLensExpr::base("CityZip"), JoinPolicy::DeleteLeft),
         );
         let mut v = l.get(&db());
         v.remove(&deleted_row);
@@ -607,8 +584,7 @@ mod tests {
         assert!(db2.contains("CityZip", &tuple!["Santiago", 8320000i64]));
         // DeleteBoth: the zip row goes too.
         let l2 = lens(
-            RelLensExpr::base("Person")
-                .join(RelLensExpr::base("CityZip"), JoinPolicy::DeleteBoth),
+            RelLensExpr::base("Person").join(RelLensExpr::base("CityZip"), JoinPolicy::DeleteBoth),
         );
         let db3 = l2.put(&v, &db());
         assert!(!db3.contains("CityZip", &tuple!["Santiago", 8320000i64]));
@@ -621,8 +597,7 @@ mod tests {
         // documented side-channel of join update policies (PutGet
         // violation the user must opt into).
         let l = lens(
-            RelLensExpr::base("Person")
-                .join(RelLensExpr::base("CityZip"), JoinPolicy::DeleteRight),
+            RelLensExpr::base("Person").join(RelLensExpr::base("CityZip"), JoinPolicy::DeleteRight),
         );
         let mut v = l.get(&db());
         v.remove(&tuple![1i64, "Alice", 30i64, "Sydney", 2000i64]);
@@ -712,11 +687,8 @@ mod tests {
                 ("city", UpdatePolicy::Const("unknown".into())),
             ],
         ));
-        let view = Relation::from_tuples(
-            l.view_schema().clone(),
-            vec![tuple![1i64, "Zed"]],
-        )
-        .unwrap();
+        let view =
+            Relation::from_tuples(l.view_schema().clone(), vec![tuple![1i64, "Zed"]]).unwrap();
         let created = l.try_create(&view).unwrap();
         let p = created.relation("Person").unwrap();
         assert_eq!(p.len(), 1);
@@ -730,10 +702,7 @@ mod tests {
     fn fresh_nulls_do_not_collide_with_view_nulls() {
         let l = lens(RelLensExpr::base("Person").project(
             vec!["id", "name"],
-            vec![
-                ("age", UpdatePolicy::Null),
-                ("city", UpdatePolicy::Null),
-            ],
+            vec![("age", UpdatePolicy::Null), ("city", UpdatePolicy::Null)],
         ));
         // A view row already containing null ⊥0.
         let view = Relation::from_tuples(

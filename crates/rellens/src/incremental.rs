@@ -23,7 +23,7 @@
 use crate::ast::RelLensExpr;
 use crate::error::RellensError;
 use dex_lens::edit::Delta;
-use dex_relational::{Expr, Instance, Name, RelSchema, Schema, Tuple};
+use dex_relational::{Expr, Instance, Name, RelSchema, Schema, Tuple, TupleIndex};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A delta on a single relation (the view).
@@ -83,13 +83,12 @@ enum Node {
     Join {
         left: Box<Node>,
         right: Box<Node>,
-        /// Positions of the join key in each side; output layout.
-        l_key: Vec<usize>,
-        r_key: Vec<usize>,
+        /// Layout of the right side's non-key attributes in the output.
         r_extra: Vec<usize>,
-        /// Key → rows indexes.
-        l_index: BTreeMap<Tuple, BTreeSet<Tuple>>,
-        r_index: BTreeMap<Tuple, BTreeSet<Tuple>>,
+        /// Key → rows indexes (shared [`TupleIndex`] machinery from
+        /// `dex_relational::index`); each knows its own key positions.
+        l_index: TupleIndex,
+        r_index: TupleIndex,
     },
     Union {
         left: Box<Node>,
@@ -175,28 +174,18 @@ fn build(expr: &RelLensExpr, schema: &Schema, inst: &Instance) -> Result<Node, R
                 .iter()
                 .map(|a| rs.position(a.as_str()).unwrap())
                 .collect();
-            let r_extra: Vec<usize> = (0..rs.arity())
-                .filter(|i| !r_key.contains(i))
-                .collect();
-            let mut l_index: BTreeMap<Tuple, BTreeSet<Tuple>> = BTreeMap::new();
+            let r_extra: Vec<usize> = (0..rs.arity()).filter(|i| !r_key.contains(i)).collect();
+            let mut l_index = TupleIndex::new(l_key);
             for t in left.get(inst)?.iter() {
-                l_index
-                    .entry(t.project(&l_key))
-                    .or_default()
-                    .insert(t.clone());
+                l_index.insert(t.clone());
             }
-            let mut r_index: BTreeMap<Tuple, BTreeSet<Tuple>> = BTreeMap::new();
+            let mut r_index = TupleIndex::new(r_key);
             for t in right.get(inst)?.iter() {
-                r_index
-                    .entry(t.project(&r_key))
-                    .or_default()
-                    .insert(t.clone());
+                r_index.insert(t.clone());
             }
             Node::Join {
                 left: Box::new(build(left, schema, inst)?),
                 right: Box::new(build(right, schema, inst)?),
-                l_key,
-                r_key,
                 r_extra,
                 l_index,
                 r_index,
@@ -235,12 +224,18 @@ fn apply(node: &mut Node, delta: &Delta) -> Result<RelDelta, RellensError> {
             let d = apply(child, delta)?;
             let mut out = RelDelta::default();
             for t in d.deletes {
-                if pred.eval_bool(schema, &t).map_err(RellensError::Relational)? {
+                if pred
+                    .eval_bool(schema, &t)
+                    .map_err(RellensError::Relational)?
+                {
                     out.delete(t);
                 }
             }
             for t in d.inserts {
-                if pred.eval_bool(schema, &t).map_err(RellensError::Relational)? {
+                if pred
+                    .eval_bool(schema, &t)
+                    .map_err(RellensError::Relational)?
+                {
                     out.insert(t);
                 }
             }
@@ -276,8 +271,6 @@ fn apply(node: &mut Node, delta: &Delta) -> Result<RelDelta, RellensError> {
         Node::Join {
             left,
             right,
-            l_key,
-            r_key,
             r_extra,
             l_index,
             r_index,
@@ -285,55 +278,31 @@ fn apply(node: &mut Node, delta: &Delta) -> Result<RelDelta, RellensError> {
             let dl = apply(left, delta)?;
             let dr = apply(right, delta)?;
             let mut out = RelDelta::default();
-            let join_row = |l: &Tuple, r: &Tuple| -> Tuple {
-                l.concat(&r.project(r_extra))
-            };
+            let join_row = |l: &Tuple, r: &Tuple| -> Tuple { l.concat(&r.project(r_extra)) };
             // Left deletes/inserts against the current right index.
             for l in &dl.deletes {
-                let key = l.project(l_key);
-                if let Some(set) = l_index.get_mut(&key) {
-                    set.remove(l);
-                    if set.is_empty() {
-                        l_index.remove(&key);
-                    }
-                }
-                if let Some(rs) = r_index.get(&key) {
-                    for r in rs {
-                        out.delete(join_row(l, r));
-                    }
+                l_index.remove(l);
+                for r in r_index.get(&l_index.key(l)) {
+                    out.delete(join_row(l, r));
                 }
             }
             for l in &dl.inserts {
-                let key = l.project(l_key);
-                l_index.entry(key.clone()).or_default().insert(l.clone());
-                if let Some(rs) = r_index.get(&key) {
-                    for r in rs {
-                        out.insert(join_row(l, r));
-                    }
+                l_index.insert(l.clone());
+                for r in r_index.get(&l_index.key(l)) {
+                    out.insert(join_row(l, r));
                 }
             }
             // Right deltas against the (already updated) left index.
             for r in &dr.deletes {
-                let key = r.project(r_key);
-                if let Some(set) = r_index.get_mut(&key) {
-                    set.remove(r);
-                    if set.is_empty() {
-                        r_index.remove(&key);
-                    }
-                }
-                if let Some(ls) = l_index.get(&key) {
-                    for l in ls {
-                        out.delete(join_row(l, r));
-                    }
+                r_index.remove(r);
+                for l in l_index.get(&r_index.key(r)) {
+                    out.delete(join_row(l, r));
                 }
             }
             for r in &dr.inserts {
-                let key = r.project(r_key);
-                r_index.entry(key.clone()).or_default().insert(r.clone());
-                if let Some(ls) = l_index.get(&key) {
-                    for l in ls {
-                        out.insert(join_row(l, r));
-                    }
+                r_index.insert(r.clone());
+                for l in l_index.get(&r_index.key(r)) {
+                    out.insert(join_row(l, r));
                 }
             }
             out
@@ -423,10 +392,8 @@ mod tests {
         let after = delta.apply(start).unwrap();
         let v0 = expr.get(start).unwrap();
         let v1 = expr.get(&after).unwrap();
-        let want_inserts: BTreeSet<Tuple> =
-            v1.tuples().difference(v0.tuples()).cloned().collect();
-        let want_deletes: BTreeSet<Tuple> =
-            v0.tuples().difference(v1.tuples()).cloned().collect();
+        let want_inserts: BTreeSet<Tuple> = v1.tuples().difference(v0.tuples()).cloned().collect();
+        let want_deletes: BTreeSet<Tuple> = v0.tuples().difference(v1.tuples()).cloned().collect();
         assert_eq!(got.inserts, want_inserts, "expr:\n{expr}");
         assert_eq!(got.deletes, want_deletes, "expr:\n{expr}");
     }
@@ -437,24 +404,17 @@ mod tests {
             RelLensExpr::base("Person").select(Expr::attr("age").ge(Expr::lit(18i64))),
             RelLensExpr::base("Person").project(
                 vec!["age"],
-                vec![
-                    ("id", UpdatePolicy::Null),
-                    ("name", UpdatePolicy::Null),
-                ],
+                vec![("id", UpdatePolicy::Null), ("name", UpdatePolicy::Null)],
             ),
             RelLensExpr::base("Person").rename(vec![("name", "label")]),
-            RelLensExpr::base("Person")
-                .join(RelLensExpr::base("AgeBand"), JoinPolicy::DeleteBoth),
+            RelLensExpr::base("Person").join(RelLensExpr::base("AgeBand"), JoinPolicy::DeleteBoth),
             RelLensExpr::base("Person").union(RelLensExpr::base("Other"), UnionPolicy::InsertLeft),
             RelLensExpr::base("Person")
                 .select(Expr::attr("age").ge(Expr::lit(18i64)))
                 .join(RelLensExpr::base("AgeBand"), JoinPolicy::DeleteBoth)
                 .project(
                     vec!["id", "band"],
-                    vec![
-                        ("name", UpdatePolicy::Null),
-                        ("age", UpdatePolicy::Null),
-                    ],
+                    vec![("name", UpdatePolicy::Null), ("age", UpdatePolicy::Null)],
                 ),
         ]
     }
@@ -537,8 +497,8 @@ mod tests {
 
     #[test]
     fn sequential_deltas_accumulate_state() {
-        let e = RelLensExpr::base("Person")
-            .join(RelLensExpr::base("AgeBand"), JoinPolicy::DeleteBoth);
+        let e =
+            RelLensExpr::base("Person").join(RelLensExpr::base("AgeBand"), JoinPolicy::DeleteBoth);
         let mut inc = IncrementalLens::new(&e, &schema(), &db()).unwrap();
         let mut current = db();
         for d in [
@@ -561,11 +521,17 @@ mod tests {
             let v1 = e.get(&next).unwrap();
             assert_eq!(
                 got.inserts,
-                v1.tuples().difference(v0.tuples()).cloned().collect::<BTreeSet<_>>()
+                v1.tuples()
+                    .difference(v0.tuples())
+                    .cloned()
+                    .collect::<BTreeSet<_>>()
             );
             assert_eq!(
                 got.deletes,
-                v0.tuples().difference(v1.tuples()).cloned().collect::<BTreeSet<_>>()
+                v0.tuples()
+                    .difference(v1.tuples())
+                    .cloned()
+                    .collect::<BTreeSet<_>>()
             );
             current = next;
         }

@@ -92,8 +92,8 @@ impl UpdatePolicy {
                     .iter()
                     .map(|(n, v)| (n.clone(), v.clone()))
                     .unzip();
-                let schema = RelSchema::untyped("·view-row", names)
-                    .map_err(RellensError::Relational)?;
+                let schema =
+                    RelSchema::untyped("·view-row", names).map_err(RellensError::Relational)?;
                 let row = Tuple::new(vals);
                 expr.eval(&schema, &row).map_err(RellensError::Relational)
             }
@@ -338,12 +338,24 @@ mod tests {
         let p = UpdatePolicy::CopyOf(Name::new("name"));
         let row = kept(vec![("name", Value::str("alice"))]);
         assert_eq!(
-            p.fill(&Name::new("alias"), &row, &addr_rel(), &Environment::new(), &mut g)
-                .unwrap(),
+            p.fill(
+                &Name::new("alias"),
+                &row,
+                &addr_rel(),
+                &Environment::new(),
+                &mut g
+            )
+            .unwrap(),
             Value::str("alice")
         );
         let missing = p
-            .fill(&Name::new("alias"), &kept(vec![]), &addr_rel(), &Environment::new(), &mut g)
+            .fill(
+                &Name::new("alias"),
+                &kept(vec![]),
+                &addr_rel(),
+                &Environment::new(),
+                &mut g,
+            )
             .unwrap_err();
         assert!(matches!(missing, RellensError::Structural(_)));
     }
@@ -355,14 +367,26 @@ mod tests {
         let p = UpdatePolicy::Compute(Expr::attr("zip").mul(Expr::lit(10i64)));
         let row = kept(vec![("zip", Value::int(2000))]);
         assert_eq!(
-            p.fill(&Name::new("salary"), &row, &addr_rel(), &Environment::new(), &mut g)
-                .unwrap(),
+            p.fill(
+                &Name::new("salary"),
+                &row,
+                &addr_rel(),
+                &Environment::new(),
+                &mut g
+            )
+            .unwrap(),
             Value::int(20_000)
         );
         // Referencing a non-kept column is a loud error.
         let bad = UpdatePolicy::Compute(Expr::attr("nope").mul(Expr::lit(2i64)));
         assert!(bad
-            .fill(&Name::new("salary"), &row, &addr_rel(), &Environment::new(), &mut g)
+            .fill(
+                &Name::new("salary"),
+                &row,
+                &addr_rel(),
+                &Environment::new(),
+                &mut g
+            )
             .is_err());
     }
 

@@ -6,8 +6,8 @@
 //! Run with `cargo run --example incremental_sync`.
 
 use dex::lens::edit::Delta;
-use dex::rellens::{IncrementalLens, JoinPolicy, RelLensExpr, UpdatePolicy};
 use dex::relational::{tuple, Expr, Instance, Name, RelSchema, Schema};
+use dex::rellens::{IncrementalLens, JoinPolicy, RelLensExpr, UpdatePolicy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let schema = Schema::with_relations(vec![
@@ -22,10 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .join(RelLensExpr::base("AgeBand"), JoinPolicy::DeleteBoth)
         .project(
             vec!["id", "band"],
-            vec![
-                ("name", UpdatePolicy::Null),
-                ("age", UpdatePolicy::Null),
-            ],
+            vec![("name", UpdatePolicy::Null), ("age", UpdatePolicy::Null)],
         );
     println!("-- pipeline --\n{}", view_expr.plan_string());
 

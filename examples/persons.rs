@@ -10,8 +10,8 @@
 
 use dex::core::{compile, Engine, HoleBinding, HoleSite};
 use dex::logic::parse_mapping;
-use dex::rellens::{Environment, UpdatePolicy};
 use dex::relational::{tuple, Instance, Name, Value};
+use dex::rellens::{Environment, UpdatePolicy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mapping = parse_mapping(

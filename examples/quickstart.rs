@@ -5,8 +5,8 @@
 
 use dex::core::{compile, Engine};
 use dex::logic::parse_mapping;
-use dex::rellens::Environment;
 use dex::relational::{tuple, Instance};
+use dex::rellens::Environment;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Declare the two schemas and the mapping in the textual

@@ -12,8 +12,8 @@ use dex::core::{compile, Engine};
 use dex::evolution::{propagate_all, EvolutionLens, Smo};
 use dex::lens::symmetric::{invert, SymLens};
 use dex::logic::parse_mapping;
-use dex::rellens::Environment;
 use dex::relational::{tuple, AttrType, Instance, Name};
+use dex::rellens::Environment;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The original mapping M : A -> B.

@@ -6,14 +6,13 @@
 use dex::chase::exchange;
 use dex::core::{compile, Engine};
 use dex::logic::{CorrespondenceGroup, CorrespondenceSet, Mapping};
-use dex::rellens::Environment;
 use dex::relational::{tuple, Instance, RelSchema, Schema};
+use dex::rellens::Environment;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The schemas around Figure 1's upper diagram.
-    let source = Schema::with_relations(vec![
-        RelSchema::untyped("Takes", vec!["name", "course"])?,
-    ])?;
+    let source =
+        Schema::with_relations(vec![RelSchema::untyped("Takes", vec!["name", "course"])?])?;
     let target = Schema::with_relations(vec![
         RelSchema::untyped("Student", vec!["id", "name"])?,
         RelSchema::untyped("Assgn", vec!["name", "course"])?,

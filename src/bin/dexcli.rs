@@ -3,8 +3,8 @@
 //! ```text
 //! dexcli plan     <mapping.dex>                          show the compiled lens plan
 //! dexcli check    <mapping.dex>                          parse + fidelity + termination report
-//! dexcli chase    <mapping.dex> <source.json>            classical chase (universal solution)
-//! dexcli exchange <mapping.dex> <source.json> [prev.json] lens-engine forward
+//! dexcli chase    <mapping.dex> <source.json> [--stats]  classical chase (universal solution)
+//! dexcli exchange <mapping.dex> <source.json> [prev.json] [--stats] lens-engine forward
 //! dexcli backward <mapping.dex> <target.json> <source.json> lens-engine backward
 //! dexcli compose  <m1.dex> <m2.dex>                      compose mappings (SO-tgd or st-tgds)
 //! dexcli recover  <mapping.dex>                          maximum recovery (disjunctive rules)
@@ -23,8 +23,8 @@ use dex::chase::{certain_answers, exchange, ConjunctiveQuery};
 use dex::core::{compile, Engine};
 use dex::logic::{parse_mapping, Mapping};
 use dex::ops::{compose, maximum_recovery};
-use dex::rellens::Environment;
 use dex::relational::{Instance, Schema, Tuple, Value};
+use dex::rellens::Environment;
 use serde_json::{json, Map, Value as Json};
 use std::process::ExitCode;
 
@@ -40,7 +40,8 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
-    let usage = "usage: dexcli <plan|check|chase|exchange|backward|compose|recover|query> <args…>\n\
+    let usage =
+        "usage: dexcli <plan|check|chase|exchange|backward|compose|recover|query> <args…>\n\
                  run `dexcli help` for details";
     let cmd = args.first().ok_or(usage)?;
     match cmd.as_str() {
@@ -60,8 +61,13 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "chase" => {
-            let m = load_mapping(args.get(1).ok_or(usage)?)?;
-            let src = load_instance(args.get(2).ok_or(usage)?, m.source())?;
+            let mut rest: Vec<&String> = args[1..].iter().collect();
+            let stats = rest.iter().position(|a| a.as_str() == "--stats");
+            if let Some(i) = stats {
+                rest.remove(i);
+            }
+            let m = load_mapping(rest.first().ok_or(usage)?)?;
+            let src = load_instance(rest.get(1).ok_or(usage)?, m.source())?;
             let res = exchange(&m, &src).map_err(|e| e.to_string())?;
             eprintln!(
                 "chased {} source facts; {} nulls invented, {} rule firings",
@@ -69,6 +75,9 @@ fn run(args: &[String]) -> Result<(), String> {
                 res.nulls_created,
                 res.firings
             );
+            if stats.is_some() {
+                eprint!("{}", res.stats);
+            }
             println!("{}", render_instance(&res.target));
             Ok(())
         }
@@ -126,13 +135,9 @@ fn run(args: &[String]) -> Result<(), String> {
             let m = load_mapping(args.get(1).ok_or(usage)?)?;
             let src = load_instance(args.get(2).ok_or(usage)?, m.source())?;
             let qtext = args.get(3).ok_or(usage)?;
-            let (head, body) =
-                dex::logic::parse_query(qtext).map_err(|e| e.to_string())?;
-            let q = ConjunctiveQuery::new(
-                head.iter().map(|n| n.as_str()).collect(),
-                body,
-            )
-            .map_err(|e| e.to_string())?;
+            let (head, body) = dex::logic::parse_query(qtext).map_err(|e| e.to_string())?;
+            let q = ConjunctiveQuery::new(head.iter().map(|n| n.as_str()).collect(), body)
+                .map_err(|e| e.to_string())?;
             q.validate(m.target()).map_err(|e| e.to_string())?;
             let j = exchange(&m, &src).map_err(|e| e.to_string())?.target;
             let answers = certain_answers(&q, &j);
@@ -144,7 +149,10 @@ fn run(args: &[String]) -> Result<(), String> {
                 .iter()
                 .map(|t| Json::Array(t.iter().map(value_to_json).collect()))
                 .collect();
-            println!("{}", serde_json::to_string_pretty(&Json::Array(rows)).unwrap());
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&Json::Array(rows)).unwrap()
+            );
             Ok(())
         }
         "recover" => {
@@ -162,8 +170,8 @@ const HELP: &str = r#"dexcli — bidirectional data exchange from the command li
 commands:
   plan     <mapping.dex>                         compile and show the lens plan
   check    <mapping.dex>                         fidelity + termination report
-  chase    <mapping.dex> <source.json>           materialize the universal solution
-  exchange <mapping.dex> <source.json> [prev.json]  lens-engine forward exchange
+  chase    <mapping.dex> <source.json> [--stats] materialize the universal solution
+  exchange <mapping.dex> <source.json> [prev.json] [--stats]  lens-engine forward exchange
   backward <mapping.dex> <target.json> <source.json>  propagate target edits back
   compose  <m1.dex> <m2.dex>                     compose two mappings
   recover  <mapping.dex>                         print the maximum recovery
@@ -179,8 +187,7 @@ mapping files use the dex mapping language:
 instance JSON: {"Emp": [["Alice"], ["Bob"]]}"#;
 
 fn load_mapping(path: &str) -> Result<Mapping, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     parse_mapping(&text).map_err(|e| format!("{path}: {e}"))
 }
 
@@ -207,7 +214,11 @@ fn check(m: &Mapping) {
         println!(
             "target tgds: {} (weakly acyclic: {})",
             m.target_tgds().len(),
-            if wa { "yes — chase terminates" } else { "NO — chase may diverge" }
+            if wa {
+                "yes — chase terminates"
+            } else {
+                "NO — chase may diverge"
+            }
         );
     }
     match compile(m) {
@@ -223,10 +234,8 @@ fn check(m: &Mapping) {
 }
 
 fn load_instance(path: &str, schema: &Schema) -> Result<Instance, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let json: Json =
-        serde_json::from_str(&text).map_err(|e| format!("{path}: bad JSON: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let json: Json = serde_json::from_str(&text).map_err(|e| format!("{path}: bad JSON: {e}"))?;
     let obj = json
         .as_object()
         .ok_or_else(|| format!("{path}: expected a JSON object of relations"))?;

@@ -86,7 +86,11 @@ fn backward_propagates_edit() {
         .arg(&src)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     let json: serde_json::Value = serde_json::from_str(&text).unwrap();
     let names: Vec<&str> = json["Emp"]
@@ -148,7 +152,11 @@ fn query_certain_answers() {
         .arg("q(e) :- Manager(e, m)")
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let json: serde_json::Value =
         serde_json::from_str(&String::from_utf8(out.stdout).unwrap()).unwrap();
     let names: Vec<&str> = json

@@ -149,10 +149,13 @@ fn null_density_controls_folding() {
     // The E10 bench's shape in miniature: hub facts with k null spokes
     // plus one ground spoke fold to a single fact; with no ground spoke
     // they fold to one null spoke.
-    let schema = dex::relational::Schema::with_relations(vec![
-        dex::relational::RelSchema::untyped("R", vec!["a", "b"]).unwrap(),
-    ])
-    .unwrap();
+    let schema =
+        dex::relational::Schema::with_relations(vec![dex::relational::RelSchema::untyped(
+            "R",
+            vec!["a", "b"],
+        )
+        .unwrap()])
+        .unwrap();
     for k in [1u64, 3, 6] {
         let mut with_ground = Instance::empty(schema.clone());
         let mut nulls_only = Instance::empty(schema.clone());

@@ -60,10 +60,7 @@ fn composition_semantics_on_instances() {
     // Distinct bosses: no SelfMngr needed.
     let plain = Instance::with_facts(
         c_schema.clone(),
-        vec![(
-            "Boss",
-            vec![tuple!["Alice", "Ted"], tuple!["Bob", "Ted"]],
-        )],
+        vec![("Boss", vec![tuple!["Alice", "Ted"], tuple!["Bob", "Ted"]])],
     )
     .unwrap();
     assert!(comp.sotgd.satisfied_by_bounded(&src, &plain));
@@ -71,10 +68,7 @@ fn composition_semantics_on_instances() {
     // Alice bosses herself: SelfMngr(Alice) becomes mandatory.
     let self_boss_missing = Instance::with_facts(
         c_schema.clone(),
-        vec![(
-            "Boss",
-            vec![tuple!["Alice", "Alice"], tuple!["Bob", "Ted"]],
-        )],
+        vec![("Boss", vec![tuple!["Alice", "Alice"], tuple!["Bob", "Ted"]])],
     )
     .unwrap();
     assert!(!comp.sotgd.satisfied_by_bounded(&src, &self_boss_missing));
@@ -82,10 +76,7 @@ fn composition_semantics_on_instances() {
     let self_boss_present = Instance::with_facts(
         c_schema,
         vec![
-            (
-                "Boss",
-                vec![tuple!["Alice", "Alice"], tuple!["Bob", "Ted"]],
-            ),
+            ("Boss", vec![tuple!["Alice", "Alice"], tuple!["Bob", "Ted"]]),
             ("SelfMngr", vec![tuple!["Alice"]]),
         ],
     )
@@ -121,12 +112,7 @@ fn one_step_equals_two_step() {
 /// first-order and behave like iterated chasing.
 #[test]
 fn full_chain_closure() {
-    let hops = [
-        ("A", "B"),
-        ("B", "C"),
-        ("C", "D"),
-        ("D", "E"),
-    ];
+    let hops = [("A", "B"), ("B", "C"), ("C", "D"), ("D", "E")];
     let mappings: Vec<Mapping> = hops
         .iter()
         .map(|(s, t)| {
@@ -167,21 +153,15 @@ fn naive_first_order_splice_is_wrong() {
     )
     .unwrap();
     let comp = compose(&m12(), &m23()).unwrap();
-    let src = Instance::with_facts(
-        m12().source().clone(),
-        vec![("Emp", vec![tuple!["Alice"]])],
-    )
-    .unwrap();
+    let src =
+        Instance::with_facts(m12().source().clone(), vec![("Emp", vec![tuple!["Alice"]])]).unwrap();
     // The witnessing pair: Boss(Alice, Alice) without SelfMngr.
     let k = Instance::with_facts(
         m23().target().clone(),
         vec![("Boss", vec![tuple!["Alice", "Alice"]])],
     )
     .unwrap();
-    assert!(
-        naive.is_solution(&src, &k),
-        "naive splice accepts the pair"
-    );
+    assert!(naive.is_solution(&src, &k), "naive splice accepts the pair");
     assert!(
         !comp.sotgd.satisfied_by_bounded(&src, &k),
         "true composition rejects it"

@@ -159,5 +159,8 @@ fn information_loss_is_real() {
         vec![("Mother", vec![tuple!["Leslie", "Alice"]])],
     )
     .unwrap();
-    assert!(rec.satisfied_by(&j, &i_mother), "a different origin fits too");
+    assert!(
+        rec.satisfied_by(&j, &i_mother),
+        "a different origin fits too"
+    );
 }

@@ -60,10 +60,7 @@ fn exchange_through_figure1() {
     let src = Instance::with_facts(
         mapping.source().clone(),
         vec![
-            (
-                "Takes",
-                vec![tuple!["Alice", "DB"], tuple!["Bob", "PL"]],
-            ),
+            ("Takes", vec![tuple!["Alice", "DB"], tuple!["Bob", "PL"]]),
             (
                 "SrcStudent",
                 vec![tuple![7i64, "Carol"], tuple![8i64, "Dan"]],
@@ -108,11 +105,10 @@ fn certain_answers_over_figure1() {
 
     // “Which students exist?” has no certain answers by id (all ids
     // are nulls), but by name it does.
-    let by_id = ConjunctiveQuery::new(vec!["i"], vec![Atom::vars("Student", &["i", "n"])])
-        .unwrap();
+    let by_id = ConjunctiveQuery::new(vec!["i"], vec![Atom::vars("Student", &["i", "n"])]).unwrap();
     assert!(certain_answers(&by_id, &j).is_empty());
-    let by_name = ConjunctiveQuery::new(vec!["n"], vec![Atom::vars("Student", &["i", "n"])])
-        .unwrap();
+    let by_name =
+        ConjunctiveQuery::new(vec!["n"], vec![Atom::vars("Student", &["i", "n"])]).unwrap();
     let ans = certain_answers(&by_name, &j);
     assert_eq!(ans.len(), 1);
     assert!(ans.contains(&tuple!["Alice"]));

@@ -7,8 +7,8 @@ use dex::core::{compile, Engine};
 use dex::evolution::{propagate_all, ColumnDefault, EvolutionLens, Smo};
 use dex::lens::symmetric::{invert, SymLens};
 use dex::logic::parse_mapping;
-use dex::rellens::Environment;
 use dex::relational::{tuple, AttrType, Expr, Instance, Name};
+use dex::rellens::Environment;
 
 fn mapping() -> dex::logic::Mapping {
     parse_mapping(

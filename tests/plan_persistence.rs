@@ -4,8 +4,8 @@
 
 use dex::core::{compile, Engine, HoleBinding, MappingTemplate};
 use dex::logic::parse_mapping;
-use dex::rellens::{Environment, UpdatePolicy};
 use dex::relational::{tuple, Instance};
+use dex::rellens::{Environment, UpdatePolicy};
 
 fn mapping() -> dex::logic::Mapping {
     parse_mapping(
@@ -57,7 +57,11 @@ fn bound_template_survives_persistence() {
     .unwrap();
     let tgt = engine.forward(&src, None).unwrap();
     let row = tgt.relation("Person2").unwrap().iter().next().unwrap();
-    assert_eq!(row[2], dex::relational::Value::int(55_000), "bound policy applied");
+    assert_eq!(
+        row[2],
+        dex::relational::Value::int(55_000),
+        "bound policy applied"
+    );
     assert!(row[3].is_null(), "unbound hole keeps its default");
 }
 

@@ -2,8 +2,8 @@
 //! (null / constant / environment / functional dependency), and the
 //! claim that the FD option is the least lossy.
 
-use dex::rellens::{Environment, InstanceLens, RelLensExpr, UpdatePolicy};
 use dex::relational::{tuple, Fd, Instance, Name, RelSchema, Relation, Schema, Value};
+use dex::rellens::{Environment, InstanceLens, RelLensExpr, UpdatePolicy};
 
 fn schema() -> Schema {
     Schema::with_relations(vec![RelSchema::untyped(
@@ -65,10 +65,7 @@ fn policy_null_always_a_null() {
 
 #[test]
 fn policy_const_always_the_constant() {
-    let v = insert_dan(
-        UpdatePolicy::Const("Nowhere".into()),
-        Environment::new(),
-    );
+    let v = insert_dan(UpdatePolicy::Const("Nowhere".into()), Environment::new());
     assert_eq!(v, Value::str("Nowhere"));
 }
 
@@ -138,7 +135,10 @@ fn fd_policy_is_least_lossy() {
     // *current* source:
     assert_eq!(null_score, 0);
     assert_eq!(const_score, 2, "alice and bob were in Sydney");
-    assert_eq!(fd_score, 0, "FD lookup has nothing left to consult after a full wipe");
+    assert_eq!(
+        fd_score, 0,
+        "FD lookup has nothing left to consult after a full wipe"
+    );
 
     // The realistic churn: one row is deleted and re-added while the
     // others survive — now the FD shines.
@@ -152,7 +152,10 @@ fn fd_policy_is_least_lossy() {
         back.contains("Addr", &tuple!["bob", 2000i64, "Sydney"])
     };
     assert!(!churn(UpdatePolicy::Null));
-    assert!(churn(UpdatePolicy::fd_or_null(vec!["zip"])), "alice's surviving row pins the city");
+    assert!(
+        churn(UpdatePolicy::fd_or_null(vec!["zip"])),
+        "alice's surviving row pins the city"
+    );
 }
 
 /// The FD policy respects per-view-row values: two new rows with
@@ -204,7 +207,9 @@ fn compute_policy_through_engine() {
         .bind(
             salary_hole,
             HoleBinding::Column(UpdatePolicy::Compute(
-                Expr::attr("id").mul(Expr::lit(1000i64)).add(Expr::lit(30_000i64)),
+                Expr::attr("id")
+                    .mul(Expr::lit(1000i64))
+                    .add(Expr::lit(30_000i64)),
             )),
         )
         .unwrap();

@@ -6,8 +6,8 @@
 use dex::core::{compile, Engine};
 use dex::lens::edit::{Delta, EditSession};
 use dex::logic::parse_mapping;
-use dex::rellens::Environment;
 use dex::relational::{tuple, Instance, Name, Value};
+use dex::rellens::Environment;
 use proptest::prelude::*;
 
 fn mapping() -> dex::logic::Mapping {
@@ -210,8 +210,14 @@ fn backward_through_union_respects_routing_policy() {
     let src2 = e.backward(&edited, &src).unwrap();
     assert!(src2.contains("Father", &tuple!["Pat", "Kim"]));
     assert!(!src2.contains("Mother", &tuple!["Pat", "Kim"]));
-    assert!(!src2.contains("Mother", &tuple!["Robin", "Sam"]), "delete reached Mother");
-    assert!(src2.contains("Father", &tuple!["Leslie", "Alice"]), "untouched row survives");
+    assert!(
+        !src2.contains("Mother", &tuple!["Robin", "Sam"]),
+        "delete reached Mother"
+    );
+    assert!(
+        src2.contains("Father", &tuple!["Leslie", "Alice"]),
+        "untouched row survives"
+    );
 
     // Re-bind the union hole: inserts now land on Mother.
     let mut t2 = compile(&m).unwrap();

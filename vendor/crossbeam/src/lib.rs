@@ -1,0 +1,71 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Implements `crossbeam::scope` on top of `std::thread::scope`
+//! (stable since 1.63), matching the crossbeam 0.8 call shape used
+//! here: the outer closure receives a `&Scope`, `spawn` closures
+//! receive a `&Scope` argument, and both `scope` and `join` return
+//! `std::thread::Result`.
+
+/// Scoped-thread handle mirroring `crossbeam_utils::thread::Scope`.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        self.0.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle(self.0.spawn(move || f(&scope)))
+    }
+}
+
+/// Run `f` with a scope in which borrowing, scoped threads can be
+/// spawned. All spawned threads are joined before this returns.
+///
+/// Unlike real crossbeam, a panic in an *unjoined* child propagates
+/// out of `scope` (std semantics) instead of surfacing as `Err`;
+/// every caller in this workspace joins its handles, so the
+/// difference is unobservable here.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope(s))))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_spawn_and_join() {
+        let data = vec![1, 2, 3, 4];
+        let total: i32 = super::scope(|scope| {
+            let handles: Vec<_> = data
+                .iter()
+                .map(|&x| scope.spawn(move |_| x * 10))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn child_panic_is_returned_by_join() {
+        let caught = super::scope(|scope| {
+            let h = scope.spawn(|_| panic!("boom"));
+            h.join().is_err()
+        })
+        .unwrap();
+        assert!(caught);
+    }
+}

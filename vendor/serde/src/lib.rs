@@ -1,0 +1,509 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build sandbox for this repository has no access to crates.io, so
+//! the workspace patches `serde` (and friends) to these minimal local
+//! implementations (see `[patch.crates-io]` in the root `Cargo.toml`).
+//! The API surface mirrors the subset of real serde used by the
+//! workspace: the `Serialize`/`Deserialize` traits, plain `#[derive]`
+//! (no attributes except `#[serde(skip)]`), and a self-describing data
+//! model consumed by the `serde_json` stand-in.
+//!
+//! Everything in the workspace is written against the *real* serde API,
+//! so deleting the `[patch.crates-io]` section restores the genuine
+//! crates with no source changes.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization half.
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Deserialization half.
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A (drastically simplified) serializer: values are lowered to the
+/// [`__private::Content`] tree, which data formats then render.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: ser::Error;
+
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Escape hatch used by the container impls and by derived code:
+    /// hand a fully built content tree to the serializer.
+    fn serialize_content(self, content: __private::Content) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A (drastically simplified) deserializer: formats parse into a
+/// [`__private::Content`] tree which `Deserialize` impls consume.
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+
+    /// Take the whole input as a content tree.
+    fn take_content(self) -> Result<__private::Content, Self::Error>;
+}
+
+pub mod ser {
+    use std::fmt;
+
+    /// Error constructor required of serializer error types.
+    pub trait Error: Sized + fmt::Debug + fmt::Display {
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+}
+
+pub mod de {
+    use std::fmt;
+
+    /// Error constructor required of deserializer error types.
+    pub trait Error: Sized + fmt::Debug + fmt::Display {
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// Implementation details shared with `serde_derive`-generated code and
+/// the `serde_json` stand-in. Not part of the mirrored serde API.
+pub mod __private {
+    use super::{de, ser, Deserialize, Deserializer, Serialize, Serializer};
+    use std::fmt;
+
+    /// The self-describing data model (deliberately JSON-shaped).
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Content {
+        Null,
+        Bool(bool),
+        I64(i64),
+        U64(u64),
+        F64(f64),
+        Str(String),
+        Seq(Vec<Content>),
+        /// Key-value pairs in insertion order; formats may require the
+        /// keys to be strings.
+        Map(Vec<(Content, Content)>),
+    }
+
+    /// Error type for content-tree (de)serialization.
+    #[derive(Debug)]
+    pub struct ContentError(pub String);
+
+    impl fmt::Display for ContentError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl ser::Error for ContentError {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            ContentError(msg.to_string())
+        }
+    }
+
+    impl de::Error for ContentError {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            ContentError(msg.to_string())
+        }
+    }
+
+    /// Serializer producing a content tree. Infallible in practice.
+    pub struct ContentSerializer;
+
+    impl Serializer for ContentSerializer {
+        type Ok = Content;
+        type Error = ContentError;
+
+        fn serialize_bool(self, v: bool) -> Result<Content, ContentError> {
+            Ok(Content::Bool(v))
+        }
+        fn serialize_i64(self, v: i64) -> Result<Content, ContentError> {
+            Ok(Content::I64(v))
+        }
+        fn serialize_u64(self, v: u64) -> Result<Content, ContentError> {
+            Ok(Content::U64(v))
+        }
+        fn serialize_f64(self, v: f64) -> Result<Content, ContentError> {
+            Ok(Content::F64(v))
+        }
+        fn serialize_str(self, v: &str) -> Result<Content, ContentError> {
+            Ok(Content::Str(v.to_owned()))
+        }
+        fn serialize_unit(self) -> Result<Content, ContentError> {
+            Ok(Content::Null)
+        }
+        fn serialize_content(self, content: Content) -> Result<Content, ContentError> {
+            Ok(content)
+        }
+    }
+
+    /// Deserializer reading from a content tree.
+    pub struct ContentDeserializer(pub Content);
+
+    impl<'de> Deserializer<'de> for ContentDeserializer {
+        type Error = ContentError;
+
+        fn take_content(self) -> Result<Content, ContentError> {
+            Ok(self.0)
+        }
+    }
+
+    /// Lower any `Serialize` value to a content tree.
+    pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Result<Content, ContentError> {
+        value.serialize(ContentSerializer)
+    }
+
+    /// Rebuild a `Deserialize` value from a content tree.
+    pub fn from_content<'de, T: Deserialize<'de>>(content: Content) -> Result<T, ContentError> {
+        T::deserialize(ContentDeserializer(content))
+    }
+
+    /// Pull the value for `key` out of a struct map (derived code).
+    pub fn take_field(
+        map: &mut Vec<(Content, Content)>,
+        key: &str,
+    ) -> Result<Content, ContentError> {
+        let pos = map
+            .iter()
+            .position(|(k, _)| matches!(k, Content::Str(s) if s == key))
+            .ok_or_else(|| ContentError(format!("missing field `{key}`")))?;
+        Ok(map.remove(pos).1)
+    }
+}
+
+use __private::{to_content, Content};
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_i64(*self as i64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_content()? {
+                    Content::I64(v) => Ok(v as $t),
+                    Content::U64(v) => Ok(v as $t),
+                    other => Err(de::Error::custom(format_args!(
+                        "expected integer, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+serialize_int!(i8, i16, i32, i64, isize);
+
+macro_rules! serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_u64(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_content()? {
+                    Content::U64(v) => Ok(v as $t),
+                    Content::I64(v) if v >= 0 => Ok(v as $t),
+                    other => Err(de::Error::custom(format_args!(
+                        "expected unsigned integer, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+serialize_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bool(*self)
+    }
+}
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Bool(b) => Ok(b),
+            other => Err(de::Error::custom(format_args!(
+                "expected bool, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(*self)
+    }
+}
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::F64(v) => Ok(v),
+            Content::I64(v) => Ok(v as f64),
+            Content::U64(v) => Ok(v as f64),
+            other => Err(de::Error::custom(format_args!(
+                "expected float, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(de::Error::custom(format_args!(
+                "expected string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_unit()
+    }
+}
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Null => Ok(()),
+            other => Err(de::Error::custom(format_args!(
+                "expected null, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => s.serialize_unit(),
+            Some(v) => {
+                let c = to_content(v).map_err(ser_err::<S>)?;
+                s.serialize_content(c)
+            }
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Null => Ok(None),
+            c => Ok(Some(
+                __private::from_content(c).map_err(de_err::<'de, D>)?,
+            )),
+        }
+    }
+}
+
+fn ser_err<S: Serializer>(e: __private::ContentError) -> S::Error {
+    ser::Error::custom(e)
+}
+fn de_err<'de, D: Deserializer<'de>>(e: __private::ContentError) -> D::Error {
+    de::Error::custom(e)
+}
+
+fn serialize_iter<S: Serializer, T: Serialize>(
+    iter: impl Iterator<Item = T>,
+    s: S,
+) -> Result<S::Ok, S::Error> {
+    let mut out = Vec::new();
+    for item in iter {
+        out.push(to_content(&item).map_err(ser_err::<S>)?);
+    }
+    s.serialize_content(Content::Seq(out))
+}
+
+fn expect_seq<'de, D: Deserializer<'de>>(d: D) -> Result<Vec<Content>, D::Error> {
+    match d.take_content()? {
+        Content::Seq(v) => Ok(v),
+        other => Err(de::Error::custom(format_args!(
+            "expected sequence, got {other:?}"
+        ))),
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(self.iter(), s)
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        expect_seq(d)?
+            .into_iter()
+            .map(|c| __private::from_content(c).map_err(de_err::<'de, D>))
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(self.iter(), s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<[T]> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(Vec::<T>::deserialize(d)?.into_boxed_slice())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(Box::new(T::deserialize(d)?))
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(self.iter(), s)
+    }
+}
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        expect_seq(d)?
+            .into_iter()
+            .map(|c| __private::from_content(c).map_err(de_err::<'de, D>))
+            .collect()
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut out = Vec::new();
+        for (k, v) in self {
+            out.push((
+                to_content(k).map_err(ser_err::<S>)?,
+                to_content(v).map_err(ser_err::<S>)?,
+            ));
+        }
+        s.serialize_content(Content::Map(out))
+    }
+}
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    Ok((
+                        __private::from_content(k).map_err(de_err::<'de, D>)?,
+                        __private::from_content(v).map_err(de_err::<'de, D>)?,
+                    ))
+                })
+                .collect(),
+            other => Err(de::Error::custom(format_args!(
+                "expected map, got {other:?}"
+            ))),
+        }
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let out = vec![$(to_content(&self.$n).map_err(ser_err::<S>)?),+];
+                s.serialize_content(Content::Seq(out))
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let seq = expect_seq(d)?;
+                let mut it = seq.into_iter();
+                Ok(($({
+                    let _ = $n; // positional
+                    __private::from_content(
+                        it.next().ok_or_else(|| de::Error::custom("tuple too short"))?
+                    ).map_err(de_err::<'de, D>)?
+                },)+))
+            }
+        }
+    )*};
+}
+serialize_tuple!((0 T0) (0 T0, 1 T1) (0 T0, 1 T1, 2 T2) (0 T0, 1 T1, 2 T2, 3 T3));
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let c = Content::Map(vec![
+            (Content::Str("secs".into()), Content::U64(self.as_secs())),
+            (
+                Content::Str("nanos".into()),
+                Content::U64(self.subsec_nanos() as u64),
+            ),
+        ]);
+        s.serialize_content(c)
+    }
+}
+impl<'de> Deserialize<'de> for std::time::Duration {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Map(mut m) => {
+                let secs: u64 = __private::from_content(
+                    __private::take_field(&mut m, "secs").map_err(de_err::<'de, D>)?,
+                )
+                .map_err(de_err::<'de, D>)?;
+                let nanos: u64 = __private::from_content(
+                    __private::take_field(&mut m, "nanos").map_err(de_err::<'de, D>)?,
+                )
+                .map_err(de_err::<'de, D>)?;
+                Ok(std::time::Duration::new(secs, nanos as u32))
+            }
+            other => Err(de::Error::custom(format_args!(
+                "expected duration map, got {other:?}"
+            ))),
+        }
+    }
+}

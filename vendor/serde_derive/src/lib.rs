@@ -1,0 +1,497 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls against the workspace's
+//! `serde` stand-in. Supports the shapes this repository actually uses:
+//! non-generic structs (named, tuple, unit) and enums (unit, tuple and
+//! struct variants), plus the `#[serde(skip)]` field attribute (skipped
+//! on serialize, `Default::default()` on deserialize) — the same
+//! behaviour real serde_derive gives those inputs, so switching back to
+//! the genuine crates is source-compatible.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+struct Field {
+    name: String, // empty for tuple fields
+    skip: bool,
+}
+
+enum Shape {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Does a `#[...]` attribute group mark `#[serde(skip)]`?
+fn attr_is_skip(group: &proc_macro::Group) -> bool {
+    let mut it = group.stream().into_iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(i)), Some(TokenTree::Group(inner)))
+            if i.to_string() == "serde" =>
+        {
+            inner
+                .stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Consume leading attributes; report whether any was `#[serde(skip)]`.
+fn skip_attrs(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut skip = false;
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.next() {
+                    skip |= attr_is_skip(&g);
+                }
+            }
+            _ => return skip,
+        }
+    }
+}
+
+/// Consume a `pub` / `pub(crate)` visibility if present.
+fn skip_vis(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(it.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        it.next();
+        if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            it.next();
+        }
+    }
+}
+
+/// Consume tokens of a type up to a top-level comma (tracking `<`/`>`
+/// depth — angle brackets are not token groups).
+fn skip_type(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut depth = 0i32;
+    while let Some(t) = it.peek() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        it.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut out = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        let skip = skip_attrs(&mut it);
+        skip_vis(&mut it);
+        let Some(TokenTree::Ident(name)) = it.next() else {
+            return out;
+        };
+        // consume `:`
+        it.next();
+        skip_type(&mut it);
+        // consume the `,` if present
+        it.next();
+        out.push(Field {
+            name: name.to_string(),
+            skip,
+        });
+    }
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let mut out = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    while it.peek().is_some() {
+        let skip = skip_attrs(&mut it);
+        skip_vis(&mut it);
+        if it.peek().is_none() {
+            break; // trailing comma
+        }
+        skip_type(&mut it);
+        it.next(); // the comma
+        out.push(Field {
+            name: String::new(),
+            skip,
+        });
+    }
+    out
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut out = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        skip_attrs(&mut it);
+        let Some(TokenTree::Ident(name)) = it.next() else {
+            return out;
+        };
+        let shape = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = parse_tuple_fields(g.stream());
+                it.next();
+                Shape::Tuple(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                it.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // consume the `,` if present
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            it.next();
+        }
+        out.push(Variant {
+            name: name.to_string(),
+            shape,
+        });
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    skip_attrs(&mut it);
+    skip_vis(&mut it);
+    let kind = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde stand-in derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde stand-in derive: expected item name, got {other:?}"),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive: generic types are not supported (`{name}`)");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(parse_tuple_fields(g.stream()))
+                }
+                _ => Shape::Unit,
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let variants = match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                other => panic!("serde stand-in derive: bad enum body {other:?}"),
+            };
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde stand-in derive: unsupported item kind `{other}`"),
+    }
+}
+
+const P: &str = "::serde::__private";
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, shape } => (name, ser_struct_body(shape)),
+        Item::Enum { name, variants } => (name, ser_enum_body(name, variants)),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn ser_err() -> String {
+    "map_err(|e| <S::Error as ::serde::ser::Error>::custom(e))?".to_string()
+}
+
+fn ser_struct_body(shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => "s.serialize_unit()".into(),
+        Shape::Tuple(fields) if fields.len() == 1 && !fields[0].skip => {
+            // Newtype struct: serialize the inner value transparently.
+            format!(
+                "let c = {P}::to_content(&self.0).{e};\n s.serialize_content(c)",
+                e = ser_err()
+            )
+        }
+        Shape::Tuple(fields) => {
+            let mut pushes = String::new();
+            for (i, f) in fields.iter().enumerate() {
+                if f.skip {
+                    continue;
+                }
+                pushes.push_str(&format!(
+                    "items.push({P}::to_content(&self.{i}).{e});\n",
+                    e = ser_err()
+                ));
+            }
+            format!(
+                "let mut items = Vec::new();\n{pushes}\
+                 s.serialize_content({P}::Content::Seq(items))"
+            )
+        }
+        Shape::Named(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "entries.push(({P}::Content::Str(\"{n}\".to_string()), \
+                     {P}::to_content(&self.{n}).{e}));\n",
+                    n = f.name,
+                    e = ser_err()
+                ));
+            }
+            format!(
+                "let mut entries = Vec::new();\n{pushes}\
+                 s.serialize_content({P}::Content::Map(entries))"
+            )
+        }
+    }
+}
+
+fn ser_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => arms.push_str(&format!(
+                "{name}::{vn} => s.serialize_content({P}::Content::Str(\"{vn}\".to_string())),\n"
+            )),
+            Shape::Tuple(fields) => {
+                let binders: Vec<String> =
+                    (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                let inner = if fields.len() == 1 {
+                    format!("{P}::to_content(__f0).{e}", e = ser_err())
+                } else {
+                    let items: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("{P}::to_content({b}).{e}", e = ser_err()))
+                        .collect();
+                    format!("{P}::Content::Seq(vec![{}])", items.join(", "))
+                };
+                arms.push_str(&format!(
+                    "{name}::{vn}({binds}) => {{\n\
+                         let inner = {inner};\n\
+                         s.serialize_content({P}::Content::Map(vec![\
+                             ({P}::Content::Str(\"{vn}\".to_string()), inner)]))\n\
+                     }},\n",
+                    binds = binders.join(", ")
+                ));
+            }
+            Shape::Named(fields) => {
+                let binds: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{n}: __{n}", n = f.name))
+                    .collect();
+                let mut pushes = String::new();
+                for f in fields.iter().filter(|f| !f.skip) {
+                    pushes.push_str(&format!(
+                        "entries.push(({P}::Content::Str(\"{n}\".to_string()), \
+                         {P}::to_content(__{n}).{e}));\n",
+                        n = f.name,
+                        e = ser_err()
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {binds} }} => {{\n\
+                         let mut entries = Vec::new();\n{pushes}\
+                         s.serialize_content({P}::Content::Map(vec![\
+                             ({P}::Content::Str(\"{vn}\".to_string()), \
+                              {P}::Content::Map(entries))]))\n\
+                     }},\n",
+                    binds = binds.join(", ")
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{arms}\n}}")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, shape } => (name, de_struct_body(name, shape)),
+        Item::Enum { name, variants } => (name, de_enum_body(name, variants)),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn de_err() -> String {
+    "map_err(|e| <D::Error as ::serde::de::Error>::custom(e))?".to_string()
+}
+
+fn de_bad(expected: &str) -> String {
+    format!(
+        "return Err(<D::Error as ::serde::de::Error>::custom(\
+         format!(\"expected {expected}, got {{other:?}}\")))"
+    )
+}
+
+/// Build a constructor expression for `shape`, reading from the content
+/// bound to `seq` / `map` variables established by the surrounding code.
+fn de_named_fields(path: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!("{n}: Default::default(),\n", n = f.name));
+        } else {
+            inits.push_str(&format!(
+                "{n}: {P}::from_content({P}::take_field(&mut map, \"{n}\").{e}).{e},\n",
+                n = f.name,
+                e = de_err()
+            ));
+        }
+    }
+    format!("{path} {{\n{inits}}}")
+}
+
+fn de_tuple_fields(path: &str, fields: &[Field]) -> String {
+    let mut args = String::new();
+    for f in fields {
+        if f.skip {
+            args.push_str("Default::default(),\n");
+        } else {
+            args.push_str(&format!(
+                "{P}::from_content(\
+                 seq.next().ok_or_else(|| <D::Error as ::serde::de::Error>::custom(\
+                 \"sequence too short\"))?).{e},\n",
+                e = de_err()
+            ));
+        }
+    }
+    format!("{path}({args})")
+}
+
+fn de_struct_body(name: &str, shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => format!(
+            "match d.take_content()? {{\n\
+                 {P}::Content::Null => Ok({name}),\n\
+                 other => {bad},\n\
+             }}",
+            bad = de_bad("null")
+        ),
+        Shape::Tuple(fields) if fields.len() == 1 && !fields[0].skip => format!(
+            "let c = d.take_content()?;\n\
+             Ok({name}({P}::from_content(c).{e}))",
+            e = de_err()
+        ),
+        Shape::Tuple(fields) => format!(
+            "match d.take_content()? {{\n\
+                 {P}::Content::Seq(items) => {{\n\
+                     let mut seq = items.into_iter();\n\
+                     Ok({ctor})\n\
+                 }}\n\
+                 other => {bad},\n\
+             }}",
+            ctor = de_tuple_fields(name, fields),
+            bad = de_bad("sequence")
+        ),
+        Shape::Named(fields) => format!(
+            "match d.take_content()? {{\n\
+                 {P}::Content::Map(mut map) => Ok({ctor}),\n\
+                 other => {bad},\n\
+             }}",
+            ctor = de_named_fields(name, fields),
+            bad = de_bad("map")
+        ),
+    }
+}
+
+fn de_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => unit_arms.push_str(&format!(
+                "\"{vn}\" => Ok({name}::{vn}),\n"
+            )),
+            Shape::Tuple(fields) if fields.len() == 1 && !fields[0].skip => {
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => Ok({name}::{vn}({P}::from_content(inner).{e})),\n",
+                    e = de_err()
+                ));
+            }
+            Shape::Tuple(fields) => tagged_arms.push_str(&format!(
+                "\"{vn}\" => match inner {{\n\
+                     {P}::Content::Seq(items) => {{\n\
+                         let mut seq = items.into_iter();\n\
+                         Ok({ctor})\n\
+                     }}\n\
+                     other => {bad},\n\
+                 }},\n",
+                ctor = de_tuple_fields(&format!("{name}::{vn}"), fields),
+                bad = de_bad("sequence")
+            )),
+            Shape::Named(fields) => tagged_arms.push_str(&format!(
+                "\"{vn}\" => match inner {{\n\
+                     {P}::Content::Map(mut map) => Ok({ctor}),\n\
+                     other => {bad},\n\
+                 }},\n",
+                ctor = de_named_fields(&format!("{name}::{vn}"), fields),
+                bad = de_bad("map")
+            )),
+        }
+    }
+    format!(
+        "match d.take_content()? {{\n\
+             {P}::Content::Str(tag) => match tag.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => Err(<D::Error as ::serde::de::Error>::custom(\
+                     format!(\"unknown unit variant `{{other}}` for {name}\"))),\n\
+             }},\n\
+             {P}::Content::Map(mut map) if map.len() == 1 => {{\n\
+                 let (tag, inner) = map.remove(0);\n\
+                 let tag = match tag {{\n\
+                     {P}::Content::Str(s) => s,\n\
+                     other => {badtag},\n\
+                 }};\n\
+                 match tag.as_str() {{\n\
+                     {tagged_arms}\n\
+                     other => Err(<D::Error as ::serde::de::Error>::custom(\
+                         format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                 }}\n\
+             }}\n\
+             other => {bad},\n\
+         }}",
+        badtag = de_bad("string variant tag"),
+        bad = de_bad("enum value")
+    )
+}
