@@ -1,0 +1,269 @@
+//! The diagnostic model: stable codes, severities, spans, and
+//! machine-checkable witnesses.
+//!
+//! Every lint the analyzer can raise has a **stable code** in the
+//! `DEXnnn` namespace (see the registry table in the repository
+//! README). Codes never change meaning between releases; tooling may
+//! match on them. A [`Diagnostic`] additionally carries a rendered
+//! message, an optional [`Span`] into the mapping source, free-form
+//! notes, and — where the claim is refutable — a structured
+//! [`Witness`] that downstream tools can re-verify (e.g. a
+//! weak-acyclicity counterexample cycle is checked by
+//! [`dex_chase::verify_witness`]).
+
+use dex_chase::CycleWitness;
+use dex_logic::Span;
+use dex_relational::{Constant, Name};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Stable diagnostic codes. The numeric bands group related passes:
+/// `000` parse, `0xx` termination, `1xx` hygiene, `2xx` compiler
+/// fragment, `3xx` operator prechecks.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Code {
+    /// The mapping failed to parse.
+    Dex000,
+    /// Target tgds are neither weakly nor jointly acyclic — the chase
+    /// may not terminate.
+    Dex001,
+    /// Target tgds fail weak acyclicity but joint acyclicity certifies
+    /// termination anyway.
+    Dex002,
+    /// A declared source relation is read by no rule.
+    Dex101,
+    /// A declared target relation is produced by no rule.
+    Dex102,
+    /// A premise variable occurs exactly once in its rule.
+    Dex103,
+    /// An egd equates two distinct constants — unsatisfiable whenever
+    /// its premise matches.
+    Dex104,
+    /// An st-tgd is implied by the remaining dependencies.
+    Dex105,
+    /// A premise self-join puts the tgd outside the lens-compilable
+    /// fragment.
+    Dex201,
+    /// A function (Skolem) term puts the tgd outside the compilable
+    /// fragment.
+    Dex202,
+    /// Tgds producing the same relation disagree on its column shape.
+    Dex203,
+    /// Target tgds put the mapping outside the compilable fragment.
+    Dex204,
+    /// The tgd compiles, but only approximately (shared existentials).
+    Dex205,
+    /// A source relation feeds the same target relation through more
+    /// than one conjunct, so the folded union lens would mention the
+    /// base table twice (ambiguous `put`).
+    Dex206,
+    /// `compose` would refuse this mapping (target dependencies).
+    Dex301,
+    /// `maximum_recovery` would refuse this mapping.
+    Dex302,
+}
+
+impl Code {
+    /// The stable textual form, e.g. `"DEX101"`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Code::Dex000 => "DEX000",
+            Code::Dex001 => "DEX001",
+            Code::Dex002 => "DEX002",
+            Code::Dex101 => "DEX101",
+            Code::Dex102 => "DEX102",
+            Code::Dex103 => "DEX103",
+            Code::Dex104 => "DEX104",
+            Code::Dex105 => "DEX105",
+            Code::Dex201 => "DEX201",
+            Code::Dex202 => "DEX202",
+            Code::Dex203 => "DEX203",
+            Code::Dex204 => "DEX204",
+            Code::Dex205 => "DEX205",
+            Code::Dex206 => "DEX206",
+            Code::Dex301 => "DEX301",
+            Code::Dex302 => "DEX302",
+        }
+    }
+
+    /// The default severity of this code (before any `--deny`
+    /// promotion).
+    pub fn default_severity(&self) -> Severity {
+        match self {
+            Code::Dex000 | Code::Dex001 | Code::Dex104 => Severity::Error,
+            Code::Dex101
+            | Code::Dex102
+            | Code::Dex103
+            | Code::Dex105
+            | Code::Dex201
+            | Code::Dex202
+            | Code::Dex203
+            | Code::Dex204
+            | Code::Dex206 => Severity::Warning,
+            Code::Dex002 | Code::Dex205 | Code::Dex301 | Code::Dex302 => Severity::Info,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How serious a diagnostic is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Severity {
+    /// Purely informational; never affects the exit status.
+    Info,
+    /// Suspicious but not fatal; promoted to [`Severity::Error`] under
+    /// `--deny warnings`.
+    Warning,
+    /// The mapping is broken or dangerous; linting fails.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Machine-checkable evidence attached to a diagnostic.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Witness {
+    /// A special-edge cycle in the weak-acyclicity dependency graph;
+    /// re-verifiable with [`dex_chase::verify_witness`] against the
+    /// mapping's target tgds.
+    Cycle(CycleWitness),
+    /// A relation named by the diagnostic.
+    Relation(Name),
+    /// Variables named by the diagnostic.
+    Variables(Vec<Name>),
+    /// Indices into the relevant dependency list (the message says
+    /// which one).
+    TgdIndices(Vec<usize>),
+    /// Two distinct constants an egd forces to be equal.
+    ConstantClash(Constant, Constant),
+}
+
+/// One analyzer finding.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: Code,
+    /// Current severity (default per code; `--deny warnings` promotes).
+    pub severity: Severity,
+    /// Human-readable description of the finding.
+    pub message: String,
+    /// Where in the mapping source the finding anchors, when known.
+    pub span: Option<Span>,
+    /// Structured, re-checkable evidence, when the claim has any.
+    pub witness: Option<Witness>,
+    /// Additional free-form context lines.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with its code's default severity and no extras.
+    pub fn new(code: Code, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.default_severity(),
+            message: message.into(),
+            span: None,
+            witness: None,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attach a span.
+    pub fn with_span(mut self, span: Option<Span>) -> Diagnostic {
+        self.span = span;
+        self
+    }
+
+    /// Attach a witness.
+    pub fn with_witness(mut self, witness: Witness) -> Diagnostic {
+        self.witness = Some(witness);
+        self
+    }
+
+    /// Append a note line.
+    pub fn with_note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        if let Some(s) = self.span {
+            write!(f, " (at {s})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Promote every [`Severity::Warning`] to [`Severity::Error`]
+/// (`--deny warnings`). Infos are untouched.
+pub fn deny_warnings(diags: &mut [Diagnostic]) {
+    for d in diags {
+        if d.severity == Severity::Warning {
+            d.severity = Severity::Error;
+        }
+    }
+}
+
+/// Does any diagnostic have [`Severity::Error`]?
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_render_stably() {
+        assert_eq!(Code::Dex001.as_str(), "DEX001");
+        assert_eq!(Code::Dex302.to_string(), "DEX302");
+    }
+
+    #[test]
+    fn severity_orders_info_warning_error() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn deny_warnings_promotes_only_warnings() {
+        let mut ds = vec![
+            Diagnostic::new(Code::Dex101, "unused"),
+            Diagnostic::new(Code::Dex002, "ja-certified"),
+            Diagnostic::new(Code::Dex104, "clash"),
+        ];
+        assert!(!has_errors(&ds[..2]));
+        deny_warnings(&mut ds);
+        assert_eq!(ds[0].severity, Severity::Error);
+        assert_eq!(ds[1].severity, Severity::Info);
+        assert_eq!(ds[2].severity, Severity::Error);
+        assert!(has_errors(&ds));
+    }
+
+    #[test]
+    fn diagnostic_serde_round_trip() {
+        let d = Diagnostic::new(Code::Dex101, "source relation `R` is never read")
+            .with_span(Some(dex_logic::Span::point(2, 1)))
+            .with_witness(Witness::Relation(Name::new("R")))
+            .with_note("declared here but no rule mentions it");
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Diagnostic = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

@@ -1,0 +1,412 @@
+//! Hygiene pass: `DEX101`–`DEX105`.
+//!
+//! Safety and cleanliness lints over the mapping's rules and schemas:
+//!
+//! * `DEX101` — a declared source relation no rule reads;
+//! * `DEX102` — a declared target relation no rule produces;
+//! * `DEX103` — a premise variable used exactly once in its rule
+//!   (often a typo: the join or export it was meant for never happens);
+//! * `DEX104` — an egd that equates two distinct constants, making it
+//!   unsatisfiable whenever its premise matches;
+//! * `DEX105` — an st-tgd implied by the others, shown by a chase-based
+//!   implication check: freeze the tgd's premise into a canonical
+//!   instance, chase the *remaining* dependencies over it, and test
+//!   whether the tgd is already satisfied.
+
+use crate::diagnostic::{Code, Diagnostic, Witness};
+use dex_chase::{classify_termination, exchange};
+use dex_logic::{Mapping, SourceMap, StTgd, Term};
+use dex_relational::{Constant, Instance, Name, Schema, Tuple, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Count every occurrence of every variable (no deduplication —
+/// `Atom::collect_vars` dedups, which is exactly wrong here).
+fn occurrence_counts(tgd: &StTgd, counts: &mut BTreeMap<Name, usize>) {
+    fn walk(t: &Term, counts: &mut BTreeMap<Name, usize>) {
+        match t {
+            Term::Var(v) => *counts.entry(v.clone()).or_default() += 1,
+            Term::Const(_) => {}
+            Term::Func(_, args) => args.iter().for_each(|a| walk(a, counts)),
+        }
+    }
+    for atom in tgd.lhs.iter().chain(tgd.rhs.iter()) {
+        for t in &atom.args {
+            walk(t, counts);
+        }
+    }
+}
+
+fn unused_relations(mapping: &Mapping, spans: Option<&SourceMap>, out: &mut Vec<Diagnostic>) {
+    let read: BTreeSet<&Name> = mapping
+        .st_tgds()
+        .iter()
+        .flat_map(|t| t.lhs.iter())
+        .map(|a| &a.relation)
+        .collect();
+    for rel in mapping.source().relations() {
+        if !read.contains(rel.name()) {
+            out.push(
+                Diagnostic::new(
+                    Code::Dex101,
+                    format!("source relation `{}` is never read by any rule", rel.name()),
+                )
+                .with_span(spans.and_then(|s| s.source_decl(rel.name().as_str())))
+                .with_witness(Witness::Relation(rel.name().clone()))
+                .with_note("remove the declaration, or add a rule exporting it"),
+            );
+        }
+    }
+
+    let produced: BTreeSet<&Name> = mapping
+        .st_tgds()
+        .iter()
+        .chain(mapping.target_tgds().iter())
+        .flat_map(|t| t.rhs.iter())
+        .map(|a| &a.relation)
+        .collect();
+    for rel in mapping.target().relations() {
+        if !produced.contains(rel.name()) {
+            out.push(
+                Diagnostic::new(
+                    Code::Dex102,
+                    format!(
+                        "target relation `{}` is never produced by any rule",
+                        rel.name()
+                    ),
+                )
+                .with_span(spans.and_then(|s| s.target_decl(rel.name().as_str())))
+                .with_witness(Witness::Relation(rel.name().clone()))
+                .with_note("every exchange leaves it empty"),
+            );
+        }
+    }
+}
+
+type SpanSliceOf = fn(&SourceMap) -> &[dex_logic::Span];
+
+fn singleton_variables(mapping: &Mapping, spans: Option<&SourceMap>, out: &mut Vec<Diagnostic>) {
+    let groups: [(&[StTgd], SpanSliceOf); 2] = [
+        (mapping.st_tgds(), |s| &s.st_tgds),
+        (mapping.target_tgds(), |s| &s.target_tgds),
+    ];
+    for (tgds, span_of) in groups {
+        for (ti, tgd) in tgds.iter().enumerate() {
+            let mut counts = BTreeMap::new();
+            occurrence_counts(tgd, &mut counts);
+            let body_vars: BTreeSet<Name> = tgd.lhs_vars().into_iter().collect();
+            // Head-only singletons are existentials — intentional; a
+            // body variable used exactly once joins nothing and
+            // exports nothing.
+            let singles: Vec<Name> = counts
+                .into_iter()
+                .filter(|(v, n)| *n == 1 && body_vars.contains(v.as_str()))
+                .map(|(v, _)| v)
+                .collect();
+            if !singles.is_empty() {
+                let list = singles
+                    .iter()
+                    .map(|v| format!("`{v}`"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                out.push(
+                    Diagnostic::new(
+                        Code::Dex103,
+                        format!(
+                            "variable(s) {list} occur exactly once in `{tgd}`; the value \
+                             is matched and then discarded"
+                        ),
+                    )
+                    .with_span(spans.and_then(|s| span_of(s).get(ti).copied()))
+                    .with_witness(Witness::Variables(singles))
+                    .with_note("possibly a typo — singletons neither join nor export"),
+                );
+            }
+        }
+    }
+}
+
+fn constant_clashes(mapping: &Mapping, spans: Option<&SourceMap>, out: &mut Vec<Diagnostic>) {
+    for (ei, egd) in mapping.target_egds().iter().enumerate() {
+        // Union-find over the terms of the egd's equalities; a class
+        // holding two distinct constants is unsatisfiable.
+        let mut terms: Vec<Term> = Vec::new();
+        let mut index: BTreeMap<Term, usize> = BTreeMap::new();
+        let mut parent: Vec<usize> = Vec::new();
+        let id = |t: &Term,
+                  terms: &mut Vec<Term>,
+                  parent: &mut Vec<usize>,
+                  index: &mut BTreeMap<Term, usize>| {
+            *index.entry(t.clone()).or_insert_with(|| {
+                terms.push(t.clone());
+                parent.push(parent.len());
+                parent.len() - 1
+            })
+        };
+        fn root(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        for (a, b) in &egd.equalities {
+            let ia = id(a, &mut terms, &mut parent, &mut index);
+            let ib = id(b, &mut terms, &mut parent, &mut index);
+            let (ra, rb) = (root(&mut parent, ia), root(&mut parent, ib));
+            parent[ra] = rb;
+        }
+        let mut class_const: BTreeMap<usize, Constant> = BTreeMap::new();
+        let mut clash: Option<(Constant, Constant)> = None;
+        for (i, term) in terms.iter().enumerate() {
+            if let Term::Const(c) = term {
+                let r = root(&mut parent, i);
+                match class_const.get(&r) {
+                    Some(prev) if prev != c => {
+                        clash = Some((prev.clone(), c.clone()));
+                        break;
+                    }
+                    _ => {
+                        class_const.insert(r, c.clone());
+                    }
+                }
+            }
+        }
+        if let Some((a, b)) = clash {
+            out.push(
+                Diagnostic::new(
+                    Code::Dex104,
+                    format!(
+                        "egd `{egd}` forces distinct constants `{a}` = `{b}`; it is \
+                         unsatisfiable whenever its premise matches"
+                    ),
+                )
+                .with_span(spans.and_then(|s| s.target_egds.get(ei).copied()))
+                .with_witness(Witness::ConstantClash(a, b))
+                .with_note("any source instance matching the premise has no solution"),
+            );
+        }
+    }
+}
+
+/// Freeze a tgd's premise into a canonical instance over `schema`:
+/// each variable becomes a distinguished fresh constant.
+fn freeze_premise(tgd: &StTgd, schema: &Schema) -> Option<Instance> {
+    let mut facts: BTreeMap<Name, Vec<Tuple>> = BTreeMap::new();
+    for atom in &tgd.lhs {
+        let mut vals = Vec::with_capacity(atom.args.len());
+        for t in &atom.args {
+            match t {
+                Term::Var(v) => vals.push(Value::Const(Constant::Str(format!("⟨{v}⟩")))),
+                Term::Const(c) => vals.push(Value::Const(c.clone())),
+                Term::Func(..) => return None,
+            }
+        }
+        facts
+            .entry(atom.relation.clone())
+            .or_default()
+            .push(Tuple::new(vals));
+    }
+    Instance::with_facts(
+        schema.clone(),
+        facts
+            .iter()
+            .map(|(rel, tuples)| (rel.as_str(), tuples.clone()))
+            .collect(),
+    )
+    .ok()
+}
+
+/// Chase-based implication: is st-tgd `i` implied by the remaining
+/// dependencies? Only sound to run when the target tgds' chase is
+/// certified to terminate — the caller checks.
+fn is_redundant(mapping: &Mapping, i: usize) -> bool {
+    let tgd = &mapping.st_tgds()[i];
+    let rest: Vec<StTgd> = mapping
+        .st_tgds()
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| *j != i)
+        .map(|(_, t)| t.clone())
+        .collect();
+    let Ok(reduced) = Mapping::with_target_deps(
+        mapping.source().clone(),
+        mapping.target().clone(),
+        rest,
+        mapping.target_tgds().to_vec(),
+        mapping.target_egds().to_vec(),
+    ) else {
+        return false;
+    };
+    let Some(frozen) = freeze_premise(tgd, mapping.source()) else {
+        return false;
+    };
+    match exchange(&reduced, &frozen) {
+        Ok(res) => tgd.satisfied_by(&frozen, &res.target),
+        Err(_) => false,
+    }
+}
+
+fn redundant_tgds(mapping: &Mapping, spans: Option<&SourceMap>, out: &mut Vec<Diagnostic>) {
+    if mapping.st_tgds().len() < 2 {
+        return;
+    }
+    // The implication chase must terminate to be a decision procedure.
+    if !classify_termination(mapping.target_tgds()).terminates() {
+        return;
+    }
+    for i in 0..mapping.st_tgds().len() {
+        if is_redundant(mapping, i) {
+            let rest: Vec<usize> = (0..mapping.st_tgds().len()).filter(|j| *j != i).collect();
+            let tgd = &mapping.st_tgds()[i];
+            out.push(
+                Diagnostic::new(
+                    Code::Dex105,
+                    format!(
+                        "st-tgd `{tgd}` is implied by the remaining dependencies; \
+                         deleting it changes no solution"
+                    ),
+                )
+                .with_span(spans.and_then(|s| s.st_tgds.get(i).copied()))
+                .with_witness(Witness::TgdIndices(rest))
+                .with_note(
+                    "shown by chasing the frozen premise with the other rules and \
+                     finding the conclusion already satisfied",
+                ),
+            );
+        }
+    }
+}
+
+/// Run the hygiene pass. `check_redundancy` gates the quadratic
+/// chase-based `DEX105` check.
+pub fn hygiene_pass(
+    mapping: &Mapping,
+    spans: Option<&SourceMap>,
+    check_redundancy: bool,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    unused_relations(mapping, spans, &mut out);
+    singleton_variables(mapping, spans, &mut out);
+    constant_clashes(mapping, spans, &mut out);
+    if check_redundancy {
+        redundant_tgds(mapping, spans, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_logic::parse_mapping_with_spans;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let (m, sm) = parse_mapping_with_spans(src).unwrap();
+        hygiene_pass(&m, Some(&sm), true)
+    }
+
+    #[test]
+    fn clean_mapping_is_silent() {
+        let ds = lint("source Emp(name);\ntarget Manager(emp, mgr);\nEmp(x) -> Manager(x, y);");
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn unused_source_relation_flagged_at_decl() {
+        let ds = lint("source Emp(name);\nsource Ghost(a);\ntarget T(name);\nEmp(x) -> T(x);");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, Code::Dex101);
+        assert_eq!(ds[0].span.unwrap().line, 2);
+        assert_eq!(ds[0].witness, Some(Witness::Relation(Name::new("Ghost"))));
+    }
+
+    #[test]
+    fn unproduced_target_relation_flagged_at_decl() {
+        let ds = lint("source Emp(name);\ntarget T(name);\ntarget Void(a);\nEmp(x) -> T(x);");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, Code::Dex102);
+        assert_eq!(ds[0].span.unwrap().line, 3);
+    }
+
+    #[test]
+    fn singleton_variable_flagged() {
+        let ds = lint("source Emp(name, dept);\ntarget T(name);\nEmp(x, d) -> T(x);");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, Code::Dex103);
+        assert_eq!(ds[0].span.unwrap().line, 3);
+        assert_eq!(
+            ds[0].witness,
+            Some(Witness::Variables(vec![Name::new("d")]))
+        );
+    }
+
+    #[test]
+    fn repeated_body_variable_not_a_singleton() {
+        // `x` joins the two columns; `y` is exported: no lint.
+        let ds = lint("source Emp(a, b);\ntarget T(a);\nEmp(x, x) -> T(x);");
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn head_only_existential_not_a_singleton() {
+        let ds = lint("source Emp(name);\ntarget T(name, mgr);\nEmp(x) -> T(x, y);");
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn constant_clash_egd_flagged() {
+        let ds = lint(
+            "source R(a);\ntarget T(a, tag);\nR(x) -> T(x, 'v');\n\
+             T(x, t) -> t = 'a' & t = 'b';",
+        );
+        let clash: Vec<&Diagnostic> = ds.iter().filter(|d| d.code == Code::Dex104).collect();
+        assert_eq!(clash.len(), 1);
+        assert_eq!(clash[0].span.unwrap().line, 4);
+        assert_eq!(
+            clash[0].witness,
+            Some(Witness::ConstantClash(
+                Constant::Str("a".into()),
+                Constant::Str("b".into()),
+            ))
+        );
+    }
+
+    #[test]
+    fn consistent_constant_egd_not_flagged() {
+        let ds = lint("source R(a);\ntarget T(a, tag);\nR(x) -> T(x, 'v');\nT(x, t) -> t = 'v';");
+        assert!(ds.iter().all(|d| d.code != Code::Dex104), "{ds:?}");
+    }
+
+    #[test]
+    fn subsumed_tgd_flagged_as_redundant() {
+        // The second rule is the first with a weaker premise.
+        let ds = lint(
+            "source Emp(name, dept);\ntarget T(name, dept);\n\
+             Emp(x, y) -> T(x, y);\nEmp(x, x) -> T(x, x);",
+        );
+        let red: Vec<&Diagnostic> = ds.iter().filter(|d| d.code == Code::Dex105).collect();
+        assert_eq!(red.len(), 1);
+        assert_eq!(red[0].span.unwrap().line, 4);
+        assert_eq!(red[0].witness, Some(Witness::TgdIndices(vec![0])));
+    }
+
+    #[test]
+    fn independent_tgds_not_redundant() {
+        let ds = lint(
+            "source A(x);\nsource B(x);\ntarget T(x);\ntarget U(x);\n\
+             A(x) -> T(x);\nB(x) -> U(x);",
+        );
+        assert!(ds.iter().all(|d| d.code != Code::Dex105), "{ds:?}");
+    }
+
+    #[test]
+    fn redundancy_via_target_tgd_detected() {
+        // R(x) -> S(x) plus target S(x) -> T(x) imply R(x) -> T(x).
+        let ds = lint(
+            "source R(a);\ntarget S(a);\ntarget T(a);\n\
+             R(x) -> S(x);\nR(x) -> T(x);\nS(x) -> T(x);",
+        );
+        let red: Vec<&Diagnostic> = ds.iter().filter(|d| d.code == Code::Dex105).collect();
+        assert_eq!(red.len(), 1, "{ds:?}");
+        assert_eq!(red[0].span.unwrap().line, 5);
+    }
+}

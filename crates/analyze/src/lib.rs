@@ -1,0 +1,137 @@
+//! # dex-analyze — a clippy-style static analyzer for schema mappings
+//!
+//! Multi-pass analysis over parsed [`Mapping`]s producing structured
+//! [`Diagnostic`]s with **stable codes**, severities, source [`Span`]s
+//! (via the parser's [`SourceMap`] side table), and machine-checkable
+//! witnesses. Surfaced on the command line as `dexcli lint`.
+//!
+//! The passes, in the order [`analyze`] runs them:
+//!
+//! 1. **Termination** ([`termination::termination_pass`], `DEX0xx`) —
+//!    classifies the target tgds with weak acyclicity and, when that
+//!    fails, joint acyclicity; a failure carries the offending
+//!    special-edge cycle as a witness re-checkable with
+//!    [`dex_chase::verify_witness`].
+//! 2. **Hygiene** ([`hygiene::hygiene_pass`], `DEX1xx`) — unused /
+//!    unproduced relations, singleton variables, constant-clash egds,
+//!    and chase-based tgd redundancy.
+//! 3. **Compiler fragment** ([`fragment::fragment_pass`], `DEX2xx`) —
+//!    [`dex_core::precheck()`]'s static prediction of `compile()`'s
+//!    verdict and per-tgd fidelity, pinned to the real compiler by a
+//!    property test.
+//! 4. **Operator prechecks** ([`opscheck::ops_pass`], `DEX3xx`) —
+//!    would `compose` / `maximum_recovery` accept this mapping?
+//!
+//! ```
+//! use dex_analyze::{analyze, Code};
+//! use dex_logic::parse_mapping_with_spans;
+//!
+//! let (m, spans) = parse_mapping_with_spans(
+//!     "source Emp(name);\nsource Ghost(a);\ntarget Mgr(emp, mgr);\n\
+//!      Emp(x) -> Mgr(x, y);",
+//! ).unwrap();
+//! let diags = analyze(&m, Some(&spans));
+//! assert_eq!(diags.len(), 1);
+//! assert_eq!(diags[0].code, Code::Dex101); // `Ghost` is never read
+//! assert_eq!(diags[0].span.unwrap().line, 2);
+//! ```
+
+pub mod diagnostic;
+pub mod fragment;
+pub mod hygiene;
+pub mod opscheck;
+pub mod render;
+pub mod termination;
+
+pub use diagnostic::{deny_warnings, has_errors, Code, Diagnostic, Severity, Witness};
+pub use render::{render_all, render_text};
+
+use dex_logic::{Mapping, SourceMap, Span};
+
+/// Tuning knobs for [`analyze_with`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AnalyzeOptions {
+    /// Run the chase-based redundancy check (`DEX105`). Quadratic in
+    /// the number of st-tgds; on by default.
+    pub redundancy: bool,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        AnalyzeOptions { redundancy: true }
+    }
+}
+
+/// Run every pass with default options.
+pub fn analyze(mapping: &Mapping, spans: Option<&SourceMap>) -> Vec<Diagnostic> {
+    analyze_with(mapping, spans, AnalyzeOptions::default())
+}
+
+/// Run every pass.
+pub fn analyze_with(
+    mapping: &Mapping,
+    spans: Option<&SourceMap>,
+    options: AnalyzeOptions,
+) -> Vec<Diagnostic> {
+    let mut out = termination::termination_pass(mapping, spans);
+    out.extend(hygiene::hygiene_pass(mapping, spans, options.redundancy));
+    out.extend(fragment::fragment_pass(mapping, spans));
+    out.extend(opscheck::ops_pass(mapping, spans));
+    out
+}
+
+/// Convert a [`dex_logic::ParseError`] into a `DEX000` diagnostic so
+/// unparsable files flow through the same reporting pipeline.
+pub fn parse_error_diagnostic(err: &dex_logic::ParseError) -> Diagnostic {
+    Diagnostic::new(Code::Dex000, err.message.clone())
+        .with_span(Some(Span::point(err.line, err.col)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_logic::parse_mapping_with_spans;
+
+    #[test]
+    fn clean_mapping_produces_no_diagnostics() {
+        let (m, sm) = parse_mapping_with_spans(
+            "source Emp(name, dept);\ntarget Mgr(emp, mgr);\nEmp(x, d) -> Mgr(x, d);",
+        )
+        .unwrap();
+        assert!(analyze(&m, Some(&sm)).is_empty());
+    }
+
+    #[test]
+    fn passes_compose_in_order() {
+        // A mapping tripping hygiene, fragment, and ops passes at once.
+        let (m, sm) = parse_mapping_with_spans(
+            "source S(a, b);\nsource Ghost(a);\ntarget T(a, c);\n\
+             S(x, y) & S(y, z) -> T(x, z);",
+        )
+        .unwrap();
+        let codes: Vec<Code> = analyze(&m, Some(&sm)).iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![Code::Dex101, Code::Dex201]);
+    }
+
+    #[test]
+    fn redundancy_can_be_disabled() {
+        let (m, sm) = parse_mapping_with_spans(
+            "source Emp(name, dept);\ntarget T(name, dept);\n\
+             Emp(x, y) -> T(x, y);\nEmp(x, x) -> T(x, x);",
+        )
+        .unwrap();
+        let with = analyze(&m, Some(&sm));
+        assert!(with.iter().any(|d| d.code == Code::Dex105));
+        let without = analyze_with(&m, Some(&sm), AnalyzeOptions { redundancy: false });
+        assert!(without.iter().all(|d| d.code != Code::Dex105));
+    }
+
+    #[test]
+    fn parse_errors_become_dex000() {
+        let err = dex_logic::parse_mapping("source R(a;\n").unwrap_err();
+        let d = parse_error_diagnostic(&err);
+        assert_eq!(d.code, Code::Dex000);
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.span.is_some());
+    }
+}

@@ -1,0 +1,138 @@
+//! Rendering diagnostics: rustc-style text with caret underlines.
+//!
+//! ```text
+//! error[DEX001]: the chase over the target tgds may not terminate: …
+//!  --> examples/mappings/bad_non_terminating.dex:6:1
+//!   |
+//! 6 | Succ(x, y) -> Succ(y, z);
+//!   | ^^^^^^^^^^^^^^^^^^^^^^^^
+//!   = witness: Succ.1 —∃→ Succ.1
+//!   = note: cycle built from target tgd(s) #0: `…`
+//! ```
+//!
+//! JSON output is plain serde over [`Diagnostic`] — see
+//! `serde_json::to_string_pretty`.
+
+use crate::diagnostic::{Diagnostic, Witness};
+use std::fmt::Write as _;
+
+/// One-line summary of a witness for the text renderer.
+fn witness_line(w: &Witness) -> String {
+    match w {
+        Witness::Cycle(c) => format!("special-edge cycle {c}"),
+        Witness::Relation(r) => format!("relation `{r}`"),
+        Witness::Variables(vs) => format!(
+            "variable(s) {}",
+            vs.iter()
+                .map(|v| format!("`{v}`"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Witness::TgdIndices(is) => format!(
+            "tgd(s) {}",
+            is.iter()
+                .map(|i| format!("#{i}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Witness::ConstantClash(a, b) => format!("`{a}` ≠ `{b}`"),
+    }
+}
+
+/// Render one diagnostic against its source text, rustc style.
+pub fn render_text(diag: &Diagnostic, file: &str, source: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}[{}]: {}", diag.severity, diag.code, diag.message);
+
+    if let Some(span) = diag.span {
+        let _ = writeln!(out, " --> {file}:{}:{}", span.line, span.col);
+        if let Some(text) = source.lines().nth(span.line.saturating_sub(1)) {
+            let gutter = span.line.to_string();
+            let pad = " ".repeat(gutter.len());
+            let _ = writeln!(out, "{pad} |");
+            let _ = writeln!(out, "{gutter} | {text}");
+            // Caret run: from col to end_col on single-line spans, to
+            // the end of the line otherwise.
+            let width = text.chars().count();
+            let start = span.col.saturating_sub(1).min(width);
+            let end = if span.end_line == span.line {
+                span.end_col
+                    .saturating_sub(1)
+                    .clamp(start + 1, width.max(start + 1))
+            } else {
+                width.max(start + 1)
+            };
+            let _ = writeln!(
+                out,
+                "{pad} | {}{}",
+                " ".repeat(start),
+                "^".repeat(end - start)
+            );
+        }
+    }
+    let pad = " ".repeat(diag.span.map_or(1, |s| s.line.to_string().len()));
+    if let Some(w) = &diag.witness {
+        let _ = writeln!(out, "{pad} = witness: {}", witness_line(w));
+    }
+    for note in &diag.notes {
+        let _ = writeln!(out, "{pad} = note: {note}");
+    }
+    out
+}
+
+/// Render a batch of diagnostics with blank lines between them.
+pub fn render_all(diags: &[Diagnostic], file: &str, source: &str) -> String {
+    diags
+        .iter()
+        .map(|d| render_text(d, file, source))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::Code;
+    use dex_logic::Span;
+
+    #[test]
+    fn renders_caret_under_the_span() {
+        let src = "source Emp(name);\nsource Ghost(a);\ntarget T(name);\nEmp(x) -> T(x);";
+        let d = Diagnostic::new(Code::Dex101, "source relation `Ghost` is never read")
+            .with_span(Some(Span {
+                line: 2,
+                col: 1,
+                end_line: 2,
+                end_col: 16,
+            }))
+            .with_note("remove it");
+        let text = render_text(&d, "m.dex", src);
+        assert!(text.contains("warning[DEX101]"), "{text}");
+        assert!(text.contains("--> m.dex:2:1"), "{text}");
+        assert!(text.contains("2 | source Ghost(a);"), "{text}");
+        assert!(text.contains("  | ^^^^^^^^^^^^^^^"), "{text}");
+        assert!(text.contains("= note: remove it"), "{text}");
+    }
+
+    #[test]
+    fn spanless_diagnostic_renders_headline_only() {
+        let d = Diagnostic::new(Code::Dex301, "compose() would refuse this mapping");
+        let text = render_text(&d, "m.dex", "");
+        assert!(text.starts_with("info[DEX301]"), "{text}");
+        assert!(!text.contains("-->"), "{text}");
+    }
+
+    #[test]
+    fn caret_clamps_to_line_width() {
+        let d = Diagnostic::new(Code::Dex103, "singleton").with_span(Some(Span {
+            line: 1,
+            col: 3,
+            end_line: 2,
+            end_col: 50,
+        }));
+        let text = render_text(&d, "m.dex", "short;\nnext;");
+        // Multi-line span underlines to the end of the first line.
+        assert!(text.contains("1 | short;"), "{text}");
+        assert!(text.contains("  |   ^^^^"), "{text}");
+    }
+}

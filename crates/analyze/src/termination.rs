@@ -1,0 +1,131 @@
+//! Termination pass: `DEX001` / `DEX002`.
+//!
+//! Classifies the mapping's *target* tgds (the only rules the chase
+//! iterates to fixpoint — st-tgds fire exactly one round) with
+//! [`dex_chase::classify_termination`]:
+//!
+//! * weakly acyclic → silent;
+//! * jointly acyclic but not weakly acyclic → `DEX002` (info): the
+//!   classical check would reject this mapping, the stronger condition
+//!   certifies it;
+//! * neither → `DEX001` (error), carrying the special-edge cycle as a
+//!   [`Witness::Cycle`] that [`dex_chase::verify_witness`] re-checks.
+
+use crate::diagnostic::{Code, Diagnostic, Witness};
+use dex_chase::{classify_termination, CycleWitness, TerminationClass};
+use dex_logic::{Mapping, SourceMap, Span};
+
+/// The span of the tgd anchoring a witness: the first contributor of
+/// the cycle's special (first) edge.
+fn witness_span(w: &CycleWitness, spans: Option<&SourceMap>) -> Option<Span> {
+    let ti = *w.edges.first()?.tgds.first()?;
+    spans.and_then(|s| s.target_tgds.get(ti).copied())
+}
+
+/// Run the termination pass.
+pub fn termination_pass(mapping: &Mapping, spans: Option<&SourceMap>) -> Vec<Diagnostic> {
+    let report = classify_termination(mapping.target_tgds());
+    match (report.class, report.witness) {
+        (TerminationClass::WeaklyAcyclic, _) => vec![],
+        (TerminationClass::JointlyAcyclic, Some(w)) => {
+            let span = witness_span(&w, spans);
+            vec![Diagnostic::new(
+                Code::Dex002,
+                format!(
+                    "target tgds are not weakly acyclic (cycle {w}), but joint \
+                     acyclicity certifies the chase terminates"
+                ),
+            )
+            .with_span(span)
+            .with_witness(Witness::Cycle(w))]
+        }
+        (TerminationClass::Unknown, Some(w)) => {
+            let span = witness_span(&w, spans);
+            let tgds = w.tgd_indices();
+            let rendered: Vec<String> = tgds
+                .iter()
+                .filter_map(|&i| mapping.target_tgds().get(i))
+                .map(|t| format!("`{t}`"))
+                .collect();
+            vec![Diagnostic::new(
+                Code::Dex001,
+                format!(
+                    "the chase over the target tgds may not terminate: the \
+                     dependency graph has the special-edge cycle {w}"
+                ),
+            )
+            .with_span(span)
+            .with_witness(Witness::Cycle(w))
+            .with_note(format!(
+                "cycle built from target tgd(s) {}: {}",
+                tgds.iter()
+                    .map(|i| format!("#{i}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                rendered.join(", ")
+            ))
+            .with_note(
+                "neither weak nor joint acyclicity certifies termination; \
+                 chasing this mapping may hit the step limit",
+            )]
+        }
+        // A witness always accompanies a non-WeaklyAcyclic class.
+        (_, None) => vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::Severity;
+    use dex_chase::verify_witness;
+    use dex_logic::parse_mapping_with_spans;
+
+    #[test]
+    fn weakly_acyclic_mapping_is_silent() {
+        let (m, sm) = parse_mapping_with_spans(
+            "source R(a);\ntarget S(a);\ntarget T(a);\nR(x) -> S(x);\nS(x) -> T(x);",
+        )
+        .unwrap();
+        assert!(termination_pass(&m, Some(&sm)).is_empty());
+    }
+
+    #[test]
+    fn diverging_target_tgd_raises_dex001_with_verified_witness() {
+        let (m, sm) = parse_mapping_with_spans(
+            "source R(a);\ntarget S(a, b);\nR(x) -> S(x, x);\nS(x, y) -> S(y, z);",
+        )
+        .unwrap();
+        let ds = termination_pass(&m, Some(&sm));
+        assert_eq!(ds.len(), 1);
+        let d = &ds[0];
+        assert_eq!(d.code, Code::Dex001);
+        assert_eq!(d.severity, Severity::Error);
+        // The span points at the offending target tgd (line 4).
+        assert_eq!(d.span.unwrap().line, 4);
+        match &d.witness {
+            Some(Witness::Cycle(w)) => {
+                assert!(verify_witness(m.target_tgds(), w));
+            }
+            other => panic!("expected cycle witness, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ja_certified_mapping_raises_dex002_info() {
+        // The separating example: WA rejects, JA certifies.
+        let (m, sm) = parse_mapping_with_spans(
+            "source R(a, b);\ntarget S(a, b);\ntarget T(a, b);\ntarget U(a);\n\
+             R(x, y) -> S(x, y);\nS(x, y) -> T(y, z);\nT(x, y) & U(y) -> S(x, y);",
+        )
+        .unwrap();
+        let ds = termination_pass(&m, Some(&sm));
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, Code::Dex002);
+        assert_eq!(ds[0].severity, Severity::Info);
+        match &ds[0].witness {
+            Some(Witness::Cycle(w)) => assert!(verify_witness(m.target_tgds(), w)),
+            other => panic!("expected cycle witness, got {other:?}"),
+        }
+    }
+}

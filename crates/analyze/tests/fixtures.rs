@@ -1,0 +1,272 @@
+//! Pins every stable diagnostic code — message, span, and witness — on
+//! the `.dex` fixture corpus under `examples/mappings/`. These tests
+//! are the compatibility contract for the `DEXnnn` registry: a change
+//! that moves a span, rewords a message out of recognition, or drops a
+//! witness must show up here.
+//!
+//! `DEX202` (function terms) is pinned on a constructed mapping because
+//! the `.dex` surface syntax deliberately has no Skolem-term form.
+
+use dex_analyze::{analyze, parse_error_diagnostic, Code, Diagnostic, Severity, Witness};
+use dex_chase::verify_witness;
+use dex_logic::{parse_mapping_with_spans, Atom, Mapping, StTgd, Term};
+use dex_relational::{Constant, RelSchema, Schema};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/mappings")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path:?}: {e}"))
+}
+
+fn lint(name: &str) -> (Mapping, Vec<Diagnostic>) {
+    let (m, sm) = parse_mapping_with_spans(&fixture(name)).expect(name);
+    let ds = analyze(&m, Some(&sm));
+    (m, ds)
+}
+
+fn find(ds: &[Diagnostic], code: Code) -> &Diagnostic {
+    ds.iter()
+        .find(|d| d.code == code)
+        .unwrap_or_else(|| panic!("no {code} in {ds:#?}"))
+}
+
+#[test]
+fn dex000_parse_error_with_point_span() {
+    let err = parse_mapping_with_spans(&fixture("bad_syntax.dex")).unwrap_err();
+    let d = parse_error_diagnostic(&err);
+    assert_eq!(d.code, Code::Dex000);
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("expected `;`"), "{}", d.message);
+    let s = d.span.unwrap();
+    assert_eq!((s.line, s.col), (5, 1));
+}
+
+#[test]
+fn dex001_non_termination_with_verifiable_cycle() {
+    let (m, ds) = lint("bad_non_terminating.dex");
+    let d = find(&ds, Code::Dex001);
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("may not terminate"), "{}", d.message);
+    assert!(d.message.contains("Succ.1 —∃→ Succ.1"), "{}", d.message);
+    assert_eq!(d.span.unwrap().line, 7);
+    match d.witness.as_ref().unwrap() {
+        Witness::Cycle(c) => {
+            assert!(verify_witness(m.target_tgds(), c), "witness must re-verify");
+            assert_eq!(c.tgd_indices(), vec![0]);
+        }
+        other => panic!("{other:?}"),
+    }
+    assert!(d.notes.iter().any(|n| n.contains("target tgd(s) #0")));
+}
+
+#[test]
+fn dex002_joint_acyclicity_certificate() {
+    let (m, ds) = lint("ja_terminating.dex");
+    let d = find(&ds, Code::Dex002);
+    assert_eq!(d.severity, Severity::Info);
+    assert!(
+        d.message.contains("joint acyclicity certifies"),
+        "{}",
+        d.message
+    );
+    assert_eq!(d.span.unwrap().line, 10);
+    match d.witness.as_ref().unwrap() {
+        Witness::Cycle(c) => {
+            // The WA counterexample is real — only the stronger
+            // criterion rescues the mapping.
+            assert!(
+                verify_witness(m.target_tgds(), c),
+                "WA counterexample must re-verify"
+            );
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn dex101_unused_source_at_its_declaration() {
+    let (_, ds) = lint("bad_unused.dex");
+    let d = find(&ds, Code::Dex101);
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("`Ghost` is never read"), "{}", d.message);
+    assert_eq!(d.span.unwrap().line, 4);
+    assert_eq!(
+        d.witness,
+        Some(Witness::Relation(dex_relational::Name::new("Ghost")))
+    );
+}
+
+#[test]
+fn dex102_unproduced_target_at_its_declaration() {
+    let (_, ds) = lint("bad_unused.dex");
+    let d = find(&ds, Code::Dex102);
+    assert!(
+        d.message.contains("`Phantom` is never produced"),
+        "{}",
+        d.message
+    );
+    assert_eq!(d.span.unwrap().line, 6);
+    assert_eq!(
+        d.witness,
+        Some(Witness::Relation(dex_relational::Name::new("Phantom")))
+    );
+}
+
+#[test]
+fn dex103_singleton_variable_names_the_variable() {
+    let (_, ds) = lint("bad_non_terminating.dex");
+    let d = find(&ds, Code::Dex103);
+    assert!(d.message.contains("occur exactly once"), "{}", d.message);
+    assert_eq!(d.span.unwrap().line, 7);
+    assert_eq!(
+        d.witness,
+        Some(Witness::Variables(vec![dex_relational::Name::new("x")]))
+    );
+}
+
+#[test]
+fn dex104_constant_clash_with_both_constants() {
+    let (_, ds) = lint("bad_clash.dex");
+    let d = find(&ds, Code::Dex104);
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("unsatisfiable"), "{}", d.message);
+    assert_eq!(d.span.unwrap().line, 6);
+    assert_eq!(
+        d.witness,
+        Some(Witness::ConstantClash(
+            Constant::Str("a".into()),
+            Constant::Str("b".into()),
+        ))
+    );
+}
+
+#[test]
+fn dex105_redundant_tgd_at_the_implied_rule() {
+    let (_, ds) = lint("bad_redundant.dex");
+    let d = find(&ds, Code::Dex105);
+    assert!(
+        d.message.contains("implied by the remaining dependencies"),
+        "{}",
+        d.message
+    );
+    assert_eq!(d.span.unwrap().line, 6);
+    assert_eq!(d.witness, Some(Witness::TgdIndices(vec![0])));
+}
+
+#[test]
+fn dex201_self_join_refusal() {
+    let (_, ds) = lint("bad_uncompilable.dex");
+    let d = find(&ds, Code::Dex201);
+    assert!(d.message.contains("joins `S` with itself"), "{}", d.message);
+    assert_eq!(d.span.unwrap().line, 5);
+    assert_eq!(
+        d.witness,
+        Some(Witness::Relation(dex_relational::Name::new("S")))
+    );
+}
+
+#[test]
+fn dex202_function_term_refusal() {
+    // Constructed: Emp(x) -> Card(f(x)) — no surface syntax for f(x).
+    let source =
+        Schema::with_relations(vec![RelSchema::untyped("Emp", vec!["name"]).unwrap()]).unwrap();
+    let target =
+        Schema::with_relations(vec![RelSchema::untyped("Card", vec!["id"]).unwrap()]).unwrap();
+    let tgd = StTgd::new(
+        vec![Atom::new("Emp", vec![Term::var("x")])],
+        vec![Atom::new(
+            "Card",
+            vec![Term::func("f", vec![Term::var("x")])],
+        )],
+    );
+    let m = Mapping::new(source, target, vec![tgd]).unwrap();
+    let ds = analyze(&m, None);
+    let d = find(&ds, Code::Dex202);
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("function term"), "{}", d.message);
+    assert!(dex_core::compile(&m).is_err());
+}
+
+#[test]
+fn dex203_shape_disagreement_lists_both_tgds() {
+    let (_, ds) = lint("bad_redundant.dex");
+    let d = find(&ds, Code::Dex203);
+    assert!(
+        d.message.contains("disagree on which columns"),
+        "{}",
+        d.message
+    );
+    assert_eq!(d.span.unwrap().line, 6);
+    assert_eq!(d.witness, Some(Witness::TgdIndices(vec![0, 1])));
+}
+
+#[test]
+fn dex204_target_tgds_outside_fragment() {
+    let (_, ds) = lint("bad_non_terminating.dex");
+    let d = find(&ds, Code::Dex204);
+    assert!(
+        d.message.contains("outside the compilable fragment"),
+        "{}",
+        d.message
+    );
+    assert_eq!(d.span.unwrap().line, 7);
+}
+
+#[test]
+fn dex205_approximate_fidelity_names_the_shared_existential() {
+    let (_, ds) = lint("approx_ids.dex");
+    let d = find(&ds, Code::Dex205);
+    assert_eq!(d.severity, Severity::Info);
+    assert!(d.message.contains("only approximately"), "{}", d.message);
+    assert_eq!(d.span.unwrap().line, 7);
+    assert!(d.notes.iter().any(|n| n.contains("`z`")), "{:?}", d.notes);
+}
+
+#[test]
+fn dex206_duplicate_base_lists_contributions() {
+    let (_, ds) = lint("bad_redundant.dex");
+    let d = find(&ds, Code::Dex206);
+    assert!(d.message.contains("`Emp` feeds `T`"), "{}", d.message);
+    assert_eq!(d.span.unwrap().line, 6);
+    assert_eq!(d.witness, Some(Witness::TgdIndices(vec![0, 1])));
+}
+
+#[test]
+fn dex301_compose_refusal_on_target_deps() {
+    let (_, ds) = lint("employees.dex");
+    let d = find(&ds, Code::Dex301);
+    assert_eq!(d.severity, Severity::Info);
+    assert!(d.message.contains("compose() refuses"), "{}", d.message);
+}
+
+#[test]
+fn dex302_max_recovery_refusal_on_multi_atom_rhs() {
+    let (_, ds) = lint("university.dex");
+    let d = find(&ds, Code::Dex302);
+    assert_eq!(d.severity, Severity::Info);
+    assert!(
+        d.message
+            .contains("maximum_recovery() supports only single-atom conclusions"),
+        "{}",
+        d.message
+    );
+    assert_eq!(d.span.unwrap().line, 6);
+}
+
+#[test]
+fn good_fixtures_carry_no_warnings_or_errors() {
+    for name in [
+        "employees.dex",
+        "university.dex",
+        "evolution.dex",
+        "approx_ids.dex",
+    ] {
+        let (_, ds) = lint(name);
+        assert!(
+            ds.iter().all(|d| d.severity == Severity::Info),
+            "{name} raises non-info diagnostics: {ds:#?}"
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! The analyzer's compiler-fragment precheck must agree with the real
+//! compiler: `precheck(m).accepts() ⇔ compile(m).is_ok()`, and on
+//! accepted mappings the predicted per-tgd fidelity class must match
+//! the compiler's report. Checked over 512 pseudo-randomly generated
+//! mappings spanning self-joins, shared existentials, constants,
+//! function terms, shape disagreements, and target tgds.
+//!
+//! Variable names (`v*`, `w*`) and attribute names (`a*`, `b*`) are
+//! drawn from disjoint pools: the compiler's internal lens-validation
+//! pass (not part of the fragment definition) can reject accidental
+//! rename collisions, which the precheck deliberately does not model.
+
+use dex_analyze::{analyze, Code};
+use dex_core::{compile, precheck, Fidelity};
+use dex_logic::{Atom, Mapping, StTgd, Term};
+use dex_relational::{RelSchema, Schema};
+use proptest::prelude::*;
+
+/// splitmix64 — deterministic stream from the strategy-drawn seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> usize {
+        (self.next() % n) as usize
+    }
+}
+
+fn schema(prefix: &str, attr_prefix: &str) -> Schema {
+    let rels = (0..3)
+        .map(|k| {
+            let attrs: Vec<String> = (0..=k).map(|i| format!("{attr_prefix}{i}")).collect();
+            RelSchema::untyped(
+                format!("{prefix}{k}"),
+                attrs.iter().map(String::as_str).collect::<Vec<_>>(),
+            )
+            .unwrap()
+        })
+        .collect();
+    Schema::with_relations(rels).unwrap()
+}
+
+fn term(rng: &mut Rng, var_pool: &[&str], allow_func: bool) -> Term {
+    match rng.below(8) {
+        0 => Term::cnst(rng.below(10) as i64),
+        1 if allow_func => Term::func("f", vec![Term::var(var_pool[rng.below(3)])]),
+        _ => Term::var(var_pool[rng.below(var_pool.len() as u64)]),
+    }
+}
+
+fn atom(rng: &mut Rng, prefix: &str, var_pool: &[&str], allow_func: bool) -> Atom {
+    let k = rng.below(3);
+    let args = (0..=k).map(|_| term(rng, var_pool, allow_func)).collect();
+    Atom::new(format!("{prefix}{k}"), args)
+}
+
+/// Generate a valid mapping exercising every precheck-relevant shape.
+fn build_mapping(seed: u64) -> Mapping {
+    let mut rng = Rng(seed);
+    let source = schema("S", "a");
+    let target = schema("T", "b");
+
+    // Low-probability function terms exercise the DEX202 path.
+    let allow_func = rng.below(8) == 0;
+    let n_rules = 1 + rng.below(4);
+    let st_tgds: Vec<StTgd> = (0..n_rules)
+        .map(|_| {
+            let lhs = (0..=rng.below(2))
+                .map(|_| atom(&mut rng, "S", &["v0", "v1", "v2", "v3"], allow_func))
+                .collect();
+            let rhs = (0..=rng.below(2))
+                .map(|_| atom(&mut rng, "T", &["v0", "v1", "v2", "w0", "w1"], allow_func))
+                .collect();
+            StTgd::new(lhs, rhs)
+        })
+        .collect();
+
+    // Occasionally add a full target tgd (outside the fragment).
+    let target_tgds = if rng.below(4) == 0 {
+        vec![StTgd::new(
+            vec![Atom::new("T1", vec![Term::var("v0"), Term::var("v1")])],
+            vec![Atom::new("T0", vec![Term::var("v0")])],
+        )]
+    } else {
+        vec![]
+    };
+
+    Mapping::with_target_deps(source, target, st_tgds, target_tgds, vec![])
+        .expect("generated mappings are schema-valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// precheck accepts ⇔ compile succeeds; fidelity classes agree.
+    #[test]
+    fn precheck_agrees_with_compile(seed in 0u64..u64::MAX) {
+        let m = build_mapping(seed);
+        let pre = precheck(&m);
+        match compile(&m) {
+            Ok(template) => {
+                prop_assert!(
+                    pre.accepts(),
+                    "precheck refused a compilable mapping: {:?}\n{m}",
+                    pre.reasons
+                );
+                prop_assert_eq!(template.report.entries.len(), pre.fidelity.len());
+                for (i, (_, actual)) in template.report.entries.iter().enumerate() {
+                    prop_assert_eq!(
+                        matches!(actual, Fidelity::Exact),
+                        matches!(pre.fidelity[i], Fidelity::Exact),
+                        "fidelity class disagrees on tgd #{}: {:?} vs {:?}\n{}",
+                        i, actual, pre.fidelity[i], m
+                    );
+                }
+            }
+            Err(e) => prop_assert!(
+                !pre.accepts(),
+                "precheck accepted a mapping compile refuses: {e}\n{m}"
+            ),
+        }
+    }
+
+    /// The analyzer surfaces a DEX2xx fragment diagnostic exactly when
+    /// compile refuses, and DEX205 exactly when some tgd is Approximate.
+    #[test]
+    fn analyzer_fragment_codes_track_compile(seed in 0u64..u64::MAX) {
+        let m = build_mapping(seed);
+        let diags = analyze(&m, None);
+        let refusal_predicted = diags.iter().any(|d| {
+            matches!(
+                d.code,
+                Code::Dex201 | Code::Dex202 | Code::Dex203 | Code::Dex204 | Code::Dex206
+            )
+        });
+        match compile(&m) {
+            Ok(template) => {
+                prop_assert!(!refusal_predicted, "false refusal for {m}");
+                let any_approx = template
+                    .report
+                    .entries
+                    .iter()
+                    .any(|(_, f)| matches!(f, Fidelity::Approximate(_)));
+                let dex205 = diags.iter().any(|d| d.code == Code::Dex205);
+                prop_assert_eq!(any_approx, dex205, "DEX205 mismatch for {}", m);
+            }
+            Err(_) => prop_assert!(refusal_predicted, "missed refusal for {m}"),
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! E13 — static analysis cost vs mapping size: `dex_analyze::analyze`
+//! over synthetic mappings of 10/100/1000 st-tgds.
+//!
+//! The chase-based redundancy lint (DEX105) dominates at scale — it
+//! chases the remaining dependencies once per tgd — so it is measured
+//! separately: the full analysis runs on the smaller sizes, and the
+//! `no_redundancy` configuration covers all three.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dex_analyze::{analyze_with, AnalyzeOptions};
+use dex_logic::{Atom, Mapping, StTgd, Term};
+use dex_relational::{RelSchema, Schema};
+use std::hint::black_box;
+
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10)
+}
+
+/// `n` independent copy rules `S{i}(x, y) -> T{i}(x, z)`: every pass
+/// has real work (positions, shapes, occurrence counts) but the mapping
+/// stays lint-quiet, so the measurement is pure analysis cost.
+fn copy_mapping(n: usize) -> Mapping {
+    let source = Schema::with_relations(
+        (0..n)
+            .map(|i| RelSchema::untyped(format!("S{i}"), vec!["a", "b"]).unwrap())
+            .collect(),
+    )
+    .unwrap();
+    let target = Schema::with_relations(
+        (0..n)
+            .map(|i| RelSchema::untyped(format!("T{i}"), vec!["a", "b"]).unwrap())
+            .collect(),
+    )
+    .unwrap();
+    let st_tgds = (0..n)
+        .map(|i| {
+            StTgd::new(
+                vec![Atom::new(
+                    format!("S{i}"),
+                    vec![Term::var("x"), Term::var("y")],
+                )],
+                vec![Atom::new(
+                    format!("T{i}"),
+                    vec![Term::var("x"), Term::var("z")],
+                )],
+            )
+        })
+        .collect();
+    Mapping::new(source, target, st_tgds).unwrap()
+}
+
+fn bench_analyze(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_analyze");
+
+    for n in [10usize, 100, 1000] {
+        let m = copy_mapping(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("no_redundancy", n), &m, |b, m| {
+            b.iter(|| analyze_with(black_box(m), None, AnalyzeOptions { redundancy: false }))
+        });
+    }
+
+    // Full analysis (including the per-tgd chase for DEX105) on the
+    // sizes where a single iteration stays sub-second.
+    for n in [10usize, 100] {
+        let m = copy_mapping(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("full", n), &m, |b, m| {
+            b.iter(|| analyze_with(black_box(m), None, AnalyzeOptions::default()))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_analyze
+}
+criterion_main!(benches);

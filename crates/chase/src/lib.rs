@@ -9,7 +9,9 @@
 //! Also here:
 //! * the **SO-tgd chase** (Skolem-term nulls), needed to execute
 //!   composed mappings (Example 2),
-//! * **weak-acyclicity** checking, the standard termination guarantee,
+//! * **termination analysis** — weak acyclicity with special-edge
+//!   cycle witnesses, plus joint acyclicity as a strictly larger
+//!   sufficient condition,
 //! * **core** computation — minimizing a universal solution,
 //! * conjunctive queries and **certain answers** over universal
 //!   solutions.
@@ -29,4 +31,7 @@ pub use core_min::core_of;
 pub use error::ChaseError;
 pub use query::{certain_answers, ConjunctiveQuery, UnionQuery};
 pub use sochase::so_exchange;
-pub use termination::is_weakly_acyclic;
+pub use termination::{
+    classify_termination, is_jointly_acyclic, is_weakly_acyclic, verify_witness,
+    weak_acyclicity_witness, CycleWitness, DepEdge, Position, TerminationClass, TerminationReport,
+};

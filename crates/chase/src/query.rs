@@ -1,7 +1,7 @@
 //! Conjunctive queries and certain answers.
 //!
 //! Query answering in data exchange (paper §2, citing Fagin et al.
-//! [11]): the *certain answers* of a query are those holding in **every**
+//! \[11\]): the *certain answers* of a query are those holding in **every**
 //! solution. For (unions of) conjunctive queries they are computed by
 //! naive evaluation — evaluate over a universal solution and discard any
 //! answer tuple containing a labeled null.

@@ -1,27 +1,133 @@
-//! Weak acyclicity: the standard sufficient condition for chase
-//! termination (Fagin, Kolaitis, Miller, Popa — the paper's [11]).
+//! Chase-termination analysis: weak acyclicity (Fagin, Kolaitis,
+//! Miller, Popa — the paper's \[11\]) upgraded from a bare bool to a
+//! classifier with machine-checkable witnesses, plus **joint
+//! acyclicity** (Krötzsch & Rudolph, IJCAI'11) — a strictly larger
+//! sufficient condition that certifies more rule sets terminating.
 //!
-//! Build the *dependency graph* over positions `(relation, index)`:
-//! for every tgd, every universal variable `x` occurring at lhs position
-//! `p` and rhs position `q` contributes a **regular edge** `p → q`; and
-//! for every existential variable at rhs position `q'`, a **special
-//! edge** `p → q'` from each lhs position `p` of every universal
-//! variable exported to the rhs. The set is weakly acyclic iff no cycle
-//! passes through a special edge — then the chase terminates in
-//! polynomial time.
+//! Weak acyclicity builds the *dependency graph* over positions
+//! `(relation, index)`: for every tgd, every universal variable `x`
+//! occurring at lhs position `p` and rhs position `q` contributes a
+//! **regular edge** `p → q`; and for every existential variable at rhs
+//! position `q'`, a **special edge** `p → q'` from each lhs position
+//! `p` of every universal variable exported to the rhs. The set is
+//! weakly acyclic iff no cycle passes through a special edge — then the
+//! chase terminates in polynomial time. When a special-edge cycle
+//! exists, [`weak_acyclicity_witness`] returns it as a [`CycleWitness`]
+//! that names every edge, its kind, and the tgds that contributed it.
+//!
+//! Joint acyclicity tracks *existential variables* instead of
+//! positions: `Mov(y)` is the closure of the positions a fresh null
+//! invented for `y` can propagate to, and `y → y'` whenever that null
+//! can bind a frontier variable of `y'`'s rule (triggering another
+//! fresh null). Acyclicity of this graph certifies termination of the
+//! Skolem chase — and hence the standard chase — for rule sets that
+//! weak acyclicity rejects, because `Mov` only grows through variables
+//! whose *every* body position is already reachable; a rule whose body
+//! also joins against a null-free relation breaks the spurious cycle.
 
 use dex_logic::{StTgd, Term};
 use dex_relational::Name;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 
-type Position = (Name, usize);
+/// A position `(relation, argument index)` in a schema.
+pub type Position = (Name, usize);
 
-/// Is this set of (target) tgds weakly acyclic?
-pub fn is_weakly_acyclic(tgds: &[StTgd]) -> bool {
-    // Edges: (from, to, special?).
-    let mut edges: BTreeSet<(Position, Position, bool)> = BTreeSet::new();
+/// One edge of the weak-acyclicity dependency graph.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct DepEdge {
+    /// Source position.
+    pub from: Position,
+    /// Destination position.
+    pub to: Position,
+    /// Is this a special (existential-creating) edge?
+    pub special: bool,
+    /// Indices (into the analyzed tgd slice) of the tgds contributing
+    /// this edge.
+    pub tgds: Vec<usize>,
+}
 
-    for tgd in tgds {
+impl fmt::Display for DepEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}.{} {} {}.{}",
+            self.from.0,
+            self.from.1,
+            if self.special { "—∃→" } else { "→" },
+            self.to.0,
+            self.to.1
+        )
+    }
+}
+
+/// A cycle through a special edge: the machine-checkable refutation of
+/// weak acyclicity. The edges form a closed walk — each edge's `to` is
+/// the next edge's `from`, the last wraps to the first — and the first
+/// edge is special.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CycleWitness {
+    /// The edges of the cycle, special edge first.
+    pub edges: Vec<DepEdge>,
+}
+
+impl CycleWitness {
+    /// Indices of every tgd participating in the cycle, deduplicated.
+    pub fn tgd_indices(&self) -> Vec<usize> {
+        let set: BTreeSet<usize> = self.edges.iter().flat_map(|e| e.tgds.clone()).collect();
+        set.into_iter().collect()
+    }
+}
+
+impl fmt::Display for CycleWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.edges.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// How (and whether) termination of the chase is certified.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum TerminationClass {
+    /// Weakly acyclic: the classical guarantee holds.
+    WeaklyAcyclic,
+    /// Not weakly acyclic, but jointly acyclic — the strictly larger
+    /// condition still certifies termination.
+    JointlyAcyclic,
+    /// Neither condition holds; the chase may diverge.
+    Unknown,
+}
+
+/// The classifier's full answer: the certified class plus, when weak
+/// acyclicity fails, the offending special-edge cycle.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct TerminationReport {
+    /// The strongest certificate found.
+    pub class: TerminationClass,
+    /// A special-edge cycle refuting weak acyclicity (present iff the
+    /// class is not [`TerminationClass::WeaklyAcyclic`] and the tgd set
+    /// is non-empty).
+    pub witness: Option<CycleWitness>,
+}
+
+impl TerminationReport {
+    /// Is termination certified by either condition?
+    pub fn terminates(&self) -> bool {
+        !matches!(self.class, TerminationClass::Unknown)
+    }
+}
+
+/// Build the weak-acyclicity dependency graph, with edge provenance.
+fn dependency_edges(tgds: &[StTgd]) -> BTreeMap<(Position, Position, bool), BTreeSet<usize>> {
+    let mut edges: BTreeMap<(Position, Position, bool), BTreeSet<usize>> = BTreeMap::new();
+
+    for (ti, tgd) in tgds.iter().enumerate() {
         // Positions of each universal variable on the lhs.
         let mut lhs_positions: BTreeMap<Name, Vec<Position>> = BTreeMap::new();
         for atom in &tgd.lhs {
@@ -51,14 +157,20 @@ pub fn is_weakly_acyclic(tgds: &[StTgd]) -> bool {
                         // exported universal variable.
                         for u in &exported {
                             for p in &lhs_positions[u] {
-                                edges.insert((p.clone(), q.clone(), true));
+                                edges
+                                    .entry((p.clone(), q.clone(), true))
+                                    .or_default()
+                                    .insert(ti);
                             }
                         }
                     }
                     Term::Var(v) => {
                         if let Some(ps) = lhs_positions.get(v.as_str()) {
                             for p in ps {
-                                edges.insert((p.clone(), q.clone(), false));
+                                edges
+                                    .entry((p.clone(), q.clone(), false))
+                                    .or_default()
+                                    .insert(ti);
                             }
                         }
                     }
@@ -68,34 +180,271 @@ pub fn is_weakly_acyclic(tgds: &[StTgd]) -> bool {
         }
     }
 
-    // Weakly acyclic iff no special edge lies on a cycle: i.e. for every
-    // special edge (p, q), q must not reach p.
-    let mut adj: BTreeMap<Position, Vec<Position>> = BTreeMap::new();
-    for (p, q, _) in &edges {
-        adj.entry(p.clone()).or_default().push(q.clone());
+    edges
+}
+
+/// Is this set of (target) tgds weakly acyclic?
+pub fn is_weakly_acyclic(tgds: &[StTgd]) -> bool {
+    weak_acyclicity_witness(tgds).is_none()
+}
+
+/// Decide weak acyclicity; on failure return the special-edge cycle.
+///
+/// `None` means weakly acyclic. `Some(w)` is a closed walk through the
+/// dependency graph whose first edge is special — verify it against the
+/// same tgds with [`verify_witness`].
+pub fn weak_acyclicity_witness(tgds: &[StTgd]) -> Option<CycleWitness> {
+    let edges = dependency_edges(tgds);
+
+    // Adjacency with edge kinds, for path reconstruction.
+    let mut adj: BTreeMap<Position, Vec<(Position, bool)>> = BTreeMap::new();
+    for (p, q, special) in edges.keys() {
+        adj.entry(p.clone())
+            .or_default()
+            .push((q.clone(), *special));
     }
-    let reaches = |from: &Position, to: &Position| -> bool {
-        let mut seen = BTreeSet::new();
-        let mut stack = vec![from.clone()];
-        while let Some(n) = stack.pop() {
-            if &n == to {
-                return true;
-            }
-            if !seen.insert(n.clone()) {
-                continue;
+
+    let edge = |from: &Position, to: &Position, special: bool| -> DepEdge {
+        DepEdge {
+            from: from.clone(),
+            to: to.clone(),
+            special,
+            tgds: edges[&(from.clone(), to.clone(), special)]
+                .iter()
+                .copied()
+                .collect(),
+        }
+    };
+
+    for (p, q, special) in edges.keys() {
+        if !special {
+            continue;
+        }
+        if q == p {
+            return Some(CycleWitness {
+                edges: vec![edge(p, q, true)],
+            });
+        }
+        // BFS from q back to p, tracking parents for reconstruction.
+        let mut parent: BTreeMap<Position, (Position, bool)> = BTreeMap::new();
+        let mut queue = std::collections::VecDeque::from([q.clone()]);
+        let mut seen: BTreeSet<Position> = BTreeSet::from([q.clone()]);
+        let mut found = false;
+        while let Some(n) = queue.pop_front() {
+            if &n == p {
+                found = true;
+                break;
             }
             if let Some(next) = adj.get(&n) {
-                stack.extend(next.iter().cloned());
+                for (m, sp) in next {
+                    if seen.insert(m.clone()) {
+                        parent.insert(m.clone(), (n.clone(), *sp));
+                        queue.push_back(m.clone());
+                    }
+                }
             }
         }
-        false
-    };
-    for (p, q, special) in &edges {
-        if *special && (q == p || reaches(q, p)) {
+        if found {
+            // Reconstruct q → … → p, then prepend the special edge.
+            let mut path: Vec<DepEdge> = Vec::new();
+            let mut cur = p.clone();
+            while &cur != q {
+                let (prev, sp) = parent[&cur].clone();
+                path.push(edge(&prev, &cur, sp));
+                cur = prev;
+            }
+            path.reverse();
+            let mut cycle = vec![edge(p, q, true)];
+            cycle.extend(path);
+            return Some(CycleWitness { edges: cycle });
+        }
+    }
+    None
+}
+
+/// Check a [`CycleWitness`] against a tgd set: every edge must exist in
+/// the dependency graph with the claimed kind and provenance, the edges
+/// must form a closed walk, and at least one must be special. This is
+/// the machine-checkable side of the diagnostic contract.
+pub fn verify_witness(tgds: &[StTgd], witness: &CycleWitness) -> bool {
+    if witness.edges.is_empty() {
+        return false;
+    }
+    let edges = dependency_edges(tgds);
+    for e in &witness.edges {
+        match edges.get(&(e.from.clone(), e.to.clone(), e.special)) {
+            Some(tis) => {
+                let claimed: BTreeSet<usize> = e.tgds.iter().copied().collect();
+                if !claimed.is_subset(tis) || claimed.is_empty() {
+                    return false;
+                }
+            }
+            None => return false,
+        }
+    }
+    let closed = witness.edges.windows(2).all(|w| w[0].to == w[1].from)
+        && witness.edges.last().unwrap().to == witness.edges[0].from;
+    closed && witness.edges.iter().any(|e| e.special)
+}
+
+/// Is this set of tgds **jointly acyclic** (Krötzsch & Rudolph)?
+///
+/// Per existential variable `y` (variables are considered per-rule, so
+/// no renaming-apart is needed), `Mov(y)` is the least set of positions
+/// containing `y`'s head positions and closed under: if a frontier
+/// variable `x` of any rule occurs in that rule's body *only* at
+/// positions in `Mov(y)`, then `x`'s head positions are in `Mov(y)`.
+/// The existential-dependency graph has an edge `y → y'` iff some
+/// frontier variable of `y'`'s rule has all its body positions in
+/// `Mov(y)`. The set is jointly acyclic iff this graph is acyclic —
+/// a strictly weaker requirement than weak acyclicity.
+pub fn is_jointly_acyclic(tgds: &[StTgd]) -> bool {
+    struct RuleInfo {
+        body_pos: BTreeMap<Name, BTreeSet<Position>>,
+        head_pos: BTreeMap<Name, BTreeSet<Position>>,
+        /// Universal variables exported to the head.
+        frontier: Vec<Name>,
+        /// Head-only variables.
+        existentials: Vec<Name>,
+    }
+
+    let rules: Vec<RuleInfo> = tgds
+        .iter()
+        .map(|tgd| {
+            let mut body_pos: BTreeMap<Name, BTreeSet<Position>> = BTreeMap::new();
+            for atom in &tgd.lhs {
+                for (i, t) in atom.args.iter().enumerate() {
+                    if let Term::Var(v) = t {
+                        body_pos
+                            .entry(v.clone())
+                            .or_default()
+                            .insert((atom.relation.clone(), i));
+                    }
+                }
+            }
+            let mut head_pos: BTreeMap<Name, BTreeSet<Position>> = BTreeMap::new();
+            for atom in &tgd.rhs {
+                for (i, t) in atom.args.iter().enumerate() {
+                    if let Term::Var(v) = t {
+                        head_pos
+                            .entry(v.clone())
+                            .or_default()
+                            .insert((atom.relation.clone(), i));
+                    }
+                }
+            }
+            let frontier: Vec<Name> = head_pos
+                .keys()
+                .filter(|v| body_pos.contains_key(v.as_str()))
+                .cloned()
+                .collect();
+            let existentials: Vec<Name> = head_pos
+                .keys()
+                .filter(|v| !body_pos.contains_key(v.as_str()))
+                .cloned()
+                .collect();
+            RuleInfo {
+                body_pos,
+                head_pos,
+                frontier,
+                existentials,
+            }
+        })
+        .collect();
+
+    // Mov(y) per existential variable, to fixpoint.
+    let mut nodes: Vec<(usize, Name)> = Vec::new();
+    for (ri, r) in rules.iter().enumerate() {
+        for y in &r.existentials {
+            nodes.push((ri, y.clone()));
+        }
+    }
+    let movs: Vec<BTreeSet<Position>> = nodes
+        .iter()
+        .map(|(ri, y)| {
+            let mut mov = rules[*ri].head_pos[y].clone();
+            loop {
+                let mut grew = false;
+                for r in &rules {
+                    for x in &r.frontier {
+                        if r.body_pos[x].is_subset(&mov) && !r.head_pos[x].is_subset(&mov) {
+                            mov.extend(r.head_pos[x].iter().cloned());
+                            grew = true;
+                        }
+                    }
+                }
+                if !grew {
+                    break;
+                }
+            }
+            mov
+        })
+        .collect();
+
+    // Edges y → y' between existential variables.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (yi, mov) in movs.iter().enumerate() {
+        for (yj, (rj, _)) in nodes.iter().enumerate() {
+            let triggered = rules[*rj]
+                .frontier
+                .iter()
+                .any(|x| rules[*rj].body_pos[x].is_subset(mov));
+            if triggered {
+                adj[yi].push(yj);
+            }
+        }
+    }
+
+    // Acyclicity via three-color DFS.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Grey,
+        Black,
+    }
+    fn dfs(n: usize, adj: &[Vec<usize>], color: &mut [Color]) -> bool {
+        color[n] = Color::Grey;
+        for &m in &adj[n] {
+            match color[m] {
+                Color::Grey => return false,
+                Color::White => {
+                    if !dfs(m, adj, color) {
+                        return false;
+                    }
+                }
+                Color::Black => {}
+            }
+        }
+        color[n] = Color::Black;
+        true
+    }
+    let mut color = vec![Color::White; nodes.len()];
+    for n in 0..nodes.len() {
+        if color[n] == Color::White && !dfs(n, &adj, &mut color) {
             return false;
         }
     }
     true
+}
+
+/// Classify a tgd set's termination guarantee: weak acyclicity first,
+/// then joint acyclicity, with a [`CycleWitness`] whenever weak
+/// acyclicity fails.
+pub fn classify_termination(tgds: &[StTgd]) -> TerminationReport {
+    match weak_acyclicity_witness(tgds) {
+        None => TerminationReport {
+            class: TerminationClass::WeaklyAcyclic,
+            witness: None,
+        },
+        Some(w) => TerminationReport {
+            class: if is_jointly_acyclic(tgds) {
+                TerminationClass::JointlyAcyclic
+            } else {
+                TerminationClass::Unknown
+            },
+            witness: Some(w),
+        },
+    }
 }
 
 #[cfg(test)]
@@ -106,6 +455,10 @@ mod tests {
     #[test]
     fn empty_set_is_weakly_acyclic() {
         assert!(is_weakly_acyclic(&[]));
+        assert!(is_jointly_acyclic(&[]));
+        let r = classify_termination(&[]);
+        assert_eq!(r.class, TerminationClass::WeaklyAcyclic);
+        assert!(r.witness.is_none());
     }
 
     #[test]
@@ -125,6 +478,13 @@ mod tests {
         // S(x, y) -> ∃z S(y, z): special edge into S.2 which feeds back.
         let tgds = vec![parse_tgd("S(x, y) -> S(y, z)").unwrap()];
         assert!(!is_weakly_acyclic(&tgds));
+        let w = weak_acyclicity_witness(&tgds).unwrap();
+        assert!(verify_witness(&tgds, &w));
+        assert!(w.edges[0].special);
+        assert_eq!(w.tgd_indices(), vec![0]);
+        // And joint acyclicity agrees it may diverge.
+        assert!(!is_jointly_acyclic(&tgds));
+        assert_eq!(classify_termination(&tgds).class, TerminationClass::Unknown);
     }
 
     #[test]
@@ -132,6 +492,7 @@ mod tests {
         // S(x) -> ∃z T(x, z): special edge S.0 -> T.1, no cycle back.
         let tgds = vec![parse_tgd("S(x) -> T(x, z)").unwrap()];
         assert!(is_weakly_acyclic(&tgds));
+        assert!(is_jointly_acyclic(&tgds));
     }
 
     #[test]
@@ -143,6 +504,14 @@ mod tests {
             parse_tgd("T(x, y) -> S(y)").unwrap(),
         ];
         assert!(!is_weakly_acyclic(&tgds));
+        let w = weak_acyclicity_witness(&tgds).unwrap();
+        assert!(verify_witness(&tgds, &w));
+        // The cycle names both rules.
+        assert_eq!(w.tgd_indices(), vec![0, 1]);
+        // The walk is closed and starts with the special edge.
+        assert_eq!(w.edges.len(), 2);
+        assert!(w.edges[0].special);
+        assert!(!is_jointly_acyclic(&tgds));
     }
 
     #[test]
@@ -153,6 +522,7 @@ mod tests {
             parse_tgd("T(x) -> S(x)").unwrap(),
         ];
         assert!(is_weakly_acyclic(&tgds));
+        assert!(is_jointly_acyclic(&tgds));
     }
 
     #[test]
@@ -164,5 +534,55 @@ mod tests {
             parse_tgd("Dept(d, m) -> Mgr(m)").unwrap(),
         ];
         assert!(is_weakly_acyclic(&tgds));
+    }
+
+    #[test]
+    fn joint_acyclicity_certifies_guarded_feedback() {
+        // S(x, y) -> ∃z T(y, z); T(x, y) & U(y) -> S(x, y).
+        // Weak acyclicity sees the position cycle S.1 —∃→ T.1 → S.1 and
+        // rejects. Joint acyclicity notices the feedback rule also
+        // requires U(y) — and no rule ever produces U, so the invented
+        // null can never re-trigger rule 0: Mov(z) stays {T.1}, the
+        // dependency graph has no edge, the chase terminates.
+        let tgds = vec![
+            parse_tgd("S(x, y) -> T(y, z)").unwrap(),
+            parse_tgd("T(x, y) & U(y) -> S(x, y)").unwrap(),
+        ];
+        assert!(!is_weakly_acyclic(&tgds), "WA rejects the position cycle");
+        let w = weak_acyclicity_witness(&tgds).unwrap();
+        assert!(verify_witness(&tgds, &w));
+        assert!(is_jointly_acyclic(&tgds), "JA certifies termination anyway");
+        let r = classify_termination(&tgds);
+        assert_eq!(r.class, TerminationClass::JointlyAcyclic);
+        assert!(r.witness.is_some(), "the spurious WA cycle is reported");
+    }
+
+    #[test]
+    fn tampered_witness_rejected() {
+        let tgds = vec![parse_tgd("S(x, y) -> S(y, z)").unwrap()];
+        let mut w = weak_acyclicity_witness(&tgds).unwrap();
+        assert!(verify_witness(&tgds, &w));
+        // Claim the edge is regular: no longer verifies.
+        w.edges[0].special = false;
+        assert!(!verify_witness(&tgds, &w));
+        // Empty witness never verifies.
+        assert!(!verify_witness(&tgds, &CycleWitness { edges: vec![] }));
+        // A witness against the wrong rule set fails too.
+        let other = vec![parse_tgd("A(x) -> B(x)").unwrap()];
+        let w2 = weak_acyclicity_witness(&tgds).unwrap();
+        assert!(!verify_witness(&other, &w2));
+    }
+
+    #[test]
+    fn witness_serde_round_trip() {
+        let tgds = vec![
+            parse_tgd("S(x) -> T(x, z)").unwrap(),
+            parse_tgd("T(x, y) -> S(y)").unwrap(),
+        ];
+        let w = weak_acyclicity_witness(&tgds).unwrap();
+        let json = serde_json::to_string(&w).unwrap();
+        let back: CycleWitness = serde_json::from_str(&json).unwrap();
+        assert_eq!(w, back);
+        assert!(verify_witness(&tgds, &back));
     }
 }

@@ -35,11 +35,13 @@
 pub mod compiler;
 pub mod engine;
 pub mod error;
+pub mod precheck;
 pub mod template;
 
 pub use compiler::compile;
 pub use engine::{Engine, EngineSymLens, ForwardStats, RelationStats};
 pub use error::CoreError;
+pub use precheck::{precheck, PrecheckReason, PrecheckReport};
 pub use template::{
     CompileReport, Fidelity, Hole, HoleBinding, HoleSite, MappingTemplate, RelationLens,
 };

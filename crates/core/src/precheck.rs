@@ -1,0 +1,548 @@
+//! Static prediction of [`crate::compile`]'s verdict — the compiler's
+//! refusal reasons exposed as inspectable data, without building any
+//! lens machinery.
+//!
+//! [`precheck`] walks a [`Mapping`] and answers two questions the
+//! compiler would otherwise only answer by running:
+//!
+//! 1. **Will [`crate::compile`] accept?** Every fragment restriction
+//!    the compiler enforces is mirrored as a structured
+//!    [`PrecheckReason`] carrying the offending tgd index, so
+//!    diagnostics can point at source spans.
+//! 2. **With what fidelity?** Each st-tgd is classified
+//!    [`Fidelity::Exact`] or [`Fidelity::Approximate`] exactly as the
+//!    compiler's [`crate::CompileReport`] would.
+//!
+//! The agreement `precheck(m).accepts() ⇔ compile(m).is_ok()` (and the
+//! per-tgd fidelity agreement) is pinned by a property test in
+//! `dex-analyze` over generated mappings. `compile` ends with a
+//! lens-validation pass; its one *reachable* failure — a base relation
+//! appearing twice in a folded union lens — is mirrored here as
+//! [`PrecheckReason::DuplicateBase`]. Its remaining failure modes
+//! indicate compiler bugs, not fragment violations, and are not
+//! modeled.
+
+use crate::template::Fidelity;
+use dex_logic::{Mapping, Term};
+use dex_relational::Name;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// One structured reason why [`crate::compile`] will refuse a mapping.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PrecheckReason {
+    /// The mapping has target tgds, which are outside the compilable
+    /// fragment (target *egds* are fine).
+    TargetTgds {
+        /// How many target tgds there are.
+        count: usize,
+    },
+    /// A tgd joins a relation with itself in the premise.
+    SelfJoin {
+        /// Index into `mapping.st_tgds()`.
+        tgd: usize,
+        /// The relation joined with itself.
+        relation: Name,
+    },
+    /// A tgd contains a function (Skolem) term.
+    FunctionTerm {
+        /// Index into `mapping.st_tgds()`.
+        tgd: usize,
+        /// Rendered atom containing the term.
+        atom: String,
+    },
+    /// Two tgds produce the same target relation but disagree on which
+    /// columns are determined / constant / existential.
+    ShapeDisagreement {
+        /// The target relation produced with conflicting shapes.
+        relation: Name,
+        /// Indices of the tgds involved (first the reference shape,
+        /// then each dissenter).
+        tgds: Vec<usize>,
+    },
+    /// A source relation feeds the same target relation through more
+    /// than one rule (or twice from one rule producing the relation in
+    /// two conjuncts). The per-relation union lens would then mention
+    /// the base table twice, making `put` ambiguous.
+    DuplicateBase {
+        /// The target relation whose union lens would be ambiguous.
+        relation: Name,
+        /// The source relation appearing more than once.
+        source: Name,
+        /// Tgd index of every contribution whose premise uses `source`,
+        /// in rule order (repeated when one rule contributes twice).
+        tgds: Vec<usize>,
+    },
+}
+
+impl PrecheckReason {
+    /// The primary offending st-tgd index, when the reason is tied to
+    /// one (`ShapeDisagreement` points at the first dissenting tgd).
+    pub fn tgd_index(&self) -> Option<usize> {
+        match self {
+            PrecheckReason::TargetTgds { .. } => None,
+            PrecheckReason::SelfJoin { tgd, .. } | PrecheckReason::FunctionTerm { tgd, .. } => {
+                Some(*tgd)
+            }
+            PrecheckReason::ShapeDisagreement { tgds, .. } => tgds.get(1).copied(),
+            PrecheckReason::DuplicateBase { tgds, .. } => tgds.last().copied(),
+        }
+    }
+}
+
+impl fmt::Display for PrecheckReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrecheckReason::TargetTgds { count } => write!(
+                f,
+                "{count} target tgd(s) are outside the compilable fragment; \
+                 enforce them with the chase instead"
+            ),
+            PrecheckReason::SelfJoin { relation, .. } => write!(
+                f,
+                "premise joins relation `{relation}` with itself; self-joins need \
+                 aliasing, which the lens fragment does not support"
+            ),
+            PrecheckReason::FunctionTerm { atom, .. } => write!(
+                f,
+                "function term in `{atom}`; SO-tgds are executed by the chase, \
+                 not compiled to lenses"
+            ),
+            PrecheckReason::ShapeDisagreement { relation, tgds } => write!(
+                f,
+                "tgds {tgds:?} producing `{relation}` disagree on which columns \
+                 are determined; a single view lens cannot serve both"
+            ),
+            PrecheckReason::DuplicateBase {
+                relation,
+                source,
+                tgds,
+            } => write!(
+                f,
+                "source relation `{source}` feeds `{relation}` through several \
+                 conjuncts (tgds {tgds:?}); the union lens would mention the base \
+                 table twice, making put ambiguous"
+            ),
+        }
+    }
+}
+
+/// The precheck's full verdict.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct PrecheckReport {
+    /// Every predicted refusal reason (empty iff `compile` accepts).
+    pub reasons: Vec<PrecheckReason>,
+    /// Predicted fidelity of each st-tgd, aligned with
+    /// `mapping.st_tgds()`. `Approximate` lists the shared existential
+    /// variables, matching the compiler's report classes.
+    pub fidelity: Vec<Fidelity>,
+}
+
+impl PrecheckReport {
+    /// Will [`crate::compile`] accept this mapping?
+    pub fn accepts(&self) -> bool {
+        self.reasons.is_empty()
+    }
+}
+
+/// The statically computed shape of one target atom — which positions
+/// a produced relation gets from the frontier, constants, existentials,
+/// or earlier columns. Mirrors the compiler's internal classification;
+/// two tgds producing the same relation must agree on it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum PosKind {
+    Frontier,
+    Const(dex_relational::Constant),
+    Existential,
+    /// Copy of the first occurrence at the given earlier position.
+    CopyOf(usize),
+}
+
+/// Statically predict [`crate::compile`]'s verdict on a mapping.
+pub fn precheck(mapping: &Mapping) -> PrecheckReport {
+    let mut reasons = Vec::new();
+    let mut fidelity = Vec::new();
+
+    if !mapping.target_tgds().is_empty() {
+        reasons.push(PrecheckReason::TargetTgds {
+            count: mapping.target_tgds().len(),
+        });
+    }
+
+    // (relation → (first tgd index, shape)) for disagreement checks;
+    // and the dissenters per relation, in discovery order.
+    let mut shapes: BTreeMap<Name, (usize, Vec<PosKind>)> = BTreeMap::new();
+    let mut disagreements: BTreeMap<Name, Vec<usize>> = BTreeMap::new();
+    // (target rel, source rel) → tgd index of each contribution whose
+    // premise reads the source relation. More than one entry means the
+    // folded union lens mentions the base table twice.
+    let mut base_uses: BTreeMap<(Name, Name), Vec<usize>> = BTreeMap::new();
+
+    for (ti, tgd) in mapping.st_tgds().iter().enumerate() {
+        // Self-joins in the premise.
+        let mut lhs_rels = BTreeSet::new();
+        for a in &tgd.lhs {
+            if !lhs_rels.insert(a.relation.clone()) {
+                reasons.push(PrecheckReason::SelfJoin {
+                    tgd: ti,
+                    relation: a.relation.clone(),
+                });
+            }
+        }
+
+        // Function terms anywhere in the rule.
+        let mut func_atoms = false;
+        for atom in tgd.lhs.iter().chain(tgd.rhs.iter()) {
+            if atom.args.iter().any(|t| matches!(t, Term::Func(..))) {
+                reasons.push(PrecheckReason::FunctionTerm {
+                    tgd: ti,
+                    atom: atom.to_string(),
+                });
+                func_atoms = true;
+            }
+        }
+
+        // Shared existentials: approximate iff an existential variable
+        // occurs in two or more distinct rhs atoms (the compiler counts
+        // each variable once per atom).
+        let ex: BTreeSet<Name> = tgd.existential_vars().into_iter().collect();
+        let mut shared: Vec<Name> = Vec::new();
+        if tgd.rhs.len() > 1 {
+            let mut counts: BTreeMap<Name, usize> = BTreeMap::new();
+            for atom in &tgd.rhs {
+                for v in atom.variables().into_iter().filter(|v| ex.contains(v)) {
+                    *counts.entry(v).or_default() += 1;
+                }
+            }
+            shared = counts
+                .into_iter()
+                .filter(|(_, n)| *n > 1)
+                .map(|(v, _)| v)
+                .collect();
+        }
+        fidelity.push(if shared.is_empty() {
+            Fidelity::Exact
+        } else {
+            Fidelity::Approximate(
+                shared
+                    .into_iter()
+                    .map(|v| {
+                        format!(
+                            "existential variable `{v}` is shared between target atoms; the \
+                             compiled lenses invent its value independently per relation"
+                        )
+                    })
+                    .collect(),
+            )
+        });
+
+        // Shape classification per target atom — skipped when the tgd
+        // carries function terms, matching the compiler (which refuses
+        // the atom before shaping it).
+        if func_atoms {
+            continue;
+        }
+        let lhs_vars: BTreeSet<Name> = tgd.lhs_vars().into_iter().collect();
+        for atom in &tgd.rhs {
+            let mut shape: Vec<PosKind> = Vec::with_capacity(atom.args.len());
+            let mut first_pos: BTreeMap<Name, usize> = BTreeMap::new();
+            for (i, t) in atom.args.iter().enumerate() {
+                match t {
+                    Term::Var(v) => {
+                        if let Some(&fp) = first_pos.get(v.as_str()) {
+                            shape.push(PosKind::CopyOf(fp));
+                        } else {
+                            first_pos.insert(v.clone(), i);
+                            shape.push(if lhs_vars.contains(v.as_str()) {
+                                PosKind::Frontier
+                            } else {
+                                PosKind::Existential
+                            });
+                        }
+                    }
+                    Term::Const(c) => shape.push(PosKind::Const(c.clone())),
+                    Term::Func(..) => unreachable!("func tgds skipped above"),
+                }
+            }
+            match shapes.get(&atom.relation) {
+                None => {
+                    shapes.insert(atom.relation.clone(), (ti, shape));
+                }
+                Some((_, reference)) if *reference == shape => {}
+                Some(_) => disagreements
+                    .entry(atom.relation.clone())
+                    .or_default()
+                    .push(ti),
+            }
+            // Each conjunct producing `atom.relation` contributes a lens
+            // tree over every premise relation of its rule.
+            for src in &lhs_rels {
+                base_uses
+                    .entry((atom.relation.clone(), src.clone()))
+                    .or_default()
+                    .push(ti);
+            }
+        }
+    }
+
+    for (rel, mut dissenters) in disagreements {
+        let first = shapes[&rel].0;
+        dissenters.dedup();
+        let mut tgds = vec![first];
+        tgds.extend(dissenters);
+        reasons.push(PrecheckReason::ShapeDisagreement {
+            relation: rel,
+            tgds,
+        });
+    }
+
+    for ((rel, source), tgds) in base_uses {
+        if tgds.len() > 1 {
+            reasons.push(PrecheckReason::DuplicateBase {
+                relation: rel,
+                source,
+                tgds,
+            });
+        }
+    }
+
+    PrecheckReport { reasons, fidelity }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use dex_logic::parse_mapping;
+
+    fn agree(src: &str) {
+        let m = parse_mapping(src).unwrap();
+        let pre = precheck(&m);
+        match compile(&m) {
+            Ok(t) => {
+                assert!(pre.accepts(), "precheck refused, compile accepted: {pre:?}");
+                for (i, (_, fid)) in t.report.entries.iter().enumerate() {
+                    assert_eq!(
+                        matches!(fid, Fidelity::Exact),
+                        matches!(pre.fidelity[i], Fidelity::Exact),
+                        "fidelity class disagrees on tgd {i}"
+                    );
+                }
+            }
+            Err(e) => assert!(!pre.accepts(), "precheck accepted, compile refused: {e}"),
+        }
+    }
+
+    #[test]
+    fn accepts_what_compile_accepts() {
+        agree(
+            r#"
+            source Emp(name);
+            target Manager(emp, mgr);
+            Emp(x) -> Manager(x, y);
+            "#,
+        );
+        agree(
+            r#"
+            source Father(p, c);
+            source Mother(p, c);
+            target Parent(p, c);
+            Father(x, y) -> Parent(x, y);
+            Mother(x, y) -> Parent(x, y);
+            "#,
+        );
+    }
+
+    #[test]
+    fn predicts_self_join_refusal() {
+        let m = parse_mapping(
+            r#"
+            source S(a, b);
+            target T(a, c);
+            S(x, y) & S(y, z) -> T(x, z);
+            "#,
+        )
+        .unwrap();
+        let pre = precheck(&m);
+        assert!(!pre.accepts());
+        assert_eq!(
+            pre.reasons[0],
+            PrecheckReason::SelfJoin {
+                tgd: 0,
+                relation: dex_relational::Name::new("S"),
+            }
+        );
+        assert_eq!(pre.reasons[0].tgd_index(), Some(0));
+        assert!(compile(&m).is_err());
+    }
+
+    #[test]
+    fn predicts_target_tgd_refusal() {
+        let m = parse_mapping(
+            r#"
+            source S(a);
+            target T(a);
+            target U(a);
+            S(x) -> T(x);
+            T(x) -> U(x);
+            "#,
+        )
+        .unwrap();
+        let pre = precheck(&m);
+        assert_eq!(pre.reasons, vec![PrecheckReason::TargetTgds { count: 1 }]);
+        assert!(compile(&m).is_err());
+    }
+
+    #[test]
+    fn predicts_shape_disagreement() {
+        let m = parse_mapping(
+            r#"
+            source R1(a, b);
+            source R2(a);
+            target S(a, b);
+            R1(x, y) -> S(x, y);
+            R2(x) -> S(x, y);
+            "#,
+        )
+        .unwrap();
+        let pre = precheck(&m);
+        assert!(!pre.accepts());
+        match &pre.reasons[0] {
+            PrecheckReason::ShapeDisagreement { relation, tgds } => {
+                assert_eq!(relation.as_str(), "S");
+                assert_eq!(tgds, &vec![0, 1]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(pre.reasons[0].tgd_index(), Some(1));
+        assert!(compile(&m).is_err());
+    }
+
+    #[test]
+    fn predicts_duplicate_base_across_tgds() {
+        // Two rules with the same premise relation feed `T`: same
+        // shape, but the union lens would mention `S` twice.
+        let m = parse_mapping(
+            r#"
+            source S(a, b);
+            target T(c, d);
+            S(x, y) -> T(x, y);
+            S(x, y) -> T(y, x);
+            "#,
+        )
+        .unwrap();
+        let pre = precheck(&m);
+        assert_eq!(
+            pre.reasons,
+            vec![PrecheckReason::DuplicateBase {
+                relation: dex_relational::Name::new("T"),
+                source: dex_relational::Name::new("S"),
+                tgds: vec![0, 1],
+            }]
+        );
+        assert_eq!(pre.reasons[0].tgd_index(), Some(1));
+        assert!(compile(&m).is_err());
+    }
+
+    #[test]
+    fn predicts_duplicate_base_within_one_tgd() {
+        // One rule producing `T` in two conjuncts duplicates its own
+        // premise relation in the folded union.
+        agree(
+            r#"
+            source S(a, b);
+            target T(c, d);
+            S(x, y) -> T(x, z) & T(y, z);
+            "#,
+        );
+        let m = parse_mapping(
+            r#"
+            source S(a, b);
+            target T(c, d);
+            S(x, y) -> T(x, z) & T(y, z);
+            "#,
+        )
+        .unwrap();
+        let pre = precheck(&m);
+        assert!(pre.reasons.iter().any(
+            |r| matches!(r, PrecheckReason::DuplicateBase { tgds, .. } if tgds == &vec![0, 0])
+        ));
+    }
+
+    #[test]
+    fn distinct_premises_feeding_one_target_stay_accepted() {
+        // The classic Father/Mother union is fine: different base
+        // tables, one view lens. (Also covered by agree() above, but
+        // pinned here against the new DuplicateBase rule.)
+        let m = parse_mapping(
+            r#"
+            source Father(p, c);
+            source Mother(p, c);
+            target Parent(p, c);
+            Father(x, y) -> Parent(x, y);
+            Mother(x, y) -> Parent(x, y);
+            "#,
+        )
+        .unwrap();
+        assert!(precheck(&m).accepts());
+        assert!(compile(&m).is_ok());
+    }
+
+    #[test]
+    fn predicts_approximate_fidelity() {
+        let m = parse_mapping(
+            r#"
+            source Takes(name, course);
+            target Student(id, name);
+            target StudentCard(id);
+            Takes(x, y) -> Student(z, x) & StudentCard(z);
+            "#,
+        )
+        .unwrap();
+        let pre = precheck(&m);
+        assert!(pre.accepts());
+        assert!(matches!(pre.fidelity[0], Fidelity::Approximate(_)));
+        let t = compile(&m).unwrap();
+        assert!(matches!(t.report.entries[0].1, Fidelity::Approximate(_)));
+    }
+
+    #[test]
+    fn repeated_existential_within_one_atom_stays_exact() {
+        // R(x) -> S(x, z, z): z repeats inside a single atom — the
+        // compiler counts it once per atom, so the tgd is Exact.
+        let m = parse_mapping(
+            r#"
+            source R(a);
+            target S(a, b, c);
+            R(x) -> S(x, z, z);
+            "#,
+        )
+        .unwrap();
+        agree(
+            r#"
+            source R(a);
+            target S(a, b, c);
+            R(x) -> S(x, z, z);
+            "#,
+        );
+        let pre = precheck(&m);
+        assert!(matches!(pre.fidelity[0], Fidelity::Exact));
+    }
+
+    #[test]
+    fn report_serde_round_trip() {
+        let m = parse_mapping(
+            r#"
+            source S(a, b);
+            target T(a, c);
+            S(x, y) & S(y, z) -> T(x, z);
+            "#,
+        )
+        .unwrap();
+        let pre = precheck(&m);
+        let json = serde_json::to_string(&pre).unwrap();
+        let back: PrecheckReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(pre, back);
+    }
+}

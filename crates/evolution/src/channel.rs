@@ -1,6 +1,6 @@
 //! Channel-style propagation of SMOs *through* a schema mapping.
 //!
-//! The paper's second evolution strategy (§4, citing [24]): instead of
+//! The paper's second evolution strategy (§4, citing \[24\]): instead of
 //! prepending inverted evolution lenses, rewrite the st-tgds so the
 //! mapping speaks the evolved schema directly. “It may prove useful to
 //! end users … to have a choice between adapting one schema and

@@ -15,7 +15,7 @@
 //!    ([`SmoLens`]), sequences concatenate ([`EvolutionLens`]), and
 //!    inversion is free — prepend the inverted evolution to any
 //!    mapping lens.
-//! 2. **Channel-style propagation** (the paper's [24]): push the SMOs
+//! 2. **Channel-style propagation** (the paper's \[24\]): push the SMOs
 //!    *through* the st-tgd mapping, producing a rewritten mapping over
 //!    the evolved schema ([`propagate`], [`propagate_all`]).
 

@@ -1,6 +1,6 @@
 //! Schema-modification operators (SMOs).
 //!
-//! The channel-style primitives of the paper's [24] (“Updatable and
+//! The channel-style primitives of the paper's \[24\] (“Updatable and
 //! Evolvable Transforms for Virtual Databases”): each operator evolves
 //! a schema and carries *bidirectional* instance semantics —
 //! [`Smo::forward`] migrates data onto the evolved schema,

@@ -1,6 +1,6 @@
 //! Deltas and edit propagation over database instances.
 //!
-//! The paper §3 mentions delta lenses [8, 21] and edit lenses [16]:
+//! The paper §3 mentions delta lenses \[8, 21\] and edit lenses \[16\]:
 //! instead of whole-state `put`s, propagate *changes*. This module
 //! provides the instance-level delta algebra (diff / apply / compose /
 //! invert) and [`EditSession`], a stateful controller that wraps any

@@ -1,4 +1,4 @@
-//! Quotient lenses (Foster, Pilkiewicz & Pierce — the paper's [15]).
+//! Quotient lenses (Foster, Pilkiewicz & Pierce — the paper's \[15\]).
 //!
 //! A quotient lens is a lens whose laws hold only *up to equivalence
 //! relations* on the source and the view: `get(put(v, s)) ≈ v` rather

@@ -7,7 +7,7 @@
 //! lens.
 //!
 //! The paper also points at *cospans* `S → X ← T` (used in practical
-//! data-exchange work [19]) and notes “a co-span of asymmetric lenses
+//! data-exchange work \[19\]) and notes “a co-span of asymmetric lenses
 //! is not a symmetric lens.” Two renditions live here:
 //!
 //! * [`MemorylessCospan`] — the cospan *as such*: propagation through
@@ -148,7 +148,7 @@ where
 
 /// The *stateful* cospan: propagation through the shared codomain, with
 /// each repository's last state kept as complement (the half-duplex
-/// interoperation of the paper's [19]). The memory restores
+/// interoperation of the paper's \[19\]). The memory restores
 /// well-behavedness — see the tests contrasting it with
 /// [`MemorylessCospan`].
 #[derive(Clone, Debug)]

@@ -1,4 +1,4 @@
-//! Symmetric lenses (Hofmann–Pierce–Wagner, the paper's [17]).
+//! Symmetric lenses (Hofmann–Pierce–Wagner, the paper's \[17\]).
 //!
 //! A symmetric lens between `Left` and `Right` keeps a *complement*
 //! `Compl` recording the information each side has that the other

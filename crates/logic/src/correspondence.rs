@@ -1,6 +1,6 @@
 //! Visual correspondences compiled to st-tgds (paper Figure 1).
 //!
-//! In practice (paper §2, citing Clio [9]) “an end user does not
+//! In practice (paper §2, citing Clio \[9\]) “an end user does not
 //! directly specify a mapping by writing down an st-tgd, but by
 //! specifying some simple correspondences usually exploiting some
 //! visual interface … These visual representations are then compiled

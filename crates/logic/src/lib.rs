@@ -20,6 +20,7 @@ pub mod eval;
 pub mod mapping;
 pub mod parser;
 pub mod sotgd;
+pub mod span;
 pub mod term;
 pub mod tgd;
 
@@ -27,7 +28,11 @@ pub use atom::Atom;
 pub use correspondence::{Arrow, CorrespondenceGroup, CorrespondenceSet};
 pub use eval::{extend_matches, match_conjunction, Valuation};
 pub use mapping::Mapping;
-pub use parser::{parse_disj_tgd, parse_egd, parse_mapping, parse_query, parse_tgd, ParseError};
+pub use parser::{
+    parse_disj_tgd, parse_egd, parse_mapping, parse_mapping_with_spans, parse_query, parse_tgd,
+    ParseError,
+};
 pub use sotgd::{SoClause, SoTgd};
+pub use span::{SourceMap, Span};
 pub use term::Term;
 pub use tgd::{DisjTgd, Egd, StTgd};

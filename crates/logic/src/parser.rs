@@ -29,9 +29,10 @@
 
 use crate::atom::Atom;
 use crate::mapping::Mapping;
+use crate::span::{SourceMap, Span};
 use crate::term::Term;
 use crate::tgd::{DisjTgd, Egd, StTgd};
-use dex_relational::{Constant, Fd, Name, RelSchema, RelationalError, Schema};
+use dex_relational::{Constant, Fd, Name, RelSchema, Schema};
 use std::fmt;
 
 /// A parse failure, with 1-based line/column of the offending token.
@@ -57,12 +58,13 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-impl From<RelationalError> for ParseError {
-    fn from(e: RelationalError) -> Self {
+impl ParseError {
+    /// Build a parse error anchored at the start of `span`.
+    fn at(span: Span, message: impl Into<String>) -> ParseError {
         ParseError {
-            message: e.to_string(),
-            line: 0,
-            col: 0,
+            message: message.into(),
+            line: span.line,
+            col: span.col,
         }
     }
 }
@@ -89,6 +91,19 @@ struct SpannedTok {
     tok: Tok,
     line: usize,
     col: usize,
+    end_line: usize,
+    end_col: usize,
+}
+
+impl SpannedTok {
+    fn span(&self) -> Span {
+        Span {
+            line: self.line,
+            col: self.col,
+            end_line: self.end_line,
+            end_col: self.end_col,
+        }
+    }
 }
 
 fn tokenize(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
@@ -115,6 +130,8 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
                 tok: Tok::Eof,
                 line,
                 col,
+                end_line: line,
+                end_col: col,
             });
             return Ok(out);
         };
@@ -128,6 +145,8 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
                     tok: Tok::LParen,
                     line: l,
                     col: c0,
+                    end_line: line,
+                    end_col: col,
                 });
             }
             ')' => {
@@ -136,6 +155,8 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
                     tok: Tok::RParen,
                     line: l,
                     col: c0,
+                    end_line: line,
+                    end_col: col,
                 });
             }
             ',' => {
@@ -144,6 +165,8 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
                     tok: Tok::Comma,
                     line: l,
                     col: c0,
+                    end_line: line,
+                    end_col: col,
                 });
             }
             ';' => {
@@ -152,6 +175,8 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
                     tok: Tok::Semi,
                     line: l,
                     col: c0,
+                    end_line: line,
+                    end_col: col,
                 });
             }
             '&' => {
@@ -160,6 +185,8 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
                     tok: Tok::Amp,
                     line: l,
                     col: c0,
+                    end_line: line,
+                    end_col: col,
                 });
             }
             '|' => {
@@ -168,6 +195,8 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
                     tok: Tok::Pipe,
                     line: l,
                     col: c0,
+                    end_line: line,
+                    end_col: col,
                 });
             }
             '=' => {
@@ -176,6 +205,8 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
                     tok: Tok::Eq,
                     line: l,
                     col: c0,
+                    end_line: line,
+                    end_col: col,
                 });
             }
             ':' => {
@@ -186,6 +217,8 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
                         tok: Tok::Turnstile,
                         line: l,
                         col: c0,
+                        end_line: line,
+                        end_col: col,
                     });
                 } else {
                     return Err(ParseError {
@@ -204,6 +237,8 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
                             tok: Tok::Arrow,
                             line: l,
                             col: c0,
+                            end_line: line,
+                            end_col: col,
                         });
                     }
                     Some('-') => {
@@ -234,6 +269,8 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
                             tok: Tok::Int(v),
                             line: l,
                             col: c0,
+                            end_line: line,
+                            end_col: col,
                         });
                     }
                     _ => {
@@ -283,6 +320,8 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
                     tok: Tok::Str(s),
                     line: l,
                     col: c0,
+                    end_line: line,
+                    end_col: col,
                 });
             }
             d if d.is_ascii_digit() => {
@@ -304,6 +343,8 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
                     tok: Tok::Int(v),
                     line: l,
                     col: c0,
+                    end_line: line,
+                    end_col: col,
                 });
             }
             a if a.is_alphabetic() || a == '_' => {
@@ -320,6 +361,8 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
                     tok: Tok::Ident(s),
                     line: l,
                     col: c0,
+                    end_line: line,
+                    end_col: col,
                 });
             }
             other => {
@@ -341,6 +384,16 @@ struct Parser {
 impl Parser {
     fn peek(&self) -> &SpannedTok {
         &self.toks[self.pos.min(self.toks.len() - 1)]
+    }
+
+    /// Span of the token about to be consumed.
+    fn cur_span(&self) -> Span {
+        self.peek().span()
+    }
+
+    /// Span of the most recently consumed token.
+    fn last_span(&self) -> Span {
+        self.toks[self.pos.saturating_sub(1)].span()
     }
 
     fn next(&mut self) -> SpannedTok {
@@ -596,15 +649,26 @@ pub fn parse_disj_tgd(input: &str) -> Result<DisjTgd, ParseError> {
 /// );
 /// ```
 pub fn parse_mapping(input: &str) -> Result<Mapping, ParseError> {
+    parse_mapping_with_spans(input).map(|(m, _)| m)
+}
+
+/// Like [`parse_mapping`], but also returns a [`SourceMap`] locating
+/// every declaration and rule in the input text. The map's vectors are
+/// aligned index-for-index with the mapping's accessors, so tooling
+/// (e.g. the `dex-analyze` lint pass) can attach diagnostics to
+/// concrete source spans.
+pub fn parse_mapping_with_spans(input: &str) -> Result<(Mapping, SourceMap), ParseError> {
     let toks = tokenize(input)?;
     let mut p = Parser { toks, pos: 0 };
     let mut source = Schema::new();
     let mut target = Schema::new();
-    let mut keys: Vec<(String, Vec<String>)> = Vec::new();
-    let mut rules: Vec<DisjTgd> = Vec::new();
-    let mut egd_rules: Vec<Egd> = Vec::new();
+    let mut keys: Vec<(String, Vec<String>, Span)> = Vec::new();
+    let mut rules: Vec<(DisjTgd, Span)> = Vec::new();
+    let mut egd_rules: Vec<(Egd, Span)> = Vec::new();
+    let mut map = SourceMap::default();
 
     loop {
+        let start = p.cur_span();
         match p.peek().tok.clone() {
             Tok::Eof => break,
             Tok::Ident(kw) if kw == "source" || kw == "target" => {
@@ -617,18 +681,38 @@ pub fn parse_mapping(input: &str) -> Result<Mapping, ParseError> {
                     let rel = p.ident("a relation name")?;
                     let attrs = p.attr_list()?;
                     p.expect(&Tok::Semi, "`;`")?;
-                    let rs = RelSchema::untyped(rel, attrs)?;
+                    let span = start.merge(p.last_span());
+                    // Check vocabulary disjointness eagerly, so the
+                    // error points at the second declaration.
+                    let other = if kw == "source" { &target } else { &source };
+                    if other.relation(&rel).is_some() {
+                        return Err(ParseError::at(
+                            span,
+                            format!(
+                                "relation `{rel}` is declared in both the source and \
+                                 the target schema"
+                            ),
+                        ));
+                    }
+                    let rs = RelSchema::untyped(rel.clone(), attrs)
+                        .map_err(|e| ParseError::at(span, e.to_string()))?;
                     if kw == "source" {
-                        source.add_relation(rs)?;
+                        source
+                            .add_relation(rs)
+                            .map_err(|e| ParseError::at(span, e.to_string()))?;
+                        map.source_decls.push((rel, span));
                     } else {
-                        target.add_relation(rs)?;
+                        target
+                            .add_relation(rs)
+                            .map_err(|e| ParseError::at(span, e.to_string()))?;
+                        map.target_decls.push((rel, span));
                     }
                 } else {
                     // Not a declaration after all: re-parse as a rule.
                     p.pos = save;
                     match p.rule_or_egd()? {
-                        Rule::Tgd(d) => rules.push(d),
-                        Rule::Egd(e) => egd_rules.push(e),
+                        Rule::Tgd(d) => rules.push((d, start.merge(p.last_span()))),
+                        Rule::Egd(e) => egd_rules.push((e, start.merge(p.last_span()))),
                     }
                 }
             }
@@ -637,39 +721,39 @@ pub fn parse_mapping(input: &str) -> Result<Mapping, ParseError> {
                 let rel = p.ident("a relation name")?;
                 let attrs = p.attr_list()?;
                 p.expect(&Tok::Semi, "`;`")?;
-                keys.push((rel, attrs));
+                keys.push((rel, attrs, start.merge(p.last_span())));
             }
             Tok::Ident(_) => match p.rule_or_egd()? {
-                Rule::Tgd(d) => rules.push(d),
-                Rule::Egd(e) => egd_rules.push(e),
+                Rule::Tgd(d) => rules.push((d, start.merge(p.last_span()))),
+                Rule::Egd(e) => egd_rules.push((e, start.merge(p.last_span()))),
             },
             _ => return Err(p.err("expected a declaration or a rule")),
         }
     }
+    // Errors detected only after the whole input is consumed anchor at
+    // the end of input (the Eof token's true position — never 0:0).
+    let eof_span = p.cur_span();
 
     // Apply key declarations: FD on the schema + an egd if on the target.
-    let mut target_egds: Vec<Egd> = Vec::new();
-    for (rel, attrs) in keys {
+    let mut target_egds: Vec<(Egd, Span)> = Vec::new();
+    for (rel, attrs, span) in keys {
         let (schema, is_target) = if target.relation(&rel).is_some() {
             (&mut target, true)
         } else if source.relation(&rel).is_some() {
             (&mut source, false)
         } else {
-            return Err(ParseError {
-                message: format!("key declared on unknown relation `{rel}`"),
-                line: 0,
-                col: 0,
-            });
+            return Err(ParseError::at(
+                span,
+                format!("key declared on unknown relation `{rel}`"),
+            ));
         };
         let rs = schema.relation(&rel).unwrap().clone();
         let arity = rs.arity();
         let key_positions: Vec<usize> = attrs
             .iter()
             .map(|a| {
-                rs.position(a).ok_or_else(|| ParseError {
-                    message: format!("key attribute `{a}` not in relation `{rel}`"),
-                    line: 0,
-                    col: 0,
+                rs.position(a).ok_or_else(|| {
+                    ParseError::at(span, format!("key attribute `{a}` not in relation `{rel}`"))
                 })
             })
             .collect::<Result<_, _>>()?;
@@ -681,44 +765,50 @@ pub fn parse_mapping(input: &str) -> Result<Mapping, ParseError> {
             .collect();
         if !non_key.is_empty() {
             let fd = Fd::new(attrs.iter().map(Name::new).collect::<Vec<_>>(), non_key);
-            let updated = rs.clone().with_fd(fd)?;
+            let updated = rs
+                .clone()
+                .with_fd(fd)
+                .map_err(|e| ParseError::at(span, e.to_string()))?;
             schema.remove_relation(&rel);
-            schema.add_relation(updated)?;
+            schema
+                .add_relation(updated)
+                .map_err(|e| ParseError::at(span, e.to_string()))?;
         }
         if is_target {
-            target_egds.extend(Egd::key(&rel, arity, &key_positions));
+            for e in Egd::key(&rel, arity, &key_positions) {
+                target_egds.push((e, span));
+            }
         }
     }
 
     // Explicit egd rules must live entirely on the target side.
-    for e in egd_rules {
+    for (e, span) in egd_rules {
         let all_target = e
             .lhs
             .iter()
             .all(|a| target.relation(a.relation.as_str()).is_some());
         if !all_target {
-            return Err(ParseError {
-                message: format!(
+            return Err(ParseError::at(
+                span,
+                format!(
                     "egd `{e}` must mention only target relations (egds are \
                      target dependencies)"
                 ),
-                line: 0,
-                col: 0,
-            });
+            ));
         }
-        target_egds.push(e);
+        target_egds.push((e, span));
     }
 
-    // Classify rules.
-    let mut st_tgds = Vec::new();
-    let mut target_tgds = Vec::new();
-    for r in rules {
+    // Classify rules, validating each against its schemas so arity and
+    // unknown-relation errors point at the offending rule.
+    let mut st_tgds: Vec<(StTgd, Span)> = Vec::new();
+    let mut target_tgds: Vec<(StTgd, Span)> = Vec::new();
+    for (r, span) in rules {
         if r.disjuncts.len() != 1 {
-            return Err(ParseError {
-                message: format!("disjunctive rule `{r}` not allowed in a mapping file"),
-                line: 0,
-                col: 0,
-            });
+            return Err(ParseError::at(
+                span,
+                format!("disjunctive rule `{r}` not allowed in a mapping file"),
+            ));
         }
         let tgd = StTgd::new(r.lhs, r.disjuncts.into_iter().next().unwrap());
         let lhs_all_target = tgd
@@ -726,19 +816,33 @@ pub fn parse_mapping(input: &str) -> Result<Mapping, ParseError> {
             .iter()
             .all(|a| target.relation(a.relation.as_str()).is_some());
         if lhs_all_target {
-            target_tgds.push(tgd);
+            tgd.validate(&target, &target)
+                .map_err(|e| ParseError::at(span, e.to_string()))?;
+            target_tgds.push((tgd, span));
         } else {
-            st_tgds.push(tgd);
+            tgd.validate(&source, &target)
+                .map_err(|e| ParseError::at(span, e.to_string()))?;
+            st_tgds.push((tgd, span));
         }
     }
+    for (e, span) in &target_egds {
+        e.validate(&target)
+            .map_err(|err| ParseError::at(*span, err.to_string()))?;
+    }
 
-    Ok(Mapping::with_target_deps(
+    map.st_tgds = st_tgds.iter().map(|(_, s)| *s).collect();
+    map.target_tgds = target_tgds.iter().map(|(_, s)| *s).collect();
+    map.target_egds = target_egds.iter().map(|(_, s)| *s).collect();
+
+    let mapping = Mapping::with_target_deps(
         source,
         target,
-        st_tgds,
-        target_tgds,
-        target_egds,
-    )?)
+        st_tgds.into_iter().map(|(t, _)| t).collect(),
+        target_tgds.into_iter().map(|(t, _)| t).collect(),
+        target_egds.into_iter().map(|(e, _)| e).collect(),
+    )
+    .map_err(|e| ParseError::at(eof_span, e.to_string()))?;
+    Ok((mapping, map))
 }
 
 #[cfg(test)]
@@ -853,6 +957,70 @@ mod tests {
     fn unknown_key_relation_errors() {
         let e = parse_mapping("source R(a);\nkey S(a);").unwrap_err();
         assert!(e.message.contains("unknown relation"));
+        // The error points at the `key` declaration, not 0:0.
+        assert_eq!((e.line, e.col), (2, 1));
+    }
+
+    #[test]
+    fn late_errors_carry_true_positions() {
+        // Arity mismatch detected after parsing: points at the rule.
+        let e = parse_mapping("source R(a);\ntarget S(a, b);\nR(x, y) -> S(x, y);").unwrap_err();
+        assert!(e.message.contains("arity"), "{}", e.message);
+        assert_eq!((e.line, e.col), (3, 1));
+        // Source-side egd: points at the egd rule.
+        let e = parse_mapping(
+            "source Emp(name);\ntarget Manager(emp, mgr);\nEmp(x) & Emp(y) -> x = y;",
+        )
+        .unwrap_err();
+        assert_eq!((e.line, e.col), (3, 1));
+        // Overlapping declaration: points at the second declaration.
+        let e = parse_mapping("source R(a);\ntarget R(a);").unwrap_err();
+        assert!(e.message.contains("both"), "{}", e.message);
+        assert_eq!((e.line, e.col), (2, 1));
+        // Duplicate attribute in a declaration: points at the declaration.
+        let e = parse_mapping("source R(a);\ntarget S(b, b);").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 1));
+    }
+
+    #[test]
+    fn eof_errors_report_last_position() {
+        // End-of-input errors report the true position of the end of
+        // input (1-based), never line 0.
+        // (`parse_tgd` trims and appends `;`, so the error lands on it.)
+        let e = parse_tgd("Emp(x) -> ").unwrap_err();
+        assert_eq!((e.line, e.col), (1, 10));
+        let e = parse_mapping("source R(a);\nR(x) ->").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 8));
+    }
+
+    #[test]
+    fn source_map_locates_rules_and_decls() {
+        let (m, map) = parse_mapping_with_spans(
+            "source Emp(name);\n\
+             target Manager(emp, mgr);\n\
+             key Manager(emp);\n\
+             Emp(x) -> Manager(x, y);\n\
+             Manager(x, y) -> Manager(x, y);\n\
+             Manager(x, y) & Manager(x, z) -> y = z;\n",
+        )
+        .unwrap();
+        assert_eq!(m.st_tgds().len(), 1);
+        assert_eq!(map.st_tgds.len(), 1);
+        let s = map.st_tgds[0];
+        assert_eq!((s.line, s.col), (4, 1));
+        assert_eq!((s.end_line, s.end_col), (4, 25));
+        // The target tgd sits on line 5.
+        assert_eq!(map.target_tgds.len(), 1);
+        assert_eq!(map.target_tgds[0].line, 5);
+        // Egds: the key expansion carries the key decl's span (line 3),
+        // the explicit rule its own (line 6) — in mapping order.
+        assert_eq!(m.target_egds().len(), 2);
+        assert_eq!(map.target_egds[0].line, 3);
+        assert_eq!(map.target_egds[1].line, 6);
+        // Declarations are findable by name.
+        assert_eq!(map.source_decl("Emp").unwrap().line, 1);
+        assert_eq!(map.target_decl("Manager").unwrap().line, 2);
+        assert!(map.source_decl("Nope").is_none());
     }
 
     #[test]

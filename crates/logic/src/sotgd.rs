@@ -1,6 +1,6 @@
 //! Second-order tuple-generating dependencies (SO-tgds).
 //!
-//! SO-tgds (Fagin, Kolaitis, Popa, Tan — cited as [12] in the paper)
+//! SO-tgds (Fagin, Kolaitis, Popa, Tan — cited as \[12\] in the paper)
 //! extend st-tgds with existentially quantified *function symbols* and
 //! equalities on the left-hand side. They are exactly the language
 //! needed to close st-tgds under composition: the paper's Example 2

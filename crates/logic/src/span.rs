@@ -1,0 +1,137 @@
+//! Source spans for parsed mappings.
+//!
+//! The parser tokenizes with 1-based line/column positions; a [`Span`]
+//! is a half-open region of the input delimited by the start of its
+//! first token and the end of its last token. Spans never affect the
+//! semantics (or equality) of the AST — they live in a [`SourceMap`]
+//! side table aligned index-for-index with the [`crate::Mapping`]
+//! returned by [`crate::parser::parse_mapping_with_spans`], so
+//! downstream tooling (the `dex-analyze` lint pass, error reporting)
+//! can point back at concrete source text.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A region of mapping source text, with 1-based inclusive start and
+/// exclusive end positions.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Span {
+    /// 1-based line of the first character.
+    pub line: usize,
+    /// 1-based column of the first character.
+    pub col: usize,
+    /// 1-based line of the character just past the region.
+    pub end_line: usize,
+    /// 1-based column of the character just past the region.
+    pub end_col: usize,
+}
+
+impl Span {
+    /// A span covering a single point (used for end-of-input).
+    pub fn point(line: usize, col: usize) -> Span {
+        Span {
+            line,
+            col,
+            end_line: line,
+            end_col: col,
+        }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        let (line, col) = if (self.line, self.col) <= (other.line, other.col) {
+            (self.line, self.col)
+        } else {
+            (other.line, other.col)
+        };
+        let (end_line, end_col) =
+            if (self.end_line, self.end_col) >= (other.end_line, other.end_col) {
+                (self.end_line, self.end_col)
+            } else {
+                (other.end_line, other.end_col)
+            };
+        Span {
+            line,
+            col,
+            end_line,
+            end_col,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Where each piece of a parsed [`crate::Mapping`] came from.
+///
+/// Every vector is aligned with the corresponding accessor of the
+/// mapping: `st_tgds[i]` is the span of `mapping.st_tgds()[i]`, and so
+/// on. Key declarations expand to one egd per non-key column; each such
+/// egd carries the span of the `key …;` declaration that produced it.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct SourceMap {
+    /// Span of each st-tgd rule, in mapping order.
+    pub st_tgds: Vec<Span>,
+    /// Span of each target tgd rule, in mapping order.
+    pub target_tgds: Vec<Span>,
+    /// Span of each target egd (explicit rules and key expansions), in
+    /// mapping order.
+    pub target_egds: Vec<Span>,
+    /// Span of each `source Rel(…);` declaration, keyed by relation
+    /// name.
+    pub source_decls: Vec<(String, Span)>,
+    /// Span of each `target Rel(…);` declaration, keyed by relation
+    /// name.
+    pub target_decls: Vec<(String, Span)>,
+}
+
+impl SourceMap {
+    /// The span of the `source` declaration of `rel`, if recorded.
+    pub fn source_decl(&self, rel: &str) -> Option<Span> {
+        self.source_decls
+            .iter()
+            .find(|(n, _)| n == rel)
+            .map(|(_, s)| *s)
+    }
+
+    /// The span of the `target` declaration of `rel`, if recorded.
+    pub fn target_decl(&self, rel: &str) -> Option<Span> {
+        self.target_decls
+            .iter()
+            .find(|(n, _)| n == rel)
+            .map(|(_, s)| *s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_takes_extremes() {
+        let a = Span {
+            line: 2,
+            col: 5,
+            end_line: 2,
+            end_col: 9,
+        };
+        let b = Span {
+            line: 1,
+            col: 7,
+            end_line: 3,
+            end_col: 1,
+        };
+        let m = a.merge(b);
+        assert_eq!((m.line, m.col), (1, 7));
+        assert_eq!((m.end_line, m.end_col), (3, 1));
+        assert_eq!(a.merge(a), a);
+    }
+
+    #[test]
+    fn display_is_line_col() {
+        assert_eq!(Span::point(4, 2).to_string(), "4:2");
+    }
+}

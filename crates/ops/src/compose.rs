@@ -1,6 +1,6 @@
 //! Composition of schema mappings (Fagin, Kolaitis, Popa, Tan —
 //! “Composing schema mappings: second-order dependencies to the
-//! rescue”, the paper's [12]).
+//! rescue”, the paper's \[12\]).
 
 use crate::error::OpsError;
 use dex_logic::{Atom, Mapping, SoClause, SoTgd, StTgd, Term};

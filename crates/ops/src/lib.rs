@@ -3,7 +3,7 @@
 //! The paper §2: “Two of the most fundamental operators on schema
 //! mappings are **composition** and **inversion**.”
 //!
-//! * [`compose`] implements Fagin–Kolaitis–Popa–Tan composition:
+//! * [`compose()`] implements Fagin–Kolaitis–Popa–Tan composition:
 //!   skolemize both mappings into SO-tgds, unfold the second mapping's
 //!   premises through the first mapping's conclusions, and simplify.
 //!   The paper's Example 2 (`∃f …`) is reproduced verbatim by the

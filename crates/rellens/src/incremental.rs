@@ -1,5 +1,5 @@
 //! Incremental (delta) evaluation of lens expressions — the
-//! delta-lens direction (the paper's [8]: “delta lenses … enrich the
+//! delta-lens direction (the paper's \[8\]: “delta lenses … enrich the
 //! situation by using the nature of the modification, the delta, from
 //! g(s) to v”).
 //!

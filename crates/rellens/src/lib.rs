@@ -6,7 +6,7 @@
 //!
 //! The central type is [`RelLensExpr`], a tree of relational-lens
 //! operators (base table, select, project, rename, join, union) whose
-//! `get` evaluates like relational algebra over an [`Instance`] and
+//! `get` evaluates like relational algebra over an [`Instance`](dex_relational::Instance) and
 //! whose `put` **translates view updates back** to the base tables.
 //! Where information is missing on the way back, an explicit
 //! [`UpdatePolicy`] decides — the paper's four options for a dropped

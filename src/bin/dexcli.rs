@@ -19,9 +19,10 @@
 //! Labeled nulls appear in output as `{"null": n}`; Skolem terms as
 //! `{"skolem": "f", "args": [...]}`.
 
+use dex::analyze::{analyze, deny_warnings, has_errors, parse_error_diagnostic, render_all};
 use dex::chase::{certain_answers, exchange, ConjunctiveQuery};
 use dex::core::{compile, Engine};
-use dex::logic::{parse_mapping, Mapping};
+use dex::logic::{parse_mapping, parse_mapping_with_spans, Mapping};
 use dex::ops::{compose, maximum_recovery};
 use dex::relational::{Instance, Schema, Tuple, Value};
 use dex::rellens::Environment;
@@ -41,7 +42,7 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<(), String> {
     let usage =
-        "usage: dexcli <plan|check|chase|exchange|backward|compose|recover|query> <args…>\n\
+        "usage: dexcli <plan|check|lint|chase|exchange|backward|compose|recover|query> <args…>\n\
                  run `dexcli help` for details";
     let cmd = args.first().ok_or(usage)?;
     match cmd.as_str() {
@@ -60,6 +61,7 @@ fn run(args: &[String]) -> Result<(), String> {
             check(&m);
             Ok(())
         }
+        "lint" => lint(&args[1..]),
         "chase" => {
             let mut rest: Vec<&String> = args[1..].iter().collect();
             let stats = rest.iter().position(|a| a.as_str() == "--stats");
@@ -165,11 +167,83 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// `dexcli lint <files…> [--format text|json] [--deny warnings]`.
+///
+/// Exit status is non-zero iff any file fails to parse or any
+/// diagnostic is an error after `--deny warnings` promotion.
+fn lint(args: &[String]) -> Result<(), String> {
+    let usage = "usage: dexcli lint <mapping.dex>… [--format text|json] [--deny warnings]";
+    let mut files: Vec<&String> = Vec::new();
+    let mut format = "text";
+    let mut deny = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => {
+                format = match it.next().map(String::as_str) {
+                    Some(f @ ("text" | "json")) => f,
+                    _ => return Err(format!("--format takes `text` or `json`\n{usage}")),
+                };
+            }
+            "--deny" => match it.next().map(String::as_str) {
+                Some("warnings") => deny = true,
+                _ => return Err(format!("--deny takes `warnings`\n{usage}")),
+            },
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`\n{usage}"))
+            }
+            _ => files.push(a),
+        }
+    }
+    if files.is_empty() {
+        return Err(usage.into());
+    }
+
+    let mut failed = false;
+    let mut json_report: Vec<Json> = Vec::new();
+    for path in files {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let mut diags = match parse_mapping_with_spans(&text) {
+            Ok((m, spans)) => analyze(&m, Some(&spans)),
+            Err(e) => vec![parse_error_diagnostic(&e)],
+        };
+        if deny {
+            deny_warnings(&mut diags);
+        }
+        failed |= has_errors(&diags);
+        match format {
+            "json" => json_report.push(json!({
+                "file": path,
+                "diagnostics": serde_json::to_value(&diags)
+                    .map_err(|e| e.to_string())?,
+            })),
+            _ => {
+                if !diags.is_empty() {
+                    print!("{}", render_all(&diags, path, &text));
+                }
+            }
+        }
+    }
+    if format == "json" {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&Json::Array(json_report)).map_err(|e| e.to_string())?
+        );
+    }
+    if failed {
+        Err("lint found errors".into())
+    } else {
+        Ok(())
+    }
+}
+
 const HELP: &str = r#"dexcli — bidirectional data exchange from the command line
 
 commands:
   plan     <mapping.dex>                         compile and show the lens plan
   check    <mapping.dex>                         fidelity + termination report
+  lint     <mapping.dex>… [--format text|json] [--deny warnings]
+                                                 static analysis (DEX diagnostic codes)
   chase    <mapping.dex> <source.json> [--stats] materialize the universal solution
   exchange <mapping.dex> <source.json> [prev.json] [--stats]  lens-engine forward exchange
   backward <mapping.dex> <target.json> <source.json>  propagate target edits back

@@ -6,6 +6,7 @@
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! per-experiment reproduction index.
 
+pub use dex_analyze as analyze;
 pub use dex_chase as chase;
 pub use dex_core as core;
 pub use dex_evolution as evolution;
