@@ -15,9 +15,19 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dex_bench::{emp_mapping, emps};
-use dex_chase::{exchange_with, ChaseOptions, Matcher};
+use dex_chase::{exchange_governed, exchange_with, Budget, ChaseOptions, Governor, Matcher};
 use dex_logic::{parse_mapping, Mapping};
 use std::hint::black_box;
+
+/// Never-tripping budget for the governed arm (see E14): engages every
+/// counter check without a memory cap.
+fn generous_budget() -> Budget {
+    Budget::unlimited()
+        .with_deadline(std::time::Duration::from_secs(3600))
+        .with_max_rounds(u64::MAX / 2)
+        .with_max_tuples(u64::MAX / 2)
+        .with_max_nulls(u64::MAX / 2)
+}
 
 /// Short measurement windows: the suite's job is shape, not
 /// publication-grade confidence intervals.
@@ -88,6 +98,25 @@ fn bench_matching(c: &mut Criterion) {
                 .unwrap()
             })
         });
+        // The delta-driven chase under an engaged, never-tripping
+        // governor — phase-2 rounds are where the per-obligation and
+        // per-round budget checks concentrate (E14).
+        group.bench_with_input(
+            BenchmarkId::new("semi_naive_governed", n),
+            &src,
+            |b, src| {
+                b.iter(|| {
+                    let gov = Governor::new(generous_budget());
+                    exchange_governed(
+                        black_box(&with_target_deps),
+                        black_box(src),
+                        opts(Matcher::Indexed),
+                        &gov,
+                    )
+                    .unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

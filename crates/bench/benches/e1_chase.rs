@@ -3,8 +3,22 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dex_bench::{emp_mapping, emps};
-use dex_chase::{exchange_with, ChaseOptions, ChaseVariant, Matcher};
+use dex_chase::{
+    exchange_governed, exchange_with, Budget, ChaseOptions, ChaseVariant, Governor, Matcher,
+};
 use std::hint::black_box;
+
+/// A budget generous enough to never trip on these workloads, so the
+/// `*_governed` arms measure pure bookkeeping overhead (E14 in
+/// EXPERIMENTS.md). No memory cap: byte accounting is priced
+/// separately by `standard_governed_mem`.
+fn generous_budget() -> Budget {
+    Budget::unlimited()
+        .with_deadline(std::time::Duration::from_secs(3600))
+        .with_max_rounds(u64::MAX / 2)
+        .with_max_tuples(u64::MAX / 2)
+        .with_max_nulls(u64::MAX / 2)
+}
 
 /// Short measurement windows: the suite's job is shape, not
 /// publication-grade confidence intervals; this keeps the full
@@ -27,6 +41,38 @@ fn bench_chase(c: &mut Criterion) {
                 exchange_with(black_box(&mapping), black_box(src), ChaseOptions::default()).unwrap()
             })
         });
+        // Same run under an engaged (but never-tripping) governor: the
+        // gap to `standard` is the cost of resource governance.
+        group.bench_with_input(BenchmarkId::new("standard_governed", n), &src, |b, src| {
+            b.iter(|| {
+                let gov = Governor::new(generous_budget());
+                exchange_governed(
+                    black_box(&mapping),
+                    black_box(src),
+                    ChaseOptions::default(),
+                    &gov,
+                )
+                .unwrap()
+            })
+        });
+        // With the approximate-memory cap too, which adds per-firing
+        // byte accounting on top of the counter checks.
+        group.bench_with_input(
+            BenchmarkId::new("standard_governed_mem", n),
+            &src,
+            |b, src| {
+                b.iter(|| {
+                    let gov = Governor::new(generous_budget().with_max_memory(u64::MAX / 2));
+                    exchange_governed(
+                        black_box(&mapping),
+                        black_box(src),
+                        ChaseOptions::default(),
+                        &gov,
+                    )
+                    .unwrap()
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("oblivious", n), &src, |b, src| {
             b.iter(|| {
                 exchange_with(

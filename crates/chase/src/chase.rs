@@ -5,8 +5,11 @@ use dex_logic::eval::{
     extend_matches, extend_matches_mode, has_match_mode, match_conjunction_mode, unify_with_tuple,
     MatchMode, Valuation,
 };
-use dex_logic::{Atom, Mapping, StTgd};
-use dex_relational::{Instance, Name, NullGen, NullId, RelationalError, Tuple, Value};
+use dex_logic::{Atom, Mapping, StTgd, Term};
+use dex_relational::{
+    ExhaustionReport, Governor, Instance, Name, NullGen, NullId, RelationalError, TripReason,
+    Tuple, Value,
+};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Which chase to run for the source-to-target phase.
@@ -75,7 +78,7 @@ impl Default for ChaseOptions {
 }
 
 /// Counters collected while chasing, for `--stats` style reporting.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ChaseStats {
     /// Source-to-target firings (phase 1).
     pub st_firings: usize,
@@ -123,6 +126,49 @@ pub struct ExchangeResult {
     pub stats: ChaseStats,
 }
 
+/// A governed run that stopped early: the consistent prefix computed
+/// so far plus a report of which budget tripped and what was consumed.
+///
+/// The partial instance is always a **valid chase prefix**. Phase-1
+/// trips happen between whole firings. Phase-2 trips either happen at
+/// a round boundary (after that round's egds were enforced) or roll
+/// the uncommitted round back to its start via the delta log, so the
+/// instance is exactly the state after some number of complete,
+/// committed, egd-enforced rounds — never a torn write, never a
+/// silently truncated firing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Exhausted {
+    /// The consistent prefix instance.
+    pub partial: Instance,
+    /// Which budget tripped and the consumption so far.
+    pub report: ExhaustionReport,
+    /// Chase counters up to the trip.
+    pub stats: ChaseStats,
+}
+
+/// The outcome of a governed exchange: either a fixpoint or a
+/// consistent prefix with an exhaustion report.
+#[derive(Clone, Debug)]
+#[allow(clippy::large_enum_variant)]
+pub enum ChaseOutcome {
+    /// The chase reached a fixpoint within budget.
+    Complete(ExchangeResult),
+    /// A budget or cancellation stopped the chase early.
+    Exhausted(Exhausted),
+}
+
+impl ChaseOutcome {
+    /// Collapse into a plain `Result`, turning exhaustion into
+    /// [`ChaseError::Exhausted`] (the partial instance rides along in
+    /// the boxed payload).
+    pub fn into_result(self) -> Result<ExchangeResult, ChaseError> {
+        match self {
+            ChaseOutcome::Complete(r) => Ok(r),
+            ChaseOutcome::Exhausted(e) => Err(ChaseError::Exhausted(Box::new(e))),
+        }
+    }
+}
+
 /// Materialize a universal solution for `src` under `mapping` with
 /// default options. This is the paper's “how to materialize the best
 /// solution for I under M”.
@@ -166,6 +212,26 @@ pub fn exchange_with(
     src: &Instance,
     opts: ChaseOptions,
 ) -> Result<ExchangeResult, ChaseError> {
+    exchange_governed(mapping, src, opts, &Governor::unlimited())?.into_result()
+}
+
+/// Materialize under a resource budget and/or a cancellation token.
+///
+/// Identical to [`exchange_with`] on the untripped path (same tuples,
+/// same null order, same stats), but checks the governor at every step
+/// boundary: between phase-1 firings, between phase-2 match batches and
+/// firings, and at committed round boundaries. On a trip it returns
+/// [`ChaseOutcome::Exhausted`] carrying a valid chase-prefix instance
+/// (see [`Exhausted`] for the atomicity argument) instead of an error.
+///
+/// `opts.max_rounds` is enforced in addition to any round cap in the
+/// governor's budget, with the same semantics either way.
+pub fn exchange_governed(
+    mapping: &Mapping,
+    src: &Instance,
+    opts: ChaseOptions,
+    gov: &Governor,
+) -> Result<ChaseOutcome, ChaseError> {
     let mut target = Instance::empty(mapping.target().clone());
     // Fresh nulls must avoid any nulls already present in the source.
     let mut gen = src.null_gen();
@@ -177,6 +243,25 @@ pub fn exchange_with(
     // Index counters from target snapshots discarded by egd
     // substitution (which rebuilds the instance).
     let mut lost: (u64, u64) = (0, 0);
+    let mut rounds = 0usize;
+
+    // On a budget trip: finalize the stats counters and hand back the
+    // prefix instance with the governor's report.
+    macro_rules! exhaust {
+        ($reason:expr, $target:expr) => {{
+            let target = $target;
+            stats.rounds = rounds;
+            let (src_b, src_p) = src.index_stats();
+            let (tgt_b, tgt_p) = target.index_stats();
+            stats.index_builds = lost.0 + tgt_b + (src_b - src_stats_before.0);
+            stats.index_probes = lost.1 + tgt_p + (src_p - src_stats_before.1);
+            return Ok(ChaseOutcome::Exhausted(Exhausted {
+                partial: target,
+                report: gov.report($reason),
+                stats,
+            }));
+        }};
+    }
 
     // Phase 1: source-to-target. The lhs only mentions source relations,
     // so a single pass over all (tgd, match) pairs suffices. Matching
@@ -193,7 +278,10 @@ pub fn exchange_with(
                     scope.spawn(move |_| (i, match_conjunction_mode(&tgd.lhs, src, mode)))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("chase match thread panicked"))
+                .collect()
         })
         .expect("chase match threads panicked")
     } else {
@@ -208,6 +296,11 @@ pub fn exchange_with(
         let tgd = &mapping.st_tgds()[i];
         let rhs_vars: BTreeSet<Name> = tgd.rhs_vars().into_iter().collect();
         for m in matches {
+            // Each firing is an atomic step: a trip between firings
+            // hands back a prefix of whole phase-1 chase steps.
+            if let Err(reason) = gov.check() {
+                exhaust!(reason, target);
+            }
             let frontier: Valuation = m
                 .into_iter()
                 .filter(|(k, _)| rhs_vars.contains(k))
@@ -217,7 +310,7 @@ pub fn exchange_with(
             {
                 continue;
             }
-            fire(tgd, &frontier, &mut target, &mut gen)?;
+            fire(tgd, &frontier, &mut target, &mut gen, gov)?;
             firings += 1;
         }
     }
@@ -225,7 +318,6 @@ pub fn exchange_with(
 
     // Phase 2: target dependencies to fixpoint.
     let semi_naive = opts.matcher == Matcher::Indexed;
-    let mut rounds = 0usize;
     // After an egd substitution the whole instance is effectively new,
     // so the next round must do a full re-match even under Indexed.
     let mut full_rematch = false;
@@ -243,6 +335,11 @@ pub fn exchange_with(
         full_rematch = false;
         let mut pending: Vec<(usize, Valuation)> = Vec::new();
         for (ti, tgd) in mapping.target_tgds().iter().enumerate() {
+            // Matching is read-only, so a trip here returns the intact
+            // round-start instance (the last committed boundary).
+            if let Err(reason) = gov.check() {
+                exhaust!(reason, target);
+            }
             let rhs_vars: BTreeSet<Name> = tgd.rhs_vars().into_iter().collect();
             let matches: Vec<Valuation> = if use_delta {
                 delta_matches(&tgd.lhs, &target, &delta, mode)
@@ -261,6 +358,13 @@ pub fn exchange_with(
 
         let mut round_firings = 0usize;
         for (ti, frontier) in pending {
+            // A trip mid-round rolls the round back to its start: the
+            // delta log holds exactly this round's insertions, so the
+            // rollback restores the last committed boundary.
+            if let Err(reason) = gov.check() {
+                rollback_round(&mut target);
+                exhaust!(reason, target);
+            }
             let tgd = &mapping.target_tgds()[ti];
             // Re-check against the live instance: an earlier firing
             // this round (or a semi-naive duplicate derivation of the
@@ -268,7 +372,7 @@ pub fn exchange_with(
             if has_match_mode(&tgd.rhs, &target, &frontier, mode) {
                 continue;
             }
-            fire(tgd, &frontier, &mut target, &mut gen)?;
+            fire(tgd, &frontier, &mut target, &mut gen, gov)?;
             round_firings += 1;
         }
         stats.firings_per_round.push(round_firings);
@@ -276,7 +380,11 @@ pub fn exchange_with(
         let mut changed = round_firings > 0;
 
         // Target egds: equate values, merging nulls or failing on
-        // distinct constants.
+        // distinct constants. No budget checks inside this block: egd
+        // enforcement provably terminates (each merge eliminates a
+        // labeled null), and skipping checks here is what guarantees
+        // every phase-2 partial is a fully egd-enforced boundary. The
+        // deadline overshoot is bounded by one round's egd work.
         for egd in mapping.target_egds() {
             let (new_target, merges) = chase_one_egd(egd, target, mode, &mut lost)?;
             target = new_target;
@@ -291,10 +399,14 @@ pub fn exchange_with(
             break;
         }
         rounds += 1;
-        if rounds > opts.max_rounds {
-            return Err(ChaseError::StepLimitExceeded {
-                limit: opts.max_rounds,
-            });
+        gov.note_round();
+        // The round is now fully committed (firings + egds), so trips
+        // here hand back a valid, egd-enforced round boundary.
+        if rounds > opts.max_rounds || gov.round_limit_hit() {
+            exhaust!(TripReason::Rounds, target);
+        }
+        if let Err(reason) = gov.check() {
+            exhaust!(reason, target);
         }
     }
     stats.rounds = rounds;
@@ -305,12 +417,12 @@ pub fn exchange_with(
     stats.index_probes = lost.1 + tgt_p + (src_p - src_stats_before.1);
 
     let nulls_created = count_new_nulls(&nulls_before, &gen);
-    Ok(ExchangeResult {
+    Ok(ChaseOutcome::Complete(ExchangeResult {
         target,
         nulls_created,
         firings,
         stats,
-    })
+    }))
 }
 
 /// Semi-naive premise matching: every match of `atoms` over `inst`
@@ -360,8 +472,8 @@ fn chase_one_egd(
         let mut subst: BTreeMap<NullId, Value> = BTreeMap::new();
         'find: for m in match_conjunction_mode(&egd.lhs, &target, mode) {
             for (a, b) in &egd.equalities {
-                let va = a.eval(&m).expect("egd variables bound by body");
-                let vb = b.eval(&m).expect("egd variables bound by body");
+                let va = term_value(a, &m, egd)?;
+                let vb = term_value(b, &m, egd)?;
                 if va == vb {
                     continue;
                 }
@@ -422,26 +534,101 @@ pub fn enforce_egds_with(
     inst: &Instance,
     egds: &[dex_logic::Egd],
 ) -> Result<(Instance, EgdStats), ChaseError> {
+    match enforce_egds_governed(inst, egds, &Governor::unlimited())? {
+        EgdOutcome::Complete { instance, stats } => Ok((instance, stats)),
+        // Unreachable with an unlimited governor; collapse defensively.
+        EgdOutcome::Exhausted(e) => Err(ChaseError::Exhausted(Box::new(e))),
+    }
+}
+
+/// The outcome of a governed egd-enforcement run.
+#[derive(Clone, Debug)]
+#[allow(clippy::large_enum_variant)]
+pub enum EgdOutcome {
+    /// Reached the egd fixpoint within budget.
+    Complete {
+        /// The enforced instance.
+        instance: Instance,
+        /// Counters for the run.
+        stats: EgdStats,
+    },
+    /// A budget or cancellation stopped enforcement early. The partial
+    /// instance is a prefix of whole egd-enforcement steps (each step
+    /// chases one egd to its local fixpoint); its `stats` carry the
+    /// committed rounds and index counters.
+    Exhausted(Exhausted),
+}
+
+impl EgdOutcome {
+    /// Collapse into a plain `Result`, turning exhaustion into
+    /// [`ChaseError::Exhausted`].
+    pub fn into_result(self) -> Result<(Instance, EgdStats), ChaseError> {
+        match self {
+            EgdOutcome::Complete { instance, stats } => Ok((instance, stats)),
+            EgdOutcome::Exhausted(e) => Err(ChaseError::Exhausted(Box::new(e))),
+        }
+    }
+}
+
+/// Enforce egds under a resource budget and/or cancellation token.
+///
+/// Identical to [`enforce_egds_with`] on the untripped path. The
+/// governor is checked between egd steps (each step chases one egd to
+/// its local fixpoint, which always terminates: every merge eliminates
+/// a labeled null), so an exhausted run hands back an instance that is
+/// a valid prefix of the egd chase — some egds enforced, none applied
+/// halfway.
+pub fn enforce_egds_governed(
+    inst: &Instance,
+    egds: &[dex_logic::Egd],
+    gov: &Governor,
+) -> Result<EgdOutcome, ChaseError> {
     // The clone starts with zeroed index counters, so the instance's
     // final counters (plus those lost to substitutions) are exactly
     // this run's work.
     let mut target = inst.clone();
     let mut stats = EgdStats::default();
     let mut lost = (0u64, 0u64);
+    macro_rules! exhaust {
+        ($reason:expr) => {{
+            let (builds, probes) = target.index_stats();
+            return Ok(EgdOutcome::Exhausted(Exhausted {
+                report: gov.report($reason),
+                stats: ChaseStats {
+                    rounds: stats.rounds,
+                    index_builds: lost.0 + builds,
+                    index_probes: lost.1 + probes,
+                    ..ChaseStats::default()
+                },
+                partial: target,
+            }));
+        }};
+    }
     loop {
         let mut changed = false;
         for egd in egds {
+            if let Err(reason) = gov.check() {
+                exhaust!(reason);
+            }
             let (next, merges) = chase_one_egd(egd, target, MatchMode::default(), &mut lost)?;
             target = next;
             stats.merges += merges;
             changed |= merges > 0;
         }
-        stats.rounds += 1;
         if !changed {
+            stats.rounds += 1;
             let (builds, probes) = target.index_stats();
             stats.index_builds = lost.0 + builds;
             stats.index_probes = lost.1 + probes;
-            return Ok((target, stats));
+            return Ok(EgdOutcome::Complete {
+                instance: target,
+                stats,
+            });
+        }
+        stats.rounds += 1;
+        gov.note_round();
+        if gov.round_limit_hit() {
+            exhaust!(TripReason::Rounds);
         }
     }
 }
@@ -453,32 +640,92 @@ fn count_new_nulls(before: &NullGen, after: &NullGen) -> usize {
     (a.fresh_id().0 - b.fresh_id().0) as usize
 }
 
+/// Undo an uncommitted phase-2 round: the delta log holds exactly the
+/// tuples this round genuinely inserted (it was drained at round
+/// start), so removing them restores the round-start instance.
+fn rollback_round(target: &mut Instance) {
+    for (rel, tuples) in target.drain_deltas() {
+        for t in &tuples {
+            // The tuple was inserted this round into a known relation,
+            // so removal cannot fail; ignore the yes/no result.
+            let _ = target.remove(rel.as_str(), t);
+        }
+    }
+}
+
+/// Typed error for an rhs atom whose instantiation failed: name the
+/// first variable the (existential-extended) valuation does not bind.
+fn unbound_in_atom(atom: &Atom, v: &Valuation, tgd: &StTgd) -> ChaseError {
+    let var = atom
+        .variables()
+        .into_iter()
+        .find(|x| !v.contains_key(x))
+        .unwrap_or_else(|| Name::new("?"));
+    ChaseError::UnboundVariable {
+        var,
+        dependency: tgd.to_string(),
+    }
+}
+
+/// Evaluate one side of an egd equality under a premise match,
+/// surfacing a typed error (not a panic) when the equality mentions a
+/// variable the egd's premise never binds. Parse-time validation
+/// rejects such egds in `.dex` sources; this guards programmatically
+/// constructed ones.
+fn term_value(t: &Term, m: &Valuation, egd: &dex_logic::Egd) -> Result<Value, ChaseError> {
+    t.eval(m).ok_or_else(|| {
+        let mut vars = Vec::new();
+        t.collect_vars(&mut vars);
+        let var = vars
+            .into_iter()
+            .find(|x| !m.contains_key(x))
+            .unwrap_or_else(|| Name::new("?"));
+        ChaseError::UnboundVariable {
+            var,
+            dependency: egd.to_string(),
+        }
+    })
+}
+
 /// Fire one tgd for one frontier valuation: extend the valuation with
 /// fresh nulls for the existential variables and insert the rhs facts,
 /// batched per relation and logged as deltas for the semi-naive
-/// rounds.
+/// rounds. Consumption (fresh nulls, new tuples, approximate bytes) is
+/// accounted against `gov`; the budget itself is checked by the caller
+/// between firings, never mid-firing.
 fn fire(
     tgd: &StTgd,
     frontier: &Valuation,
     target: &mut Instance,
     gen: &mut NullGen,
+    gov: &Governor,
 ) -> Result<(), ChaseError> {
     let mut v = frontier.clone();
-    for y in tgd.existential_vars() {
+    let existentials = tgd.existential_vars();
+    gov.note_nulls(existentials.len());
+    for y in existentials {
         v.insert(y, gen.fresh());
     }
     let mut by_rel: BTreeMap<&Name, Vec<Tuple>> = BTreeMap::new();
     for atom in &tgd.rhs {
         let t = atom
             .instantiate(&v)
-            .expect("all rhs variables bound after existential extension");
+            .ok_or_else(|| unbound_in_atom(atom, &v, tgd))?;
         by_rel.entry(&atom.relation).or_default().push(t);
     }
+    // Fault-injection site: placed before any insertion, so an
+    // injected fault leaves the target instance unmodified.
+    dex_relational::fail_point!("chase.fire");
+    if gov.tracks_memory() {
+        let bytes: usize = by_rel.values().flatten().map(Tuple::approx_bytes).sum();
+        gov.note_bytes(bytes);
+    }
     for (rel, ts) in by_rel {
-        target
+        let added = target
             .relation_mut(rel.as_str())
             .ok_or_else(|| RelationalError::UnknownRelation(rel.clone()))?
             .extend_validated_delta(ts)?;
+        gov.note_tuples(added);
     }
     Ok(())
 }
@@ -782,7 +1029,16 @@ mod tests {
                 },
             )
             .unwrap_err();
-            assert!(matches!(err, ChaseError::StepLimitExceeded { .. }));
+            // The round limit no longer discards the work: the error
+            // carries the partial prefix and a consumption report.
+            match err {
+                ChaseError::Exhausted(e) => {
+                    assert_eq!(e.report.reason, TripReason::Rounds);
+                    assert_eq!(e.report.rounds_committed, 26, "trips past max_rounds");
+                    assert!(!e.partial.is_empty(), "partial prefix survives");
+                }
+                other => panic!("expected Exhausted, got {other:?}"),
+            }
         }
     }
 
@@ -993,5 +1249,261 @@ mod tests {
         let ms = matches_with(&[Atom::vars("Emp", &["x"])], &src, &Valuation::new());
         assert_eq!(ms.len(), 1);
         let _ = Schema::with_relations(vec![RelSchema::untyped("X", vec!["a"]).unwrap()]);
+    }
+
+    // ---- resource governance ----
+
+    use dex_relational::{Budget, CancelToken};
+
+    /// A mapping whose target chase never terminates: each round keeps
+    /// inventing one fresh null (S ping-pongs into itself).
+    fn ping_pong() -> (Mapping, Instance) {
+        let m = parse_mapping(
+            r#"
+            source R(a);
+            target S(a, b);
+            R(x) -> S(x, y);
+            S(x, y) -> S(y, z);
+            "#,
+        )
+        .unwrap();
+        let src = Instance::with_facts(m.source().clone(), vec![("R", vec![tuple!["v"]])]).unwrap();
+        (m, src)
+    }
+
+    fn expect_exhausted(outcome: ChaseOutcome) -> Exhausted {
+        match outcome {
+            ChaseOutcome::Exhausted(e) => e,
+            ChaseOutcome::Complete(_) => panic!("expected an exhausted outcome"),
+        }
+    }
+
+    #[test]
+    fn untripped_governed_run_equals_ungoverned() {
+        let m = example1_mapping();
+        let src = emp_instance(&["Alice", "Bob", "Carol"]);
+        let plain = exchange(&m, &src).unwrap();
+        let gov = Governor::new(
+            Budget::unlimited()
+                .with_max_rounds(1_000)
+                .with_max_tuples(1_000)
+                .with_max_nulls(1_000)
+                .with_deadline(std::time::Duration::from_secs(60)),
+        );
+        let governed = match exchange_governed(&m, &src, ChaseOptions::default(), &gov).unwrap() {
+            ChaseOutcome::Complete(r) => r,
+            ChaseOutcome::Exhausted(e) => panic!("generous budget tripped: {}", e.report),
+        };
+        assert_eq!(plain.target, governed.target);
+        assert_eq!(plain.firings, governed.firings);
+        assert_eq!(plain.nulls_created, governed.nulls_created);
+        assert_eq!(plain.stats, governed.stats);
+    }
+
+    /// Each single budget dimension stops the non-terminating chase
+    /// with its own trip reason and a non-empty, well-formed partial.
+    #[test]
+    fn every_budget_dimension_trips_ping_pong() {
+        let budgets = [
+            (
+                Budget::unlimited().with_deadline(std::time::Duration::from_millis(30)),
+                TripReason::Deadline,
+            ),
+            (Budget::unlimited().with_max_rounds(8), TripReason::Rounds),
+            (Budget::unlimited().with_max_tuples(7), TripReason::Tuples),
+            (Budget::unlimited().with_max_nulls(5), TripReason::Nulls),
+            (Budget::unlimited().with_max_memory(600), TripReason::Memory),
+        ];
+        let (m, src) = ping_pong();
+        for (budget, want) in budgets {
+            let gov = Governor::new(budget);
+            let e = expect_exhausted(
+                exchange_governed(&m, &src, ChaseOptions::default(), &gov).unwrap(),
+            );
+            assert_eq!(e.report.reason, want);
+            assert!(!e.partial.is_empty(), "{want:?}: partial survives");
+            // Well-formed: every fact chains off the original source
+            // value through labeled nulls (arity checked on insert).
+            assert!(!e.partial.relation("S").unwrap().is_empty());
+            assert_eq!(e.stats.rounds as u64, e.report.rounds_committed);
+        }
+    }
+
+    /// The replay property pinning down "valid chase prefix": a run
+    /// tripped mid-flight by a tuple budget at R committed rounds
+    /// hands back *exactly* the instance a rounds-budget run capped at
+    /// R-1 produces — i.e. the partial is a genuine round boundary.
+    #[test]
+    fn tripped_partial_replays_as_round_boundary() {
+        let (m, src) = ping_pong();
+        let gov = Governor::new(Budget::unlimited().with_max_tuples(7));
+        let e =
+            expect_exhausted(exchange_governed(&m, &src, ChaseOptions::default(), &gov).unwrap());
+        assert_eq!(e.report.reason, TripReason::Tuples);
+        let r = e.report.rounds_committed;
+        assert!(r >= 1, "budget chosen to survive past round 1");
+
+        let replay_gov = Governor::new(Budget::unlimited().with_max_rounds(r - 1));
+        let replay = expect_exhausted(
+            exchange_governed(&m, &src, ChaseOptions::default(), &replay_gov).unwrap(),
+        );
+        assert_eq!(replay.report.reason, TripReason::Rounds);
+        assert_eq!(replay.report.rounds_committed, r);
+        assert_eq!(replay.partial, e.partial, "same committed boundary");
+
+        // And the legacy options-based round limit agrees too.
+        let opts = ChaseOptions {
+            max_rounds: (r - 1) as usize,
+            ..Default::default()
+        };
+        match exchange_with(&m, &src, opts).unwrap_err() {
+            ChaseError::Exhausted(legacy) => assert_eq!(legacy.partial, e.partial),
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+    }
+
+    /// A phase-1 trip hands back a strict prefix of the full phase-1
+    /// output: a subinstance of the untripped target.
+    #[test]
+    fn phase1_trip_partial_is_subinstance() {
+        let m = example1_mapping();
+        let src = emp_instance(&["Alice", "Bob", "Carol", "Dave"]);
+        let full = exchange(&m, &src).unwrap();
+        let gov = Governor::new(Budget::unlimited().with_max_tuples(1));
+        let e =
+            expect_exhausted(exchange_governed(&m, &src, ChaseOptions::default(), &gov).unwrap());
+        assert_eq!(e.report.reason, TripReason::Tuples);
+        assert_eq!(e.report.rounds_committed, 0);
+        assert!(e.partial.fact_count() < full.target.fact_count());
+        assert!(
+            e.partial.is_subinstance_of(&full.target),
+            "phase-1 prefix: same firing order, same null allocation"
+        );
+    }
+
+    /// Phase-2 partials are egd-enforced: trips happen only at round
+    /// boundaries (after that round's egds), so target keys hold on
+    /// the partial even though the chase was cut short.
+    #[test]
+    fn tripped_partial_satisfies_target_egds() {
+        let m = parse_mapping(
+            r#"
+            source E1(name);
+            source E2(name);
+            target Manager(emp, mgr);
+            target Peer(mgr);
+            key Manager(emp);
+            E1(x) -> Manager(x, y);
+            E2(x) -> Manager(x, y);
+            Manager(x, y) -> Peer(y);
+            "#,
+        )
+        .unwrap();
+        let src = Instance::with_facts(
+            m.source().clone(),
+            vec![
+                ("E1", vec![tuple!["Alice"], tuple!["Bob"]]),
+                ("E2", vec![tuple!["Alice"], tuple!["Carol"]]),
+            ],
+        )
+        .unwrap();
+        let opts = ChaseOptions {
+            variant: ChaseVariant::Oblivious,
+            ..Default::default()
+        };
+        let gov = Governor::new(Budget::unlimited().with_max_rounds(1));
+        match exchange_governed(&m, &src, opts, &gov).unwrap() {
+            ChaseOutcome::Exhausted(e) => {
+                for egd in m.target_egds() {
+                    assert!(egd.satisfied_by(&e.partial), "partial violates {egd}");
+                }
+            }
+            // The mapping terminates quickly; if it fits in the budget
+            // the complete result trivially satisfies the egds.
+            ChaseOutcome::Complete(r) => {
+                assert!(m.target_egds().iter().all(|e| e.satisfied_by(&r.target)));
+            }
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_any_work() {
+        let (m, src) = ping_pong();
+        let token = CancelToken::new();
+        token.cancel();
+        let gov = Governor::unlimited().with_cancel(token);
+        let e =
+            expect_exhausted(exchange_governed(&m, &src, ChaseOptions::default(), &gov).unwrap());
+        assert_eq!(e.report.reason, TripReason::Cancelled);
+        assert!(e.partial.is_empty(), "cancelled before the first firing");
+        assert_eq!(e.report.tuples_derived, 0);
+    }
+
+    #[test]
+    fn cancellation_from_another_thread_stops_the_chase() {
+        let (m, src) = ping_pong();
+        let token = CancelToken::new();
+        let gov = Governor::unlimited().with_cancel(token.clone());
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            token.cancel();
+        });
+        // Without the token this chase never terminates.
+        let e =
+            expect_exhausted(exchange_governed(&m, &src, ChaseOptions::default(), &gov).unwrap());
+        canceller.join().expect("canceller thread panicked");
+        assert_eq!(e.report.reason, TripReason::Cancelled);
+        assert!(!e.partial.is_empty());
+    }
+
+    #[test]
+    fn governed_egd_enforcement_trips_on_rounds() {
+        // Chain of keyed relations so enforcement takes several merges.
+        let m = parse_mapping(
+            r#"
+            source E1(name);
+            source E2(name);
+            target Manager(emp, mgr);
+            key Manager(emp);
+            E1(x) -> Manager(x, y);
+            E2(x) -> Manager(x, y);
+            "#,
+        )
+        .unwrap();
+        let mut src = Instance::empty(m.source().clone());
+        src.insert("E1", tuple!["Alice"]).unwrap();
+        src.insert("E2", tuple!["Alice"]).unwrap();
+        let res = exchange_with(
+            &m,
+            &src,
+            ChaseOptions {
+                variant: ChaseVariant::Oblivious,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+        // Re-enforcing on the solved instance completes in one round.
+        let gov = Governor::new(Budget::unlimited().with_max_rounds(5));
+        match enforce_egds_governed(&res.target, mapping_egds(&m), &gov).unwrap() {
+            EgdOutcome::Complete { instance, .. } => assert_eq!(instance, res.target),
+            EgdOutcome::Exhausted(e) => panic!("unexpected trip: {}", e.report),
+        }
+
+        // A pre-cancelled token exhausts before touching anything.
+        let token = CancelToken::new();
+        token.cancel();
+        let gov = Governor::unlimited().with_cancel(token);
+        match enforce_egds_governed(&res.target, mapping_egds(&m), &gov).unwrap() {
+            EgdOutcome::Exhausted(e) => {
+                assert_eq!(e.report.reason, TripReason::Cancelled);
+                assert_eq!(e.partial, res.target, "inputs untouched");
+            }
+            EgdOutcome::Complete { .. } => panic!("cancelled run completed"),
+        }
+    }
+
+    fn mapping_egds(m: &Mapping) -> &[dex_logic::Egd] {
+        m.target_egds()
     }
 }

@@ -13,16 +13,37 @@
 //! of chase results efficiently.
 
 use dex_relational::homomorphism::Homomorphism;
-use dex_relational::{Instance, Tuple, Value};
+use dex_relational::{ExhaustionReport, Governor, Instance, TripReason, Tuple, Value};
 use std::collections::BTreeSet;
 
 /// Compute the core of `inst`.
 pub fn core_of(inst: &Instance) -> Instance {
+    core_of_governed(inst, &Governor::unlimited()).0
+}
+
+/// Core computation under a resource budget. Returns the minimized
+/// instance plus `Some(report)` when a budget or cancellation stopped
+/// minimization early.
+///
+/// Every intermediate state is the image of the input under an
+/// endomorphism, so a tripped run still hands back an instance
+/// homomorphically equivalent to the input — a universal solution that
+/// is merely not yet minimal (an "anytime" result). Checks happen
+/// between endomorphism probes; each accepted fold counts as one
+/// committed round against the budget's `max_rounds`.
+pub fn core_of_governed(inst: &Instance, gov: &Governor) -> (Instance, Option<ExhaustionReport>) {
     let mut current = inst.clone();
     loop {
-        match find_proper_endomorphism(&current) {
-            Some(image) => current = image,
-            None => return current,
+        match find_proper_endomorphism_governed(&current, gov) {
+            Ok(Some(image)) => {
+                current = image;
+                gov.note_round();
+                if gov.round_limit_hit() {
+                    return (current, Some(gov.report(TripReason::Rounds)));
+                }
+            }
+            Ok(None) => return (current, None),
+            Err(reason) => return (current, Some(gov.report(reason))),
         }
     }
 }
@@ -38,11 +59,17 @@ fn image_of(inst: &Instance, h: &Homomorphism) -> Instance {
     out
 }
 
-/// Search for an endomorphism whose image has strictly fewer facts.
-fn find_proper_endomorphism(inst: &Instance) -> Option<Instance> {
+/// Search for an endomorphism whose image has strictly fewer facts,
+/// checking the governor between seeded probes (each probe is a
+/// worst-case exponential backtracking search, but an atomic read-only
+/// step — trips between probes leave the instance untouched).
+fn find_proper_endomorphism_governed(
+    inst: &Instance,
+    gov: &Governor,
+) -> Result<Option<Instance>, TripReason> {
     let nulls = inst.nulls();
     if nulls.is_empty() {
-        return None; // ground instances are their own core
+        return Ok(None); // ground instances are their own core
     }
     // Candidate images for a null: every value of the instance.
     let mut values: BTreeSet<Value> = BTreeSet::new();
@@ -58,17 +85,18 @@ fn find_proper_endomorphism(inst: &Instance) -> Option<Instance> {
             if v == &nv {
                 continue;
             }
+            gov.check()?;
             let mut seed = Homomorphism::new();
             seed.bind(&nv, v);
             if let Some(h) = extend_endomorphism(inst, seed) {
                 let img = image_of(inst, &h);
                 if img.fact_count() < total {
-                    return Some(img);
+                    return Ok(Some(img));
                 }
             }
         }
     }
-    None
+    Ok(None)
 }
 
 /// Extend a seeded partial mapping to a full endomorphism `inst → inst`,

@@ -1,6 +1,7 @@
 //! Chase failure modes.
 
-use dex_relational::RelationalError;
+use crate::chase::Exhausted;
+use dex_relational::{Name, RelationalError};
 use std::fmt;
 
 /// Errors raised while chasing.
@@ -16,11 +17,23 @@ pub enum ChaseError {
         /// Second constant.
         right: String,
     },
-    /// The target-dependency chase did not reach a fixpoint within the
-    /// step budget (possible for non-weakly-acyclic dependencies).
-    StepLimitExceeded {
-        /// The configured limit.
-        limit: usize,
+    /// A resource budget (rounds, deadline, tuples, nulls, memory) or a
+    /// cancellation stopped the chase before fixpoint. Raised by the
+    /// `Result`-only entry points ([`crate::exchange_with`] and
+    /// friends), which have no room for a partial outcome; the governed
+    /// entry points ([`crate::exchange_governed`]) return the boxed
+    /// [`Exhausted`] value — partial instance plus report — directly,
+    /// so callers can keep the consistent prefix.
+    Exhausted(Box<Exhausted>),
+    /// A dependency used a variable in its conclusion (or an egd in its
+    /// equalities) that its premise never binds. Caught at parse time
+    /// for `.dex` sources; reachable for programmatically constructed
+    /// dependencies.
+    UnboundVariable {
+        /// The unbound variable.
+        var: Name,
+        /// The dependency being fired, in display form.
+        dependency: String,
     },
     /// An underlying relational error (arity/type violations etc.).
     Relational(RelationalError),
@@ -33,12 +46,11 @@ impl fmt::Display for ChaseError {
                 f,
                 "chase failed: egd `{egd}` forces distinct constants {left} = {right}"
             ),
-            ChaseError::StepLimitExceeded { limit } => {
-                write!(
-                    f,
-                    "chase exceeded {limit} steps without reaching a fixpoint"
-                )
-            }
+            ChaseError::Exhausted(e) => write!(f, "chase stopped: {}", e.report),
+            ChaseError::UnboundVariable { var, dependency } => write!(
+                f,
+                "variable `{var}` is not bound by the premise of `{dependency}`"
+            ),
             ChaseError::Relational(e) => write!(f, "{e}"),
         }
     }
@@ -58,13 +70,16 @@ mod tests {
 
     #[test]
     fn display() {
-        let e = ChaseError::StepLimitExceeded { limit: 10 };
-        assert!(e.to_string().contains("10 steps"));
         let e = ChaseError::EgdFailure {
             egd: "E".into(),
             left: "a".into(),
             right: "b".into(),
         };
         assert!(e.to_string().contains("a = b"));
+        let e = ChaseError::UnboundVariable {
+            var: Name::new("z"),
+            dependency: "R(x) -> S(z)".into(),
+        };
+        assert!(e.to_string().contains("`z`"));
     }
 }

@@ -24,13 +24,17 @@ pub mod sochase;
 pub mod termination;
 
 pub use chase::{
-    enforce_egds, enforce_egds_with, exchange, exchange_with, ChaseOptions, ChaseStats,
-    ChaseVariant, EgdStats, ExchangeResult, Matcher,
+    enforce_egds, enforce_egds_governed, enforce_egds_with, exchange, exchange_governed,
+    exchange_with, ChaseOptions, ChaseOutcome, ChaseStats, ChaseVariant, EgdOutcome, EgdStats,
+    ExchangeResult, Exhausted, Matcher,
 };
-pub use core_min::core_of;
+pub use core_min::{core_of, core_of_governed};
 pub use error::ChaseError;
-pub use query::{certain_answers, ConjunctiveQuery, UnionQuery};
-pub use sochase::so_exchange;
+pub use query::{certain_answers, certain_answers_governed, ConjunctiveQuery, UnionQuery};
+pub use sochase::{so_exchange, so_exchange_governed, SoOutcome};
+// Governance vocabulary, re-exported so downstream crates can build
+// budgets without depending on dex-relational directly.
+pub use dex_relational::{Budget, CancelToken, ExhaustionReport, Governor, TripReason};
 pub use termination::{
     classify_termination, is_jointly_acyclic, is_weakly_acyclic, verify_witness,
     weak_acyclicity_witness, CycleWitness, DepEdge, Position, TerminationClass, TerminationReport,

@@ -6,9 +6,9 @@
 //! naive evaluation — evaluate over a universal solution and discard any
 //! answer tuple containing a labeled null.
 
-use dex_logic::eval::match_conjunction;
+use dex_logic::eval::{for_each_match_mode, match_conjunction, MatchMode, Valuation};
 use dex_logic::Atom;
-use dex_relational::{Instance, Name, RelationalError, Schema, Tuple};
+use dex_relational::{ExhaustionReport, Governor, Instance, Name, RelationalError, Schema, Tuple};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -121,6 +121,46 @@ pub fn certain_answers_union(q: &UnionQuery, universal_solution: &Instance) -> B
         .into_iter()
         .filter(Tuple::is_ground)
         .collect()
+}
+
+/// Certain answers under a resource budget: naive evaluation that
+/// checks the governor between body matches (each enumerated match
+/// also counts one tuple of consumption). Returns the certain answers
+/// accumulated so far, plus `Some(report)` when a budget or
+/// cancellation stopped the enumeration early — in which case the set
+/// is a sound *subset* of the certain answers (every returned tuple is
+/// certain; some may be missing). `None` means the evaluation ran to
+/// completion and the set is exact.
+pub fn certain_answers_governed(
+    q: &ConjunctiveQuery,
+    universal_solution: &Instance,
+    gov: &Governor,
+) -> (BTreeSet<Tuple>, Option<ExhaustionReport>) {
+    let mut out = BTreeSet::new();
+    let mut tripped = None;
+    for_each_match_mode(
+        &q.body,
+        universal_solution,
+        &Valuation::new(),
+        MatchMode::default(),
+        &mut |m| {
+            if let Err(reason) = gov.check() {
+                tripped = Some(gov.report(reason));
+                return true; // stop the enumeration
+            }
+            gov.note_tuples(1);
+            let t: Tuple = q
+                .head
+                .iter()
+                .map(|h| m[h.as_str()].clone())
+                .collect::<Tuple>();
+            if t.is_ground() {
+                out.insert(t);
+            }
+            false
+        },
+    );
+    (out, tripped)
 }
 
 #[cfg(test)]

@@ -7,10 +7,11 @@
 //! evaluated syntactically over these terms — `f(Alice)` equals only
 //! `f(Alice)` — which yields the canonical (most-general) solution.
 
+use crate::chase::{ChaseStats, Exhausted};
 use crate::error::ChaseError;
 use dex_logic::eval::match_conjunction;
 use dex_logic::SoTgd;
-use dex_relational::{Instance, Schema};
+use dex_relational::{Governor, Instance, Schema};
 
 /// Materialize the canonical target instance of `src` under an SO-tgd.
 ///
@@ -22,9 +23,44 @@ pub fn so_exchange(
     target_schema: &Schema,
     src: &Instance,
 ) -> Result<Instance, ChaseError> {
+    match so_exchange_governed(sotgd, target_schema, src, &Governor::unlimited())? {
+        SoOutcome::Complete(inst) => Ok(inst),
+        // Unreachable with an unlimited governor; collapse defensively.
+        SoOutcome::Exhausted(e) => Err(ChaseError::Exhausted(Box::new(e))),
+    }
+}
+
+/// The outcome of a governed SO-tgd chase.
+#[derive(Clone, Debug)]
+#[allow(clippy::large_enum_variant)]
+pub enum SoOutcome {
+    /// The single-pass SO chase ran to completion.
+    Complete(Instance),
+    /// A budget or cancellation stopped the pass early; the partial
+    /// holds the facts of a prefix of whole clause-match firings.
+    Exhausted(Exhausted),
+}
+
+/// Like [`so_exchange`], but checks a [`Governor`] between clause-match
+/// firings: a trip hands back the facts inserted so far (each firing
+/// inserts all rhs atoms of one matched clause before the next check,
+/// so the partial is a prefix of whole firings).
+pub fn so_exchange_governed(
+    sotgd: &SoTgd,
+    target_schema: &Schema,
+    src: &Instance,
+    gov: &Governor,
+) -> Result<SoOutcome, ChaseError> {
     let mut target = Instance::empty(target_schema.clone());
     for clause in &sotgd.clauses {
         for m in match_conjunction(&clause.lhs_atoms, src) {
+            if let Err(reason) = gov.check() {
+                return Ok(SoOutcome::Exhausted(Exhausted {
+                    partial: target,
+                    report: gov.report(reason),
+                    stats: ChaseStats::default(),
+                }));
+            }
             // Left-hand equalities: evaluate with Skolem-term semantics.
             let mut eqs_hold = true;
             for (a, b) in &clause.lhs_eqs {
@@ -38,17 +74,21 @@ pub fn so_exchange(
             if !eqs_hold {
                 continue;
             }
+            let mut inserted = 0usize;
             for atom in &clause.rhs_atoms {
                 let t = atom.instantiate(&m).ok_or_else(|| {
                     ChaseError::Relational(dex_relational::RelationalError::EvalError(format!(
                         "SO-tgd rhs atom {atom} has variables not bound by the clause body"
                     )))
                 })?;
-                target.insert(atom.relation.as_str(), t)?;
+                if target.insert(atom.relation.as_str(), t)? {
+                    inserted += 1;
+                }
             }
+            gov.note_tuples(inserted);
         }
     }
-    Ok(target)
+    Ok(SoOutcome::Complete(target))
 }
 
 #[cfg(test)]

@@ -4,9 +4,30 @@ use crate::error::CoreError;
 use crate::template::MappingTemplate;
 use dex_lens::edit::Delta;
 use dex_lens::SymLens;
-use dex_relational::{Instance, Relation};
+use dex_relational::{ExhaustionReport, Governor, Instance, Relation};
 use dex_rellens::{Environment, InstanceLens};
 use std::time::{Duration, Instant};
+
+/// The outcome of a governed forward pass
+/// ([`Engine::forward_governed`]).
+#[derive(Debug)]
+pub enum EngineForward {
+    /// The forward pass ran to completion within budget.
+    Complete {
+        /// The materialized target.
+        target: Instance,
+        /// Per-relation and egd statistics.
+        stats: ForwardStats,
+    },
+    /// A budget or cancellation stopped the pass early.
+    Exhausted {
+        /// The target built so far (a prefix of whole relation passes,
+        /// possibly with egds not yet enforced).
+        partial: Instance,
+        /// Which budget tripped and the consumption so far.
+        report: ExhaustionReport,
+    },
+}
 
 /// An executable bidirectional data-exchange engine.
 ///
@@ -83,6 +104,32 @@ impl Engine {
         src: &Instance,
         prev_target: Option<&Instance>,
     ) -> Result<(Instance, ForwardStats), CoreError> {
+        match self.forward_governed(src, prev_target, &Governor::unlimited())? {
+            EngineForward::Complete { target, stats } => Ok((target, stats)),
+            // Unreachable with an unlimited governor.
+            EngineForward::Exhausted { report, .. } => Err(CoreError::Chase(
+                dex_chase::ChaseError::Exhausted(Box::new(dex_chase::Exhausted {
+                    partial: Instance::empty(self.template.target.clone()),
+                    report,
+                    stats: Default::default(),
+                })),
+            )),
+        }
+    }
+
+    /// [`Engine::forward_with_stats`] under a resource budget and/or
+    /// cancellation token. The governor is checked between per-relation
+    /// lens passes (each pass is get + put for one target relation, an
+    /// atomic step) and threaded through the final egd enforcement. A
+    /// trip hands back the target built so far: a consistent prefix of
+    /// whole relation passes — with egds possibly not yet enforced, as
+    /// the report's trip point records.
+    pub fn forward_governed(
+        &self,
+        src: &Instance,
+        prev_target: Option<&Instance>,
+        gov: &Governor,
+    ) -> Result<EngineForward, CoreError> {
         let mut tgt = match prev_target {
             Some(t) => t.clone(),
             None => Instance::empty(self.template.target.clone()),
@@ -90,9 +137,16 @@ impl Engine {
         let mut stats = ForwardStats::default();
         for ((rel, s_lens), (_, t_lens)) in self.source_lenses.iter().zip(self.target_lenses.iter())
         {
+            if let Err(reason) = gov.check() {
+                return Ok(EngineForward::Exhausted {
+                    partial: tgt,
+                    report: gov.report(reason),
+                });
+            }
             let t0 = Instant::now();
             let view: Relation = s_lens.try_get(src)?;
             let get_time = t0.elapsed();
+            gov.note_tuples(view.len());
             let t1 = Instant::now();
             tgt = t_lens.try_put(&view, &tgt)?;
             let put_time = t1.elapsed();
@@ -105,16 +159,27 @@ impl Engine {
         }
         if !self.template.target_egds.is_empty() {
             let t0 = Instant::now();
-            let (fixed, egd_stats) =
-                dex_chase::enforce_egds_with(&tgt, &self.template.target_egds)?;
-            tgt = fixed;
-            stats.egd_time = t0.elapsed();
-            stats.egd_rounds = egd_stats.rounds;
-            stats.egd_merges = egd_stats.merges;
-            stats.index_builds += egd_stats.index_builds;
-            stats.index_probes += egd_stats.index_probes;
+            match dex_chase::enforce_egds_governed(&tgt, &self.template.target_egds, gov)? {
+                dex_chase::EgdOutcome::Complete {
+                    instance,
+                    stats: egd_stats,
+                } => {
+                    tgt = instance;
+                    stats.egd_time = t0.elapsed();
+                    stats.egd_rounds = egd_stats.rounds;
+                    stats.egd_merges = egd_stats.merges;
+                    stats.index_builds += egd_stats.index_builds;
+                    stats.index_probes += egd_stats.index_probes;
+                }
+                dex_chase::EgdOutcome::Exhausted(e) => {
+                    return Ok(EngineForward::Exhausted {
+                        partial: e.partial,
+                        report: e.report,
+                    });
+                }
+            }
         }
-        Ok((tgt, stats))
+        Ok(EngineForward::Complete { target: tgt, stats })
     }
 
     /// Propagate an edited target back to the source. Per-relation lens

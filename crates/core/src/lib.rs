@@ -39,7 +39,7 @@ pub mod precheck;
 pub mod template;
 
 pub use compiler::compile;
-pub use engine::{Engine, EngineSymLens, ForwardStats, RelationStats};
+pub use engine::{Engine, EngineForward, EngineSymLens, ForwardStats, RelationStats};
 pub use error::CoreError;
 pub use precheck::{precheck, PrecheckReason, PrecheckReport};
 pub use template::{

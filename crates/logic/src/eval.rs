@@ -73,6 +73,27 @@ pub fn extend_matches_mode(
     out
 }
 
+/// Stream every extension of `partial` satisfying the conjunction to
+/// `emit`; returning `true` from `emit` stops the enumeration early.
+/// Returns whether the enumeration was stopped.
+///
+/// This is the streaming primitive behind [`extend_matches_mode`] and
+/// [`has_match_mode`]. Governed callers use it to check resource
+/// budgets between matches without materializing the full match set
+/// first.
+pub fn for_each_match_mode(
+    atoms: &[Atom],
+    inst: &Instance,
+    partial: &Valuation,
+    mode: MatchMode,
+    emit: &mut dyn FnMut(&Valuation) -> bool,
+) -> bool {
+    let mut remaining: Vec<&Atom> = atoms.iter().collect();
+    let mut v = partial.clone();
+    let mut undo = Vec::new();
+    search(&mut remaining, inst, &mut v, &mut undo, mode, emit)
+}
+
 /// Does at least one extension of `partial` satisfy the conjunction?
 /// Stops at the first witness.
 pub fn has_match(atoms: &[Atom], inst: &Instance, partial: &Valuation) -> bool {

@@ -27,6 +27,14 @@
 //! Takes(x, y) -> Student(z, x) & Assgn(x, y);
 //! ```
 
+// The parser is the boundary where untrusted bytes enter the system:
+// every failure on malformed input must surface as a `ParseError`, never
+// a panic. The lints below make that a compile-time guarantee (the test
+// module opts back out — panicking on a failed assertion is the point).
+#![deny(clippy::unwrap_used)]
+#![deny(clippy::expect_used)]
+#![deny(clippy::panic)]
+
 use crate::atom::Atom;
 use crate::mapping::Mapping;
 use crate::span::{SourceMap, Span};
@@ -602,14 +610,17 @@ pub fn parse_tgd(input: &str) -> Result<StTgd, ParseError> {
     }
     let toks = tokenize(&input)?;
     let mut p = Parser { toks, pos: 0 };
-    let d = p.rule()?;
+    let mut d = p.rule()?;
     if d.disjuncts.len() != 1 {
         return Err(p.err("expected a non-disjunctive tgd"));
     }
     if p.peek().tok != Tok::Eof {
         return Err(p.err("trailing input after rule"));
     }
-    Ok(StTgd::new(d.lhs, d.disjuncts.into_iter().next().unwrap()))
+    let Some(rhs) = d.disjuncts.pop() else {
+        return Err(p.err("rule has no right-hand side"));
+    };
+    Ok(StTgd::new(d.lhs, rhs))
 }
 
 /// Parse a disjunctive tgd rule like `Parent(x,y) -> Father(x,y) | Mother(x,y);`.
@@ -737,17 +748,17 @@ pub fn parse_mapping_with_spans(input: &str) -> Result<(Mapping, SourceMap), Par
     // Apply key declarations: FD on the schema + an egd if on the target.
     let mut target_egds: Vec<(Egd, Span)> = Vec::new();
     for (rel, attrs, span) in keys {
-        let (schema, is_target) = if target.relation(&rel).is_some() {
-            (&mut target, true)
-        } else if source.relation(&rel).is_some() {
-            (&mut source, false)
+        let (is_target, rs) = if let Some(rs) = target.relation(&rel) {
+            (true, rs.clone())
+        } else if let Some(rs) = source.relation(&rel) {
+            (false, rs.clone())
         } else {
             return Err(ParseError::at(
                 span,
                 format!("key declared on unknown relation `{rel}`"),
             ));
         };
-        let rs = schema.relation(&rel).unwrap().clone();
+        let schema = if is_target { &mut target } else { &mut source };
         let arity = rs.arity();
         let key_positions: Vec<usize> = attrs
             .iter()
@@ -803,14 +814,17 @@ pub fn parse_mapping_with_spans(input: &str) -> Result<(Mapping, SourceMap), Par
     // unknown-relation errors point at the offending rule.
     let mut st_tgds: Vec<(StTgd, Span)> = Vec::new();
     let mut target_tgds: Vec<(StTgd, Span)> = Vec::new();
-    for (r, span) in rules {
+    for (mut r, span) in rules {
         if r.disjuncts.len() != 1 {
             return Err(ParseError::at(
                 span,
                 format!("disjunctive rule `{r}` not allowed in a mapping file"),
             ));
         }
-        let tgd = StTgd::new(r.lhs, r.disjuncts.into_iter().next().unwrap());
+        let Some(rhs) = r.disjuncts.pop() else {
+            return Err(ParseError::at(span, "rule has no right-hand side"));
+        };
+        let tgd = StTgd::new(r.lhs, rhs);
         let lhs_all_target = tgd
             .lhs
             .iter()
@@ -846,6 +860,7 @@ pub fn parse_mapping_with_spans(input: &str) -> Result<(Mapping, SourceMap), Par
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 

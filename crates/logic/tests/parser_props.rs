@@ -86,4 +86,56 @@ proptest! {
         let _ = parse_tgd(&s);
         let _ = dex_logic::parse_mapping(&s);
     }
+
+    /// Near-miss fuzzing: single-character corruptions of a valid
+    /// mapping file hit the parser's error paths (unbalanced parens,
+    /// truncated rules, stray operators) much more often than uniform
+    /// garbage does; none of them may panic.
+    #[test]
+    fn parser_total_on_near_miss_mappings(
+        pos in 0usize..WELL_FORMED_LEN,
+        op in 0u8..4,
+        ch in "\\PC",
+    ) {
+        let mutated = mutate(WELL_FORMED, pos, op, &ch);
+        let _ = dex_logic::parse_mapping(&mutated);
+        let _ = dex_logic::parse_mapping_with_spans(&mutated);
+    }
+}
+
+/// A representative well-formed mapping exercising every declaration
+/// form (source/target/key), egds, comments, and a multi-atom rule.
+const WELL_FORMED: &str = "\
+source Takes(name, course); -- comment\n\
+target Student(id, name);\n\
+target Assgn(name, course);\n\
+key Student(id);\n\
+Takes(x, y) -> Student(z, x) & Assgn(x, y);\n\
+Student(i, n) & Student(i, m) -> n = m;\n";
+
+const WELL_FORMED_LEN: usize = 190; // ≥ WELL_FORMED.len(), positions clamp
+
+/// Apply one small corruption at (roughly) byte `pos`: delete, insert,
+/// replace, or truncate.
+fn mutate(base: &str, pos: usize, op: u8, ch: &str) -> String {
+    // Snap to the nearest char boundary at or below `pos`.
+    let mut at = pos.min(base.len());
+    while !base.is_char_boundary(at) {
+        at -= 1;
+    }
+    let (head, tail) = base.split_at(at);
+    match op {
+        0 => {
+            // delete one char
+            let rest: String = tail.chars().skip(1).collect();
+            format!("{head}{rest}")
+        }
+        1 => format!("{head}{ch}{tail}"), // insert
+        2 => {
+            // replace one char
+            let rest: String = tail.chars().skip(1).collect();
+            format!("{head}{ch}{rest}")
+        }
+        _ => head.to_string(), // truncate
+    }
 }

@@ -16,10 +16,10 @@
 //!   different sources with homomorphically equivalent solution spaces.
 
 use crate::error::OpsError;
-use dex_chase::exchange;
+use dex_chase::{exchange, exchange_governed, ChaseOptions, ChaseOutcome};
 use dex_logic::{Atom, DisjTgd, Mapping, Term};
 use dex_relational::homomorphism::homomorphically_equivalent;
-use dex_relational::{Instance, Name};
+use dex_relational::{ExhaustionReport, Governor, Instance, Name};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -188,6 +188,31 @@ pub fn is_recovery_witness(m: &Mapping, candidate: &MaxRecovery, samples: &[Inst
     })
 }
 
+/// [`is_recovery_witness`] with the nested chases run under a shared
+/// [`Governor`]. When a budget or cancellation trips one of the nested
+/// exchanges the property is *undecided* — the partial solution says
+/// nothing about recovery — so the report is surfaced as `Err` instead
+/// of guessing either way.
+pub fn is_recovery_witness_governed(
+    m: &Mapping,
+    candidate: &MaxRecovery,
+    samples: &[Instance],
+    gov: &Governor,
+) -> Result<bool, ExhaustionReport> {
+    for i in samples {
+        match exchange_governed(m, i, ChaseOptions::default(), gov) {
+            Ok(ChaseOutcome::Complete(res)) => {
+                if !candidate.satisfied_by(&res.target, i) {
+                    return Ok(false);
+                }
+            }
+            Ok(ChaseOutcome::Exhausted(e)) => return Err(e.report),
+            Err(_) => {} // failed exchanges have no solutions to recover
+        }
+    }
+    Ok(true)
+}
+
 /// Fagin-non-invertibility witness: two *different* source instances
 /// whose canonical universal solutions are homomorphically equivalent
 /// (hence with identical solution spaces). If this returns `true`, no
@@ -200,6 +225,30 @@ pub fn not_invertible_witness(m: &Mapping, i1: &Instance, i2: &Instance) -> bool
         return false;
     };
     homomorphically_equivalent(&j1.target, &j2.target)
+}
+
+/// [`not_invertible_witness`] with the two nested chases run under a
+/// shared [`Governor`]. `Err` carries the exhaustion report when a
+/// budget tripped before both canonical solutions were materialized
+/// (the witness is then undecided).
+pub fn not_invertible_witness_governed(
+    m: &Mapping,
+    i1: &Instance,
+    i2: &Instance,
+    gov: &Governor,
+) -> Result<bool, ExhaustionReport> {
+    if i1 == i2 {
+        return Ok(false);
+    }
+    let mut solutions = Vec::with_capacity(2);
+    for i in [i1, i2] {
+        match exchange_governed(m, i, ChaseOptions::default(), gov) {
+            Ok(ChaseOutcome::Complete(res)) => solutions.push(res.target),
+            Ok(ChaseOutcome::Exhausted(e)) => return Err(e.report),
+            Err(_) => return Ok(false),
+        }
+    }
+    Ok(homomorphically_equivalent(&solutions[0], &solutions[1]))
 }
 
 #[cfg(test)]

@@ -25,4 +25,7 @@ pub mod inverse;
 
 pub use compose::{compose, Composition};
 pub use error::OpsError;
-pub use inverse::{is_recovery_witness, maximum_recovery, not_invertible_witness, MaxRecovery};
+pub use inverse::{
+    is_recovery_witness, is_recovery_witness_governed, maximum_recovery, not_invertible_witness,
+    not_invertible_witness_governed, MaxRecovery,
+};

@@ -53,6 +53,10 @@ pub enum RelationalError {
     /// Expression evaluation failed (e.g. comparing incompatible values,
     /// or applying arithmetic to a null).
     EvalError(String),
+    /// A fault was injected at the named fail-point site (feature
+    /// `failpoints`; see [`crate::fail`]). Never produced in
+    /// production builds.
+    FaultInjected(String),
 }
 
 impl fmt::Display for RelationalError {
@@ -96,6 +100,9 @@ impl fmt::Display for RelationalError {
                 write!(f, "attribute `{a}` is not in scope")
             }
             RelationalError::EvalError(msg) => write!(f, "evaluation error: {msg}"),
+            RelationalError::FaultInjected(site) => {
+                write!(f, "injected fault at fail point `{site}`")
+            }
         }
     }
 }

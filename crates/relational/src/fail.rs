@@ -1,0 +1,181 @@
+//! Deterministic fail-point fault injection (feature `failpoints`).
+//!
+//! A *fail point* is a named site in a hot path that a test can arm to
+//! error or panic on its Nth hit, sled/fail-rs style. Sites are
+//! compiled in only when the `failpoints` feature is enabled; without
+//! it, [`hit`] is an inlined `None` and every site disappears from the
+//! generated code.
+//!
+//! The registered site inventory (see DESIGN.md for semantics):
+//!
+//! | site                    | where                                        |
+//! |-------------------------|----------------------------------------------|
+//! | `chase.fire`            | `dex-chase` — before a tgd firing mutates    |
+//! | `relation.extend_delta` | delta commit, after validation, before insert|
+//! | `index.build`           | lazy index (re)build, before mutating cache  |
+//!
+//! Arming is one-shot and deterministic: `arm(site, action, nth)`
+//! triggers on exactly the `nth` hit of `site` after arming, then
+//! disarms itself. `Error` actions surface as
+//! [`RelationalError::FaultInjected`] through the normal typed-error
+//! plumbing; `Panic` actions unwind (and every lock on the recovery
+//! path tolerates the resulting poison). Sites placed *before* any
+//! mutation guarantee the faulted operation leaves its inputs
+//! unmodified — the property the injection matrix tests pin down.
+//!
+//! Tests arming fail points must hold the `exclusive` guard: the
+//! registry is process-global, so concurrently running fail-point
+//! tests would otherwise trip each other's faults.
+
+#[cfg(not(feature = "failpoints"))]
+use crate::error::RelationalError;
+
+/// What an armed fail point does when it triggers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailAction {
+    /// Return a typed [`RelationalError::FaultInjected`].
+    Error,
+    /// Panic (exercises unwind safety and the CLI panic barrier).
+    Panic,
+}
+
+/// Every registered fail-point site, for matrix tests.
+pub const SITES: &[&str] = &["chase.fire", "relation.extend_delta", "index.build"];
+
+/// Probe a fail-point site. Returns the injected error when the site
+/// is armed and this is the triggering hit; panics instead when the
+/// armed action is [`FailAction::Panic`]. A no-op without the
+/// `failpoints` feature.
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub fn hit(_site: &str) -> Option<RelationalError> {
+    None
+}
+
+#[cfg(feature = "failpoints")]
+pub use imp::{arm, clear, exclusive, hit};
+
+#[cfg(feature = "failpoints")]
+mod imp {
+    use super::FailAction;
+    use crate::error::RelationalError;
+    use std::collections::HashMap;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    struct Armed {
+        action: FailAction,
+        /// Trigger on this hit count (1-based).
+        nth: u64,
+        hits: u64,
+    }
+
+    fn registry() -> &'static Mutex<HashMap<String, Armed>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<String, Armed>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    /// Poison-tolerant lock: a panic-action fail point must not wedge
+    /// the registry for the rest of the process.
+    fn lock() -> MutexGuard<'static, HashMap<String, Armed>> {
+        registry().lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Arm `site` to perform `action` on its `nth` hit (1-based) after
+    /// arming, then disarm itself.
+    pub fn arm(site: &str, action: FailAction, nth: u64) {
+        assert!(nth >= 1, "fail points trigger on a 1-based hit count");
+        lock().insert(
+            site.to_string(),
+            Armed {
+                action,
+                nth,
+                hits: 0,
+            },
+        );
+    }
+
+    /// Disarm every fail point and reset hit counters.
+    pub fn clear() {
+        lock().clear();
+    }
+
+    /// Serialize fail-point tests: hold the returned guard for the
+    /// duration of any test that arms fail points.
+    pub fn exclusive() -> MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// See the crate-level [`hit`](super::hit) docs.
+    pub fn hit(site: &str) -> Option<RelationalError> {
+        let mut reg = lock();
+        let armed = reg.get_mut(site)?;
+        armed.hits += 1;
+        if armed.hits != armed.nth {
+            return None;
+        }
+        let action = armed.action;
+        reg.remove(site); // one-shot: disarm before acting
+        drop(reg); // release the lock before a potential unwind
+        match action {
+            FailAction::Error => Some(RelationalError::FaultInjected(site.to_string())),
+            FailAction::Panic => panic!("injected panic at fail point `{site}`"),
+        }
+    }
+}
+
+/// Probe a fail-point site from a `Result`-returning function: on an
+/// injected `Error` action, returns it (converted via `From`) from the
+/// enclosing function. `Panic` actions unwind from the macro itself.
+/// Compiles to nothing without the `failpoints` feature.
+#[macro_export]
+macro_rules! fail_point {
+    ($site:expr) => {
+        if let Some(e) = $crate::fail::hit($site) {
+            return Err(e.into());
+        }
+    };
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+    use crate::error::RelationalError;
+
+    #[test]
+    fn nth_hit_triggers_once_then_disarms() {
+        let _gate = exclusive();
+        clear();
+        arm("chase.fire", FailAction::Error, 3);
+        assert!(hit("chase.fire").is_none());
+        assert!(hit("chase.fire").is_none());
+        let e = hit("chase.fire").expect("third hit triggers");
+        assert_eq!(e, RelationalError::FaultInjected("chase.fire".into()));
+        assert!(hit("chase.fire").is_none(), "one-shot: disarmed");
+    }
+
+    #[test]
+    fn unarmed_sites_are_silent() {
+        let _gate = exclusive();
+        clear();
+        assert!(hit("relation.extend_delta").is_none());
+    }
+
+    #[test]
+    fn panic_action_unwinds_and_registry_survives() {
+        let _gate = exclusive();
+        clear();
+        arm("index.build", FailAction::Panic, 1);
+        let unwound =
+            std::panic::catch_unwind(|| hit("index.build")).expect_err("injected panic expected");
+        let msg = unwound
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("index.build"), "payload names the site: {msg}");
+        // The registry keeps working after the unwind.
+        arm("index.build", FailAction::Error, 1);
+        assert!(hit("index.build").is_some());
+        clear();
+    }
+}

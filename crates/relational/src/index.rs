@@ -145,7 +145,7 @@ impl IndexState {
     pub(crate) fn append(&mut self, t: &Tuple) {
         let old = *self.version.get_mut();
         *self.version.get_mut() = old + 1;
-        let built = self.built.get_mut().expect("index lock poisoned");
+        let built = self.built.get_mut().unwrap_or_else(|p| p.into_inner());
         if built.version == old {
             built.arena.push(t.clone());
             built.version = old + 1;
@@ -204,17 +204,27 @@ impl IndexState {
     ) -> R {
         let version = self.version.load(Ordering::Acquire);
         {
-            let built = self.built.read().expect("index lock poisoned");
+            let built = self.built.read().unwrap_or_else(|p| p.into_inner());
             if built.version == version && built.synced == built.arena.len() {
                 if let Some(postings) = built.by_pos.get(&pos) {
                     return f(&built.arena, postings);
                 }
             }
         }
-        let mut built = self.built.write().expect("index lock poisoned");
+        let mut built = self.built.write().unwrap_or_else(|p| p.into_inner());
         // Double-checked: a racing writer may have refreshed while we
         // waited on the lock.
         if built.version != version {
+            // Fault-injection site for the index (re)build. Probing is
+            // infallible by API, so an injected *error* here still
+            // surfaces as a panic; the site sits before any mutation
+            // of `Built`, and the poison-tolerant locks above make the
+            // cache safely reusable (stale, rebuilt on the next probe)
+            // after the unwind.
+            if let Some(e) = crate::fail::hit("index.build") {
+                drop(built);
+                panic!("{e}");
+            }
             self.builds.fetch_add(1, Ordering::Relaxed);
             built.arena = tuples.iter().cloned().collect();
             built.by_pos.clear();

@@ -22,7 +22,9 @@
 pub mod algebra;
 pub mod error;
 pub mod expr;
+pub mod fail;
 pub mod fd;
+pub mod governor;
 pub mod homomorphism;
 pub mod index;
 pub mod instance;
@@ -35,6 +37,7 @@ pub mod value;
 pub use error::RelationalError;
 pub use expr::{ArithOp, BinCmp, Expr};
 pub use fd::{Fd, FdSet, FdViolation};
+pub use governor::{Budget, CancelToken, ExhaustionReport, Governor, TripReason};
 pub use homomorphism::{find_homomorphism, is_homomorphic_to, Homomorphism};
 pub use index::{Probe, TupleId, TupleIndex};
 pub use instance::Instance;

@@ -155,6 +155,10 @@ impl Relation {
         for t in &batch {
             self.validate(t)?;
         }
+        // Fault-injection site for the delta commit: placed after
+        // validation and before any insertion, so an injected fault
+        // leaves the relation unmodified.
+        crate::fail_point!("relation.extend_delta");
         let mut added = 0;
         for t in batch {
             if !self.tuples.contains(&t) {

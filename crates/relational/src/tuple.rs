@@ -57,6 +57,12 @@ impl Tuple {
         }
     }
 
+    /// Approximate heap footprint in bytes (see
+    /// [`Value::approx_bytes`]).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Tuple>() + self.0.iter().map(Value::approx_bytes).sum::<usize>()
+    }
+
     /// Apply a null substitution to every value.
     pub fn substitute_nulls(&self, subst: &BTreeMap<NullId, Value>) -> Tuple {
         Tuple(self.0.iter().map(|v| v.substitute_nulls(subst)).collect())

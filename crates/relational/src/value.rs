@@ -185,6 +185,20 @@ impl Value {
         }
     }
 
+    /// Approximate heap footprint in bytes: the enum slot plus owned
+    /// string data and Skolem arguments. Used for the governor's
+    /// approximate memory budget, not for exact allocator accounting.
+    pub fn approx_bytes(&self) -> usize {
+        let slot = std::mem::size_of::<Value>();
+        match self {
+            Value::Const(Constant::Str(s)) => slot + s.len(),
+            Value::Const(_) | Value::Null(_) => slot,
+            Value::Skolem(f, args) => {
+                slot + f.as_str().len() + args.iter().map(Value::approx_bytes).sum::<usize>()
+            }
+        }
+    }
+
     /// Replace nulls according to `subst`, leaving unmapped nulls alone.
     pub fn substitute_nulls(&self, subst: &std::collections::BTreeMap<NullId, Value>) -> Value {
         match self {

@@ -28,6 +28,9 @@ pub enum RellensError {
     /// The lens tree references something the schema lacks, or another
     /// structural problem.
     Structural(String),
+    /// An earlier failed apply left the incremental lens's materialized
+    /// state inconsistent; it must be rebuilt before further deltas.
+    StatePoisoned,
     /// An underlying relational error.
     Relational(RelationalError),
 }
@@ -49,6 +52,10 @@ impl fmt::Display for RellensError {
                 "base relation `{n}` appears more than once in the lens tree; put would be ambiguous"
             ),
             RellensError::Structural(msg) => write!(f, "structural error: {msg}"),
+            RellensError::StatePoisoned => write!(
+                f,
+                "incremental lens state was poisoned by an earlier failed apply; rebuild it with IncrementalLens::new"
+            ),
             RellensError::Relational(e) => write!(f, "{e}"),
         }
     }

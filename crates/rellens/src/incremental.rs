@@ -23,7 +23,9 @@
 use crate::ast::RelLensExpr;
 use crate::error::RellensError;
 use dex_lens::edit::Delta;
-use dex_relational::{Expr, Instance, Name, RelSchema, Schema, Tuple, TupleIndex};
+use dex_relational::{
+    ExhaustionReport, Expr, Governor, Instance, Name, RelSchema, Schema, Tuple, TupleIndex,
+};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A delta on a single relation (the view).
@@ -98,9 +100,34 @@ enum Node {
     },
 }
 
+/// The result of a governed delta replay
+/// ([`IncrementalLens::apply_governed`]).
+#[derive(Clone, Debug)]
+pub enum ReplayOutcome {
+    /// Every edit of the delta was applied.
+    Complete(RelDelta),
+    /// A budget or cancellation stopped the replay between edits. The
+    /// lens state is the **consistent prefix**: exactly `applied`
+    /// edits of the delta (deletes first, then inserts, in order) have
+    /// been folded in, and `view_delta` is their induced view change.
+    /// The remaining edits can be replayed later with another call.
+    Exhausted {
+        /// View delta of the applied prefix.
+        view_delta: RelDelta,
+        /// How many edits of the source delta were applied.
+        applied: usize,
+        /// Which budget tripped and the consumption so far.
+        report: ExhaustionReport,
+    },
+}
+
 /// An incrementally maintained lens view.
 pub struct IncrementalLens {
     root: Node,
+    /// Set when an apply failed partway through mutating node state:
+    /// the materialized counts/indexes may no longer agree with each
+    /// other, so further deltas are refused until a rebuild.
+    poisoned: bool,
 }
 
 impl IncrementalLens {
@@ -112,7 +139,23 @@ impl IncrementalLens {
     ) -> Result<Self, RellensError> {
         expr.view_schema(schema)?; // full validation up front
         let root = build(expr, schema, initial)?;
-        Ok(IncrementalLens { root })
+        Ok(IncrementalLens {
+            root,
+            poisoned: false,
+        })
+    }
+
+    /// Has an earlier failed apply left the state inconsistent?
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn guard_poisoned(&self) -> Result<(), RellensError> {
+        if self.poisoned {
+            Err(RellensError::StatePoisoned)
+        } else {
+            Ok(())
+        }
     }
 
     /// Apply a source-instance delta; returns the induced view delta.
@@ -121,7 +164,70 @@ impl IncrementalLens {
     /// deletes of rows that were present (inaccurate edits are
     /// filtered at the base relations, so state stays consistent).
     pub fn apply(&mut self, delta: &Delta) -> Result<RelDelta, RellensError> {
-        apply(&mut self.root, delta)
+        self.guard_poisoned()?;
+        match apply(&mut self.root, delta) {
+            Ok(d) => Ok(d),
+            Err(e) => {
+                // The node tree may have been partially updated before
+                // the error surfaced; refuse further deltas.
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Replay a source delta edit-at-a-time under a resource budget.
+    ///
+    /// Semantically identical to [`apply`](IncrementalLens::apply) when
+    /// the budget holds; when it trips, the replay stops **between**
+    /// edits, so the lens state is a consistent prefix of the delta
+    /// (never poisoned by a trip) and the caller learns exactly how
+    /// many edits were folded in. Each edit's induced view changes
+    /// count as derived tuples against the budget.
+    pub fn apply_governed(
+        &mut self,
+        delta: &Delta,
+        gov: &Governor,
+    ) -> Result<ReplayOutcome, RellensError> {
+        self.guard_poisoned()?;
+        let mut out = RelDelta::default();
+        // Deletes before inserts, mirroring the batch ordering at the
+        // base relations.
+        let edits = delta
+            .deletes
+            .iter()
+            .map(|e| (false, e))
+            .chain(delta.inserts.iter().map(|e| (true, e)));
+        for (applied, (is_insert, (rel, t))) in edits.enumerate() {
+            if let Err(reason) = gov.check() {
+                return Ok(ReplayOutcome::Exhausted {
+                    view_delta: out,
+                    applied,
+                    report: gov.report(reason),
+                });
+            }
+            let mut single = Delta::empty();
+            if is_insert {
+                single.inserts.push((rel.clone(), t.clone()));
+            } else {
+                single.deletes.push((rel.clone(), t.clone()));
+            }
+            let d = match apply(&mut self.root, &single) {
+                Ok(d) => d,
+                Err(e) => {
+                    self.poisoned = true;
+                    return Err(e);
+                }
+            };
+            gov.note_tuples(d.len());
+            for v in d.deletes {
+                out.delete(v);
+            }
+            for v in d.inserts {
+                out.insert(v);
+            }
+        }
+        Ok(ReplayOutcome::Complete(out))
     }
 }
 
@@ -427,6 +533,120 @@ mod tests {
         };
         for e in exprs() {
             check(&e, &db(), &d);
+        }
+    }
+
+    fn mixed_delta() -> Delta {
+        Delta {
+            inserts: vec![
+                (Name::new("Person"), tuple![4i64, "Dan", 30i64]),
+                (Name::new("Person"), tuple![5i64, "Eve", 7i64]),
+                (Name::new("AgeBand"), tuple![50i64, "fifties"]),
+            ],
+            deletes: vec![
+                (Name::new("Person"), tuple![2i64, "Bob", 30i64]),
+                (Name::new("AgeBand"), tuple![7i64, "kids"]),
+            ],
+        }
+    }
+
+    /// Governed replay with an untripped budget is indistinguishable
+    /// from the batch apply, for every operator.
+    #[test]
+    fn governed_replay_equals_batch_apply() {
+        let d = mixed_delta();
+        for e in exprs() {
+            let start = db();
+            let mut batch = IncrementalLens::new(&e, start.schema(), &start).unwrap();
+            let want = batch.apply(&d).unwrap();
+            let mut governed = IncrementalLens::new(&e, start.schema(), &start).unwrap();
+            match governed.apply_governed(&d, &Governor::unlimited()).unwrap() {
+                ReplayOutcome::Complete(got) => assert_eq!(got, want, "expr:\n{e}"),
+                ReplayOutcome::Exhausted { report, .. } => {
+                    panic!("unlimited governor tripped: {report}")
+                }
+            }
+        }
+    }
+
+    /// A trip mid-replay leaves a consistent prefix (not poisoned):
+    /// replaying the remaining edits afterwards lands on the same view
+    /// as the batch apply.
+    #[test]
+    fn tripped_replay_resumes_to_same_view() {
+        use dex_relational::{Budget, TripReason};
+        let d = mixed_delta();
+        let e = exprs().remove(6); // the deepest pipeline
+        let start = db();
+        let mut batch = IncrementalLens::new(&e, start.schema(), &start).unwrap();
+        let want = batch.apply(&d).unwrap();
+
+        let mut governed = IncrementalLens::new(&e, start.schema(), &start).unwrap();
+        // Tuple cap of 0: the first edit that changes the view trips
+        // the replay at the next between-edits check.
+        let gov = Governor::new(Budget::unlimited().with_max_tuples(0));
+        let (first, applied) = match governed.apply_governed(&d, &gov).unwrap() {
+            ReplayOutcome::Exhausted {
+                view_delta,
+                applied,
+                report,
+            } => {
+                assert_eq!(report.reason, TripReason::Tuples);
+                (view_delta, applied)
+            }
+            ReplayOutcome::Complete(_) => panic!("zero-tuple budget did not trip"),
+        };
+        assert!(applied < d.len());
+        assert!(!governed.is_poisoned(), "a trip is not a poisoning");
+
+        // Re-drive the remaining edits without a budget.
+        let rest = Delta {
+            deletes: d.deletes.iter().skip(applied).cloned().collect(),
+            inserts: d
+                .inserts
+                .iter()
+                .skip(applied.saturating_sub(d.deletes.len()))
+                .cloned()
+                .collect(),
+        };
+        let second = match governed
+            .apply_governed(&rest, &Governor::unlimited())
+            .unwrap()
+        {
+            ReplayOutcome::Complete(got) => got,
+            ReplayOutcome::Exhausted { report, .. } => panic!("resume tripped: {report}"),
+        };
+        // Combined view delta == batch view delta.
+        let mut combined = first;
+        for t in second.deletes {
+            combined.delete(t);
+        }
+        for t in second.inserts {
+            combined.insert(t);
+        }
+        assert_eq!(combined, want);
+    }
+
+    #[test]
+    fn poisoned_lens_refuses_further_deltas() {
+        // A Select whose predicate errors at eval time (type mismatch)
+        // poisons the lens mid-apply.
+        let e = RelLensExpr::base("Person").select(Expr::attr("name").ge(Expr::lit(18i64)));
+        let start = db();
+        let mut inc = IncrementalLens::new(&e, start.schema(), &start).unwrap();
+        let d = Delta {
+            inserts: vec![(Name::new("Person"), tuple![6i64, "Fay", 20i64])],
+            deletes: vec![],
+        };
+        assert!(inc.apply(&d).is_err(), "predicate type error surfaces");
+        assert!(inc.is_poisoned());
+        match inc.apply(&d) {
+            Err(RellensError::StatePoisoned) => {}
+            other => panic!("expected StatePoisoned, got {other:?}"),
+        }
+        match inc.apply_governed(&d, &Governor::unlimited()) {
+            Err(RellensError::StatePoisoned) => {}
+            other => panic!("expected StatePoisoned, got {other:?}"),
         }
     }
 

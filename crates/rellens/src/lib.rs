@@ -36,6 +36,6 @@ pub mod revision;
 pub use ast::RelLensExpr;
 pub use error::RellensError;
 pub use eval::InstanceLens;
-pub use incremental::{IncrementalLens, RelDelta};
+pub use incremental::{IncrementalLens, RelDelta, ReplayOutcome};
 pub use policy::{Environment, JoinPolicy, UnionPolicy, UpdatePolicy};
 pub use revision::revise;

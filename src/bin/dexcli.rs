@@ -20,27 +20,45 @@
 //! `{"skolem": "f", "args": [...]}`.
 
 use dex::analyze::{analyze, deny_warnings, has_errors, parse_error_diagnostic, render_all};
-use dex::chase::{certain_answers, exchange, ConjunctiveQuery};
-use dex::core::{compile, Engine};
+use dex::chase::{
+    certain_answers_governed, exchange_governed, Budget, ChaseOptions, ChaseOutcome, Governor,
+};
+use dex::core::{compile, Engine, EngineForward};
 use dex::logic::{parse_mapping, parse_mapping_with_spans, Mapping};
 use dex::ops::{compose, maximum_recovery};
 use dex::relational::{Instance, Schema, Tuple, Value};
 use dex::rellens::Environment;
 use serde_json::{json, Map, Value as Json};
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// Exit code when a budget trips: the run is neither a success nor an
+/// error — the partial result on stdout is a valid chase prefix.
+const EXIT_EXHAUSTED: u8 = 3;
+/// Exit code for an internal panic caught at the process boundary
+/// (BSD `EX_SOFTWARE`).
+const EXIT_PANIC: u8 = 70;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+    // A panic anywhere below is a bug, not a user error: suppress the
+    // default hook's backtrace spew and convert the unwind into a
+    // distinct exit code so scripts can tell "bad input" from "bug".
+    std::panic::set_hook(Box::new(|_| {}));
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&args))) {
+        Ok(Ok(code)) => code,
+        Ok(Err(msg)) => {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
+        }
+        Err(_) => {
+            eprintln!("dexcli: internal error (panic)");
+            ExitCode::from(EXIT_PANIC)
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let usage =
         "usage: dexcli <plan|check|lint|chase|exchange|backward|compose|recover|query> <args…>\n\
                  run `dexcli help` for details";
@@ -48,43 +66,60 @@ fn run(args: &[String]) -> Result<(), String> {
     match cmd.as_str() {
         "help" | "--help" | "-h" => {
             println!("{}", HELP);
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "plan" => {
             let m = load_mapping(args.get(1).ok_or(usage)?)?;
             let engine = build_engine(&m)?;
             println!("{}", engine.show_plan());
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "check" => {
             let m = load_mapping(args.get(1).ok_or(usage)?)?;
             check(&m);
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
-        "lint" => lint(&args[1..]),
+        "lint" => lint(&args[1..]).map(|()| ExitCode::SUCCESS),
         "chase" => {
             let mut rest: Vec<&String> = args[1..].iter().collect();
+            let budget = extract_budget(&mut rest)?;
             let stats = rest.iter().position(|a| a.as_str() == "--stats");
             if let Some(i) = stats {
                 rest.remove(i);
             }
             let m = load_mapping(rest.first().ok_or(usage)?)?;
             let src = load_instance(rest.get(1).ok_or(usage)?, m.source())?;
-            let res = exchange(&m, &src).map_err(|e| e.to_string())?;
-            eprintln!(
-                "chased {} source facts; {} nulls invented, {} rule firings",
-                src.fact_count(),
-                res.nulls_created,
-                res.firings
-            );
-            if stats.is_some() {
-                eprint!("{}", res.stats);
+            let gov = Governor::new(budget);
+            let outcome = exchange_governed(&m, &src, ChaseOptions::default(), &gov)
+                .map_err(|e| e.to_string())?;
+            match outcome {
+                ChaseOutcome::Complete(res) => {
+                    eprintln!(
+                        "chased {} source facts; {} nulls invented, {} rule firings",
+                        src.fact_count(),
+                        res.nulls_created,
+                        res.firings
+                    );
+                    if stats.is_some() {
+                        eprint!("{}", res.stats);
+                    }
+                    println!("{}", render_instance(&res.target));
+                    Ok(ExitCode::SUCCESS)
+                }
+                ChaseOutcome::Exhausted(ex) => {
+                    eprintln!("{}", ex.report);
+                    eprintln!("the instance below is a valid partial chase result");
+                    if stats.is_some() {
+                        eprint!("{}", ex.stats);
+                    }
+                    println!("{}", render_instance(&ex.partial));
+                    Ok(ExitCode::from(EXIT_EXHAUSTED))
+                }
             }
-            println!("{}", render_instance(&res.target));
-            Ok(())
         }
         "exchange" => {
             let mut rest: Vec<&String> = args[1..].iter().collect();
+            let budget = extract_budget(&mut rest)?;
             let stats = rest.iter().position(|a| a.as_str() == "--stats");
             if let Some(i) = stats {
                 rest.remove(i);
@@ -96,14 +131,25 @@ fn run(args: &[String]) -> Result<(), String> {
                 None => None,
             };
             let engine = build_engine(&m)?;
-            let (out, st) = engine
-                .forward_with_stats(&src, prev.as_ref())
-                .map_err(|e| e.to_string())?;
-            if stats.is_some() {
-                eprint!("{st}");
+            let gov = Governor::new(budget);
+            match engine
+                .forward_governed(&src, prev.as_ref(), &gov)
+                .map_err(|e| e.to_string())?
+            {
+                EngineForward::Complete { target, stats: st } => {
+                    if stats.is_some() {
+                        eprint!("{st}");
+                    }
+                    println!("{}", render_instance(&target));
+                    Ok(ExitCode::SUCCESS)
+                }
+                EngineForward::Exhausted { partial, report } => {
+                    eprintln!("{report}");
+                    eprintln!("the instance below is a consistent partial forward result");
+                    println!("{}", render_instance(&partial));
+                    Ok(ExitCode::from(EXIT_EXHAUSTED))
+                }
             }
-            println!("{}", render_instance(&out));
-            Ok(())
         }
         "backward" => {
             let m = load_mapping(args.get(1).ok_or(usage)?)?;
@@ -112,7 +158,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let engine = build_engine(&m)?;
             let out = engine.backward(&tgt, &src).map_err(|e| e.to_string())?;
             println!("{}", render_instance(&out));
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "compose" => {
             let m1 = load_mapping(args.get(1).ok_or(usage)?)?;
@@ -130,38 +176,65 @@ fn run(args: &[String]) -> Result<(), String> {
                     println!("{comp}");
                 }
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "query" => {
             // dexcli query <mapping> <source.json> "q(x) :- Manager(x, m)"
-            let m = load_mapping(args.get(1).ok_or(usage)?)?;
-            let src = load_instance(args.get(2).ok_or(usage)?, m.source())?;
-            let qtext = args.get(3).ok_or(usage)?;
+            let mut rest: Vec<&String> = args[1..].iter().collect();
+            let budget = extract_budget(&mut rest)?;
+            let m = load_mapping(rest.first().ok_or(usage)?)?;
+            let src = load_instance(rest.get(1).ok_or(usage)?, m.source())?;
+            let qtext = rest.get(2).ok_or(usage)?;
             let (head, body) = dex::logic::parse_query(qtext).map_err(|e| e.to_string())?;
-            let q = ConjunctiveQuery::new(head.iter().map(|n| n.as_str()).collect(), body)
-                .map_err(|e| e.to_string())?;
+            let q =
+                dex::chase::ConjunctiveQuery::new(head.iter().map(|n| n.as_str()).collect(), body)
+                    .map_err(|e| e.to_string())?;
             q.validate(m.target()).map_err(|e| e.to_string())?;
-            let j = exchange(&m, &src).map_err(|e| e.to_string())?.target;
-            let answers = certain_answers(&q, &j);
-            eprintln!(
-                "{} certain answer(s) over the universal solution",
-                answers.len()
-            );
+            let gov = Governor::new(budget);
+            let outcome = exchange_governed(&m, &src, ChaseOptions::default(), &gov)
+                .map_err(|e| e.to_string())?;
+            // Certain-answer evaluation is monotone, so answers computed
+            // over a chase prefix are a sound subset of the certain
+            // answers — report them, flag the truncation, exit 3.
+            let (j, chase_report) = match outcome {
+                ChaseOutcome::Complete(res) => (res.target, None),
+                ChaseOutcome::Exhausted(ex) => (ex.partial, Some(ex.report)),
+            };
+            let (answers, eval_report) = certain_answers_governed(&q, &j, &gov);
+            let exhausted = chase_report.or(eval_report);
+            match &exhausted {
+                Some(report) => {
+                    eprintln!("{report}");
+                    eprintln!(
+                        "{} certain answer(s) found before the budget tripped \
+                         (a sound subset of the full answer set)",
+                        answers.len()
+                    );
+                }
+                None => eprintln!(
+                    "{} certain answer(s) over the universal solution",
+                    answers.len()
+                ),
+            }
             let rows: Vec<Json> = answers
                 .iter()
                 .map(|t| Json::Array(t.iter().map(value_to_json).collect()))
                 .collect();
             println!(
                 "{}",
-                serde_json::to_string_pretty(&Json::Array(rows)).unwrap()
+                serde_json::to_string_pretty(&Json::Array(rows)).map_err(|e| e.to_string())?
             );
-            Ok(())
+            Ok(if exhausted.is_some() {
+                ExitCode::from(EXIT_EXHAUSTED)
+            } else {
+                ExitCode::SUCCESS
+            })
         }
         "recover" => {
             let m = load_mapping(args.get(1).ok_or(usage)?)?;
             let rec = maximum_recovery(&m).map_err(|e| e.to_string())?;
             println!("{rec}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command `{other}`\n{usage}")),
     }
@@ -252,6 +325,18 @@ commands:
   query    <mapping.dex> <source.json> "q(x) :- R(x, y)"
                                                  certain answers over the exchange
 
+resource budgets (chase, exchange, query):
+  --timeout <dur>      wall-clock deadline: 500ms, 2s, 1m (bare number = ms)
+  --max-rounds <n>     cap on committed chase rounds
+  --max-tuples <n>     cap on derived target tuples
+  --max-nulls <n>      cap on invented labeled nulls
+  --max-memory <size>  approximate target-size cap: 64k, 10m, 1g (bare = bytes)
+
+when a budget trips, the partial result (a valid chase prefix) is
+printed to stdout, a report goes to stderr, and the exit code is 3.
+
+exit codes: 0 success, 1 error, 3 budget exhausted, 70 internal panic
+
 mapping files use the dex mapping language:
   source Emp(name);
   target Manager(emp, mgr);
@@ -259,6 +344,85 @@ mapping files use the dex mapping language:
   Emp(x) -> Manager(x, y);
 
 instance JSON: {"Emp": [["Alice"], ["Bob"]]}"#;
+
+/// Remove `--flag value` from `rest` if present; error if the value is
+/// missing.
+fn take_flag_value(rest: &mut Vec<&String>, flag: &str) -> Result<Option<String>, String> {
+    match rest.iter().position(|a| a.as_str() == flag) {
+        Some(i) => {
+            if i + 1 >= rest.len() {
+                return Err(format!("{flag} requires a value"));
+            }
+            let v = rest.remove(i + 1).clone();
+            rest.remove(i);
+            Ok(Some(v))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Extract the shared budget flags (`--timeout`, `--max-rounds`,
+/// `--max-tuples`, `--max-nulls`, `--max-memory`) from an argument
+/// list, leaving the positional arguments behind.
+fn extract_budget(rest: &mut Vec<&String>) -> Result<Budget, String> {
+    let mut b = Budget::unlimited();
+    if let Some(v) = take_flag_value(rest, "--timeout")? {
+        b = b.with_deadline(parse_duration(&v)?);
+    }
+    if let Some(v) = take_flag_value(rest, "--max-rounds")? {
+        b = b.with_max_rounds(parse_count(&v, "--max-rounds")?);
+    }
+    if let Some(v) = take_flag_value(rest, "--max-tuples")? {
+        b = b.with_max_tuples(parse_count(&v, "--max-tuples")?);
+    }
+    if let Some(v) = take_flag_value(rest, "--max-nulls")? {
+        b = b.with_max_nulls(parse_count(&v, "--max-nulls")?);
+    }
+    if let Some(v) = take_flag_value(rest, "--max-memory")? {
+        b = b.with_max_memory(parse_size(&v)?);
+    }
+    Ok(b)
+}
+
+fn parse_count(s: &str, flag: &str) -> Result<u64, String> {
+    s.parse::<u64>()
+        .map_err(|_| format!("{flag} takes a non-negative integer, got `{s}`"))
+}
+
+/// `500ms`, `2s`, `1m`, or a bare number of milliseconds.
+fn parse_duration(s: &str) -> Result<Duration, String> {
+    let bad = || format!("--timeout takes a duration like 500ms, 2s or 1m, got `{s}`");
+    let (digits, mult_ms) = if let Some(d) = s.strip_suffix("ms") {
+        (d, 1u64)
+    } else if let Some(d) = s.strip_suffix('s') {
+        (d, 1_000)
+    } else if let Some(d) = s.strip_suffix('m') {
+        (d, 60_000)
+    } else {
+        (s, 1)
+    };
+    let n = digits.parse::<u64>().map_err(|_| bad())?;
+    n.checked_mul(mult_ms)
+        .map(Duration::from_millis)
+        .ok_or_else(bad)
+}
+
+/// `64k`, `10m`, `1g`, or a bare number of bytes.
+fn parse_size(s: &str) -> Result<u64, String> {
+    let bad = || format!("--max-memory takes a size like 64k, 10m or 1g, got `{s}`");
+    let lower = s.to_ascii_lowercase();
+    let (digits, mult) = if let Some(d) = lower.strip_suffix('k') {
+        (d, 1u64 << 10)
+    } else if let Some(d) = lower.strip_suffix('m') {
+        (d, 1 << 20)
+    } else if let Some(d) = lower.strip_suffix('g') {
+        (d, 1 << 30)
+    } else {
+        (lower.as_str(), 1)
+    };
+    let n = digits.parse::<u64>().map_err(|_| bad())?;
+    n.checked_mul(mult).ok_or_else(bad)
+}
 
 fn load_mapping(path: &str) -> Result<Mapping, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;

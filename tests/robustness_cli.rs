@@ -1,0 +1,218 @@
+//! Robustness tests for the `dexcli` binary: budget exhaustion exit
+//! codes, partial results, and a fuzz harness asserting the process
+//! never dies of a panic (exit 70) or a signal on hostile input.
+
+use proptest::prelude::*;
+use std::io::Write;
+use std::process::Command;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn dexcli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dexcli"))
+}
+
+/// Path of a file shipped with the repository.
+fn repo_file(rel: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+static TMP_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// Write `content` to a fresh temp file (unique per call, so parallel
+/// tests and fuzz cases never collide).
+fn write_tmp(stem: &str, content: &[u8]) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("dexcli-robustness");
+    std::fs::create_dir_all(&dir).unwrap();
+    let n = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let path = dir.join(format!("{stem}-{}-{n}", std::process::id()));
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(content).unwrap();
+    path
+}
+
+// ---------------------------------------------------------------------
+// Pinned budget-exhaustion behaviour
+// ---------------------------------------------------------------------
+
+/// The repository's canonical non-terminating mapping under a 50 ms
+/// deadline: the chase must stop, print a non-empty valid partial
+/// instance to stdout, report the trip on stderr, and exit 3.
+#[test]
+fn non_terminating_chase_under_deadline_yields_partial_and_exit_3() {
+    let src = write_tmp("nt-src.json", br#"{"Emp": [["a", "b"]]}"#);
+    let out = dexcli()
+        .arg("chase")
+        .arg(repo_file("examples/mappings/bad_non_terminating.dex"))
+        .arg(&src)
+        .args(["--timeout", "50ms"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "expected exhaustion exit code");
+    let err = String::from_utf8(out.stderr).unwrap();
+    // On a fast machine the default 10k-round cap can fire before the
+    // 50 ms deadline does; either way the run must stop within the
+    // deadline's order of magnitude and exit through `Exhausted`.
+    assert!(err.contains("budget exhausted"), "stderr: {err}");
+    assert!(
+        err.contains("deadline") || err.contains("round limit"),
+        "stderr: {err}"
+    );
+    let json: serde_json::Value =
+        serde_json::from_str(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    let succ = json.get("Succ").and_then(|v| v.as_array()).unwrap();
+    assert!(!succ.is_empty(), "partial result must be non-empty");
+}
+
+#[test]
+fn tuple_budget_trips_chase_with_exit_3() {
+    let src = write_tmp("nt-src2.json", br#"{"Emp": [["a", "b"]]}"#);
+    let out = dexcli()
+        .arg("chase")
+        .arg(repo_file("examples/mappings/bad_non_terminating.dex"))
+        .arg(&src)
+        .args(["--max-tuples", "10"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("derived-tuple limit"), "stderr: {err}");
+}
+
+#[test]
+fn generous_budget_does_not_change_a_terminating_run() {
+    let m = write_tmp(
+        "emp.dex",
+        b"source Emp(name);\ntarget Manager(emp, mgr);\nEmp(x) -> Manager(x, y);\n",
+    );
+    let src = write_tmp("emp-src.json", br#"{"Emp": [["Alice"], ["Bob"]]}"#);
+    let plain = dexcli().arg("chase").arg(&m).arg(&src).output().unwrap();
+    let governed = dexcli()
+        .arg("chase")
+        .arg(&m)
+        .arg(&src)
+        .args([
+            "--timeout",
+            "1m",
+            "--max-rounds",
+            "1000",
+            "--max-memory",
+            "1g",
+        ])
+        .output()
+        .unwrap();
+    assert!(plain.status.success());
+    assert!(governed.status.success());
+    assert_eq!(plain.stdout, governed.stdout);
+}
+
+#[test]
+fn governed_exchange_and_query_accept_budget_flags() {
+    let m = write_tmp(
+        "emp2.dex",
+        b"source Emp(name);\ntarget Manager(emp, mgr);\nEmp(x) -> Manager(x, y);\n",
+    );
+    let src = write_tmp("emp2-src.json", br#"{"Emp": [["Alice"]]}"#);
+    let ex = dexcli()
+        .arg("exchange")
+        .arg(&m)
+        .arg(&src)
+        .args(["--timeout", "1m"])
+        .output()
+        .unwrap();
+    assert!(
+        ex.status.success(),
+        "{}",
+        String::from_utf8_lossy(&ex.stderr)
+    );
+    let q = dexcli()
+        .arg("query")
+        .arg(&m)
+        .arg(&src)
+        .arg("q(x) :- Manager(x, y)")
+        .args(["--max-tuples", "1000"])
+        .output()
+        .unwrap();
+    assert!(q.status.success(), "{}", String::from_utf8_lossy(&q.stderr));
+    let rows: serde_json::Value =
+        serde_json::from_str(&String::from_utf8(q.stdout).unwrap()).unwrap();
+    assert_eq!(rows.as_array().unwrap().len(), 1);
+}
+
+#[test]
+fn malformed_budget_values_are_usage_errors() {
+    let src = write_tmp("x.json", b"{}");
+    for flags in [
+        ["--timeout", "soon"],
+        ["--max-tuples", "-3"],
+        ["--max-memory", "lots"],
+    ] {
+        let out = dexcli()
+            .arg("chase")
+            .arg(repo_file("examples/mappings/employees.dex"))
+            .arg(&src)
+            .args(flags)
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(1), "flags {flags:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fuzz: lint and parse never panic the process
+// ---------------------------------------------------------------------
+
+/// Run `dexcli lint` on `bytes`; the process must terminate normally
+/// (no signal) and never with the internal-panic code 70. Exit 0 and 1
+/// (clean lint / diagnostics or parse errors) are both fine.
+fn assert_lint_does_not_panic(bytes: &[u8]) {
+    let path = write_tmp("fuzz.dex", bytes);
+    let out = dexcli().arg("lint").arg(&path).output().unwrap();
+    let code = out.status.code();
+    assert!(
+        matches!(code, Some(0 | 1)),
+        "lint on {bytes:?} exited with {code:?}; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+const SEED_MAPPING: &str = "\
+source Takes(name, course);\n\
+target Student(id, name);\n\
+key Student(id);\n\
+Takes(x, y) -> Student(z, x);\n";
+
+proptest! {
+    // Each case spawns a process; keep the count modest for CI.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary printable garbage.
+    #[test]
+    fn lint_survives_garbage(s in "\\PC{0,120}") {
+        assert_lint_does_not_panic(s.as_bytes());
+    }
+
+    /// Near-miss `.dex`: one corruption of a valid mapping file.
+    #[test]
+    fn lint_survives_near_miss_dex(pos in 0usize..120, op in 0u8..4, ch in "\\PC") {
+        let base = SEED_MAPPING;
+        let mut at = pos.min(base.len());
+        while !base.is_char_boundary(at) {
+            at -= 1;
+        }
+        let (head, tail) = base.split_at(at);
+        let mutated = match op {
+            0 => format!("{head}{}", tail.chars().skip(1).collect::<String>()),
+            1 => format!("{head}{ch}{tail}"),
+            2 => format!("{head}{ch}{}", tail.chars().skip(1).collect::<String>()),
+            _ => head.to_string(),
+        };
+        assert_lint_does_not_panic(mutated.as_bytes());
+    }
+
+    /// Raw non-UTF-8 bytes (the file reader must reject, not panic).
+    #[test]
+    fn lint_survives_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        assert_lint_does_not_panic(&bytes);
+    }
+}
