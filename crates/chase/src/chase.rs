@@ -169,6 +169,53 @@ impl ChaseOutcome {
     }
 }
 
+/// A committed chase boundary, handed to a [`CheckpointSink`] while the
+/// instance is still borrowed by the running chase.
+///
+/// Round 0 is the phase-1 output (the base state before any target
+/// round); round `r ≥ 1` is the state after `r` committed, egd-enforced
+/// target rounds. When `delta` is `Some`, the round's entire effect was
+/// the listed insertions (a WAL can log just those); `None` means the
+/// round rewrote the instance wholesale (an egd substitution merged
+/// nulls), so durable sinks must record the full `target`.
+#[derive(Debug)]
+pub struct Checkpoint<'a> {
+    /// Committed round number (0 = phase-1 output).
+    pub round: u64,
+    /// Null-generator position: the id the next fresh null will take.
+    /// Restoring it is what makes a resumed run allocate the exact
+    /// same nulls as an uninterrupted one.
+    pub next_null: u64,
+    /// The instance as of this boundary.
+    pub target: &'a Instance,
+    /// The round's insertions per relation (name order), or `None`
+    /// when the round is not representable as insertions.
+    pub delta: Option<Vec<(Name, Vec<Tuple>)>>,
+    /// True on the final checkpoint of a run that reached fixpoint.
+    pub complete: bool,
+}
+
+/// Receives every committed chase boundary from
+/// [`exchange_checkpointed`] / [`resume_exchange`]. An error return
+/// aborts the chase with [`ChaseError::Checkpoint`]: a run that cannot
+/// persist its progress must not pretend it did.
+pub trait CheckpointSink {
+    /// Called once per committed boundary, in round order.
+    fn on_checkpoint(&mut self, cp: Checkpoint<'_>) -> Result<(), String>;
+}
+
+/// A chase boundary loaded back from durable storage, from which
+/// [`resume_exchange`] continues phase 2.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResumeState {
+    /// The instance at the checkpointed boundary.
+    pub target: Instance,
+    /// Null-generator position at the boundary.
+    pub next_null: u64,
+    /// Committed rounds up to the boundary (0 = phase-1 output).
+    pub rounds: u64,
+}
+
 /// Materialize a universal solution for `src` under `mapping` with
 /// default options. This is the paper's “how to materialize the best
 /// solution for I under M”.
@@ -232,18 +279,98 @@ pub fn exchange_governed(
     opts: ChaseOptions,
     gov: &Governor,
 ) -> Result<ChaseOutcome, ChaseError> {
-    let mut target = Instance::empty(mapping.target().clone());
-    // Fresh nulls must avoid any nulls already present in the source.
-    let mut gen = src.null_gen();
+    run_exchange(mapping, Start::Fresh(src), opts, gov, None)
+}
+
+/// Like [`exchange_governed`], but reports every committed chase
+/// boundary (phase-1 output, then each egd-enforced target round, then
+/// the fixpoint) to `sink`, so the run's progress can be persisted and
+/// later continued with [`resume_exchange`]. With a sink that does
+/// nothing the result is identical to [`exchange_governed`] — same
+/// tuples, same null order, same stats.
+pub fn exchange_checkpointed(
+    mapping: &Mapping,
+    src: &Instance,
+    opts: ChaseOptions,
+    gov: &Governor,
+    sink: &mut dyn CheckpointSink,
+) -> Result<ChaseOutcome, ChaseError> {
+    run_exchange(mapping, Start::Fresh(src), opts, gov, Some(sink))
+}
+
+/// Continue phase 2 of a chase from a committed boundary previously
+/// captured through a [`CheckpointSink`] (possibly in another process).
+///
+/// The resumed run needs no source instance: phase 1 is already folded
+/// into `state.target`, and target tgds/egds mention only target
+/// relations. Its first round does a full re-match (the semi-naive
+/// delta died with the original process), after which the
+/// indexed-equals-scan theorem guarantees the continuation fires the
+/// same obligations in the same order as the uninterrupted run — so
+/// the final instance is literally identical, nulls included.
+///
+/// `state.rounds` is preloaded into `gov` and into the `max_rounds`
+/// accounting: round caps bound *total* rounds across the original and
+/// resumed runs. Stats and the exhaustion report likewise count total
+/// rounds, but firings/index counters cover only the resumed process.
+pub fn resume_exchange(
+    mapping: &Mapping,
+    state: ResumeState,
+    opts: ChaseOptions,
+    gov: &Governor,
+    sink: Option<&mut dyn CheckpointSink>,
+) -> Result<ChaseOutcome, ChaseError> {
+    run_exchange(mapping, Start::Resume(state), opts, gov, sink)
+}
+
+/// Where [`run_exchange`] begins: a fresh source-to-target exchange, or
+/// the middle of phase 2 restored from a checkpoint.
+enum Start<'a> {
+    Fresh(&'a Instance),
+    Resume(ResumeState),
+}
+
+fn run_exchange(
+    mapping: &Mapping,
+    start: Start<'_>,
+    opts: ChaseOptions,
+    gov: &Governor,
+    mut sink: Option<&mut dyn CheckpointSink>,
+) -> Result<ChaseOutcome, ChaseError> {
+    // Fresh runs start phase 1 below; resumed runs restore the target,
+    // the null generator, and the round count, and force their first
+    // round to re-match in full (the delta log is process-local).
+    let (src_opt, mut target, mut gen, mut rounds, mut full_rematch) = match start {
+        Start::Fresh(src) => {
+            // Fresh nulls must avoid nulls already in the source.
+            let gen = src.null_gen();
+            (
+                Some(src),
+                Instance::empty(mapping.target().clone()),
+                gen,
+                0usize,
+                false,
+            )
+        }
+        Start::Resume(state) => {
+            gov.note_rounds(state.rounds);
+            (
+                None,
+                state.target,
+                NullGen::starting_at(state.next_null),
+                state.rounds as usize,
+                true,
+            )
+        }
+    };
     let mut firings = 0usize;
     let nulls_before = gen.clone();
     let mut stats = ChaseStats::default();
     let mode = opts.matcher.mode();
-    let src_stats_before = src.index_stats();
+    let src_stats_before = src_opt.map(Instance::index_stats).unwrap_or((0, 0));
     // Index counters from target snapshots discarded by egd
     // substitution (which rebuilds the instance).
     let mut lost: (u64, u64) = (0, 0);
-    let mut rounds = 0usize;
 
     // On a budget trip: finalize the stats counters and hand back the
     // prefix instance with the governor's report.
@@ -251,7 +378,7 @@ pub fn exchange_governed(
         ($reason:expr, $target:expr) => {{
             let target = $target;
             stats.rounds = rounds;
-            let (src_b, src_p) = src.index_stats();
+            let (src_b, src_p) = src_opt.map(Instance::index_stats).unwrap_or((0, 0));
             let (tgt_b, tgt_p) = target.index_stats();
             stats.index_builds = lost.0 + tgt_b + (src_b - src_stats_before.0);
             stats.index_probes = lost.1 + tgt_p + (src_p - src_stats_before.1);
@@ -263,64 +390,85 @@ pub fn exchange_governed(
         }};
     }
 
-    // Phase 1: source-to-target. The lhs only mentions source relations,
-    // so a single pass over all (tgd, match) pairs suffices. Matching
-    // is read-only over the source, so it can fan out across tgds;
-    // firing is kept sequential for determinism.
-    let all_matches: Vec<(usize, Vec<Valuation>)> = if opts.parallel && mapping.st_tgds().len() > 1
-    {
-        crossbeam::scope(|scope| {
-            let handles: Vec<_> = mapping
-                .st_tgds()
-                .iter()
-                .enumerate()
-                .map(|(i, tgd)| {
-                    scope.spawn(move |_| (i, match_conjunction_mode(&tgd.lhs, src, mode)))
+    // Report a committed boundary to the sink, if one is attached. A
+    // sink failure aborts the run: the chase must not outrun what it
+    // claims to have persisted.
+    macro_rules! checkpoint {
+        ($round:expr, $delta:expr, $complete:expr) => {
+            if let Some(s) = sink.as_deref_mut() {
+                s.on_checkpoint(Checkpoint {
+                    round: $round,
+                    next_null: gen.peek_next(),
+                    target: &target,
+                    delta: $delta,
+                    complete: $complete,
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("chase match thread panicked"))
-                .collect()
-        })
-        .expect("chase match threads panicked")
-    } else {
-        mapping
-            .st_tgds()
-            .iter()
-            .enumerate()
-            .map(|(i, tgd)| (i, match_conjunction_mode(&tgd.lhs, src, mode)))
-            .collect()
-    };
-    for (i, matches) in all_matches {
-        let tgd = &mapping.st_tgds()[i];
-        let rhs_vars: BTreeSet<Name> = tgd.rhs_vars().into_iter().collect();
-        for m in matches {
-            // Each firing is an atomic step: a trip between firings
-            // hands back a prefix of whole phase-1 chase steps.
-            if let Err(reason) = gov.check() {
-                exhaust!(reason, target);
+                .map_err(ChaseError::Checkpoint)?;
             }
-            let frontier: Valuation = m
-                .into_iter()
-                .filter(|(k, _)| rhs_vars.contains(k))
-                .collect();
-            if opts.variant == ChaseVariant::Standard
-                && has_match_mode(&tgd.rhs, &target, &frontier, mode)
-            {
-                continue;
-            }
-            fire(tgd, &frontier, &mut target, &mut gen, gov)?;
-            firings += 1;
-        }
+        };
     }
-    stats.st_firings = firings;
+
+    // Phase 1: source-to-target (skipped when resuming — its output is
+    // already folded into the restored target). The lhs only mentions
+    // source relations, so a single pass over all (tgd, match) pairs
+    // suffices. Matching is read-only over the source, so it can fan
+    // out across tgds; firing is kept sequential for determinism.
+    if let Some(src) = src_opt {
+        let all_matches: Vec<(usize, Vec<Valuation>)> =
+            if opts.parallel && mapping.st_tgds().len() > 1 {
+                crossbeam::scope(|scope| {
+                    let handles: Vec<_> = mapping
+                        .st_tgds()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, tgd)| {
+                            scope.spawn(move |_| (i, match_conjunction_mode(&tgd.lhs, src, mode)))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("chase match thread panicked"))
+                        .collect()
+                })
+                .expect("chase match threads panicked")
+            } else {
+                mapping
+                    .st_tgds()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, tgd)| (i, match_conjunction_mode(&tgd.lhs, src, mode)))
+                    .collect()
+            };
+        for (i, matches) in all_matches {
+            let tgd = &mapping.st_tgds()[i];
+            let rhs_vars: BTreeSet<Name> = tgd.rhs_vars().into_iter().collect();
+            for m in matches {
+                // Each firing is an atomic step: a trip between firings
+                // hands back a prefix of whole phase-1 chase steps.
+                if let Err(reason) = gov.check() {
+                    exhaust!(reason, target);
+                }
+                let frontier: Valuation = m
+                    .into_iter()
+                    .filter(|(k, _)| rhs_vars.contains(k))
+                    .collect();
+                if opts.variant == ChaseVariant::Standard
+                    && has_match_mode(&tgd.rhs, &target, &frontier, mode)
+                {
+                    continue;
+                }
+                fire(tgd, &frontier, &mut target, &mut gen, gov)?;
+                firings += 1;
+            }
+        }
+        stats.st_firings = firings;
+        // Round 0: the phase-1 output is the base state every later
+        // delta record builds on, so it goes to the sink in full.
+        checkpoint!(0, None, false);
+    }
 
     // Phase 2: target dependencies to fixpoint.
     let semi_naive = opts.matcher == Matcher::Indexed;
-    // After an egd substitution the whole instance is effectively new,
-    // so the next round must do a full re-match even under Indexed.
-    let mut full_rematch = false;
     loop {
         // Tuples inserted since the previous round (round 1 sees the
         // phase-1 output). Drained in both modes so logs stay bounded.
@@ -385,6 +533,7 @@ pub fn exchange_governed(
         // labeled null), and skipping checks here is what guarantees
         // every phase-2 partial is a fully egd-enforced boundary. The
         // deadline overshoot is bounded by one round's egd work.
+        let mut round_merged = false;
         for egd in mapping.target_egds() {
             let (new_target, merges) = chase_one_egd(egd, target, mode, &mut lost)?;
             target = new_target;
@@ -392,16 +541,28 @@ pub fn exchange_governed(
                 firings += merges;
                 changed = true;
                 full_rematch = true;
+                round_merged = true;
             }
         }
 
         if !changed {
+            // Fixpoint: mark the last committed boundary complete so a
+            // durable sink can distinguish "done" from "interrupted".
+            checkpoint!(rounds as u64, Some(Vec::new()), true);
             break;
         }
         rounds += 1;
         gov.note_round();
-        // The round is now fully committed (firings + egds), so trips
-        // here hand back a valid, egd-enforced round boundary.
+        // The round is committed (firings + egds): hand it to the sink
+        // *before* the budget checks below, so even a round that trips
+        // the governor is durably resumable. Substitution wiped the
+        // delta logs on merge rounds, so those checkpoint in full.
+        let cp_delta = if round_merged {
+            None
+        } else {
+            Some(target.peek_deltas())
+        };
+        checkpoint!(rounds as u64, cp_delta, false);
         if rounds > opts.max_rounds || gov.round_limit_hit() {
             exhaust!(TripReason::Rounds, target);
         }
@@ -411,7 +572,7 @@ pub fn exchange_governed(
     }
     stats.rounds = rounds;
 
-    let (src_b, src_p) = src.index_stats();
+    let (src_b, src_p) = src_opt.map(Instance::index_stats).unwrap_or((0, 0));
     let (tgt_b, tgt_p) = target.index_stats();
     stats.index_builds = lost.0 + tgt_b + (src_b - src_stats_before.0);
     stats.index_probes = lost.1 + tgt_p + (src_p - src_stats_before.1);
@@ -1505,5 +1666,236 @@ mod tests {
 
     fn mapping_egds(m: &Mapping) -> &[dex_logic::Egd] {
         m.target_egds()
+    }
+
+    // ---- checkpointing & resume ----
+
+    /// One recorded boundary: round, null-generator position, owned
+    /// state, whether the round came as a delta, completion flag.
+    struct Boundary {
+        round: u64,
+        next_null: u64,
+        state: Instance,
+        as_delta: bool,
+        complete: bool,
+    }
+
+    /// A sink that keeps every boundary and verifies on the fly that
+    /// each delta record replays the previous boundary into this one —
+    /// the exact contract a WAL depends on.
+    #[derive(Default)]
+    struct Recorder {
+        boundaries: Vec<Boundary>,
+    }
+
+    impl CheckpointSink for Recorder {
+        fn on_checkpoint(&mut self, cp: Checkpoint<'_>) -> Result<(), String> {
+            if let (Some(delta), Some(prev)) = (&cp.delta, self.boundaries.last()) {
+                let mut replayed = prev.state.clone();
+                for (rel, ts) in delta {
+                    for t in ts {
+                        replayed
+                            .insert(rel.as_str(), t.clone())
+                            .map_err(|e| e.to_string())?;
+                    }
+                }
+                if &replayed != cp.target {
+                    return Err(format!("round {} delta does not replay", cp.round));
+                }
+            }
+            self.boundaries.push(Boundary {
+                round: cp.round,
+                next_null: cp.next_null,
+                state: cp.target.clone(),
+                as_delta: cp.delta.is_some(),
+                complete: cp.complete,
+            });
+            Ok(())
+        }
+    }
+
+    /// Mappings exercising multi-round target chases, joins, and egd
+    /// merges — the shapes resume must reproduce exactly.
+    fn resume_cases() -> Vec<(Mapping, Instance)> {
+        type Facts = Vec<(&'static str, Vec<Tuple>)>;
+        let cases: [(&str, Facts); 3] = [
+            (
+                r#"
+                source R(a);
+                target S(a);
+                target T(a, b);
+                target U(b);
+                R(x) -> S(x);
+                S(x) -> T(x, y);
+                T(x, y) -> U(y);
+                "#,
+                vec![("R", vec![tuple!["a"], tuple!["b"]])],
+            ),
+            (
+                r#"
+                source E(p, c);
+                target P(p, c);
+                target G(a, c);
+                E(x, y) -> P(x, y);
+                P(x, y) & P(y, z) -> G(x, z);
+                "#,
+                vec![(
+                    "E",
+                    vec![tuple!["a", "b"], tuple!["b", "c"], tuple!["c", "d"]],
+                )],
+            ),
+            (
+                r#"
+                source E1(name);
+                source E2(name);
+                target Manager(emp, mgr);
+                target Peer(mgr);
+                key Manager(emp);
+                E1(x) -> Manager(x, y);
+                E2(x) -> Manager(x, y);
+                Manager(x, y) -> Peer(y);
+                "#,
+                vec![
+                    ("E1", vec![tuple!["Alice"], tuple!["Bob"]]),
+                    ("E2", vec![tuple!["Alice"], tuple!["Carol"]]),
+                ],
+            ),
+        ];
+        cases
+            .into_iter()
+            .map(|(text, facts)| {
+                let m = parse_mapping(text).unwrap();
+                let src = Instance::with_facts(m.source().clone(), facts).unwrap();
+                (m, src)
+            })
+            .collect()
+    }
+
+    /// Attaching a sink changes nothing about the run itself, the
+    /// boundaries replay as deltas, and the last one is the complete
+    /// final instance.
+    #[test]
+    fn checkpointed_run_is_identical_and_boundaries_replay() {
+        for (m, src) in resume_cases() {
+            let plain = exchange(&m, &src).unwrap();
+            let mut rec = Recorder::default();
+            let gov = Governor::unlimited();
+            let res = exchange_checkpointed(&m, &src, ChaseOptions::default(), &gov, &mut rec)
+                .unwrap()
+                .into_result()
+                .unwrap();
+            assert_eq!(res.target, plain.target, "sink must not perturb the chase");
+            assert_eq!(res.stats, plain.stats);
+            let last = rec.boundaries.last().expect("at least round 0 + fixpoint");
+            assert!(last.complete);
+            assert_eq!(last.state, plain.target);
+            assert_eq!(rec.boundaries[0].round, 0, "base boundary is phase-1");
+            assert!(!rec.boundaries[0].as_delta, "base boundary is a full state");
+        }
+    }
+
+    /// The tentpole property: resuming from *every* recorded boundary
+    /// reproduces the uninterrupted final instance literally — same
+    /// tuples, same null ids — including across egd-merge rounds.
+    #[test]
+    fn resume_from_every_boundary_equals_uninterrupted() {
+        for (m, src) in resume_cases() {
+            for variant in [ChaseVariant::Standard, ChaseVariant::Oblivious] {
+                let opts = ChaseOptions {
+                    variant,
+                    ..Default::default()
+                };
+                let mut rec = Recorder::default();
+                let gov = Governor::unlimited();
+                let full = exchange_checkpointed(&m, &src, opts, &gov, &mut rec)
+                    .unwrap()
+                    .into_result()
+                    .unwrap();
+                let merged_rounds = rec.boundaries.iter().filter(|b| !b.as_delta).count();
+                for b in rec.boundaries.iter().filter(|b| !b.complete) {
+                    let state = ResumeState {
+                        target: b.state.clone(),
+                        next_null: b.next_null,
+                        rounds: b.round,
+                    };
+                    let resumed = resume_exchange(&m, state, opts, &Governor::unlimited(), None)
+                        .unwrap()
+                        .into_result()
+                        .unwrap();
+                    assert_eq!(
+                        resumed.target, full.target,
+                        "resume from round {} diverged ({variant:?})",
+                        b.round
+                    );
+                }
+                // Under the oblivious chase the keyed case derives
+                // duplicate null managers, so an egd-merge round must
+                // have produced a full (non-delta) checkpoint beyond
+                // the base one.
+                if !m.target_egds().is_empty() && variant == ChaseVariant::Oblivious {
+                    assert!(merged_rounds > 1, "expected an egd-merge boundary");
+                }
+            }
+        }
+    }
+
+    /// Round caps count total rounds across the original and resumed
+    /// processes: resuming under the same budget lands on the same
+    /// boundary (and the same report) as a never-interrupted run.
+    #[test]
+    fn resumed_round_cap_counts_total_rounds() {
+        let (m, src) = ping_pong();
+        let cap = 6u64;
+        let fresh_gov = Governor::new(Budget::unlimited().with_max_rounds(cap));
+        let mut rec = Recorder::default();
+        let fresh = expect_exhausted(
+            exchange_checkpointed(&m, &src, ChaseOptions::default(), &fresh_gov, &mut rec).unwrap(),
+        );
+        assert_eq!(fresh.report.rounds_committed, cap + 1);
+
+        let mid = &rec.boundaries[3]; // some boundary strictly inside the run
+        assert!(mid.round >= 1 && mid.round < cap);
+        let resume_gov = Governor::new(Budget::unlimited().with_max_rounds(cap));
+        let resumed = expect_exhausted(
+            resume_exchange(
+                &m,
+                ResumeState {
+                    target: mid.state.clone(),
+                    next_null: mid.next_null,
+                    rounds: mid.round,
+                },
+                ChaseOptions::default(),
+                &resume_gov,
+                None,
+            )
+            .unwrap(),
+        );
+        assert_eq!(resumed.report.reason, TripReason::Rounds);
+        assert_eq!(resumed.report.rounds_committed, cap + 1, "total rounds");
+        assert_eq!(resumed.partial, fresh.partial, "same committed boundary");
+    }
+
+    /// A failing sink aborts the chase with the typed checkpoint error.
+    #[test]
+    fn failing_sink_aborts_with_typed_error() {
+        struct Failing;
+        impl CheckpointSink for Failing {
+            fn on_checkpoint(&mut self, _cp: Checkpoint<'_>) -> Result<(), String> {
+                Err("disk full".into())
+            }
+        }
+        let (m, src) = ping_pong();
+        let err = exchange_checkpointed(
+            &m,
+            &src,
+            ChaseOptions::default(),
+            &Governor::unlimited(),
+            &mut Failing,
+        )
+        .unwrap_err();
+        match err {
+            ChaseError::Checkpoint(msg) => assert!(msg.contains("disk full")),
+            other => panic!("expected Checkpoint error, got {other:?}"),
+        }
     }
 }

@@ -37,6 +37,11 @@ pub enum ChaseError {
     },
     /// An underlying relational error (arity/type violations etc.).
     Relational(RelationalError),
+    /// A [`crate::CheckpointSink`] failed to persist a committed chase
+    /// boundary. The chase aborts rather than outrun its own durable
+    /// record; the message is the sink's own description (typically a
+    /// `dex-store` IO or corruption error).
+    Checkpoint(String),
 }
 
 impl fmt::Display for ChaseError {
@@ -52,6 +57,9 @@ impl fmt::Display for ChaseError {
                 "variable `{var}` is not bound by the premise of `{dependency}`"
             ),
             ChaseError::Relational(e) => write!(f, "{e}"),
+            ChaseError::Checkpoint(msg) => {
+                write!(f, "chase aborted: checkpoint sink failed: {msg}")
+            }
         }
     }
 }

@@ -24,9 +24,10 @@ pub mod sochase;
 pub mod termination;
 
 pub use chase::{
-    enforce_egds, enforce_egds_governed, enforce_egds_with, exchange, exchange_governed,
-    exchange_with, ChaseOptions, ChaseOutcome, ChaseStats, ChaseVariant, EgdOutcome, EgdStats,
-    ExchangeResult, Exhausted, Matcher,
+    enforce_egds, enforce_egds_governed, enforce_egds_with, exchange, exchange_checkpointed,
+    exchange_governed, exchange_with, resume_exchange, ChaseOptions, ChaseOutcome, ChaseStats,
+    ChaseVariant, Checkpoint, CheckpointSink, EgdOutcome, EgdStats, ExchangeResult, Exhausted,
+    Matcher, ResumeState,
 };
 pub use core_min::{core_of, core_of_governed};
 pub use error::ChaseError;

@@ -13,6 +13,14 @@
 //! | `chase.fire`            | `dex-chase` — before a tgd firing mutates    |
 //! | `relation.extend_delta` | delta commit, after validation, before insert|
 //! | `index.build`           | lazy index (re)build, before mutating cache  |
+//! | `store.wal_append`      | `dex-store` — before a WAL record write      |
+//! | `store.snapshot_write`  | `dex-store` — before the snapshot temp write |
+//! | `store.snapshot_rename` | `dex-store` — before the atomic rename       |
+//!
+//! The `store.*` sites are probed through [`hit_io`], which can also
+//! inject [`FailAction::ShortWrite`]: the store's write path then
+//! writes only a prefix of the record before erroring, simulating a
+//! torn write at a byte granularity the `Error` action cannot reach.
 //!
 //! Arming is one-shot and deterministic: `arm(site, action, nth)`
 //! triggers on exactly the `nth` hit of `site` after arming, then
@@ -37,10 +45,22 @@ pub enum FailAction {
     Error,
     /// Panic (exercises unwind safety and the CLI panic barrier).
     Panic,
+    /// Write only the first `n` bytes of the faulted IO operation,
+    /// then error — a torn write. Only meaningful at `store.*` sites
+    /// probed via [`hit_io`]; [`hit`] treats it like `Error`.
+    ShortWrite(u64),
 }
 
-/// Every registered fail-point site, for matrix tests.
+/// Every registered in-memory fail-point site, for matrix tests.
 pub const SITES: &[&str] = &["chase.fire", "relation.extend_delta", "index.build"];
+
+/// Every registered store IO fail-point site (probed via [`hit_io`]),
+/// for the crash-matrix tests in `dex-store`.
+pub const STORE_SITES: &[&str] = &[
+    "store.wal_append",
+    "store.snapshot_write",
+    "store.snapshot_rename",
+];
 
 /// Probe a fail-point site. Returns the injected error when the site
 /// is armed and this is the triggering hit; panics instead when the
@@ -52,8 +72,19 @@ pub fn hit(_site: &str) -> Option<RelationalError> {
     None
 }
 
+/// Probe an IO fail-point site. Unlike [`hit`], the triggering action
+/// is handed back to the caller so IO code can interpret
+/// [`FailAction::ShortWrite`] (write a prefix, then fail) itself;
+/// `Panic` still unwinds from here. A no-op without the `failpoints`
+/// feature.
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub fn hit_io(_site: &str) -> Option<FailAction> {
+    None
+}
+
 #[cfg(feature = "failpoints")]
-pub use imp::{arm, clear, exclusive, hit};
+pub use imp::{arm, clear, exclusive, hit, hit_io};
 
 #[cfg(feature = "failpoints")]
 mod imp {
@@ -108,6 +139,27 @@ mod imp {
 
     /// See the crate-level [`hit`](super::hit) docs.
     pub fn hit(site: &str) -> Option<RelationalError> {
+        match trigger(site)? {
+            // Non-IO sites have no byte-level write to tear; an armed
+            // short write degrades to the plain typed error.
+            FailAction::Error | FailAction::ShortWrite(_) => {
+                Some(RelationalError::FaultInjected(site.to_string()))
+            }
+            FailAction::Panic => panic!("injected panic at fail point `{site}`"),
+        }
+    }
+
+    /// See the crate-level [`hit_io`](super::hit_io) docs.
+    pub fn hit_io(site: &str) -> Option<FailAction> {
+        match trigger(site)? {
+            FailAction::Panic => panic!("injected panic at fail point `{site}`"),
+            action => Some(action),
+        }
+    }
+
+    /// Shared trigger bookkeeping: count the hit, disarm on the Nth,
+    /// and hand the armed action back with the registry lock released.
+    fn trigger(site: &str) -> Option<FailAction> {
         let mut reg = lock();
         let armed = reg.get_mut(site)?;
         armed.hits += 1;
@@ -116,11 +168,7 @@ mod imp {
         }
         let action = armed.action;
         reg.remove(site); // one-shot: disarm before acting
-        drop(reg); // release the lock before a potential unwind
-        match action {
-            FailAction::Error => Some(RelationalError::FaultInjected(site.to_string())),
-            FailAction::Panic => panic!("injected panic at fail point `{site}`"),
-        }
+        Some(action)
     }
 }
 
@@ -176,6 +224,25 @@ mod tests {
         // The registry keeps working after the unwind.
         arm("index.build", FailAction::Error, 1);
         assert!(hit("index.build").is_some());
+        clear();
+    }
+
+    #[test]
+    fn io_probe_hands_back_the_action() {
+        let _gate = exclusive();
+        clear();
+        arm("store.wal_append", FailAction::ShortWrite(5), 1);
+        assert_eq!(hit_io("store.wal_append"), Some(FailAction::ShortWrite(5)));
+        assert!(hit_io("store.wal_append").is_none(), "one-shot: disarmed");
+        arm("store.snapshot_rename", FailAction::Error, 1);
+        assert_eq!(hit_io("store.snapshot_rename"), Some(FailAction::Error));
+        // A short write armed at a non-IO site degrades to the typed
+        // error through the plain probe.
+        arm("chase.fire", FailAction::ShortWrite(3), 1);
+        assert_eq!(
+            hit("chase.fire"),
+            Some(RelationalError::FaultInjected("chase.fire".into()))
+        );
         clear();
     }
 }

@@ -284,6 +284,14 @@ impl Governor {
         self.rounds.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Preload the committed-round counter with `n` rounds done by an
+    /// earlier run — used when resuming a checkpointed chase so round
+    /// caps and exhaustion reports count *total* rounds across the
+    /// original and resumed processes, not just the resumed one.
+    pub fn note_rounds(&self, n: u64) {
+        self.rounds.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Has the committed-round cap been exceeded? (Checked after
     /// [`note_round`](Governor::note_round), mirroring the historical
     /// `max_rounds` semantics: a run may commit exactly `max_rounds`

@@ -164,6 +164,10 @@ impl IndexState {
         self.delta.len()
     }
 
+    pub(crate) fn peek_delta(&self) -> &[Tuple] {
+        &self.delta
+    }
+
     /// (index builds, index probes) served so far by this relation.
     pub(crate) fn stats(&self) -> (u64, u64) {
         (

@@ -116,6 +116,19 @@ impl Instance {
             .collect()
     }
 
+    /// Copy every relation's pending delta log without draining it —
+    /// the relations that have pending deltas (in name order) with
+    /// their new tuples. Used by chase checkpointing to hand the
+    /// round's insertions to a WAL while leaving the semi-naive
+    /// bookkeeping untouched.
+    pub fn peek_deltas(&self) -> Vec<(Name, Vec<Tuple>)> {
+        self.relations
+            .iter()
+            .filter(|(_, r)| r.delta_len() > 0)
+            .map(|(n, r)| (n.clone(), r.peek_delta().to_vec()))
+            .collect()
+    }
+
     /// Total number of undrained delta tuples across all relations.
     pub fn delta_len(&self) -> usize {
         self.relations.values().map(Relation::delta_len).sum()

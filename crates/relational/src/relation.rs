@@ -183,6 +183,11 @@ impl Relation {
         self.index.delta_len()
     }
 
+    /// The undrained delta log, without consuming it (insertion order).
+    pub fn peek_delta(&self) -> &[Tuple] {
+        self.index.peek_delta()
+    }
+
     /// Remove a tuple. Returns `true` if it was present.
     pub fn remove(&mut self, t: &Tuple) -> bool {
         let removed = self.tuples.remove(t);

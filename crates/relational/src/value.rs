@@ -298,6 +298,14 @@ impl NullGen {
         NullGen::starting_at(start)
     }
 
+    /// The id the next [`fresh_id`](NullGen::fresh_id) call will
+    /// return, without consuming it. Lets a checkpoint record the
+    /// generator's position so a resumed run allocates the exact same
+    /// null ids as the uninterrupted one.
+    pub fn peek_next(&self) -> u64 {
+        self.next
+    }
+
     /// Produce the next fresh null id.
     pub fn fresh_id(&mut self) -> NullId {
         let id = NullId(self.next);

@@ -1,0 +1,101 @@
+//! Shared framing for the store's one-shot blob files (`store.meta`,
+//! `source.bin`, `snapshot.bin`): an 8-byte magic, a format version,
+//! a payload length, and a CRC-32 of the payload. A blob either
+//! verifies end-to-end or is corrupt — there is no partial read.
+//!
+//! ```text
+//! magic[8] | version u32 | payload_len u32 | crc32 u32 | payload…
+//! ```
+
+use crate::crc::crc32;
+use crate::error::StoreError;
+
+/// On-disk format version for every store file.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Bytes of framing before the payload.
+pub const HEADER_LEN: usize = 8 + 4 + 4 + 4;
+
+/// Frame `payload` under `magic`.
+pub fn frame(magic: &[u8; 8], payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(magic);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Verify framing and checksum, returning the payload slice.
+pub fn unframe<'a>(magic: &[u8; 8], bytes: &'a [u8], file: &str) -> Result<&'a [u8], StoreError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(StoreError::corrupt(
+            file,
+            bytes.len(),
+            format!("file too short for header ({} bytes)", bytes.len()),
+        ));
+    }
+    if &bytes[..8] != magic {
+        return Err(StoreError::corrupt(file, 0, "bad magic"));
+    }
+    let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+    if version != FORMAT_VERSION {
+        return Err(StoreError::corrupt(
+            file,
+            8,
+            format!("unsupported format version {version}"),
+        ));
+    }
+    let len = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]) as usize;
+    let crc = u32::from_le_bytes([bytes[16], bytes[17], bytes[18], bytes[19]]);
+    let payload = &bytes[HEADER_LEN..];
+    if payload.len() != len {
+        return Err(StoreError::corrupt(
+            file,
+            12,
+            format!(
+                "payload length {} does not match header {len}",
+                payload.len()
+            ),
+        ));
+    }
+    if crc32(payload) != crc {
+        return Err(StoreError::corrupt(file, 16, "payload checksum mismatch"));
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAGIC: &[u8; 8] = b"DEXTEST\0";
+
+    #[test]
+    fn round_trip() {
+        let framed = frame(MAGIC, b"hello");
+        assert_eq!(unframe(MAGIC, &framed, "t").expect("unframe"), b"hello");
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let framed = frame(MAGIC, b"payload bytes");
+        for bit in 0..framed.len() * 8 {
+            let mut bad = framed.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                unframe(MAGIC, &bad, "t").is_err(),
+                "flip at bit {bit} undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let framed = frame(MAGIC, b"payload bytes");
+        for n in 0..framed.len() {
+            assert!(unframe(MAGIC, &framed[..n], "t").is_err(), "prefix {n}");
+        }
+    }
+}

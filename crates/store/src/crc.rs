@@ -1,0 +1,62 @@
+//! CRC-32 (IEEE 802.3 polynomial, the `cksum`/zlib variant), computed
+//! with a compile-time lookup table. Hand-rolled because the build is
+//! offline; the constants match the standard `crc32fast`/zlib output,
+//! pinned by the test vectors below.
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = make_table();
+
+/// The CRC-32 checksum of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Standard test vectors (zlib's crc32).
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let base = crc32(b"hello, world");
+        let mut bytes = *b"hello, world";
+        for i in 0..bytes.len() * 8 {
+            bytes[i / 8] ^= 1 << (i % 8);
+            assert_ne!(crc32(&bytes), base, "flip at bit {i} undetected");
+            bytes[i / 8] ^= 1 << (i % 8);
+        }
+    }
+}

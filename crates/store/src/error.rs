@@ -1,0 +1,109 @@
+//! Typed store failures. Every byte the store reads back is untrusted:
+//! decoding and recovery must surface corruption as [`StoreError`]
+//! values, never as panics (the crate denies `unwrap`, and the fuzz
+//! harness feeds arbitrary bytes through `open`/`fsck`).
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Errors raised by the on-disk store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An operating-system IO failure, with what the store was doing.
+    Io {
+        /// What the store was doing (e.g. `append wal.log`).
+        context: String,
+        /// The underlying IO error.
+        source: std::io::Error,
+    },
+    /// A file's bytes do not decode: bad magic, failed checksum,
+    /// truncated payload, or malformed structure.
+    Corrupt {
+        /// File the corruption was found in (relative to the store).
+        file: String,
+        /// Byte offset of the failed read.
+        offset: u64,
+        /// What failed to decode.
+        what: String,
+    },
+    /// The directory exists but holds no store (`store.meta` missing
+    /// or unreadable as a store header).
+    NotAStore {
+        /// The offending directory.
+        dir: PathBuf,
+    },
+    /// `create` refused to overwrite an existing store.
+    StoreExists {
+        /// The occupied directory.
+        dir: PathBuf,
+    },
+    /// An injected fault from the `failpoints` feature (the IO-layer
+    /// analogue of `RelationalError::FaultInjected`).
+    Injected {
+        /// The fail-point site that fired.
+        site: String,
+    },
+}
+
+impl StoreError {
+    /// Shorthand for a corruption error.
+    pub(crate) fn corrupt(file: &str, offset: usize, what: impl Into<String>) -> Self {
+        StoreError::Corrupt {
+            file: file.to_string(),
+            offset: offset as u64,
+            what: what.into(),
+        }
+    }
+
+    /// Adapter turning an `io::Error` into [`StoreError::Io`] with
+    /// context, for use in `map_err`.
+    pub(crate) fn io(context: impl Into<String>) -> impl FnOnce(std::io::Error) -> Self {
+        let context = context.into();
+        move |source| StoreError::Io { context, source }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { context, source } => write!(f, "io error: {context}: {source}"),
+            StoreError::Corrupt { file, offset, what } => {
+                write!(f, "corrupt store file `{file}` at byte {offset}: {what}")
+            }
+            StoreError::NotAStore { dir } => {
+                write!(f, "`{}` is not a dex store (no store.meta)", dir.display())
+            }
+            StoreError::StoreExists { dir } => write!(
+                f,
+                "`{}` already holds a store (use `dexcli resume`, or point --store at a fresh directory)",
+                dir.display()
+            ),
+            StoreError::Injected { site } => write!(f, "injected fault at `{site}`"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = StoreError::corrupt("wal.log", 16, "bad record checksum");
+        assert!(e.to_string().contains("wal.log"));
+        assert!(e.to_string().contains("byte 16"));
+        let e = StoreError::NotAStore {
+            dir: PathBuf::from("/tmp/x"),
+        };
+        assert!(e.to_string().contains("not a dex store"));
+    }
+}

@@ -8,7 +8,14 @@
 //! dexcli backward <mapping.dex> <target.json> <source.json> lens-engine backward
 //! dexcli compose  <m1.dex> <m2.dex>                      compose mappings (SO-tgd or st-tgds)
 //! dexcli recover  <mapping.dex>                          maximum recovery (disjunctive rules)
+//! dexcli resume   <store-dir>                            continue a crashed/exhausted --store run
+//! dexcli fsck     <store-dir> [--repair]                 verify (and repair) a store directory
 //! ```
+//!
+//! `chase`/`exchange` take `--store <dir>` to persist the run crash-
+//! safely (WAL + snapshots; see DESIGN.md §9); `dexcli resume` then
+//! continues from the last committed round after a crash or budget
+//! trip.
 //!
 //! Instance JSON format — facts only, schema comes from the mapping:
 //!
@@ -21,17 +28,24 @@
 
 use dex::analyze::{analyze, deny_warnings, has_errors, parse_error_diagnostic, render_all};
 use dex::chase::{
-    certain_answers_governed, exchange_governed, Budget, ChaseOptions, ChaseOutcome, Governor,
+    certain_answers_governed, exchange_checkpointed, exchange_governed, resume_exchange, Budget,
+    ChaseOptions, ChaseOutcome, ChaseStats, Governor, ResumeState,
 };
-use dex::core::{compile, Engine, EngineForward};
+use dex::core::{compile, Engine, EngineForward, ForwardStats};
 use dex::logic::{parse_mapping, parse_mapping_with_spans, Mapping};
 use dex::ops::{compose, maximum_recovery};
-use dex::relational::{Instance, Schema, Tuple, Value};
+use dex::relational::{ExhaustionReport, Instance, Schema, Tuple, Value};
 use dex::rellens::Environment;
+use dex::store::{fsck, ChaseState, Store, StoreMode, StoreOptions, StoreSink};
 use serde_json::{json, Map, Value as Json};
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 
+/// Exit code when lint diagnostics deny the mapping: distinct from a
+/// usage/IO error (1) so CI gates can tell "bad flags" from "bad
+/// mapping".
+const EXIT_LINT: u8 = 2;
 /// Exit code when a budget trips: the run is neither a success nor an
 /// error — the partial result on stdout is a valid chase prefix.
 const EXIT_EXHAUSTED: u8 = 3;
@@ -60,8 +74,13 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let usage =
-        "usage: dexcli <plan|check|lint|chase|exchange|backward|compose|recover|query> <args…>\n\
+        "usage: dexcli <plan|check|lint|chase|exchange|backward|compose|recover|query|resume|fsck> <args…>\n\
                  run `dexcli help` for details";
+    // Deterministic hook for exercising the panic barrier end-to-end
+    // (tests/robustness_cli.rs pins exit code 70 through it).
+    if std::env::var_os("DEXCLI_TEST_PANIC").is_some() {
+        panic!("DEXCLI_TEST_PANIC set");
+    }
     let cmd = args.first().ok_or(usage)?;
     match cmd.as_str() {
         "help" | "--help" | "-h" => {
@@ -79,52 +98,50 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             check(&m);
             Ok(ExitCode::SUCCESS)
         }
-        "lint" => lint(&args[1..]).map(|()| ExitCode::SUCCESS),
+        "lint" => lint(&args[1..]),
         "chase" => {
             let mut rest: Vec<&String> = args[1..].iter().collect();
             let budget = extract_budget(&mut rest)?;
-            let stats = rest.iter().position(|a| a.as_str() == "--stats");
-            if let Some(i) = stats {
-                rest.remove(i);
-            }
-            let m = load_mapping(rest.first().ok_or(usage)?)?;
+            let out = extract_output(&mut rest)?;
+            let store_opts = extract_store(&mut rest)?;
+            reject_unknown_flags(&rest)?;
+            let mapping_path = rest.first().ok_or(usage)?;
+            let (text, m) = load_mapping_text(mapping_path)?;
             let src = load_instance(rest.get(1).ok_or(usage)?, m.source())?;
             let gov = Governor::new(budget);
-            let outcome = exchange_governed(&m, &src, ChaseOptions::default(), &gov)
-                .map_err(|e| e.to_string())?;
-            match outcome {
-                ChaseOutcome::Complete(res) => {
+            let outcome = match &store_opts {
+                Some((dir, opts)) => {
+                    let mut store = Store::create(dir, StoreMode::Chase, &text, &src, *opts)
+                        .map_err(|e| e.to_string())?;
+                    let mut sink = StoreSink::new(&mut store);
+                    exchange_checkpointed(&m, &src, ChaseOptions::default(), &gov, &mut sink)
+                        .map_err(|e| e.to_string())?
+                }
+                None => exchange_governed(&m, &src, ChaseOptions::default(), &gov)
+                    .map_err(|e| e.to_string())?,
+            };
+            if let ChaseOutcome::Complete(res) = &outcome {
+                // In `--format json` mode stderr carries exactly one
+                // machine-readable object; keep the human line out.
+                if !out.json {
                     eprintln!(
                         "chased {} source facts; {} nulls invented, {} rule firings",
                         src.fact_count(),
                         res.nulls_created,
                         res.firings
                     );
-                    if stats.is_some() {
-                        eprint!("{}", res.stats);
-                    }
-                    println!("{}", render_instance(&res.target));
-                    Ok(ExitCode::SUCCESS)
-                }
-                ChaseOutcome::Exhausted(ex) => {
-                    eprintln!("{}", ex.report);
-                    eprintln!("the instance below is a valid partial chase result");
-                    if stats.is_some() {
-                        eprint!("{}", ex.stats);
-                    }
-                    println!("{}", render_instance(&ex.partial));
-                    Ok(ExitCode::from(EXIT_EXHAUSTED))
                 }
             }
+            finish_chase(outcome, &out, store_opts.as_ref().map(|(d, _)| d.as_path()))
         }
         "exchange" => {
             let mut rest: Vec<&String> = args[1..].iter().collect();
             let budget = extract_budget(&mut rest)?;
-            let stats = rest.iter().position(|a| a.as_str() == "--stats");
-            if let Some(i) = stats {
-                rest.remove(i);
-            }
-            let m = load_mapping(rest.first().ok_or(usage)?)?;
+            let out = extract_output(&mut rest)?;
+            let store_opts = extract_store(&mut rest)?;
+            reject_unknown_flags(&rest)?;
+            let mapping_path = rest.first().ok_or(usage)?;
+            let (text, m) = load_mapping_text(mapping_path)?;
             let src = load_instance(rest.get(1).ok_or(usage)?, m.source())?;
             let prev = match rest.get(2) {
                 Some(p) => Some(load_instance(p, m.target())?),
@@ -132,24 +149,38 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             };
             let engine = build_engine(&m)?;
             let gov = Governor::new(budget);
-            match engine
+            let mut store = match &store_opts {
+                Some((dir, opts)) => Some(
+                    Store::create(dir, StoreMode::Exchange, &text, &src, *opts)
+                        .map_err(|e| e.to_string())?,
+                ),
+                None => None,
+            };
+            let forward = engine
                 .forward_governed(&src, prev.as_ref(), &gov)
-                .map_err(|e| e.to_string())?
-            {
-                EngineForward::Complete { target, stats: st } => {
-                    if stats.is_some() {
-                        eprint!("{st}");
-                    }
-                    println!("{}", render_instance(&target));
-                    Ok(ExitCode::SUCCESS)
+                .map_err(|e| e.to_string())?;
+            finish_forward(forward, &out, store.as_mut())
+        }
+        "resume" => {
+            let mut rest: Vec<&String> = args[1..].iter().collect();
+            let budget = extract_budget(&mut rest)?;
+            let out = extract_output(&mut rest)?;
+            reject_unknown_flags(&rest)?;
+            let dir = Path::new(rest.first().ok_or(usage)?.as_str());
+            resume(dir, budget, &out)
+        }
+        "fsck" => {
+            let mut rest: Vec<&String> = args[1..].iter().collect();
+            let repair = match rest.iter().position(|a| a.as_str() == "--repair") {
+                Some(i) => {
+                    rest.remove(i);
+                    true
                 }
-                EngineForward::Exhausted { partial, report } => {
-                    eprintln!("{report}");
-                    eprintln!("the instance below is a consistent partial forward result");
-                    println!("{}", render_instance(&partial));
-                    Ok(ExitCode::from(EXIT_EXHAUSTED))
-                }
-            }
+                None => false,
+            };
+            reject_unknown_flags(&rest)?;
+            let dir = Path::new(rest.first().ok_or(usage)?.as_str());
+            fsck_cmd(dir, repair)
         }
         "backward" => {
             let m = load_mapping(args.get(1).ok_or(usage)?)?;
@@ -242,9 +273,10 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 
 /// `dexcli lint <files…> [--format text|json] [--deny warnings]`.
 ///
-/// Exit status is non-zero iff any file fails to parse or any
-/// diagnostic is an error after `--deny warnings` promotion.
-fn lint(args: &[String]) -> Result<(), String> {
+/// Exits [`EXIT_LINT`] (2) iff any file fails to parse or any
+/// diagnostic is an error after `--deny warnings` promotion; bad
+/// flags and unreadable files exit 1 like any other usage error.
+fn lint(args: &[String]) -> Result<ExitCode, String> {
     let usage = "usage: dexcli lint <mapping.dex>… [--format text|json] [--deny warnings]";
     let mut files: Vec<&String> = Vec::new();
     let mut format = "text";
@@ -304,10 +336,325 @@ fn lint(args: &[String]) -> Result<(), String> {
         );
     }
     if failed {
-        Err("lint found errors".into())
+        eprintln!("lint found errors");
+        Ok(ExitCode::from(EXIT_LINT))
     } else {
-        Ok(())
+        Ok(ExitCode::SUCCESS)
     }
+}
+
+// ---------------------------------------------------------------------
+// Store-backed runs: output plumbing, resume, fsck
+// ---------------------------------------------------------------------
+
+/// How `--stats`/`--format` shape the stderr side channel.
+struct OutputOpts {
+    stats: bool,
+    json: bool,
+}
+
+/// After flag extraction, anything left that still looks like a flag
+/// is unknown — reject it rather than silently treating it as a
+/// positional argument.
+fn reject_unknown_flags(rest: &[&String]) -> Result<(), String> {
+    match rest.iter().find(|a| a.starts_with("--")) {
+        Some(flag) => Err(format!("unknown flag `{flag}`")),
+        None => Ok(()),
+    }
+}
+
+/// Extract `--stats` and `--format text|json` from an argument list.
+fn extract_output(rest: &mut Vec<&String>) -> Result<OutputOpts, String> {
+    let stats = match rest.iter().position(|a| a.as_str() == "--stats") {
+        Some(i) => {
+            rest.remove(i);
+            true
+        }
+        None => false,
+    };
+    let json = match take_flag_value(rest, "--format")?.as_deref() {
+        Some("json") => true,
+        Some("text") | None => false,
+        Some(f) => return Err(format!("--format takes `text` or `json`, got `{f}`")),
+    };
+    if json && !stats {
+        return Err("--format json requires --stats".into());
+    }
+    Ok(OutputOpts { stats, json })
+}
+
+/// Extract `--store <dir>` (plus `--snapshot-every <n>` and
+/// `--no-sync`) from an argument list.
+fn extract_store(
+    rest: &mut Vec<&String>,
+) -> Result<Option<(std::path::PathBuf, StoreOptions)>, String> {
+    let dir = take_flag_value(rest, "--store")?;
+    let every = take_flag_value(rest, "--snapshot-every")?;
+    let no_sync = match rest.iter().position(|a| a.as_str() == "--no-sync") {
+        Some(i) => {
+            rest.remove(i);
+            true
+        }
+        None => false,
+    };
+    match dir {
+        Some(d) => {
+            let mut opts = StoreOptions::default();
+            if let Some(n) = every {
+                opts.snapshot_every = parse_count(&n, "--snapshot-every")?.max(1);
+            }
+            opts.sync = !no_sync;
+            Ok(Some((std::path::PathBuf::from(d), opts)))
+        }
+        None if every.is_some() || no_sync => {
+            Err("--snapshot-every and --no-sync require --store".into())
+        }
+        None => Ok(None),
+    }
+}
+
+/// Print a chase outcome: instance to stdout, stats/report to stderr
+/// (one JSON object when `--stats --format json`), exit 0 or 3.
+fn finish_chase(
+    outcome: ChaseOutcome,
+    out: &OutputOpts,
+    store_dir: Option<&Path>,
+) -> Result<ExitCode, String> {
+    match outcome {
+        ChaseOutcome::Complete(res) => {
+            if out.stats {
+                emit_stderr(out, chase_stats_json(&res.stats, None), |_| {
+                    format!("{}", res.stats)
+                });
+            }
+            println!("{}", render_instance(&res.target));
+            Ok(ExitCode::SUCCESS)
+        }
+        ChaseOutcome::Exhausted(ex) => {
+            if out.json {
+                emit_stderr(out, chase_stats_json(&ex.stats, Some(&ex.report)), |_| {
+                    String::new()
+                });
+            } else {
+                eprintln!("{}", ex.report);
+                eprintln!("the instance below is a valid partial chase result");
+                if out.stats {
+                    eprint!("{}", ex.stats);
+                }
+                if let Some(dir) = store_dir {
+                    eprintln!("resume with: dexcli resume {}", dir.display());
+                }
+            }
+            println!("{}", render_instance(&ex.partial));
+            Ok(ExitCode::from(EXIT_EXHAUSTED))
+        }
+    }
+}
+
+/// Print a lens-engine forward outcome, persisting the result into the
+/// store (snapshot-only — the pipeline is not round-resumable).
+fn finish_forward(
+    forward: EngineForward,
+    out: &OutputOpts,
+    store: Option<&mut Store>,
+) -> Result<ExitCode, String> {
+    let persist = |store: Option<&mut Store>, inst: &Instance, complete: bool| {
+        if let Some(s) = store {
+            s.prepare_resume(&ChaseState {
+                instance: inst.clone(),
+                round: 0,
+                next_null: inst.null_gen().peek_next(),
+                complete,
+            })
+            .map_err(|e| e.to_string())?;
+        }
+        Ok::<(), String>(())
+    };
+    match forward {
+        EngineForward::Complete { target, stats } => {
+            persist(store, &target, true)?;
+            if out.stats {
+                emit_stderr(out, forward_stats_json(&stats, None), |_| {
+                    format!("{stats}")
+                });
+            }
+            println!("{}", render_instance(&target));
+            Ok(ExitCode::SUCCESS)
+        }
+        EngineForward::Exhausted { partial, report } => {
+            persist(store, &partial, false)?;
+            if out.json {
+                emit_stderr(
+                    out,
+                    forward_stats_json(&ForwardStats::default(), Some(&report)),
+                    |_| String::new(),
+                );
+            } else {
+                eprintln!("{report}");
+                eprintln!("the instance below is a consistent partial forward result");
+            }
+            println!("{}", render_instance(&partial));
+            Ok(ExitCode::from(EXIT_EXHAUSTED))
+        }
+    }
+}
+
+/// One stderr emission: the JSON object under `--format json`, the
+/// text rendering otherwise.
+fn emit_stderr(out: &OutputOpts, json: Json, text: impl Fn(()) -> String) {
+    if out.json {
+        eprintln!("{json}");
+    } else {
+        eprint!("{}", text(()));
+    }
+}
+
+fn chase_stats_json(stats: &ChaseStats, report: Option<&ExhaustionReport>) -> Json {
+    let ints = |v: &[usize]| Json::Array(v.iter().map(|&n| Json::from(n)).collect());
+    json!({
+        "stats": json!({
+            "st_firings": stats.st_firings,
+            "rounds": stats.rounds,
+            "firings_per_round": ints(&stats.firings_per_round),
+            "delta_sizes": ints(&stats.delta_sizes),
+            "index_builds": stats.index_builds,
+            "index_probes": stats.index_probes,
+        }),
+        "exhausted": report.map(report_json).unwrap_or(Json::Null),
+    })
+}
+
+fn forward_stats_json(stats: &ForwardStats, report: Option<&ExhaustionReport>) -> Json {
+    let per_relation: Vec<Json> = stats
+        .per_relation
+        .iter()
+        .map(|r| {
+            json!({
+                "relation": r.relation.as_str(),
+                "view_rows": r.view_rows,
+                "get_ms": r.get_time.as_secs_f64() * 1e3,
+                "put_ms": r.put_time.as_secs_f64() * 1e3,
+            })
+        })
+        .collect();
+    json!({
+        "stats": json!({
+            "per_relation": Json::Array(per_relation),
+            "egd_rounds": stats.egd_rounds,
+            "egd_merges": stats.egd_merges,
+            "egd_ms": stats.egd_time.as_secs_f64() * 1e3,
+            "index_builds": stats.index_builds,
+            "index_probes": stats.index_probes,
+        }),
+        "exhausted": report.map(report_json).unwrap_or(Json::Null),
+    })
+}
+
+/// Machine-readable exhaustion report; `reason` is a lowercase token
+/// (`deadline`, `rounds`, `tuples`, `nulls`, `memory`, `cancelled`).
+fn report_json(r: &ExhaustionReport) -> Json {
+    json!({
+        "reason": format!("{:?}", r.reason).to_lowercase(),
+        "rounds_committed": r.rounds_committed,
+        "tuples_derived": r.tuples_derived,
+        "nulls_created": r.nulls_created,
+        "approx_bytes": r.approx_bytes,
+        "elapsed_ms": r.elapsed.as_millis() as u64,
+    })
+}
+
+/// `dexcli resume <dir>`: continue a `--store` run from its last
+/// committed round (chase mode) or re-run the pipeline (exchange
+/// mode). Already-complete stores just print their result.
+fn resume(dir: &Path, budget: Budget, out: &OutputOpts) -> Result<ExitCode, String> {
+    let mut store = Store::open(dir, StoreOptions::default()).map_err(|e| e.to_string())?;
+    let m = parse_mapping(store.mapping_text())
+        .map_err(|e| format!("mapping stored in {}: {e}", dir.display()))?;
+    let gov = Governor::new(budget);
+    match store.mode() {
+        StoreMode::Chase => match store.recover().map_err(|e| e.to_string())? {
+            Some(r) if r.state.complete => {
+                eprintln!(
+                    "store already holds a completed chase (round {})",
+                    r.state.round
+                );
+                println!("{}", render_instance(&r.state.instance));
+                Ok(ExitCode::SUCCESS)
+            }
+            Some(r) => {
+                eprintln!(
+                    "recovered round {} ({} WAL record(s) replayed{}); resuming",
+                    r.state.round,
+                    r.replayed_records,
+                    if r.wal_torn {
+                        ", torn tail discarded"
+                    } else {
+                        ""
+                    }
+                );
+                store.prepare_resume(&r.state).map_err(|e| e.to_string())?;
+                let state = ResumeState {
+                    target: r.state.instance,
+                    next_null: r.state.next_null,
+                    rounds: r.state.round,
+                };
+                let mut sink = StoreSink::new(&mut store);
+                let outcome =
+                    resume_exchange(&m, state, ChaseOptions::default(), &gov, Some(&mut sink))
+                        .map_err(|e| e.to_string())?;
+                finish_chase(outcome, out, Some(dir))
+            }
+            None => {
+                eprintln!("no checkpoint on disk; starting the chase from the stored source");
+                let src = store.source().map_err(|e| e.to_string())?;
+                let mut sink = StoreSink::new(&mut store);
+                let outcome =
+                    exchange_checkpointed(&m, &src, ChaseOptions::default(), &gov, &mut sink)
+                        .map_err(|e| e.to_string())?;
+                finish_chase(outcome, out, Some(dir))
+            }
+        },
+        StoreMode::Exchange => {
+            if let Some(r) = store.recover().map_err(|e| e.to_string())? {
+                if r.state.complete {
+                    eprintln!("store already holds a completed exchange");
+                    println!("{}", render_instance(&r.state.instance));
+                    return Ok(ExitCode::SUCCESS);
+                }
+            }
+            eprintln!("re-running the lens pipeline from the stored source");
+            let src = store.source().map_err(|e| e.to_string())?;
+            let engine = build_engine(&m)?;
+            let forward = engine
+                .forward_governed(&src, None, &gov)
+                .map_err(|e| e.to_string())?;
+            finish_forward(forward, out, Some(&mut store))
+        }
+    }
+}
+
+/// `dexcli fsck <dir> [--repair]`: verify every store file; with
+/// `--repair`, truncate a torn WAL back to its valid prefix. Exit 0
+/// iff the store is clean (after repair, when requested).
+fn fsck_cmd(dir: &Path, repair: bool) -> Result<ExitCode, String> {
+    let report = fsck::fsck(dir).map_err(|e| e.to_string())?;
+    println!("{report}");
+    if report.is_clean() {
+        return Ok(ExitCode::SUCCESS);
+    }
+    if repair {
+        for action in fsck::repair(dir).map_err(|e| e.to_string())? {
+            eprintln!("repair: {action}");
+        }
+        let after = fsck::fsck(dir).map_err(|e| e.to_string())?;
+        println!("{after}");
+        return Ok(if after.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
+    }
+    Ok(ExitCode::FAILURE)
 }
 
 const HELP: &str = r#"dexcli — bidirectional data exchange from the command line
@@ -324,18 +671,37 @@ commands:
   recover  <mapping.dex>                         print the maximum recovery
   query    <mapping.dex> <source.json> "q(x) :- R(x, y)"
                                                  certain answers over the exchange
+  resume   <store-dir>                           continue a crashed/exhausted --store run
+  fsck     <store-dir> [--repair]                verify a store; --repair truncates a torn WAL
 
-resource budgets (chase, exchange, query):
+resource budgets (chase, exchange, query, resume):
   --timeout <dur>      wall-clock deadline: 500ms, 2s, 1m (bare number = ms)
   --max-rounds <n>     cap on committed chase rounds
   --max-tuples <n>     cap on derived target tuples
   --max-nulls <n>      cap on invented labeled nulls
   --max-memory <size>  approximate target-size cap: 64k, 10m, 1g (bare = bytes)
 
-when a budget trips, the partial result (a valid chase prefix) is
-printed to stdout, a report goes to stderr, and the exit code is 3.
+crash-safe persistence (chase, exchange):
+  --store <dir>          WAL + snapshot every committed round into <dir>
+  --snapshot-every <n>   snapshot cadence in rounds (default 64)
+  --no-sync              skip fsync (testing only — crashes can lose rounds)
 
-exit codes: 0 success, 1 error, 3 budget exhausted, 70 internal panic
+statistics (chase, exchange, resume):
+  --stats                counters to stderr after the run
+  --format text|json     with --stats: human text (default) or one JSON
+                         object ({"stats": …, "exhausted": …|null})
+
+when a budget trips, the partial result (a valid chase prefix) is
+printed to stdout, a report goes to stderr, and the exit code is 3;
+with --store the partial is durable and `dexcli resume <dir>` continues
+it with identical results to an uninterrupted run.
+
+exit codes:
+  0   success
+  1   usage or input error
+  2   lint found errors (after --deny promotion)
+  3   budget exhausted — stdout holds a valid partial result
+  70  internal panic caught at the process boundary
 
 mapping files use the dex mapping language:
   source Emp(name);
@@ -425,8 +791,15 @@ fn parse_size(s: &str) -> Result<u64, String> {
 }
 
 fn load_mapping(path: &str) -> Result<Mapping, String> {
+    load_mapping_text(path).map(|(_, m)| m)
+}
+
+/// Like [`load_mapping`] but keeps the source text (persisted verbatim
+/// into `--store` directories so `dexcli resume` needs no file paths).
+fn load_mapping_text(path: &str) -> Result<(String, Mapping), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    parse_mapping(&text).map_err(|e| format!("{path}: {e}"))
+    let m = parse_mapping(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok((text, m))
 }
 
 fn build_engine(m: &Mapping) -> Result<Engine, String> {

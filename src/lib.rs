@@ -15,3 +15,4 @@ pub use dex_logic as logic;
 pub use dex_ops as ops;
 pub use dex_relational as relational;
 pub use dex_rellens as rellens;
+pub use dex_store as store;
