@@ -1,0 +1,944 @@
+//! Position-level dataflow over a mapping (the `DEX4xx` pass).
+//!
+//! The analysis views a mapping as a **flow graph over positions**
+//! (relation/column pairs). Each st-tgd contributes an edge from every
+//! source position where a frontier variable is read to every target
+//! position where it is written; existential variables mark their
+//! target positions as *null producers*; constant conclusion terms mark
+//! *constant sinks*. Target tgds contribute target-to-target edges the
+//! same way, and target egds contribute bidirectional edges between the
+//! positions they equate (enforcement may move a value either way).
+//!
+//! A fixpoint over the graph ([`FlowGraph::closure`]) then answers, per
+//! target position: which *source* positions can its values come from,
+//! which constants can appear there, and can it hold an invented
+//! (labeled-null) value? From the closure the pass derives the
+//! dataflow diagnostics:
+//!
+//! * `DEX401` — lossy source positions (read, never exported),
+//! * `DEX402` — null-only target positions,
+//! * `DEX403` — source positions dead under every tgd,
+//! * `DEX404` — join-variable / constant type conflicts,
+//! * `DEX405` — contradictory lens update policies for one column.
+//!
+//! The static graph is pinned to the dynamic chase by a property test
+//! (`tests/dataflow_props.rs`): every value the chase places at a
+//! target position is either a constant the closure predicts, a value
+//! drawn from a predicted provenance position, or an invented null at a
+//! position the closure marks inventable.
+
+use crate::diagnostic::{Code, Diagnostic, Witness};
+use dex_logic::{Atom, Egd, Mapping, SourceMap, Span, StTgd, Term};
+use dex_relational::{AttrType, Constant, Name, Value};
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A relation/column pair — one node of the flow graph. Positions are
+/// 0-based.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize)]
+pub struct PosRef {
+    /// The relation name.
+    pub relation: Name,
+    /// The 0-based column position.
+    pub position: usize,
+}
+
+impl PosRef {
+    /// Build a position reference.
+    pub fn new(relation: impl Into<Name>, position: usize) -> PosRef {
+        PosRef {
+            relation: relation.into(),
+            position,
+        }
+    }
+}
+
+impl fmt::Display for PosRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.relation, self.position)
+    }
+}
+
+/// Which dependency contributed a graph element.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Serialize)]
+pub enum DepRef {
+    /// `st_tgds[i]`.
+    St(usize),
+    /// `target_tgds[i]`.
+    Target(usize),
+    /// `target_egds[i]`.
+    Egd(usize),
+}
+
+impl fmt::Display for DepRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DepRef::St(i) => write!(f, "st-tgd #{i}"),
+            DepRef::Target(i) => write!(f, "target tgd #{i}"),
+            DepRef::Egd(i) => write!(f, "egd #{i}"),
+        }
+    }
+}
+
+/// A value-flow edge: matching `dep` can move a value from `from` to
+/// `to`.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize)]
+pub struct FlowEdge {
+    /// Where the value is read.
+    pub from: PosRef,
+    /// Where the value is written.
+    pub to: PosRef,
+    /// The variable carrying the value (`None` for egd equalities).
+    pub var: Option<Name>,
+    /// The dependency contributing the edge.
+    pub dep: DepRef,
+}
+
+/// A target position some dependency fills with an invented value (a
+/// labeled null, or a Skolem term for `Term::Func` conclusions).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize)]
+pub struct NullProducer {
+    /// The position receiving the invented value.
+    pub at: PosRef,
+    /// The existential variable (or Skolem function) inventing it.
+    pub var: Name,
+    /// The dependency contributing the producer.
+    pub dep: DepRef,
+}
+
+/// A target position some dependency fills with a fixed constant.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize)]
+pub struct ConstSink {
+    /// The position receiving the constant.
+    pub at: PosRef,
+    /// The constant written there.
+    pub value: Constant,
+    /// The dependency contributing the sink.
+    pub dep: DepRef,
+}
+
+/// The position-level flow graph of a mapping.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize)]
+pub struct FlowGraph {
+    /// Value-flow edges.
+    pub edges: Vec<FlowEdge>,
+    /// Positions filled with invented nulls.
+    pub null_producers: Vec<NullProducer>,
+    /// Positions filled with constants.
+    pub const_sinks: Vec<ConstSink>,
+    /// The source-schema relation names (edge tails in this set are
+    /// provenance roots; everything else is a target position).
+    pub source_relations: BTreeSet<Name>,
+}
+
+/// Transitive provenance per position, computed by
+/// [`FlowGraph::closure`].
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize)]
+pub struct FlowClosure {
+    /// For each target position: the source positions whose values can
+    /// reach it (along any edge path).
+    pub sources: BTreeMap<PosRef, BTreeSet<PosRef>>,
+    /// For each target position: the constants that can appear there.
+    pub constants: BTreeMap<PosRef, BTreeSet<Constant>>,
+    /// Target positions that can hold an invented value.
+    pub invented: BTreeSet<PosRef>,
+}
+
+impl FlowClosure {
+    /// The provenance set of `p` (empty if none).
+    pub fn sources_of(&self, p: &PosRef) -> &BTreeSet<PosRef> {
+        static EMPTY: BTreeSet<PosRef> = BTreeSet::new();
+        self.sources.get(p).unwrap_or(&EMPTY)
+    }
+
+    /// The constants that can reach `p` (empty if none).
+    pub fn constants_of(&self, p: &PosRef) -> &BTreeSet<Constant> {
+        static EMPTY: BTreeSet<Constant> = BTreeSet::new();
+        self.constants.get(p).unwrap_or(&EMPTY)
+    }
+}
+
+impl FlowGraph {
+    /// Build the flow graph of `mapping`.
+    pub fn build(mapping: &Mapping) -> FlowGraph {
+        let mut g = FlowGraph {
+            source_relations: mapping.source().relation_names().cloned().collect(),
+            ..FlowGraph::default()
+        };
+        for (i, tgd) in mapping.st_tgds().iter().enumerate() {
+            g.add_tgd(tgd, DepRef::St(i));
+        }
+        for (i, tgd) in mapping.target_tgds().iter().enumerate() {
+            g.add_tgd(tgd, DepRef::Target(i));
+        }
+        for (i, egd) in mapping.target_egds().iter().enumerate() {
+            g.add_egd(egd, DepRef::Egd(i));
+        }
+        g
+    }
+
+    fn add_tgd(&mut self, tgd: &StTgd, dep: DepRef) {
+        // Variable → premise positions where it is read (a variable
+        // inside a function term still reads its position's value only
+        // by evaluation, so only direct `Term::Var` occurrences are
+        // value sources).
+        let mut reads: BTreeMap<&Name, Vec<PosRef>> = BTreeMap::new();
+        for atom in &tgd.lhs {
+            for (pos, term) in atom.args.iter().enumerate() {
+                if let Term::Var(v) = term {
+                    reads
+                        .entry(v)
+                        .or_default()
+                        .push(PosRef::new(atom.relation.clone(), pos));
+                }
+            }
+        }
+        // Positions written with the same invented term, per firing: the
+        // chase places ONE shared value there, so a later egd merge at
+        // any of them rewrites all of them — link each group with
+        // bidirectional edges below.
+        let mut invented_groups: BTreeMap<&Term, Vec<PosRef>> = BTreeMap::new();
+        for atom in &tgd.rhs {
+            for (pos, term) in atom.args.iter().enumerate() {
+                let to = PosRef::new(atom.relation.clone(), pos);
+                match term {
+                    Term::Var(v) => match reads.get(v) {
+                        Some(froms) => {
+                            for from in froms {
+                                self.edges.push(FlowEdge {
+                                    from: from.clone(),
+                                    to: to.clone(),
+                                    var: Some(v.clone()),
+                                    dep,
+                                });
+                            }
+                        }
+                        None => {
+                            invented_groups.entry(term).or_default().push(to.clone());
+                            self.null_producers.push(NullProducer {
+                                at: to,
+                                var: v.clone(),
+                                dep,
+                            });
+                        }
+                    },
+                    Term::Const(c) => self.const_sinks.push(ConstSink {
+                        at: to,
+                        value: c.clone(),
+                        dep,
+                    }),
+                    Term::Func(f, _) => {
+                        // A Skolem conclusion invents a structured
+                        // value embedding its argument values: mark the
+                        // position inventable and record the argument
+                        // provenance.
+                        invented_groups.entry(term).or_default().push(to.clone());
+                        self.null_producers.push(NullProducer {
+                            at: to.clone(),
+                            var: f.clone(),
+                            dep,
+                        });
+                        let mut vars = Vec::new();
+                        term.collect_vars(&mut vars);
+                        for v in &vars {
+                            for from in reads.get(v).into_iter().flatten() {
+                                self.edges.push(FlowEdge {
+                                    from: from.clone(),
+                                    to: to.clone(),
+                                    var: Some(v.clone()),
+                                    dep,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Sibling edges within each invented-term group (see above).
+        for (term, group) in invented_groups {
+            let var = match term {
+                Term::Var(v) | Term::Func(v, _) => v.clone(),
+                Term::Const(_) => continue,
+            };
+            for a in &group {
+                for b in &group {
+                    if a != b {
+                        self.edges.push(FlowEdge {
+                            from: a.clone(),
+                            to: b.clone(),
+                            var: Some(var.clone()),
+                            dep,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn add_egd(&mut self, egd: &Egd, dep: DepRef) {
+        // Positions (in the egd body) where a term occurs, by syntactic
+        // equality — for variables this is every position reading them.
+        let positions_of = |t: &Term| -> Vec<PosRef> {
+            let mut out = Vec::new();
+            for atom in &egd.lhs {
+                for (pos, arg) in atom.args.iter().enumerate() {
+                    if arg == t {
+                        out.push(PosRef::new(atom.relation.clone(), pos));
+                    }
+                }
+            }
+            out
+        };
+        for (a, b) in &egd.equalities {
+            let pa = positions_of(a);
+            let pb = positions_of(b);
+            // Enforcement can move a value either way between the
+            // equated positions.
+            for x in &pa {
+                for y in &pb {
+                    if x != y {
+                        self.edges.push(FlowEdge {
+                            from: x.clone(),
+                            to: y.clone(),
+                            var: None,
+                            dep,
+                        });
+                        self.edges.push(FlowEdge {
+                            from: y.clone(),
+                            to: x.clone(),
+                            var: None,
+                            dep,
+                        });
+                    }
+                }
+            }
+            // `x = "c"` forces the constant onto x's positions.
+            if let Term::Const(c) = b {
+                for x in &pa {
+                    self.const_sinks.push(ConstSink {
+                        at: x.clone(),
+                        value: c.clone(),
+                        dep,
+                    });
+                }
+            }
+            if let Term::Const(c) = a {
+                for y in &pb {
+                    self.const_sinks.push(ConstSink {
+                        at: y.clone(),
+                        value: c.clone(),
+                        dep,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Is `p` a source-schema position?
+    pub fn is_source(&self, p: &PosRef) -> bool {
+        self.source_relations.contains(&p.relation)
+    }
+
+    /// All outgoing edges of `p`.
+    pub fn edges_from<'g>(&'g self, p: &'g PosRef) -> impl Iterator<Item = &'g FlowEdge> + 'g {
+        self.edges.iter().filter(move |e| &e.from == p)
+    }
+
+    /// Compute the transitive provenance fixpoint. Monotone over finite
+    /// lattices, so it terminates; the graph has at most
+    /// `Σ arity` nodes and iteration stops at the first round that
+    /// changes nothing.
+    pub fn closure(&self) -> FlowClosure {
+        let mut c = FlowClosure::default();
+        for np in &self.null_producers {
+            c.invented.insert(np.at.clone());
+        }
+        for cs in &self.const_sinks {
+            c.constants
+                .entry(cs.at.clone())
+                .or_default()
+                .insert(cs.value.clone());
+        }
+        loop {
+            let mut changed = false;
+            for e in &self.edges {
+                if self.is_source(&e.from) {
+                    changed |= c
+                        .sources
+                        .entry(e.to.clone())
+                        .or_default()
+                        .insert(e.from.clone());
+                } else {
+                    let from_sources = c.sources.get(&e.from).cloned().unwrap_or_default();
+                    if !from_sources.is_empty() {
+                        let to_sources = c.sources.entry(e.to.clone()).or_default();
+                        for s in from_sources {
+                            changed |= to_sources.insert(s);
+                        }
+                    }
+                    let from_consts = c.constants.get(&e.from).cloned().unwrap_or_default();
+                    if !from_consts.is_empty() {
+                        let to_consts = c.constants.entry(e.to.clone()).or_default();
+                        for k in from_consts {
+                            changed |= to_consts.insert(k);
+                        }
+                    }
+                    if c.invented.contains(&e.from) {
+                        changed |= c.invented.insert(e.to.clone());
+                    }
+                }
+            }
+            if !changed {
+                return c;
+            }
+        }
+    }
+}
+
+/// The put-back policy a tgd's conclusion implies for one target
+/// column; two tgds producing the same relation must agree
+/// position-wise or the folded union lens has no single `put`
+/// (`DEX405`, the dataflow refinement of the compiler's shape check).
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum PolicyClass {
+    /// Determined by a frontier variable (put writes back to source).
+    Frontier,
+    /// A fixed constant.
+    Const(Constant),
+    /// An invented null (existential or Skolem conclusion).
+    Invented,
+    /// Repeats the value of an earlier column of the same atom.
+    CopyOf(usize),
+}
+
+impl fmt::Display for PolicyClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyClass::Frontier => write!(f, "determined by the source"),
+            PolicyClass::Const(c) => write!(f, "constant {c}"),
+            PolicyClass::Invented => write!(f, "an invented null"),
+            PolicyClass::CopyOf(p) => write!(f, "a copy of column #{p}"),
+        }
+    }
+}
+
+/// Human label for a position: `Rel.attr` when the schema knows the
+/// attribute name, else `Rel[pos]`.
+pub(crate) fn pos_label(mapping: &Mapping, p: &PosRef) -> String {
+    let attr = mapping
+        .source()
+        .relation(p.relation.as_str())
+        .or_else(|| mapping.target().relation(p.relation.as_str()))
+        .and_then(|r| r.attrs().get(p.position))
+        .map(|(name, _)| name.clone());
+    match attr {
+        Some(a) => format!("{}.{}", p.relation, a),
+        None => p.to_string(),
+    }
+}
+
+/// Count every occurrence of each variable in a tgd, with multiplicity,
+/// across both sides (function arguments included).
+fn occurrence_counts(tgd: &StTgd) -> BTreeMap<Name, usize> {
+    fn walk(t: &Term, counts: &mut BTreeMap<Name, usize>) {
+        match t {
+            Term::Var(v) => *counts.entry(v.clone()).or_default() += 1,
+            Term::Const(_) => {}
+            Term::Func(_, args) => args.iter().for_each(|a| walk(a, counts)),
+        }
+    }
+    let mut counts = BTreeMap::new();
+    for atom in tgd.lhs.iter().chain(tgd.rhs.iter()) {
+        for t in &atom.args {
+            walk(t, &mut counts);
+        }
+    }
+    counts
+}
+
+/// The dataflow pass: build the flow graph, close it, and report
+/// `DEX401`–`DEX405`.
+pub fn dataflow_pass(mapping: &Mapping, spans: Option<&SourceMap>) -> Vec<Diagnostic> {
+    let graph = FlowGraph::build(mapping);
+    let closure = graph.closure();
+    let mut out = Vec::new();
+    lossy_and_dead(mapping, &graph, spans, &mut out);
+    null_only(mapping, &closure, spans, &mut out);
+    type_conflicts(mapping, spans, &mut out);
+    policy_conflicts(mapping, spans, &mut out);
+    out
+}
+
+/// `DEX401` (lossy) and `DEX403` (dead) source positions.
+fn lossy_and_dead(
+    mapping: &Mapping,
+    graph: &FlowGraph,
+    spans: Option<&SourceMap>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for rel in mapping.source().relations() {
+        let name = rel.name();
+        // Premise occurrences of each position across all st-tgds.
+        let mut read = false;
+        for pos in 0..rel.arity() {
+            let p = PosRef::new(name.clone(), pos);
+            let mut var_occurrences = 0usize;
+            let mut dead_occurrences = 0usize;
+            let mut filter_occurrences = 0usize;
+            for tgd in mapping.st_tgds() {
+                let counts = occurrence_counts(tgd);
+                for atom in &tgd.lhs {
+                    if &atom.relation != name {
+                        continue;
+                    }
+                    read = true;
+                    match &atom.args[pos] {
+                        Term::Var(v) => {
+                            var_occurrences += 1;
+                            if counts.get(v).copied().unwrap_or(0) == 1 {
+                                dead_occurrences += 1;
+                            }
+                        }
+                        Term::Const(_) | Term::Func(..) => filter_occurrences += 1,
+                    }
+                }
+            }
+            if !read {
+                // Unread relation: DEX101's territory, not dataflow's.
+                continue;
+            }
+            let exported = graph.edges_from(&p).next().is_some();
+            if var_occurrences > 0 && dead_occurrences == var_occurrences && filter_occurrences == 0
+            {
+                out.push(
+                    Diagnostic::new(
+                        Code::Dex403,
+                        format!(
+                            "source position `{}` is dead: every rule reading `{}` binds it \
+                             to a variable used nowhere else",
+                            pos_label(mapping, &p),
+                            name,
+                        ),
+                    )
+                    .with_span(spans.and_then(|s| s.source_decl(name.as_str())))
+                    .with_witness(Witness::Position(name.clone(), pos))
+                    .with_note(
+                        "dropping the column from the source schema would not change the mapping",
+                    ),
+                );
+            } else if var_occurrences > 0 && !exported {
+                out.push(
+                    Diagnostic::new(
+                        Code::Dex401,
+                        format!(
+                            "source position `{}` is lossy: its value flows to no target \
+                             position",
+                            pos_label(mapping, &p),
+                        ),
+                    )
+                    .with_span(spans.and_then(|s| s.source_decl(name.as_str())))
+                    .with_witness(Witness::Position(name.clone(), pos))
+                    .with_note("no inverse of the mapping can recover this column"),
+                );
+            }
+        }
+    }
+}
+
+/// `DEX402`: target positions only ever filled with invented nulls.
+fn null_only(
+    mapping: &Mapping,
+    closure: &FlowClosure,
+    spans: Option<&SourceMap>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for rel in mapping.target().relations() {
+        let name = rel.name();
+        for pos in 0..rel.arity() {
+            let p = PosRef::new(name.clone(), pos);
+            if closure.invented.contains(&p)
+                && closure.sources_of(&p).is_empty()
+                && closure.constants_of(&p).is_empty()
+            {
+                out.push(
+                    Diagnostic::new(
+                        Code::Dex402,
+                        format!(
+                            "target position `{}` is null-only: every rule fills it with an \
+                             invented null",
+                            pos_label(mapping, &p),
+                        ),
+                    )
+                    .with_span(spans.and_then(|s| s.target_decl(name.as_str())))
+                    .with_witness(Witness::Position(name.clone(), pos))
+                    .with_note("queries over this column can only ever see labeled nulls"),
+                );
+            }
+        }
+    }
+}
+
+/// `DEX404`: a variable read at positions of conflicting declared
+/// types, or a constant violating a position's declared type.
+fn type_conflicts(mapping: &Mapping, spans: Option<&SourceMap>, out: &mut Vec<Diagnostic>) {
+    let attr_type = |schema: &dex_relational::Schema, atom: &Atom, pos: usize| -> AttrType {
+        schema
+            .relation(atom.relation.as_str())
+            .and_then(|r| r.attrs().get(pos))
+            .map(|(_, t)| *t)
+            .unwrap_or(AttrType::Any)
+    };
+    // Per rule: dep-kind, atoms flagged `on_source`, and the rule span.
+    type Rule<'a> = (DepRef, Vec<(&'a Atom, bool)>, Option<Span>);
+    let mut rules: Vec<Rule<'_>> = Vec::new();
+    for (i, tgd) in mapping.st_tgds().iter().enumerate() {
+        let atoms = tgd
+            .lhs
+            .iter()
+            .map(|a| (a, true))
+            .chain(tgd.rhs.iter().map(|a| (a, false)))
+            .collect();
+        rules.push((
+            DepRef::St(i),
+            atoms,
+            spans.and_then(|s| s.st_tgds.get(i).copied()),
+        ));
+    }
+    for (i, tgd) in mapping.target_tgds().iter().enumerate() {
+        let atoms = tgd
+            .lhs
+            .iter()
+            .chain(tgd.rhs.iter())
+            .map(|a| (a, false))
+            .collect();
+        rules.push((
+            DepRef::Target(i),
+            atoms,
+            spans.and_then(|s| s.target_tgds.get(i).copied()),
+        ));
+    }
+    for (i, egd) in mapping.target_egds().iter().enumerate() {
+        let atoms = egd.lhs.iter().map(|a| (a, false)).collect();
+        rules.push((
+            DepRef::Egd(i),
+            atoms,
+            spans.and_then(|s| s.target_egds.get(i).copied()),
+        ));
+    }
+    for (dep, atoms, span) in rules {
+        let mut var_types: BTreeMap<&Name, Vec<(AttrType, String)>> = BTreeMap::new();
+        for (atom, on_source) in atoms {
+            let schema = if on_source {
+                mapping.source()
+            } else {
+                mapping.target()
+            };
+            for (pos, term) in atom.args.iter().enumerate() {
+                let ty = attr_type(schema, atom, pos);
+                let at = pos_label(mapping, &PosRef::new(atom.relation.clone(), pos));
+                match term {
+                    Term::Var(v) if ty != AttrType::Any => {
+                        var_types.entry(v).or_default().push((ty, at));
+                    }
+                    Term::Const(c) if !ty.admits(&Value::Const(c.clone())) => {
+                        out.push(
+                            Diagnostic::new(
+                                Code::Dex404,
+                                format!(
+                                    "constant {c} at `{at}` violates the position's declared \
+                                     type {ty} ({dep})",
+                                ),
+                            )
+                            .with_span(span),
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for (v, occ) in var_types {
+            let first = occ[0].0;
+            if let Some((other, at)) = occ.iter().find(|(t, _)| *t != first) {
+                out.push(
+                    Diagnostic::new(
+                        Code::Dex404,
+                        format!(
+                            "variable `{v}` joins positions of conflicting types: `{}` is \
+                             {first} but `{at}` is {other} ({dep})",
+                            occ[0].1,
+                        ),
+                    )
+                    .with_span(span)
+                    .with_witness(Witness::Variables(vec![v.clone()])),
+                );
+            }
+        }
+    }
+}
+
+/// `DEX405`: two st-tgds imply contradictory update policies for the
+/// same target column.
+fn policy_conflicts(mapping: &Mapping, spans: Option<&SourceMap>, out: &mut Vec<Diagnostic>) {
+    // Per target position: the first policy class seen and which tgd
+    // implied it.
+    let mut seen: BTreeMap<PosRef, (PolicyClass, usize)> = BTreeMap::new();
+    let mut reported: BTreeSet<PosRef> = BTreeSet::new();
+    for (i, tgd) in mapping.st_tgds().iter().enumerate() {
+        let frontier: BTreeSet<Name> = tgd.frontier().into_iter().collect();
+        for atom in &tgd.rhs {
+            let mut first_pos: BTreeMap<&Name, usize> = BTreeMap::new();
+            for (pos, term) in atom.args.iter().enumerate() {
+                let p = PosRef::new(atom.relation.clone(), pos);
+                let class = match term {
+                    Term::Var(v) => match first_pos.get(v) {
+                        Some(fp) => PolicyClass::CopyOf(*fp),
+                        None => {
+                            first_pos.insert(v, pos);
+                            if frontier.contains(v) {
+                                PolicyClass::Frontier
+                            } else {
+                                PolicyClass::Invented
+                            }
+                        }
+                    },
+                    Term::Const(c) => PolicyClass::Const(c.clone()),
+                    Term::Func(..) => PolicyClass::Invented,
+                };
+                match seen.get(&p) {
+                    None => {
+                        seen.insert(p, (class, i));
+                    }
+                    Some((prior, j)) if *prior != class && !reported.contains(&p) => {
+                        reported.insert(p.clone());
+                        out.push(
+                            Diagnostic::new(
+                                Code::Dex405,
+                                format!(
+                                    "st-tgds #{j} and #{i} assign conflicting update policies \
+                                     to `{}`: {prior} vs {class}",
+                                    pos_label(mapping, &p),
+                                ),
+                            )
+                            .with_span(spans.and_then(|s| s.st_tgds.get(i).copied()))
+                            .with_witness(Witness::TgdIndices(vec![*j, i]))
+                            .with_note(
+                                "the folded union lens cannot serve both policies with one put",
+                            ),
+                        );
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_logic::{parse_mapping, parse_mapping_with_spans};
+
+    fn codes(src: &str) -> Vec<Code> {
+        let (m, sm) = parse_mapping_with_spans(src).unwrap();
+        dataflow_pass(&m, Some(&sm))
+            .iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    #[test]
+    fn clean_mapping_is_silent() {
+        assert!(codes(
+            "source Emp(name, dept);\nsource Dept(dept, mgr);\n\
+             target Worker(name, dept, mgr);\n\
+             Emp(n, d) & Dept(d, m) -> Worker(n, d, m);"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn lossy_position_found() {
+        // Emp.age is read but never exported (and joins nothing).
+        // It is a singleton variable too, so DEX403 subsumes it; make
+        // it join to isolate DEX401.
+        let cs = codes(
+            "source Emp(name, age);\nsource Senior(age);\ntarget T(name);\n\
+             Emp(n, a) & Senior(a) -> T(n);",
+        );
+        assert_eq!(cs, vec![Code::Dex401, Code::Dex401]);
+    }
+
+    #[test]
+    fn dead_position_found() {
+        let (m, sm) = parse_mapping_with_spans(
+            "source Emp(name, hobby);\ntarget T(name);\nEmp(n, h) -> T(n);",
+        )
+        .unwrap();
+        let ds = dataflow_pass(&m, Some(&sm));
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, Code::Dex403);
+        assert!(ds[0].message.contains("Emp.hobby"), "{}", ds[0].message);
+        assert_eq!(ds[0].witness, Some(Witness::Position(Name::new("Emp"), 1)));
+        // Span anchors at the source declaration.
+        assert_eq!(ds[0].span.map(|s| s.line), Some(1));
+    }
+
+    #[test]
+    fn constant_filter_is_neither_lossy_nor_dead() {
+        assert!(
+            codes("source Emp(name, grade);\ntarget T(name);\nEmp(n, \"senior\") -> T(n);")
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn null_only_position_found() {
+        let cs = codes(
+            "source Takes(name, course);\ntarget Student(id, name);\n\
+             target Assgn(name, course);\n\
+             Takes(n, c) -> Student(i, n) & Assgn(n, c);",
+        );
+        assert_eq!(cs, vec![Code::Dex402]);
+    }
+
+    #[test]
+    fn egd_rescues_null_only() {
+        // The key egd equates the invented id with itself across
+        // matches only — it cannot bring a source value, so DEX402
+        // stays. But an explicit egd equating id with name does.
+        let cs = codes(
+            "source Takes(name, course);\ntarget Student(id, name);\n\
+             Takes(n, c) -> Student(i, n);\n\
+             Student(i, n) -> i = n;",
+        );
+        assert!(!cs.contains(&Code::Dex402), "{cs:?}");
+    }
+
+    #[test]
+    fn target_tgd_propagates_provenance() {
+        // S.0 flows to T.0 only through the target tgd.
+        let (m, _sm) = parse_mapping_with_spans(
+            "source R(a);\ntarget S(a);\ntarget T(a);\n\
+             R(x) -> S(x);\nS(x) -> T(x);",
+        )
+        .unwrap();
+        let closure = FlowGraph::build(&m).closure();
+        let t0 = PosRef::new("T", 0);
+        assert_eq!(
+            closure.sources_of(&t0).iter().cloned().collect::<Vec<_>>(),
+            vec![PosRef::new("R", 0)]
+        );
+    }
+
+    #[test]
+    fn type_conflict_found() {
+        use dex_logic::StTgd;
+        use dex_relational::{AttrType, RelSchema, Schema};
+        // Parser output is untyped, so build the schemas by hand.
+        let source = Schema::with_relations(vec![RelSchema::new(
+            "R",
+            vec![("n", AttrType::Int), ("s", AttrType::Str)],
+        )
+        .unwrap()])
+        .unwrap();
+        let target = Schema::with_relations(vec![
+            RelSchema::new("T", vec![("x", AttrType::Any)]).unwrap()
+        ])
+        .unwrap();
+        // R(v, v): v joins an int position with a str position.
+        let tgd = StTgd::new(
+            vec![Atom::vars("R", &["v", "v"])],
+            vec![Atom::vars("T", &["v"])],
+        );
+        let m = Mapping::new(source, target, vec![tgd]).unwrap();
+        let ds = dataflow_pass(&m, None);
+        assert_eq!(ds.iter().filter(|d| d.code == Code::Dex404).count(), 1);
+        assert!(
+            ds[0].message.contains("conflicting types"),
+            "{}",
+            ds[0].message
+        );
+    }
+
+    #[test]
+    fn constant_type_violation_found() {
+        use dex_logic::{StTgd, Term};
+        use dex_relational::{AttrType, RelSchema, Schema};
+        let source = Schema::with_relations(vec![
+            RelSchema::new("R", vec![("n", AttrType::Int)]).unwrap()
+        ])
+        .unwrap();
+        let target =
+            Schema::with_relations(vec![RelSchema::untyped("T", vec!["x"]).unwrap()]).unwrap();
+        let tgd = StTgd::new(
+            vec![Atom::new("R", vec![Term::cnst("oops")])],
+            vec![Atom::new("T", vec![Term::cnst(1i64)])],
+        );
+        let m = Mapping::new(source, target, vec![tgd]).unwrap();
+        let ds = dataflow_pass(&m, None);
+        assert_eq!(ds.iter().filter(|d| d.code == Code::Dex404).count(), 1);
+    }
+
+    #[test]
+    fn policy_conflict_found() {
+        let (m, sm) = parse_mapping_with_spans(
+            "source R(a, b);\nsource S(a);\ntarget T(a, b);\n\
+             R(x, y) -> T(x, y);\nS(x) -> T(x, \"fixed\");",
+        )
+        .unwrap();
+        let ds = dataflow_pass(&m, Some(&sm));
+        let conflict: Vec<_> = ds.iter().filter(|d| d.code == Code::Dex405).collect();
+        assert_eq!(conflict.len(), 1);
+        assert!(
+            conflict[0].message.contains("determined by the source"),
+            "{}",
+            conflict[0].message
+        );
+        assert_eq!(conflict[0].witness, Some(Witness::TgdIndices(vec![0, 1])));
+    }
+
+    #[test]
+    fn agreeing_union_has_no_policy_conflict() {
+        assert!(codes(
+            "source R(a);\nsource S(a);\ntarget T(a, b);\n\
+             R(x) -> T(x, y);\nS(x) -> T(x, y);"
+        )
+        .iter()
+        .all(|c| *c != Code::Dex405));
+    }
+
+    #[test]
+    fn copy_policy_conflicts_with_frontier() {
+        let (m, _) = parse_mapping_with_spans(
+            "source R(a, b);\nsource S(a);\ntarget T(a, b);\n\
+             R(x, y) -> T(x, y);\nS(x) -> T(x, x);",
+        )
+        .unwrap();
+        let ds = dataflow_pass(&m, None);
+        assert!(ds.iter().any(|d| d.code == Code::Dex405));
+    }
+
+    #[test]
+    fn closure_reports_constants_through_egds() {
+        let (m, _) = parse_mapping_with_spans(
+            "source R(a);\ntarget T(a, t);\n\
+             R(x) -> T(x, t);\n\
+             T(x, t) -> t = 'tagged';",
+        )
+        .unwrap();
+        let closure = FlowGraph::build(&m).closure();
+        let t1 = PosRef::new("T", 1);
+        assert!(closure
+            .constants_of(&t1)
+            .contains(&Constant::from("tagged")));
+    }
+
+    #[test]
+    fn graph_is_deterministic() {
+        let src = "source R(a, b);\ntarget T(a, b);\nR(x, y) -> T(x, y);";
+        let m1 = parse_mapping(src).unwrap();
+        let m2 = parse_mapping(src).unwrap();
+        assert_eq!(FlowGraph::build(&m1), FlowGraph::build(&m2));
+    }
+}

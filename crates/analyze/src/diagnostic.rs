@@ -19,7 +19,7 @@ use std::fmt;
 
 /// Stable diagnostic codes. The numeric bands group related passes:
 /// `000` parse, `0xx` termination, `1xx` hygiene, `2xx` compiler
-/// fragment, `3xx` operator prechecks.
+/// fragment, `3xx` operator prechecks, `4xx` dataflow.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub enum Code {
     /// The mapping failed to parse.
@@ -61,6 +61,21 @@ pub enum Code {
     Dex301,
     /// `maximum_recovery` would refuse this mapping.
     Dex302,
+    /// A source position is lossy: its value flows to no target
+    /// position, so no inverse can recover it.
+    Dex401,
+    /// A target position is null-only: every rule fills it with an
+    /// invented labeled null.
+    Dex402,
+    /// A source position is dead: every rule binds it to a variable
+    /// that neither joins, filters, nor reaches the target.
+    Dex403,
+    /// A join variable occurs at positions with conflicting declared
+    /// types (or a constant violates a position's type).
+    Dex404,
+    /// Two st-tgds assign contradictory lens update policies to the
+    /// same target column.
+    Dex405,
 }
 
 impl Code {
@@ -83,7 +98,44 @@ impl Code {
             Code::Dex206 => "DEX206",
             Code::Dex301 => "DEX301",
             Code::Dex302 => "DEX302",
+            Code::Dex401 => "DEX401",
+            Code::Dex402 => "DEX402",
+            Code::Dex403 => "DEX403",
+            Code::Dex404 => "DEX404",
+            Code::Dex405 => "DEX405",
         }
+    }
+
+    /// Every registered code, in numeric order.
+    pub const ALL: [Code; 21] = [
+        Code::Dex000,
+        Code::Dex001,
+        Code::Dex002,
+        Code::Dex101,
+        Code::Dex102,
+        Code::Dex103,
+        Code::Dex104,
+        Code::Dex105,
+        Code::Dex201,
+        Code::Dex202,
+        Code::Dex203,
+        Code::Dex204,
+        Code::Dex205,
+        Code::Dex206,
+        Code::Dex301,
+        Code::Dex302,
+        Code::Dex401,
+        Code::Dex402,
+        Code::Dex403,
+        Code::Dex404,
+        Code::Dex405,
+    ];
+
+    /// Parse a textual code (`"DEX101"`, case-insensitive). `None` for
+    /// unregistered codes.
+    pub fn parse(s: &str) -> Option<Code> {
+        let wanted = s.to_ascii_uppercase();
+        Code::ALL.iter().copied().find(|c| c.as_str() == wanted)
     }
 
     /// The default severity of this code (before any `--deny`
@@ -99,8 +151,195 @@ impl Code {
             | Code::Dex202
             | Code::Dex203
             | Code::Dex204
-            | Code::Dex206 => Severity::Warning,
-            Code::Dex002 | Code::Dex205 | Code::Dex301 | Code::Dex302 => Severity::Info,
+            | Code::Dex206
+            | Code::Dex403
+            | Code::Dex404
+            | Code::Dex405 => Severity::Warning,
+            Code::Dex002
+            | Code::Dex205
+            | Code::Dex301
+            | Code::Dex302
+            | Code::Dex401
+            | Code::Dex402 => Severity::Info,
+        }
+    }
+
+    /// Rustc-style long-form explanation of the code, shown by
+    /// `dexcli lint --explain DEXnnn`. Stable prose; tooling may link
+    /// to it but should not parse it.
+    pub fn explanation(&self) -> &'static str {
+        match self {
+            Code::Dex000 => {
+                "The mapping file failed to parse.\n\n\
+                 Nothing else can be analyzed until the syntax error is fixed. The \
+                 diagnostic's span points at the first character the parser could not \
+                 make sense of. The mapping language is described in the repository \
+                 README: `source`/`target` declarations, st-tgds `phi -> psi`, target \
+                 tgds `target phi -> psi`, egds `target phi -> x = y`, and `key` \
+                 shorthand."
+            }
+            Code::Dex001 => {
+                "The target tgds are neither weakly nor jointly acyclic, so the chase \
+                 is not certified to terminate.\n\n\
+                 A cycle through a special (existential) edge in the dependency graph \
+                 lets one invented null trigger the invention of another, ad \
+                 infinitum. The diagnostic carries the offending cycle as a witness; \
+                 `dex_chase::verify_witness` re-checks it. Either break the recursion \
+                 or run the chase with an explicit round/null budget and accept a \
+                 partial result."
+            }
+            Code::Dex002 => {
+                "The target tgds fail the weak-acyclicity test, but the finer \
+                 joint-acyclicity test certifies chase termination anyway.\n\n\
+                 This is informational: the mapping is safe to chase, but tools that \
+                 only implement weak acyclicity will reject it."
+            }
+            Code::Dex101 => {
+                "A declared source relation is read by no rule.\n\n\
+                 Its tuples can never influence the target instance. Either a rule is \
+                 missing or the declaration is dead and should be removed."
+            }
+            Code::Dex102 => {
+                "A declared target relation is produced by no rule.\n\n\
+                 No chase step ever inserts into it, so it is always empty in the \
+                 canonical universal solution. Either a rule is missing or the \
+                 declaration is dead."
+            }
+            Code::Dex103 => {
+                "A premise variable occurs exactly once in its rule.\n\n\
+                 A singleton variable neither joins two atoms, nor filters, nor flows \
+                 to the conclusion — it merely asserts the column exists, which the \
+                 schema already guarantees. This often indicates a misspelled \
+                 variable that was meant to join."
+            }
+            Code::Dex104 => {
+                "An egd equates two distinct constants.\n\n\
+                 Whenever the egd's premise matches, enforcement must make two \
+                 different constants equal, which is impossible: the chase fails and \
+                 the mapping has no solution for that source instance. The premise is \
+                 satisfiable, so this is a real hazard, not dead code."
+            }
+            Code::Dex105 => {
+                "An st-tgd is implied by the remaining dependencies.\n\n\
+                 Chasing any source instance with the rule removed produces a target \
+                 instance that already satisfies the rule, so deleting it changes no \
+                 solution. Redundant rules cost chase time and obscure the mapping's \
+                 intent."
+            }
+            Code::Dex201 => {
+                "A premise self-join (the same relation appearing twice in one \
+                 premise) puts the tgd outside the lens-compilable fragment.\n\n\
+                 The relational-lens translation folds each source relation into at \
+                 most one base lens per target relation; a self-join would need the \
+                 same base twice with an ambiguous put-back. `dexcli run` still \
+                 chases such mappings; only the bidirectional engine refuses them."
+            }
+            Code::Dex202 => {
+                "A function (Skolem) term puts the tgd outside the compilable \
+                 fragment.\n\n\
+                 Skolem terms arise from SO-tgds (e.g. composition output) and have \
+                 no relational-lens counterpart. Flatten the mapping to plain st-tgds \
+                 first, or use the chase-only pipeline."
+            }
+            Code::Dex203 => {
+                "Two tgds producing the same target relation disagree on its column \
+                 shape.\n\n\
+                 The folded union lens needs every arm to agree, per column, on \
+                 whether the value comes from the source (and from which variable \
+                 position), is a constant, or is invented. See DEX405 for the \
+                 position-level dataflow refinement of this disagreement."
+            }
+            Code::Dex204 => {
+                "Target tgds (or target egds beyond simple keys) put the mapping \
+                 outside the compilable fragment.\n\n\
+                 The lens engine compiles st-tgds only; target-side dependencies \
+                 would require enforcing them through `put`, which the engine does \
+                 not attempt. The chase pipeline handles them fine."
+            }
+            Code::Dex205 => {
+                "The tgd compiles, but only approximately.\n\n\
+                 An existential variable shared between conclusion atoms (or other \
+                 benign-but-lossy features) means the lens engine's `get` direction \
+                 matches the chase only up to null identity: round-trips are still \
+                 lawful, but the forward image is an approximation of the canonical \
+                 universal solution. The report lists the reasons."
+            }
+            Code::Dex206 => {
+                "A source relation feeds the same target relation through more than \
+                 one union arm.\n\n\
+                 The folded union lens would mention the same base table twice, so a \
+                 target update routed to both arms writes to one table through two \
+                 conflicting paths (ambiguous put). Restructure the premises or \
+                 accept chase-only operation."
+            }
+            Code::Dex301 => {
+                "`compose` would refuse this mapping.\n\n\
+                 Mapping composition is implemented for st-tgd-only mappings (the \
+                 SO-tgd construction); target tgds or egds in either operand are \
+                 refused up front. This precheck saves you from a late failure."
+            }
+            Code::Dex302 => {
+                "`maximum_recovery` would refuse this mapping.\n\n\
+                 The maximum-recovery construction is defined here for st-tgd-only \
+                 mappings; target dependencies are refused. This precheck mirrors \
+                 that refusal statically."
+            }
+            Code::Dex401 => {
+                "A source position is lossy: its value flows along no dataflow edge, \
+                 so no target position ever holds it and no inverse mapping can \
+                 recover it.\n\n\
+                 The dataflow pass builds a position-level flow graph: an edge links \
+                 a source position to a target position when some st-tgd binds a \
+                 premise variable at the former and writes it at the latter (closed \
+                 transitively through target tgds and key egds). A read position with \
+                 no outgoing edge is read — it may join or filter — but its data is \
+                 discarded. This is informational: filtering columns are often \
+                 intentionally lossy. Pair with `maximum_recovery` to see what the \
+                 best possible inverse still recovers."
+            }
+            Code::Dex402 => {
+                "A target position is null-only: every rule that produces its \
+                 relation fills the position with an invented labeled null (an \
+                 existential variable), and no source value or constant ever reaches \
+                 it, not even through target tgds or key egds.\n\n\
+                 Queries over this column can only ever see nulls, and certain \
+                 answers over it are empty. That is sometimes the point (surrogate \
+                 ids), hence informational; but if you expected data here, a premise \
+                 variable probably failed to reach the conclusion."
+            }
+            Code::Dex403 => {
+                "A source position is dead under every tgd: each rule that reads its \
+                 relation binds the position to a variable occurring nowhere else in \
+                 that rule (and never to a filtering constant).\n\n\
+                 Unlike a merely lossy position (DEX401), a dead position does not \
+                 even participate in a join or a constant filter — deleting the \
+                 column from the source schema would change nothing about the \
+                 mapping's behavior. This strengthens the per-rule singleton-variable \
+                 lint (DEX103) to a whole-mapping claim."
+            }
+            Code::Dex404 => {
+                "A join variable occurs at positions whose declared types conflict, \
+                 or a constant appears at a position whose declared type it \
+                 violates.\n\n\
+                 A variable must take a single value per match; if its positions are \
+                 declared with different concrete types (e.g. `int` and `str`), no \
+                 ground value inhabits both, so the premise can only ever match \
+                 labeled nulls — the rule is almost certainly miswired. Untyped \
+                 (`any`) positions are compatible with everything and never \
+                 conflict."
+            }
+            Code::Dex405 => {
+                "Two st-tgds assign contradictory lens update policies to the same \
+                 target column.\n\n\
+                 Each tgd implies a put-back policy per produced column: \
+                 determined-by-source (a frontier variable), a constant, an invented \
+                 null (existential), or a copy of a sibling column (repeated \
+                 variable). When two rules produce the same relation but disagree at \
+                 a column, the folded union lens cannot serve both policies with one \
+                 `put`, and the compiler refuses the mapping (see DEX203 for the \
+                 shape-level view). The diagnostic names the column and the two rule \
+                 indices."
+            }
         }
     }
 }
@@ -149,6 +388,8 @@ pub enum Witness {
     TgdIndices(Vec<usize>),
     /// Two distinct constants an egd forces to be equal.
     ConstantClash(Constant, Constant),
+    /// A (relation, position) pair named by the diagnostic (0-based).
+    Position(Name, usize),
 }
 
 /// One analyzer finding.
@@ -225,6 +466,20 @@ pub fn has_errors(diags: &[Diagnostic]) -> bool {
     diags.iter().any(|d| d.severity == Severity::Error)
 }
 
+/// Sort diagnostics into the stable reporting order: by span (source
+/// position; span-less diagnostics first), then code, then message.
+/// The sort is stable, so equal keys keep pass emission order. `dexcli`
+/// applies this before rendering so `--format json` output is
+/// byte-stable across runs and analyzer-internal pass reordering.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        a.span
+            .cmp(&b.span)
+            .then_with(|| a.code.cmp(&b.code))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,6 +509,45 @@ mod tests {
         assert_eq!(ds[1].severity, Severity::Info);
         assert_eq!(ds[2].severity, Severity::Error);
         assert!(has_errors(&ds));
+    }
+
+    #[test]
+    fn every_code_parses_and_explains() {
+        for code in Code::ALL {
+            assert_eq!(Code::parse(code.as_str()), Some(code));
+            assert_eq!(Code::parse(&code.as_str().to_lowercase()), Some(code));
+            assert!(
+                code.explanation().len() > 80,
+                "{code} explanation too short"
+            );
+        }
+        assert_eq!(Code::parse("DEX999"), None);
+        assert_eq!(Code::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn sort_is_by_span_then_code_and_stable() {
+        use dex_logic::Span;
+        let d = |code, span: Option<Span>, msg: &str| Diagnostic::new(code, msg).with_span(span);
+        let mut ds = vec![
+            d(Code::Dex201, Some(Span::point(4, 1)), "later line"),
+            d(Code::Dex102, Some(Span::point(2, 1)), "b"),
+            d(Code::Dex101, Some(Span::point(2, 1)), "a"),
+            d(Code::Dex000, None, "span-less first"),
+        ];
+        sort_diagnostics(&mut ds);
+        let codes: Vec<Code> = ds.iter().map(|x| x.code).collect();
+        assert_eq!(
+            codes,
+            vec![Code::Dex000, Code::Dex101, Code::Dex102, Code::Dex201]
+        );
+        // Same keys: stable order preserved.
+        let mut same = vec![
+            d(Code::Dex101, Some(Span::point(1, 1)), "first"),
+            d(Code::Dex101, Some(Span::point(1, 1)), "second"),
+        ];
+        sort_diagnostics(&mut same);
+        assert_eq!(same[0].message, "first");
     }
 
     #[test]

@@ -21,6 +21,12 @@
 //!    property test.
 //! 4. **Operator prechecks** ([`opscheck::ops_pass`], `DEX3xx`) —
 //!    would `compose` / `maximum_recovery` accept this mapping?
+//! 5. **Dataflow** ([`dataflow::dataflow_pass`], `DEX4xx`) — a
+//!    position-level flow graph over the mapping (provenance edges,
+//!    null producers, constant sinks) closed under target tgds and
+//!    egds, reporting lossy/dead source positions, null-only target
+//!    positions, type conflicts, and update-policy conflicts. The same
+//!    graph powers the `dexcli explain` plan renderer ([`plan`]).
 //!
 //! ```
 //! use dex_analyze::{analyze, Code};
@@ -31,19 +37,30 @@
 //!      Emp(x) -> Mgr(x, y);",
 //! ).unwrap();
 //! let diags = analyze(&m, Some(&spans));
-//! assert_eq!(diags.len(), 1);
-//! assert_eq!(diags[0].code, Code::Dex101); // `Ghost` is never read
+//! let codes: Vec<Code> = diags.iter().map(|d| d.code).collect();
+//! // `Ghost` is never read; `Mgr.mgr` only ever holds invented nulls.
+//! assert_eq!(codes, vec![Code::Dex101, Code::Dex402]);
 //! assert_eq!(diags[0].span.unwrap().line, 2);
 //! ```
 
+#![deny(clippy::unwrap_used)]
+#![deny(clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod dataflow;
 pub mod diagnostic;
 pub mod fragment;
 pub mod hygiene;
 pub mod opscheck;
+pub mod plan;
 pub mod render;
 pub mod termination;
 
-pub use diagnostic::{deny_warnings, has_errors, Code, Diagnostic, Severity, Witness};
+pub use dataflow::{dataflow_pass, DepRef, FlowClosure, FlowEdge, FlowGraph, PosRef};
+pub use diagnostic::{
+    deny_warnings, has_errors, sort_diagnostics, Code, Diagnostic, Severity, Witness,
+};
+pub use plan::{explain, ExplainReport};
 pub use render::{render_all, render_text};
 
 use dex_logic::{Mapping, SourceMap, Span};
@@ -77,6 +94,7 @@ pub fn analyze_with(
     out.extend(hygiene::hygiene_pass(mapping, spans, options.redundancy));
     out.extend(fragment::fragment_pass(mapping, spans));
     out.extend(opscheck::ops_pass(mapping, spans));
+    out.extend(dataflow::dataflow_pass(mapping, spans));
     out
 }
 

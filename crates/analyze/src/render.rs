@@ -36,6 +36,7 @@ fn witness_line(w: &Witness) -> String {
                 .join(", ")
         ),
         Witness::ConstantClash(a, b) => format!("`{a}` ≠ `{b}`"),
+        Witness::Position(rel, pos) => format!("position `{rel}[{pos}]`"),
     }
 }
 

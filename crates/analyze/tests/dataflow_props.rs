@@ -1,0 +1,253 @@
+//! Property test pinning the static dataflow closure to the dynamic
+//! chase: for every value the chase places at a target position, the
+//! [`FlowGraph::closure`] must have predicted how it could get there.
+//!
+//! * an invented value (labeled null or Skolem term) only appears at
+//!   positions the closure marks `invented`;
+//! * a constant either appears in the closure's constant set for the
+//!   position, or equals a value stored at one of the position's
+//!   predicted provenance source positions.
+//!
+//! The generator covers multi-atom premises, shared/existential/const
+//! conclusion terms, full target tgds, and key egds (whose merges
+//! rewrite invented values in place — the part static analysis most
+//! easily gets wrong).
+
+use dex_analyze::{FlowGraph, PosRef};
+use dex_chase::exchange;
+use dex_logic::parse_mapping;
+use dex_relational::{Instance, Value};
+use proptest::prelude::*;
+use std::fmt::Write as _;
+
+/// splitmix64 — deterministic stream from the strategy-drawn seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> usize {
+        (self.next() % n) as usize
+    }
+}
+
+/// A generated scenario: `.dex` mapping text plus source facts
+/// (per source relation, rows of string values).
+struct Scenario {
+    text: String,
+    facts: Vec<Vec<Vec<String>>>,
+    src_arities: Vec<usize>,
+}
+
+/// A conclusion term: constant `'k<n>'` (rarely) or variable `v<n>`
+/// over a pool wider than the premise's, so some variables come out
+/// existential.
+fn conclusion_term(rng: &mut Rng) -> String {
+    if rng.below(5) == 0 {
+        format!("'k{}'", rng.below(4))
+    } else {
+        format!("v{}", rng.below(8))
+    }
+}
+
+fn build_scenario(seed: u64) -> Scenario {
+    let mut rng = Rng(seed);
+    let src_arities: Vec<usize> = (0..1 + rng.below(2)).map(|_| 1 + rng.below(3)).collect();
+    let tgt_arities: Vec<usize> = (0..1 + rng.below(2)).map(|_| 1 + rng.below(3)).collect();
+
+    let mut text = String::new();
+    for (i, a) in src_arities.iter().enumerate() {
+        let attrs: Vec<String> = (0..*a).map(|p| format!("a{p}")).collect();
+        let _ = writeln!(text, "source S{i}({});", attrs.join(", "));
+    }
+    for (i, a) in tgt_arities.iter().enumerate() {
+        let attrs: Vec<String> = (0..*a).map(|p| format!("b{p}")).collect();
+        let _ = writeln!(text, "target T{i}({});", attrs.join(", "));
+    }
+    // Key egds: merges rewrite invented values in place.
+    for (i, a) in tgt_arities.iter().enumerate() {
+        if *a >= 2 && rng.below(2) == 0 {
+            let _ = writeln!(text, "key T{i}(b0);");
+        }
+    }
+
+    // st-tgds: premise variables v0..v5, conclusions may reuse them
+    // (frontier), pick fresh ones (existential), or write constants.
+    for _ in 0..1 + rng.below(3) {
+        let lhs: Vec<String> = (0..1 + rng.below(2))
+            .map(|_| {
+                let rel = rng.below(src_arities.len() as u64);
+                let args: Vec<String> = (0..src_arities[rel])
+                    .map(|_| format!("v{}", rng.below(6)))
+                    .collect();
+                format!("S{rel}({})", args.join(", "))
+            })
+            .collect();
+        let rhs: Vec<String> = (0..1 + rng.below(2))
+            .map(|_| {
+                let rel = rng.below(tgt_arities.len() as u64);
+                let args: Vec<String> = (0..tgt_arities[rel])
+                    .map(|_| conclusion_term(&mut rng))
+                    .collect();
+                format!("T{rel}({})", args.join(", "))
+            })
+            .collect();
+        let _ = writeln!(text, "{} -> {};", lhs.join(" & "), rhs.join(" & "));
+    }
+
+    // Occasionally a FULL target tgd (conclusion variables folded into
+    // the premise, so the chase terminates).
+    if rng.below(3) == 0 {
+        let lhs_rel = rng.below(tgt_arities.len() as u64);
+        let rhs_rel = rng.below(tgt_arities.len() as u64);
+        let lhs_arity = tgt_arities[lhs_rel];
+        let lhs_args: Vec<String> = (0..lhs_arity).map(|p| format!("u{p}")).collect();
+        let rhs_args: Vec<String> = (0..tgt_arities[rhs_rel])
+            .map(|_| {
+                if rng.below(6) == 0 {
+                    format!("'k{}'", rng.below(4))
+                } else {
+                    format!("u{}", rng.below(lhs_arity as u64))
+                }
+            })
+            .collect();
+        let _ = writeln!(
+            text,
+            "T{lhs_rel}({}) -> T{rhs_rel}({});",
+            lhs_args.join(", "),
+            rhs_args.join(", ")
+        );
+    }
+
+    // Source facts: values from a pool wide enough that accidental
+    // collisions (which would weaken the provenance check) are rare.
+    let facts = src_arities
+        .iter()
+        .map(|arity| {
+            (0..rng.below(4))
+                .map(|_| {
+                    (0..*arity)
+                        .map(|_| format!("d{}", rng.below(500)))
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+
+    Scenario {
+        text,
+        facts,
+        src_arities,
+    }
+}
+
+/// Does `v` appear at source position `p` in `src`?
+fn appears(src: &Instance, p: &PosRef, v: &Value) -> bool {
+    src.relations()
+        .filter(|r| r.name() == &p.relation)
+        .any(|r| r.iter().any(|t| t.iter().nth(p.position) == Some(v)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn static_provenance_covers_chase_lineage(seed in 0u64..u64::MAX) {
+        let scenario = build_scenario(seed);
+        let text = &scenario.text;
+        let m = parse_mapping(text).expect(text);
+        let mut src = Instance::empty(m.source().clone());
+        for (i, rows) in scenario.facts.iter().enumerate() {
+            for row in rows {
+                prop_assert_eq!(row.len(), scenario.src_arities[i]);
+                let tuple: dex_relational::Tuple = row
+                    .iter()
+                    .map(|s| Value::str(s.clone()))
+                    .collect::<Vec<_>>()
+                    .into();
+                src.insert(&format!("S{i}"), tuple).unwrap();
+            }
+        }
+
+        // Key egds can clash two constants — then no solution exists
+        // and there is no lineage to check.
+        let result = match exchange(&m, &src) {
+            Ok(r) => r,
+            Err(_) => return,
+        };
+
+        let closure = FlowGraph::build(&m).closure();
+        for rel in result.target.relations() {
+            for t in rel.iter() {
+                for (pos, v) in t.iter().enumerate() {
+                    let p = PosRef::new(rel.name().clone(), pos);
+                    match v {
+                        Value::Null(_) | Value::Skolem(..) => prop_assert!(
+                            closure.invented.contains(&p),
+                            "invented value {:?} at unpredicted position {}\nmapping:\n{}",
+                            v, p, text
+                        ),
+                        Value::Const(c) => {
+                            let predicted = closure.constants_of(&p).contains(c)
+                                || closure
+                                    .sources_of(&p)
+                                    .iter()
+                                    .any(|s| appears(&src, s, v));
+                            prop_assert!(
+                                predicted,
+                                "constant {:?} at {} has no predicted origin \
+                                 (sources {:?}, constants {:?})\nmapping:\n{}",
+                                v, p,
+                                closure.sources_of(&p),
+                                closure.constants_of(&p),
+                                text
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Regression: an egd merge rewrites an invented value at EVERY
+/// position holding it, not just the equated one — the closure must
+/// carry the forced constant across the shared-existential sibling.
+#[test]
+fn egd_merge_propagates_through_shared_existential() {
+    let m = parse_mapping(
+        "source R(a);\ntarget T(a, b);\ntarget U(b);\n\
+         R(x) -> T(x, y) & U(y);\nT(x, t) -> t = 'c';",
+    )
+    .unwrap();
+    let closure = FlowGraph::build(&m).closure();
+    // The chase invents y at T[1] and U[0], then the egd rewrites BOTH
+    // occurrences to 'c'.
+    let u0 = PosRef::new("U", 0);
+    assert!(
+        closure
+            .constants_of(&u0)
+            .iter()
+            .any(|c| c.to_string() == "c"),
+        "{closure:?}"
+    );
+    let mut src = Instance::empty(m.source().clone());
+    src.insert("R", vec![Value::str("alice")].into()).unwrap();
+    let result = exchange(&m, &src).unwrap();
+    let u = result
+        .target
+        .relations()
+        .find(|r| r.name() == &dex_relational::Name::new("U"))
+        .unwrap();
+    let vals: Vec<String> = u
+        .iter()
+        .map(|t| t.iter().next().unwrap().to_string())
+        .collect();
+    assert_eq!(vals, vec!["c".to_string()]);
+}

@@ -1,0 +1,129 @@
+//! E16 — dataflow analysis & plan explanation cost vs mapping size.
+//!
+//! Three measurements over synthetic mappings of 10/100/1000
+//! dependencies:
+//!
+//! * `flow_closure` — building the position-level flow graph and
+//!   running the provenance fixpoint, on a *chain* mapping
+//!   (`T{i} → T{i+1}`) whose closure genuinely propagates transitively
+//!   through every link;
+//! * `dataflow_pass` — the full DEX4xx lint pass (graph + closure +
+//!   the five derived diagnostics);
+//! * `explain` — lowering to the `MappingPlan` IR and rendering the
+//!   annotated tree and the JSON surface (includes the lens compiler).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dex_analyze::{dataflow_pass, explain, FlowGraph};
+use dex_logic::{Atom, Mapping, StTgd, Term};
+use dex_relational::{RelSchema, Schema};
+use std::hint::black_box;
+
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10)
+}
+
+/// `S(x, y) → T0(x, z)` plus a chain of target tgds
+/// `T{i}(x, y) → T{i+1}(y, z)`: every link copies one value forward and
+/// invents one null, so provenance from `S` must flow through the whole
+/// chain and the closure's fixpoint does `n` real propagation rounds.
+fn chain_mapping(n: usize) -> Mapping {
+    let source =
+        Schema::with_relations(vec![RelSchema::untyped("S", vec!["a", "b"]).unwrap()]).unwrap();
+    let target = Schema::with_relations(
+        (0..n)
+            .map(|i| RelSchema::untyped(format!("T{i}"), vec!["a", "b"]).unwrap())
+            .collect(),
+    )
+    .unwrap();
+    let st_tgds = vec![StTgd::new(
+        vec![Atom::new("S", vec![Term::var("x"), Term::var("y")])],
+        vec![Atom::new("T0", vec![Term::var("x"), Term::var("z")])],
+    )];
+    let target_tgds = (0..n.saturating_sub(1))
+        .map(|i| {
+            StTgd::new(
+                vec![Atom::new(
+                    format!("T{i}"),
+                    vec![Term::var("x"), Term::var("y")],
+                )],
+                vec![Atom::new(
+                    format!("T{}", i + 1),
+                    vec![Term::var("y"), Term::var("z")],
+                )],
+            )
+        })
+        .collect();
+    Mapping::with_target_deps(source, target, st_tgds, target_tgds, vec![]).unwrap()
+}
+
+/// `n` independent compilable copy rules — the shape `explain` meets in
+/// practice (the lens section compiles, one tree per target relation).
+fn copy_mapping(n: usize) -> Mapping {
+    let source = Schema::with_relations(
+        (0..n)
+            .map(|i| RelSchema::untyped(format!("S{i}"), vec!["a", "b"]).unwrap())
+            .collect(),
+    )
+    .unwrap();
+    let target = Schema::with_relations(
+        (0..n)
+            .map(|i| RelSchema::untyped(format!("T{i}"), vec!["a", "b"]).unwrap())
+            .collect(),
+    )
+    .unwrap();
+    let st_tgds = (0..n)
+        .map(|i| {
+            StTgd::new(
+                vec![Atom::new(
+                    format!("S{i}"),
+                    vec![Term::var("x"), Term::var("y")],
+                )],
+                vec![Atom::new(
+                    format!("T{i}"),
+                    vec![Term::var("x"), Term::var("y")],
+                )],
+            )
+        })
+        .collect();
+    Mapping::new(source, target, st_tgds).unwrap()
+}
+
+fn bench_dataflow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e16_dataflow");
+
+    for n in [10usize, 100, 1000] {
+        let m = chain_mapping(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("flow_closure", n), &m, |b, m| {
+            b.iter(|| FlowGraph::build(black_box(m)).closure())
+        });
+        group.bench_with_input(BenchmarkId::new("dataflow_pass", n), &m, |b, m| {
+            b.iter(|| dataflow_pass(black_box(m), None))
+        });
+    }
+
+    // Rendering includes the lens compiler; keep single iterations
+    // sub-second.
+    for n in [10usize, 100] {
+        let m = copy_mapping(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("explain_tree", n), &m, |b, m| {
+            b.iter(|| explain(black_box(m), None).render_tree())
+        });
+        group.bench_with_input(BenchmarkId::new("explain_json", n), &m, |b, m| {
+            b.iter(|| explain(black_box(m), None).to_json().to_string())
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_dataflow
+}
+criterion_main!(benches);

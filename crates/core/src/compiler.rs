@@ -199,7 +199,9 @@ pub fn compile(mapping: &Mapping) -> Result<MappingTemplate, CoreError> {
 
         // Fold source expressions with Union (insertion-routing holes).
         let mut iter = contribs.into_iter();
-        let first = iter.next().expect("non-empty group");
+        let Some(first) = iter.next() else {
+            continue;
+        };
         let mut source_expr = first.source_expr;
         let mut pending = first.holes;
         for (k, c) in iter.enumerate() {
@@ -275,42 +277,53 @@ pub fn compile(mapping: &Mapping) -> Result<MappingTemplate, CoreError> {
 
         // Assign global hole ids.
         for ph in pending {
+            let (site, current) = match (&ph.kind, ph.column.clone()) {
+                (PendingKind::SourceColumn, Some(column)) => (
+                    HoleSite::SourceColumn {
+                        target_rel: rel.clone(),
+                        column,
+                        path: ph.path.clone(),
+                    },
+                    HoleBinding::Column(UpdatePolicy::Null),
+                ),
+                (PendingKind::Join, _) => (
+                    HoleSite::Join {
+                        target_rel: rel.clone(),
+                        path: ph.path.clone(),
+                    },
+                    HoleBinding::Join(JoinPolicy::DeleteBoth),
+                ),
+                (PendingKind::Union, _) => (
+                    HoleSite::Union {
+                        target_rel: rel.clone(),
+                        path: ph.path.clone(),
+                    },
+                    HoleBinding::Union(UnionPolicy::InsertLeft),
+                ),
+                // Source-side pending holes always carry their column and
+                // never the target-column kind.
+                (PendingKind::SourceColumn, None) | (PendingKind::TargetColumn, _) => continue,
+            };
             let id = holes.len();
             holes.push(Hole {
                 id,
                 question: ph.question,
-                site: match ph.kind {
-                    PendingKind::SourceColumn => HoleSite::SourceColumn {
-                        target_rel: rel.clone(),
-                        column: ph.column.clone().expect("source column hole"),
-                        path: ph.path.clone(),
-                    },
-                    PendingKind::Join => HoleSite::Join {
-                        target_rel: rel.clone(),
-                        path: ph.path.clone(),
-                    },
-                    PendingKind::Union => HoleSite::Union {
-                        target_rel: rel.clone(),
-                        path: ph.path.clone(),
-                    },
-                    PendingKind::TargetColumn => unreachable!("source-side pending"),
-                },
-                current: match ph.kind {
-                    PendingKind::SourceColumn => HoleBinding::Column(UpdatePolicy::Null),
-                    PendingKind::Join => HoleBinding::Join(JoinPolicy::DeleteBoth),
-                    PendingKind::Union => HoleBinding::Union(UnionPolicy::InsertLeft),
-                    PendingKind::TargetColumn => unreachable!(),
-                },
+                site,
+                current,
             });
         }
         for ph in target_holes {
+            // Target-column pending holes always carry their column.
+            let Some(column) = ph.column.clone() else {
+                continue;
+            };
             let id = holes.len();
             holes.push(Hole {
                 id,
                 question: ph.question,
                 site: HoleSite::TargetColumn {
                     target_rel: rel.clone(),
-                    column: ph.column.clone().expect("target column hole"),
+                    column,
                     path: ph.path.clone(),
                 },
                 current: HoleBinding::Column(UpdatePolicy::Null),
@@ -525,7 +538,9 @@ fn compile_target_atom(
     // Join the premise atoms (tgd joins = natural joins on variable
     // columns).
     let mut iter = atom_exprs.into_iter();
-    let (mut source_expr, mut holes) = iter.next().expect("validated non-empty lhs");
+    let Some((mut source_expr, mut holes)) = iter.next() else {
+        return Err(vec![format!("tgd `{tgd}` has an empty premise")]);
+    };
     for (k, (e, hs)) in iter.enumerate() {
         prepend(&mut holes, Step::Left);
         let mut right = hs;

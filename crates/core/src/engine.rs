@@ -318,6 +318,11 @@ pub struct EngineSymLens<'e> {
     engine: &'e Engine,
 }
 
+// The `SymLens` trait is infallible by design (lens laws are stated
+// over total functions); the documented contract of `EngineSymLens` is
+// that evaluation errors panic. Callers needing fallibility use
+// `Engine::forward` / `Engine::backward` directly.
+#[allow(clippy::expect_used)]
 impl SymLens for EngineSymLens<'_> {
     type Left = Instance;
     type Right = Instance;

@@ -32,15 +32,21 @@
 //!   tgd is classified `Exact` (the lens pair reproduces the chase and
 //!   round-trips) or `Approximate` with the precise reasons.
 
+#![deny(clippy::unwrap_used)]
+#![deny(clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod compiler;
 pub mod engine;
 pub mod error;
+pub mod plan;
 pub mod precheck;
 pub mod template;
 
 pub use compiler::compile;
 pub use engine::{Engine, EngineForward, EngineSymLens, ForwardStats, RelationStats};
 pub use error::CoreError;
+pub use plan::{plan, LensSection, MappingPlan, MatcherChoice, TgdPlan};
 pub use precheck::{precheck, PrecheckReason, PrecheckReport};
 pub use template::{
     CompileReport, Fidelity, Hole, HoleBinding, HoleSite, MappingTemplate, RelationLens,

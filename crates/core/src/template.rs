@@ -266,7 +266,13 @@ impl MappingTemplate {
         let node = descend(expr, path)?;
         match (&binding, node) {
             (HoleBinding::Column(p), RelLensExpr::Project { policies, .. }) => {
-                let col = column.expect("column holes carry a column");
+                // Column hole sites always carry their column.
+                let Some(col) = column else {
+                    return Err(CoreError::WrongBindingKind {
+                        hole: id,
+                        expected: "a column hole naming its column",
+                    });
+                };
                 policies.insert(col.clone(), p.clone());
             }
             (HoleBinding::Join(p), RelLensExpr::Join { policy, .. }) => {

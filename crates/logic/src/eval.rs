@@ -130,6 +130,102 @@ pub fn unify_with_tuple(atom: &Atom, tuple: &Tuple, partial: &Valuation) -> Opti
     }
 }
 
+/// One step of a static premise-matching plan: which atom the greedy
+/// optimizer matches next, which of its positions are index-probable at
+/// that point, and which variables it newly binds.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize)]
+pub struct PremiseStep {
+    /// Index of the atom in the original conjunction.
+    pub atom: usize,
+    /// Positions whose term is already determined when this atom is
+    /// matched (a constant, a bound variable, or a function term over
+    /// bound variables). The runtime probes whichever of these has the
+    /// shortest posting list; an empty list means a full relation scan.
+    pub probe_positions: Vec<usize>,
+    /// Variables first bound by matching this atom, in argument order.
+    pub binds: Vec<Name>,
+}
+
+/// A static premise plan: the greedy atom order of [`extend_matches`]
+/// replayed without instance statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct PremisePlan {
+    /// Planned matching steps, one per atom of the conjunction.
+    pub steps: Vec<PremiseStep>,
+}
+
+impl PremiseStep {
+    /// Does this step fall back to a full relation scan?
+    pub fn is_scan(&self) -> bool {
+        self.probe_positions.is_empty()
+    }
+}
+
+/// Compute the static premise plan for `atoms`: the atom order the
+/// greedy optimizer in [`extend_matches`] would choose when every
+/// relation has the same size (fewest unbound variables first, earlier
+/// atom on ties), and for each step the positions that are
+/// index-probable given the variables bound so far. `pre_bound` lists
+/// variables bound before matching starts — e.g. by semi-naive delta
+/// seeding ([`unify_with_tuple`]) or an `extend_matches` partial
+/// valuation.
+///
+/// This is a size-agnostic approximation of the runtime order: at run
+/// time ties (and near-ties) are broken by live relation cardinality,
+/// so two atoms with equally many unbound variables may swap. The probe
+/// positions are exact — determinedness depends only on the binding
+/// order, not on the data.
+pub fn premise_plan(atoms: &[Atom], pre_bound: &[Name]) -> PremisePlan {
+    let mut bound: Vec<Name> = pre_bound.to_vec();
+    // Mirror `search`: `remaining` shrinks by swap_remove, and the
+    // greedy score is (unbound-vars, relation-size) with strict `<`,
+    // so with sizes unknown the earliest minimum wins.
+    let mut remaining: Vec<(usize, &Atom)> = atoms.iter().enumerate().collect();
+    let mut steps = Vec::with_capacity(atoms.len());
+    while !remaining.is_empty() {
+        let unbound_count = |a: &Atom| a.variables().iter().filter(|x| !bound.contains(x)).count();
+        let mut best = 0;
+        let mut best_score = unbound_count(remaining[0].1);
+        for (i, (_, a)) in remaining.iter().enumerate().skip(1) {
+            let s = unbound_count(a);
+            if s < best_score {
+                best = i;
+                best_score = s;
+            }
+        }
+        let (atom_idx, atom) = remaining.swap_remove(best);
+        let determined = |t: &Term| {
+            let mut vars = Vec::new();
+            t.collect_vars(&mut vars);
+            match t {
+                Term::Var(v) => bound.contains(v),
+                Term::Const(_) => true,
+                Term::Func(..) => vars.iter().all(|v| bound.contains(v)),
+            }
+        };
+        let probe_positions = atom
+            .args
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| determined(t))
+            .map(|(pos, _)| pos)
+            .collect();
+        let mut binds = Vec::new();
+        for v in atom.variables() {
+            if !bound.contains(&v) && !binds.contains(&v) {
+                binds.push(v);
+            }
+        }
+        bound.extend(binds.iter().cloned());
+        steps.push(PremiseStep {
+            atom: atom_idx,
+            probe_positions,
+            binds,
+        });
+    }
+    PremisePlan { steps }
+}
+
 fn pick_next(remaining: &[&Atom], inst: &Instance, v: &Valuation) -> Option<usize> {
     if remaining.is_empty() {
         return None;
@@ -404,6 +500,52 @@ mod tests {
         ];
         let ms = match_conjunction(&atoms, &db());
         assert_eq!(ms.len(), 6);
+    }
+
+    #[test]
+    fn premise_plan_orders_by_unbound_vars() {
+        // Emp(x) has one unbound var, Manager(x, y) two: Emp first,
+        // after which Manager's first position is probable.
+        let atoms = vec![
+            Atom::vars("Manager", &["x", "y"]),
+            Atom::vars("Emp", &["x"]),
+        ];
+        let plan = premise_plan(&atoms, &[]);
+        assert_eq!(plan.steps.len(), 2);
+        assert_eq!(plan.steps[0].atom, 1);
+        assert!(plan.steps[0].is_scan());
+        assert_eq!(plan.steps[0].binds, vec![Name::new("x")]);
+        assert_eq!(plan.steps[1].atom, 0);
+        assert_eq!(plan.steps[1].probe_positions, vec![0]);
+        assert_eq!(plan.steps[1].binds, vec![Name::new("y")]);
+    }
+
+    #[test]
+    fn premise_plan_constants_and_prebound_probe() {
+        // Assgn(n, "DB") with n pre-bound: both positions determined.
+        let atoms = vec![Atom::new("Assgn", vec![Term::var("n"), Term::cnst("DB")])];
+        let plan = premise_plan(&atoms, &[Name::new("n")]);
+        assert_eq!(plan.steps[0].probe_positions, vec![0, 1]);
+        assert!(plan.steps[0].binds.is_empty());
+        // Without the pre-binding only the constant is determined.
+        let cold = premise_plan(&atoms, &[]);
+        assert_eq!(cold.steps[0].probe_positions, vec![1]);
+        assert_eq!(cold.steps[0].binds, vec![Name::new("n")]);
+    }
+
+    #[test]
+    fn premise_plan_function_term_determined_when_args_bound() {
+        let atoms = vec![
+            Atom::vars("Emp", &["x"]),
+            Atom::new(
+                "Boss",
+                vec![Term::var("x"), Term::func("f", vec![Term::var("x")])],
+            ),
+        ];
+        let plan = premise_plan(&atoms, &[]);
+        assert_eq!(plan.steps[1].atom, 1);
+        // x bound by Emp, so both Boss positions (var + skolem) probe.
+        assert_eq!(plan.steps[1].probe_positions, vec![0, 1]);
     }
 
     #[test]

@@ -26,7 +26,9 @@ pub mod tgd;
 
 pub use atom::Atom;
 pub use correspondence::{Arrow, CorrespondenceGroup, CorrespondenceSet};
-pub use eval::{extend_matches, match_conjunction, Valuation};
+pub use eval::{
+    extend_matches, match_conjunction, premise_plan, PremisePlan, PremiseStep, Valuation,
+};
 pub use mapping::Mapping;
 pub use parser::{
     parse_disj_tgd, parse_egd, parse_mapping, parse_mapping_with_spans, parse_query, parse_tgd,

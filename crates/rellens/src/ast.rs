@@ -293,6 +293,119 @@ impl RelLensExpr {
         }
     }
 
+    /// Flatten the tree into per-node summaries (pre-order), exposing
+    /// each node's kind, display detail, and update policies. This is
+    /// the introspection surface behind `dexcli explain`: renderers get
+    /// the policy annotations without matching on the tree shape, and
+    /// each node's `path` (`"L"`/`"R"` steps joined by `.`) lines up
+    /// with the hole paths in `dex-core` templates.
+    pub fn summarize_nodes(&self) -> Vec<NodeSummary> {
+        fn go(e: &RelLensExpr, path: &mut Vec<&'static str>, out: &mut Vec<NodeSummary>) {
+            let at = path.join(".");
+            match e {
+                RelLensExpr::Base(n) => out.push(NodeSummary {
+                    path: at,
+                    kind: "base",
+                    detail: n.to_string(),
+                    policies: vec![],
+                    policy: None,
+                }),
+                RelLensExpr::Select { input, pred } => {
+                    out.push(NodeSummary {
+                        path: at,
+                        kind: "select",
+                        detail: pred.to_string(),
+                        policies: vec![],
+                        policy: None,
+                    });
+                    path.push("L");
+                    go(input, path, out);
+                    path.pop();
+                }
+                RelLensExpr::Project {
+                    input,
+                    attrs,
+                    policies,
+                } => {
+                    out.push(NodeSummary {
+                        path: at,
+                        kind: "project",
+                        detail: attrs
+                            .iter()
+                            .map(|a| a.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                        policies: policies
+                            .iter()
+                            .map(|(a, p)| (a.clone(), p.to_string()))
+                            .collect(),
+                        policy: None,
+                    });
+                    path.push("L");
+                    go(input, path, out);
+                    path.pop();
+                }
+                RelLensExpr::Rename { input, renaming } => {
+                    out.push(NodeSummary {
+                        path: at,
+                        kind: "rename",
+                        detail: renaming
+                            .iter()
+                            .map(|(a, b)| format!("{a}→{b}"))
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                        policies: vec![],
+                        policy: None,
+                    });
+                    path.push("L");
+                    go(input, path, out);
+                    path.pop();
+                }
+                RelLensExpr::Join {
+                    left,
+                    right,
+                    policy,
+                } => {
+                    out.push(NodeSummary {
+                        path: at,
+                        kind: "join",
+                        detail: String::new(),
+                        policies: vec![],
+                        policy: Some(policy.to_string()),
+                    });
+                    path.push("L");
+                    go(left, path, out);
+                    path.pop();
+                    path.push("R");
+                    go(right, path, out);
+                    path.pop();
+                }
+                RelLensExpr::Union {
+                    left,
+                    right,
+                    policy,
+                } => {
+                    out.push(NodeSummary {
+                        path: at,
+                        kind: "union",
+                        detail: String::new(),
+                        policies: vec![],
+                        policy: Some(policy.to_string()),
+                    });
+                    path.push("L");
+                    go(left, path, out);
+                    path.pop();
+                    path.push("R");
+                    go(right, path, out);
+                    path.pop();
+                }
+            }
+        }
+        let mut out = Vec::new();
+        go(self, &mut Vec::new(), &mut out);
+        out
+    }
+
     /// Render as an indented plan — the paper's “show plan” for
     /// mappings.
     pub fn plan_string(&self) -> String {
@@ -362,6 +475,25 @@ impl RelLensExpr {
             }
         }
     }
+}
+
+/// One node of a flattened lens tree (see
+/// [`RelLensExpr::summarize_nodes`]).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize)]
+pub struct NodeSummary {
+    /// `"L"`/`"R"` descent steps from the root, joined by `.` (empty
+    /// for the root); matches template hole paths.
+    pub path: String,
+    /// The operator: `base`, `select`, `project`, `rename`, `join`, or
+    /// `union`.
+    pub kind: &'static str,
+    /// Operator-specific display detail (base name, predicate, kept
+    /// attributes, renaming).
+    pub detail: String,
+    /// Project nodes: `(dropped column, policy display)` pairs.
+    pub policies: Vec<(Name, String)>,
+    /// Join/Union nodes: the node policy's display form.
+    pub policy: Option<String>,
 }
 
 impl fmt::Display for RelLensExpr {
@@ -497,6 +629,29 @@ mod tests {
         assert!(plan.contains("Project[id, name | age := const 18; city := fd(name) else null]"));
         assert!(plan.contains("  Select[age >= 18]"));
         assert!(plan.contains("    Base[Person]"));
+    }
+
+    #[test]
+    fn summarize_nodes_preorder_with_paths_and_policies() {
+        let e = RelLensExpr::base("Person")
+            .project(vec!["id", "name"], vec![("age", UpdatePolicy::Null)])
+            .union(RelLensExpr::base("Other"), UnionPolicy::InsertLeft);
+        let nodes = e.summarize_nodes();
+        let shape: Vec<(&str, &str)> = nodes.iter().map(|n| (n.path.as_str(), n.kind)).collect();
+        assert_eq!(
+            shape,
+            vec![
+                ("", "union"),
+                ("L", "project"),
+                ("L.L", "base"),
+                ("R", "base")
+            ]
+        );
+        assert_eq!(nodes[0].policy.as_deref(), Some("insert-left"));
+        assert_eq!(
+            nodes[1].policies,
+            vec![(Name::new("age"), "null".to_string())]
+        );
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod incremental;
 pub mod policy;
 pub mod revision;
 
-pub use ast::RelLensExpr;
+pub use ast::{NodeSummary, RelLensExpr};
 pub use error::RellensError;
 pub use eval::InstanceLens;
 pub use incremental::{IncrementalLens, RelDelta, ReplayOutcome};

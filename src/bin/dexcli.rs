@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! dexcli plan     <mapping.dex>                          show the compiled lens plan
+//! dexcli explain  <mapping.dex> [--format tree|json|dot] annotated execution plan + provenance
 //! dexcli check    <mapping.dex>                          parse + fidelity + termination report
 //! dexcli chase    <mapping.dex> <source.json> [--stats]  classical chase (universal solution)
 //! dexcli exchange <mapping.dex> <source.json> [prev.json] [--stats] lens-engine forward
@@ -26,7 +27,10 @@
 //! Labeled nulls appear in output as `{"null": n}`; Skolem terms as
 //! `{"skolem": "f", "args": [...]}`.
 
-use dex::analyze::{analyze, deny_warnings, has_errors, parse_error_diagnostic, render_all};
+use dex::analyze::{
+    analyze, deny_warnings, explain, has_errors, parse_error_diagnostic, render_all,
+    sort_diagnostics, Code,
+};
 use dex::chase::{
     certain_answers_governed, exchange_checkpointed, exchange_governed, resume_exchange, Budget,
     ChaseOptions, ChaseOutcome, ChaseStats, Governor, ResumeState,
@@ -74,7 +78,7 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let usage =
-        "usage: dexcli <plan|check|lint|chase|exchange|backward|compose|recover|query|resume|fsck> <args…>\n\
+        "usage: dexcli <plan|check|lint|explain|chase|exchange|backward|compose|recover|query|resume|fsck> <args…>\n\
                  run `dexcli help` for details";
     // Deterministic hook for exercising the panic barrier end-to-end
     // (tests/robustness_cli.rs pins exit code 70 through it).
@@ -99,6 +103,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         "lint" => lint(&args[1..]),
+        "explain" => explain_cmd(&args[1..]),
         "chase" => {
             let mut rest: Vec<&String> = args[1..].iter().collect();
             let budget = extract_budget(&mut rest)?;
@@ -277,13 +282,23 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 /// diagnostic is an error after `--deny warnings` promotion; bad
 /// flags and unreadable files exit 1 like any other usage error.
 fn lint(args: &[String]) -> Result<ExitCode, String> {
-    let usage = "usage: dexcli lint <mapping.dex>… [--format text|json] [--deny warnings]";
+    let usage = "usage: dexcli lint <mapping.dex>… [--format text|json] [--deny warnings]\n\
+                 \x20      dexcli lint --explain DEXnnn";
     let mut files: Vec<&String> = Vec::new();
     let mut format = "text";
     let mut deny = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--explain" => {
+                let code_str = it
+                    .next()
+                    .ok_or_else(|| format!("--explain takes a code like DEX401\n{usage}"))?;
+                let code = Code::parse(code_str)
+                    .ok_or_else(|| format!("unknown diagnostic code `{code_str}`"))?;
+                println!("{code}: {}", code.explanation());
+                return Ok(ExitCode::SUCCESS);
+            }
             "--format" => {
                 format = match it.next().map(String::as_str) {
                     Some(f @ ("text" | "json")) => f,
@@ -315,6 +330,9 @@ fn lint(args: &[String]) -> Result<ExitCode, String> {
         if deny {
             deny_warnings(&mut diags);
         }
+        // Deterministic report order regardless of pass order: by
+        // source position, then code, then message.
+        sort_diagnostics(&mut diags);
         failed |= has_errors(&diags);
         match format {
             "json" => json_report.push(json!({
@@ -341,6 +359,42 @@ fn lint(args: &[String]) -> Result<ExitCode, String> {
     } else {
         Ok(ExitCode::SUCCESS)
     }
+}
+
+/// `dexcli explain <mapping.dex> [--format tree|json|dot]`.
+///
+/// Renders the compiled execution plan — premise-matching strategy,
+/// matcher phase, null production, lens trees with update policies,
+/// and position-level provenance. Unparsable mappings print their
+/// `DEX000` diagnostic and exit [`EXIT_LINT`], mirroring `lint`.
+fn explain_cmd(args: &[String]) -> Result<ExitCode, String> {
+    let usage = "usage: dexcli explain <mapping.dex> [--format tree|json|dot]";
+    let mut rest: Vec<&String> = args.iter().collect();
+    let format = take_flag_value(&mut rest, "--format")?.unwrap_or_else(|| "tree".into());
+    if !matches!(format.as_str(), "tree" | "json" | "dot") {
+        return Err(format!("--format takes `tree`, `json` or `dot`\n{usage}"));
+    }
+    reject_unknown_flags(&rest)?;
+    let path = rest.first().ok_or(usage)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let (m, spans) = match parse_mapping_with_spans(&text) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            let d = parse_error_diagnostic(&e);
+            print!("{}", render_all(&[d], path, &text));
+            return Ok(ExitCode::from(EXIT_LINT));
+        }
+    };
+    let report = explain(&m, Some(&spans));
+    match format.as_str() {
+        "json" => println!(
+            "{}",
+            serde_json::to_string_pretty(&report.to_json()).map_err(|e| e.to_string())?
+        ),
+        "dot" => print!("{}", report.render_dot()),
+        _ => print!("{}", report.render_tree()),
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 // ---------------------------------------------------------------------
@@ -664,6 +718,11 @@ commands:
   check    <mapping.dex>                         fidelity + termination report
   lint     <mapping.dex>… [--format text|json] [--deny warnings]
                                                  static analysis (DEX diagnostic codes)
+  lint     --explain DEXnnn                      long-form explanation of one code
+  explain  <mapping.dex> [--format tree|json|dot]
+                                                 annotated execution plan: premise order,
+                                                 index probes, null production, lens update
+                                                 policies, position-level provenance
   chase    <mapping.dex> <source.json> [--stats] materialize the universal solution
   exchange <mapping.dex> <source.json> [prev.json] [--stats]  lens-engine forward exchange
   backward <mapping.dex> <target.json> <source.json>  propagate target edits back

@@ -1,0 +1,111 @@
+//! Golden-file tests pinning the machine-readable CLI surfaces:
+//! `dexcli lint --format json` and `dexcli explain --format json`
+//! over the whole fixture corpus, byte for byte.
+//!
+//! The JSON schemas are an API — downstream tooling parses them — so
+//! any change must show up in review as a golden diff. Regenerate
+//! deliberately with `BLESS=1 cargo test --test golden_cli`.
+//!
+//! Commands run with the workspace root as the working directory and
+//! relative fixture paths, so goldens carry no machine-specific paths.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// Every fixture, with the exit code each subcommand must produce.
+/// Lint fails (exit 2) on fixtures with errors; explain only fails
+/// when the file does not parse at all.
+const FIXTURES: &[(&str, i32, i32)] = &[
+    // (name, lint exit, explain exit)
+    ("approx_ids", 0, 0),
+    ("bad_clash", 2, 0),
+    ("bad_non_terminating", 2, 0),
+    ("bad_redundant", 0, 0),
+    ("bad_syntax", 2, 2),
+    ("bad_uncompilable", 0, 0),
+    ("bad_unused", 0, 0),
+    ("employees", 0, 0),
+    ("evolution", 0, 0),
+    ("ja_terminating", 0, 0),
+    ("university", 0, 0),
+];
+
+fn root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn run(subcommand: &str, fixture: &str) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dexcli"))
+        .current_dir(root())
+        .arg(subcommand)
+        .arg("--format")
+        .arg("json")
+        .arg(format!("examples/mappings/{fixture}.dex"))
+        .output()
+        .unwrap()
+}
+
+/// Compare stdout to the golden file, or rewrite the golden when the
+/// `BLESS` environment variable is set.
+fn check_golden(subcommand: &str, fixture: &str, expect_exit: i32) {
+    let out = run(subcommand, fixture);
+    assert_eq!(
+        out.status.code(),
+        Some(expect_exit),
+        "{subcommand} {fixture}: unexpected exit\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    let got = String::from_utf8(out.stdout).unwrap();
+    let path = root().join(format!("tests/goldens/{subcommand}/{fixture}.json"));
+    if std::env::var_os("BLESS").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run `BLESS=1 cargo test --test golden_cli`",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got,
+        want,
+        "{subcommand} {fixture}: output drifted from {}; if intentional, \
+         re-bless with `BLESS=1 cargo test --test golden_cli` and review the diff",
+        path.display()
+    );
+}
+
+#[test]
+fn lint_json_matches_goldens() {
+    for (fixture, lint_exit, _) in FIXTURES {
+        check_golden("lint", fixture, *lint_exit);
+    }
+}
+
+#[test]
+fn explain_json_matches_goldens() {
+    for (fixture, _, explain_exit) in FIXTURES {
+        check_golden("explain", fixture, *explain_exit);
+    }
+}
+
+/// Output is byte-identical across runs — diagnostics are sorted by
+/// (file, span, code) and the JSON maps are BTreeMap-backed, so there
+/// is no iteration-order or hash-seed dependence to leak through.
+#[test]
+fn json_output_is_deterministic() {
+    for (fixture, _, _) in FIXTURES {
+        for subcommand in ["lint", "explain"] {
+            let a = run(subcommand, fixture);
+            let b = run(subcommand, fixture);
+            assert_eq!(
+                a.stdout, b.stdout,
+                "{subcommand} {fixture}: two runs disagreed"
+            );
+        }
+    }
+}
