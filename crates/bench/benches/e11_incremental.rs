@@ -75,8 +75,10 @@ fn diff_views(
     v0: &dex_relational::Relation,
     v1: &dex_relational::Relation,
 ) -> (Vec<Tuple>, Vec<Tuple>) {
-    let ins: Vec<Tuple> = v1.tuples().difference(v0.tuples()).cloned().collect();
-    let del: Vec<Tuple> = v0.tuples().difference(v1.tuples()).cloned().collect();
+    let t0 = v0.tuples();
+    let t1 = v1.tuples();
+    let ins: Vec<Tuple> = t1.difference(&t0).cloned().collect();
+    let del: Vec<Tuple> = t0.difference(&t1).cloned().collect();
     (ins, del)
 }
 

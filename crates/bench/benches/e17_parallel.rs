@@ -1,0 +1,140 @@
+//! E17 — sharded parallel premise matching and the columnar storage
+//! ablation, on E1's Emp → Manager workload scaled to 10⁵–10⁷ tuples.
+//!
+//! Two questions:
+//! * `threads/T` — cores-vs-speedup for the sharded matcher
+//!   (`ChaseOptions::threads`): the same Emp → Manager + Mgr chase at
+//!   T ∈ {1, 2, 4, 8} worker threads. Phase 1 shards first-atom seeds
+//!   round-robin; phase 2 hash-partitions the round delta. Output is
+//!   bit-identical at every T (see the `parallel_matching_literally_
+//!   equals_sequential` property), so the arms measure pure matching
+//!   throughput.
+//! * `columnar` vs `row_materialize` — what the column-major tuple
+//!   arena buys on the hot read path: a full predicate scan reading
+//!   `(tuple_id, col)` cells in place vs materializing each row as a
+//!   boundary `Tuple` first (the pre-refactor access pattern).
+//!
+//! Sizes: the thread arms run at 10⁵ and 10⁶ by default; set
+//! `DEX_E17_HUGE=1` to add the 10⁷ arm (minutes per sample on one
+//! core). The storage ablation runs at 10⁴ and 10⁵.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dex_chase::{exchange_with, ChaseOptions, Matcher};
+use dex_logic::{parse_mapping, Mapping};
+use dex_relational::{tuple, Instance, Value};
+use std::hint::black_box;
+
+/// Few, short samples: a single 10⁶-tuple chase already runs seconds;
+/// the suite's job is shape, not publication-grade intervals.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10)
+}
+
+/// E1 plus a target tgd, so both matcher phases run: phase 1 fires
+/// the st-tgd (seed-sharded), phase 2 re-fires Manager → Mgr
+/// delta-driven (hash-partitioned).
+fn emp_mgr_mapping() -> Mapping {
+    parse_mapping(
+        r#"
+        source Emp(name);
+        target Manager(emp, mgr);
+        target Mgr(m);
+        Emp(x) -> Manager(x, y);
+        Manager(e, m) -> Mgr(m);
+        "#,
+    )
+    .unwrap()
+}
+
+fn emps(n: usize) -> Instance {
+    let m = emp_mgr_mapping();
+    let mut inst = Instance::empty(m.source().clone());
+    for i in 0..n {
+        inst.insert("Emp", tuple![format!("emp{i}").as_str()])
+            .unwrap();
+    }
+    inst
+}
+
+fn bench_threads(c: &mut Criterion) {
+    let m = emp_mgr_mapping();
+    let mut sizes = vec![100_000usize, 1_000_000];
+    if std::env::var_os("DEX_E17_HUGE").is_some() {
+        sizes.push(10_000_000);
+    }
+    let mut group = c.benchmark_group("e17_parallel");
+    for n in sizes {
+        let src = emps(n);
+        group.throughput(Throughput::Elements(n as u64));
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("threads/{threads}"), n),
+                &src,
+                |b, src| {
+                    b.iter(|| {
+                        exchange_with(
+                            black_box(&m),
+                            black_box(src),
+                            ChaseOptions {
+                                matcher: Matcher::Indexed,
+                                threads,
+                                ..Default::default()
+                            },
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// The storage ablation: a full predicate scan over one relation,
+/// reading cells columnar-in-place vs materializing each row.
+fn bench_columnar_vs_row(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e17_storage");
+    for n in [10_000usize, 100_000] {
+        let src = emps(n);
+        let rel = src.relation("Emp").unwrap();
+        let needle = Value::str(format!("emp{}", n - 1));
+        group.throughput(Throughput::Elements(n as u64));
+        // Columnar: read each (tuple_id, col) cell in place — the
+        // access pattern of `unify_row` on the matcher hot path.
+        group.bench_with_input(BenchmarkId::new("columnar", n), &rel, |b, rel| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &id in rel.row_ids().iter() {
+                    if rel.value_at(id, 0) == &needle {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+        // Row-materializing: build a boundary `Tuple` per row before
+        // looking at it — the pre-columnar access pattern.
+        group.bench_with_input(BenchmarkId::new("row_materialize", n), &rel, |b, rel| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for t in rel.iter() {
+                    if t.get(0) == Some(&needle) {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_threads, bench_columnar_vs_row
+}
+criterion_main!(benches);

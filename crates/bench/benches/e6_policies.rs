@@ -74,7 +74,7 @@ fn report_preservation(c: &mut Criterion) {
         let l = lens(policy);
         let view = l.try_get(&db).unwrap();
         let mut churned = view.clone();
-        let victims: Vec<_> = churned.iter().take(100).cloned().collect();
+        let victims: Vec<_> = churned.iter().take(100).collect();
         for v in &victims {
             churned.remove(v);
         }

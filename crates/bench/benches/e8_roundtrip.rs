@@ -33,7 +33,6 @@ fn bench_backward(c: &mut Criterion) {
             .unwrap()
             .iter()
             .take(batch)
-            .cloned()
             .collect();
         for v in &victims {
             edited.remove("Person2", v).unwrap();

@@ -52,7 +52,7 @@ pub fn core_of_governed(inst: &Instance, gov: &Governor) -> (Instance, Option<Ex
 fn image_of(inst: &Instance, h: &Homomorphism) -> Instance {
     let mut out = Instance::empty(inst.schema().clone());
     for (rel, t) in inst.facts() {
-        let mapped = h.apply_tuple(t);
+        let mapped = h.apply_tuple(&t);
         out.insert(rel.as_str(), mapped)
             .expect("image tuple has same arity");
     }
@@ -102,9 +102,9 @@ fn find_proper_endomorphism_governed(
 /// Extend a seeded partial mapping to a full endomorphism `inst → inst`,
 /// if possible.
 fn extend_endomorphism(inst: &Instance, seed: Homomorphism) -> Option<Homomorphism> {
-    let facts: Vec<(&dex_relational::Name, &Tuple)> = inst.facts().collect();
+    let facts: Vec<(&dex_relational::Name, Tuple)> = inst.facts().collect();
     fn search(
-        facts: &[(&dex_relational::Name, &Tuple)],
+        facts: &[(&dex_relational::Name, Tuple)],
         idx: usize,
         inst: &Instance,
         h: &mut Homomorphism,
@@ -112,13 +112,14 @@ fn extend_endomorphism(inst: &Instance, seed: Homomorphism) -> Option<Homomorphi
         if idx == facts.len() {
             return true;
         }
-        let (rel, t) = facts[idx];
+        let (rel, t) = &facts[idx];
         let target = inst.relation(rel.as_str()).expect("same schema");
-        for cand in target.iter() {
+        // Bind against candidate rows by reading columns in place.
+        for &cand in target.row_ids().iter() {
             let saved = h.clone();
             let mut ok = true;
-            for (v, w) in t.iter().zip(cand.iter()) {
-                if !h.bind(v, w) {
+            for (col, v) in t.iter().enumerate() {
+                if !h.bind(v, target.value_at(cand, col)) {
                     ok = false;
                     break;
                 }

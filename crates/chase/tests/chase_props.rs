@@ -211,6 +211,46 @@ proptest! {
         }
     }
 
+    /// Sharded parallel matching is *literally* equal to the
+    /// single-threaded chase — same tuples, same null allocation order,
+    /// same firing count, same stats — for 2, 3, and 8 worker threads,
+    /// both matchers, both chase variants, across plain st-tgd mappings
+    /// and mappings with target tgds/egds.
+    #[test]
+    fn parallel_matching_literally_equals_sequential(
+        rows in proptest::collection::vec((0u8..5, 0u8..5), 0..8)
+    ) {
+        for m in mappings().into_iter().chain(target_dep_mappings()) {
+            let src = populate(&m, &rows);
+            for variant in [ChaseVariant::Standard, ChaseVariant::Oblivious] {
+                for matcher in [Matcher::Indexed, Matcher::Scan] {
+                    let seq = exchange_with(&m, &src, ChaseOptions {
+                        variant,
+                        matcher,
+                        threads: 1,
+                        ..Default::default()
+                    }).unwrap();
+                    for threads in [2usize, 3, 8] {
+                        let par = exchange_with(&m, &src, ChaseOptions {
+                            variant,
+                            matcher,
+                            threads,
+                            ..Default::default()
+                        }).unwrap();
+                        prop_assert_eq!(
+                            &seq.target, &par.target,
+                            "threads={} {:?}/{:?} diverged for:\n{}",
+                            threads, variant, matcher, m
+                        );
+                        prop_assert_eq!(seq.nulls_created, par.nulls_created);
+                        prop_assert_eq!(seq.firings, par.firings);
+                        prop_assert_eq!(&seq.stats, &par.stats);
+                    }
+                }
+            }
+        }
+    }
+
     /// The core of the chase output is still a solution and still
     /// universal (maps into the original output).
     #[test]

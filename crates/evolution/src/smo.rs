@@ -442,7 +442,7 @@ impl Smo {
                     }
                 }
                 for t in rel.iter() {
-                    match index.get(t) {
+                    match index.get(&t) {
                         Some(matches) => {
                             for m in matches {
                                 out.insert(table.as_str(), m.clone())?;
@@ -486,7 +486,7 @@ impl Smo {
                 copy_except(src, &mut out, &[table])?;
                 let rel = src.expect_relation(table.as_str())?;
                 for t in rel.iter() {
-                    let dest = if pred.eval_bool(rel.schema(), t)? {
+                    let dest = if pred.eval_bool(rel.schema(), &t)? {
                         true_table
                     } else {
                         false_table
@@ -606,7 +606,7 @@ impl Smo {
                     }
                 }
                 for t in rel.iter() {
-                    match index.get(t) {
+                    match index.get(&t) {
                         Some(matches) => {
                             for m in matches {
                                 out.insert(table.as_str(), m.clone())?;
@@ -642,7 +642,7 @@ impl Smo {
                 let ft = tgt.expect_relation(false_table.as_str())?;
                 for (rel, must_hold) in [(tt, true), (ft, false)] {
                     for t in rel.iter() {
-                        if pred.eval_bool(rel.schema(), t)? != must_hold {
+                        if pred.eval_bool(rel.schema(), &t)? != must_hold {
                             return Err(EvolutionError::SplitViolation {
                                 table: rel.name().clone(),
                                 row: t.to_string(),
@@ -665,8 +665,8 @@ impl Smo {
                         .is_some_and(|r| r.contains(t))
                 };
                 for t in merged.iter() {
-                    let was_left = in_prev(left, t);
-                    let was_right = in_prev(right, t);
+                    let was_left = in_prev(left, &t);
+                    let was_right = in_prev(right, &t);
                     if was_left || !was_right {
                         // provenance says left, or brand new → left
                         out.insert(left.as_str(), t.clone())?;

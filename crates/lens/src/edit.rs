@@ -61,13 +61,13 @@ impl Delta {
     pub fn diff(from: &Instance, to: &Instance) -> Delta {
         let mut d = Delta::default();
         for (rel, t) in to.facts() {
-            if !from.contains(rel.as_str(), t) {
-                d.inserts.push((rel.clone(), t.clone()));
+            if !from.contains(rel.as_str(), &t) {
+                d.inserts.push((rel.clone(), t));
             }
         }
         for (rel, t) in from.facts() {
-            if !to.contains(rel.as_str(), t) {
-                d.deletes.push((rel.clone(), t.clone()));
+            if !to.contains(rel.as_str(), &t) {
+                d.deletes.push((rel.clone(), t));
             }
         }
         d

@@ -19,7 +19,7 @@
 
 use crate::atom::Atom;
 use crate::term::Term;
-use dex_relational::{Instance, Name, Probe, Relation, Tuple, Value};
+use dex_relational::{Instance, Name, Relation, Tuple, TupleId, Value};
 use std::collections::BTreeMap;
 
 /// A variable assignment.
@@ -128,6 +128,67 @@ pub fn unify_with_tuple(atom: &Atom, tuple: &Tuple, partial: &Valuation) -> Opti
     } else {
         None
     }
+}
+
+/// A conjunction split into independent per-seed work items for
+/// sharded (multi-threaded) matching: the atom the sequential search
+/// would pick first is pinned to each of its candidate rows, in
+/// candidate-enumeration order, and the remaining atoms are kept in
+/// exactly the order the sequential search would continue with.
+///
+/// Extending seed `k` over `rest` (via [`extend_matches_mode`]) yields
+/// the `k`-th contiguous block of the sequential enumeration, so
+/// concatenating per-seed results in seed order reproduces
+/// [`match_conjunction_mode`] exactly — same matches, same order. This
+/// is what lets the parallel chase keep the same-tuples-same-null-order
+/// guarantee: shards can extend disjoint seed subsets on worker
+/// threads, then merge by seed index.
+#[derive(Clone, Debug)]
+pub struct SeededConjunction {
+    /// Valuations pinning the picked atom to each candidate row it
+    /// unifies with, in candidate-enumeration order.
+    pub seeds: Vec<Valuation>,
+    /// The remaining atoms, in the sequential search's working order.
+    pub rest: Vec<Atom>,
+}
+
+/// Split `atoms` into [`SeededConjunction`] work items. Returns `None`
+/// for the empty conjunction (its single trivial match leaves nothing
+/// to shard); callers fall back to [`match_conjunction_mode`].
+pub fn seed_conjunction(
+    atoms: &[Atom],
+    inst: &Instance,
+    mode: MatchMode,
+) -> Option<SeededConjunction> {
+    let mut remaining: Vec<&Atom> = atoms.iter().collect();
+    let v = Valuation::new();
+    let idx = pick_next(&remaining, inst, &v)?;
+    let atom = remaining.swap_remove(idx);
+    // `remaining` now holds the rest in swap_remove order — the exact
+    // layout the sequential search recurses with, which matters because
+    // `pick_next` breaks score ties by position.
+    let rest: Vec<Atom> = remaining.into_iter().cloned().collect();
+    let Some(rel) = inst.relation(atom.relation.as_str()) else {
+        // Missing relation: the sequential search finds no candidates.
+        return Some(SeededConjunction {
+            seeds: Vec::new(),
+            rest,
+        });
+    };
+    let ids: Vec<TupleId> = match mode {
+        MatchMode::Indexed => best_probe(atom, rel, &v),
+        MatchMode::Scan => None,
+    }
+    .unwrap_or_else(|| rel.row_ids().to_vec());
+    let mut seeds = Vec::new();
+    for &id in &ids {
+        let mut sv = Valuation::new();
+        let mut undo = Vec::new();
+        if unify_row(atom, rel, id, &mut sv, &mut undo) {
+            seeds.push(sv);
+        }
+    }
+    Some(SeededConjunction { seeds, rest })
 }
 
 /// One step of a static premise-matching plan: which atom the greedy
@@ -258,8 +319,10 @@ fn pick_next(remaining: &[&Atom], inst: &Instance, v: &Valuation) -> Option<usiz
 /// The shortest index probe available for `atom` under `v`: among the
 /// positions whose term is already determined (a constant, a bound
 /// variable, or an evaluable function term), probe the one with the
-/// fewest matching tuples. `None` if no position is determined.
-fn best_probe(atom: &Atom, rel: &Relation, v: &Valuation) -> Option<Probe> {
+/// fewest matching tuples. `None` if no position is determined. The
+/// probe yields tuple *ids*; candidates are unified by reading the
+/// relation's columns in place.
+fn best_probe(atom: &Atom, rel: &Relation, v: &Valuation) -> Option<Vec<TupleId>> {
     let bound: Vec<(usize, Value)> = atom
         .args
         .iter()
@@ -269,7 +332,7 @@ fn best_probe(atom: &Atom, rel: &Relation, v: &Valuation) -> Option<Probe> {
     let (pos, val) = bound
         .iter()
         .min_by_key(|(pos, val)| rel.posting_len(*pos, val))?;
-    Some(rel.probe(*pos, val))
+    Some(rel.probe_ids(*pos, val))
 }
 
 /// Depth-first join search. `emit` is called on every complete match;
@@ -294,9 +357,14 @@ fn search(
                 MatchMode::Indexed => best_probe(atom, rel, v),
                 MatchMode::Scan => None,
             };
-            match &probe {
-                Some(p) => try_candidates(p.iter(), atom, remaining, inst, v, undo, mode, emit),
-                None => try_candidates(rel.iter(), atom, remaining, inst, v, undo, mode, emit),
+            match probe {
+                Some(ids) => try_candidates(rel, &ids, atom, remaining, inst, v, undo, mode, emit),
+                None => {
+                    // Full scan (no determined position, or oracle
+                    // mode): all live rows in canonical order.
+                    let ids = rel.row_ids();
+                    try_candidates(rel, &ids, atom, remaining, inst, v, undo, mode, emit)
+                }
             }
         }
     };
@@ -305,8 +373,9 @@ fn search(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn try_candidates<'t>(
-    candidates: impl Iterator<Item = &'t Tuple>,
+fn try_candidates(
+    rel: &Relation,
+    candidates: &[TupleId],
     atom: &Atom,
     remaining: &mut Vec<&Atom>,
     inst: &Instance,
@@ -315,9 +384,9 @@ fn try_candidates<'t>(
     mode: MatchMode,
     emit: &mut dyn FnMut(&Valuation) -> bool,
 ) -> bool {
-    for t in candidates {
+    for &id in candidates {
         let mark = undo.len();
-        if unify_atom(atom, t, v, undo) && search(remaining, inst, v, undo, mode, emit) {
+        if unify_row(atom, rel, id, v, undo) && search(remaining, inst, v, undo, mode, emit) {
             rollback(v, undo, mark);
             return true;
         }
@@ -340,6 +409,24 @@ fn unify_atom(atom: &Atom, tuple: &Tuple, v: &mut Valuation, undo: &mut Vec<Name
     debug_assert_eq!(atom.arity(), tuple.arity());
     for (term, val) in atom.args.iter().zip(tuple.iter()) {
         if !unify_term(term, val, v, undo) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Like [`unify_atom`] against the arena row `id` of `rel`, reading
+/// each position straight out of the column store — the matcher's hot
+/// path never materializes candidate rows.
+fn unify_row(
+    atom: &Atom,
+    rel: &Relation,
+    id: TupleId,
+    v: &mut Valuation,
+    undo: &mut Vec<Name>,
+) -> bool {
+    for (col, term) in atom.args.iter().enumerate() {
+        if !unify_term(term, rel.value_at(id, col), v, undo) {
             return false;
         }
     }
@@ -477,6 +564,44 @@ mod tests {
                 has_match_mode(&atoms, &db(), &Valuation::new(), MatchMode::Scan),
             );
         }
+    }
+
+    #[test]
+    fn seeded_enumeration_reproduces_sequential_order() {
+        // Extending the seeds of `seed_conjunction` in seed order must
+        // reproduce `match_conjunction_mode` exactly — the invariant
+        // the parallel chase's shard merge depends on.
+        let cases: Vec<Vec<Atom>> = vec![
+            vec![Atom::vars("Student", &["i", "n"])],
+            vec![
+                Atom::vars("Student", &["i", "n"]),
+                Atom::vars("Assgn", &["n", "c"]),
+            ],
+            vec![
+                Atom::vars("Assgn", &["n", "c"]),
+                Atom::vars("Student", &["i", "n"]),
+                Atom::vars("Assgn", &["n", "c2"]),
+            ],
+            vec![Atom::new("Assgn", vec![Term::var("n"), Term::cnst("DB")])],
+            vec![
+                Atom::vars("Student", &["i", "n"]),
+                Atom::vars("Assgn", &["m", "c"]),
+            ],
+            vec![Atom::vars("Nope", &["x"])],
+        ];
+        for atoms in cases {
+            for mode in [MatchMode::Indexed, MatchMode::Scan] {
+                let seq = match_conjunction_mode(&atoms, &db(), mode);
+                let sc = seed_conjunction(&atoms, &db(), mode).expect("non-empty conjunction");
+                let merged: Vec<Valuation> = sc
+                    .seeds
+                    .iter()
+                    .flat_map(|s| extend_matches_mode(&sc.rest, &db(), s, mode))
+                    .collect();
+                assert_eq!(merged, seq, "atoms: {atoms:?} mode: {mode:?}");
+            }
+        }
+        assert!(seed_conjunction(&[], &db(), MatchMode::Indexed).is_none());
     }
 
     #[test]

@@ -23,8 +23,8 @@ pub fn select(rel: &Relation, pred: &Expr, out_name: &str) -> Result<Relation, R
     *out_schema.fds_mut() = rel.schema().fds().clone();
     let mut out = Relation::empty(out_schema);
     for t in rel.iter() {
-        if pred.eval_bool(rel.schema(), t)? {
-            out.insert(t.clone())?;
+        if pred.eval_bool(rel.schema(), &t)? {
+            out.insert(t)?;
         }
     }
     Ok(out)
@@ -87,7 +87,7 @@ pub fn rename_attrs(
     *schema.fds_mut() = rel.schema().fds().rename(renaming);
     let mut out = Relation::empty(schema);
     for t in rel.iter() {
-        out.insert(t.clone())?;
+        out.insert(t)?;
     }
     Ok(out)
 }
@@ -143,10 +143,12 @@ fn join_parts(a: &Relation, b: &Relation, out_name: &str) -> Result<JoinParts, R
 /// header is `a`'s attributes followed by `b`'s non-shared attributes.
 /// FDs of both sides are retained (sound: both projections hold).
 ///
-/// Probes `b`'s per-position hash index (see
-/// [`Relation::probe`]) on the first shared attribute, filtering the
-/// candidates on the full shared projection; with no shared attributes
-/// this degenerates to the cartesian product.
+/// Probes `b`'s per-position hash index for tuple *ids* (see
+/// [`Relation::probe_ids`]) on the first shared attribute, filtering
+/// the candidates on the full shared projection by reading `b`'s
+/// columns directly — matched rows are never materialized, only the
+/// output rows are built. With no shared attributes this degenerates
+/// to the cartesian product.
 pub fn natural_join(
     a: &Relation,
     b: &Relation,
@@ -168,10 +170,18 @@ pub fn natural_join(
     }
     for ta in a.iter() {
         let key = ta.project(&shared_a);
-        let probe = b.probe(shared_b[0], &key[0]);
-        for tb in probe.iter() {
-            if tb.project(&shared_b) == key {
-                out.insert(ta.concat(&tb.project(&b_extra)))?;
+        for id in b.probe_ids(shared_b[0], &key[0]) {
+            let matches = shared_b
+                .iter()
+                .zip(key.iter())
+                .all(|(&pos, kv)| b.value_at(id, pos) == kv);
+            if matches {
+                let row: Tuple = ta
+                    .iter()
+                    .cloned()
+                    .chain(b_extra.iter().map(|&pos| b.value_at(id, pos).clone()))
+                    .collect();
+                out.insert(row)?;
             }
         }
     }
@@ -193,9 +203,10 @@ pub fn natural_join_scan(
         shared_b,
         b_extra,
     } = join_parts(a, b, out_name)?;
-    let mut index: BTreeMap<Tuple, Vec<&Tuple>> = BTreeMap::new();
+    let mut index: BTreeMap<Tuple, Vec<Tuple>> = BTreeMap::new();
     for tb in b.iter() {
-        index.entry(tb.project(&shared_b)).or_default().push(tb);
+        let key = tb.project(&shared_b);
+        index.entry(key).or_default().push(tb);
     }
     for ta in a.iter() {
         if let Some(matches) = index.get(&ta.project(&shared_a)) {
@@ -233,7 +244,7 @@ pub fn union(a: &Relation, b: &Relation, out_name: &str) -> Result<Relation, Rel
     *schema.fds_mut() = common;
     let mut out = Relation::empty(schema);
     for t in a.iter().chain(b.iter()) {
-        out.insert(t.clone())?;
+        out.insert(t)?;
     }
     Ok(out)
 }
@@ -245,8 +256,8 @@ pub fn difference(a: &Relation, b: &Relation, out_name: &str) -> Result<Relation
     *schema.fds_mut() = a.schema().fds().clone();
     let mut out = Relation::empty(schema);
     for t in a.iter() {
-        if !b.contains(t) {
-            out.insert(t.clone())?;
+        if !b.contains(&t) {
+            out.insert(t)?;
         }
     }
     Ok(out)
@@ -263,8 +274,8 @@ pub fn intersection(
     *schema.fds_mut() = a.schema().fds().clone();
     let mut out = Relation::empty(schema);
     for t in a.iter() {
-        if b.contains(t) {
-            out.insert(t.clone())?;
+        if b.contains(&t) {
+            out.insert(t)?;
         }
     }
     Ok(out)
@@ -284,7 +295,7 @@ pub fn product(a: &Relation, b: &Relation, out_name: &str) -> Result<Relation, R
     let mut out = Relation::empty(schema);
     for ta in a.iter() {
         for tb in b.iter() {
-            out.insert(ta.concat(tb))?;
+            out.insert(ta.concat(&tb))?;
         }
     }
     Ok(out)

@@ -91,7 +91,7 @@ impl Homomorphism {
     /// `to`.
     pub fn verify(&self, from: &Instance, to: &Instance) -> bool {
         from.facts()
-            .all(|(n, t)| to.contains(n.as_str(), &self.apply_tuple(t)))
+            .all(|(n, t)| to.contains(n.as_str(), &self.apply_tuple(&t)))
     }
 }
 
@@ -105,7 +105,7 @@ impl Homomorphism {
 pub fn find_homomorphism(from: &Instance, to: &Instance) -> Option<Homomorphism> {
     // Collect the facts of `from`; fail fast if a relation has facts but
     // no candidates in `to`.
-    let mut facts: Vec<(&Name, &Tuple)> = from.facts().collect();
+    let mut facts: Vec<(&Name, Tuple)> = from.facts().collect();
     let candidate_count =
         |rel: &Name| -> usize { to.relation(rel.as_str()).map(|r| r.len()).unwrap_or(0) };
     for (n, _) in &facts {
@@ -115,20 +115,22 @@ pub fn find_homomorphism(from: &Instance, to: &Instance) -> Option<Homomorphism>
     }
     facts.sort_by_key(|(n, _)| candidate_count(n));
 
-    fn search(facts: &[(&Name, &Tuple)], idx: usize, to: &Instance, h: &mut Homomorphism) -> bool {
+    fn search(facts: &[(&Name, Tuple)], idx: usize, to: &Instance, h: &mut Homomorphism) -> bool {
         if idx == facts.len() {
             return true;
         }
-        let (rel, t) = facts[idx];
+        let (rel, t) = &facts[idx];
         let target = match to.relation(rel.as_str()) {
             Some(r) => r,
             None => return false,
         };
-        for cand in target.iter() {
+        // Bind value-by-value against the candidate rows, reading the
+        // target's columns in place rather than materializing rows.
+        for &cand in target.row_ids().iter() {
             let saved = h.clone();
             let mut ok = true;
-            for (v, w) in t.iter().zip(cand.iter()) {
-                if !h.bind(v, w) {
+            for (col, v) in t.iter().enumerate() {
+                if !h.bind(v, target.value_at(cand, col)) {
                     ok = false;
                     break;
                 }

@@ -2,17 +2,19 @@
 //!
 //! Two layers live here:
 //!
-//! * [`IndexState`] — the per-[`Relation`](crate::Relation) cache: a
-//!   versioned tuple arena plus lazily built hash indexes from
-//!   attribute position to value to tuple-id postings, and the delta
+//! * [`IndexState`] — the per-[`Relation`](crate::Relation) cache:
+//!   lazily built hash indexes from attribute position to value to
+//!   tuple-id postings over the relation's [`ColumnStore`] arena,
+//!   plus the delta
 //!   log backing `insert_delta`/`drain_delta`. Everything in it is
-//!   derived data: it is skipped by serde, ignored by equality, and
-//!   refreshed on demand after any mutation. Inserts keep a built
-//!   index warm incrementally (the new tuple is appended to the arena
-//!   and folded into existing postings on the next probe), so the
-//!   chase's insert–probe–insert loop costs O(1) amortized per tuple
-//!   instead of a full rebuild per insertion. Destructive mutations
-//!   (remove, retain, clear) invalidate wholesale.
+//!   derived data: it is skipped by serialization, ignored by equality,
+//!   and refreshed on demand after any mutation. Inserts keep a built
+//!   index warm incrementally (the new arena row is folded into
+//!   existing postings on the next probe via the `synced` watermark),
+//!   so the chase's insert–probe–insert loop costs O(1) amortized per
+//!   tuple instead of a full rebuild per insertion. Destructive
+//!   mutations (remove, retain, clear) invalidate wholesale through the
+//!   store's version counter.
 //!
 //! * [`TupleIndex`] — a standalone, eagerly maintained index from a
 //!   key projection to the set of full tuples with that key. This is
@@ -20,18 +22,22 @@
 //!   and remove as deltas stream through), shared by
 //!   `dex_rellens::incremental` join nodes.
 //!
-//! Probes return tuples in canonical (`BTreeSet`) order regardless of
-//! arena order, so index-backed enumeration is byte-identical to a
-//! filtered scan — the property the matcher's `Indexed`/`Scan`
-//! equivalence rests on.
+//! Probes return ids sorted in canonical (lexicographic row) order
+//! regardless of arena order, so index-backed enumeration is
+//! byte-identical to a filtered scan — the property the matcher's
+//! `Indexed`/`Scan` equivalence rests on. The posting lists themselves
+//! hold arena ids, not tuples: consumers on the hot path read matched
+//! positions straight out of the columns by `(tuple_id, col)` and only
+//! materialize rows at the API boundary.
 //!
 //! Interior mutability: indexes are built lazily behind an `RwLock` on
 //! a shared (`&Relation`) receiver, so matching code can probe during
 //! read-only traversals and parallel matchers can share relations
-//! across threads. Probes copy their matching tuples out under a
+//! across threads. Probes copy their matching ids out under a
 //! short-lived guard — no guard ever escapes this module, so
 //! recursive probes across relations cannot deadlock.
 
+use crate::columns::ColumnStore;
 use crate::tuple::Tuple;
 use crate::value::Value;
 use std::collections::{BTreeSet, HashMap};
@@ -39,18 +45,25 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
-/// Tuple ids are offsets into the arena (full rebuilds lay the arena
-/// out in canonical order; subsequent inserts append).
+/// Tuple ids are row offsets into a relation's column arena. Stable
+/// for the lifetime of the store: removal tombstones a row, it never
+/// moves.
 pub type TupleId = u32;
 
-/// The result of an index probe: the matching tuples, in canonical
-/// order.
+/// The result of a materializing index probe: the matching tuples, in
+/// canonical order. Hot paths use
+/// [`Relation::probe_ids`](crate::Relation::probe_ids) instead and
+/// read columns directly.
 #[derive(Clone, Debug)]
 pub struct Probe {
     tuples: Vec<Tuple>,
 }
 
 impl Probe {
+    pub(crate) fn new(tuples: Vec<Tuple>) -> Self {
+        Probe { tuples }
+    }
+
     /// Iterate the matching tuples in canonical order.
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
         self.tuples.iter()
@@ -66,20 +79,18 @@ impl Probe {
     }
 }
 
-/// Built (derived) index data: the arena at some version plus
-/// per-position postings built on first use. `synced` is the watermark
-/// of arena entries already folded into every posting map; appends
-/// advance the arena and are folded in lazily on the next probe.
+/// Built (derived) index data: per-position postings over the store's
+/// arena at some store version. `synced` is the watermark of arena
+/// rows already folded into every posting map; appends advance the
+/// store and are folded in lazily on the next probe.
 #[derive(Default)]
 struct Built {
-    /// Version of the tuple set this was built from; 0 = never built.
+    /// Store version this was built at; 0 = never built (always stale,
+    /// since store versions start at 1).
     version: u64,
-    /// All tuples at `version`: canonical order up to the last full
-    /// rebuild, then in insertion order.
-    arena: Vec<Tuple>,
-    /// Arena entries reflected in every map of `by_pos`.
+    /// Arena rows reflected in every map of `by_pos`.
     synced: usize,
-    /// position -> value -> ids of tuples with that value there.
+    /// position -> value -> ids of live rows with that value there.
     by_pos: HashMap<usize, HashMap<Value, Vec<TupleId>>>,
 }
 
@@ -88,13 +99,11 @@ struct Built {
 /// Compares equal to everything (it is derived data), defaults to
 /// empty on deserialize, and resets its cache on clone.
 pub struct IndexState {
-    /// Bumped on every mutation of the owning relation's tuple set.
-    /// Starts at 1 so a default `Built` (version 0) is always stale.
-    version: AtomicU64,
     built: RwLock<Built>,
-    /// Tuples inserted via `insert_delta` since the last drain.
-    delta: Vec<Tuple>,
-    /// How many full arena rebuilds / posting-map builds happened.
+    /// Ids of rows inserted via `insert_delta` since the last drain
+    /// (materialized lazily on drain/peek).
+    delta: Vec<TupleId>,
+    /// How many posting-map (re)builds happened.
     builds: AtomicU64,
     /// How many probes (including posting-length queries) were served.
     probes: AtomicU64,
@@ -103,7 +112,6 @@ pub struct IndexState {
 impl Default for IndexState {
     fn default() -> Self {
         IndexState {
-            version: AtomicU64::new(1),
             built: RwLock::new(Built::default()),
             delta: Vec::new(),
             builds: AtomicU64::new(0),
@@ -124,39 +132,28 @@ impl Clone for IndexState {
 impl fmt::Debug for IndexState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("IndexState")
-            .field("version", &self.version.load(Ordering::Relaxed))
             .field("delta_len", &self.delta.len())
             .finish()
     }
 }
 
 impl IndexState {
-    /// Invalidate any built indexes (call on destructive mutations:
-    /// remove, retain, clear).
-    pub(crate) fn bump(&mut self) {
-        // &mut receiver: plain add, no contention possible.
-        *self.version.get_mut() += 1;
-    }
-
-    /// Record the insertion of a (genuinely new) tuple. If the index
-    /// is currently warm, the tuple is appended to the arena so the
-    /// next probe only has to fold it into the postings instead of
-    /// rebuilding from scratch.
-    pub(crate) fn append(&mut self, t: &Tuple) {
-        let old = *self.version.get_mut();
-        *self.version.get_mut() = old + 1;
+    /// Keep a built index warm across an append-only store mutation:
+    /// if the postings were current just before the append, mark them
+    /// current at the new version; the appended rows are folded in on
+    /// the next probe via the `synced` watermark.
+    pub(crate) fn note_append(&mut self, version_after: u64) {
         let built = self.built.get_mut().unwrap_or_else(|p| p.into_inner());
-        if built.version == old {
-            built.arena.push(t.clone());
-            built.version = old + 1;
+        if built.version + 1 == version_after {
+            built.version = version_after;
         }
     }
 
-    pub(crate) fn log_delta(&mut self, t: Tuple) {
-        self.delta.push(t);
+    pub(crate) fn log_delta(&mut self, id: TupleId) {
+        self.delta.push(id);
     }
 
-    pub(crate) fn take_delta(&mut self) -> Vec<Tuple> {
+    pub(crate) fn take_delta(&mut self) -> Vec<TupleId> {
         std::mem::take(&mut self.delta)
     }
 
@@ -164,7 +161,7 @@ impl IndexState {
         self.delta.len()
     }
 
-    pub(crate) fn peek_delta(&self) -> &[Tuple] {
+    pub(crate) fn peek_delta(&self) -> &[TupleId] {
         &self.delta
     }
 
@@ -176,25 +173,22 @@ impl IndexState {
         )
     }
 
-    /// Matching tuples for `value` at `pos`, in canonical order.
-    pub(crate) fn probe(&self, tuples: &BTreeSet<Tuple>, pos: usize, value: &Value) -> Probe {
+    /// Ids of rows matching `value` at `pos`, in canonical order.
+    pub(crate) fn probe_ids(&self, store: &ColumnStore, pos: usize, value: &Value) -> Vec<TupleId> {
         self.probes.fetch_add(1, Ordering::Relaxed);
-        self.with_postings(tuples, pos, |arena, postings| {
-            let mut out: Vec<Tuple> = postings
-                .get(value)
-                .map(|ids| ids.iter().map(|&id| arena[id as usize].clone()).collect())
-                .unwrap_or_default();
-            // Appended ids trail the canonical prefix; restore canonical
-            // order so index-backed enumeration matches a filtered scan.
-            out.sort_unstable();
-            Probe { tuples: out }
-        })
+        let mut out = self.with_postings(store, pos, |postings| {
+            postings.get(value).cloned().unwrap_or_default()
+        });
+        // Appended ids trail the canonical prefix; restore canonical
+        // order so index-backed enumeration matches a filtered scan.
+        store.sort_canonical(&mut out);
+        out
     }
 
     /// Posting-list length for `value` at `pos` (for join ordering).
-    pub(crate) fn posting_len(&self, tuples: &BTreeSet<Tuple>, pos: usize, value: &Value) -> usize {
+    pub(crate) fn posting_len(&self, store: &ColumnStore, pos: usize, value: &Value) -> usize {
         self.probes.fetch_add(1, Ordering::Relaxed);
-        self.with_postings(tuples, pos, |_, postings| {
+        self.with_postings(store, pos, |postings| {
             postings.get(value).map_or(0, Vec::len)
         })
     }
@@ -202,16 +196,16 @@ impl IndexState {
     /// Run `f` on an up-to-date posting map for `pos`.
     fn with_postings<R>(
         &self,
-        tuples: &BTreeSet<Tuple>,
+        store: &ColumnStore,
         pos: usize,
-        f: impl FnOnce(&[Tuple], &HashMap<Value, Vec<TupleId>>) -> R,
+        f: impl FnOnce(&HashMap<Value, Vec<TupleId>>) -> R,
     ) -> R {
-        let version = self.version.load(Ordering::Acquire);
+        let version = store.version();
         {
             let built = self.built.read().unwrap_or_else(|p| p.into_inner());
-            if built.version == version && built.synced == built.arena.len() {
+            if built.version == version && built.synced == store.arena_len() {
                 if let Some(postings) = built.by_pos.get(&pos) {
-                    return f(&built.arena, postings);
+                    return f(postings);
                 }
             }
         }
@@ -230,38 +224,33 @@ impl IndexState {
                 panic!("{e}");
             }
             self.builds.fetch_add(1, Ordering::Relaxed);
-            built.arena = tuples.iter().cloned().collect();
             built.by_pos.clear();
-            built.synced = built.arena.len(); // vacuously: no maps yet
+            built.synced = store.arena_len(); // vacuously: no maps yet
             built.version = version;
         }
-        let Built {
-            arena,
-            synced,
-            by_pos,
-            ..
-        } = &mut *built;
-        if *synced < arena.len() {
+        let Built { synced, by_pos, .. } = &mut *built;
+        if *synced < store.arena_len() {
             for (p, map) in by_pos.iter_mut() {
-                for (id, t) in arena.iter().enumerate().skip(*synced) {
-                    if let Some(v) = t.get(*p) {
-                        map.entry(v.clone()).or_default().push(id as TupleId);
+                for id in (*synced as TupleId)..(store.arena_len() as TupleId) {
+                    if store.is_live(id) {
+                        map.entry(store.value(id, *p).clone()).or_default().push(id);
                     }
                 }
             }
-            *synced = arena.len();
+            *synced = store.arena_len();
         }
         if let std::collections::hash_map::Entry::Vacant(slot) = by_pos.entry(pos) {
             self.builds.fetch_add(1, Ordering::Relaxed);
             let mut postings: HashMap<Value, Vec<TupleId>> = HashMap::new();
-            for (id, t) in arena.iter().enumerate() {
-                if let Some(v) = t.get(pos) {
-                    postings.entry(v.clone()).or_default().push(id as TupleId);
-                }
+            for id in store.live_ids() {
+                postings
+                    .entry(store.value(id, pos).clone())
+                    .or_default()
+                    .push(id);
             }
             slot.insert(postings);
         }
-        f(arena, &by_pos[&pos])
+        f(&by_pos[&pos])
     }
 }
 
@@ -365,69 +354,70 @@ mod tests {
 
     #[test]
     fn index_state_probe_and_invalidation() {
-        let mut tuples: BTreeSet<Tuple> = BTreeSet::new();
-        tuples.insert(tuple!["x", 1i64]);
-        tuples.insert(tuple!["y", 1i64]);
-        tuples.insert(tuple!["x", 2i64]);
+        let mut store = ColumnStore::new(2);
+        store.push(&tuple!["x", 1i64]);
+        store.push(&tuple!["y", 1i64]);
+        store.push(&tuple!["x", 2i64]);
 
-        let mut state = IndexState::default();
-        let p = state.probe(&tuples, 0, &crate::value::Value::str("x"));
-        assert_eq!(p.len(), 2);
+        let state = IndexState::default();
+        let ids = state.probe_ids(&store, 0, &crate::value::Value::str("x"));
+        assert_eq!(ids.len(), 2);
         assert_eq!(
-            p.iter().cloned().collect::<Vec<_>>(),
+            ids.iter()
+                .map(|&id| store.materialize(id))
+                .collect::<Vec<_>>(),
             vec![tuple!["x", 1i64], tuple!["x", 2i64]],
             "probe preserves canonical order"
         );
         assert_eq!(
-            state.posting_len(&tuples, 1, &crate::value::Value::int(1)),
+            state.posting_len(&store, 1, &crate::value::Value::int(1)),
             2
         );
 
-        // Destructive mutation + bump: full rebuild on the next probe.
-        tuples.insert(tuple!["x", 3i64]);
-        state.bump();
-        let p = state.probe(&tuples, 0, &crate::value::Value::str("x"));
-        assert_eq!(p.len(), 3);
+        // Destructive mutation: full rebuild on the next probe.
+        store.remove(&tuple!["x", 1i64]);
+        let ids = state.probe_ids(&store, 0, &crate::value::Value::str("x"));
+        assert_eq!(ids.len(), 1);
 
         let (builds, probes) = state.stats();
-        assert!(builds >= 2, "arena rebuilt after bump");
+        assert!(builds >= 2, "postings rebuilt after removal");
         assert_eq!(probes, 3);
     }
 
     #[test]
     fn append_keeps_index_warm() {
-        let mut tuples: BTreeSet<Tuple> = BTreeSet::new();
-        tuples.insert(tuple!["x", 1i64]);
-        tuples.insert(tuple!["y", 1i64]);
+        let mut store = ColumnStore::new(2);
+        store.push(&tuple!["x", 1i64]);
+        store.push(&tuple!["y", 1i64]);
 
         let mut state = IndexState::default();
         assert_eq!(
             state
-                .probe(&tuples, 0, &crate::value::Value::str("x"))
+                .probe_ids(&store, 0, &crate::value::Value::str("x"))
                 .len(),
             1
         );
         let (builds_before, _) = state.stats();
 
         // Insert via the append path: no full rebuild, and the probe
-        // still sees the new tuple — in canonical order, even though
+        // still sees the new row — in canonical order, even though
         // "a" sorts before everything already in the arena.
-        let t = tuple!["a", 7i64];
-        tuples.insert(t.clone());
-        state.append(&t);
-        let t2 = tuple!["x", 0i64];
-        tuples.insert(t2.clone());
-        state.append(&t2);
+        store.push(&tuple!["a", 7i64]);
+        state.note_append(store.version());
+        store.push(&tuple!["x", 0i64]);
+        state.note_append(store.version());
 
-        let p = state.probe(&tuples, 0, &crate::value::Value::str("x"));
+        let ids = state.probe_ids(&store, 0, &crate::value::Value::str("x"));
         assert_eq!(
-            p.iter().cloned().collect::<Vec<_>>(),
+            ids.iter()
+                .map(|&id| store.materialize(id))
+                .collect::<Vec<_>>(),
             vec![tuple!["x", 0i64], tuple!["x", 1i64]],
-            "appended tuple folded in, canonical order restored"
+            "appended row folded in, canonical order restored"
         );
         assert_eq!(
             state
-                .probe(&tuples, 0, &crate::value::Value::str("a"))
+                .probe_ids(&store, 0, &crate::value::Value::str("a"))
                 .len(),
             1
         );

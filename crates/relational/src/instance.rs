@@ -125,7 +125,7 @@ impl Instance {
         self.relations
             .iter()
             .filter(|(_, r)| r.delta_len() > 0)
-            .map(|(n, r)| (n.clone(), r.peek_delta().to_vec()))
+            .map(|(n, r)| (n.clone(), r.peek_delta()))
             .collect()
     }
 
@@ -167,8 +167,9 @@ impl Instance {
         self.relations.values().all(Relation::is_empty)
     }
 
-    /// Iterate over all facts as `(relation, tuple)` pairs.
-    pub fn facts(&self) -> impl Iterator<Item = (&Name, &Tuple)> + '_ {
+    /// Iterate over all facts as `(relation, tuple)` pairs. Tuples are
+    /// materialized lazily from each relation's column arena.
+    pub fn facts(&self) -> impl Iterator<Item = (&Name, Tuple)> + '_ {
         self.relations
             .iter()
             .flat_map(|(n, r)| r.iter().map(move |t| (n, t)))
@@ -248,7 +249,7 @@ impl Instance {
     /// Is `self` a sub-instance of `other` (every fact of `self` in
     /// `other`)? Relations missing from `other` count as empty.
     pub fn is_subinstance_of(&self, other: &Instance) -> bool {
-        self.facts().all(|(n, t)| other.contains(n.as_str(), t))
+        self.facts().all(|(n, t)| other.contains(n.as_str(), &t))
     }
 
     /// Union of two instances over the same schema.
@@ -260,7 +261,7 @@ impl Instance {
         }
         let mut out = self.clone();
         for (n, t) in other.facts() {
-            out.insert(n.as_str(), t.clone())?;
+            out.insert(n.as_str(), t)?;
         }
         Ok(out)
     }
@@ -272,7 +273,7 @@ impl Instance {
         let schema = self.schema.disjoint_union(&other.schema)?;
         let mut out = Instance::empty(schema);
         for (n, t) in self.facts().chain(other.facts()) {
-            out.insert(n.as_str(), t.clone())?;
+            out.insert(n.as_str(), t)?;
         }
         Ok(out)
     }
@@ -284,7 +285,7 @@ impl Instance {
         for rel in sub.relations() {
             let src = self.expect_relation(rel.name().as_str())?;
             for t in src.iter() {
-                out.insert(rel.name().as_str(), t.clone())?;
+                out.insert(rel.name().as_str(), t)?;
             }
         }
         Ok(out)

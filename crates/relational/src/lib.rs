@@ -10,9 +10,11 @@
 //! evaluator.
 //!
 //! Design notes:
-//! * All collections are ordered (`BTreeMap`/`BTreeSet`) so that instances
-//!   have a canonical form; equality of instances is therefore semantic
-//!   set equality, and printed output is deterministic.
+//! * Every observable collection is canonically ordered: schemas live in
+//!   `BTreeMap`s, and relations — physically column-major tuple arenas
+//!   (see [`columns`]) — iterate, print, serialize, and compare in
+//!   lexicographic row order, so equality of instances is semantic set
+//!   equality and printed output is deterministic.
 //! * Names are interned behind [`Name`] (`Arc<str>`) — cloning a schema or
 //!   a tuple never re-allocates attribute/relation names.
 //! * Instances validate arity and (optionally) attribute types on insert;
@@ -20,6 +22,7 @@
 //!   violations rather than panicking.
 
 pub mod algebra;
+pub mod columns;
 pub mod error;
 pub mod expr;
 pub mod fail;
@@ -34,6 +37,7 @@ pub mod schema;
 pub mod tuple;
 pub mod value;
 
+pub use columns::{hash_values, ColumnStore};
 pub use error::RelationalError;
 pub use expr::{ArithOp, BinCmp, Expr};
 pub use fd::{Fd, FdSet, FdViolation};
@@ -42,7 +46,7 @@ pub use homomorphism::{find_homomorphism, is_homomorphic_to, Homomorphism};
 pub use index::{Probe, TupleId, TupleIndex};
 pub use instance::Instance;
 pub use name::Name;
-pub use relation::Relation;
+pub use relation::{RelIter, Relation};
 pub use schema::{AttrType, RelSchema, Schema};
 pub use tuple::Tuple;
 pub use value::{Constant, NullGen, NullId, Value};

@@ -1,8 +1,9 @@
 //! Relation instances: sets of tuples conforming to a relation schema.
 
+use crate::columns::ColumnStore;
 use crate::error::RelationalError;
 use crate::fd::FdViolation;
-use crate::index::{IndexState, Probe};
+use crate::index::{IndexState, Probe, TupleId};
 use crate::name::Name;
 use crate::schema::RelSchema;
 use crate::tuple::Tuple;
@@ -10,41 +11,94 @@ use crate::value::{NullId, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// A relation instance: the schema of the relation plus a *set* of
-/// tuples (set semantics, canonical `BTreeSet` order).
+/// tuples (set semantics, canonical lexicographic order).
 ///
-/// Alongside the tuple set, every relation carries an [`IndexState`]:
-/// lazily built hash indexes (attribute position -> value -> tuple
-/// ids over a versioned arena) plus the delta log for
+/// Physically the tuples live in a [`ColumnStore`]: a tuple-id arena
+/// with one column-major `Vec<Value>` per attribute position. [`Tuple`]
+/// stays the value type at the API boundary — [`Relation::iter`]
+/// materializes rows in canonical order, inserts take tuples — but hot
+/// paths read positions directly by `(tuple_id, col)` via
+/// [`Relation::value_at`] and probe the per-position hash indexes for
+/// *ids* via [`Relation::probe_ids`], never touching whole rows.
+///
+/// Alongside the store, every relation carries an [`IndexState`]:
+/// lazily built hash indexes (attribute position -> value -> tuple-id
+/// postings) plus the delta log backing
 /// [`insert_delta`](Relation::insert_delta). The index state is pure
-/// cache: it is skipped by serde, ignored by `PartialEq`, kept warm
-/// incrementally across inserts, and invalidated by destructive
+/// cache: it is skipped by serialization, ignored by `PartialEq`, kept
+/// warm incrementally across inserts, and invalidated by destructive
 /// mutations, so observable behavior (iteration order, serialization,
-/// equality) is exactly that of the plain tuple set.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+/// equality) is exactly that of a plain ordered tuple set.
+#[derive(Clone, Debug)]
 pub struct Relation {
     schema: RelSchema,
-    tuples: BTreeSet<Tuple>,
-    #[serde(skip)]
+    store: ColumnStore,
     index: IndexState,
+    /// Reused validation buffer for the bulk-insert paths: the chase
+    /// calls `extend_validated_delta` every round, and collecting each
+    /// batch into a fresh `Vec` showed up as allocation churn.
+    scratch: Vec<Tuple>,
 }
 
 impl PartialEq for Relation {
     fn eq(&self, other: &Self) -> bool {
-        self.schema == other.schema && self.tuples == other.tuples
+        if self.schema != other.schema || self.store.len() != other.store.len() {
+            return false;
+        }
+        let a = self.store.ordered_ids();
+        let b = other.store.ordered_ids();
+        a.iter()
+            .zip(b.iter())
+            .all(|(&ia, &ib)| self.row_eq_other(ia, other, ib))
     }
 }
 
 impl Eq for Relation {}
 
+/// Serialization image of a relation: schema plus tuples in canonical
+/// order. Field-compatible with the pre-columnar on-disk format (which
+/// derived serialization from `{schema, tuples: BTreeSet<Tuple>}`).
+#[derive(Serialize, Deserialize)]
+struct RelationWire {
+    schema: RelSchema,
+    tuples: Vec<Tuple>,
+}
+
+impl Serialize for Relation {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        RelationWire {
+            schema: self.schema.clone(),
+            tuples: self.iter().collect(),
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for Relation {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let wire = RelationWire::deserialize(deserializer)?;
+        // Trust the wire data the way the derived impl did: rebuild the
+        // store without re-validating against the schema.
+        let mut rel = Relation::empty(wire.schema);
+        for t in wire.tuples {
+            rel.store.push(&t);
+        }
+        Ok(rel)
+    }
+}
+
 impl Relation {
     /// The empty instance of `schema`.
     pub fn empty(schema: RelSchema) -> Self {
+        let arity = schema.arity();
         Relation {
             schema,
-            tuples: BTreeSet::new(),
+            store: ColumnStore::new(arity),
             index: IndexState::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -70,12 +124,12 @@ impl Relation {
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.store.len()
     }
 
     /// Is the instance empty?
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.store.is_empty()
     }
 
     /// Validate a tuple against arity and attribute types.
@@ -102,11 +156,12 @@ impl Relation {
     /// Insert a tuple (validated). Returns `true` if it was new.
     pub fn insert(&mut self, t: Tuple) -> Result<bool, RelationalError> {
         self.validate(&t)?;
-        let added = self.tuples.insert(t.clone());
-        if added {
-            self.index.append(&t);
+        if self.store.push(&t).is_some() {
+            self.index.note_append(self.store.version());
+            Ok(true)
+        } else {
+            Ok(false)
         }
-        Ok(added)
     }
 
     /// Insert a tuple (validated) and, if it is new, record it in the
@@ -114,13 +169,14 @@ impl Relation {
     /// Returns `true` if it was new.
     pub fn insert_delta(&mut self, t: Tuple) -> Result<bool, RelationalError> {
         self.validate(&t)?;
-        if self.tuples.contains(&t) {
-            return Ok(false);
+        match self.store.push(&t) {
+            Some(id) => {
+                self.index.note_append(self.store.version());
+                self.index.log_delta(id);
+                Ok(true)
+            }
+            None => Ok(false),
         }
-        self.tuples.insert(t.clone());
-        self.index.append(&t);
-        self.index.log_delta(t);
-        Ok(true)
     }
 
     /// Bulk insert. The whole batch is validated before anything is
@@ -130,18 +186,7 @@ impl Relation {
         &mut self,
         tuples: impl IntoIterator<Item = Tuple>,
     ) -> Result<usize, RelationalError> {
-        let batch: Vec<Tuple> = tuples.into_iter().collect();
-        for t in &batch {
-            self.validate(t)?;
-        }
-        let mut added = 0;
-        for t in batch {
-            if self.tuples.insert(t.clone()) {
-                self.index.append(&t);
-                added += 1;
-            }
-        }
-        Ok(added)
+        self.extend_impl(tuples, false)
     }
 
     /// Bulk insert with delta logging: like
@@ -151,30 +196,71 @@ impl Relation {
         &mut self,
         tuples: impl IntoIterator<Item = Tuple>,
     ) -> Result<usize, RelationalError> {
-        let batch: Vec<Tuple> = tuples.into_iter().collect();
+        self.extend_impl(tuples, true)
+    }
+
+    fn extend_impl(
+        &mut self,
+        tuples: impl IntoIterator<Item = Tuple>,
+        log_delta: bool,
+    ) -> Result<usize, RelationalError> {
+        // The batch is staged in a scratch buffer reused across calls
+        // (the chase bulk-inserts every round; a fresh allocation per
+        // round was measurable churn).
+        let mut batch = std::mem::take(&mut self.scratch);
+        batch.clear();
+        batch.extend(tuples);
+        let put_back = |this: &mut Self, mut batch: Vec<Tuple>| {
+            batch.clear();
+            this.scratch = batch;
+        };
         for t in &batch {
-            self.validate(t)?;
+            if let Err(e) = self.validate(t) {
+                put_back(self, batch);
+                return Err(e);
+            }
         }
-        // Fault-injection site for the delta commit: placed after
-        // validation and before any insertion, so an injected fault
-        // leaves the relation unmodified.
-        crate::fail_point!("relation.extend_delta");
+        if log_delta {
+            // Fault-injection site for the delta commit: placed after
+            // validation and before any insertion, so an injected fault
+            // leaves the relation unmodified.
+            if let Some(e) = crate::fail::hit("relation.extend_delta") {
+                put_back(self, batch);
+                return Err(e);
+            }
+        }
         let mut added = 0;
-        for t in batch {
-            if !self.tuples.contains(&t) {
-                self.tuples.insert(t.clone());
-                self.index.append(&t);
-                self.index.log_delta(t);
+        for t in &batch {
+            if let Some(id) = self.store.push(t) {
+                self.index.note_append(self.store.version());
+                if log_delta {
+                    self.index.log_delta(id);
+                }
                 added += 1;
             }
         }
+        put_back(self, batch);
         Ok(added)
     }
 
     /// Take the tuples inserted through the delta-tracking APIs since
     /// the last drain (in insertion order; duplicates never appear
-    /// because only genuinely new tuples are logged).
+    /// because only genuinely new tuples are logged). Rows are
+    /// materialized lazily from the drained ids — see
+    /// [`drain_delta_ids`](Relation::drain_delta_ids) for the id form.
     pub fn drain_delta(&mut self) -> Vec<Tuple> {
+        self.index
+            .take_delta()
+            .into_iter()
+            .map(|id| self.store.materialize(id))
+            .collect()
+    }
+
+    /// Take the arena ids logged through the delta-tracking APIs since
+    /// the last drain (insertion order). Ids stay valid (readable via
+    /// [`value_at`](Relation::value_at) / [`tuple_at`](Relation::tuple_at))
+    /// even if the row is later removed.
+    pub fn drain_delta_ids(&mut self) -> Vec<TupleId> {
         self.index.take_delta()
     }
 
@@ -184,62 +270,94 @@ impl Relation {
     }
 
     /// The undrained delta log, without consuming it (insertion order).
-    pub fn peek_delta(&self) -> &[Tuple] {
-        self.index.peek_delta()
+    pub fn peek_delta(&self) -> Vec<Tuple> {
+        self.index
+            .peek_delta()
+            .iter()
+            .map(|&id| self.store.materialize(id))
+            .collect()
     }
 
     /// Remove a tuple. Returns `true` if it was present.
     pub fn remove(&mut self, t: &Tuple) -> bool {
-        let removed = self.tuples.remove(t);
-        if removed {
-            self.index.bump();
-        }
-        removed
+        self.store.remove(t).is_some()
     }
 
     /// Membership test.
     pub fn contains(&self, t: &Tuple) -> bool {
-        self.tuples.contains(t)
+        self.store.contains(t)
     }
 
-    /// Iterate over tuples in canonical order.
-    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
-        self.tuples.iter()
+    /// Iterate over tuples in canonical order (rows are materialized
+    /// lazily from the column arena).
+    pub fn iter(&self) -> RelIter<'_> {
+        RelIter {
+            rel: self,
+            ids: self.store.ordered_ids(),
+            next: 0,
+        }
     }
 
-    /// The tuple set.
-    pub fn tuples(&self) -> &BTreeSet<Tuple> {
-        &self.tuples
+    /// The tuple set, materialized in canonical order.
+    pub fn tuples(&self) -> BTreeSet<Tuple> {
+        self.iter().collect()
+    }
+
+    /// Live tuple ids in canonical order. The `Arc` is a stable
+    /// snapshot: later mutations produce a fresh permutation.
+    pub fn row_ids(&self) -> Arc<Vec<TupleId>> {
+        self.store.ordered_ids()
+    }
+
+    /// The value at `(tuple_id, col)` — the columnar hot-path read.
+    pub fn value_at(&self, id: TupleId, col: usize) -> &Value {
+        self.store.value(id, col)
+    }
+
+    /// Materialize the row with id `id`.
+    pub fn tuple_at(&self, id: TupleId) -> Tuple {
+        self.store.materialize(id)
+    }
+
+    /// Deterministic content hash of row `id` (stable across runs and
+    /// threads; used to shard parallel matching work).
+    pub fn row_hash(&self, id: TupleId) -> u64 {
+        self.store.row_hash(id)
     }
 
     /// Remove all tuples.
     pub fn clear(&mut self) {
-        if !self.tuples.is_empty() {
-            self.index.bump();
-        }
-        self.tuples.clear();
+        self.store.clear();
     }
 
     /// Keep only tuples satisfying `pred`.
-    pub fn retain(&mut self, mut pred: impl FnMut(&Tuple) -> bool) {
-        let before = self.tuples.len();
-        self.tuples.retain(|t| pred(t));
-        if self.tuples.len() != before {
-            self.index.bump();
-        }
+    pub fn retain(&mut self, pred: impl FnMut(&Tuple) -> bool) {
+        self.store.retain(pred);
     }
 
     /// All tuples whose value at position `pos` equals `value`,
     /// answered from the lazily built hash index for that position.
-    /// Results come back in canonical (`BTreeSet`) order.
+    /// Results come back in canonical order.
     pub fn probe(&self, pos: usize, value: &Value) -> Probe {
-        self.index.probe(&self.tuples, pos, value)
+        let ids = self.index.probe_ids(&self.store, pos, value);
+        Probe::new(
+            ids.into_iter()
+                .map(|id| self.store.materialize(id))
+                .collect(),
+        )
+    }
+
+    /// Ids of the tuples whose value at position `pos` equals `value`,
+    /// in canonical order — the non-materializing form of
+    /// [`probe`](Relation::probe) used by the premise matcher.
+    pub fn probe_ids(&self, pos: usize, value: &Value) -> Vec<TupleId> {
+        self.index.probe_ids(&self.store, pos, value)
     }
 
     /// How many tuples carry `value` at position `pos` (index-backed;
     /// used to order join probes by selectivity).
     pub fn posting_len(&self, pos: usize, value: &Value) -> usize {
-        self.index.posting_len(&self.tuples, pos, value)
+        self.index.posting_len(&self.store, pos, value)
     }
 
     /// Cumulative (index builds, index probes) served by this
@@ -253,24 +371,23 @@ impl Relation {
         self.schema.position(attr).and_then(|i| t.get(i))
     }
 
-    /// Collect every null id occurring in the instance.
+    /// Collect every null id occurring in the instance (column scan,
+    /// no row materialization).
     pub fn collect_nulls(&self, out: &mut BTreeSet<NullId>) {
-        for t in &self.tuples {
-            t.collect_nulls(out);
+        for id in self.store.live_ids() {
+            for col in 0..self.schema.arity() {
+                self.store.value(id, col).collect_nulls(out);
+            }
         }
     }
 
     /// Apply a null substitution to every tuple (tuples may merge).
     pub fn substitute_nulls(&self, subst: &BTreeMap<NullId, Value>) -> Relation {
-        Relation {
-            schema: self.schema.clone(),
-            tuples: self
-                .tuples
-                .iter()
-                .map(|t| t.substitute_nulls(subst))
-                .collect(),
-            index: IndexState::default(),
+        let mut out = Relation::empty(self.schema.clone());
+        for t in self.iter() {
+            out.store.push(&t.substitute_nulls(subst));
         }
+        out
     }
 
     /// Check the relation's declared FDs, reporting every violating pair.
@@ -280,7 +397,7 @@ impl Relation {
     /// for egd checking over instances with nulls.
     pub fn fd_violations(&self) -> Vec<FdViolation> {
         let mut out = Vec::new();
-        let tuples: Vec<&Tuple> = self.tuples.iter().collect();
+        let tuples: Vec<Tuple> = self.iter().collect();
         for fd in self.schema.fds().iter() {
             let lhs_pos: Vec<usize> = fd
                 .lhs()
@@ -333,16 +450,48 @@ impl Relation {
         }
         Ok(Relation {
             schema,
-            tuples: self.tuples,
+            store: self.store,
             index: self.index,
+            scratch: self.scratch,
         })
     }
+
+    /// Row-level equality against a row of another relation.
+    fn row_eq_other(&self, id: TupleId, other: &Relation, other_id: TupleId) -> bool {
+        (0..self.schema.arity())
+            .all(|col| self.store.value(id, col) == other.store.value(other_id, col))
+    }
 }
+
+/// Iterator over a relation's tuples in canonical order, materializing
+/// each row from the column arena on demand.
+pub struct RelIter<'a> {
+    rel: &'a Relation,
+    ids: Arc<Vec<TupleId>>,
+    next: usize,
+}
+
+impl Iterator for RelIter<'_> {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        let id = *self.ids.get(self.next)?;
+        self.next += 1;
+        Some(self.rel.store.materialize(id))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.ids.len() - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for RelIter<'_> {}
 
 impl fmt::Display for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{}", self.schema)?;
-        for t in &self.tuples {
+        for t in self.iter() {
             writeln!(f, "  {t}")?;
         }
         Ok(())
@@ -350,10 +499,10 @@ impl fmt::Display for Relation {
 }
 
 impl<'a> IntoIterator for &'a Relation {
-    type Item = &'a Tuple;
-    type IntoIter = std::collections::btree_set::Iter<'a, Tuple>;
+    type Item = Tuple;
+    type IntoIter = RelIter<'a>;
     fn into_iter(self) -> Self::IntoIter {
-        self.tuples.iter()
+        self.iter()
     }
 }
 
@@ -402,8 +551,84 @@ mod tests {
         let s = RelSchema::untyped("P", vec!["id", "name"]).unwrap();
         let r = Relation::from_tuples(s, vec![tuple![1i64, "Alice"]]).unwrap();
         let t = r.iter().next().unwrap();
-        assert_eq!(r.value_of(t, "name"), Some(&Value::str("Alice")));
-        assert_eq!(r.value_of(t, "zip"), None);
+        assert_eq!(r.value_of(&t, "name"), Some(&Value::str("Alice")));
+        assert_eq!(r.value_of(&t, "zip"), None);
+    }
+
+    #[test]
+    fn iteration_is_canonical_order() {
+        let s = RelSchema::untyped("P", vec!["id"]).unwrap();
+        let mut r = Relation::empty(s);
+        r.insert(tuple![3i64]).unwrap();
+        r.insert(tuple![1i64]).unwrap();
+        r.insert(tuple![2i64]).unwrap();
+        let got: Vec<Tuple> = r.iter().collect();
+        assert_eq!(got, vec![tuple![1i64], tuple![2i64], tuple![3i64]]);
+        // Removal keeps the order canonical over the survivors.
+        r.remove(&tuple![2i64]);
+        let got: Vec<Tuple> = r.iter().collect();
+        assert_eq!(got, vec![tuple![1i64], tuple![3i64]]);
+    }
+
+    #[test]
+    fn columnar_position_reads() {
+        let s = RelSchema::untyped("P", vec!["id", "name"]).unwrap();
+        let mut r = Relation::empty(s);
+        r.insert(tuple![2i64, "Bob"]).unwrap();
+        r.insert(tuple![1i64, "Alice"]).unwrap();
+        let ids = r.row_ids();
+        assert_eq!(r.value_at(ids[0], 1), &Value::str("Alice"));
+        assert_eq!(r.value_at(ids[1], 0), &Value::int(2));
+        assert_eq!(r.tuple_at(ids[1]), tuple![2i64, "Bob"]);
+    }
+
+    #[test]
+    fn probe_ids_agree_with_probe() {
+        let s = RelSchema::untyped("P", vec!["k", "v"]).unwrap();
+        let mut r = Relation::empty(s);
+        r.insert(tuple!["x", 2i64]).unwrap();
+        r.insert(tuple!["x", 1i64]).unwrap();
+        r.insert(tuple!["y", 3i64]).unwrap();
+        let via_ids: Vec<Tuple> = r
+            .probe_ids(0, &Value::str("x"))
+            .into_iter()
+            .map(|id| r.tuple_at(id))
+            .collect();
+        let via_probe: Vec<Tuple> = r.probe(0, &Value::str("x")).iter().cloned().collect();
+        assert_eq!(via_ids, via_probe);
+        assert_eq!(via_ids, vec![tuple!["x", 1i64], tuple!["x", 2i64]]);
+    }
+
+    #[test]
+    fn scratch_buffer_survives_failed_batches() {
+        let s = RelSchema::new("R", vec![("n", AttrType::Int)]).unwrap();
+        let mut r = Relation::empty(s);
+        // A failing batch must leave the relation unchanged…
+        assert!(r
+            .extend_validated(vec![tuple![1i64], tuple!["oops"]])
+            .is_err());
+        assert!(r.is_empty());
+        // …and the scratch buffer must still work for later batches.
+        assert_eq!(
+            r.extend_validated(vec![tuple![1i64], tuple![2i64]])
+                .unwrap(),
+            2
+        );
+        assert_eq!(r.extend_validated_delta(vec![tuple![3i64]]).unwrap(), 1);
+        assert_eq!(r.drain_delta(), vec![tuple![3i64]]);
+    }
+
+    #[test]
+    fn delta_ids_materialize_lazily() {
+        let mut r = Relation::empty(emp_schema());
+        r.insert_delta(tuple!["Alice"]).unwrap();
+        r.insert_delta(tuple!["Bob"]).unwrap();
+        assert_eq!(r.delta_len(), 2);
+        assert_eq!(r.peek_delta(), vec![tuple!["Alice"], tuple!["Bob"]]);
+        let ids = r.drain_delta_ids();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(r.tuple_at(ids[0]), tuple!["Alice"]);
+        assert_eq!(r.delta_len(), 0);
     }
 
     #[test]
@@ -470,5 +695,24 @@ mod tests {
         let mut s = BTreeSet::new();
         r.collect_nulls(&mut s);
         assert_eq!(s, BTreeSet::from([NullId(3)]));
+    }
+
+    #[test]
+    fn serde_wire_format_is_schema_plus_tuples() {
+        let s = RelSchema::untyped("P", vec!["id"]).unwrap();
+        let mut r = Relation::empty(s);
+        r.insert(tuple![2i64]).unwrap();
+        r.insert(tuple![1i64]).unwrap();
+        let js = serde_json::to_string(&r).unwrap();
+        assert!(
+            js.contains("\"tuples\""),
+            "wire keeps the tuples field: {js}"
+        );
+        let back: Relation = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(
+            back.iter().collect::<Vec<_>>(),
+            vec![tuple![1i64], tuple![2i64]]
+        );
     }
 }

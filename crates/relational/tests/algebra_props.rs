@@ -79,7 +79,7 @@ proptest! {
         // (R ∪ S) − S ⊆ R.
         let diff = difference(&rs, &s, "R").unwrap();
         for tup in diff.iter() {
-            prop_assert!(r.contains(tup));
+            prop_assert!(r.contains(&tup));
         }
     }
 
@@ -133,11 +133,11 @@ proptest! {
         // Every joined row restricted to R's columns is an R row.
         let back_r = project(&j, &["a", "b", "c"], "R").unwrap();
         for tup in back_r.iter() {
-            prop_assert!(r.contains(tup));
+            prop_assert!(r.contains(&tup));
         }
         let back_s = project(&j, &["b", "d"], "S").unwrap();
         for tup in back_s.iter() {
-            prop_assert!(s.contains(tup));
+            prop_assert!(s.contains(&tup));
         }
     }
 

@@ -58,10 +58,10 @@ impl RelLensExpr {
             }
         };
         for (_, t) in inst.facts() {
-            track(t);
+            track(&t);
         }
         for t in view.iter() {
-            track(t);
+            track(&t);
         }
         let mut gen = NullGen::starting_at(max);
         self.put_rec(view, inst, env, &mut gen)
@@ -106,7 +106,7 @@ impl RelLensExpr {
                 // Every view row must satisfy the predicate.
                 for t in view.iter() {
                     let ok = pred
-                        .eval_bool(old_in.schema(), t)
+                        .eval_bool(old_in.schema(), &t)
                         .map_err(RellensError::Relational)?;
                     if !ok {
                         return Err(RellensError::PredicateViolation {
@@ -119,7 +119,8 @@ impl RelLensExpr {
                 // the view rows (FD conflicts resolve in the view's
                 // favour — the relational revision operator).
                 let not_p = algebra::select(&old_in, &pred.clone().not(), old_in.name().as_str())?;
-                let new_in = revise_all(&not_p, view.iter())?;
+                let vrows: Vec<Tuple> = view.iter().collect();
+                let new_in = revise_all(&not_p, vrows.iter())?;
                 input.put_rec(&new_in, inst, env, gen)
             }
             RelLensExpr::Project {
@@ -140,9 +141,10 @@ impl RelLensExpr {
                     })
                     .collect::<Result<_, _>>()?;
                 // Index old rows by their kept projection.
-                let mut index: BTreeMap<Tuple, Vec<&Tuple>> = BTreeMap::new();
+                let mut index: BTreeMap<Tuple, Vec<Tuple>> = BTreeMap::new();
                 for t in old_in.iter() {
-                    index.entry(t.project(&kept_pos)).or_default().push(t);
+                    let key = t.project(&kept_pos);
+                    index.entry(key).or_default().push(t);
                 }
                 let mut new_in = Relation::empty(old_in.schema().clone());
                 for vrow in view.iter() {
@@ -152,12 +154,12 @@ impl RelLensExpr {
                             actual: format!("{} columns", vrow.arity()),
                         });
                     }
-                    match index.get(vrow) {
+                    match index.get(&vrow) {
                         Some(matches) => {
                             // Surviving row(s): restore the dropped
                             // columns from the source.
                             for m in matches {
-                                new_in.insert((*m).clone())?;
+                                new_in.insert(m.clone())?;
                             }
                         }
                         None => {
@@ -217,7 +219,7 @@ impl RelLensExpr {
                 let mut new_r = old_r.clone();
                 // Deletions: remove component rows per policy.
                 for t in old_join.iter() {
-                    if !view.contains(t) {
+                    if !view.contains(&t) {
                         match policy {
                             JoinPolicy::DeleteLeft => {
                                 new_l.remove(&t.project(&l_pos));
@@ -236,7 +238,7 @@ impl RelLensExpr {
                 let mut l_inserts = Vec::new();
                 let mut r_inserts = Vec::new();
                 for t in view.iter() {
-                    if !old_join.contains(t) {
+                    if !old_join.contains(&t) {
                         l_inserts.push(t.project(&l_pos));
                         r_inserts.push(t.project(&r_pos));
                     }
@@ -258,24 +260,24 @@ impl RelLensExpr {
                 let mut new_r = old_r.clone();
                 // Deletions disappear from both sides.
                 for t in old_l.iter() {
-                    if !view.contains(t) {
-                        new_l.remove(t);
+                    if !view.contains(&t) {
+                        new_l.remove(&t);
                     }
                 }
                 for t in old_r.iter() {
-                    if !view.contains(t) {
-                        new_r.remove(t);
+                    if !view.contains(&t) {
+                        new_r.remove(&t);
                     }
                 }
                 // Insertions are routed by policy.
                 for t in view.iter() {
-                    if !old_l.contains(t) && !old_r.contains(t) {
+                    if !old_l.contains(&t) && !old_r.contains(&t) {
                         match policy {
                             UnionPolicy::InsertLeft => {
-                                new_l = revise_all(&new_l, [t])?;
+                                new_l = revise_all(&new_l, [&t])?;
                             }
                             UnionPolicy::InsertRight => {
-                                new_r = revise_all(&new_r, [t])?;
+                                new_r = revise_all(&new_r, [&t])?;
                             }
                         }
                     }

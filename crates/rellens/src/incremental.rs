@@ -498,8 +498,10 @@ mod tests {
         let after = delta.apply(start).unwrap();
         let v0 = expr.get(start).unwrap();
         let v1 = expr.get(&after).unwrap();
-        let want_inserts: BTreeSet<Tuple> = v1.tuples().difference(v0.tuples()).cloned().collect();
-        let want_deletes: BTreeSet<Tuple> = v0.tuples().difference(v1.tuples()).cloned().collect();
+        let t0 = v0.tuples();
+        let t1 = v1.tuples();
+        let want_inserts: BTreeSet<Tuple> = t1.difference(&t0).cloned().collect();
+        let want_deletes: BTreeSet<Tuple> = t0.difference(&t1).cloned().collect();
         assert_eq!(got.inserts, want_inserts, "expr:\n{expr}");
         assert_eq!(got.deletes, want_deletes, "expr:\n{expr}");
     }
@@ -739,19 +741,15 @@ mod tests {
             let got = inc.apply(&d).unwrap();
             let v0 = e.get(&current).unwrap();
             let v1 = e.get(&next).unwrap();
+            let t0 = v0.tuples();
+            let t1 = v1.tuples();
             assert_eq!(
                 got.inserts,
-                v1.tuples()
-                    .difference(v0.tuples())
-                    .cloned()
-                    .collect::<BTreeSet<_>>()
+                t1.difference(&t0).cloned().collect::<BTreeSet<_>>()
             );
             assert_eq!(
                 got.deletes,
-                v0.tuples()
-                    .difference(v1.tuples())
-                    .cloned()
-                    .collect::<BTreeSet<_>>()
+                t0.difference(&t1).cloned().collect::<BTreeSet<_>>()
             );
             current = next;
         }
@@ -773,7 +771,7 @@ mod tests {
             for (id, n, a) in person_ins {
                 d.inserts.push((Name::new("Person"), tuple![id, format!("p{n}").as_str(), a]));
             }
-            let existing: Vec<Tuple> = base.relation("Person").unwrap().iter().cloned().collect();
+            let existing: Vec<Tuple> = base.relation("Person").unwrap().iter().collect();
             for i in person_del_idx {
                 d.deletes.push((Name::new("Person"), existing[i].clone()));
             }

@@ -149,8 +149,15 @@ impl Encoder {
         for r in rels {
             self.put_name(r.name());
             self.put_u32(r.len() as u32);
-            for t in r.iter() {
-                self.put_tuple(t);
+            // Walk the column store directly, row id by row id in
+            // canonical order — same bytes as `put_tuple` per row, but
+            // no row materialization on the way out.
+            let arity = r.schema().arity();
+            for &id in r.row_ids().iter() {
+                self.put_u32(arity as u32);
+                for col in 0..arity {
+                    self.put_value(r.value_at(id, col));
+                }
             }
         }
     }

@@ -109,6 +109,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let budget = extract_budget(&mut rest)?;
             let out = extract_output(&mut rest)?;
             let store_opts = extract_store(&mut rest)?;
+            extract_threads(&mut rest)?;
             reject_unknown_flags(&rest)?;
             let mapping_path = rest.first().ok_or(usage)?;
             let (text, m) = load_mapping_text(mapping_path)?;
@@ -144,6 +145,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let budget = extract_budget(&mut rest)?;
             let out = extract_output(&mut rest)?;
             let store_opts = extract_store(&mut rest)?;
+            extract_threads(&mut rest)?;
             reject_unknown_flags(&rest)?;
             let mapping_path = rest.first().ok_or(usage)?;
             let (text, m) = load_mapping_text(mapping_path)?;
@@ -170,6 +172,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let mut rest: Vec<&String> = args[1..].iter().collect();
             let budget = extract_budget(&mut rest)?;
             let out = extract_output(&mut rest)?;
+            extract_threads(&mut rest)?;
             reject_unknown_flags(&rest)?;
             let dir = Path::new(rest.first().ok_or(usage)?.as_str());
             resume(dir, budget, &out)
@@ -218,6 +221,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             // dexcli query <mapping> <source.json> "q(x) :- Manager(x, m)"
             let mut rest: Vec<&String> = args[1..].iter().collect();
             let budget = extract_budget(&mut rest)?;
+            extract_threads(&mut rest)?;
             let m = load_mapping(rest.first().ok_or(usage)?)?;
             let src = load_instance(rest.get(1).ok_or(usage)?, m.source())?;
             let qtext = rest.get(2).ok_or(usage)?;
@@ -740,6 +744,11 @@ resource budgets (chase, exchange, query, resume):
   --max-nulls <n>      cap on invented labeled nulls
   --max-memory <size>  approximate target-size cap: 64k, 10m, 1g (bare = bytes)
 
+parallelism (chase, exchange, query, resume):
+  --threads <n>        matcher worker threads (default 1 = sequential;
+                       0 = all cores); output is bit-identical to the
+                       single-threaded chase at any thread count
+
 crash-safe persistence (chase, exchange):
   --store <dir>          WAL + snapshot every committed round into <dir>
   --snapshot-every <n>   snapshot cadence in rounds (default 64)
@@ -807,6 +816,20 @@ fn extract_budget(rest: &mut Vec<&String>) -> Result<Budget, String> {
         b = b.with_max_memory(parse_size(&v)?);
     }
     Ok(b)
+}
+
+/// Extract `--threads <n>` and install it as the process-wide default
+/// matcher thread count (`ChaseOptions::default().threads`), so every
+/// chase started by this invocation — directly or through the lens
+/// engine — picks it up. `0` means available parallelism.
+fn extract_threads(rest: &mut Vec<&String>) -> Result<(), String> {
+    if let Some(v) = take_flag_value(rest, "--threads")? {
+        let n = v
+            .parse::<usize>()
+            .map_err(|_| format!("--threads takes a non-negative integer, got `{v}`"))?;
+        dex::chase::set_default_threads(n);
+    }
+    Ok(())
 }
 
 fn parse_count(s: &str, flag: &str) -> Result<u64, String> {

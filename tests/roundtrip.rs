@@ -114,7 +114,7 @@ proptest! {
         for d in &deletions {
             let name = format!("e{d}");
             let row = edited.relation("Manager").unwrap().iter()
-                .find(|t| t[0] == Value::str(name.as_str())).cloned();
+                .find(|t| t[0] == Value::str(name.as_str()));
             if let Some(row) = row {
                 edited.remove("Manager", &row).unwrap();
             }
