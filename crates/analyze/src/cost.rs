@@ -1,0 +1,557 @@
+//! Cost pass: `DEX5xx` — static chase-cost bounds from acyclicity
+//! structure, and the admission-control lints built on them.
+//!
+//! The termination classifier (`dex_chase`) proves *that* the chase on
+//! a weakly or jointly acyclic mapping stops; this pass computes *how
+//! big* the result can get, before running anything. The derivation is
+//! the constructive reading of the classical FKMP polynomial bound,
+//! evaluated at assumed per-relation source cardinalities
+//! ([`SourceStats`]):
+//!
+//! 1. **Phase 1** (st-tgds) fires each rule at most once per premise
+//!    match, so its firing bound is the product of the premise
+//!    relations' cardinalities.
+//! 2. **Strata.** Every invented null has a *generation*: one more than
+//!    the largest generation among the values its creating firing bound
+//!    on the frontier. Under weak acyclicity a null invented at a
+//!    position of rank `r` has generation ≤ `r` (a special edge
+//!    `p → q` forces `rank(p) < rank(q)`, and a null reaching a body
+//!    position flows there along regular edges, which never lower
+//!    rank), so generations are capped by the maximum position rank
+//!    ([`dex_chase::position_ranks`]). Under joint acyclicity the same
+//!    argument runs over the existential-dependency DAG and the cap is
+//!    its depth ([`dex_chase::existential_depth`]).
+//! 3. **Value universe.** Let `U₀` be every value present before the
+//!    target chase: source constants, mapping constants, phase-1 nulls.
+//!    A target tgd `d` fires at most once per distinct frontier
+//!    valuation (a re-derived obligation finds its conclusion already
+//!    satisfied and is skipped), so generation-`i` firings of `d`
+//!    number at most `|Uᵢ₋₁|^{|frontier(d)|}`, each inventing
+//!    `exist(d)` nulls: `Uᵢ = Uᵢ₋₁ + Σ_d |Uᵢ₋₁|^{f_d}·e_d`. After
+//!    `strata` steps no new generation can start, and `U := U_strata`
+//!    bounds every value the chase ever creates.
+//! 4. **Everything else** folds out of `U`: per-target-tgd firings
+//!    `≤ U^{f_d}`, nulls per existential position, tuples per relation
+//!    (the smaller of the write-based and the `U^arity` set-based
+//!    bound), committed rounds (each changes the instance: ≥ 1 firing
+//!    or ≥ 1 null-eliminating egd merge), and bytes via the governor's
+//!    own memory model (each firing is billed the approximate bytes of
+//!    its conclusion tuples).
+//!
+//! All arithmetic is [`Bound`] arithmetic: checked, with overflow
+//! collapsing to `Unbounded` — a `Finite` bound is always an honest
+//! certificate, and every formula is monotone in the cardinalities.
+//!
+//! Lints: `DEX501` (bounds unbounded — not jointly acyclic), `DEX502`
+//! (headline bound exceeds a configured `--deny-cost` threshold),
+//! `DEX503` (one tgd's firing bound dwarfs the rest combined).
+
+use crate::diagnostic::{Code, Diagnostic, Witness};
+use dex_chase::{classify_termination, existential_depth, position_ranks, TerminationClass};
+use dex_core::CostSection;
+use dex_logic::{Mapping, SourceMap, StTgd, Term};
+use dex_relational::{Bound, ChaseBounds, Constant, Name, SourceStats, Tuple, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// `DEX503` fires when one tgd's firing bound is at least this many
+/// times everything else combined.
+pub const DWARF_FACTOR: u64 = 1024;
+
+/// The uniform per-relation cardinality assumed when the caller
+/// supplies no statistics (`dexcli lint` / `explain` without
+/// `--cards`).
+pub const DEFAULT_CARD: u64 = 1000;
+
+/// Distinct variables of the premise exported to the conclusion.
+fn frontier_size(tgd: &StTgd) -> u32 {
+    tgd.frontier().len() as u32
+}
+
+/// Number of conclusion atoms, and per-firing conclusion byte cost
+/// under the governor's model (`Tuple` header + one value slot per
+/// argument, each at most `max_value_bytes`).
+fn rhs_shape(tgd: &StTgd, max_value_bytes: u64) -> (u64, Bound) {
+    let atoms = tgd.rhs.len() as u64;
+    let mut bytes = Bound::ZERO;
+    for a in &tgd.rhs {
+        let row = Bound::from(std::mem::size_of::<Tuple>())
+            .add(Bound::from(a.args.len()).mul(Bound::Finite(max_value_bytes)));
+        bytes = bytes.add(row);
+    }
+    (atoms, bytes)
+}
+
+/// Every distinct constant written or matched by the mapping's rules
+/// (these enter the value universe alongside source values).
+fn mapping_constants(mapping: &Mapping) -> BTreeSet<Constant> {
+    fn from_term(t: &Term, out: &mut BTreeSet<Constant>) {
+        match t {
+            Term::Const(c) => {
+                out.insert(c.clone());
+            }
+            Term::Func(_, args) => {
+                for a in args {
+                    from_term(a, out);
+                }
+            }
+            Term::Var(_) => {}
+        }
+    }
+    let mut out = BTreeSet::new();
+    let tgds = mapping.st_tgds().iter().chain(mapping.target_tgds());
+    for tgd in tgds {
+        for atom in tgd.lhs.iter().chain(&tgd.rhs) {
+            for t in &atom.args {
+                from_term(t, &mut out);
+            }
+        }
+    }
+    for egd in mapping.target_egds() {
+        for atom in &egd.lhs {
+            for t in &atom.args {
+                from_term(t, &mut out);
+            }
+        }
+        for (l, r) in &egd.equalities {
+            from_term(l, &mut out);
+            from_term(r, &mut out);
+        }
+    }
+    out
+}
+
+/// Per-firing invented values: existential variables plus Skolem terms
+/// in the conclusion (each firing instantiates every conclusion Skolem
+/// term at most once).
+fn invented_per_firing(tgd: &StTgd) -> u64 {
+    let exist = tgd.existential_vars().len() as u64;
+    let funcs: u64 = tgd
+        .rhs
+        .iter()
+        .flat_map(|a| &a.args)
+        .filter(|t| matches!(t, Term::Func(_, _)))
+        .count() as u64;
+    exist + funcs
+}
+
+/// Compute the full cost section for `mapping` at `stats`.
+pub fn cost_section(mapping: &Mapping, stats: &SourceStats) -> CostSection {
+    let target_tgds = mapping.target_tgds();
+    let class = classify_termination(target_tgds).class;
+
+    // Largest value width: measured source values, or a constant
+    // embedded in the rules (invented nulls are bare slots, already
+    // covered by the measured floor).
+    let consts = mapping_constants(mapping);
+    let max_value_bytes = consts
+        .iter()
+        .map(|c| Value::Const(c.clone()).approx_bytes() as u64)
+        .fold(stats.max_value_bytes, u64::max);
+
+    // Phase 1: per-st-tgd firing bound = Π card(premise relation).
+    let st_firings: Vec<Bound> = mapping
+        .st_tgds()
+        .iter()
+        .map(|tgd| {
+            tgd.lhs
+                .iter()
+                .map(|a| Bound::Finite(stats.card(&a.relation)))
+                .fold(Bound::ONE, Bound::mul)
+        })
+        .collect();
+    let st_invented: Vec<u64> = mapping.st_tgds().iter().map(invented_per_firing).collect();
+    let st_nulls: Bound = st_firings
+        .iter()
+        .zip(&st_invented)
+        .map(|(f, e)| f.mul(Bound::Finite(*e)))
+        .fold(Bound::ZERO, Bound::add);
+
+    // Null generations the target chase can cascade through.
+    let strata: Bound = match class {
+        TerminationClass::WeaklyAcyclic => position_ranks(target_tgds)
+            .map(|ranks| Bound::from(ranks.values().copied().max().unwrap_or(0)))
+            .unwrap_or(Bound::Unbounded),
+        TerminationClass::JointlyAcyclic => existential_depth(target_tgds)
+            .map(Bound::from)
+            .unwrap_or(Bound::Unbounded),
+        TerminationClass::Unknown => Bound::Unbounded,
+    };
+
+    // U₀: source values + initial target values + mapping constants +
+    // phase-1 nulls.
+    let mut universe = Bound::ZERO;
+    for rel in mapping
+        .source()
+        .relations()
+        .chain(mapping.target().relations())
+    {
+        universe =
+            universe.add(Bound::Finite(stats.card(rel.name())).mul(Bound::from(rel.arity())));
+    }
+    universe = universe
+        .add(Bound::from(consts.len()))
+        .add(st_nulls)
+        .add(Bound::Finite(stats.initial_nulls));
+
+    // The stratified recurrence: Uᵢ = Uᵢ₋₁ + Σ_d Uᵢ₋₁^{f_d}·e_d.
+    let tgt_frontiers: Vec<u32> = target_tgds.iter().map(frontier_size).collect();
+    let tgt_invented: Vec<u64> = target_tgds.iter().map(invented_per_firing).collect();
+    match strata {
+        Bound::Finite(r) => {
+            for _ in 0..r {
+                let mut grown = universe;
+                for (f, e) in tgt_frontiers.iter().zip(&tgt_invented) {
+                    grown = grown.add(universe.pow(*f).mul(Bound::Finite(*e)));
+                }
+                universe = grown;
+            }
+        }
+        Bound::Unbounded => {
+            // Only unbounded if the target chase can actually invent
+            // nulls forever; the universe itself is what diverges.
+            universe = Bound::Unbounded;
+        }
+    }
+
+    // Per-target-tgd firings over the final universe.
+    let target_firings: Vec<Bound> = tgt_frontiers.iter().map(|f| universe.pow(*f)).collect();
+    let target_nulls: Bound = target_firings
+        .iter()
+        .zip(&tgt_invented)
+        .map(|(f, e)| f.mul(Bound::Finite(*e)))
+        .fold(Bound::ZERO, Bound::add);
+    let nulls = st_nulls.add(target_nulls);
+
+    // Nulls per existential position ("Rel.i" keys).
+    let mut nulls_per_position: BTreeMap<String, Bound> = BTreeMap::new();
+    let all_rules = mapping
+        .st_tgds()
+        .iter()
+        .zip(&st_firings)
+        .chain(target_tgds.iter().zip(&target_firings));
+    for (tgd, firings) in all_rules.clone() {
+        let exist: BTreeSet<Name> = tgd.existential_vars().into_iter().collect();
+        for atom in &tgd.rhs {
+            for (i, t) in atom.args.iter().enumerate() {
+                let invented_here = match t {
+                    Term::Var(v) => exist.contains(v.as_str()),
+                    Term::Func(_, _) => true,
+                    Term::Const(_) => false,
+                };
+                if invented_here {
+                    let key = format!("{}.{}", atom.relation, i);
+                    let slot = nulls_per_position.entry(key).or_insert(Bound::ZERO);
+                    *slot = slot.add(*firings);
+                }
+            }
+        }
+    }
+
+    // Tuples per target relation: initial size + every write, capped by
+    // the set-based `U^arity` bound (relations are sets over the value
+    // universe; the write bound alone also caps insertions, which is
+    // what the governor meters).
+    let mut writes: BTreeMap<Name, Bound> = BTreeMap::new();
+    for (tgd, firings) in all_rules.clone() {
+        for atom in &tgd.rhs {
+            let slot = writes.entry(atom.relation.clone()).or_insert(Bound::ZERO);
+            *slot = slot.add(*firings);
+        }
+    }
+    let mut tuples_per_relation: BTreeMap<Name, Bound> = BTreeMap::new();
+    let mut tuples_total = Bound::ZERO;
+    let mut bytes = Bound::ZERO;
+    for rel in mapping.target().relations() {
+        let initial = Bound::Finite(stats.card(rel.name()));
+        let written = writes.get(rel.name()).copied().unwrap_or(Bound::ZERO);
+        let write_bound = initial.add(written);
+        let set_bound = universe.pow(rel.arity() as u32);
+        let t = write_bound.min(set_bound);
+        tuples_total = tuples_total.add(t);
+        tuples_per_relation.insert(rel.name().clone(), t);
+    }
+
+    // Bytes, per the governor's model: each firing is billed its
+    // conclusion tuples' approximate bytes (duplicates included).
+    for (tgd, firings) in all_rules {
+        let (_, row_bytes) = rhs_shape(tgd, max_value_bytes);
+        bytes = bytes.add(firings.mul(row_bytes));
+    }
+
+    // Committed rounds each perform ≥ 1 target firing or ≥ 1 egd merge,
+    // and every merge eliminates a labeled null (invented or initial).
+    let st_total: Bound = st_firings.iter().copied().fold(Bound::ZERO, Bound::add);
+    let target_total: Bound = target_firings.iter().copied().fold(Bound::ZERO, Bound::add);
+    let merges = nulls.add(Bound::Finite(stats.initial_nulls));
+    let rounds = target_total.add(merges);
+    let firings = st_total.add(target_total).add(merges);
+
+    CostSection {
+        class,
+        strata,
+        value_universe: universe,
+        assumed_cards: stats.cards.clone(),
+        default_card: stats.default_card,
+        st_tgd_firings: st_firings,
+        target_tgd_firings: target_firings,
+        nulls_per_position,
+        tuples_per_relation,
+        bounds: ChaseBounds {
+            rounds,
+            firings,
+            tuples: tuples_total,
+            nulls,
+            bytes,
+        },
+    }
+}
+
+/// Aggregate bounds for `mapping` at `stats` — the admission-control
+/// entry point (`dexcli --auto-budget` / `--deny-cost`).
+pub fn chase_bounds(mapping: &Mapping, stats: &SourceStats) -> ChaseBounds {
+    cost_section(mapping, stats).bounds
+}
+
+/// Run the cost pass: `DEX501` / `DEX502` / `DEX503`.
+pub fn cost_pass(
+    mapping: &Mapping,
+    spans: Option<&SourceMap>,
+    stats: &SourceStats,
+    deny_cost: Option<u64>,
+) -> Vec<Diagnostic> {
+    let section = cost_section(mapping, stats);
+    let mut out = Vec::new();
+
+    if section.class == TerminationClass::Unknown
+        && (!mapping.target_tgds().is_empty() || !mapping.st_tgds().is_empty())
+    {
+        let span = spans.and_then(|s| s.target_tgds.first().copied());
+        out.push(
+            Diagnostic::new(
+                Code::Dex501,
+                "chase-cost bounds are unbounded: the target tgds are not jointly \
+                 acyclic, so no budget can be synthesized for this mapping",
+            )
+            .with_span(span)
+            .with_note(
+                "an admission controller must refuse this mapping at any \
+                 --deny-cost threshold; --auto-budget sets no caps",
+            ),
+        );
+    }
+
+    if let Some(threshold) = deny_cost {
+        let headline = section.bounds.headline();
+        if headline.exceeds(threshold) {
+            out.push(
+                Diagnostic::new(
+                    Code::Dex502,
+                    format!(
+                        "predicted chase cost {headline} exceeds the admission \
+                         threshold {threshold}"
+                    ),
+                )
+                .with_note(format!(
+                    "bounds at the assumed cardinalities: rounds ≤ {}, firings ≤ {}, \
+                     tuples ≤ {}, nulls ≤ {}, bytes ≤ {}",
+                    section.bounds.rounds,
+                    section.bounds.firings,
+                    section.bounds.tuples,
+                    section.bounds.nulls,
+                    section.bounds.bytes,
+                )),
+            );
+        }
+    }
+
+    // DEX503: one tgd dwarfs the rest. Only meaningful with ≥ 2 rules,
+    // finite bounds, and a non-trivial remainder.
+    let per_tgd: Vec<(bool, usize, Bound)> = section
+        .st_tgd_firings
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (true, i, *b))
+        .chain(
+            section
+                .target_tgd_firings
+                .iter()
+                .enumerate()
+                .map(|(i, b)| (false, i, *b)),
+        )
+        .collect();
+    if per_tgd.len() >= 2 {
+        if let Some(&(is_st, idx, max)) = per_tgd.iter().max_by_key(|(_, _, b)| *b) {
+            let rest: Bound = per_tgd
+                .iter()
+                .filter(|&&(s, i, _)| (s, i) != (is_st, idx))
+                .map(|(_, _, b)| *b)
+                .fold(Bound::ZERO, Bound::add);
+            if let (Bound::Finite(m), Bound::Finite(r)) = (max, rest) {
+                if r >= 1 && m >= r.saturating_mul(DWARF_FACTOR) {
+                    let (kind, rule, span) = if is_st {
+                        (
+                            "st-tgd",
+                            mapping.st_tgds().get(idx).map(|t| t.to_string()),
+                            spans.and_then(|s| s.st_tgds.get(idx).copied()),
+                        )
+                    } else {
+                        (
+                            "target tgd",
+                            mapping.target_tgds().get(idx).map(|t| t.to_string()),
+                            spans.and_then(|s| s.target_tgds.get(idx).copied()),
+                        )
+                    };
+                    out.push(
+                        Diagnostic::new(
+                            Code::Dex503,
+                            format!(
+                                "{kind} #{idx} dominates the predicted cost: its firing \
+                                 bound {m} is ≥ {DWARF_FACTOR}× the rest of the mapping \
+                                 combined ({r})"
+                            ),
+                        )
+                        .with_span(span)
+                        .with_witness(Witness::TgdIndices(vec![idx]))
+                        .with_note(match rule {
+                            Some(r) => format!("dominating rule: `{r}`"),
+                            None => "dominating rule index out of range".to_string(),
+                        }),
+                    );
+                }
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_chase::exchange;
+    use dex_logic::parse_mapping_with_spans;
+    use dex_relational::Instance;
+
+    fn stats_n(n: u64) -> SourceStats {
+        SourceStats::uniform(n)
+    }
+
+    #[test]
+    fn full_mapping_has_finite_linear_bounds() {
+        let (m, _) = parse_mapping_with_spans(
+            "source Emp(name, dept);\ntarget Mgr(emp, mgr);\nEmp(x, d) -> Mgr(x, d);",
+        )
+        .unwrap();
+        let s = cost_section(&m, &stats_n(10));
+        assert_eq!(s.class, TerminationClass::WeaklyAcyclic);
+        assert_eq!(s.strata, Bound::ZERO);
+        assert_eq!(s.st_tgd_firings, vec![Bound::Finite(10)]);
+        assert!(s.bounds.all_finite());
+        assert_eq!(s.tuples_per_relation[&Name::new("Mgr")], Bound::Finite(20));
+        assert_eq!(s.bounds.nulls, Bound::ZERO);
+    }
+
+    #[test]
+    fn non_terminating_mapping_is_unbounded_and_lints_dex501() {
+        let (m, sm) = parse_mapping_with_spans(
+            "source R(a);\ntarget S(a, b);\nR(x) -> S(x, x);\nS(x, y) -> S(y, z);",
+        )
+        .unwrap();
+        let s = cost_section(&m, &stats_n(10));
+        assert_eq!(s.class, TerminationClass::Unknown);
+        assert_eq!(s.strata, Bound::Unbounded);
+        assert_eq!(s.bounds.rounds, Bound::Unbounded);
+        assert!(!s.bounds.all_finite());
+        // Phase 1 is still finite.
+        assert_eq!(s.st_tgd_firings, vec![Bound::Finite(10)]);
+
+        let ds = cost_pass(&m, Some(&sm), &stats_n(10), None);
+        assert!(ds.iter().any(|d| d.code == Code::Dex501));
+        // And --deny-cost refuses at any threshold.
+        let ds = cost_pass(&m, Some(&sm), &stats_n(10), Some(u64::MAX));
+        assert!(ds.iter().any(|d| d.code == Code::Dex502));
+    }
+
+    #[test]
+    fn deny_cost_thresholds_on_headline_bound() {
+        let (m, sm) = parse_mapping_with_spans(
+            "source Emp(name, dept);\ntarget Mgr(emp, mgr);\nEmp(x, d) -> Mgr(x, d);",
+        )
+        .unwrap();
+        // Headline is max(rounds, firings, tuples, nulls): uniform
+        // stats assume 10 pre-existing target tuples, so tuples ≤ 20.
+        let none = cost_pass(&m, Some(&sm), &stats_n(10), Some(20));
+        assert!(none.iter().all(|d| d.code != Code::Dex502));
+        let some = cost_pass(&m, Some(&sm), &stats_n(10), Some(19));
+        assert!(some.iter().any(|d| d.code == Code::Dex502));
+    }
+
+    #[test]
+    fn dwarfing_join_raises_dex503() {
+        // One 3-way self-join against two copy rules at n = 1000:
+        // 10⁹ vs 2·10³ — far past the 1024× factor.
+        let (m, sm) = parse_mapping_with_spans(
+            "source R(a, b);\nsource S(a);\ntarget T(a, b);\ntarget U(a);\n\
+             R(x, y) & R(y, z) & R(z, w) -> T(x, w);\nS(x) -> U(x);\nS(x) -> T(x, x);",
+        )
+        .unwrap();
+        let ds = cost_pass(&m, Some(&sm), &stats_n(DEFAULT_CARD), None);
+        let d = ds
+            .iter()
+            .find(|d| d.code == Code::Dex503)
+            .expect("dwarf lint");
+        assert!(d.message.contains("st-tgd #0"));
+        // Balanced mappings stay silent.
+        let (m2, sm2) = parse_mapping_with_spans(
+            "source R(a, b);\ntarget T(a, b);\ntarget U(a, b);\n\
+             R(x, y) -> T(x, y);\nR(x, y) -> U(y, x);",
+        )
+        .unwrap();
+        assert!(cost_pass(&m2, Some(&sm2), &stats_n(DEFAULT_CARD), None).is_empty());
+    }
+
+    #[test]
+    fn bounds_are_monotone_in_cardinalities() {
+        let (m, _) = parse_mapping_with_spans(
+            "source E(a, b);\ntarget V(a, b);\ntarget W(a, b);\n\
+             E(x, y) -> V(x, y);\nV(x, y) -> W(x, z);\nkey W(a);",
+        )
+        .unwrap();
+        let small = cost_section(&m, &stats_n(5)).bounds;
+        let big = cost_section(&m, &stats_n(50)).bounds;
+        assert!(small.rounds <= big.rounds);
+        assert!(small.firings <= big.firings);
+        assert!(small.tuples <= big.tuples);
+        assert!(small.nulls <= big.nulls);
+        assert!(small.bytes <= big.bytes);
+    }
+
+    #[test]
+    fn measured_bounds_cover_an_actual_exchange() {
+        let (m, _) = parse_mapping_with_spans(
+            "source Emp(name, dept);\ntarget Dept(dept, mgr);\ntarget Mgr(mgr);\n\
+             Emp(e, d) -> Dept(d, m);\nDept(d, m) -> Mgr(m);\nkey Dept(dept);",
+        )
+        .unwrap();
+        let mut src = Instance::empty(m.source().clone());
+        for i in 0..6 {
+            let t = dex_relational::Tuple::from(vec![
+                Value::str(format!("e{i}")),
+                Value::str(format!("d{}", i % 2)),
+            ]);
+            src.insert("Emp", t).unwrap();
+        }
+        let stats = SourceStats::measure(&src);
+        let s = cost_section(&m, &stats);
+        let r = exchange(&m, &src).unwrap();
+        assert!(
+            Bound::from(r.stats.rounds) <= s.bounds.rounds,
+            "rounds {} > bound {}",
+            r.stats.rounds,
+            s.bounds.rounds
+        );
+        assert!(Bound::from(r.firings) <= s.bounds.firings);
+        assert!(Bound::from(r.nulls_created) <= s.bounds.nulls);
+        assert!(Bound::from(r.target.fact_count()) <= s.bounds.tuples);
+    }
+}

@@ -76,6 +76,15 @@ pub enum Code {
     /// Two st-tgds assign contradictory lens update policies to the
     /// same target column.
     Dex405,
+    /// The mapping's chase-cost bounds are unbounded (non-jointly-
+    /// acyclic): an exponential-risk mapping no budget can be
+    /// synthesized for.
+    Dex501,
+    /// A statically derived chase bound exceeds the configured
+    /// `--deny-cost` admission threshold.
+    Dex502,
+    /// One tgd's firing bound dwarfs the rest of the mapping combined.
+    Dex503,
 }
 
 impl Code {
@@ -103,11 +112,14 @@ impl Code {
             Code::Dex403 => "DEX403",
             Code::Dex404 => "DEX404",
             Code::Dex405 => "DEX405",
+            Code::Dex501 => "DEX501",
+            Code::Dex502 => "DEX502",
+            Code::Dex503 => "DEX503",
         }
     }
 
     /// Every registered code, in numeric order.
-    pub const ALL: [Code; 21] = [
+    pub const ALL: [Code; 24] = [
         Code::Dex000,
         Code::Dex001,
         Code::Dex002,
@@ -129,6 +141,9 @@ impl Code {
         Code::Dex403,
         Code::Dex404,
         Code::Dex405,
+        Code::Dex501,
+        Code::Dex502,
+        Code::Dex503,
     ];
 
     /// Parse a textual code (`"DEX101"`, case-insensitive). `None` for
@@ -142,7 +157,7 @@ impl Code {
     /// promotion).
     pub fn default_severity(&self) -> Severity {
         match self {
-            Code::Dex000 | Code::Dex001 | Code::Dex104 => Severity::Error,
+            Code::Dex000 | Code::Dex001 | Code::Dex104 | Code::Dex502 => Severity::Error,
             Code::Dex101
             | Code::Dex102
             | Code::Dex103
@@ -154,13 +169,15 @@ impl Code {
             | Code::Dex206
             | Code::Dex403
             | Code::Dex404
-            | Code::Dex405 => Severity::Warning,
+            | Code::Dex405
+            | Code::Dex501 => Severity::Warning,
             Code::Dex002
             | Code::Dex205
             | Code::Dex301
             | Code::Dex302
             | Code::Dex401
-            | Code::Dex402 => Severity::Info,
+            | Code::Dex402
+            | Code::Dex503 => Severity::Info,
         }
     }
 
@@ -339,6 +356,43 @@ impl Code {
                  `put`, and the compiler refuses the mapping (see DEX203 for the \
                  shape-level view). The diagnostic names the column and the two rule \
                  indices."
+            }
+            Code::Dex501 => {
+                "The mapping's static chase-cost bounds are unbounded: the target \
+                 tgds are not jointly acyclic, so no finite polynomial bound on chase \
+                 output can be certified from acyclicity structure.\n\n\
+                 The cost pass derives per-run upper bounds (rounds, firings, tuples, \
+                 nulls, bytes) from position ranks (weak acyclicity) or existential \
+                 depth (joint acyclicity). When neither condition holds, every bound \
+                 degrades to `unbounded` — an admission controller cannot synthesize \
+                 a budget (`--auto-budget` sets no caps) and `--deny-cost` refuses \
+                 the mapping at any threshold. Either break the existential recursion \
+                 (see DEX001's cycle witness) or run with explicit budget flags and \
+                 accept partial results."
+            }
+            Code::Dex502 => {
+                "A statically derived chase bound exceeds the configured admission \
+                 threshold.\n\n\
+                 `dexcli lint|chase|exchange --deny-cost N` compares the headline \
+                 bound — the largest of the predicted rounds, firings, tuples, and \
+                 nulls (an `unbounded` bound exceeds every threshold) — against N and \
+                 refuses the mapping when it is larger. The bounds are conservative \
+                 worst cases over all source instances with the assumed per-relation \
+                 cardinalities (measured from the instance when one is at hand, \
+                 `--cards` or a uniform default otherwise), so a refusal means the \
+                 chase *could* get that big, not that it will. Raise the threshold, \
+                 shrink the assumed cardinalities, or simplify the mapping."
+            }
+            Code::Dex503 => {
+                "One tgd's firing bound dwarfs the rest of the mapping combined.\n\n\
+                 The per-tgd firing bound is the product of the assumed cardinalities \
+                 of the premise relations (phase 1) or a polynomial in the reachable \
+                 value universe (target tgds), so a premise joining many wide \
+                 relations can dominate the whole mapping's predicted cost by orders \
+                 of magnitude. This lint fires when a single tgd accounts for more \
+                 than ~99.9% of the total predicted firings (at least 1024× \
+                 everything else combined): that one rule is where any budget will be \
+                 spent, and the first place to look when tightening a mapping."
             }
         }
     }

@@ -47,6 +47,7 @@
 #![deny(clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod cost;
 pub mod dataflow;
 pub mod diagnostic;
 pub mod fragment;
@@ -56,26 +57,38 @@ pub mod plan;
 pub mod render;
 pub mod termination;
 
+pub use cost::{chase_bounds, cost_pass, cost_section};
 pub use dataflow::{dataflow_pass, DepRef, FlowClosure, FlowEdge, FlowGraph, PosRef};
 pub use diagnostic::{
     deny_warnings, has_errors, sort_diagnostics, Code, Diagnostic, Severity, Witness,
 };
-pub use plan::{explain, ExplainReport};
+pub use plan::{explain, explain_with, ExplainReport};
 pub use render::{render_all, render_text};
 
 use dex_logic::{Mapping, SourceMap, Span};
+use dex_relational::SourceStats;
 
 /// Tuning knobs for [`analyze_with`].
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct AnalyzeOptions {
     /// Run the chase-based redundancy check (`DEX105`). Quadratic in
     /// the number of st-tgds; on by default.
     pub redundancy: bool,
+    /// Source statistics for the cost pass (`DEX5xx`). `None` assumes
+    /// a uniform cardinality of [`cost::DEFAULT_CARD`] per relation.
+    pub stats: Option<SourceStats>,
+    /// Admission threshold: raise `DEX502` when the headline cost bound
+    /// exceeds this many (`dexcli lint --deny-cost N`).
+    pub deny_cost: Option<u64>,
 }
 
 impl Default for AnalyzeOptions {
     fn default() -> Self {
-        AnalyzeOptions { redundancy: true }
+        AnalyzeOptions {
+            redundancy: true,
+            stats: None,
+            deny_cost: None,
+        }
     }
 }
 
@@ -95,6 +108,10 @@ pub fn analyze_with(
     out.extend(fragment::fragment_pass(mapping, spans));
     out.extend(opscheck::ops_pass(mapping, spans));
     out.extend(dataflow::dataflow_pass(mapping, spans));
+    let stats = options
+        .stats
+        .unwrap_or_else(|| SourceStats::uniform(cost::DEFAULT_CARD));
+    out.extend(cost::cost_pass(mapping, spans, &stats, options.deny_cost));
     out
 }
 
@@ -140,7 +157,14 @@ mod tests {
         .unwrap();
         let with = analyze(&m, Some(&sm));
         assert!(with.iter().any(|d| d.code == Code::Dex105));
-        let without = analyze_with(&m, Some(&sm), AnalyzeOptions { redundancy: false });
+        let without = analyze_with(
+            &m,
+            Some(&sm),
+            AnalyzeOptions {
+                redundancy: false,
+                ..Default::default()
+            },
+        );
         assert!(without.iter().all(|d| d.code != Code::Dex105));
     }
 

@@ -16,8 +16,10 @@
 //! ordered containers and the renderers iterate them in order.
 
 use crate::dataflow::{pos_label, DepRef, FlowClosure, FlowGraph, PosRef};
-use dex_core::{LensSection, MappingPlan, TgdPlan};
+use dex_chase::TerminationClass;
+use dex_core::{CostSection, LensSection, MappingPlan, TgdPlan};
 use dex_logic::{Mapping, PremisePlan, SourceMap, Span};
+use dex_relational::SourceStats;
 use dex_rellens::NodeSummary;
 use serde_json::{json, Value as Json};
 use std::fmt::Write as _;
@@ -37,16 +39,42 @@ pub struct ExplainReport {
     pub closure: FlowClosure,
 }
 
-/// Build the explain report for `mapping`.
+/// Build the explain report for `mapping`, with cost bounds evaluated
+/// at a uniform cardinality of [`crate::cost::DEFAULT_CARD`].
 pub fn explain(mapping: &Mapping, spans: Option<&SourceMap>) -> ExplainReport {
+    explain_with(
+        mapping,
+        spans,
+        &SourceStats::uniform(crate::cost::DEFAULT_CARD),
+    )
+}
+
+/// Build the explain report with cost bounds evaluated at `stats`
+/// (`dexcli explain --cards`).
+pub fn explain_with(
+    mapping: &Mapping,
+    spans: Option<&SourceMap>,
+    stats: &SourceStats,
+) -> ExplainReport {
     let flow = FlowGraph::build(mapping);
     let closure = flow.closure();
+    let mut plan = dex_core::plan(mapping);
+    plan.cost = Some(crate::cost::cost_section(mapping, stats));
     ExplainReport {
         mapping: mapping.clone(),
         spans: spans.cloned(),
-        plan: dex_core::plan(mapping),
+        plan,
         flow,
         closure,
+    }
+}
+
+/// Human label for a termination class in the cost section.
+fn class_str(c: TerminationClass) -> &'static str {
+    match c {
+        TerminationClass::WeaklyAcyclic => "weakly acyclic",
+        TerminationClass::JointlyAcyclic => "jointly acyclic",
+        TerminationClass::Unknown => "unknown (chase may diverge)",
     }
 }
 
@@ -221,6 +249,47 @@ impl ExplainReport {
         }
     }
 
+    /// The static cost bounds, as a tree section.
+    fn cost_tree(&self, out: &mut String, c: &CostSection) {
+        let _ = writeln!(
+            out,
+            "cost (assumed cardinality {} per relation unless listed):",
+            c.default_card
+        );
+        if !c.assumed_cards.is_empty() {
+            let cards = c
+                .assumed_cards
+                .iter()
+                .map(|(n, k)| format!("{n}={k}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(out, "  cards: {cards}");
+        }
+        let _ = writeln!(out, "  termination: {}", class_str(c.class));
+        let _ = writeln!(
+            out,
+            "  null strata <= {}   value universe <= {}",
+            c.strata, c.value_universe
+        );
+        for (i, b) in c.st_tgd_firings.iter().enumerate() {
+            let _ = writeln!(out, "  st-tgd #{i} firings <= {b}");
+        }
+        for (i, b) in c.target_tgd_firings.iter().enumerate() {
+            let _ = writeln!(out, "  target tgd #{i} firings <= {b}");
+        }
+        for (pos, b) in &c.nulls_per_position {
+            let _ = writeln!(out, "  nulls at {pos} <= {b}");
+        }
+        for (rel, b) in &c.tuples_per_relation {
+            let _ = writeln!(out, "  tuples in {rel} <= {b}");
+        }
+        let _ = writeln!(
+            out,
+            "  totals: rounds <= {}, firings <= {}, tuples <= {}, nulls <= {}, bytes <= {}",
+            c.bounds.rounds, c.bounds.firings, c.bounds.tuples, c.bounds.nulls, c.bounds.bytes
+        );
+    }
+
     /// The human-facing annotated plan tree.
     pub fn render_tree(&self) -> String {
         let mut out = String::new();
@@ -297,6 +366,10 @@ impl ExplainReport {
                     let _ = writeln!(out, "    - {r}");
                 }
             }
+        }
+        if let Some(c) = &p.cost {
+            let _ = writeln!(out);
+            self.cost_tree(&mut out, c);
         }
         let _ = writeln!(out);
         let _ = writeln!(out, "provenance (per target position):");
@@ -530,6 +603,47 @@ mod tests {
     }
 
     #[test]
+    fn tree_renders_cost_section() {
+        let r = report("source R(a);\ntarget T(a, b);\nR(x) -> T(x, y);");
+        let t = r.render_tree();
+        assert!(
+            t.contains("cost (assumed cardinality 1000 per relation unless listed):"),
+            "{t}"
+        );
+        assert!(t.contains("termination: weakly acyclic"), "{t}");
+        assert!(t.contains("st-tgd #0 firings <= 1000"), "{t}");
+        assert!(t.contains("nulls at T.1 <= 1000"), "{t}");
+        assert!(t.contains("totals: rounds <="), "{t}");
+    }
+
+    #[test]
+    fn cost_section_respects_supplied_stats() {
+        let (m, sm) =
+            parse_mapping_with_spans("source R(a);\ntarget T(a, b);\nR(x) -> T(x, y);").unwrap();
+        let stats = dex_relational::SourceStats::uniform(7).with_card("R", 3);
+        let r = explain_with(&m, Some(&sm), &stats);
+        let t = r.render_tree();
+        assert!(
+            t.contains("cost (assumed cardinality 7 per relation unless listed):"),
+            "{t}"
+        );
+        assert!(t.contains("cards: R=3"), "{t}");
+        assert!(t.contains("st-tgd #0 firings <= 3"), "{t}");
+    }
+
+    #[test]
+    fn unknown_termination_renders_unbounded_cost() {
+        let r = report("source R(a);\ntarget S(a, b);\nR(x) -> S(x, x);\nS(x, y) -> S(y, z);");
+        let t = r.render_tree();
+        assert!(
+            t.contains("termination: unknown (chase may diverge)"),
+            "{t}"
+        );
+        assert!(t.contains("value universe <= unbounded"), "{t}");
+        assert!(t.contains("totals: rounds <= unbounded"), "{t}");
+    }
+
+    #[test]
     fn json_shape_is_stable() {
         let r = report("source R(a);\ntarget T(a, b);\nR(x) -> T(x, y);");
         let j = r.to_json();
@@ -540,6 +654,8 @@ mod tests {
         assert_eq!(j["flow"]["null_producers"][0]["var"].as_str(), Some("y"));
         assert_eq!(j["provenance"][1]["invented"].as_bool(), Some(true));
         assert_eq!(j["provenance"][0]["sources"][0].as_str(), Some("R.a"));
+        assert_eq!(j["plan"]["cost"]["default_card"].as_u64(), Some(1000));
+        assert!(j["plan"]["cost"]["bounds"]["nulls"].as_u64().is_some());
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Registry-coverage gate: the `DEXnnn` table in the repository README
+//! and the `Code` enum must describe the same registry.
+//!
+//! * every registered code has exactly one README row, carrying the
+//!   code's default severity,
+//! * every README row names a registered code (no stale rows after a
+//!   lint is retired),
+//! * every registered code has a long-form `--explain` text (so the
+//!   CI step that runs `dexcli lint --explain` over the README's codes
+//!   can never hit an unexplained one).
+//!
+//! CI extracts the code list *from the README* (not from a hardcoded
+//! list) and feeds it to `dexcli lint --explain`; this test is what
+//! makes that extraction trustworthy.
+
+use dex_analyze::{Code, Severity};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+/// Parse `| DEXnnn | severity | meaning |` rows out of the README's
+/// registry table.
+fn readme_registry() -> BTreeMap<String, String> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../README.md");
+    let text = fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+    let mut rows = BTreeMap::new();
+    for line in text.lines() {
+        let mut cells = line.split('|').map(str::trim);
+        let Some("") = cells.next() else { continue };
+        let Some(code) = cells.next() else { continue };
+        if !(code.starts_with("DEX") && code[3..].chars().all(|c| c.is_ascii_digit())) {
+            continue;
+        }
+        let Some(severity) = cells.next() else {
+            continue;
+        };
+        let prev = rows.insert(code.to_string(), severity.to_string());
+        assert!(prev.is_none(), "README lists {code} twice");
+    }
+    rows
+}
+
+fn severity_str(s: Severity) -> &'static str {
+    match s {
+        Severity::Info => "info",
+        Severity::Warning => "warning",
+        Severity::Error => "error",
+    }
+}
+
+#[test]
+fn readme_table_matches_code_registry() {
+    let rows = readme_registry();
+    assert!(
+        !rows.is_empty(),
+        "README registry table not found — did the table format change?"
+    );
+
+    for code in Code::ALL {
+        let row = rows.get(code.as_str());
+        assert!(
+            row.is_some(),
+            "{code} is registered in Code::ALL but has no README registry row"
+        );
+        let want = severity_str(code.default_severity());
+        assert_eq!(
+            row.map(String::as_str),
+            Some(want),
+            "README severity for {code} disagrees with Code::default_severity ({want})"
+        );
+    }
+
+    for code in rows.keys() {
+        assert!(
+            Code::parse(code).is_some(),
+            "README lists {code} but it is not a registered Code — stale row?"
+        );
+    }
+}
+
+#[test]
+fn every_readme_code_has_explain_text() {
+    for (code, _) in readme_registry() {
+        let parsed = Code::parse(&code).unwrap_or_else(|| panic!("{code} unregistered"));
+        assert!(
+            parsed.explanation().len() > 80,
+            "{code} --explain text is missing or too short"
+        );
+    }
+}

@@ -59,7 +59,16 @@ fn bench_analyze(c: &mut Criterion) {
         let m = copy_mapping(n);
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("no_redundancy", n), &m, |b, m| {
-            b.iter(|| analyze_with(black_box(m), None, AnalyzeOptions { redundancy: false }))
+            b.iter(|| {
+                analyze_with(
+                    black_box(m),
+                    None,
+                    AnalyzeOptions {
+                        redundancy: false,
+                        ..Default::default()
+                    },
+                )
+            })
         });
     }
 

@@ -1,0 +1,172 @@
+//! E18 — static chase-cost analysis: how fast, and how tight.
+//!
+//! Two questions about the cost pass (DESIGN.md §12):
+//!
+//! * **speed** — `cost_section` must be cheap enough to run on every
+//!   save, like the rest of the lint pipeline (E13). Benched on `n`
+//!   independent copy rules and on an `n`-deep target-tgd chain (the
+//!   worst case for the rank computation) at n = 10/100/1000.
+//! * **tightness** — the bounds are worst cases; how far above an
+//!   actual chase do they land? Measured as predicted/actual ratios on
+//!   two concrete exchanges (a null-inventing copy mapping and a
+//!   3-deep chain) at measured source statistics.
+//!
+//! `DEX_E18_JSON=path cargo bench -p dex-bench --bench e18_cost` skips
+//! criterion and writes the CI smoke artifact instead: one JSON object
+//! with the analysis time per tgd and the per-metric tightness ratios.
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use dex_analyze::cost_section;
+use dex_chase::exchange;
+use dex_logic::{parse_mapping, Mapping};
+use dex_relational::{Bound, Instance, SourceStats, Value};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10)
+}
+
+/// `n` independent null-inventing copy rules `S{i}(x, y) → T{i}(x, z)`.
+fn copy_mapping(n: usize) -> Mapping {
+    let mut text = String::new();
+    for i in 0..n {
+        let _ = writeln!(text, "source S{i}(a, b);");
+        let _ = writeln!(text, "target T{i}(a, b);");
+    }
+    for i in 0..n {
+        let _ = writeln!(text, "S{i}(x, y) -> T{i}(x, z);");
+    }
+    parse_mapping(&text).expect("copy mapping parses")
+}
+
+/// One st-tgd feeding an `n`-deep target-tgd chain
+/// `T{i}(x, y) → T{i+1}(y, z)`: every link invents a null, so the rank
+/// computation walks the whole dependency graph and the existential
+/// strata go as deep as they can.
+fn chain_mapping(n: usize) -> Mapping {
+    let mut text = String::from("source S(a, b);\n");
+    for i in 0..n {
+        let _ = writeln!(text, "target T{i}(a, b);");
+    }
+    text.push_str("S(x, y) -> T0(x, z);\n");
+    for i in 0..n.saturating_sub(1) {
+        let _ = writeln!(text, "T{i}(x, y) -> T{}(y, z);", i + 1);
+    }
+    parse_mapping(&text).expect("chain mapping parses")
+}
+
+fn bench_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e18_cost");
+    for n in [10usize, 100, 1000] {
+        group.throughput(Throughput::Elements(n as u64));
+        let copy = copy_mapping(n);
+        let stats = SourceStats::uniform(1000);
+        group.bench_with_input(BenchmarkId::new("copy", n), &copy, |b, m| {
+            b.iter(|| cost_section(black_box(m), black_box(&stats)))
+        });
+        let chain = chain_mapping(n);
+        group.bench_with_input(BenchmarkId::new("chain", n), &chain, |b, m| {
+            b.iter(|| cost_section(black_box(m), black_box(&stats)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_cost
+}
+
+/// Populate every source relation of `m` with `rows` two-column rows.
+fn populate(m: &Mapping, rows: usize) -> Instance {
+    let mut src = Instance::empty(m.source().clone());
+    let names: Vec<String> = m
+        .source()
+        .relations()
+        .map(|r| r.name().to_string())
+        .collect();
+    for name in names {
+        for k in 0..rows {
+            let t: dex_relational::Tuple = vec![
+                Value::str(format!("a{k}")),
+                Value::str(format!("b{}", k % 3)),
+            ]
+            .into();
+            src.insert(&name, t).expect("fixture row inserts");
+        }
+    }
+    src
+}
+
+/// predicted/actual, with `actual == 0` mapped onto an exact 1.0 when
+/// the prediction is also 0 (nothing predicted, nothing happened).
+fn ratio(predicted: Bound, actual: u64) -> f64 {
+    match (predicted, actual) {
+        (Bound::Finite(0), 0) => 1.0,
+        (Bound::Finite(p), 0) => p as f64,
+        (Bound::Finite(p), a) => p as f64 / a as f64,
+        (Bound::Unbounded, _) => f64::INFINITY,
+    }
+}
+
+/// Tightness ratios for one mapping at measured statistics, as JSON
+/// object fields.
+fn tightness(m: &Mapping, rows: usize) -> String {
+    let src = populate(m, rows);
+    let stats = SourceStats::measure(&src);
+    let bounds = cost_section(m, &stats).bounds;
+    let r = exchange(m, &src).expect("fixture exchange succeeds");
+    format!(
+        "{{\"firings\": {:.2}, \"nulls\": {:.2}, \"tuples\": {:.2}}}",
+        ratio(bounds.firings, r.firings as u64),
+        ratio(bounds.nulls, r.nulls_created as u64),
+        ratio(bounds.tuples, r.target.fact_count() as u64),
+    )
+}
+
+/// The CI smoke artifact: median-of-9 analysis time per tgd on the
+/// 1000-rule shapes, plus predicted/actual tightness on two concrete
+/// exchanges. Everything criterion would measure, at one data point,
+/// in machine-readable form.
+fn smoke(path: &str) {
+    let n = 1000usize;
+    let stats = SourceStats::uniform(1000);
+    let mut us_per_tgd = Vec::new();
+    for m in [copy_mapping(n), chain_mapping(n)] {
+        let mut samples: Vec<f64> = (0..9)
+            .map(|_| {
+                let t = Instant::now();
+                black_box(cost_section(black_box(&m), black_box(&stats)));
+                t.elapsed().as_secs_f64() * 1e6 / n as f64
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        us_per_tgd.push(samples[samples.len() / 2]);
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e18_cost\",\n  \"tgds\": {n},\n  \
+         \"analysis_us_per_tgd\": {{\"copy\": {:.3}, \"chain\": {:.3}}},\n  \
+         \"tightness\": {{\"copy\": {}, \"chain\": {}}}\n}}\n",
+        us_per_tgd[0],
+        us_per_tgd[1],
+        tightness(&copy_mapping(4), 50),
+        tightness(&chain_mapping(3), 50),
+    );
+    std::fs::write(path, &json).expect("write smoke artifact");
+    println!("e18 smoke metrics -> {path}\n{json}");
+}
+
+fn main() {
+    if let Ok(path) = std::env::var("DEX_E18_JSON") {
+        smoke(&path);
+        return;
+    }
+    benches();
+}

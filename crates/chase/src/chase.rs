@@ -463,6 +463,10 @@ fn run_exchange(
     // out across tgds; firing is kept sequential for determinism.
     let nthreads = opts.effective_threads();
     if let Some(src) = src_opt {
+        // `crossbeam::scope` / `join` only err when a worker panicked;
+        // re-raising that panic is the contract — matching has no
+        // partial-result recovery at this level.
+        #[allow(clippy::expect_used)]
         let all_matches: Vec<(usize, Vec<Valuation>)> = if nthreads > 1 {
             // Shard each tgd's premise matching across worker threads.
             // The seed-order merge inside `match_conjunction_sharded`
@@ -674,6 +678,10 @@ fn match_conjunction_sharded(
             .collect();
     }
     let shards = nthreads.min(seeds.len());
+    // `crossbeam::scope` / `join` only err when a worker panicked;
+    // re-raising that panic is the contract — matching has no
+    // partial-result recovery at this level.
+    #[allow(clippy::expect_used)]
     let mut blocks: Vec<(usize, Vec<Valuation>)> = crossbeam::scope(|scope| {
         let handles: Vec<_> = (0..shards)
             .map(|s| {
@@ -706,6 +714,11 @@ fn match_conjunction_sharded(
 /// (shard, delta-order) order. The union is the same match multiset as
 /// the sequential pass — the caller's canonical sort of the firing
 /// list then pins the same firing (and null invention) order.
+///
+/// `crossbeam::scope` / `join` only err when a worker panicked;
+/// re-raising that panic is the contract — matching has no
+/// partial-result recovery at this level.
+#[allow(clippy::expect_used)]
 fn delta_matches_sharded(
     atoms: &[Atom],
     inst: &Instance,

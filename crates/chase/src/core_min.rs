@@ -49,6 +49,10 @@ pub fn core_of_governed(inst: &Instance, gov: &Governor) -> (Instance, Option<Ex
 }
 
 /// The image instance of `inst` under `h`.
+///
+/// `apply_tuple` preserves arity, so re-inserting into a copy of the
+/// same schema cannot fail; a miss is a bug, not a recoverable state.
+#[allow(clippy::expect_used)]
 fn image_of(inst: &Instance, h: &Homomorphism) -> Instance {
     let mut out = Instance::empty(inst.schema().clone());
     for (rel, t) in inst.facts() {
@@ -113,7 +117,11 @@ fn extend_endomorphism(inst: &Instance, seed: Homomorphism) -> Option<Homomorphi
             return true;
         }
         let (rel, t) = &facts[idx];
-        let target = inst.relation(rel.as_str()).expect("same schema");
+        // `facts` was enumerated from `inst` itself, so every relation
+        // name resolves; an endomorphism search never crosses schemas.
+        let Some(target) = inst.relation(rel.as_str()) else {
+            return false;
+        };
         // Bind against candidate rows by reading columns in place.
         for &cand in target.row_ids().iter() {
             let saved = h.clone();

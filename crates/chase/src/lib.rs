@@ -16,6 +16,10 @@
 //! * conjunctive queries and **certain answers** over universal
 //!   solutions.
 
+#![deny(clippy::unwrap_used)]
+#![deny(clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod chase;
 pub mod core_min;
 pub mod error;
@@ -37,6 +41,7 @@ pub use sochase::{so_exchange, so_exchange_governed, SoOutcome};
 // budgets without depending on dex-relational directly.
 pub use dex_relational::{Budget, CancelToken, ExhaustionReport, Governor, TripReason};
 pub use termination::{
-    classify_termination, is_jointly_acyclic, is_weakly_acyclic, verify_witness,
-    weak_acyclicity_witness, CycleWitness, DepEdge, Position, TerminationClass, TerminationReport,
+    classify_termination, existential_depth, is_jointly_acyclic, is_weakly_acyclic, position_ranks,
+    verify_witness, weak_acyclicity_witness, CycleWitness, DepEdge, Position, TerminationClass,
+    TerminationReport,
 };

@@ -283,31 +283,69 @@ pub fn verify_witness(tgds: &[StTgd], witness: &CycleWitness) -> bool {
         }
     }
     let closed = witness.edges.windows(2).all(|w| w[0].to == w[1].from)
-        && witness.edges.last().unwrap().to == witness.edges[0].from;
+        && witness
+            .edges
+            .first()
+            .zip(witness.edges.last())
+            .is_some_and(|(first, last)| last.to == first.from);
     closed && witness.edges.iter().any(|e| e.special)
 }
 
-/// Is this set of tgds **jointly acyclic** (Krötzsch & Rudolph)?
+/// Position *ranks* from the weak-acyclicity dependency graph: the
+/// maximum number of **special** edges on any path ending at each
+/// position. `None` when the tgd set is not weakly acyclic (ranks are
+/// only well defined when no cycle crosses a special edge).
 ///
-/// Per existential variable `y` (variables are considered per-rule, so
-/// no renaming-apart is needed), `Mov(y)` is the least set of positions
-/// containing `y`'s head positions and closed under: if a frontier
-/// variable `x` of any rule occurs in that rule's body *only* at
-/// positions in `Mov(y)`, then `x`'s head positions are in `Mov(y)`.
-/// The existential-dependency graph has an edge `y → y'` iff some
-/// frontier variable of `y'`'s rule has all its body positions in
-/// `Mov(y)`. The set is jointly acyclic iff this graph is acyclic —
-/// a strictly weaker requirement than weak acyclicity.
-pub fn is_jointly_acyclic(tgds: &[StTgd]) -> bool {
-    struct RuleInfo {
-        body_pos: BTreeMap<Name, BTreeSet<Position>>,
-        head_pos: BTreeMap<Name, BTreeSet<Position>>,
-        /// Universal variables exported to the head.
-        frontier: Vec<Name>,
-        /// Head-only variables.
-        existentials: Vec<Name>,
+/// Ranks drive the classical FKMP size bound: a chase over a weakly
+/// acyclic set invents nulls in at most `max rank` "generations", so
+/// the derived instance is polynomial in the source with the maximum
+/// rank as the driver of the degree. Positions that appear in no
+/// dependency edge (constants-only, or never written) are absent from
+/// the map — treat them as rank 0.
+pub fn position_ranks(tgds: &[StTgd]) -> Option<BTreeMap<Position, usize>> {
+    if !is_weakly_acyclic(tgds) {
+        return None;
     }
+    let edges = dependency_edges(tgds);
+    let mut rank: BTreeMap<Position, usize> = BTreeMap::new();
+    for (p, q, _) in edges.keys() {
+        rank.entry(p.clone()).or_insert(0);
+        rank.entry(q.clone()).or_insert(0);
+    }
+    // Bellman-Ford-style fixpoint. Regular cycles propagate equal ranks
+    // and stabilize; special edges only occur on acyclic portions of
+    // the graph (weak acyclicity), so the iteration terminates.
+    loop {
+        let mut changed = false;
+        for (p, q, special) in edges.keys() {
+            let cand = rank.get(p).copied().unwrap_or(0) + usize::from(*special);
+            let r = rank.entry(q.clone()).or_insert(0);
+            if cand > *r {
+                *r = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Some(rank)
+}
 
+struct RuleInfo {
+    body_pos: BTreeMap<Name, BTreeSet<Position>>,
+    head_pos: BTreeMap<Name, BTreeSet<Position>>,
+    /// Universal variables exported to the head.
+    frontier: Vec<Name>,
+    /// Head-only variables.
+    existentials: Vec<Name>,
+}
+
+/// Build the existential-dependency graph of joint acyclicity: one node
+/// per (rule, existential variable), an edge `y → y'` whenever a null
+/// invented for `y` can reach *every* body position of some frontier
+/// variable of `y'`'s rule (so firing `y` can trigger a fresh `y'`).
+fn existential_graph(tgds: &[StTgd]) -> (Vec<(usize, Name)>, Vec<Vec<usize>>) {
     let rules: Vec<RuleInfo> = tgds
         .iter()
         .map(|tgd| {
@@ -394,6 +432,60 @@ pub fn is_jointly_acyclic(tgds: &[StTgd]) -> bool {
             }
         }
     }
+    (nodes, adj)
+}
+
+/// Longest path (counted in *nodes*) through the existential-dependency
+/// graph — the number of null "generations" a jointly acyclic chase can
+/// cascade through. `Some(0)` for a full tgd set (no existentials);
+/// `None` when the graph is cyclic (not jointly acyclic).
+pub fn existential_depth(tgds: &[StTgd]) -> Option<usize> {
+    let (nodes, adj) = existential_graph(tgds);
+    // Memoized longest path; Grey marks an in-progress node, so seeing
+    // one again means a cycle.
+    fn longest(
+        n: usize,
+        adj: &[Vec<usize>],
+        memo: &mut [Option<usize>],
+        on_stack: &mut [bool],
+    ) -> Option<usize> {
+        if let Some(d) = memo[n] {
+            return Some(d);
+        }
+        if on_stack[n] {
+            return None;
+        }
+        on_stack[n] = true;
+        let mut best = 0usize;
+        for &m in &adj[n] {
+            best = best.max(longest(m, adj, memo, on_stack)?);
+        }
+        on_stack[n] = false;
+        memo[n] = Some(best + 1);
+        Some(best + 1)
+    }
+    let mut memo = vec![None; nodes.len()];
+    let mut on_stack = vec![false; nodes.len()];
+    let mut depth = 0usize;
+    for n in 0..nodes.len() {
+        depth = depth.max(longest(n, &adj, &mut memo, &mut on_stack)?);
+    }
+    Some(depth)
+}
+
+/// Is this set of tgds **jointly acyclic** (Krötzsch & Rudolph)?
+///
+/// Per existential variable `y` (variables are considered per-rule, so
+/// no renaming-apart is needed), `Mov(y)` is the least set of positions
+/// containing `y`'s head positions and closed under: if a frontier
+/// variable `x` of any rule occurs in that rule's body *only* at
+/// positions in `Mov(y)`, then `x`'s head positions are in `Mov(y)`.
+/// The existential-dependency graph has an edge `y → y'` iff some
+/// frontier variable of `y'`'s rule has all its body positions in
+/// `Mov(y)`. The set is jointly acyclic iff this graph is acyclic —
+/// a strictly weaker requirement than weak acyclicity.
+pub fn is_jointly_acyclic(tgds: &[StTgd]) -> bool {
+    let (nodes, adj) = existential_graph(tgds);
 
     // Acyclicity via three-color DFS.
     #[derive(Clone, Copy, PartialEq)]
@@ -571,6 +663,52 @@ mod tests {
         let other = vec![parse_tgd("A(x) -> B(x)").unwrap()];
         let w2 = weak_acyclicity_witness(&tgds).unwrap();
         assert!(!verify_witness(&other, &w2));
+    }
+
+    #[test]
+    fn ranks_none_unless_weakly_acyclic() {
+        let tgds = vec![parse_tgd("S(x, y) -> S(y, z)").unwrap()];
+        assert!(position_ranks(&tgds).is_none());
+        assert!(existential_depth(&tgds).is_none());
+    }
+
+    #[test]
+    fn ranks_count_special_edges_on_paths() {
+        // S(x) -> ∃z T(x, z); T(x, y) -> ∃w U(y, w).
+        // T.1 takes one special edge; U.1 takes a path with two.
+        let tgds = vec![
+            parse_tgd("S(x) -> T(x, z)").unwrap(),
+            parse_tgd("T(x, y) -> U(y, w)").unwrap(),
+        ];
+        let ranks = position_ranks(&tgds).unwrap();
+        assert_eq!(ranks[&(Name::new("T"), 1)], 1);
+        assert_eq!(ranks[&(Name::new("U"), 1)], 2);
+        assert_eq!(ranks[&(Name::new("T"), 0)], 0);
+        assert_eq!(ranks.values().copied().max(), Some(2));
+        // Two existential generations: z then w.
+        assert_eq!(existential_depth(&tgds), Some(2));
+    }
+
+    #[test]
+    fn full_tgds_have_rank_zero_and_depth_zero() {
+        let tgds = vec![
+            parse_tgd("S(x, y) -> T(x, y)").unwrap(),
+            parse_tgd("T(x, y) -> S(y, x)").unwrap(),
+        ];
+        let ranks = position_ranks(&tgds).unwrap();
+        assert!(ranks.values().all(|&r| r == 0));
+        assert_eq!(existential_depth(&tgds), Some(0));
+    }
+
+    #[test]
+    fn jointly_acyclic_set_has_depth_but_no_ranks() {
+        // The guarded-feedback set: WA rejects, JA certifies.
+        let tgds = vec![
+            parse_tgd("S(x, y) -> T(y, z)").unwrap(),
+            parse_tgd("T(x, y) & U(y) -> S(x, y)").unwrap(),
+        ];
+        assert!(position_ranks(&tgds).is_none());
+        assert_eq!(existential_depth(&tgds), Some(1));
     }
 
     #[test]

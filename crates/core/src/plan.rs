@@ -19,10 +19,12 @@
 use crate::compiler::compile;
 use crate::error::CoreError;
 use crate::template::{Fidelity, MappingTemplate};
+use dex_chase::TerminationClass;
 use dex_logic::{premise_plan, Mapping, PremisePlan, StTgd};
-use dex_relational::Name;
+use dex_relational::{Bound, ChaseBounds, Name};
 use dex_rellens::NodeSummary;
 use serde::Serialize;
+use std::collections::BTreeMap;
 
 /// Which matcher phase executes a dependency (see `dex-chase`).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
@@ -146,6 +148,40 @@ pub enum LensSection {
     },
 }
 
+/// Static chase-cost section of the plan: per-dependency and per-
+/// relation upper bounds derived from acyclicity structure, evaluated
+/// at assumed source cardinalities. Pure data — the analysis lives in
+/// `dex-analyze`'s cost pass, which fills this in for `dexcli explain`;
+/// [`plan`] itself leaves the field `None`.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize)]
+pub struct CostSection {
+    /// The termination certificate the bounds rest on. `Unknown` makes
+    /// every chase-side bound `unbounded`.
+    pub class: TerminationClass,
+    /// Null "generations" the chase can cascade through: the maximum
+    /// position rank (weakly acyclic) or the existential-dependency
+    /// depth (jointly acyclic).
+    pub strata: Bound,
+    /// Upper bound on the number of distinct values (constants +
+    /// invented nulls) ever live in the target instance.
+    pub value_universe: Bound,
+    /// Per-relation cardinalities the bounds were evaluated at.
+    pub assumed_cards: BTreeMap<Name, u64>,
+    /// Cardinality assumed for relations absent from `assumed_cards`.
+    pub default_card: u64,
+    /// Per-st-tgd firing bounds, in mapping order.
+    pub st_tgd_firings: Vec<Bound>,
+    /// Per-target-tgd firing bounds, in mapping order.
+    pub target_tgd_firings: Vec<Bound>,
+    /// Invented-null bounds per existential position (`"T.1"`-style
+    /// keys, 0-based).
+    pub nulls_per_position: BTreeMap<String, Bound>,
+    /// Tuple bounds per target relation.
+    pub tuples_per_relation: BTreeMap<Name, Bound>,
+    /// The aggregate bounds (`Budget::from_bounds` consumes these).
+    pub bounds: ChaseBounds,
+}
+
 /// A complete, serializable execution plan for a mapping.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize)]
 pub struct MappingPlan {
@@ -157,6 +193,9 @@ pub struct MappingPlan {
     pub target_egds: Vec<EgdPlan>,
     /// The lens section (compiled template or refusal reasons).
     pub lens: LensSection,
+    /// Static cost bounds (filled by the analyzer's cost pass; `None`
+    /// straight out of [`plan`]).
+    pub cost: Option<CostSection>,
 }
 
 fn tgd_plan(
@@ -265,6 +304,7 @@ pub fn plan(mapping: &Mapping) -> MappingPlan {
         target_tgds,
         target_egds,
         lens,
+        cost: None,
     }
 }
 

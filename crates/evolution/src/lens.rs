@@ -73,6 +73,11 @@ impl SmoLens {
     }
 }
 
+// The infallible `SymLens` trait surface adapts the fallible
+// try_forward/try_backward API for SMOs that passed validation at
+// construction; a failure here is a validator bug, not a recoverable
+// state.
+#[allow(clippy::expect_used)]
 impl SymLens for SmoLens {
     type Left = Instance;
     type Right = Instance;

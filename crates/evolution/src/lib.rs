@@ -19,6 +19,10 @@
 //!    *through* the st-tgd mapping, producing a rewritten mapping over
 //!    the evolved schema ([`propagate`], [`propagate_all`]).
 
+#![deny(clippy::unwrap_used)]
+#![deny(clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod channel;
 pub mod error;
 pub mod lens;

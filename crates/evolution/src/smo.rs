@@ -511,9 +511,12 @@ impl Smo {
                 copy_except(src, &mut out, &[table])?;
                 let rel = src.expect_relation(table.as_str())?;
                 for (name, cols) in [left, right] {
+                    // Validation pinned every partition column to the
+                    // table's schema, so position() cannot miss;
+                    // filter_map keeps that invariant panic-free.
                     let positions: Vec<usize> = cols
                         .iter()
-                        .map(|c| rel.schema().position(c.as_str()).expect("validated"))
+                        .filter_map(|c| rel.schema().position(c.as_str()))
                         .collect();
                     for t in rel.iter() {
                         out.insert(name.as_str(), t.project(&positions))?;
@@ -683,14 +686,13 @@ impl Smo {
                 let joined = algebra::natural_join(l, r, table.as_str())?;
                 // Reorder columns to the old schema's order.
                 let old_rel = old_schema.expect_relation(table.as_str())?;
+                // A vertical partition keeps every old column on one
+                // side or the other, so rejoining covers the old
+                // header and position() cannot miss; filter_map keeps
+                // that invariant panic-free.
                 let positions: Vec<usize> = old_rel
                     .attr_names()
-                    .map(|a| {
-                        joined
-                            .schema()
-                            .position(a.as_str())
-                            .expect("partition covers all columns")
-                    })
+                    .filter_map(|a| joined.schema().position(a.as_str()))
                     .collect();
                 for t in joined.iter() {
                     out.insert(table.as_str(), t.project(&positions))?;

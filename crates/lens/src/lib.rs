@@ -20,6 +20,10 @@
 //! * [`laws`] — executable law checking used across the workspace's
 //!   test suites.
 
+#![deny(clippy::unwrap_used)]
+#![deny(clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod asymmetric;
 pub mod edit;
 pub mod laws;

@@ -14,6 +14,10 @@
 //! * the **visual-correspondence compiler** (paper Figure 1): Clio-style
 //!   attribute arrows compiled into st-tgds.
 
+#![deny(clippy::unwrap_used)]
+#![deny(clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod atom;
 pub mod correspondence;
 pub mod eval;

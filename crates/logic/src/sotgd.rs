@@ -238,6 +238,10 @@ struct GroundConstraint {
     rhs: Vec<(Name, Vec<GroundTerm>)>,
 }
 
+// The valuation `m` binds every premise variable by construction (it
+// is built from the same clause's source atoms); a miss is a bug in
+// the enumeration above, not a recoverable condition.
+#[allow(clippy::expect_used)]
 fn ground(t: &Term, m: &BTreeMap<Name, Value>) -> GroundTerm {
     match t {
         Term::Var(v) => GroundTerm::Val(

@@ -19,6 +19,10 @@
 //!   the naive flip is *not* a recovery; Example 3's mapping is *not*
 //!   Fagin-invertible.
 
+#![deny(clippy::unwrap_used)]
+#![deny(clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod compose;
 pub mod error;
 pub mod inverse;

@@ -109,13 +109,15 @@ fn join_parts(a: &Relation, b: &Relation, out_name: &str) -> Result<JoinParts, R
         .filter(|n| b_names.contains(n))
         .cloned()
         .collect();
+    // Shared names were intersected from both schemas, so position()
+    // cannot miss; filter_map keeps that invariant panic-free.
     let shared_a: Vec<usize> = shared
         .iter()
-        .map(|n| a.schema().position(n.as_str()).unwrap())
+        .filter_map(|n| a.schema().position(n.as_str()))
         .collect();
     let shared_b: Vec<usize> = shared
         .iter()
-        .map(|n| b.schema().position(n.as_str()).unwrap())
+        .filter_map(|n| b.schema().position(n.as_str()))
         .collect();
     let b_extra: Vec<usize> = (0..b.schema().arity())
         .filter(|i| !shared_b.contains(i))

@@ -80,6 +80,32 @@ impl Budget {
         self
     }
 
+    /// Synthesize a budget from statically derived chase bounds, each
+    /// scaled by a `safety` factor (≥ 1; use 1 for exact admission).
+    ///
+    /// A finite bound becomes the corresponding cap (saturating at
+    /// `u64::MAX` when the safety product overflows — still a valid,
+    /// merely loose, cap); an unbounded component yields no cap on that
+    /// axis. No deadline is set: the point of static admission control
+    /// is to cap *work*, not wall-clock, which the caller can still
+    /// layer on with [`with_deadline`](Self::with_deadline).
+    ///
+    /// Soundness contract (pinned by the cost-analysis property tests):
+    /// when every component of `bounds` genuinely over-approximates the
+    /// run — as the dex-analyze cost pass guarantees for weakly or
+    /// jointly acyclic mappings — a chase governed by
+    /// `Budget::from_bounds(&bounds, s)` with any `s ≥ 1` never trips.
+    pub fn from_bounds(bounds: &crate::cost::ChaseBounds, safety: u64) -> Self {
+        let cap = |b: crate::cost::Bound| b.finite().map(|n| n.saturating_mul(safety.max(1)));
+        Budget {
+            deadline: None,
+            max_rounds: cap(bounds.rounds),
+            max_tuples: cap(bounds.tuples),
+            max_nulls: cap(bounds.nulls),
+            max_memory_bytes: cap(bounds.bytes),
+        }
+    }
+
     /// Does this budget impose no limit?
     pub fn is_unlimited(&self) -> bool {
         self.deadline.is_none()

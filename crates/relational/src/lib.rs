@@ -21,8 +21,13 @@
 //!   constraint checking (FDs, keys) is explicit and returns structured
 //!   violations rather than panicking.
 
+#![deny(clippy::unwrap_used)]
+#![deny(clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod algebra;
 pub mod columns;
+pub mod cost;
 pub mod error;
 pub mod expr;
 pub mod fail;
@@ -38,6 +43,7 @@ pub mod tuple;
 pub mod value;
 
 pub use columns::{hash_values, ColumnStore};
+pub use cost::{Bound, ChaseBounds, SourceStats};
 pub use error::RelationalError;
 pub use expr::{ArithOp, BinCmp, Expr};
 pub use fd::{Fd, FdSet, FdViolation};

@@ -94,6 +94,9 @@ impl RelLensExpr {
                     });
                 }
                 let mut out = inst.clone();
+                // `expect_relation` above already proved the relation
+                // exists in this instance.
+                #[allow(clippy::expect_used)]
                 let rel = out.relation_mut(n.as_str()).expect("checked above");
                 rel.clear();
                 for t in view.iter() {
@@ -204,15 +207,18 @@ impl RelLensExpr {
 
                 // Column positions of each side within the join header.
                 let jschema = old_join.schema().clone();
+                // `natural_join` headers the output with every attribute
+                // of both inputs, so position() cannot miss; filter_map
+                // keeps that invariant panic-free.
                 let l_pos: Vec<usize> = old_l
                     .schema()
                     .attr_names()
-                    .map(|a| jschema.position(a.as_str()).expect("join header"))
+                    .filter_map(|a| jschema.position(a.as_str()))
                     .collect();
                 let r_pos: Vec<usize> = old_r
                     .schema()
                     .attr_names()
-                    .map(|a| jschema.position(a.as_str()).expect("join header"))
+                    .filter_map(|a| jschema.position(a.as_str()))
                     .collect();
 
                 let mut new_l = old_l.clone();
@@ -350,6 +356,10 @@ impl InstanceLens {
     }
 }
 
+// The infallible `Lens` trait surface adapts the fallible try_* API
+// for lenses that passed validation at construction; a failure here is
+// a validator bug, not a recoverable state.
+#[allow(clippy::expect_used)]
 impl dex_lens::Lens for InstanceLens {
     type Source = Instance;
     type View = Relation;

@@ -247,9 +247,12 @@ fn build(expr: &RelLensExpr, schema: &Schema, inst: &Instance) -> Result<Node, R
         }
         RelLensExpr::Project { input, attrs, .. } => {
             let child_schema = input.view_schema(schema)?;
+            // Validation pinned every projected attribute to the child
+            // schema, so position() cannot miss; filter_map keeps that
+            // invariant panic-free.
             let positions: Vec<usize> = attrs
                 .iter()
-                .map(|a| child_schema.position(a.as_str()).expect("validated"))
+                .filter_map(|a| child_schema.position(a.as_str()))
                 .collect();
             let mut counts: BTreeMap<Tuple, usize> = BTreeMap::new();
             for t in input.get(inst)?.iter() {
@@ -272,13 +275,16 @@ fn build(expr: &RelLensExpr, schema: &Schema, inst: &Instance) -> Result<Node, R
                 .filter(|a| rs.position(a.as_str()).is_some())
                 .cloned()
                 .collect();
+            // Shared names were intersected from both schemas, so
+            // position() cannot miss on either side; filter_map keeps
+            // that invariant panic-free.
             let l_key: Vec<usize> = shared
                 .iter()
-                .map(|a| ls.position(a.as_str()).unwrap())
+                .filter_map(|a| ls.position(a.as_str()))
                 .collect();
             let r_key: Vec<usize> = shared
                 .iter()
-                .map(|a| rs.position(a.as_str()).unwrap())
+                .filter_map(|a| rs.position(a.as_str()))
                 .collect();
             let r_extra: Vec<usize> = (0..rs.arity()).filter(|i| !r_key.contains(i)).collect();
             let mut l_index = TupleIndex::new(l_key);
@@ -356,6 +362,11 @@ fn apply(node: &mut Node, delta: &Delta) -> Result<RelDelta, RellensError> {
             let mut out = RelDelta::default();
             for t in d.deletes {
                 let p = t.project(positions);
+                // Every delete flowing up was counted when the state
+                // was built or inserted; a miss means the delta stream
+                // diverged from the base instance — a caller bug this
+                // layer cannot repair.
+                #[allow(clippy::expect_used)]
                 let cnt = counts.get_mut(&p).expect("delete of counted row");
                 *cnt -= 1;
                 if *cnt == 0 {

@@ -26,6 +26,10 @@
 //! [`revision`] implements the FD-driven *relational revision* operator
 //! used to keep puts consistent with declared dependencies.
 
+#![deny(clippy::unwrap_used)]
+#![deny(clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod ast;
 pub mod error;
 pub mod eval;

@@ -28,8 +28,8 @@
 //! `{"skolem": "f", "args": [...]}`.
 
 use dex::analyze::{
-    analyze, deny_warnings, explain, has_errors, parse_error_diagnostic, render_all,
-    sort_diagnostics, Code,
+    analyze_with, chase_bounds, cost::DEFAULT_CARD, deny_warnings, explain_with, has_errors,
+    parse_error_diagnostic, render_all, sort_diagnostics, AnalyzeOptions, Code,
 };
 use dex::chase::{
     certain_answers_governed, exchange_checkpointed, exchange_governed, resume_exchange, Budget,
@@ -38,7 +38,7 @@ use dex::chase::{
 use dex::core::{compile, Engine, EngineForward, ForwardStats};
 use dex::logic::{parse_mapping, parse_mapping_with_spans, Mapping};
 use dex::ops::{compose, maximum_recovery};
-use dex::relational::{ExhaustionReport, Instance, Schema, Tuple, Value};
+use dex::relational::{ExhaustionReport, Instance, Schema, SourceStats, Tuple, Value};
 use dex::rellens::Environment;
 use dex::store::{fsck, ChaseState, Store, StoreMode, StoreOptions, StoreSink};
 use serde_json::{json, Map, Value as Json};
@@ -109,11 +109,16 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let budget = extract_budget(&mut rest)?;
             let out = extract_output(&mut rest)?;
             let store_opts = extract_store(&mut rest)?;
+            let ctl = extract_cost_controls(&mut rest)?;
             extract_threads(&mut rest)?;
             reject_unknown_flags(&rest)?;
             let mapping_path = rest.first().ok_or(usage)?;
             let (text, m) = load_mapping_text(mapping_path)?;
             let src = load_instance(rest.get(1).ok_or(usage)?, m.source())?;
+            let (budget, predicted) = match admit(&m, &src, &ctl, budget) {
+                Ok(adm) => adm,
+                Err(code) => return Ok(code),
+            };
             let gov = Governor::new(budget);
             let outcome = match &store_opts {
                 Some((dir, opts)) => {
@@ -138,13 +143,19 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     );
                 }
             }
-            finish_chase(outcome, &out, store_opts.as_ref().map(|(d, _)| d.as_path()))
+            finish_chase(
+                outcome,
+                &out,
+                Some(&predicted),
+                store_opts.as_ref().map(|(d, _)| d.as_path()),
+            )
         }
         "exchange" => {
             let mut rest: Vec<&String> = args[1..].iter().collect();
             let budget = extract_budget(&mut rest)?;
             let out = extract_output(&mut rest)?;
             let store_opts = extract_store(&mut rest)?;
+            let ctl = extract_cost_controls(&mut rest)?;
             extract_threads(&mut rest)?;
             reject_unknown_flags(&rest)?;
             let mapping_path = rest.first().ok_or(usage)?;
@@ -153,6 +164,10 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let prev = match rest.get(2) {
                 Some(p) => Some(load_instance(p, m.target())?),
                 None => None,
+            };
+            let (budget, predicted) = match admit(&m, &src, &ctl, budget) {
+                Ok(adm) => adm,
+                Err(code) => return Ok(code),
             };
             let engine = build_engine(&m)?;
             let gov = Governor::new(budget);
@@ -166,7 +181,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let forward = engine
                 .forward_governed(&src, prev.as_ref(), &gov)
                 .map_err(|e| e.to_string())?;
-            finish_forward(forward, &out, store.as_mut())
+            finish_forward(forward, &out, Some(&predicted), store.as_mut())
         }
         "resume" => {
             let mut rest: Vec<&String> = args[1..].iter().collect();
@@ -287,10 +302,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 /// flags and unreadable files exit 1 like any other usage error.
 fn lint(args: &[String]) -> Result<ExitCode, String> {
     let usage = "usage: dexcli lint <mapping.dex>… [--format text|json] [--deny warnings]\n\
+                 \x20                               [--deny-cost <n>] [--cards <spec>]\n\
                  \x20      dexcli lint --explain DEXnnn";
     let mut files: Vec<&String> = Vec::new();
     let mut format = "text";
     let mut deny = false;
+    let mut deny_cost: Option<u64> = None;
+    let mut stats: Option<SourceStats> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -313,6 +331,18 @@ fn lint(args: &[String]) -> Result<ExitCode, String> {
                 Some("warnings") => deny = true,
                 _ => return Err(format!("--deny takes `warnings`\n{usage}")),
             },
+            "--deny-cost" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("--deny-cost requires a value\n{usage}"))?;
+                deny_cost = Some(parse_count(v, "--deny-cost")?);
+            }
+            "--cards" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("--cards requires a value\n{usage}"))?;
+                stats = Some(parse_cards(v)?);
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}`\n{usage}"))
             }
@@ -322,13 +352,18 @@ fn lint(args: &[String]) -> Result<ExitCode, String> {
     if files.is_empty() {
         return Err(usage.into());
     }
+    let options = AnalyzeOptions {
+        stats,
+        deny_cost,
+        ..Default::default()
+    };
 
     let mut failed = false;
     let mut json_report: Vec<Json> = Vec::new();
     for path in files {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let mut diags = match parse_mapping_with_spans(&text) {
-            Ok((m, spans)) => analyze(&m, Some(&spans)),
+            Ok((m, spans)) => analyze_with(&m, Some(&spans), options.clone()),
             Err(e) => vec![parse_error_diagnostic(&e)],
         };
         if deny {
@@ -372,12 +407,16 @@ fn lint(args: &[String]) -> Result<ExitCode, String> {
 /// and position-level provenance. Unparsable mappings print their
 /// `DEX000` diagnostic and exit [`EXIT_LINT`], mirroring `lint`.
 fn explain_cmd(args: &[String]) -> Result<ExitCode, String> {
-    let usage = "usage: dexcli explain <mapping.dex> [--format tree|json|dot]";
+    let usage = "usage: dexcli explain <mapping.dex> [--format tree|json|dot] [--cards <spec>]";
     let mut rest: Vec<&String> = args.iter().collect();
     let format = take_flag_value(&mut rest, "--format")?.unwrap_or_else(|| "tree".into());
     if !matches!(format.as_str(), "tree" | "json" | "dot") {
         return Err(format!("--format takes `tree`, `json` or `dot`\n{usage}"));
     }
+    let stats = match take_flag_value(&mut rest, "--cards")? {
+        Some(spec) => parse_cards(&spec)?,
+        None => SourceStats::uniform(DEFAULT_CARD),
+    };
     reject_unknown_flags(&rest)?;
     let path = rest.first().ok_or(usage)?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -389,7 +428,7 @@ fn explain_cmd(args: &[String]) -> Result<ExitCode, String> {
             return Ok(ExitCode::from(EXIT_LINT));
         }
     };
-    let report = explain(&m, Some(&spans));
+    let report = explain_with(&m, Some(&spans), &stats);
     match format.as_str() {
         "json" => println!(
             "{}",
@@ -476,12 +515,13 @@ fn extract_store(
 fn finish_chase(
     outcome: ChaseOutcome,
     out: &OutputOpts,
+    predicted: Option<&Json>,
     store_dir: Option<&Path>,
 ) -> Result<ExitCode, String> {
     match outcome {
         ChaseOutcome::Complete(res) => {
             if out.stats {
-                emit_stderr(out, chase_stats_json(&res.stats, None), |_| {
+                emit_stderr(out, chase_stats_json(&res.stats, predicted, None), |_| {
                     format!("{}", res.stats)
                 });
             }
@@ -490,9 +530,11 @@ fn finish_chase(
         }
         ChaseOutcome::Exhausted(ex) => {
             if out.json {
-                emit_stderr(out, chase_stats_json(&ex.stats, Some(&ex.report)), |_| {
-                    String::new()
-                });
+                emit_stderr(
+                    out,
+                    chase_stats_json(&ex.stats, predicted, Some(&ex.report)),
+                    |_| String::new(),
+                );
             } else {
                 eprintln!("{}", ex.report);
                 eprintln!("the instance below is a valid partial chase result");
@@ -514,6 +556,7 @@ fn finish_chase(
 fn finish_forward(
     forward: EngineForward,
     out: &OutputOpts,
+    predicted: Option<&Json>,
     store: Option<&mut Store>,
 ) -> Result<ExitCode, String> {
     let persist = |store: Option<&mut Store>, inst: &Instance, complete: bool| {
@@ -532,7 +575,7 @@ fn finish_forward(
         EngineForward::Complete { target, stats } => {
             persist(store, &target, true)?;
             if out.stats {
-                emit_stderr(out, forward_stats_json(&stats, None), |_| {
+                emit_stderr(out, forward_stats_json(&stats, predicted, None), |_| {
                     format!("{stats}")
                 });
             }
@@ -544,7 +587,7 @@ fn finish_forward(
             if out.json {
                 emit_stderr(
                     out,
-                    forward_stats_json(&ForwardStats::default(), Some(&report)),
+                    forward_stats_json(&ForwardStats::default(), predicted, Some(&report)),
                     |_| String::new(),
                 );
             } else {
@@ -567,7 +610,11 @@ fn emit_stderr(out: &OutputOpts, json: Json, text: impl Fn(()) -> String) {
     }
 }
 
-fn chase_stats_json(stats: &ChaseStats, report: Option<&ExhaustionReport>) -> Json {
+fn chase_stats_json(
+    stats: &ChaseStats,
+    predicted: Option<&Json>,
+    report: Option<&ExhaustionReport>,
+) -> Json {
     let ints = |v: &[usize]| Json::Array(v.iter().map(|&n| Json::from(n)).collect());
     json!({
         "stats": json!({
@@ -578,11 +625,16 @@ fn chase_stats_json(stats: &ChaseStats, report: Option<&ExhaustionReport>) -> Js
             "index_builds": stats.index_builds,
             "index_probes": stats.index_probes,
         }),
+        "predicted": predicted.cloned().unwrap_or(Json::Null),
         "exhausted": report.map(report_json).unwrap_or(Json::Null),
     })
 }
 
-fn forward_stats_json(stats: &ForwardStats, report: Option<&ExhaustionReport>) -> Json {
+fn forward_stats_json(
+    stats: &ForwardStats,
+    predicted: Option<&Json>,
+    report: Option<&ExhaustionReport>,
+) -> Json {
     let per_relation: Vec<Json> = stats
         .per_relation
         .iter()
@@ -604,6 +656,7 @@ fn forward_stats_json(stats: &ForwardStats, report: Option<&ExhaustionReport>) -
             "index_builds": stats.index_builds,
             "index_probes": stats.index_probes,
         }),
+        "predicted": predicted.cloned().unwrap_or(Json::Null),
         "exhausted": report.map(report_json).unwrap_or(Json::Null),
     })
 }
@@ -660,7 +713,7 @@ fn resume(dir: &Path, budget: Budget, out: &OutputOpts) -> Result<ExitCode, Stri
                 let outcome =
                     resume_exchange(&m, state, ChaseOptions::default(), &gov, Some(&mut sink))
                         .map_err(|e| e.to_string())?;
-                finish_chase(outcome, out, Some(dir))
+                finish_chase(outcome, out, None, Some(dir))
             }
             None => {
                 eprintln!("no checkpoint on disk; starting the chase from the stored source");
@@ -669,7 +722,7 @@ fn resume(dir: &Path, budget: Budget, out: &OutputOpts) -> Result<ExitCode, Stri
                 let outcome =
                     exchange_checkpointed(&m, &src, ChaseOptions::default(), &gov, &mut sink)
                         .map_err(|e| e.to_string())?;
-                finish_chase(outcome, out, Some(dir))
+                finish_chase(outcome, out, None, Some(dir))
             }
         },
         StoreMode::Exchange => {
@@ -686,7 +739,7 @@ fn resume(dir: &Path, budget: Budget, out: &OutputOpts) -> Result<ExitCode, Stri
             let forward = engine
                 .forward_governed(&src, None, &gov)
                 .map_err(|e| e.to_string())?;
-            finish_forward(forward, out, Some(&mut store))
+            finish_forward(forward, out, None, Some(&mut store))
         }
     }
 }
@@ -721,12 +774,13 @@ commands:
   plan     <mapping.dex>                         compile and show the lens plan
   check    <mapping.dex>                         fidelity + termination report
   lint     <mapping.dex>… [--format text|json] [--deny warnings]
+                          [--deny-cost <n>] [--cards <spec>]
                                                  static analysis (DEX diagnostic codes)
   lint     --explain DEXnnn                      long-form explanation of one code
-  explain  <mapping.dex> [--format tree|json|dot]
+  explain  <mapping.dex> [--format tree|json|dot] [--cards <spec>]
                                                  annotated execution plan: premise order,
-                                                 index probes, null production, lens update
-                                                 policies, position-level provenance
+                                                 index probes, null production, static cost
+                                                 bounds, lens update policies, provenance
   chase    <mapping.dex> <source.json> [--stats] materialize the universal solution
   exchange <mapping.dex> <source.json> [prev.json] [--stats]  lens-engine forward exchange
   backward <mapping.dex> <target.json> <source.json>  propagate target edits back
@@ -743,6 +797,21 @@ resource budgets (chase, exchange, query, resume):
   --max-tuples <n>     cap on derived target tuples
   --max-nulls <n>      cap on invented labeled nulls
   --max-memory <size>  approximate target-size cap: 64k, 10m, 1g (bare = bytes)
+
+cost-based admission control (lint, explain, chase, exchange):
+  --cards <spec>       assumed per-relation cardinalities for the static
+                       cost bounds: Emp=5000,Dept=20,default=100
+                       (lint/explain only; chase/exchange measure the
+                       real source instance instead)
+  --deny-cost <n>      refuse mappings whose predicted headline bound
+                       (max of rounds/firings/tuples/nulls) exceeds n:
+                       lint raises DEX502; chase/exchange exit 2 without
+                       running — non-terminating mappings (DEX501) are
+                       refused at every threshold
+  --auto-budget        chase/exchange: synthesize --max-rounds/-tuples/
+                       -nulls/-memory caps from the predicted bounds
+                       (2x safety headroom); explicit --max-* flags take
+                       precedence; unbounded predictions set no caps
 
 parallelism (chase, exchange, query, resume):
   --threads <n>        matcher worker threads (default 1 = sequential;
@@ -816,6 +885,97 @@ fn extract_budget(rest: &mut Vec<&String>) -> Result<Budget, String> {
         b = b.with_max_memory(parse_size(&v)?);
     }
     Ok(b)
+}
+
+/// Safety factor applied to `--auto-budget` caps. The static bounds
+/// already over-approximate every governor meter (the cost pass's
+/// soundness contract), so any factor ≥ 1 never trips on an admitted
+/// mapping; the doubling is headroom against accounting drift.
+const AUTO_BUDGET_SAFETY: u64 = 2;
+
+/// Cost-based admission controls shared by `chase` and `exchange`.
+struct CostControls {
+    auto_budget: bool,
+    deny_cost: Option<u64>,
+}
+
+/// Extract `--auto-budget` and `--deny-cost <n>` from an argument list.
+fn extract_cost_controls(rest: &mut Vec<&String>) -> Result<CostControls, String> {
+    let auto_budget = match rest.iter().position(|a| a.as_str() == "--auto-budget") {
+        Some(i) => {
+            rest.remove(i);
+            true
+        }
+        None => false,
+    };
+    let deny_cost = match take_flag_value(rest, "--deny-cost")? {
+        Some(v) => Some(parse_count(&v, "--deny-cost")?),
+        None => None,
+    };
+    Ok(CostControls {
+        auto_budget,
+        deny_cost,
+    })
+}
+
+/// Static-cost admission control for `chase`/`exchange`: evaluate the
+/// bounds at the *measured* source statistics, refuse over-threshold
+/// mappings (`--deny-cost`, exit 2 like lint), and synthesize budget
+/// caps (`--auto-budget`; explicit `--max-*` flags take precedence).
+/// Returns the admitted budget plus the predicted bounds as JSON for
+/// `--stats` reporting.
+fn admit(
+    m: &Mapping,
+    src: &Instance,
+    ctl: &CostControls,
+    mut budget: Budget,
+) -> Result<(Budget, Json), ExitCode> {
+    let stats = SourceStats::measure(src);
+    let bounds = chase_bounds(m, &stats);
+    if let Some(threshold) = ctl.deny_cost {
+        let headline = bounds.headline();
+        if headline.exceeds(threshold) {
+            eprintln!(
+                "DEX502: predicted chase cost {headline} exceeds --deny-cost {threshold}; \
+                 refusing to run"
+            );
+            eprintln!(
+                "  bounds at the measured source: rounds <= {}, firings <= {}, \
+                 tuples <= {}, nulls <= {}, bytes <= {}",
+                bounds.rounds, bounds.firings, bounds.tuples, bounds.nulls, bounds.bytes
+            );
+            return Err(ExitCode::from(EXIT_LINT));
+        }
+    }
+    if ctl.auto_budget {
+        let auto = Budget::from_bounds(&bounds, AUTO_BUDGET_SAFETY);
+        budget.max_rounds = budget.max_rounds.or(auto.max_rounds);
+        budget.max_tuples = budget.max_tuples.or(auto.max_tuples);
+        budget.max_nulls = budget.max_nulls.or(auto.max_nulls);
+        budget.max_memory_bytes = budget.max_memory_bytes.or(auto.max_memory_bytes);
+    }
+    let predicted = serde_json::to_value(&bounds).unwrap_or(Json::Null);
+    Ok((budget, predicted))
+}
+
+/// `Emp=5000,Dept=20,default=100`: per-relation cardinalities for the
+/// static cost bounds, with `default` setting the fallback for
+/// unlisted relations.
+fn parse_cards(spec: &str) -> Result<SourceStats, String> {
+    let bad = |part: &str| {
+        format!("--cards takes `Rel=count,…` (optionally `default=count`), got `{part}`")
+    };
+    let mut stats = SourceStats::uniform(DEFAULT_CARD);
+    for part in spec.split(',') {
+        let (name, count) = part.split_once('=').ok_or_else(|| bad(part))?;
+        let n = count.trim().parse::<u64>().map_err(|_| bad(part))?;
+        match name.trim() {
+            "default" => stats.default_card = n,
+            "" => return Err(bad(part)),
+            rel => stats = stats.with_card(rel, n),
+        }
+    }
+    Ok(stats)
 }
 
 /// Extract `--threads <n>` and install it as the process-wide default

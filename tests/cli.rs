@@ -181,6 +181,105 @@ fn query_certain_answers() {
 }
 
 #[test]
+fn deny_cost_refuses_expensive_and_non_terminating_runs() {
+    // A mapping under threshold runs; over threshold is refused with
+    // exit 2 (like lint) before any chase work happens.
+    let m = emp_mapping_file();
+    let src = write_tmp("cost_src.json", r#"{"Emp": [["Alice"], ["Bob"]]}"#);
+    for cmd in ["chase", "exchange"] {
+        let ok = dexcli()
+            .args([cmd, m.to_str().unwrap(), src.to_str().unwrap()])
+            .args(["--deny-cost", "100"])
+            .output()
+            .unwrap();
+        assert_eq!(ok.status.code(), Some(0), "{cmd} under threshold");
+        let refused = dexcli()
+            .args([cmd, m.to_str().unwrap(), src.to_str().unwrap()])
+            .args(["--deny-cost", "1"])
+            .output()
+            .unwrap();
+        assert_eq!(refused.status.code(), Some(2), "{cmd} over threshold");
+        let err = String::from_utf8(refused.stderr).unwrap();
+        assert!(err.contains("DEX502"), "{cmd}: {err}");
+        assert!(
+            String::from_utf8(refused.stdout).unwrap().is_empty(),
+            "{cmd}: refusal must not print a partial instance"
+        );
+    }
+    // Non-jointly-acyclic mappings predict unbounded cost and are
+    // refused at *any* threshold.
+    let bad = write_tmp(
+        "cost_bad.dex",
+        "source Emp(name, mgr);\ntarget Succ(emp, mgr);\n\
+         Emp(x, y) -> Succ(x, y);\nSucc(x, y) -> Succ(y, z);",
+    );
+    let bad_src = write_tmp("cost_bad_src.json", r#"{"Emp": [["a", "b"]]}"#);
+    let out = dexcli()
+        .args(["chase", bad.to_str().unwrap(), bad_src.to_str().unwrap()])
+        .args(["--deny-cost", &u64::MAX.to_string()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unbounded"), "{err}");
+}
+
+#[test]
+fn auto_budget_synthesized_caps_never_trip() {
+    // --auto-budget turns the predicted bounds into governor caps; on
+    // an admitted (weakly acyclic) mapping they must never trip, so the
+    // output matches the unbudgeted run exactly.
+    let m = emp_mapping_file();
+    let src = write_tmp("auto_src.json", r#"{"Emp": [["Alice"], ["Bob"]]}"#);
+    for cmd in ["chase", "exchange"] {
+        let plain = dexcli()
+            .args([cmd, m.to_str().unwrap(), src.to_str().unwrap()])
+            .output()
+            .unwrap();
+        let auto = dexcli()
+            .args([cmd, m.to_str().unwrap(), src.to_str().unwrap()])
+            .arg("--auto-budget")
+            .output()
+            .unwrap();
+        assert_eq!(auto.status.code(), Some(0), "{cmd} with --auto-budget");
+        assert_eq!(plain.stdout, auto.stdout, "{cmd}: budget changed output");
+    }
+    // Explicit caps still take precedence over synthesized ones: a
+    // 0-null cap trips on this null-inventing mapping even with
+    // --auto-budget supplying a laxer one.
+    let out = dexcli()
+        .args(["chase", m.to_str().unwrap(), src.to_str().unwrap()])
+        .args(["--auto-budget", "--max-nulls", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "explicit cap must win");
+}
+
+#[test]
+fn exchange_stats_json_reports_predicted_bounds() {
+    let m = emp_mapping_file();
+    let src = write_tmp("pred_src.json", r#"{"Emp": [["Alice"], ["Bob"]]}"#);
+    for cmd in ["chase", "exchange"] {
+        let out = dexcli()
+            .args([cmd, m.to_str().unwrap(), src.to_str().unwrap()])
+            .args(["--stats", "--format", "json"])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(0), "{cmd}");
+        let stats: serde_json::Value =
+            serde_json::from_str(String::from_utf8(out.stderr).unwrap().trim()).unwrap();
+        let p = &stats["predicted"];
+        // Two source tuples, one null-inventing st-tgd: 2 nulls and 2
+        // tuples exactly; the firing bound also covers potential egd
+        // merges, so it is ≥ the 2 real firings.
+        assert_eq!(p["nulls"].as_u64(), Some(2), "{cmd}: {stats}");
+        assert_eq!(p["tuples"].as_u64(), Some(2), "{cmd}: {stats}");
+        assert!(p["firings"].as_u64() >= Some(2), "{cmd}: {stats}");
+        assert!(p["bytes"].as_u64().is_some(), "{cmd}: {stats}");
+    }
+}
+
+#[test]
 fn bad_instance_reports_error() {
     let m = emp_mapping_file();
     let bad = write_tmp("bad.json", r#"{"Nope": [["x"]]}"#);

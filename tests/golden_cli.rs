@@ -93,6 +93,57 @@ fn explain_json_matches_goldens() {
     }
 }
 
+/// `exchange --stats --format json` carries the statically predicted
+/// chase bounds next to the measured counters. The actuals include
+/// wall-clock timings, so only the `predicted` sub-object — a pure
+/// function of mapping and source — is golden-pinned.
+#[test]
+fn exchange_predicted_bounds_match_golden() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dexcli"))
+        .current_dir(root())
+        .args([
+            "exchange",
+            "examples/mappings/employees.dex",
+            "examples/instances/employees_small.json",
+            "--stats",
+            "--format",
+            "json",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stats: serde_json::Value =
+        serde_json::from_str(String::from_utf8(out.stderr).unwrap().trim()).unwrap();
+    let predicted = &stats["predicted"];
+    assert!(
+        predicted.as_object().is_some(),
+        "missing predicted bounds: {stats}"
+    );
+    let got = format!("{}\n", serde_json::to_string_pretty(predicted).unwrap());
+    let path = root().join("tests/goldens/exchange/employees_predicted.json");
+    if std::env::var_os("BLESS").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run `BLESS=1 cargo test --test golden_cli`",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "predicted bounds drifted; if intentional, re-bless with \
+         `BLESS=1 cargo test --test golden_cli` and review the diff"
+    );
+}
+
 /// Output is byte-identical across runs — diagnostics are sorted by
 /// (file, span, code) and the JSON maps are BTreeMap-backed, so there
 /// is no iteration-order or hash-seed dependence to leak through.

@@ -131,3 +131,57 @@ fn multiple_files_lint_in_one_invocation() {
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("error[DEX104]"), "{text}");
 }
+
+#[test]
+fn non_terminating_fixture_also_warns_dex501() {
+    let out = dexcli()
+        .arg("lint")
+        .arg(fixture("bad_non_terminating.dex"))
+        .output()
+        .unwrap();
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("warning[DEX501]"), "{text}");
+    assert!(text.contains("no budget can be synthesized"), "{text}");
+}
+
+#[test]
+fn deny_cost_raises_dex502_and_cards_parameterize_it() {
+    // employees.dex joins Emp and Dept: 10^6 firings at the default
+    // uniform cardinality of 1000 — over a threshold of 100.
+    let over = dexcli()
+        .arg("lint")
+        .args(["--deny-cost", "100"])
+        .arg(fixture("employees.dex"))
+        .output()
+        .unwrap();
+    assert_eq!(over.status.code(), Some(2));
+    let text = String::from_utf8(over.stdout).unwrap();
+    assert!(text.contains("error[DEX502]"), "{text}");
+
+    // With honest small cardinalities the same threshold admits it.
+    let under = dexcli()
+        .arg("lint")
+        .args(["--deny-cost", "100", "--cards", "Emp=5,Dept=2,default=0"])
+        .arg(fixture("employees.dex"))
+        .output()
+        .unwrap();
+    assert_eq!(
+        under.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&under.stdout)
+    );
+}
+
+#[test]
+fn bad_cards_spec_is_a_usage_error() {
+    let out = dexcli()
+        .arg("lint")
+        .args(["--cards", "Emp=banana"])
+        .arg(fixture("employees.dex"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--cards"), "{err}");
+}
