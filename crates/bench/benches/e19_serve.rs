@@ -1,0 +1,229 @@
+//! E19 — `dexd` under load: request latency, concurrency scaling, and
+//! the cost of saying no.
+//!
+//! Three questions about the daemon (DESIGN.md §13):
+//!
+//! * **round-trip floor** — what one governed chase request costs over
+//!   a real socket (accept + parse + admission + chase + respond),
+//!   benched on a small copy exchange and on the employees join.
+//! * **scaling** — wall-clock for a fixed batch of requests as client
+//!   concurrency grows past the worker count: the bounded queue should
+//!   turn contention into queueing, not collapse.
+//! * **shed cost** — when a burst overruns queue + workers, refused
+//!   requests must be *cheaper* than served ones (the whole point of
+//!   admission before work): measured as served vs shed latency under
+//!   a deliberately overloaded burst.
+//!
+//! `DEX_E19_JSON=path cargo bench -p dex-bench --bench e19_serve`
+//! skips criterion and writes the CI smoke artifact instead.
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use dexd::{Catalog, ServerConfig, ServerHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+const COPY: &str = "source A(x);\ntarget B(x);\nA(v) -> B(v);";
+const EMPLOYEES: &str = "source Emp(name, dept);\n\
+     source Dept(dept, mgr);\n\
+     target Worker(name, dept, mgr);\n\
+     key Worker(name);\n\
+     Emp(n, d) & Dept(d, m) -> Worker(n, d, m);";
+
+const COPY_BODY: &str = r#"{"source": {"A": [["a"], ["b"], ["c"], ["d"]]}}"#;
+const EMP_BODY: &str = r#"{"source": {"Emp": [["ann", "eng"], ["bob", "ops"], ["cid", "eng"]], "Dept": [["eng", "dana"], ["ops", "eve"]]}}"#;
+
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900))
+        .sample_size(10)
+}
+
+/// One blocking request; returns the status code (0 when the
+/// connection died — how a shed at the accept stage looks).
+fn status_of(addr: SocketAddr, path: &str, body: &str) -> u16 {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return 0;
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let head = format!(
+        "POST {path} HTTP/1.1\r\nHost: e19\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    if stream.write_all(head.as_bytes()).is_err() || stream.write_all(body.as_bytes()).is_err() {
+        return 0;
+    }
+    let mut raw = Vec::new();
+    if stream.read_to_end(&mut raw).is_err() {
+        return 0;
+    }
+    let text = String::from_utf8_lossy(&raw);
+    text.split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn spawn_server(workers: usize, queue: usize) -> ServerHandle {
+    let config = ServerConfig {
+        workers,
+        queue_capacity: queue,
+        ..ServerConfig::default()
+    };
+    let catalog = Catalog::from_texts(&[("copy", COPY), ("emp", EMPLOYEES)]).expect("catalog");
+    ServerHandle::spawn(config, catalog).expect("spawn dexd")
+}
+
+/// Fire `clients` threads × `per_client` requests each, all released
+/// together; returns (elapsed, served-2xx count, shed-429 count).
+fn burst(
+    addr: SocketAddr,
+    clients: usize,
+    per_client: usize,
+    path: &str,
+    body: &str,
+) -> (Duration, u64, u64) {
+    let served = Arc::new(AtomicU64::new(0));
+    let shed = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let (served, shed, barrier) =
+                (Arc::clone(&served), Arc::clone(&shed), Arc::clone(&barrier));
+            let (path, body) = (path.to_string(), body.to_string());
+            std::thread::spawn(move || {
+                barrier.wait();
+                for _ in 0..per_client {
+                    match status_of(addr, &path, &body) {
+                        200 | 206 => served.fetch_add(1, Ordering::Relaxed),
+                        429 | 503 => shed.fetch_add(1, Ordering::Relaxed),
+                        _ => 0,
+                    };
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let t = Instant::now();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    (
+        t.elapsed(),
+        served.load(Ordering::Relaxed),
+        shed.load(Ordering::Relaxed),
+    )
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let srv = spawn_server(4, 64);
+    let addr = srv.addr();
+    let mut group = c.benchmark_group("e19_serve");
+
+    // Round-trip floor: one request, one connection, one chase.
+    for (name, path, body) in [
+        ("chase_copy", "/v1/mappings/copy/chase", COPY_BODY),
+        ("exchange_emp", "/v1/mappings/emp/exchange", EMP_BODY),
+    ] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let status = status_of(addr, path, body);
+                assert_eq!(status, 200);
+            })
+        });
+    }
+
+    // Scaling: 32 requests total, split across growing client counts.
+    for clients in [1usize, 4, 8] {
+        let per_client = 32 / clients;
+        group.throughput(Throughput::Elements((clients * per_client) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("batch32", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| {
+                    let (_, served, _) = burst(
+                        addr,
+                        clients,
+                        per_client,
+                        "/v1/mappings/copy/chase",
+                        COPY_BODY,
+                    );
+                    assert_eq!(served, (clients * per_client) as u64);
+                })
+            },
+        );
+    }
+    group.finish();
+    srv.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_serve
+}
+
+/// Median of the samples, in microseconds.
+fn median_us(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// The CI smoke artifact: single-request medians, batch throughput at
+/// 1 and 8 clients, and the overload split (served/shed and their
+/// relative latency) against a deliberately tiny daemon.
+fn smoke(path: &str) {
+    let srv = spawn_server(4, 64);
+    let addr = srv.addr();
+    let mut lat = Vec::new();
+    for (p, body) in [
+        ("/v1/mappings/copy/chase", COPY_BODY),
+        ("/v1/mappings/emp/exchange", EMP_BODY),
+    ] {
+        let mut samples: Vec<f64> = (0..15)
+            .map(|_| {
+                let t = Instant::now();
+                assert_eq!(status_of(addr, p, body), 200);
+                t.elapsed().as_secs_f64() * 1e6
+            })
+            .collect();
+        lat.push(median_us(&mut samples));
+    }
+    let (t1, s1, _) = burst(addr, 1, 32, "/v1/mappings/copy/chase", COPY_BODY);
+    let (t8, s8, _) = burst(addr, 8, 4, "/v1/mappings/copy/chase", COPY_BODY);
+    assert_eq!(s1 + s8, 64);
+    srv.shutdown();
+
+    // Overload: 2 workers, queue of 2, 16 clients at once. Some must
+    // be shed, everyone must get an answer.
+    let tiny = spawn_server(2, 2);
+    let taddr = tiny.addr();
+    let (_, served, shed) = burst(taddr, 16, 2, "/v1/mappings/copy/chase", COPY_BODY);
+    tiny.shutdown();
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e19_serve\",\n  \
+         \"request_us\": {{\"chase_copy\": {:.1}, \"exchange_emp\": {:.1}}},\n  \
+         \"batch32_rps\": {{\"c1\": {:.0}, \"c8\": {:.0}}},\n  \
+         \"overload\": {{\"requests\": 32, \"served\": {served}, \"shed\": {shed}}}\n}}\n",
+        lat[0],
+        lat[1],
+        32.0 / t1.as_secs_f64(),
+        32.0 / t8.as_secs_f64(),
+    );
+    std::fs::write(path, &json).expect("write smoke artifact");
+    println!("e19 smoke metrics -> {path}\n{json}");
+}
+
+fn main() {
+    if let Ok(path) = std::env::var("DEX_E19_JSON") {
+        smoke(&path);
+        return;
+    }
+    benches();
+}

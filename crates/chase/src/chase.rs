@@ -10,6 +10,7 @@ use dex_relational::{
     hash_values, ExhaustionReport, Governor, Instance, Name, NullGen, NullId, RelationalError,
     TripReason, Tuple, Value,
 };
+use serde::{Serialize, Serializer};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Which chase to run for the source-to-target phase.
@@ -142,6 +143,42 @@ pub struct ChaseStats {
     pub index_builds: u64,
     /// Index probes served across source and target.
     pub index_probes: u64,
+}
+
+/// Version tag of the [`ChaseStats`] JSON wire format. The stats
+/// object rides the `dexcli --stats --format json` stderr channel and
+/// `dexd` chase responses; bump this on any incompatible reshaping so
+/// clients can dispatch on `"v"`.
+pub const CHASE_STATS_WIRE_V: u64 = 1;
+
+// Stable versioned wire shape: a leading `"v"` tag, counts widened to
+// u64 so the format is independent of the host's `usize`. Field names
+// are load-bearing; goldens pin them.
+#[derive(Serialize)]
+struct ChaseStatsWire {
+    v: u64,
+    st_firings: u64,
+    rounds: u64,
+    firings_per_round: Vec<u64>,
+    delta_sizes: Vec<u64>,
+    index_builds: u64,
+    index_probes: u64,
+}
+
+impl Serialize for ChaseStats {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let widen = |v: &[usize]| v.iter().map(|&n| n as u64).collect();
+        ChaseStatsWire {
+            v: CHASE_STATS_WIRE_V,
+            st_firings: self.st_firings as u64,
+            rounds: self.rounds as u64,
+            firings_per_round: widen(&self.firings_per_round),
+            delta_sizes: widen(&self.delta_sizes),
+            index_builds: self.index_builds,
+            index_probes: self.index_probes,
+        }
+        .serialize(s)
+    }
 }
 
 impl std::fmt::Display for ChaseStats {

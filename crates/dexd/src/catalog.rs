@@ -1,0 +1,232 @@
+//! The mapping catalog: every named mapping the daemon serves.
+//!
+//! Loaded once at startup and shared read-mostly: the catalog is an
+//! immutable `BTreeMap` of [`Arc`]-ed entries, so workers resolve a
+//! tenant with one map lookup and no lock. Per-entry *mutable* state
+//! is confined to atomics — the in-flight gauge backing the per-tenant
+//! cap, served/shed counters, and the quarantine flag a panic barrier
+//! sets. A poisoned entry stays loaded (its name still resolves, its
+//! stats still render) but every operation on it answers 503 until
+//! the daemon restarts: a deterministic bug in one tenant's mapping
+//! must not be retried into a crash loop while other tenants share
+//! the process.
+
+use dex_core::{compile, Engine};
+use dex_logic::{parse_mapping_with_spans, Mapping, SourceMap};
+use dex_rellens::Environment;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One served mapping and its per-tenant runtime state.
+pub struct CatalogEntry {
+    /// The catalog key, also the URL path segment.
+    pub name: String,
+    /// The mapping source text, verbatim (persisted into stores).
+    pub text: String,
+    /// The parsed mapping.
+    pub mapping: Mapping,
+    /// Span side table for diagnostics with carets.
+    pub spans: SourceMap,
+    /// The compiled lens engine, or the refusal reason: `exchange` and
+    /// `put` need it, `chase`/`lint`/`explain` run off the mapping
+    /// alone.
+    pub engine: Result<Engine, String>,
+    poisoned: AtomicBool,
+    in_flight: AtomicU64,
+    served: AtomicU64,
+    shed: AtomicU64,
+    panics: AtomicU64,
+    store_seq: AtomicU64,
+}
+
+impl CatalogEntry {
+    fn new(name: &str, text: String) -> Result<Self, String> {
+        let (mapping, spans) =
+            parse_mapping_with_spans(&text).map_err(|e| format!("mapping `{name}`: {e}"))?;
+        let engine = compile(&mapping)
+            .map_err(|e| e.to_string())
+            .and_then(|t| Engine::new(t, Environment::new()).map_err(|e| e.to_string()));
+        Ok(CatalogEntry {
+            name: name.to_string(),
+            text,
+            mapping,
+            spans,
+            engine,
+            poisoned: AtomicBool::new(false),
+            in_flight: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            store_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// Quarantine this mapping after a panic escaped one of its
+    /// requests. Sticky until restart.
+    pub fn poison(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Is this mapping quarantined?
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Try to claim an in-flight slot; `None` when `cap` concurrent
+    /// requests are already running against this mapping (the caller
+    /// sheds with 429). `cap == 0` means uncapped.
+    pub fn try_begin(self: &Arc<Self>, cap: u64) -> Option<InFlightGuard> {
+        let prev = self.in_flight.fetch_add(1, Ordering::AcqRel);
+        if cap > 0 && prev >= cap {
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        self.served.fetch_add(1, Ordering::Relaxed);
+        Some(InFlightGuard(Arc::clone(self)))
+    }
+
+    /// Next per-entry store-directory sequence number.
+    pub fn next_store_seq(&self) -> u64 {
+        self.store_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Stats snapshot for `/statz`.
+    pub fn stats_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "served": self.served.load(Ordering::Relaxed),
+            "in_flight": self.in_flight.load(Ordering::Relaxed),
+            "shed": self.shed.load(Ordering::Relaxed),
+            "panics": self.panics.load(Ordering::Relaxed),
+            "poisoned": self.is_poisoned(),
+            "compiles": self.engine.is_ok(),
+        })
+    }
+}
+
+/// RAII in-flight slot: decrements the gauge on drop, even when the
+/// request panics (the guard lives across the panic barrier).
+pub struct InFlightGuard(Arc<CatalogEntry>);
+
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// The immutable, share-by-`Arc` catalog.
+pub struct Catalog {
+    entries: BTreeMap<String, Arc<CatalogEntry>>,
+}
+
+/// Is `name` usable as both a catalog key and a URL path segment?
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 128
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.')
+}
+
+impl Catalog {
+    /// Build a catalog from `(name, mapping text)` pairs. Every text
+    /// must parse; compilation may fail (the entry then serves only
+    /// the chase/analysis endpoints).
+    pub fn from_texts<N, T>(specs: &[(N, T)]) -> Result<Self, String>
+    where
+        N: AsRef<str>,
+        T: AsRef<str>,
+    {
+        let mut entries = BTreeMap::new();
+        for (name, text) in specs {
+            let name = name.as_ref();
+            if !valid_name(name) {
+                return Err(format!(
+                    "invalid mapping name `{name}` (use [A-Za-z0-9._-], max 128 chars)"
+                ));
+            }
+            let entry = CatalogEntry::new(name, text.as_ref().to_string())?;
+            if entries.insert(name.to_string(), Arc::new(entry)).is_some() {
+                return Err(format!("duplicate mapping name `{name}`"));
+            }
+        }
+        if entries.is_empty() {
+            return Err("catalog is empty: serve at least one mapping".to_string());
+        }
+        Ok(Catalog { entries })
+    }
+
+    /// Build a catalog by reading `(name, path)` mapping files.
+    pub fn load(specs: &[(String, std::path::PathBuf)]) -> Result<Self, String> {
+        let mut texts = Vec::with_capacity(specs.len());
+        for (name, path) in specs {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            texts.push((name.clone(), text));
+        }
+        Catalog::from_texts(&texts)
+    }
+
+    /// Look up a tenant.
+    pub fn get(&self, name: &str) -> Option<&Arc<CatalogEntry>> {
+        self.entries.get(name)
+    }
+
+    /// Every entry, in name order.
+    pub fn entries(&self) -> impl Iterator<Item = &Arc<CatalogEntry>> {
+        self.entries.values()
+    }
+
+    /// Number of loaded mappings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Never true — `from_texts` refuses empty catalogs — but clippy
+    /// (rightly) wants `len` paired with `is_empty`.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EMP: &str = "source Emp(name);\ntarget Manager(emp, mgr);\nEmp(x) -> Manager(x, y);";
+
+    #[test]
+    fn catalog_rejects_bad_names_and_duplicates() {
+        assert!(Catalog::from_texts(&[("a/b", EMP)]).is_err());
+        assert!(Catalog::from_texts(&[("", EMP)]).is_err());
+        assert!(Catalog::from_texts(&[("emp", EMP), ("emp", EMP)]).is_err());
+        let empty: &[(&str, &str)] = &[];
+        assert!(Catalog::from_texts(empty).is_err());
+    }
+
+    #[test]
+    fn poisoning_is_sticky_and_visible_in_stats() {
+        let cat = Catalog::from_texts(&[("emp", EMP)]).unwrap();
+        let e = cat.get("emp").unwrap();
+        assert!(!e.is_poisoned());
+        e.poison();
+        assert!(e.is_poisoned());
+        let s = e.stats_json();
+        assert_eq!(s["poisoned"].as_bool(), Some(true));
+        assert_eq!(s["panics"].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn in_flight_cap_sheds_and_guard_releases() {
+        let cat = Catalog::from_texts(&[("emp", EMP)]).unwrap();
+        let e = cat.get("emp").unwrap();
+        let g1 = e.try_begin(2).unwrap();
+        let _g2 = e.try_begin(2).unwrap();
+        assert!(e.try_begin(2).is_none(), "third concurrent request sheds");
+        drop(g1);
+        assert!(e.try_begin(2).is_some(), "slot freed on guard drop");
+        assert!(e.try_begin(0).is_some(), "cap 0 = uncapped");
+    }
+}

@@ -1,0 +1,454 @@
+//! Request routing and execution: the `/v1/mappings/{name}/{op}`
+//! pipeline with its robustness ladder.
+//!
+//! Every mapping operation climbs the same ladder, cheapest refusal
+//! first, so a request that will not be served costs as little as
+//! possible:
+//!
+//! 1. **resolve** — unknown mapping or operation → 404;
+//! 2. **quarantine** — the mapping previously escaped a panic → 503;
+//! 3. **per-tenant cap** — too many in-flight requests against this
+//!    mapping → 429 + `Retry-After` (one hostile tenant cannot occupy
+//!    every worker);
+//! 4. **parse** — malformed body JSON or instance → 400;
+//! 5. **admission** — the static cost pass proves the chase would blow
+//!    the configured ceiling (DEX502-style) → 422 *before a single
+//!    tuple is chased*;
+//! 6. **budget** — server defaults ∩ request overrides ∩ synthesized
+//!    `Budget::from_bounds` caps, plus the server's drain
+//!    [`CancelToken`](dex_relational::CancelToken): exhaustion
+//!    mid-run returns a typed partial
+//!    result (206 + `ExhaustionReport`), not an error;
+//! 7. **panic barrier** — a panic inside the operation is caught,
+//!    answered with 500, and quarantines the mapping.
+
+use crate::catalog::CatalogEntry;
+use crate::http::{Request, Response};
+use crate::json::{instance_from_json, instance_to_json};
+use crate::server::ServerCtx;
+use dex_analyze::{analyze_with, chase_bounds, explain_with, has_errors, sort_diagnostics};
+use dex_chase::{exchange_checkpointed, exchange_governed, ChaseOptions, ChaseOutcome, Governor};
+use dex_core::EngineForward;
+use dex_relational::budget_args::BudgetArgs;
+use dex_relational::{fail, Budget, Instance, SourceStats};
+use dex_store::{Store, StoreMode, StoreOptions, StoreSink};
+use serde_json::{json, Map, Value as Json};
+use std::sync::Arc;
+
+/// Safety factor for synthesized admission budgets, mirroring the
+/// CLI's `--auto-budget` (see `dexcli`): the static bounds are sound
+/// over-approximations, so any factor ≥ 1 never trips an admitted
+/// mapping; 2 is headroom against accounting drift.
+const AUTO_BUDGET_SAFETY: u64 = 2;
+
+/// Route one parsed request to its handler. Never panics outward —
+/// the caller still wraps dispatch in the per-request panic barrier,
+/// but everything before dispatch is plain error handling.
+pub fn route(req: &Request, ctx: &ServerCtx) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::json(200, json!({"v": 1, "status": "ok"})),
+        ("GET", "/readyz") => {
+            if ctx.is_draining() {
+                Response::error(503, "draining", "shutting down: not accepting new work")
+                    .with_retry_after(1)
+            } else {
+                Response::json(200, json!({"v": 1, "status": "ready"}))
+            }
+        }
+        ("GET", "/statz") => Response::json(200, ctx.statz()),
+        (method, path) => match path.strip_prefix("/v1/mappings/") {
+            Some(rest) => mapping_request(method, rest, &req.body, ctx),
+            None => Response::error(404, "not_found", format!("no route for {path}")),
+        },
+    }
+}
+
+/// `/v1/mappings/{name}/{op}` dispatch: the robustness ladder steps
+/// 1–3, then per-operation execution behind the panic barrier.
+fn mapping_request(method: &str, rest: &str, body: &[u8], ctx: &ServerCtx) -> Response {
+    let Some((name, op)) = rest.split_once('/') else {
+        return Response::error(404, "not_found", "expected /v1/mappings/{name}/{op}");
+    };
+    const OPS: &[&str] = &["compile", "lint", "explain", "chase", "exchange", "put"];
+    if !OPS.contains(&op) {
+        return Response::error(
+            404,
+            "unknown_operation",
+            format!(
+                "unknown operation `{op}` (expected one of {})",
+                OPS.join(", ")
+            ),
+        );
+    }
+    if method != "POST" {
+        return Response::error(405, "method_not_allowed", "mapping operations are POST");
+    }
+    let Some(entry) = ctx.catalog.get(name) else {
+        return Response::error(404, "unknown_mapping", format!("no mapping named `{name}`"));
+    };
+    if entry.is_poisoned() {
+        return Response::error(
+            503,
+            "quarantined",
+            "mapping quarantined after an internal panic; restart dexd to clear",
+        );
+    }
+    let Some(_guard) = entry.try_begin(ctx.config.max_inflight_per_mapping) else {
+        ctx.stats.note_shed_tenant();
+        return Response::error(
+            429,
+            "tenant_overloaded",
+            format!(
+                "mapping `{name}` already has {} request(s) in flight",
+                ctx.config.max_inflight_per_mapping
+            ),
+        )
+        .with_retry_after(1);
+    };
+    let body: Json = if body.is_empty() {
+        Json::Object(Map::new())
+    } else {
+        let text = match std::str::from_utf8(body) {
+            Ok(t) => t,
+            Err(e) => return Response::error(400, "bad_json", format!("request body: {e}")),
+        };
+        match serde_json::from_str(text) {
+            Ok(j) => j,
+            Err(e) => return Response::error(400, "bad_json", format!("request body: {e}")),
+        }
+    };
+    // Deterministic dispatch-layer fault injection (chaos matrix): an
+    // injected error answers 500 like any internal failure; an
+    // injected panic exercises the barrier below.
+    if let Some(e) = fail::hit("server.dispatch") {
+        ctx.stats.note_error();
+        return Response::error(500, "internal", e);
+    }
+    // The panic barrier: a panicking operation answers 500 and
+    // quarantines the mapping (the daemon's analogue of the CLI's
+    // exit-70 contract), and the in-flight guard above still releases
+    // its slot on unwind.
+    let entry = Arc::clone(entry);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        execute(op, &entry, &body, ctx)
+    }));
+    match outcome {
+        Ok(resp) => resp,
+        Err(_) => {
+            entry.poison();
+            ctx.stats.note_panic();
+            Response::error(
+                500,
+                "panic",
+                format!(
+                    "internal panic while serving `{op}`; mapping `{}` quarantined",
+                    entry.name
+                ),
+            )
+        }
+    }
+}
+
+/// Execute one operation against one catalog entry (ladder steps 4–6).
+fn execute(op: &str, entry: &CatalogEntry, body: &Json, ctx: &ServerCtx) -> Response {
+    match op {
+        "compile" => compile_op(entry),
+        "lint" => lint_op(entry),
+        "explain" => explain_op(entry),
+        "chase" => chase_op(entry, body, ctx),
+        "exchange" => exchange_op(entry, body, ctx),
+        "put" => put_op(entry, body),
+        // Unreachable: `mapping_request` filtered on OPS.
+        other => Response::error(404, "unknown_operation", other),
+    }
+}
+
+fn envelope(entry: &CatalogEntry, op: &str) -> Map<String, Json> {
+    let mut m = Map::new();
+    m.insert("v".into(), json!(1));
+    m.insert("mapping".into(), json!(&entry.name));
+    m.insert("op".into(), json!(op));
+    m
+}
+
+fn compile_op(entry: &CatalogEntry) -> Response {
+    let mut body = envelope(entry, "compile");
+    match &entry.engine {
+        Ok(engine) => {
+            let t = engine.template();
+            body.insert("compiled".into(), json!(true));
+            body.insert(
+                "holes".into(),
+                Json::Array(t.holes.iter().map(|h| json!(h.to_string())).collect()),
+            );
+            body.insert("report".into(), json!(t.report.to_string()));
+            Response::json(200, Json::Object(body))
+        }
+        Err(reason) => {
+            body.insert("compiled".into(), json!(false));
+            body.insert(
+                "error".into(),
+                json!({"kind": "uncompilable", "message": reason}),
+            );
+            Response::json(422, Json::Object(body))
+        }
+    }
+}
+
+fn lint_op(entry: &CatalogEntry) -> Response {
+    let mut diags = analyze_with(&entry.mapping, Some(&entry.spans), Default::default());
+    sort_diagnostics(&mut diags);
+    let failed = has_errors(&diags);
+    let mut body = envelope(entry, "lint");
+    body.insert(
+        "diagnostics".into(),
+        serde_json::to_value(&diags).unwrap_or(Json::Null),
+    );
+    body.insert("errors".into(), json!(failed));
+    // Mirrors `dexcli lint`'s exit-2 contract: diagnostics are data,
+    // but a mapping with errors is unprocessable.
+    Response::json(if failed { 422 } else { 200 }, Json::Object(body))
+}
+
+fn explain_op(entry: &CatalogEntry) -> Response {
+    let stats = SourceStats::uniform(dex_analyze::cost::DEFAULT_CARD);
+    let report = explain_with(&entry.mapping, Some(&entry.spans), &stats);
+    let mut body = envelope(entry, "explain");
+    body.insert("plan".into(), report.to_json());
+    Response::json(200, Json::Object(body))
+}
+
+/// Parse the `budget` override object, admit against the static cost
+/// bounds, and derive the effective request budget:
+/// `server default ∩ request overrides ∩ from_bounds(bounds) × safety`.
+/// `Err` is the refusal response (400 bad override / 422 admission).
+fn admit(
+    entry: &CatalogEntry,
+    src: &Instance,
+    body: &Json,
+    ctx: &ServerCtx,
+) -> Result<Budget, Response> {
+    let mut args = BudgetArgs::new();
+    if let Some(overrides) = body.get("budget") {
+        let Some(obj) = overrides.as_object() else {
+            return Err(Response::error(
+                400,
+                "bad_budget",
+                "`budget` must be an object",
+            ));
+        };
+        for (key, value) in obj {
+            let text = match value {
+                Json::String(s) => s.clone(),
+                Json::Number(n) => n.to_string(),
+                other => {
+                    return Err(Response::error(
+                        400,
+                        "bad_budget",
+                        format!("budget.{key}: expected a string or number, got {other}"),
+                    ))
+                }
+            };
+            if let Err(e) = args.set(key, &text) {
+                return Err(Response::error(400, "bad_budget", e));
+            }
+        }
+    }
+    let stats = SourceStats::measure(src);
+    let bounds = chase_bounds(&entry.mapping, &stats);
+    if let Some(threshold) = ctx.config.deny_cost {
+        let headline = bounds.headline();
+        if headline.exceeds(threshold) {
+            ctx.stats.note_refused();
+            let mut resp = envelope(entry, "admission");
+            resp.insert(
+                "error".into(),
+                json!({
+                    "kind": "admission_refused",
+                    "message": format!(
+                        "DEX502: predicted chase cost {headline} exceeds the server's \
+                         deny-cost ceiling {threshold}; refusing before chasing"
+                    ),
+                }),
+            );
+            resp.insert(
+                "predicted".into(),
+                serde_json::to_value(&bounds).unwrap_or(Json::Null),
+            );
+            return Err(Response::json(422, Json::Object(resp)));
+        }
+    }
+    let mut budget = ctx.config.default_budget.intersect(args.budget());
+    if ctx.config.auto_budget {
+        budget = budget.intersect(Budget::from_bounds(&bounds, AUTO_BUDGET_SAFETY));
+    }
+    Ok(budget)
+}
+
+/// Pull the `source` instance out of the body.
+fn source_of(entry: &CatalogEntry, body: &Json) -> Result<Instance, Response> {
+    let Some(src) = body.get("source") else {
+        return Err(Response::error(
+            400,
+            "bad_request",
+            "missing `source` instance",
+        ));
+    };
+    instance_from_json(src, entry.mapping.source())
+        .map_err(|e| Response::error(400, "bad_instance", format!("source: {e}")))
+}
+
+fn chase_op(entry: &CatalogEntry, body: &Json, ctx: &ServerCtx) -> Response {
+    let src = match source_of(entry, body) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let budget = match admit(entry, &src, body, ctx) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    // The governed budget is the *sole* rounds authority in the
+    // daemon: mirror its cap into the chase options (the CLI-facing
+    // default of 10k rounds would otherwise preempt wall-clock and
+    // cancellation trips on runaway mappings).
+    let opts = ChaseOptions {
+        max_rounds: budget
+            .max_rounds
+            .and_then(|n| usize::try_from(n).ok())
+            .unwrap_or(usize::MAX),
+        ..ChaseOptions::default()
+    };
+    let gov = Governor::new(budget).with_cancel(ctx.drain_cancel.clone());
+    let persist = body.get("persist").and_then(Json::as_bool).unwrap_or(false);
+    let mut store_dir: Option<std::path::PathBuf> = None;
+    let outcome = if persist {
+        let Some(root) = &ctx.config.store_root else {
+            return Response::error(
+                400,
+                "no_store_root",
+                "persist requested but the server has no --store-root",
+            );
+        };
+        let dir = root
+            .join(&entry.name)
+            .join(format!("run-{}", entry.next_store_seq()));
+        let created = Store::create(
+            &dir,
+            StoreMode::Chase,
+            &entry.text,
+            &src,
+            StoreOptions::default(),
+        );
+        let mut store = match created {
+            Ok(s) => s,
+            Err(e) => return Response::error(500, "store", e),
+        };
+        store_dir = Some(dir);
+        let mut sink = StoreSink::new(&mut store);
+        exchange_checkpointed(&entry.mapping, &src, opts, &gov, &mut sink)
+    } else {
+        exchange_governed(&entry.mapping, &src, opts, &gov)
+    };
+    let mut resp = envelope(entry, "chase");
+    if let Some(dir) = &store_dir {
+        resp.insert("store".into(), json!(dir.display().to_string()));
+    }
+    match outcome {
+        Ok(ChaseOutcome::Complete(res)) => {
+            resp.insert("target".into(), instance_to_json(&res.target));
+            resp.insert(
+                "stats".into(),
+                serde_json::to_value(&res.stats).unwrap_or(Json::Null),
+            );
+            Response::json(200, Json::Object(resp))
+        }
+        Ok(ChaseOutcome::Exhausted(ex)) => {
+            ctx.stats.note_partial();
+            resp.insert("partial".into(), instance_to_json(&ex.partial));
+            resp.insert(
+                "exhausted".into(),
+                serde_json::to_value(&ex.report).unwrap_or(Json::Null),
+            );
+            resp.insert(
+                "stats".into(),
+                serde_json::to_value(&ex.stats).unwrap_or(Json::Null),
+            );
+            Response::json(206, Json::Object(resp))
+        }
+        Err(e) => {
+            ctx.stats.note_error();
+            Response::error(500, "chase", e)
+        }
+    }
+}
+
+fn exchange_op(entry: &CatalogEntry, body: &Json, ctx: &ServerCtx) -> Response {
+    let engine = match &entry.engine {
+        Ok(e) => e,
+        Err(reason) => return Response::error(422, "uncompilable", reason),
+    };
+    let src = match source_of(entry, body) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let prev = match body.get("prev") {
+        Some(p) => match instance_from_json(p, entry.mapping.target()) {
+            Ok(i) => Some(i),
+            Err(e) => return Response::error(400, "bad_instance", format!("prev: {e}")),
+        },
+        None => None,
+    };
+    let budget = match admit(entry, &src, body, ctx) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let gov = Governor::new(budget).with_cancel(ctx.drain_cancel.clone());
+    let mut resp = envelope(entry, "exchange");
+    match engine.forward_governed(&src, prev.as_ref(), &gov) {
+        Ok(EngineForward::Complete { target, .. }) => {
+            resp.insert("target".into(), instance_to_json(&target));
+            Response::json(200, Json::Object(resp))
+        }
+        Ok(EngineForward::Exhausted { partial, report }) => {
+            ctx.stats.note_partial();
+            resp.insert("partial".into(), instance_to_json(&partial));
+            resp.insert(
+                "exhausted".into(),
+                serde_json::to_value(&report).unwrap_or(Json::Null),
+            );
+            Response::json(206, Json::Object(resp))
+        }
+        Err(e) => {
+            ctx.stats.note_error();
+            Response::error(500, "exchange", e)
+        }
+    }
+}
+
+fn put_op(entry: &CatalogEntry, body: &Json) -> Response {
+    let engine = match &entry.engine {
+        Ok(e) => e,
+        Err(reason) => return Response::error(422, "uncompilable", reason),
+    };
+    let Some(tgt) = body.get("target") else {
+        return Response::error(400, "bad_request", "missing `target` instance");
+    };
+    let tgt = match instance_from_json(tgt, entry.mapping.target()) {
+        Ok(i) => i,
+        Err(e) => return Response::error(400, "bad_instance", format!("target: {e}")),
+    };
+    let src = match source_of(entry, body) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let mut resp = envelope(entry, "put");
+    match engine.backward(&tgt, &src) {
+        Ok(new_source) => {
+            resp.insert("source".into(), instance_to_json(&new_source));
+            Response::json(200, Json::Object(resp))
+        }
+        // A put the lens refuses (violated fd, unrestorable row) is a
+        // client-data problem, not a server fault.
+        Err(e) => Response::error(422, "put_rejected", e),
+    }
+}

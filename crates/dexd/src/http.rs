@@ -1,0 +1,239 @@
+//! Minimal, defensive HTTP/1.1 on `std::net` — just enough protocol
+//! for `dexd`'s JSON API, hand-rolled so the daemon carries no async
+//! runtime or HTTP dependency.
+//!
+//! Parsing is deliberately strict and bounded: the request line and
+//! every header line are capped, header count is capped, bodies are
+//! capped ([`MAX_BODY_BYTES`]) and require an explicit
+//! `Content-Length` (no chunked encoding), and the socket carries
+//! read/write timeouts set by the server — a slow or malicious client
+//! can waste one worker for at most the timeout, never wedge it.
+//! Every response is `Connection: close`: one request per connection
+//! keeps the state machine trivial and makes load shedding exact.
+
+use serde_json::{json, Value as Json};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Hard cap on request bodies. Instances bigger than this should go
+/// through the CLI's file-based interface, not an HTTP body.
+pub const MAX_BODY_BYTES: u64 = 16 << 20;
+/// Hard cap on the request line and each header line.
+const MAX_LINE_BYTES: usize = 8 << 10;
+/// Hard cap on the number of header lines.
+const MAX_HEADERS: usize = 64;
+
+/// A parsed request: method, path, and the (possibly empty) body.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read. [`ReadError::Malformed`] and
+/// [`ReadError::TooLarge`] get a well-formed HTTP error response;
+/// [`ReadError::Io`] means the connection itself died (nothing can be
+/// written back).
+#[derive(Debug)]
+pub enum ReadError {
+    /// Syntactically broken request → 400.
+    Malformed(String),
+    /// Body over [`MAX_BODY_BYTES`] → 413.
+    TooLarge(String),
+    /// The socket failed mid-read; the connection is just dropped.
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Read one `\r\n`-terminated line, byte by byte, capped at
+/// [`MAX_LINE_BYTES`]. Byte-at-a-time reads are fine here: request
+/// lines and headers are tiny, and it avoids buffering reads past the
+/// header/body boundary.
+fn read_line(stream: &mut TcpStream) -> Result<String, ReadError> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        let n = stream.read(&mut byte)?;
+        if n == 0 {
+            return Err(ReadError::Malformed("connection closed mid-line".into()));
+        }
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map_err(|_| ReadError::Malformed("non-UTF-8 header bytes".into()));
+        }
+        if line.len() >= MAX_LINE_BYTES {
+            return Err(ReadError::TooLarge("header line over limit".into()));
+        }
+        line.push(byte[0]);
+    }
+}
+
+/// Read and validate one full request from the stream.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
+    let request_line = read_line(stream)?;
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => {
+            return Err(ReadError::Malformed(format!(
+                "bad request line `{request_line}`"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ReadError::Malformed(format!(
+            "unsupported protocol `{version}`"
+        )));
+    }
+    let mut content_length: u64 = 0;
+    for _ in 0..MAX_HEADERS {
+        let line = read_line(stream)?;
+        if line.is_empty() {
+            // Refuse over-cap bodies only after the full header block
+            // is consumed, so the refusal closes cleanly (no unread
+            // header bytes → no RST racing the response).
+            if content_length > MAX_BODY_BYTES {
+                return Err(ReadError::TooLarge(format!(
+                    "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+                )));
+            }
+            let mut body = vec![
+                0u8;
+                usize::try_from(content_length)
+                    .map_err(|_| ReadError::TooLarge("body over limit".into()))?
+            ];
+            stream.read_exact(&mut body)?;
+            return Ok(Request {
+                method: method.to_string(),
+                path: path.to_string(),
+                body,
+            });
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::Malformed(format!("bad header `{line}`")));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| ReadError::Malformed(format!("bad Content-Length `{value}`")))?;
+        }
+    }
+    Err(ReadError::Malformed("too many headers".into()))
+}
+
+/// A response about to be written: status, JSON body, and the optional
+/// `Retry-After` seconds that ride load-shedding 429s and draining
+/// 503s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    pub status: u16,
+    pub body: Json,
+    pub retry_after: Option<u64>,
+}
+
+impl Response {
+    /// A plain JSON response.
+    pub fn json(status: u16, body: Json) -> Self {
+        Response {
+            status,
+            body,
+            retry_after: None,
+        }
+    }
+
+    /// A typed error response: `{"v": 1, "error": {"kind", "message"}}`.
+    pub fn error(status: u16, kind: &str, message: impl std::fmt::Display) -> Self {
+        Response::json(
+            status,
+            json!({
+                "v": 1,
+                "error": json!({ "kind": kind, "message": message.to_string() }),
+            }),
+        )
+    }
+
+    /// Attach a `Retry-After` header (seconds).
+    pub fn with_retry_after(mut self, seconds: u64) -> Self {
+        self.retry_after = Some(seconds);
+        self
+    }
+
+    /// Serialize and write the full response. Write errors are
+    /// returned (the caller just drops the connection — there is no
+    /// one left to tell).
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let body = self.body.to_string();
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            reason(self.status),
+            body.len(),
+        );
+        if let Some(secs) = self.retry_after {
+            head.push_str(&format!("Retry-After: {secs}\r\n"));
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()
+    }
+}
+
+impl Response {
+    /// Write a refusal on a connection whose request was *not* fully
+    /// read (shed, drain, parse error): plain `write_to` + drop would
+    /// close with unread input in the socket, making the kernel send
+    /// RST — which can destroy the response before the client reads
+    /// it. Instead: respond, half-close, then briefly drain the
+    /// client's leftover bytes so the close is orderly. Bounded by a
+    /// short timeout and a byte cap — a hostile client costs the
+    /// caller at most ~100 ms.
+    pub fn write_refusal(&self, stream: &mut TcpStream) {
+        let _ = self.write_to(stream);
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(100)));
+        let mut scratch = [0u8; 1024];
+        let mut drained = 0usize;
+        while let Ok(n) = stream.read(&mut scratch) {
+            if n == 0 {
+                break;
+            }
+            drained += n;
+            if drained > 64 << 10 {
+                break;
+            }
+        }
+    }
+}
+
+/// Reason phrase for every status the daemon emits (the README status
+/// table is the contract; anything else is a bug caught here in
+/// debug builds).
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        206 => "Partial Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => {
+            debug_assert!(false, "unmapped status {status}");
+            "Unknown"
+        }
+    }
+}

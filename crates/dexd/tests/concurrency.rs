@@ -1,0 +1,138 @@
+//! Concurrency property: the daemon is *observationally sequential*.
+//! N clients firing exchange requests at the same instant — each at
+//! its own mapping, plus everyone hammering one shared read-only
+//! mapping — must receive byte-for-byte the responses a one-at-a-time
+//! client would. Any cross-request state leak (shared null counters,
+//! a mutated catalog entry, stats bleeding into payloads) breaks the
+//! byte comparison immediately.
+
+mod common;
+
+use common::{request, EMPLOYEES};
+use dexd::{Catalog, ServerConfig, ServerHandle};
+use proptest::prelude::*;
+use std::net::SocketAddr;
+use std::sync::{Arc, Barrier};
+
+/// Per-tenant mapping text: the copy shape, with relation names owned
+/// by that tenant so the workloads are fully disjoint.
+fn tenant_text(i: usize) -> String {
+    format!("source A{i}(x);\ntarget B{i}(x);\nA{i}(v) -> B{i}(v);")
+}
+
+/// Exchange body for tenant `i` carrying the generated rows.
+fn tenant_body(i: usize, rows: &[u8]) -> String {
+    let rows: Vec<String> = rows.iter().map(|r| format!(r#"["v{r}"]"#)).collect();
+    format!(r#"{{"source": {{"A{i}": [{}]}}}}"#, rows.join(", "))
+}
+
+/// Exchange body for the shared employees mapping: `Emp` rows from the
+/// generated pairs, `Dept` rows derived so every join succeeds.
+fn shared_body(rows: &[(u8, u8)]) -> String {
+    // Names are made unique by row index so the `key Worker(name)`
+    // constraint is never violated by the generated data.
+    let emp: Vec<String> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, (n, d))| format!(r#"["n{n}_{i}", "d{d}"]"#))
+        .collect();
+    let mut depts: Vec<u8> = rows.iter().map(|(_, d)| *d).collect();
+    depts.sort_unstable();
+    depts.dedup();
+    let dept: Vec<String> = depts
+        .iter()
+        .map(|d| format!(r#"["d{d}", "m{d}"]"#))
+        .collect();
+    format!(
+        r#"{{"source": {{"Emp": [{}], "Dept": [{}]}}}}"#,
+        emp.join(", "),
+        dept.join(", ")
+    )
+}
+
+/// Issue every request one at a time and return `(status, body)` per
+/// request — the reference observation.
+fn run_sequential(addr: SocketAddr, reqs: &[(String, String)]) -> Vec<(u16, String)> {
+    reqs.iter()
+        .map(|(path, body)| {
+            let r = request(addr, "POST", path, body);
+            (r.status, r.raw_body)
+        })
+        .collect()
+}
+
+/// Issue every request from its own thread, released together by a
+/// barrier, and return the observations in request order.
+fn run_concurrent(addr: SocketAddr, reqs: &[(String, String)]) -> Vec<(u16, String)> {
+    let barrier = Arc::new(Barrier::new(reqs.len()));
+    let handles: Vec<_> = reqs
+        .iter()
+        .cloned()
+        .map(|(path, body)| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let r = request(addr, "POST", &path, &body);
+                (r.status, r.raw_body)
+            })
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect()
+}
+
+const TENANTS: usize = 4;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Concurrent == sequential, byte for byte, across disjoint
+    /// tenants and a shared read-only mapping.
+    #[test]
+    fn concurrent_exchanges_match_sequential(
+        tenant_rows in proptest::collection::vec(
+            proptest::collection::vec(0u8..6, 0..5),
+            TENANTS..TENANTS + 1,
+        ),
+        shared_rows in proptest::collection::vec((0u8..4, 0u8..4), 0..5),
+    ) {
+        let texts: Vec<(String, String)> = (0..TENANTS)
+            .map(|i| (format!("t{i}"), tenant_text(i)))
+            .chain(std::iter::once(("shared".to_string(), EMPLOYEES.to_string())))
+            .collect();
+        let specs: Vec<(&str, &str)> = texts
+            .iter()
+            .map(|(n, t)| (n.as_str(), t.as_str()))
+            .collect();
+        let config = ServerConfig {
+            workers: TENANTS + 2, // true overlap: every client runs at once
+            queue_capacity: 64,
+            ..ServerConfig::default()
+        };
+        let catalog = Catalog::from_texts(&specs).expect("catalog");
+        let srv = ServerHandle::spawn(config, catalog).expect("spawn");
+        let addr = srv.addr();
+
+        // One request per tenant, plus one shared-mapping request per
+        // tenant (everyone reads the same entry concurrently).
+        let mut reqs: Vec<(String, String)> = Vec::new();
+        for (i, rows) in tenant_rows.iter().enumerate() {
+            reqs.push((format!("/v1/mappings/t{i}/exchange"), tenant_body(i, rows)));
+        }
+        for _ in 0..TENANTS {
+            reqs.push(("/v1/mappings/shared/exchange".to_string(), shared_body(&shared_rows)));
+        }
+
+        let sequential = run_sequential(addr, &reqs);
+        for (i, (status, body)) in sequential.iter().enumerate() {
+            prop_assert_eq!(*status, 200, "request {} failed sequentially: {}", i, body);
+        }
+        let concurrent = run_concurrent(addr, &reqs);
+        for (i, (seq, conc)) in sequential.iter().zip(concurrent.iter()).enumerate() {
+            prop_assert_eq!(seq, conc, "request {} diverged under concurrency", i);
+        }
+        srv.shutdown();
+    }
+}

@@ -1,0 +1,372 @@
+//! End-to-end endpoint contract: every route and every status code in
+//! the README table, driven against a live in-process daemon over real
+//! sockets. This file is also the CI `serve` job's driver — it plays
+//! the role a curl script would, without needing curl.
+
+mod common;
+
+use common::{request, try_request, COPY, EMPLOYEES, RUNAWAY};
+use dexd::{Catalog, ServerConfig, ServerHandle};
+use std::io::{Read, Write};
+use std::time::Duration;
+
+fn spawn(specs: &[(&str, &str)], tweak: impl FnOnce(&mut ServerConfig)) -> ServerHandle {
+    let mut config = ServerConfig::default();
+    tweak(&mut config);
+    let catalog = Catalog::from_texts(specs).expect("catalog");
+    ServerHandle::spawn(config, catalog).expect("spawn")
+}
+
+#[test]
+fn health_ready_statz_roundtrip() {
+    let srv = spawn(&[("emp", EMPLOYEES)], |_| {});
+    let addr = srv.addr();
+    let h = request(addr, "GET", "/healthz", "");
+    assert_eq!(h.status, 200);
+    assert_eq!(h.field("status").and_then(|s| s.as_str()), Some("ok"));
+    let r = request(addr, "GET", "/readyz", "");
+    assert_eq!(r.status, 200);
+    let s = request(addr, "GET", "/statz", "");
+    assert_eq!(s.status, 200);
+    assert_eq!(s.field("v").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(
+        s.field("mappings.emp.compiles").and_then(|v| v.as_bool()),
+        Some(true)
+    );
+    srv.shutdown();
+}
+
+#[test]
+fn compile_lint_explain_surfaces() {
+    let srv = spawn(&[("emp", EMPLOYEES)], |_| {});
+    let addr = srv.addr();
+    let c = request(addr, "POST", "/v1/mappings/emp/compile", "{}");
+    assert_eq!(c.status, 200);
+    assert_eq!(c.field("compiled").and_then(|v| v.as_bool()), Some(true));
+    let l = request(addr, "POST", "/v1/mappings/emp/lint", "{}");
+    assert_eq!(l.status, 200, "employees lints clean: {}", l.raw_body);
+    assert_eq!(l.field("errors").and_then(|v| v.as_bool()), Some(false));
+    let e = request(addr, "POST", "/v1/mappings/emp/explain", "{}");
+    assert_eq!(e.status, 200);
+    assert!(e.field("plan").is_some(), "explain returns a plan object");
+    srv.shutdown();
+}
+
+#[test]
+fn chase_exchange_put_happy_paths() {
+    let srv = spawn(&[("emp", EMPLOYEES)], |_| {});
+    let addr = srv.addr();
+    let body = r#"{"source":{"Emp":[["ann","eng"]],"Dept":[["eng","bob"]]}}"#;
+    let chase = request(addr, "POST", "/v1/mappings/emp/chase", body);
+    assert_eq!(chase.status, 200, "{}", chase.raw_body);
+    assert_eq!(
+        chase.field("stats.v").and_then(|v| v.as_u64()),
+        Some(1),
+        "stats carry the wire version"
+    );
+    let rows = chase.field("target.Worker").and_then(|v| v.as_array());
+    assert_eq!(rows.map(|r| r.len()), Some(1));
+
+    let exch = request(addr, "POST", "/v1/mappings/emp/exchange", body);
+    assert_eq!(exch.status, 200, "{}", exch.raw_body);
+    assert_eq!(
+        exch.field("target.Worker")
+            .and_then(|v| v.as_array())
+            .map(|r| r.len()),
+        Some(1)
+    );
+
+    // Backward: rename ann's manager in the target, put it back.
+    let put_body = r#"{
+        "target": {"Worker": [["ann", "eng", "carol"]]},
+        "source": {"Emp": [["ann", "eng"]], "Dept": [["eng", "bob"]]}
+    }"#;
+    let put = request(addr, "POST", "/v1/mappings/emp/put", put_body);
+    assert_eq!(put.status, 200, "{}", put.raw_body);
+    assert!(put.field("source").is_some());
+    srv.shutdown();
+}
+
+#[test]
+fn budget_exhaustion_answers_206_with_versioned_report() {
+    let srv = spawn(&[("copy", COPY)], |_| {});
+    let addr = srv.addr();
+    // Three rows to copy, budget of one derived tuple: must trip.
+    let body = r#"{
+        "source": {"A": [["p"], ["q"], ["r"]]},
+        "budget": {"max-tuples": 1}
+    }"#;
+    let resp = request(addr, "POST", "/v1/mappings/copy/chase", body);
+    assert_eq!(resp.status, 206, "exhaustion is 206: {}", resp.raw_body);
+    assert_eq!(
+        resp.field("exhausted.v").and_then(|v| v.as_u64()),
+        Some(1),
+        "report carries the wire version: {}",
+        resp.raw_body
+    );
+    assert_eq!(
+        resp.field("exhausted.reason").and_then(|v| v.as_str()),
+        Some("tuples")
+    );
+    assert!(resp.field("partial").is_some(), "partial result included");
+    srv.shutdown();
+}
+
+#[test]
+fn client_errors_are_typed_400_404_405_413() {
+    let srv = spawn(&[("emp", EMPLOYEES)], |_| {});
+    let addr = srv.addr();
+    let bad_json = request(addr, "POST", "/v1/mappings/emp/chase", "{nope");
+    assert_eq!(bad_json.status, 400);
+    assert_eq!(
+        bad_json.field("error.kind").and_then(|v| v.as_str()),
+        Some("bad_json")
+    );
+    let bad_inst = request(
+        addr,
+        "POST",
+        "/v1/mappings/emp/chase",
+        r#"{"source": {"Nope": [["x"]]}}"#,
+    );
+    assert_eq!(bad_inst.status, 400);
+    let missing = request(addr, "POST", "/v1/mappings/ghost/chase", "{}");
+    assert_eq!(missing.status, 404);
+    let badop = request(addr, "POST", "/v1/mappings/emp/frobnicate", "{}");
+    assert_eq!(badop.status, 404);
+    let badmethod = request(addr, "GET", "/v1/mappings/emp/chase", "");
+    assert_eq!(badmethod.status, 405);
+    let noroute = request(addr, "GET", "/nope", "");
+    assert_eq!(noroute.status, 404);
+
+    // Declared body over the cap: refused from the headers alone.
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    let huge = dexd::MAX_BODY_BYTES + 1;
+    stream
+        .write_all(
+            format!("POST /v1/mappings/emp/chase HTTP/1.1\r\nContent-Length: {huge}\r\n\r\n")
+                .as_bytes(),
+        )
+        .expect("write");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read");
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 413"), "{text}");
+    srv.shutdown();
+}
+
+#[test]
+fn bad_budget_overrides_are_400_with_the_shared_grammar() {
+    let srv = spawn(&[("copy", COPY)], |_| {});
+    let addr = srv.addr();
+    let resp = request(
+        addr,
+        "POST",
+        "/v1/mappings/copy/chase",
+        r#"{"source": {"A": [["x"]]}, "budget": {"timeout": "soon"}}"#,
+    );
+    assert_eq!(resp.status, 400, "{}", resp.raw_body);
+    let msg = resp
+        .field("error.message")
+        .and_then(|v| v.as_str())
+        .unwrap_or("");
+    // The same wording BudgetArgs gives the CLI — one parser, both
+    // surfaces.
+    assert!(msg.contains("500ms"), "shared grammar in message: {msg}");
+    let unknown = request(
+        addr,
+        "POST",
+        "/v1/mappings/copy/chase",
+        r#"{"source": {"A": [["x"]]}, "budget": {"frobs": 3}}"#,
+    );
+    assert_eq!(unknown.status, 400);
+    srv.shutdown();
+}
+
+#[test]
+fn admission_control_refuses_422_before_chasing() {
+    let srv = spawn(&[("copy", COPY)], |c| c.deny_cost = Some(1));
+    let addr = srv.addr();
+    // Predicted tuples for 3 source rows exceed a ceiling of 1.
+    let resp = request(
+        addr,
+        "POST",
+        "/v1/mappings/copy/chase",
+        r#"{"source": {"A": [["p"], ["q"], ["r"]]}}"#,
+    );
+    assert_eq!(resp.status, 422, "{}", resp.raw_body);
+    assert_eq!(
+        resp.field("error.kind").and_then(|v| v.as_str()),
+        Some("admission_refused")
+    );
+    assert!(
+        resp.field("predicted").is_some(),
+        "the refusal shows its evidence"
+    );
+    let statz = request(addr, "GET", "/statz", "");
+    assert_eq!(
+        statz.field("server.refused").and_then(|v| v.as_u64()),
+        Some(1)
+    );
+    srv.shutdown();
+}
+
+#[test]
+fn full_queue_sheds_429_with_retry_after() {
+    // One worker, one queue slot. Two connections that send only a
+    // partial request each pin the worker and fill the queue
+    // deterministically; the third must be shed by the acceptor.
+    let srv = spawn(&[("emp", EMPLOYEES)], |c| {
+        c.workers = 1;
+        c.queue_capacity = 1;
+    });
+    let addr = srv.addr();
+    let hold = |n: &str| {
+        let mut s = std::net::TcpStream::connect(addr).expect(n);
+        s.write_all(b"POST /v1/mappings/emp/chase HTTP/1.1\r\n")
+            .expect(n);
+        s
+    };
+    let _pin_worker = hold("first");
+    std::thread::sleep(Duration::from_millis(150)); // let a worker adopt it
+    let _fill_queue = hold("second");
+    std::thread::sleep(Duration::from_millis(150)); // let the acceptor enqueue it
+    let shed = request(addr, "GET", "/healthz", "");
+    assert_eq!(shed.status, 429, "{}", shed.raw_body);
+    assert_eq!(shed.header("Retry-After"), Some("1"));
+    assert_eq!(
+        shed.field("error.kind").and_then(|v| v.as_str()),
+        Some("overloaded")
+    );
+    drop(_pin_worker);
+    drop(_fill_queue);
+    srv.shutdown();
+}
+
+#[test]
+fn per_tenant_inflight_cap_sheds_429() {
+    let srv = spawn(&[("runaway", RUNAWAY), ("copy", COPY)], |c| {
+        c.max_inflight_per_mapping = 1;
+        c.workers = 4;
+        // Let the runaway chase run to its *deadline*: auto-budget
+        // would synthesize a rounds cap and trip first.
+        c.auto_budget = false;
+    });
+    let addr = srv.addr();
+    // A deadline-bound runaway chase occupies `runaway`'s single slot
+    // for ~600ms.
+    let slow = std::thread::spawn(move || {
+        request(
+            addr,
+            "POST",
+            "/v1/mappings/runaway/chase",
+            r#"{"source": {"S": [["seed"]]}, "budget": {"timeout": "600ms"}}"#,
+        )
+    });
+    std::thread::sleep(Duration::from_millis(200));
+    let shed = request(
+        addr,
+        "POST",
+        "/v1/mappings/runaway/chase",
+        r#"{"source": {"S": [["seed"]]}}"#,
+    );
+    assert_eq!(shed.status, 429, "{}", shed.raw_body);
+    assert_eq!(
+        shed.field("error.kind").and_then(|v| v.as_str()),
+        Some("tenant_overloaded")
+    );
+    // Other tenants are unaffected while `runaway` is saturated.
+    let other = request(
+        addr,
+        "POST",
+        "/v1/mappings/copy/chase",
+        r#"{"source": {"A": [["x"]]}}"#,
+    );
+    assert_eq!(other.status, 200);
+    let slow = slow.join().expect("slow request");
+    assert_eq!(slow.status, 206, "deadline trip is a partial");
+    assert_eq!(
+        slow.field("exhausted.reason").and_then(|v| v.as_str()),
+        Some("deadline")
+    );
+    srv.shutdown();
+}
+
+#[test]
+fn drain_answers_503_then_completes_within_deadline() {
+    let srv = spawn(&[("runaway", RUNAWAY)], |c| {
+        c.drain_deadline = Duration::from_millis(300);
+        // Only the 30s request deadline and the drain cancel govern
+        // this chase — no synthesized rounds cap tripping early.
+        c.auto_budget = false;
+    });
+    let addr = srv.addr();
+    // Occupy a worker past the shutdown point with a long chase.
+    let slow = std::thread::spawn(move || {
+        request(
+            addr,
+            "POST",
+            "/v1/mappings/runaway/chase",
+            r#"{"source": {"S": [["seed"]]}, "budget": {"timeout": "30s"}}"#,
+        )
+    });
+    std::thread::sleep(Duration::from_millis(200));
+    srv.request_shutdown();
+    std::thread::sleep(Duration::from_millis(50));
+    // New work is refused while the slow request drains.
+    let refused = try_request(addr, "GET", "/healthz", "");
+    if let Some(r) = &refused {
+        assert_eq!(r.status, 503, "{}", r.raw_body);
+        assert_eq!(r.header("Retry-After"), Some("1"));
+    } // None = listener already closed because the drain finished: also fine.
+
+    // The in-flight request survives shutdown as a 206 partial — the
+    // drain deadline cancels it, it does not get dropped.
+    let slow = slow.join().expect("drained request");
+    assert_eq!(slow.status, 206, "{}", slow.raw_body);
+    assert_eq!(
+        slow.field("exhausted.reason").and_then(|v| v.as_str()),
+        Some("cancelled")
+    );
+    srv.shutdown();
+}
+
+#[test]
+fn persisted_chase_writes_a_clean_store() {
+    let root = std::env::temp_dir().join(format!("dexd-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let srv = spawn(&[("emp", EMPLOYEES)], |c| c.store_root = Some(root.clone()));
+    let addr = srv.addr();
+    let resp = request(
+        addr,
+        "POST",
+        "/v1/mappings/emp/chase",
+        r#"{"source": {"Emp": [["ann", "eng"]], "Dept": [["eng", "bob"]]}, "persist": true}"#,
+    );
+    assert_eq!(resp.status, 200, "{}", resp.raw_body);
+    let dir = resp
+        .field("store")
+        .and_then(|v| v.as_str())
+        .expect("store dir in response")
+        .to_string();
+    srv.shutdown();
+    let report = dex_store::fsck::fsck(std::path::Path::new(&dir)).expect("fsck runs");
+    assert!(report.is_clean(), "persisted store is clean: {report}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn uncompilable_mapping_still_serves_analysis_endpoints() {
+    // A mapping the lens compiler refuses (no key ⇒ depends on the
+    // compiler's rules) — use one with an unsafe existential join the
+    // compiler cannot lens. If it *does* compile, the test is vacuous
+    // but still passes the analysis half.
+    let srv = spawn(&[("emp", EMPLOYEES), ("copy", COPY)], |_| {});
+    let addr = srv.addr();
+    for name in ["emp", "copy"] {
+        let l = request(addr, "POST", &format!("/v1/mappings/{name}/lint"), "{}");
+        assert!(l.status == 200 || l.status == 422);
+        let e = request(addr, "POST", &format!("/v1/mappings/{name}/explain"), "{}");
+        assert_eq!(e.status, 200);
+    }
+    srv.shutdown();
+}

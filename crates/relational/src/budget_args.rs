@@ -1,0 +1,198 @@
+//! Shared textual [`Budget`] construction — one parser for every
+//! surface that accepts budget limits as strings.
+//!
+//! `dexcli` exposes budgets as command-line flags (`--timeout 2s`,
+//! `--max-memory 64k`); `dexd` exposes the same five knobs as JSON
+//! request overrides (`{"budget": {"timeout": "2s", …}}`). Both go
+//! through [`BudgetArgs`], so the two surfaces parse identical syntax
+//! by construction and cannot drift: a new budget axis added here shows
+//! up (or fails loudly) on both sides at once.
+//!
+//! Keys are the flag names without the `--` prefix; see
+//! [`BudgetArgs::KEYS`]. Values use the same human-friendly grammar the
+//! CLI has always accepted: durations as `500ms`/`2s`/`1m` (bare
+//! number = milliseconds), sizes as `64k`/`10m`/`1g` (bare number =
+//! bytes), counts as plain non-negative integers.
+
+use crate::governor::Budget;
+use std::time::Duration;
+
+/// Incremental [`Budget`] builder keyed by textual limit names.
+///
+/// ```
+/// use dex_relational::budget_args::BudgetArgs;
+/// let mut args = BudgetArgs::new();
+/// args.set("timeout", "250ms").unwrap();
+/// args.set("max-tuples", "1000").unwrap();
+/// let b = args.budget();
+/// assert_eq!(b.max_tuples, Some(1000));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BudgetArgs {
+    budget: Budget,
+}
+
+impl BudgetArgs {
+    /// Every recognized limit key, in documentation order. The CLI
+    /// derives its `--timeout`/`--max-*` flags from this list; `dexd`
+    /// matches request-override object keys against it (with `_`
+    /// normalized to `-`).
+    pub const KEYS: &'static [&'static str] = &[
+        "timeout",
+        "max-rounds",
+        "max-tuples",
+        "max-nulls",
+        "max-memory",
+    ];
+
+    /// An empty builder (no limits set).
+    pub fn new() -> Self {
+        BudgetArgs::default()
+    }
+
+    /// Start from an already-built budget (e.g. a server default) and
+    /// let later [`set`](Self::set) calls override individual axes.
+    pub fn from_budget(budget: Budget) -> Self {
+        BudgetArgs { budget }
+    }
+
+    /// Set one limit from its textual form. `key` must be one of
+    /// [`KEYS`](Self::KEYS) (underscores are accepted in place of
+    /// dashes); the error message names the key and the expected
+    /// grammar, without any flag-syntax prefix, so callers can wrap it
+    /// for their surface (`--timeout …` vs `"budget.timeout": …`).
+    pub fn set(&mut self, key: &str, value: &str) -> Result<(), String> {
+        let canonical = key.replace('_', "-");
+        match canonical.as_str() {
+            "timeout" => self.budget.deadline = Some(parse_duration(value, "timeout")?),
+            "max-rounds" => self.budget.max_rounds = Some(parse_count(value, "max-rounds")?),
+            "max-tuples" => self.budget.max_tuples = Some(parse_count(value, "max-tuples")?),
+            "max-nulls" => self.budget.max_nulls = Some(parse_count(value, "max-nulls")?),
+            "max-memory" => self.budget.max_memory_bytes = Some(parse_size(value, "max-memory")?),
+            other => {
+                return Err(format!(
+                    "unknown budget limit `{other}` (expected one of {})",
+                    Self::KEYS.join(", ")
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// The budget built so far.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+}
+
+/// Parse a human duration: `500ms`, `2s`, `1m`, or a bare number of
+/// milliseconds. `key` names the limit in the error message.
+pub fn parse_duration(s: &str, key: &str) -> Result<Duration, String> {
+    let bad = || format!("{key} takes a duration like 500ms, 2s or 1m, got `{s}`");
+    let (digits, mult_ms) = if let Some(d) = s.strip_suffix("ms") {
+        (d, 1u64)
+    } else if let Some(d) = s.strip_suffix('s') {
+        (d, 1_000)
+    } else if let Some(d) = s.strip_suffix('m') {
+        (d, 60_000)
+    } else {
+        (s, 1)
+    };
+    let n = digits.parse::<u64>().map_err(|_| bad())?;
+    n.checked_mul(mult_ms)
+        .map(Duration::from_millis)
+        .ok_or_else(bad)
+}
+
+/// Parse a non-negative count. `key` names the limit in the error
+/// message.
+pub fn parse_count(s: &str, key: &str) -> Result<u64, String> {
+    s.parse::<u64>()
+        .map_err(|_| format!("{key} takes a non-negative integer, got `{s}`"))
+}
+
+/// Parse a human size: `64k`, `10m`, `1g`, or a bare number of bytes.
+/// `key` names the limit in the error message.
+pub fn parse_size(s: &str, key: &str) -> Result<u64, String> {
+    let bad = || format!("{key} takes a size like 64k, 10m or 1g, got `{s}`");
+    let lower = s.to_ascii_lowercase();
+    let (digits, mult) = if let Some(d) = lower.strip_suffix('k') {
+        (d, 1u64 << 10)
+    } else if let Some(d) = lower.strip_suffix('m') {
+        (d, 1 << 20)
+    } else if let Some(d) = lower.strip_suffix('g') {
+        (d, 1 << 30)
+    } else {
+        (lower.as_str(), 1)
+    };
+    let n = digits.parse::<u64>().map_err(|_| bad())?;
+    n.checked_mul(mult).ok_or_else(bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_keys_round_trip() {
+        let mut args = BudgetArgs::new();
+        for key in BudgetArgs::KEYS {
+            args.set(key, "7").unwrap();
+        }
+        let b = args.budget();
+        assert_eq!(b.deadline, Some(Duration::from_millis(7)));
+        assert_eq!(b.max_rounds, Some(7));
+        assert_eq!(b.max_tuples, Some(7));
+        assert_eq!(b.max_nulls, Some(7));
+        assert_eq!(b.max_memory_bytes, Some(7));
+    }
+
+    #[test]
+    fn underscore_keys_are_normalized() {
+        let mut args = BudgetArgs::new();
+        args.set("max_rounds", "3").unwrap();
+        assert_eq!(args.budget().max_rounds, Some(3));
+    }
+
+    #[test]
+    fn duration_and_size_suffixes() {
+        assert_eq!(
+            parse_duration("2s", "timeout").unwrap(),
+            Duration::from_secs(2)
+        );
+        assert_eq!(
+            parse_duration("1m", "timeout").unwrap(),
+            Duration::from_secs(60)
+        );
+        assert_eq!(parse_size("64k", "max-memory").unwrap(), 64 << 10);
+        assert_eq!(parse_size("1g", "max-memory").unwrap(), 1 << 30);
+        assert_eq!(parse_size("42", "max-memory").unwrap(), 42);
+    }
+
+    #[test]
+    fn errors_name_the_key_and_grammar() {
+        let mut args = BudgetArgs::new();
+        let e = args.set("timeout", "soon").unwrap_err();
+        assert!(e.contains("timeout") && e.contains("500ms"), "{e}");
+        let e = args.set("frobs", "1").unwrap_err();
+        assert!(e.contains("unknown budget limit"), "{e}");
+        let e = args.set("max-memory", "lots").unwrap_err();
+        assert!(e.contains("max-memory") && e.contains("64k"), "{e}");
+    }
+
+    #[test]
+    fn overflowing_values_are_rejected_not_wrapped() {
+        assert!(parse_duration("999999999999999999m", "timeout").is_err());
+        assert!(parse_size("999999999999999999g", "max-memory").is_err());
+    }
+
+    #[test]
+    fn from_budget_overrides_axis_by_axis() {
+        let default = Budget::unlimited().with_max_rounds(10).with_max_tuples(20);
+        let mut args = BudgetArgs::from_budget(default);
+        args.set("max-rounds", "5").unwrap();
+        let b = args.budget();
+        assert_eq!(b.max_rounds, Some(5), "override wins");
+        assert_eq!(b.max_tuples, Some(20), "untouched axis keeps default");
+    }
+}

@@ -16,6 +16,10 @@
 //! | `store.wal_append`      | `dex-store` — before a WAL record write      |
 //! | `store.snapshot_write`  | `dex-store` — before the snapshot temp write |
 //! | `store.snapshot_rename` | `dex-store` — before the atomic rename       |
+//! | `server.accept`         | `dexd` — after accepting a connection        |
+//! | `server.read_request`   | `dexd` — before parsing the HTTP request     |
+//! | `server.dispatch`       | `dexd` — before executing the operation      |
+//! | `server.write_response` | `dexd` — before writing the HTTP response    |
 //!
 //! The `store.*` sites are probed through [`hit_io`], which can also
 //! inject [`FailAction::ShortWrite`]: the store's write path then
@@ -60,6 +64,19 @@ pub const STORE_SITES: &[&str] = &[
     "store.wal_append",
     "store.snapshot_write",
     "store.snapshot_rename",
+];
+
+/// Every registered `dexd` network-layer fail-point site, for the
+/// chaos-matrix tests in `crates/dexd`. All are probed via [`hit`]:
+/// an injected `Error` makes the server degrade that request (drop the
+/// connection at `server.accept`, answer 4xx/5xx elsewhere), an
+/// injected `Panic` exercises the per-request panic barrier — in both
+/// cases the daemon itself must keep serving.
+pub const SERVER_SITES: &[&str] = &[
+    "server.accept",
+    "server.read_request",
+    "server.dispatch",
+    "server.write_response",
 ];
 
 /// Probe a fail-point site. Returns the injected error when the site

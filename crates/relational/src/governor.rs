@@ -23,6 +23,7 @@
 //! one thread can be cancelled from another via the shared token, and
 //! parallel matching tasks can account against one budget.
 
+use serde::{Serialize, Serializer};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -106,6 +107,28 @@ impl Budget {
         }
     }
 
+    /// The pointwise intersection of two budgets: on every axis the
+    /// *stricter* cap wins (`min` when both are set, the set one when
+    /// only one is). This is how `dexd` combines its server default
+    /// with a request's overrides and the statically synthesized
+    /// [`from_bounds`](Self::from_bounds) caps — a request can narrow
+    /// the server's budget but never widen it.
+    pub fn intersect(self, other: Budget) -> Budget {
+        fn tighter<T: Ord>(a: Option<T>, b: Option<T>) -> Option<T> {
+            match (a, b) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            }
+        }
+        Budget {
+            deadline: tighter(self.deadline, other.deadline),
+            max_rounds: tighter(self.max_rounds, other.max_rounds),
+            max_tuples: tighter(self.max_tuples, other.max_tuples),
+            max_nulls: tighter(self.max_nulls, other.max_nulls),
+            max_memory_bytes: tighter(self.max_memory_bytes, other.max_memory_bytes),
+        }
+    }
+
     /// Does this budget impose no limit?
     pub fn is_unlimited(&self) -> bool {
         self.deadline.is_none()
@@ -158,6 +181,22 @@ pub enum TripReason {
     Cancelled,
 }
 
+impl TripReason {
+    /// The stable lowercase wire token for this reason — part of the
+    /// versioned [`ExhaustionReport`] JSON format consumed by `dexcli
+    /// --stats --format json` and `dexd` clients. Never rename these.
+    pub fn token(&self) -> &'static str {
+        match self {
+            TripReason::Deadline => "deadline",
+            TripReason::Rounds => "rounds",
+            TripReason::Tuples => "tuples",
+            TripReason::Nulls => "nulls",
+            TripReason::Memory => "memory",
+            TripReason::Cancelled => "cancelled",
+        }
+    }
+}
+
 impl fmt::Display for TripReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
@@ -188,6 +227,42 @@ pub struct ExhaustionReport {
     pub approx_bytes: u64,
     /// Wall-clock time from governor creation to the trip.
     pub elapsed: Duration,
+}
+
+/// Version tag of the [`ExhaustionReport`] JSON wire format. Bump it
+/// (and keep reading the old shape) on any incompatible change: the
+/// report rides HTTP responses (`dexd` 206s) and the `dexcli --stats
+/// --format json` stderr object, so its shape is an API.
+pub const EXHAUSTION_REPORT_WIRE_V: u64 = 1;
+
+// Stable versioned wire shape: a leading `"v"` tag, the reason as its
+// lowercase token, and the elapsed time flattened to milliseconds
+// (`Duration`'s native serde shape would leak an implementation
+// detail). Field names are load-bearing; goldens pin them.
+#[derive(Serialize)]
+struct ExhaustionReportWire {
+    v: u64,
+    reason: &'static str,
+    rounds_committed: u64,
+    tuples_derived: u64,
+    nulls_created: u64,
+    approx_bytes: u64,
+    elapsed_ms: u64,
+}
+
+impl Serialize for ExhaustionReport {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        ExhaustionReportWire {
+            v: EXHAUSTION_REPORT_WIRE_V,
+            reason: self.reason.token(),
+            rounds_committed: self.rounds_committed,
+            tuples_derived: self.tuples_derived,
+            nulls_created: self.nulls_created,
+            approx_bytes: self.approx_bytes,
+            elapsed_ms: self.elapsed.as_millis() as u64,
+        }
+        .serialize(s)
+    }
 }
 
 impl fmt::Display for ExhaustionReport {
@@ -445,6 +520,66 @@ mod tests {
         let text = g.report(TripReason::Tuples).to_string();
         assert!(text.contains("budget exhausted: derived-tuple limit"));
         assert!(text.contains("tuples derived:   2"));
+    }
+
+    #[test]
+    fn budget_intersect_takes_the_stricter_cap() {
+        let server = Budget::unlimited()
+            .with_max_rounds(100)
+            .with_max_tuples(1000)
+            .with_deadline(Duration::from_secs(10));
+        let request = Budget::unlimited()
+            .with_max_rounds(5)
+            .with_max_nulls(7)
+            .with_deadline(Duration::from_secs(60));
+        let b = server.intersect(request);
+        assert_eq!(b.max_rounds, Some(5), "request narrows");
+        assert_eq!(b.max_tuples, Some(1000), "server cap survives");
+        assert_eq!(b.max_nulls, Some(7), "request adds a new axis");
+        assert_eq!(
+            b.deadline,
+            Some(Duration::from_secs(10)),
+            "request cannot widen the server deadline"
+        );
+        assert_eq!(b.max_memory_bytes, None);
+    }
+
+    /// Golden-pins the versioned wire JSON byte-for-byte: this shape is
+    /// consumed by `dexd` clients and `--stats --format json` tooling,
+    /// so any drift must show up as a deliberate diff here (and a bump
+    /// of [`EXHAUSTION_REPORT_WIRE_V`]).
+    #[test]
+    fn exhaustion_report_wire_format_is_pinned() {
+        let r = ExhaustionReport {
+            reason: TripReason::Tuples,
+            rounds_committed: 3,
+            tuples_derived: 11,
+            nulls_created: 2,
+            approx_bytes: 640,
+            elapsed: Duration::from_millis(1234),
+        };
+        let got = serde_json::to_string(&r).expect("report serializes");
+        assert_eq!(
+            got,
+            "{\"v\":1,\"reason\":\"tuples\",\"rounds_committed\":3,\
+             \"tuples_derived\":11,\"nulls_created\":2,\
+             \"approx_bytes\":640,\"elapsed_ms\":1234}"
+        );
+    }
+
+    #[test]
+    fn trip_reason_tokens_are_stable() {
+        let all = [
+            (TripReason::Deadline, "deadline"),
+            (TripReason::Rounds, "rounds"),
+            (TripReason::Tuples, "tuples"),
+            (TripReason::Nulls, "nulls"),
+            (TripReason::Memory, "memory"),
+            (TripReason::Cancelled, "cancelled"),
+        ];
+        for (reason, token) in all {
+            assert_eq!(reason.token(), token);
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod algebra;
+pub mod budget_args;
 pub mod columns;
 pub mod cost;
 pub mod error;
@@ -42,6 +43,7 @@ pub mod schema;
 pub mod tuple;
 pub mod value;
 
+pub use budget_args::BudgetArgs;
 pub use columns::{hash_values, ColumnStore};
 pub use cost::{Bound, ChaseBounds, SourceStats};
 pub use error::RelationalError;

@@ -38,6 +38,7 @@ use dex::chase::{
 use dex::core::{compile, Engine, EngineForward, ForwardStats};
 use dex::logic::{parse_mapping, parse_mapping_with_spans, Mapping};
 use dex::ops::{compose, maximum_recovery};
+use dex::relational::budget_args::{parse_count, BudgetArgs};
 use dex::relational::{ExhaustionReport, Instance, Schema, SourceStats, Tuple, Value};
 use dex::rellens::Environment;
 use dex::store::{fsck, ChaseState, Store, StoreMode, StoreOptions, StoreSink};
@@ -78,7 +79,7 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let usage =
-        "usage: dexcli <plan|check|lint|explain|chase|exchange|backward|compose|recover|query|resume|fsck> <args…>\n\
+        "usage: dexcli <plan|check|lint|explain|chase|exchange|backward|compose|recover|query|resume|fsck|serve> <args…>\n\
                  run `dexcli help` for details";
     // Deterministic hook for exercising the panic barrier end-to-end
     // (tests/robustness_cli.rs pins exit code 70 through it).
@@ -192,6 +193,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let dir = Path::new(rest.first().ok_or(usage)?.as_str());
             resume(dir, budget, &out)
         }
+        "serve" => serve_cmd(&args[1..]),
         "fsck" => {
             let mut rest: Vec<&String> = args[1..].iter().collect();
             let repair = match rest.iter().position(|a| a.as_str() == "--repair") {
@@ -615,16 +617,10 @@ fn chase_stats_json(
     predicted: Option<&Json>,
     report: Option<&ExhaustionReport>,
 ) -> Json {
-    let ints = |v: &[usize]| Json::Array(v.iter().map(|&n| Json::from(n)).collect());
+    // The versioned wire form pinned by crates/chase/tests/wire_format.rs
+    // (`{"v": 1, …}`) — the same bytes `dexd` serves.
     json!({
-        "stats": json!({
-            "st_firings": stats.st_firings,
-            "rounds": stats.rounds,
-            "firings_per_round": ints(&stats.firings_per_round),
-            "delta_sizes": ints(&stats.delta_sizes),
-            "index_builds": stats.index_builds,
-            "index_probes": stats.index_probes,
-        }),
+        "stats": serde_json::to_value(stats).unwrap_or(Json::Null),
         "predicted": predicted.cloned().unwrap_or(Json::Null),
         "exhausted": report.map(report_json).unwrap_or(Json::Null),
     })
@@ -661,17 +657,12 @@ fn forward_stats_json(
     })
 }
 
-/// Machine-readable exhaustion report; `reason` is a lowercase token
-/// (`deadline`, `rounds`, `tuples`, `nulls`, `memory`, `cancelled`).
+/// Machine-readable exhaustion report in the versioned wire form
+/// (`{"v": 1, "reason": …}`; reason tokens are `deadline`, `rounds`,
+/// `tuples`, `nulls`, `memory`, `cancelled`) — byte-identical to what
+/// `dexd` serves, pinned in `dex-relational`'s governor tests.
 fn report_json(r: &ExhaustionReport) -> Json {
-    json!({
-        "reason": format!("{:?}", r.reason).to_lowercase(),
-        "rounds_committed": r.rounds_committed,
-        "tuples_derived": r.tuples_derived,
-        "nulls_created": r.nulls_created,
-        "approx_bytes": r.approx_bytes,
-        "elapsed_ms": r.elapsed.as_millis() as u64,
-    })
+    serde_json::to_value(r).unwrap_or(Json::Null)
 }
 
 /// `dexcli resume <dir>`: continue a `--store` run from its last
@@ -768,6 +759,122 @@ fn fsck_cmd(dir: &Path, repair: bool) -> Result<ExitCode, String> {
     Ok(ExitCode::FAILURE)
 }
 
+/// `dexcli serve --map name=mapping.dex … [flags]`: run the `dexd`
+/// daemon in the foreground until SIGTERM/ctrl-c, then drain
+/// gracefully (stop accepting, finish in-flight work under
+/// `--drain-deadline`, cancel overruns into 206 partials).
+fn serve_cmd(args: &[String]) -> Result<ExitCode, String> {
+    let mut rest: Vec<&String> = args.iter().collect();
+    // The shared budget flags become the *server default* budget every
+    // request starts from; request overrides can only tighten it.
+    let default_budget = extract_budget(&mut rest)?;
+    let mut config = dexd::ServerConfig {
+        default_budget,
+        ..dexd::ServerConfig::default()
+    };
+    if let Some(v) = take_flag_value(&mut rest, "--addr")? {
+        config.addr = v;
+    }
+    if let Some(v) = take_flag_value(&mut rest, "--workers")? {
+        config.workers = parse_count(&v, "--workers")?.max(1) as usize;
+    }
+    if let Some(v) = take_flag_value(&mut rest, "--queue")? {
+        config.queue_capacity = parse_count(&v, "--queue")?.max(1) as usize;
+    }
+    if let Some(v) = take_flag_value(&mut rest, "--max-inflight")? {
+        config.max_inflight_per_mapping = parse_count(&v, "--max-inflight")?;
+    }
+    if let Some(v) = take_flag_value(&mut rest, "--deny-cost")? {
+        config.deny_cost = Some(parse_count(&v, "--deny-cost")?);
+    }
+    if let Some(i) = rest.iter().position(|a| a.as_str() == "--no-auto-budget") {
+        rest.remove(i);
+        config.auto_budget = false;
+    }
+    if let Some(v) = take_flag_value(&mut rest, "--drain-deadline")? {
+        config.drain_deadline =
+            dex::relational::budget_args::parse_duration(&v, "--drain-deadline")?;
+    }
+    if let Some(v) = take_flag_value(&mut rest, "--store-root")? {
+        config.store_root = Some(std::path::PathBuf::from(v));
+    }
+    let mut specs: Vec<(String, std::path::PathBuf)> = Vec::new();
+    while let Some(v) = take_flag_value(&mut rest, "--map")? {
+        let (name, path) = v
+            .split_once('=')
+            .ok_or_else(|| format!("--map takes name=mapping.dex, got `{v}`"))?;
+        specs.push((name.to_string(), std::path::PathBuf::from(path)));
+    }
+    reject_unknown_flags(&rest)?;
+    // Bare mapping paths serve under their file stem.
+    for path in rest {
+        let p = std::path::PathBuf::from(path.as_str());
+        let name = p
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| format!("cannot derive a mapping name from `{path}`"))?
+            .to_string();
+        specs.push((name, p));
+    }
+    if specs.is_empty() {
+        return Err("serve needs at least one --map name=mapping.dex".to_string());
+    }
+    let catalog = dexd::Catalog::load(&specs)?;
+    let n = catalog.len();
+    let handle = dexd::ServerHandle::spawn(config, catalog).map_err(|e| e.to_string())?;
+    eprintln!(
+        "dexd: serving {n} mapping(s) on http://{} (ctrl-c to drain)",
+        handle.addr()
+    );
+    shutdown_signal::install();
+    while !shutdown_signal::received() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("dexd: shutdown requested; draining");
+    handle.shutdown();
+    eprintln!("dexd: drained");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// SIGTERM/SIGINT notification without a signal-handling dependency:
+/// a raw `signal(2)` registration flipping one atomic flag — the only
+/// async-signal-safe thing a handler may do here anyway.
+#[cfg(unix)]
+mod shutdown_signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static STOP: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+
+    pub fn received() -> bool {
+        STOP.load(Ordering::SeqCst)
+    }
+}
+
+/// On non-unix targets `serve` runs until killed externally.
+#[cfg(not(unix))]
+mod shutdown_signal {
+    pub fn install() {}
+    pub fn received() -> bool {
+        false
+    }
+}
+
 const HELP: &str = r#"dexcli — bidirectional data exchange from the command line
 
 commands:
@@ -790,6 +897,7 @@ commands:
                                                  certain answers over the exchange
   resume   <store-dir>                           continue a crashed/exhausted --store run
   fsck     <store-dir> [--repair]                verify a store; --repair truncates a torn WAL
+  serve    --map name=mapping.dex …              multi-tenant HTTP daemon (dexd)
 
 resource budgets (chase, exchange, query, resume):
   --timeout <dur>      wall-clock deadline: 500ms, 2s, 1m (bare number = ms)
@@ -833,6 +941,22 @@ printed to stdout, a report goes to stderr, and the exit code is 3;
 with --store the partial is durable and `dexcli resume <dir>` continues
 it with identical results to an uninterrupted run.
 
+serving (dexd):
+  dexcli serve --map emp=employees.dex [--map …] [mapping.dex …]
+    --addr <host:port>       bind address (default 127.0.0.1:0; port printed)
+    --workers <n>            worker threads (default 4)
+    --queue <n>              accepted-connection queue; full = 429 (default 64)
+    --max-inflight <n>       per-mapping in-flight cap; 0 = off (default 8)
+    --deny-cost <n>          DEX502 admission ceiling → 422 before chasing
+    --no-auto-budget         disable budget synthesis from static bounds
+    --drain-deadline <dur>   shutdown drain window (default 5s)
+    --store-root <dir>       where {"persist": true} requests write stores
+    budget flags (--timeout, --max-*) set the per-request default budget;
+    request bodies may tighten it via {"budget": {"timeout": "2s", …}}
+  status codes mirror exit codes: 200↔0, 206↔3 (partial + report),
+  422↔2 (lint/admission), 429 shed, 500↔70 (panic; mapping quarantined),
+  503 draining/quarantined
+
 exit codes:
   0   success
   1   usage or input error
@@ -866,25 +990,20 @@ fn take_flag_value(rest: &mut Vec<&String>, flag: &str) -> Result<Option<String>
 
 /// Extract the shared budget flags (`--timeout`, `--max-rounds`,
 /// `--max-tuples`, `--max-nulls`, `--max-memory`) from an argument
-/// list, leaving the positional arguments behind.
+/// list, leaving the positional arguments behind. The flag set and the
+/// value grammar come from [`BudgetArgs`] — the same parser `dexd`
+/// applies to request-body budget overrides, so the two surfaces
+/// cannot drift.
 fn extract_budget(rest: &mut Vec<&String>) -> Result<Budget, String> {
-    let mut b = Budget::unlimited();
-    if let Some(v) = take_flag_value(rest, "--timeout")? {
-        b = b.with_deadline(parse_duration(&v)?);
+    let mut args = BudgetArgs::new();
+    for key in BudgetArgs::KEYS {
+        if let Some(v) = take_flag_value(rest, &format!("--{key}"))? {
+            // BudgetArgs errors start with the bare key name; prefix
+            // the CLI's flag syntax back on.
+            args.set(key, &v).map_err(|e| format!("--{e}"))?;
+        }
     }
-    if let Some(v) = take_flag_value(rest, "--max-rounds")? {
-        b = b.with_max_rounds(parse_count(&v, "--max-rounds")?);
-    }
-    if let Some(v) = take_flag_value(rest, "--max-tuples")? {
-        b = b.with_max_tuples(parse_count(&v, "--max-tuples")?);
-    }
-    if let Some(v) = take_flag_value(rest, "--max-nulls")? {
-        b = b.with_max_nulls(parse_count(&v, "--max-nulls")?);
-    }
-    if let Some(v) = take_flag_value(rest, "--max-memory")? {
-        b = b.with_max_memory(parse_size(&v)?);
-    }
-    Ok(b)
+    Ok(args.budget())
 }
 
 /// Safety factor applied to `--auto-budget` caps. The static bounds
@@ -990,46 +1109,6 @@ fn extract_threads(rest: &mut Vec<&String>) -> Result<(), String> {
         dex::chase::set_default_threads(n);
     }
     Ok(())
-}
-
-fn parse_count(s: &str, flag: &str) -> Result<u64, String> {
-    s.parse::<u64>()
-        .map_err(|_| format!("{flag} takes a non-negative integer, got `{s}`"))
-}
-
-/// `500ms`, `2s`, `1m`, or a bare number of milliseconds.
-fn parse_duration(s: &str) -> Result<Duration, String> {
-    let bad = || format!("--timeout takes a duration like 500ms, 2s or 1m, got `{s}`");
-    let (digits, mult_ms) = if let Some(d) = s.strip_suffix("ms") {
-        (d, 1u64)
-    } else if let Some(d) = s.strip_suffix('s') {
-        (d, 1_000)
-    } else if let Some(d) = s.strip_suffix('m') {
-        (d, 60_000)
-    } else {
-        (s, 1)
-    };
-    let n = digits.parse::<u64>().map_err(|_| bad())?;
-    n.checked_mul(mult_ms)
-        .map(Duration::from_millis)
-        .ok_or_else(bad)
-}
-
-/// `64k`, `10m`, `1g`, or a bare number of bytes.
-fn parse_size(s: &str) -> Result<u64, String> {
-    let bad = || format!("--max-memory takes a size like 64k, 10m or 1g, got `{s}`");
-    let lower = s.to_ascii_lowercase();
-    let (digits, mult) = if let Some(d) = lower.strip_suffix('k') {
-        (d, 1u64 << 10)
-    } else if let Some(d) = lower.strip_suffix('m') {
-        (d, 1 << 20)
-    } else if let Some(d) = lower.strip_suffix('g') {
-        (d, 1 << 30)
-    } else {
-        (lower.as_str(), 1)
-    };
-    let n = digits.parse::<u64>().map_err(|_| bad())?;
-    n.checked_mul(mult).ok_or_else(bad)
 }
 
 fn load_mapping(path: &str) -> Result<Mapping, String> {
