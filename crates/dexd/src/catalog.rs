@@ -93,6 +93,12 @@ impl CatalogEntry {
         self.store_seq.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Start the store-directory sequence at `next` (startup only, see
+    /// [`Catalog::seed_store_seqs`]).
+    pub fn seed_store_seq(&self, next: u64) {
+        self.store_seq.store(next, Ordering::Relaxed);
+    }
+
     /// Stats snapshot for `/statz`.
     pub fn stats_json(&self) -> serde_json::Value {
         serde_json::json!({
@@ -169,6 +175,31 @@ impl Catalog {
         Catalog::from_texts(&texts)
     }
 
+    /// Point every entry's store-run counter past the `run-<n>`
+    /// directories already present under `root`: stores are durable
+    /// but the counter is not, so a restarted daemon would otherwise
+    /// re-issue `run-0` and every `persist` request would answer 500
+    /// (`Store::create` refuses to overwrite) until the counter
+    /// climbed past the predecessor's runs.
+    pub fn seed_store_seqs(&self, root: &std::path::Path) {
+        for entry in self.entries.values() {
+            let mut next = 0u64;
+            if let Ok(dir) = std::fs::read_dir(root.join(&entry.name)) {
+                for item in dir.flatten() {
+                    let seq = item
+                        .file_name()
+                        .to_str()
+                        .and_then(|n| n.strip_prefix("run-"))
+                        .and_then(|n| n.parse::<u64>().ok());
+                    if let Some(n) = seq {
+                        next = next.max(n.saturating_add(1));
+                    }
+                }
+            }
+            entry.seed_store_seq(next);
+        }
+    }
+
     /// Look up a tenant.
     pub fn get(&self, name: &str) -> Option<&Arc<CatalogEntry>> {
         self.entries.get(name)
@@ -216,6 +247,27 @@ mod tests {
         let s = e.stats_json();
         assert_eq!(s["poisoned"].as_bool(), Some(true));
         assert_eq!(s["panics"].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn store_seq_seeds_past_runs_left_by_a_previous_process() {
+        let root = std::env::temp_dir().join(format!(
+            "dexd-seed-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("emp").join("run-0")).expect("mkdir");
+        std::fs::create_dir_all(root.join("emp").join("run-7")).expect("mkdir");
+        std::fs::create_dir_all(root.join("emp").join("not-a-run")).expect("mkdir");
+        let cat = Catalog::from_texts(&[("emp", EMP), ("emp2", EMP)]).unwrap();
+        cat.seed_store_seqs(&root);
+        let e = cat.get("emp").unwrap();
+        assert_eq!(e.next_store_seq(), 8, "first fresh run skips past run-7");
+        assert_eq!(e.next_store_seq(), 9);
+        let e2 = cat.get("emp2").unwrap();
+        assert_eq!(e2.next_store_seq(), 0, "no prior runs: counter starts at 0");
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

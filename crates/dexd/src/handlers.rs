@@ -41,6 +41,15 @@ use std::sync::Arc;
 /// mapping; 2 is headroom against accounting drift.
 const AUTO_BUDGET_SAFETY: u64 = 2;
 
+/// Rounds ceiling applied when the effective budget ends up with no
+/// cap on *any* axis (unlimited server default, no request overrides,
+/// static bounds unbounded because the mapping is not weakly acyclic).
+/// Without it a single chase against a divergent mapping pins a worker
+/// forever — uncancellable short of shutting the daemon down. Matches
+/// the historical `ChaseOptions` default, and routes through the
+/// governor so tripping it yields a typed 206 partial, not an error.
+const FALLBACK_MAX_ROUNDS: u64 = 10_000;
+
 /// Route one parsed request to its handler. Never panics outward —
 /// the caller still wraps dispatch in the per-request panic barrier,
 /// but everything before dispatch is plain error handling.
@@ -282,6 +291,14 @@ fn admit(
     if ctx.config.auto_budget {
         budget = budget.intersect(Budget::from_bounds(&bounds, AUTO_BUDGET_SAFETY));
     }
+    let uncapped = budget.deadline.is_none()
+        && budget.max_rounds.is_none()
+        && budget.max_tuples.is_none()
+        && budget.max_nulls.is_none()
+        && budget.max_memory_bytes.is_none();
+    if uncapped {
+        budget = budget.with_max_rounds(FALLBACK_MAX_ROUNDS);
+    }
     Ok(budget)
 }
 
@@ -310,7 +327,9 @@ fn chase_op(entry: &CatalogEntry, body: &Json, ctx: &ServerCtx) -> Response {
     // The governed budget is the *sole* rounds authority in the
     // daemon: mirror its cap into the chase options (the CLI-facing
     // default of 10k rounds would otherwise preempt wall-clock and
-    // cancellation trips on runaway mappings).
+    // cancellation trips on runaway mappings). `usize::MAX` is only
+    // reachable when `admit` left another axis capped — a truly
+    // uncapped budget gets `FALLBACK_MAX_ROUNDS` there.
     let opts = ChaseOptions {
         max_rounds: budget
             .max_rounds

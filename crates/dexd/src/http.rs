@@ -5,15 +5,19 @@
 //! Parsing is deliberately strict and bounded: the request line and
 //! every header line are capped, header count is capped, bodies are
 //! capped ([`MAX_BODY_BYTES`]) and require an explicit
-//! `Content-Length` (no chunked encoding), and the socket carries
-//! read/write timeouts set by the server — a slow or malicious client
-//! can waste one worker for at most the timeout, never wedge it.
+//! `Content-Length` (`Transfer-Encoding` is refused outright), and the
+//! *whole* request read runs under one absolute deadline — the socket
+//! read timeout is re-armed with the remaining budget before every
+//! `read(2)`, so a slow-loris client trickling one byte per read
+//! cannot stretch its welcome: a slow or malicious client can waste
+//! one worker for at most the timeout, never wedge it.
 //! Every response is `Connection: close`: one request per connection
 //! keeps the state machine trivial and makes load shedding exact.
 
 use serde_json::{json, Value as Json};
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Hard cap on request bodies. Instances bigger than this should go
 /// through the CLI's file-based interface, not an HTTP body.
@@ -51,15 +55,44 @@ impl From<std::io::Error> for ReadError {
     }
 }
 
+/// Re-arm the socket's read timeout with whatever is left until
+/// `deadline`, failing once the budget is spent. Called before every
+/// blocking read, so the deadline bounds the *entire* request read —
+/// per-`read(2)` timeouts alone would let a slow-loris client hold a
+/// worker for `timeout × bytes`.
+fn arm(stream: &TcpStream, deadline: Instant) -> Result<(), ReadError> {
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(ReadError::Malformed(
+            "request read deadline exceeded".into(),
+        ));
+    }
+    stream.set_read_timeout(Some(remaining))?;
+    Ok(())
+}
+
+/// A read that ran out the armed timeout is the client's fault (400),
+/// not a dead socket: keep it distinguishable from a genuine IO error
+/// so the worker still writes a well-formed refusal.
+fn read_err(e: std::io::Error) -> ReadError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            ReadError::Malformed("request read timed out".into())
+        }
+        _ => ReadError::Io(e),
+    }
+}
+
 /// Read one `\r\n`-terminated line, byte by byte, capped at
 /// [`MAX_LINE_BYTES`]. Byte-at-a-time reads are fine here: request
 /// lines and headers are tiny, and it avoids buffering reads past the
 /// header/body boundary.
-fn read_line(stream: &mut TcpStream) -> Result<String, ReadError> {
+fn read_line(stream: &mut TcpStream, deadline: Instant) -> Result<String, ReadError> {
     let mut line = Vec::new();
     let mut byte = [0u8; 1];
     loop {
-        let n = stream.read(&mut byte)?;
+        arm(stream, deadline)?;
+        let n = stream.read(&mut byte).map_err(read_err)?;
         if n == 0 {
             return Err(ReadError::Malformed("connection closed mid-line".into()));
         }
@@ -77,9 +110,12 @@ fn read_line(stream: &mut TcpStream) -> Result<String, ReadError> {
     }
 }
 
-/// Read and validate one full request from the stream.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
-    let request_line = read_line(stream)?;
+/// Read and validate one full request from the stream. `timeout` is
+/// the absolute budget for the whole read — request line, headers, and
+/// body together.
+pub fn read_request(stream: &mut TcpStream, timeout: Duration) -> Result<Request, ReadError> {
+    let deadline = Instant::now() + timeout;
+    let request_line = read_line(stream, deadline)?;
     let mut parts = request_line.split(' ');
     let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
@@ -96,7 +132,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
     }
     let mut content_length: u64 = 0;
     for _ in 0..MAX_HEADERS {
-        let line = read_line(stream)?;
+        let line = read_line(stream, deadline)?;
         if line.is_empty() {
             // Refuse over-cap bodies only after the full header block
             // is consumed, so the refusal closes cleanly (no unread
@@ -111,7 +147,15 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
                 usize::try_from(content_length)
                     .map_err(|_| ReadError::TooLarge("body over limit".into()))?
             ];
-            stream.read_exact(&mut body)?;
+            let mut filled = 0;
+            while filled < body.len() {
+                arm(stream, deadline)?;
+                let n = stream.read(&mut body[filled..]).map_err(read_err)?;
+                if n == 0 {
+                    return Err(ReadError::Malformed("connection closed mid-body".into()));
+                }
+                filled += n;
+            }
             return Ok(Request {
                 method: method.to_string(),
                 path: path.to_string(),
@@ -121,11 +165,19 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
         let Some((name, value)) = line.split_once(':') else {
             return Err(ReadError::Malformed(format!("bad header `{line}`")));
         };
-        if name.trim().eq_ignore_ascii_case("content-length") {
+        let name = name.trim();
+        if name.eq_ignore_ascii_case("content-length") {
             content_length = value
                 .trim()
                 .parse::<u64>()
                 .map_err(|_| ReadError::Malformed(format!("bad Content-Length `{value}`")))?;
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            // Silently ignoring this would leave the chunked payload
+            // unread (RST racing the response) and run the operation
+            // on an empty body the client never sent.
+            return Err(ReadError::Malformed(
+                "Transfer-Encoding is not supported; send a Content-Length body".into(),
+            ));
         }
     }
     Err(ReadError::Malformed("too many headers".into()))
@@ -195,22 +247,29 @@ impl Response {
     /// close with unread input in the socket, making the kernel send
     /// RST — which can destroy the response before the client reads
     /// it. Instead: respond, half-close, then briefly drain the
-    /// client's leftover bytes so the close is orderly. Bounded by a
-    /// short timeout and a byte cap — a hostile client costs the
-    /// caller at most ~100 ms.
+    /// client's leftover bytes so the close is orderly. Bounded by an
+    /// absolute wall-clock deadline (re-armed per read, so trickled
+    /// bytes cannot reset it) plus a byte cap — a hostile client costs
+    /// the caller at most ~100 ms, even from the acceptor thread.
     pub fn write_refusal(&self, stream: &mut TcpStream) {
         let _ = self.write_to(stream);
         let _ = stream.shutdown(std::net::Shutdown::Write);
-        let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(100)));
+        let deadline = Instant::now() + Duration::from_millis(100);
         let mut scratch = [0u8; 1024];
         let mut drained = 0usize;
-        while let Ok(n) = stream.read(&mut scratch) {
-            if n == 0 {
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() || stream.set_read_timeout(Some(remaining)).is_err() {
                 break;
             }
-            drained += n;
-            if drained > 64 << 10 {
-                break;
+            match stream.read(&mut scratch) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    drained += n;
+                    if drained > 64 << 10 {
+                        break;
+                    }
+                }
             }
         }
     }
@@ -235,5 +294,101 @@ pub fn reason(status: u16) -> &'static str {
             debug_assert!(false, "unmapped status {status}");
             "Unknown"
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A loopback pair plus a client thread that trickles one byte
+    /// every `pace` for up to `bytes` bytes (stopping early once the
+    /// server closes) — the slow-loris shape both deadline tests need.
+    fn trickling_client(
+        preamble: &'static [u8],
+        pace: Duration,
+        bytes: usize,
+    ) -> (TcpStream, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).expect("connect");
+            if c.write_all(preamble).is_err() {
+                return;
+            }
+            for _ in 0..bytes {
+                std::thread::sleep(pace);
+                if c.write_all(b"x").is_err() {
+                    return; // server cut us off — the point of the tests
+                }
+            }
+        });
+        let (server_side, _) = listener.accept().expect("accept");
+        (server_side, client)
+    }
+
+    #[test]
+    fn request_read_is_bounded_by_an_absolute_deadline() {
+        // 100 bytes at 30 ms apiece = 3 s of valid-looking trickle;
+        // every gap is far below the 250 ms budget, so a per-read
+        // timeout alone would never trip.
+        let (mut stream, client) = trickling_client(
+            b"POST /v1/mappings/emp/chase HTTP/1.1\r\nX-Slow: ",
+            Duration::from_millis(30),
+            100,
+        );
+        let start = Instant::now();
+        let out = read_request(&mut stream, Duration::from_millis(250));
+        assert!(
+            matches!(out, Err(ReadError::Malformed(_))),
+            "deadline trip is the client's fault (400): {out:?}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_millis(1500),
+            "read bounded by the total budget, took {:?}",
+            start.elapsed()
+        );
+        drop(stream);
+        client.join().expect("client thread");
+    }
+
+    #[test]
+    fn refusal_drain_is_bounded_by_wall_clock() {
+        // 50 bytes at 40 ms apiece = 2 s of trickle, each gap under
+        // the old 100 ms per-read timeout that used to reset forever.
+        let (mut stream, client) =
+            trickling_client(b"GET /healthz HTTP/1.1\r\n", Duration::from_millis(40), 50);
+        let start = Instant::now();
+        Response::error(429, "overloaded", "test").write_refusal(&mut stream);
+        assert!(
+            start.elapsed() < Duration::from_millis(900),
+            "drain bounded by its deadline, took {:?}",
+            start.elapsed()
+        );
+        drop(stream);
+        client.join().expect("client thread");
+    }
+
+    #[test]
+    fn transfer_encoding_is_refused_up_front() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).expect("connect");
+            let _ = c.write_all(
+                b"POST /v1/mappings/emp/chase HTTP/1.1\r\n\
+                  Transfer-Encoding: chunked\r\n\r\n\
+                  5\r\nhello\r\n0\r\n\r\n",
+            );
+            c
+        });
+        let (mut stream, _) = listener.accept().expect("accept");
+        let out = read_request(&mut stream, Duration::from_secs(2));
+        assert!(
+            matches!(out, Err(ReadError::Malformed(_))),
+            "chunked bodies are refused, not silently dropped: {out:?}"
+        );
+        drop(client.join().expect("client thread"));
     }
 }

@@ -66,8 +66,9 @@ pub struct ServerConfig {
     /// Where `persist: true` requests write their stores
     /// (`<root>/<mapping>/run-<seq>`); `None` disables persistence.
     pub store_root: Option<PathBuf>,
-    /// Socket read/write timeout — the longest a slow client can hold
-    /// a worker.
+    /// Socket IO budget: the absolute deadline for reading one whole
+    /// request (see [`read_request`]) and the per-write timeout on
+    /// responses — the longest a slow client can hold a worker.
     pub io_timeout: Duration,
 }
 
@@ -287,6 +288,11 @@ impl ServerHandle {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        if let Some(root) = &config.store_root {
+            // Skip past run directories a previous daemon process left
+            // behind — `Store::create` refuses to overwrite them.
+            catalog.seed_store_seqs(root);
+        }
         let ctx = Arc::new(ServerCtx {
             config,
             catalog,
@@ -382,6 +388,16 @@ fn accept_loop(listener: &TcpListener, queue: &Queue, ctx: &Arc<ServerCtx>) {
                 // partial; queued requests then see the cancelled
                 // token immediately and finish fast.
                 ctx.drain_cancel.cancel();
+                // Cancellation is cooperative and request reads are
+                // deadline-bounded, so workers quiesce within roughly
+                // one io_timeout of the cancel. A connection stuck
+                // past that (a peer that never drains its response,
+                // a non-governed code path) must not hang shutdown
+                // forever: stop waiting and let the scope join the
+                // workers as their sockets time out.
+                if Instant::now() >= deadline + ctx.config.io_timeout + Duration::from_secs(1) {
+                    return;
+                }
             }
         }
         let stream = match listener.accept() {
@@ -477,7 +493,7 @@ fn serve_connection(stream: &mut TcpStream, ctx: &Arc<ServerCtx>) {
         Response::error(400, "bad_request", e).write_refusal(stream);
         return;
     }
-    let req = match read_request(stream) {
+    let req = match read_request(stream, ctx.config.io_timeout) {
         Ok(req) => req,
         Err(ReadError::Malformed(msg)) => {
             ctx.stats.malformed.fetch_add(1, Ordering::Relaxed);

@@ -336,12 +336,9 @@ fn persisted_chase_writes_a_clean_store() {
     let _ = std::fs::remove_dir_all(&root);
     let srv = spawn(&[("emp", EMPLOYEES)], |c| c.store_root = Some(root.clone()));
     let addr = srv.addr();
-    let resp = request(
-        addr,
-        "POST",
-        "/v1/mappings/emp/chase",
-        r#"{"source": {"Emp": [["ann", "eng"]], "Dept": [["eng", "bob"]]}, "persist": true}"#,
-    );
+    let body =
+        r#"{"source": {"Emp": [["ann", "eng"]], "Dept": [["eng", "bob"]]}, "persist": true}"#;
+    let resp = request(addr, "POST", "/v1/mappings/emp/chase", body);
     assert_eq!(resp.status, 200, "{}", resp.raw_body);
     let dir = resp
         .field("store")
@@ -351,7 +348,103 @@ fn persisted_chase_writes_a_clean_store() {
     srv.shutdown();
     let report = dex_store::fsck::fsck(std::path::Path::new(&dir)).expect("fsck runs");
     assert!(report.is_clean(), "persisted store is clean: {report}");
+
+    // Restart against the same store root: the run counter must seed
+    // past the predecessor's directories, not collide with `run-0`.
+    let srv = spawn(&[("emp", EMPLOYEES)], |c| c.store_root = Some(root.clone()));
+    let resp2 = request(srv.addr(), "POST", "/v1/mappings/emp/chase", body);
+    assert_eq!(
+        resp2.status, 200,
+        "persist works after a restart: {}",
+        resp2.raw_body
+    );
+    let dir2 = resp2
+        .field("store")
+        .and_then(|v| v.as_str())
+        .expect("store dir in response")
+        .to_string();
+    assert_ne!(dir, dir2, "restarted daemon picks a fresh run directory");
+    srv.shutdown();
     let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn slow_loris_cannot_pin_a_worker_past_the_read_deadline() {
+    let srv = spawn(&[("emp", EMPLOYEES)], |c| {
+        c.workers = 1;
+        c.io_timeout = Duration::from_millis(400);
+    });
+    let addr = srv.addr();
+    // Occupy the only worker with a header trickle: every gap is well
+    // under any per-read timeout, so only the absolute request-read
+    // deadline can end it.
+    let loris = std::thread::spawn(move || {
+        let mut s = std::net::TcpStream::connect(addr).expect("connect");
+        s.write_all(b"POST /v1/mappings/emp/chase HTTP/1.1\r\nX-Slow: ")
+            .expect("preamble");
+        let start = std::time::Instant::now();
+        for _ in 0..100 {
+            std::thread::sleep(Duration::from_millis(50));
+            if s.write_all(b"x").is_err() {
+                return Some(start.elapsed()); // server cut us off
+            }
+        }
+        None
+    });
+    std::thread::sleep(Duration::from_millis(100)); // let the worker adopt it
+    // The worker frees itself once the deadline trips; a normal
+    // request queued behind the loris then gets served.
+    let h = request(addr, "GET", "/healthz", "");
+    assert_eq!(h.status, 200, "{}", h.raw_body);
+    let cut = loris
+        .join()
+        .expect("loris thread")
+        .expect("loris connection was cut off");
+    assert!(cut < Duration::from_secs(3), "cut at {cut:?}, not ~400ms");
+    srv.shutdown();
+}
+
+#[test]
+fn uncapped_budget_falls_back_to_a_finite_rounds_ceiling() {
+    // No deadline, no overrides, no synthesized caps (auto-budget off;
+    // RUNAWAY's static bounds are unbounded anyway): the daemon still
+    // refuses to chase forever — the fallback rounds ceiling trips
+    // into a typed 206 partial instead of pinning a worker for good.
+    let srv = spawn(&[("runaway", RUNAWAY)], |c| c.auto_budget = false);
+    let resp = request(
+        srv.addr(),
+        "POST",
+        "/v1/mappings/runaway/chase",
+        r#"{"source": {"S": [["seed"]]}}"#,
+    );
+    assert_eq!(resp.status, 206, "{}", resp.raw_body);
+    assert_eq!(
+        resp.field("exhausted.reason").and_then(|v| v.as_str()),
+        Some("rounds")
+    );
+    srv.shutdown();
+}
+
+#[test]
+fn transfer_encoding_chunked_is_refused_with_400() {
+    let srv = spawn(&[("emp", EMPLOYEES)], |_| {});
+    let mut s = std::net::TcpStream::connect(srv.addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    s.write_all(
+        b"POST /v1/mappings/emp/chase HTTP/1.1\r\n\
+          Transfer-Encoding: chunked\r\n\r\n\
+          5\r\nhello\r\n0\r\n\r\n",
+    )
+    .expect("write");
+    let mut raw = Vec::new();
+    let _ = s.read_to_end(&mut raw);
+    let text = String::from_utf8_lossy(&raw);
+    assert!(
+        text.starts_with("HTTP/1.1 400"),
+        "chunked requests are refused, not run on an empty body: {text}"
+    );
+    srv.shutdown();
 }
 
 #[test]
