@@ -33,6 +33,7 @@ pub struct CatalogEntry {
     /// alone.
     pub engine: Result<Engine, String>,
     poisoned: AtomicBool,
+    migrating: AtomicBool,
     in_flight: AtomicU64,
     served: AtomicU64,
     shed: AtomicU64,
@@ -54,6 +55,7 @@ impl CatalogEntry {
             spans,
             engine,
             poisoned: AtomicBool::new(false),
+            migrating: AtomicBool::new(false),
             in_flight: AtomicU64::new(0),
             served: AtomicU64::new(0),
             shed: AtomicU64::new(0),
@@ -72,6 +74,29 @@ impl CatalogEntry {
     /// Is this mapping quarantined?
     pub fn is_poisoned(&self) -> bool {
         self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Try to claim the (single) migration slot for this mapping.
+    /// `false` means a migration is already running — the caller
+    /// answers 409. While held, every other operation on the mapping
+    /// answers 503 (the store's files are about to be swapped under
+    /// it); release with [`end_migration`](Self::end_migration).
+    pub fn try_begin_migration(&self) -> bool {
+        self.migrating
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Release the migration slot (commit, suspension, or failure —
+    /// a suspended migration's staging is durable on disk and does not
+    /// need the in-memory flag to survive).
+    pub fn end_migration(&self) {
+        self.migrating.store(false, Ordering::Release);
+    }
+
+    /// Is a live migration currently running against this mapping?
+    pub fn is_migrating(&self) -> bool {
+        self.migrating.load(Ordering::Acquire)
     }
 
     /// Try to claim an in-flight slot; `None` when `cap` concurrent
@@ -107,6 +132,7 @@ impl CatalogEntry {
             "shed": self.shed.load(Ordering::Relaxed),
             "panics": self.panics.load(Ordering::Relaxed),
             "poisoned": self.is_poisoned(),
+            "migrating": self.is_migrating(),
             "compiles": self.engine.is_ok(),
         })
     }

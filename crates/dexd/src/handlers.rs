@@ -29,9 +29,17 @@ use crate::server::ServerCtx;
 use dex_analyze::{analyze_with, chase_bounds, explain_with, has_errors, sort_diagnostics};
 use dex_chase::{exchange_checkpointed, exchange_governed, ChaseOptions, ChaseOutcome, Governor};
 use dex_core::EngineForward;
+use dex_evolution::{
+    compile_migration, diff, prefix_instance, render_mapping_dex, render_schema_dex,
+    Catalog as EvCatalog,
+};
+use dex_logic::{parse_mapping, Mapping};
 use dex_relational::budget_args::BudgetArgs;
 use dex_relational::{fail, Budget, Instance, SourceStats};
-use dex_store::{Store, StoreMode, StoreOptions, StoreSink};
+use dex_store::migrate::{self as store_migrate, MigrateStatus};
+use dex_store::{
+    MigratePlan, MigrateRun, Migration, Store, StoreError, StoreMode, StoreOptions, StoreSink,
+};
 use serde_json::{json, Map, Value as Json};
 use std::sync::Arc;
 
@@ -56,19 +64,53 @@ const FALLBACK_MAX_ROUNDS: u64 = 10_000;
 pub fn route(req: &Request, ctx: &ServerCtx) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => Response::json(200, json!({"v": 1, "status": "ok"})),
-        ("GET", "/readyz") => {
-            if ctx.is_draining() {
-                Response::error(503, "draining", "shutting down: not accepting new work")
-                    .with_retry_after(1)
-            } else {
-                Response::json(200, json!({"v": 1, "status": "ready"}))
-            }
-        }
+        ("GET", "/readyz") => readyz(ctx),
         ("GET", "/statz") => Response::json(200, ctx.statz()),
         (method, path) => match path.strip_prefix("/v1/mappings/") {
             Some(rest) => mapping_request(method, rest, &req.body, ctx),
             None => Response::error(404, "not_found", format!("no route for {path}")),
         },
+    }
+}
+
+/// `GET /readyz`: readiness with per-mapping availability. A mapping
+/// is unavailable while quarantined (panic) or mid-migration (its
+/// store files are about to be swapped); the response lists both, but
+/// the daemon only answers 503 when it is draining or when *every*
+/// mapping is unavailable — one quarantined tenant must not fail the
+/// whole process out of a load balancer.
+fn readyz(ctx: &ServerCtx) -> Response {
+    if ctx.is_draining() {
+        return Response::error(503, "draining", "shutting down: not accepting new work")
+            .with_retry_after(1);
+    }
+    let mut quarantined: Vec<Json> = Vec::new();
+    let mut migrating: Vec<Json> = Vec::new();
+    let mut unavailable = 0usize;
+    for entry in ctx.catalog.entries() {
+        let poisoned = entry.is_poisoned();
+        let moving = entry.is_migrating();
+        if poisoned {
+            quarantined.push(json!(&entry.name));
+        }
+        if moving {
+            migrating.push(json!(&entry.name));
+        }
+        if poisoned || moving {
+            unavailable += 1;
+        }
+    }
+    let all_down = unavailable == ctx.catalog.len();
+    let body = json!({
+        "v": 1,
+        "status": if all_down { "unavailable" } else { "ready" },
+        "quarantined": Json::Array(quarantined),
+        "migrating": Json::Array(migrating),
+    });
+    if all_down {
+        Response::json(503, body).with_retry_after(1)
+    } else {
+        Response::json(200, body)
     }
 }
 
@@ -78,7 +120,9 @@ fn mapping_request(method: &str, rest: &str, body: &[u8], ctx: &ServerCtx) -> Re
     let Some((name, op)) = rest.split_once('/') else {
         return Response::error(404, "not_found", "expected /v1/mappings/{name}/{op}");
     };
-    const OPS: &[&str] = &["compile", "lint", "explain", "chase", "exchange", "put"];
+    const OPS: &[&str] = &[
+        "compile", "lint", "explain", "chase", "exchange", "put", "migrate",
+    ];
     if !OPS.contains(&op) {
         return Response::error(
             404,
@@ -102,6 +146,30 @@ fn mapping_request(method: &str, rest: &str, body: &[u8], ctx: &ServerCtx) -> Re
             "mapping quarantined after an internal panic; restart dexd to clear",
         );
     }
+    // Migration quarantine: while a live migration is swapping this
+    // mapping's store files, every other operation waits it out. A
+    // second concurrent migration is a conflict, not a retry.
+    let _migration_guard = if op == "migrate" {
+        if !entry.try_begin_migration() {
+            return Response::error(
+                409,
+                "migration_running",
+                format!("mapping `{name}` already has a migration in flight"),
+            )
+            .with_retry_after(1);
+        }
+        Some(MigrationGuard(Arc::clone(entry)))
+    } else {
+        if entry.is_migrating() {
+            return Response::error(
+                503,
+                "migrating",
+                format!("mapping `{name}` is mid-migration; retry shortly"),
+            )
+            .with_retry_after(1);
+        }
+        None
+    };
     let Some(_guard) = entry.try_begin(ctx.config.max_inflight_per_mapping) else {
         ctx.stats.note_shed_tenant();
         return Response::error(
@@ -158,6 +226,17 @@ fn mapping_request(method: &str, rest: &str, body: &[u8], ctx: &ServerCtx) -> Re
     }
 }
 
+/// RAII release of a mapping's migration slot: covers every exit from
+/// the migrate pipeline, including a panic unwinding through the
+/// request barrier.
+struct MigrationGuard(Arc<CatalogEntry>);
+
+impl Drop for MigrationGuard {
+    fn drop(&mut self) {
+        self.0.end_migration();
+    }
+}
+
 /// Execute one operation against one catalog entry (ladder steps 4–6).
 fn execute(op: &str, entry: &CatalogEntry, body: &Json, ctx: &ServerCtx) -> Response {
     match op {
@@ -167,6 +246,7 @@ fn execute(op: &str, entry: &CatalogEntry, body: &Json, ctx: &ServerCtx) -> Resp
         "chase" => chase_op(entry, body, ctx),
         "exchange" => exchange_op(entry, body, ctx),
         "put" => put_op(entry, body),
+        "migrate" => migrate_op(entry, body, ctx),
         // Unreachable: `mapping_request` filtered on OPS.
         other => Response::error(404, "unknown_operation", other),
     }
@@ -233,38 +313,14 @@ fn explain_op(entry: &CatalogEntry) -> Response {
 /// `Err` is the refusal response (400 bad override / 422 admission).
 fn admit(
     entry: &CatalogEntry,
+    mapping: &Mapping,
     src: &Instance,
     body: &Json,
     ctx: &ServerCtx,
 ) -> Result<Budget, Response> {
-    let mut args = BudgetArgs::new();
-    if let Some(overrides) = body.get("budget") {
-        let Some(obj) = overrides.as_object() else {
-            return Err(Response::error(
-                400,
-                "bad_budget",
-                "`budget` must be an object",
-            ));
-        };
-        for (key, value) in obj {
-            let text = match value {
-                Json::String(s) => s.clone(),
-                Json::Number(n) => n.to_string(),
-                other => {
-                    return Err(Response::error(
-                        400,
-                        "bad_budget",
-                        format!("budget.{key}: expected a string or number, got {other}"),
-                    ))
-                }
-            };
-            if let Err(e) = args.set(key, &text) {
-                return Err(Response::error(400, "bad_budget", e));
-            }
-        }
-    }
+    let args = budget_overrides(body)?;
     let stats = SourceStats::measure(src);
-    let bounds = chase_bounds(&entry.mapping, &stats);
+    let bounds = chase_bounds(mapping, &stats);
     if let Some(threshold) = ctx.config.deny_cost {
         let headline = bounds.headline();
         if headline.exceeds(threshold) {
@@ -302,6 +358,37 @@ fn admit(
     Ok(budget)
 }
 
+/// Parse the request's `budget` override object (400 on bad shape).
+fn budget_overrides(body: &Json) -> Result<BudgetArgs, Response> {
+    let mut args = BudgetArgs::new();
+    if let Some(overrides) = body.get("budget") {
+        let Some(obj) = overrides.as_object() else {
+            return Err(Response::error(
+                400,
+                "bad_budget",
+                "`budget` must be an object",
+            ));
+        };
+        for (key, value) in obj {
+            let text = match value {
+                Json::String(s) => s.clone(),
+                Json::Number(n) => n.to_string(),
+                other => {
+                    return Err(Response::error(
+                        400,
+                        "bad_budget",
+                        format!("budget.{key}: expected a string or number, got {other}"),
+                    ))
+                }
+            };
+            if let Err(e) = args.set(key, &text) {
+                return Err(Response::error(400, "bad_budget", e));
+            }
+        }
+    }
+    Ok(args)
+}
+
 /// Pull the `source` instance out of the body.
 fn source_of(entry: &CatalogEntry, body: &Json) -> Result<Instance, Response> {
     let Some(src) = body.get("source") else {
@@ -320,7 +407,7 @@ fn chase_op(entry: &CatalogEntry, body: &Json, ctx: &ServerCtx) -> Response {
         Ok(s) => s,
         Err(r) => return r,
     };
-    let budget = match admit(entry, &src, body, ctx) {
+    let budget = match admit(entry, &entry.mapping, &src, body, ctx) {
         Ok(b) => b,
         Err(r) => return r,
     };
@@ -417,7 +504,7 @@ fn exchange_op(entry: &CatalogEntry, body: &Json, ctx: &ServerCtx) -> Response {
         },
         None => None,
     };
-    let budget = match admit(entry, &src, body, ctx) {
+    let budget = match admit(entry, &entry.mapping, &src, body, ctx) {
         Ok(b) => b,
         Err(r) => return r,
     };
@@ -469,5 +556,234 @@ fn put_op(entry: &CatalogEntry, body: &Json) -> Response {
         // A put the lens refuses (violated fd, unrestorable row) is a
         // client-data problem, not a server fault.
         Err(e) => Response::error(422, "put_rejected", e),
+    }
+}
+
+/// `POST /v1/mappings/{name}/migrate`: crash-safe live schema
+/// migration of one of this mapping's persisted stores.
+///
+/// Body: `{"run": "run-0", "schema": "target T(a, b, c);",
+/// "resume": bool?, "budget": {…}?}`. While the migration runs the
+/// mapping is quarantined (other operations answer 503 — the caller
+/// set that up in `mapping_request`); the slot is released whether the
+/// migration commits, suspends, or fails, because a suspended
+/// migration's staging is durable on disk and the live store stays
+/// authoritative. The status contract mirrors the rest of the daemon:
+/// 200 committed, 206 suspended at a resumable checkpoint (budget or
+/// drain cancellation — a SIGTERM mid-migration lands here), 400/404
+/// client errors, 409 conflicting state, 422 refused before data was
+/// touched, 500 store fault.
+fn migrate_op(entry: &CatalogEntry, body: &Json, ctx: &ServerCtx) -> Response {
+    let Some(root) = &ctx.config.store_root else {
+        return Response::error(
+            400,
+            "no_store_root",
+            "migrate requires the server to run with --store-root",
+        );
+    };
+    let Some(run) = body.get("run").and_then(Json::as_str) else {
+        return Response::error(400, "bad_request", "missing `run` (store directory name)");
+    };
+    if run.is_empty()
+        || run.len() > 128
+        || !run
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.')
+        || run == "."
+        || run == ".."
+    {
+        return Response::error(400, "bad_run", "`run` must name a store directory");
+    }
+    let dir = root.join(&entry.name).join(run);
+    let opts = StoreOptions::default();
+    let mut resp = envelope(entry, "migrate");
+    resp.insert("run".into(), json!(run));
+
+    let budget = match budget_overrides(body) {
+        Ok(args) => {
+            let mut b = ctx.config.default_budget.intersect(args.budget());
+            if b.deadline.is_none()
+                && b.max_rounds.is_none()
+                && b.max_tuples.is_none()
+                && b.max_nulls.is_none()
+                && b.max_memory_bytes.is_none()
+            {
+                b = b.with_max_rounds(FALLBACK_MAX_ROUNDS);
+            }
+            b
+        }
+        Err(r) => return r,
+    };
+
+    if body.get("resume").and_then(Json::as_bool).unwrap_or(false) {
+        return match store_migrate::status(&dir) {
+            Err(e) => Response::error(500, "store", e),
+            Ok(MigrateStatus::None) => Response::error(
+                409,
+                "nothing_staged",
+                format!("run `{run}` has no staged migration to resume"),
+            ),
+            Ok(MigrateStatus::Committed) => match store_migrate::roll_forward(&dir, opts.sync) {
+                Ok(_) => {
+                    resp.insert("committed".into(), json!(true));
+                    resp.insert("rolled_forward".into(), json!(true));
+                    Response::json(200, Json::Object(resp))
+                }
+                Err(e) => Response::error(500, "store", e),
+            },
+            Ok(MigrateStatus::InProgress { .. }) => match Migration::resume(&dir, opts) {
+                Ok(mig) => run_staged(mig, resp, run, budget, ctx),
+                Err(e) => Response::error(500, "store", e),
+            },
+        };
+    }
+
+    match store_migrate::status(&dir) {
+        Err(e) => return Response::error(500, "store", e),
+        Ok(MigrateStatus::None) => {}
+        Ok(_) => {
+            return Response::error(
+                409,
+                "migration_staged",
+                format!("run `{run}` already has a staged migration; resume it"),
+            )
+        }
+    }
+    let Some(schema_text) = body.get("schema").and_then(Json::as_str) else {
+        return Response::error(
+            400,
+            "bad_request",
+            "missing `schema` (new-schema .dex text)",
+        );
+    };
+    let new_m = match parse_mapping(schema_text) {
+        Ok(m) => m,
+        Err(e) => return Response::error(400, "bad_schema", format!("schema: {e}")),
+    };
+    if !new_m.st_tgds().is_empty() || !new_m.target_tgds().is_empty() {
+        return Response::error(
+            400,
+            "bad_schema",
+            "`schema` must hold only declarations (target/key); it contains rules",
+        );
+    }
+    let mut new_schema = new_m.target().clone();
+    for rel in new_m.source().relations() {
+        if let Err(e) = new_schema.add_relation(rel.clone()) {
+            return Response::error(400, "bad_schema", format!("schema: {e}"));
+        }
+    }
+
+    // The store's materialized instance is the migration's input; an
+    // unfinished chase must be resumed (not migrated) first.
+    let store = match Store::open(&dir, opts) {
+        Ok(s) => s,
+        Err(StoreError::NotAStore { .. }) => {
+            return Response::error(404, "unknown_run", format!("no store at run `{run}`"))
+        }
+        Err(e) => return Response::error(500, "store", e),
+    };
+    let state = match store.recover() {
+        Err(e) => return Response::error(500, "store", e),
+        Ok(Some(r)) if r.state.complete => r.state,
+        Ok(_) => {
+            return Response::error(
+                409,
+                "unfinished_run",
+                format!("run `{run}` holds an unfinished chase; resume it before migrating"),
+            )
+        }
+    };
+    let old_schema = state.instance.schema().clone();
+
+    let smos = match diff(
+        &EvCatalog::from_schema(&old_schema),
+        &EvCatalog::from_schema(&new_schema),
+    ) {
+        Ok(s) => s,
+        Err(e) => return Response::error(422, "cannot_migrate", e),
+    };
+    let migration = match compile_migration(&old_schema, &new_schema, &smos) {
+        Ok(m) => m,
+        Err(e) => return Response::error(422, "cannot_migrate", e),
+    };
+    let prefixed = match prefix_instance(&state.instance, 0) {
+        Ok(i) => i,
+        Err(e) => return Response::error(500, "migrate", e),
+    };
+    // Same admission gate as chase/exchange, against the *actual*
+    // stored data and the *compiled migration* mapping.
+    let budget = match admit(entry, &migration.mapping, &prefixed, body, ctx) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    resp.insert(
+        "smos".into(),
+        Json::Array(
+            migration
+                .smos
+                .iter()
+                .map(|s| json!(s.to_string()))
+                .collect(),
+        ),
+    );
+    let plan = MigratePlan {
+        schema_text: render_schema_dex(&new_schema),
+        mapping_text: render_mapping_dex(&migration.mapping),
+    };
+    drop(store);
+    match Migration::begin(&dir, &plan, &prefixed, opts) {
+        Ok(mig) => run_staged(mig, resp, run, budget, ctx),
+        Err(e) => Response::error(500, "store", e),
+    }
+}
+
+/// Drive a staged migration to commit (200) or a durable, resumable
+/// checkpoint (206). The drain [`CancelToken`] rides the governor, so
+/// daemon shutdown suspends the migration exactly like a budget trip —
+/// the staging directory survives and a later `resume: true` request
+/// (or `dexcli migrate --resume` against the same directory) finishes
+/// it with bit-identical results.
+fn run_staged(
+    mut mig: Migration,
+    mut resp: Map<String, Json>,
+    run: &str,
+    budget: Budget,
+    ctx: &ServerCtx,
+) -> Response {
+    let gov = Governor::new(budget).with_cancel(ctx.drain_cancel.clone());
+    match mig.run(ChaseOptions::default(), &gov) {
+        Err(e) => {
+            ctx.stats.note_error();
+            Response::error(500, "migrate", e)
+        }
+        Ok(MigrateRun::Done(state)) => match mig.finalize() {
+            Err(e) => {
+                ctx.stats.note_error();
+                Response::error(500, "migrate", e)
+            }
+            Ok(()) => {
+                resp.insert("committed".into(), json!(true));
+                resp.insert("tuples".into(), json!(state.instance.fact_count()));
+                Response::json(200, Json::Object(resp))
+            }
+        },
+        Ok(MigrateRun::Suspended(report)) => {
+            ctx.stats.note_partial();
+            resp.insert("committed".into(), json!(false));
+            resp.insert("resumable".into(), json!(true));
+            resp.insert(
+                "hint".into(),
+                json!(format!(
+                    "staging is durable and the live store untouched; \
+                     POST again with {{\"run\": \"{run}\", \"resume\": true}}"
+                )),
+            );
+            resp.insert(
+                "exhausted".into(),
+                serde_json::to_value(&report).unwrap_or(Json::Null),
+            );
+            Response::json(206, Json::Object(resp))
+        }
     }
 }

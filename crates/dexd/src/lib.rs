@@ -7,14 +7,21 @@
 //! | endpoint                          | meaning                         |
 //! |-----------------------------------|---------------------------------|
 //! | `GET /healthz`                    | process liveness                |
-//! | `GET /readyz`                     | accepting work? (503 draining)  |
-//! | `GET /statz`                      | counters, per-mapping state     |
+//! | `GET /readyz`                     | availability (503 only when     |
+//! |                                   | draining or *no* mapping can    |
+//! |                                   | serve; body lists quarantined   |
+//! |                                   | and migrating mappings)         |
+//! | `GET /statz`                      | counters, per-mapping state,    |
+//! |                                   | per-endpoint latency p50/p99/max|
 //! | `POST /v1/mappings/{m}/compile`   | lens template + holes report    |
 //! | `POST /v1/mappings/{m}/lint`      | diagnostics (422 on errors)     |
 //! | `POST /v1/mappings/{m}/explain`   | static chase-cost plan          |
 //! | `POST /v1/mappings/{m}/chase`     | governed chase of `source`      |
 //! | `POST /v1/mappings/{m}/exchange`  | governed lens forward pass      |
 //! | `POST /v1/mappings/{m}/put`       | lens backward (updatable view)  |
+//! | `POST /v1/mappings/{m}/migrate`   | crash-safe live migration of a  |
+//! |                                   | persisted run (quarantines the  |
+//! |                                   | mapping; resumable via 206)     |
 //!
 //! The robustness model is the paper's governed-execution story lifted
 //! to a shared process: *every* failure mode has a typed, bounded

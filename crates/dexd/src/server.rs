@@ -89,6 +89,94 @@ impl Default for ServerConfig {
     }
 }
 
+/// Number of log₂ latency buckets: bucket `i` holds requests that took
+/// `< 2^i` µs (the last bucket is open-ended). 2³⁹ µs ≈ 6.4 days, far
+/// past any request the IO timeouts allow to live.
+const LATENCY_BUCKETS: usize = 40;
+
+/// A fixed-bucket log₂ histogram of request latencies in microseconds.
+/// Recording is two relaxed atomic ops and one `fetch_max` — no
+/// allocation, no lock, no contention point on the hot path; the
+/// percentile walk happens only when `/statz` renders.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    count: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one request that took `micros` µs.
+    pub fn record(&self, micros: u64) {
+        let idx = (64 - u64::leading_zeros(micros | 1) as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max_us.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Upper bound (µs) of the bucket holding the `p`-th percentile
+    /// (`0 < p ≤ 100`), or `None` before any request. Log₂ buckets
+    /// bound the answer to within 2× of the true latency — plenty for
+    /// "did p99 regress by an order of magnitude".
+    fn percentile(&self, p: u64) -> Option<u64> {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return None;
+        }
+        let rank = (count * p).div_ceil(100).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(1u64 << i);
+            }
+        }
+        Some(self.max_us.load(Ordering::Relaxed))
+    }
+
+    fn json(&self) -> Json {
+        let opt = |v: Option<u64>| v.map(Json::from).unwrap_or(Json::Null);
+        json!({
+            "count": self.count.load(Ordering::Relaxed),
+            "p50_us": opt(self.percentile(50)),
+            "p99_us": opt(self.percentile(99)),
+            "max_us": self.max_us.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// The endpoints `/statz` reports latency for, in index order. Mapping
+/// operations are grouped by *operation* (not tenant): the latency
+/// profile of `chase` vs `put` is what capacity planning needs.
+pub const LATENCY_ENDPOINTS: &[&str] = &[
+    "healthz", "readyz", "statz", "compile", "lint", "explain", "chase", "exchange", "put",
+    "migrate", "other",
+];
+
+/// Classify a request path into a [`LATENCY_ENDPOINTS`] index.
+pub fn latency_endpoint(path: &str) -> usize {
+    let key = match path.strip_prefix("/v1/mappings/") {
+        Some(rest) => match rest.split_once('/') {
+            Some((_name, op)) => op,
+            None => "other",
+        },
+        None => path.trim_start_matches('/'),
+    };
+    LATENCY_ENDPOINTS
+        .iter()
+        .position(|e| *e == key)
+        .unwrap_or(LATENCY_ENDPOINTS.len() - 1)
+}
+
 /// Process-wide counters, all relaxed: they are telemetry, not
 /// synchronization.
 #[derive(Default)]
@@ -112,6 +200,10 @@ pub struct ServerStats {
     /// Requests currently executing in a worker (gauge, AcqRel: the
     /// drain loop reads it to decide when the server is quiescent).
     pub in_flight: AtomicU64,
+    /// Per-endpoint request-latency histograms, indexed by
+    /// [`latency_endpoint`]. Fixed-size atomics: recording allocates
+    /// nothing.
+    pub latency: [LatencyHistogram; LATENCY_ENDPOINTS.len()],
 }
 
 impl ServerStats {
@@ -129,6 +221,25 @@ impl ServerStats {
     }
     pub fn note_panic(&self) {
         self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one served request's wall-clock latency against the
+    /// endpoint that handled `path`.
+    pub fn note_latency(&self, path: &str, elapsed: Duration) {
+        let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        self.latency[latency_endpoint(path)].record(micros);
+    }
+
+    /// The `/statz` `latency` object: one histogram summary per
+    /// endpoint that has served at least one request.
+    fn latency_json(&self) -> Json {
+        let mut m = Map::new();
+        for (name, hist) in LATENCY_ENDPOINTS.iter().zip(&self.latency) {
+            if hist.count.load(Ordering::Relaxed) > 0 {
+                m.insert((*name).to_string(), hist.json());
+            }
+        }
+        Json::Object(m)
     }
 
     fn json(&self) -> Json {
@@ -176,6 +287,7 @@ impl ServerCtx {
             "v": 1,
             "draining": self.is_draining(),
             "server": self.stats.json(),
+            "latency": self.stats.latency_json(),
             "mappings": Json::Object(mappings),
         })
     }
@@ -511,7 +623,9 @@ fn serve_connection(stream: &mut TcpStream, ctx: &Arc<ServerCtx>) {
             return;
         }
     };
+    let started = Instant::now();
     let mut resp = route(&req, ctx);
+    ctx.stats.note_latency(&req.path, started.elapsed());
     // `server.write_response` fail point: the computed response is
     // lost; degrade to a well-formed 500 so the client still gets
     // valid HTTP.
@@ -554,6 +668,40 @@ mod tests {
         assert!(q.idle(), "served connections release the gauge");
         assert!(q.pop().is_none(), "closed and empty");
         assert!(q.try_push(mk()).is_err(), "closed queue rejects");
+    }
+
+    #[test]
+    fn latency_histogram_percentiles_bound_the_data() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.percentile(50), None, "empty histogram has no percentiles");
+        for us in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 5000] {
+            h.record(us);
+        }
+        let p50 = h.percentile(50).unwrap();
+        // Log₂ buckets answer within 2× above the true value.
+        assert!((50..=128).contains(&p50), "p50 = {p50}");
+        let p99 = h.percentile(99).unwrap();
+        assert!(p99 >= 5000, "p99 = {p99} must cover the outlier");
+        assert_eq!(h.max_us.load(Ordering::Relaxed), 5000, "max is exact");
+        assert_eq!(h.count.load(Ordering::Relaxed), 10);
+        // Zero is recordable (sub-microsecond request) and huge values
+        // clamp into the last bucket instead of indexing out of range.
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count.load(Ordering::Relaxed), 12);
+        assert_eq!(h.max_us.load(Ordering::Relaxed), u64::MAX);
+    }
+
+    #[test]
+    fn latency_endpoint_classification() {
+        let idx = |p| LATENCY_ENDPOINTS[latency_endpoint(p)];
+        assert_eq!(idx("/healthz"), "healthz");
+        assert_eq!(idx("/statz"), "statz");
+        assert_eq!(idx("/v1/mappings/emp/chase"), "chase");
+        assert_eq!(idx("/v1/mappings/any-tenant/migrate"), "migrate");
+        assert_eq!(idx("/v1/mappings/emp/bogus"), "other");
+        assert_eq!(idx("/nonsense"), "other");
+        assert_eq!(idx("/v1/mappings/alone"), "other");
     }
 
     #[test]

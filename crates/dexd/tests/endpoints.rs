@@ -392,8 +392,8 @@ fn slow_loris_cannot_pin_a_worker_past_the_read_deadline() {
         None
     });
     std::thread::sleep(Duration::from_millis(100)); // let the worker adopt it
-    // The worker frees itself once the deadline trips; a normal
-    // request queued behind the loris then gets served.
+                                                    // The worker frees itself once the deadline trips; a normal
+                                                    // request queued behind the loris then gets served.
     let h = request(addr, "GET", "/healthz", "");
     assert_eq!(h.status, 200, "{}", h.raw_body);
     let cut = loris

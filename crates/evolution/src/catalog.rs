@@ -1,0 +1,456 @@
+//! Diffable schema catalogs with stable identities.
+//!
+//! A [`Catalog`] is a schema whose relations and positions carry
+//! **stable ids** (conductor's catalog idiom: identity survives a
+//! rename, so a diff can tell `RenameTable` apart from drop+create).
+//! Two catalogs are id-comparable only when they share a *lineage* —
+//! one was produced from the other by [`Catalog::apply`] — which the
+//! lineage token tracks. [`diff`](crate::diff) falls back to
+//! name/shape matching (with typed ambiguity refusals) when the
+//! lineages differ, which is the `dexcli migrate` case: the old schema
+//! comes from a persisted store, the new one from a `.dex` file, and
+//! neither carries ids.
+
+use crate::error::EvolutionError;
+use crate::smo::Smo;
+use dex_relational::{AttrType, Name, RelSchema, Schema};
+
+/// Stable identity of a relation, preserved across renames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TableId(pub u64);
+
+/// Stable identity of a column, preserved across renames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ColumnId(pub u64);
+
+/// One column: stable id + current name + declared type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CatColumn {
+    /// Stable identity.
+    pub id: ColumnId,
+    /// Current name.
+    pub name: Name,
+    /// Declared type.
+    pub ty: AttrType,
+}
+
+/// One relation: stable id + current name + ordered columns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CatTable {
+    /// Stable identity.
+    pub id: TableId,
+    /// Current name.
+    pub name: Name,
+    /// Ordered columns.
+    pub columns: Vec<CatColumn>,
+}
+
+impl CatTable {
+    /// The ordered column names.
+    pub fn column_names(&self) -> Vec<&Name> {
+        self.columns.iter().map(|c| &c.name).collect()
+    }
+}
+
+/// A schema with stable relation/position identities.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Catalog {
+    tables: Vec<CatTable>,
+    next_id: u64,
+    lineage: u64,
+}
+
+/// FNV-1a over the schema display: a deterministic lineage token, so
+/// two catalogs built independently from the *same* schema still
+/// id-match (their ids coincide by construction), while catalogs of
+/// unrelated schemas never spuriously share ids.
+fn lineage_of(schema: &Schema) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in schema.to_string().bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Catalog {
+    /// Build a catalog from a schema, assigning ids in declaration
+    /// order (deterministic: the same schema always yields the same
+    /// ids).
+    pub fn from_schema(schema: &Schema) -> Catalog {
+        let mut next_id = 0u64;
+        let mut tables = Vec::new();
+        for rel in schema.relations() {
+            let tid = TableId(next_id);
+            next_id += 1;
+            let columns = rel
+                .attrs()
+                .iter()
+                .map(|(name, ty)| {
+                    let cid = ColumnId(next_id);
+                    next_id += 1;
+                    CatColumn {
+                        id: cid,
+                        name: name.clone(),
+                        ty: *ty,
+                    }
+                })
+                .collect();
+            tables.push(CatTable {
+                id: tid,
+                name: rel.name().clone(),
+                columns,
+            });
+        }
+        Catalog {
+            tables,
+            next_id,
+            lineage: lineage_of(schema),
+        }
+    }
+
+    /// The tables, in original declaration order.
+    pub fn tables(&self) -> &[CatTable] {
+        &self.tables
+    }
+
+    /// Look up a table by current name.
+    pub fn table(&self, name: &str) -> Option<&CatTable> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Do `self` and `other` share an edit lineage, making their ids
+    /// comparable?
+    pub fn same_lineage(&self, other: &Catalog) -> bool {
+        self.lineage == other.lineage
+    }
+
+    /// Reconstruct the plain schema (functional dependencies are not
+    /// tracked by the catalog — diffing operates on names and shapes).
+    pub fn to_schema(&self) -> Result<Schema, EvolutionError> {
+        let mut rels = Vec::with_capacity(self.tables.len());
+        for t in &self.tables {
+            let attrs: Vec<(Name, AttrType)> =
+                t.columns.iter().map(|c| (c.name.clone(), c.ty)).collect();
+            rels.push(RelSchema::new(t.name.clone(), attrs).map_err(EvolutionError::Relational)?);
+        }
+        Schema::with_relations(rels).map_err(EvolutionError::Relational)
+    }
+
+    fn fresh_table_id(&mut self) -> TableId {
+        let id = TableId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    fn fresh_column_id(&mut self) -> ColumnId {
+        let id = ColumnId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    fn table_mut(&mut self, name: &Name) -> Result<&mut CatTable, EvolutionError> {
+        self.tables
+            .iter_mut()
+            .find(|t| t.name == *name)
+            .ok_or_else(|| EvolutionError::UnknownTable(name.clone()))
+    }
+
+    fn take_table(&mut self, name: &Name) -> Result<CatTable, EvolutionError> {
+        let idx = self
+            .tables
+            .iter()
+            .position(|t| t.name == *name)
+            .ok_or_else(|| EvolutionError::UnknownTable(name.clone()))?;
+        Ok(self.tables.remove(idx))
+    }
+
+    fn check_free(&self, name: &Name) -> Result<(), EvolutionError> {
+        if self.table(name.as_str()).is_some() {
+            return Err(EvolutionError::NameCollision(name.clone()));
+        }
+        Ok(())
+    }
+
+    /// Apply one SMO, preserving identities: a renamed table or column
+    /// keeps its id, a created one gets a fresh id, and vertical
+    /// partitions carry their parent's column ids into the parts.
+    pub fn apply(&mut self, smo: &Smo) -> Result<(), EvolutionError> {
+        match smo {
+            Smo::CreateTable(rs) => {
+                self.check_free(rs.name())?;
+                let tid = self.fresh_table_id();
+                let columns = rs
+                    .attrs()
+                    .iter()
+                    .map(|(name, ty)| CatColumn {
+                        id: self.fresh_column_id(),
+                        name: name.clone(),
+                        ty: *ty,
+                    })
+                    .collect();
+                self.tables.push(CatTable {
+                    id: tid,
+                    name: rs.name().clone(),
+                    columns,
+                });
+            }
+            Smo::DropTable(n) => {
+                self.take_table(n)?;
+            }
+            Smo::RenameTable { from, to } => {
+                self.check_free(to)?;
+                self.table_mut(from)?.name = to.clone();
+            }
+            Smo::AddColumn {
+                table, column, ty, ..
+            } => {
+                let cid = self.fresh_column_id();
+                let t = self.table_mut(table)?;
+                if t.columns.iter().any(|c| c.name == *column) {
+                    return Err(EvolutionError::NameCollision(column.clone()));
+                }
+                t.columns.push(CatColumn {
+                    id: cid,
+                    name: column.clone(),
+                    ty: *ty,
+                });
+            }
+            Smo::DropColumn { table, column, .. } => {
+                let t = self.table_mut(table)?;
+                let idx = t.columns.iter().position(|c| c.name == *column).ok_or(
+                    EvolutionError::UnknownColumn {
+                        table: table.clone(),
+                        column: column.clone(),
+                    },
+                )?;
+                t.columns.remove(idx);
+            }
+            Smo::RenameColumn { table, from, to } => {
+                let t = self.table_mut(table)?;
+                if t.columns.iter().any(|c| c.name == *to) {
+                    return Err(EvolutionError::NameCollision(to.clone()));
+                }
+                let c = t.columns.iter_mut().find(|c| c.name == *from).ok_or(
+                    EvolutionError::UnknownColumn {
+                        table: table.clone(),
+                        column: from.clone(),
+                    },
+                )?;
+                c.name = to.clone();
+            }
+            Smo::SplitHorizontal {
+                table,
+                true_table,
+                false_table,
+                ..
+            } => {
+                let parent = self.take_table(table)?;
+                for n in [true_table, false_table] {
+                    self.check_free(n)?;
+                }
+                for n in [true_table, false_table] {
+                    let tid = self.fresh_table_id();
+                    let columns = parent
+                        .columns
+                        .iter()
+                        .map(|c| CatColumn {
+                            id: self.fresh_column_id(),
+                            name: c.name.clone(),
+                            ty: c.ty,
+                        })
+                        .collect();
+                    self.tables.push(CatTable {
+                        id: tid,
+                        name: n.clone(),
+                        columns,
+                    });
+                }
+            }
+            Smo::MergeHorizontal { left, right, out } => {
+                let l = self.take_table(left)?;
+                let r = self.take_table(right)?;
+                if l.column_names() != r.column_names() {
+                    return Err(EvolutionError::UnsupportedDiff {
+                        detail: format!("merge headers differ: `{left}` vs `{right}`"),
+                    });
+                }
+                self.check_free(out)?;
+                let tid = self.fresh_table_id();
+                self.tables.push(CatTable {
+                    id: tid,
+                    name: out.clone(),
+                    columns: l.columns,
+                });
+            }
+            Smo::PartitionVertical { table, left, right } => {
+                let parent = self.take_table(table)?;
+                for (name, cols) in [left, right] {
+                    self.check_free(name)?;
+                    let columns: Vec<CatColumn> = cols
+                        .iter()
+                        .map(|c| {
+                            parent
+                                .columns
+                                .iter()
+                                .find(|pc| pc.name == *c)
+                                .cloned()
+                                .ok_or_else(|| EvolutionError::UnknownColumn {
+                                    table: table.clone(),
+                                    column: c.clone(),
+                                })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    let tid = self.fresh_table_id();
+                    self.tables.push(CatTable {
+                        id: tid,
+                        name: name.clone(),
+                        columns,
+                    });
+                }
+            }
+            Smo::JoinVertical { left, right, out } => {
+                let l = self.take_table(left)?;
+                let r = self.take_table(right)?;
+                self.check_free(out)?;
+                let mut columns = l.columns.clone();
+                for c in &r.columns {
+                    if !columns.iter().any(|lc| lc.name == c.name) {
+                        columns.push(c.clone());
+                    }
+                }
+                let tid = self.fresh_table_id();
+                self.tables.push(CatTable {
+                    id: tid,
+                    name: out.clone(),
+                    columns,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply a sequence of SMOs (see [`Catalog::apply`]).
+    pub fn apply_all(&mut self, smos: &[Smo]) -> Result<(), EvolutionError> {
+        for smo in smos {
+            self.apply(smo)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smo::ColumnDefault;
+
+    fn schema(text: &str) -> Schema {
+        let rels: Vec<RelSchema> = text
+            .split(';')
+            .filter(|s| !s.trim().is_empty())
+            .map(|decl| {
+                let (name, rest) = decl.trim().split_once('(').unwrap();
+                let attrs: Vec<String> = rest
+                    .trim_end_matches(')')
+                    .split(',')
+                    .map(|a| a.trim().to_string())
+                    .collect();
+                RelSchema::untyped(name.trim(), attrs).unwrap()
+            })
+            .collect();
+        Schema::with_relations(rels).unwrap()
+    }
+
+    #[test]
+    fn ids_survive_renames() {
+        let mut cat = Catalog::from_schema(&schema("Emp(name, dept)"));
+        let emp_id = cat.table("Emp").unwrap().id;
+        let name_id = cat.table("Emp").unwrap().columns[0].id;
+        cat.apply_all(&[
+            Smo::RenameTable {
+                from: Name::new("Emp"),
+                to: Name::new("Employee"),
+            },
+            Smo::RenameColumn {
+                table: Name::new("Employee"),
+                from: Name::new("name"),
+                to: Name::new("full_name"),
+            },
+        ])
+        .unwrap();
+        let t = cat.table("Employee").unwrap();
+        assert_eq!(t.id, emp_id);
+        assert_eq!(t.columns[0].id, name_id);
+        assert_eq!(t.columns[0].name, "full_name");
+    }
+
+    #[test]
+    fn created_entities_get_fresh_ids_and_lineage_is_preserved() {
+        let s = schema("Emp(name)");
+        let mut cat = Catalog::from_schema(&s);
+        let before = cat.clone();
+        cat.apply(&Smo::AddColumn {
+            table: Name::new("Emp"),
+            column: Name::new("dept"),
+            ty: AttrType::Any,
+            default: ColumnDefault::Null,
+        })
+        .unwrap();
+        assert!(cat.same_lineage(&before));
+        let t = cat.table("Emp").unwrap();
+        assert_ne!(t.columns[0].id, t.columns[1].id);
+        // Independent catalogs of different schemas never id-match.
+        let other = Catalog::from_schema(&schema("Dept(name)"));
+        assert!(!cat.same_lineage(&other));
+    }
+
+    #[test]
+    fn partition_carries_column_ids_into_parts() {
+        let mut cat = Catalog::from_schema(&schema("Emp(name, dept, office)"));
+        let name_id = cat.table("Emp").unwrap().columns[0].id;
+        cat.apply(&Smo::PartitionVertical {
+            table: Name::new("Emp"),
+            left: (
+                Name::new("Names"),
+                vec![Name::new("name"), Name::new("dept")],
+            ),
+            right: (
+                Name::new("Offices"),
+                vec![Name::new("dept"), Name::new("office")],
+            ),
+        })
+        .unwrap();
+        assert_eq!(cat.table("Names").unwrap().columns[0].id, name_id);
+        let sch = cat.to_schema().unwrap();
+        assert_eq!(sch.relations().count(), 2);
+    }
+
+    #[test]
+    fn apply_mirrors_apply_schema() {
+        let s = schema("Emp(name, dept); Dept(dept, head)");
+        let smos = vec![
+            Smo::RenameTable {
+                from: Name::new("Dept"),
+                to: Name::new("Department"),
+            },
+            Smo::DropColumn {
+                table: Name::new("Emp"),
+                column: Name::new("dept"),
+                restore_default: ColumnDefault::Null,
+            },
+        ];
+        let mut cat = Catalog::from_schema(&s);
+        cat.apply_all(&smos).unwrap();
+        let mut plain = s.clone();
+        for smo in &smos {
+            plain = smo.apply_schema(&plain).unwrap();
+        }
+        // Same relation names and attribute sequences.
+        let got = cat.to_schema().unwrap();
+        for rel in plain.relations() {
+            let g = got.relation(rel.name().as_str()).unwrap();
+            assert_eq!(g.attrs(), rel.attrs());
+        }
+        assert_eq!(got.relations().count(), plain.relations().count());
+    }
+}

@@ -1,0 +1,563 @@
+//! Schema diff: reconstruct an SMO sequence from two catalogs.
+//!
+//! `diff(old, new)` returns operators that evolve `old` into `new`.
+//! When the catalogs share a lineage (ids comparable), renames are
+//! read directly off the ids. Otherwise matching is by name, then by
+//! shape — and any step where several reconstructions are equally
+//! plausible is refused with a typed
+//! [`EvolutionError::AmbiguousDiff`], never guessed: a migration that
+//! picks the wrong rename silently destroys a column's data.
+
+use crate::catalog::{CatTable, Catalog};
+use crate::error::EvolutionError;
+use crate::smo::{ColumnDefault, Smo};
+use dex_relational::Name;
+use std::collections::BTreeSet;
+
+/// Diff two catalogs into an SMO sequence evolving `old` into `new`.
+///
+/// Detected edits: table create/drop/rename, column add/drop/rename,
+/// and vertical partitions (one old table replaced by two projections
+/// sharing a join column). Added columns get
+/// [`ColumnDefault::Null`]; dropped columns restore to null when
+/// travelling backward. Horizontal splits are *not* inferable (their
+/// predicate is not recorded in the schema) and surface as
+/// drop+create.
+pub fn diff(old: &Catalog, new: &Catalog) -> Result<Vec<Smo>, EvolutionError> {
+    let by_ids = old.same_lineage(new);
+
+    // ---- Pass 1: match tables (old index → new index). ----
+    let mut matched: Vec<(usize, usize)> = Vec::new();
+    let mut old_unmatched: BTreeSet<usize> = (0..old.tables().len()).collect();
+    let mut new_unmatched: BTreeSet<usize> = (0..new.tables().len()).collect();
+
+    if by_ids {
+        for (oi, ot) in old.tables().iter().enumerate() {
+            if let Some(ni) = new.tables().iter().position(|nt| nt.id == ot.id) {
+                matched.push((oi, ni));
+                old_unmatched.remove(&oi);
+                new_unmatched.remove(&ni);
+            }
+        }
+    } else {
+        // By name first.
+        for (oi, ot) in old.tables().iter().enumerate() {
+            if let Some(ni) = new.tables().iter().position(|nt| nt.name == ot.name) {
+                matched.push((oi, ni));
+                old_unmatched.remove(&oi);
+                new_unmatched.remove(&ni);
+            }
+        }
+        // Then by shape (identical attribute-name sequence): a rename.
+        // Every candidate edge must be unique on both sides, else the
+        // pairing is a guess.
+        let header = |t: &CatTable| -> Vec<String> {
+            t.columns.iter().map(|c| c.name.to_string()).collect()
+        };
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for &oi in &old_unmatched {
+            for &ni in &new_unmatched {
+                if header(&old.tables()[oi]) == header(&new.tables()[ni]) {
+                    edges.push((oi, ni));
+                }
+            }
+        }
+        for &(oi, ni) in &edges {
+            let o_deg = edges.iter().filter(|(a, _)| *a == oi).count();
+            let n_deg = edges.iter().filter(|(_, b)| *b == ni).count();
+            if o_deg > 1 || n_deg > 1 {
+                return Err(EvolutionError::AmbiguousDiff {
+                    detail: format!(
+                        "table `{}` could be a rename of several same-shape tables; \
+                         rename in smaller steps or keep a shared-lineage catalog",
+                        new.tables()[ni].name
+                    ),
+                });
+            }
+        }
+        for (oi, ni) in edges {
+            matched.push((oi, ni));
+            old_unmatched.remove(&oi);
+            new_unmatched.remove(&ni);
+        }
+    }
+
+    // ---- Pass 2: vertical partitions among the unmatched. ----
+    // One old table T and two new tables L, R with cols(L) ∪ cols(R) =
+    // cols(T), all drawn from T, sharing at least one join column.
+    let mut partitions: Vec<(usize, usize, usize)> = Vec::new();
+    {
+        let col_set = |t: &CatTable| -> BTreeSet<String> {
+            t.columns.iter().map(|c| c.name.to_string()).collect()
+        };
+        let mut used_new: BTreeSet<usize> = BTreeSet::new();
+        for &oi in &old_unmatched {
+            let t_cols = col_set(&old.tables()[oi]);
+            let mut candidates: Vec<(usize, usize)> = Vec::new();
+            let news: Vec<usize> = new_unmatched
+                .iter()
+                .copied()
+                .filter(|ni| !used_new.contains(ni))
+                .collect();
+            for (i, &ni) in news.iter().enumerate() {
+                for &nj in news.iter().skip(i + 1) {
+                    let l = col_set(&new.tables()[ni]);
+                    let r = col_set(&new.tables()[nj]);
+                    let union: BTreeSet<String> = l.union(&r).cloned().collect();
+                    let shared = l.intersection(&r).count();
+                    if union == t_cols && shared >= 1 && l != t_cols && r != t_cols {
+                        candidates.push((ni, nj));
+                    }
+                }
+            }
+            match candidates.len() {
+                0 => {}
+                1 => {
+                    let (ni, nj) = candidates[0];
+                    partitions.push((oi, ni, nj));
+                    used_new.insert(ni);
+                    used_new.insert(nj);
+                }
+                _ => {
+                    return Err(EvolutionError::AmbiguousDiff {
+                        detail: format!(
+                            "table `{}` could be partitioned into several new-table \
+                             pairs; apply the partition explicitly",
+                            old.tables()[oi].name
+                        ),
+                    })
+                }
+            }
+        }
+        for (oi, ni, nj) in &partitions {
+            old_unmatched.remove(oi);
+            new_unmatched.remove(ni);
+            new_unmatched.remove(nj);
+        }
+    }
+
+    // ---- Pass 3: column diffs inside matched tables. ----
+    let mut column_ops: Vec<Smo> = Vec::new();
+    for &(oi, ni) in &matched {
+        let ot = &old.tables()[oi];
+        let nt = &new.tables()[ni];
+        column_ops.extend(diff_columns(ot, nt, by_ids)?);
+    }
+
+    // ---- Assemble, ordered so the sequence applies cleanly. ----
+    let mut out: Vec<Smo> = Vec::new();
+
+    // Drops first: they free names renames may need.
+    let mut dropped: BTreeSet<String> = BTreeSet::new();
+    for &oi in &old_unmatched {
+        dropped.insert(old.tables()[oi].name.to_string());
+        out.push(Smo::DropTable(old.tables()[oi].name.clone()));
+    }
+
+    // Renames in dependency order (Kahn: a rename runs once its target
+    // name is free). A cycle (A→B, B→A) cannot be serialised in this
+    // vocabulary.
+    let mut pending: Vec<(Name, Name)> = matched
+        .iter()
+        .filter(|&&(oi, ni)| old.tables()[oi].name != new.tables()[ni].name)
+        .map(|&(oi, ni)| (old.tables()[oi].name.clone(), new.tables()[ni].name.clone()))
+        .collect();
+    let mut occupied: BTreeSet<String> = old
+        .tables()
+        .iter()
+        .map(|t| t.name.to_string())
+        .filter(|n| !dropped.contains(n))
+        .collect();
+    // Partitioned tables also free their old name.
+    for &(oi, _, _) in &partitions {
+        occupied.remove(&old.tables()[oi].name.to_string());
+    }
+    while !pending.is_empty() {
+        let ready = pending
+            .iter()
+            .position(|(_, to)| !occupied.contains(&to.to_string()));
+        match ready {
+            Some(i) => {
+                let (from, to) = pending.remove(i);
+                occupied.remove(&from.to_string());
+                occupied.insert(to.to_string());
+                out.push(Smo::RenameTable { from, to });
+            }
+            None => {
+                return Err(EvolutionError::UnsupportedDiff {
+                    detail: format!(
+                        "table renames form a cycle ({}); rename through a \
+                         temporary name in two migrations",
+                        pending
+                            .iter()
+                            .map(|(f, t)| format!("`{f}`→`{t}`"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                })
+            }
+        }
+    }
+
+    // Column edits (tables now carry their new names).
+    out.append(&mut column_ops);
+
+    // Vertical partitions.
+    for (oi, ni, nj) in partitions {
+        let part = |idx: usize| -> (Name, Vec<Name>) {
+            let t = &new.tables()[idx];
+            (
+                t.name.clone(),
+                t.columns.iter().map(|c| c.name.clone()).collect(),
+            )
+        };
+        out.push(Smo::PartitionVertical {
+            table: old.tables()[oi].name.clone(),
+            left: part(ni),
+            right: part(nj),
+        });
+    }
+
+    // Creates last: every new name is free by now.
+    for &ni in &new_unmatched {
+        let t = &new.tables()[ni];
+        let attrs: Vec<(Name, dex_relational::AttrType)> =
+            t.columns.iter().map(|c| (c.name.clone(), c.ty)).collect();
+        let rs = dex_relational::RelSchema::new(t.name.clone(), attrs)
+            .map_err(EvolutionError::Relational)?;
+        out.push(Smo::CreateTable(rs));
+    }
+
+    // Defensive validation: the sequence must actually reproduce the
+    // new shape when applied to the old one.
+    let mut check = old.clone();
+    check.apply_all(&out)?;
+    let reached = check.to_schema()?;
+    let wanted = new.to_schema()?;
+    for want in wanted.relations() {
+        let got = reached.relation(want.name().as_str()).ok_or_else(|| {
+            EvolutionError::UnsupportedDiff {
+                detail: format!("diff lost relation `{}` (internal)", want.name()),
+            }
+        })?;
+        if got.attrs() != want.attrs() {
+            return Err(EvolutionError::UnsupportedDiff {
+                detail: format!(
+                    "relation `{}` changed in a way this diff cannot express \
+                     (got {}, want {})",
+                    want.name(),
+                    got,
+                    want
+                ),
+            });
+        }
+    }
+    if reached.relations().count() != wanted.relations().count() {
+        return Err(EvolutionError::UnsupportedDiff {
+            detail: "diff produced extra relations (internal)".to_string(),
+        });
+    }
+    Ok(out)
+}
+
+/// Column-level diff of one matched table.
+fn diff_columns(ot: &CatTable, nt: &CatTable, by_ids: bool) -> Result<Vec<Smo>, EvolutionError> {
+    // Pair columns: by id under shared lineage, else by name.
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let mut old_left: BTreeSet<usize> = (0..ot.columns.len()).collect();
+    let mut new_left: BTreeSet<usize> = (0..nt.columns.len()).collect();
+    for (ci, oc) in ot.columns.iter().enumerate() {
+        let found = nt.columns.iter().position(|ncol| {
+            if by_ids {
+                ncol.id == oc.id
+            } else {
+                ncol.name == oc.name
+            }
+        });
+        if let Some(ni) = found {
+            pairs.push((ci, ni));
+            old_left.remove(&ci);
+            new_left.remove(&ni);
+        }
+    }
+
+    let mut ops: Vec<Smo> = Vec::new();
+    let table = nt.name.clone();
+
+    // A single leftover on each side is an unambiguous rename; more
+    // than one on both sides cannot be decided from names alone.
+    if !by_ids {
+        if old_left.len() == 1 && new_left.len() == 1 {
+            let ci = *old_left.iter().next().ok_or_else(internal_diff)?;
+            let ni = *new_left.iter().next().ok_or_else(internal_diff)?;
+            pairs.push((ci, ni));
+            old_left.clear();
+            new_left.clear();
+            ops.push(Smo::RenameColumn {
+                table: table.clone(),
+                from: ot.columns[ci].name.clone(),
+                to: nt.columns[ni].name.clone(),
+            });
+        } else if !old_left.is_empty() && !new_left.is_empty() {
+            return Err(EvolutionError::AmbiguousDiff {
+                detail: format!(
+                    "table `{table}` has several renamed columns ({} old, {} new \
+                     unmatched); rename them one migration at a time",
+                    old_left.len(),
+                    new_left.len()
+                ),
+            });
+        }
+    } else {
+        // Ids pair renames directly.
+        for &(ci, ni) in &pairs {
+            if ot.columns[ci].name != nt.columns[ni].name {
+                ops.push(Smo::RenameColumn {
+                    table: table.clone(),
+                    from: ot.columns[ci].name.clone(),
+                    to: nt.columns[ni].name.clone(),
+                });
+            }
+        }
+    }
+
+    // Order check: surviving columns must keep their relative order —
+    // the SMO vocabulary cannot express a reorder.
+    let mut order: Vec<usize> = pairs.iter().map(|&(_, ni)| ni).collect();
+    let sorted_by_old: Vec<usize> = {
+        let mut ps = pairs.clone();
+        ps.sort_by_key(|&(ci, _)| ci);
+        ps.iter().map(|&(_, ni)| ni).collect()
+    };
+    order.sort_unstable();
+    let mut expect = sorted_by_old.clone();
+    expect.sort_unstable();
+    debug_assert_eq!(order, expect);
+    if sorted_by_old.windows(2).any(|w| w[0] > w[1]) {
+        return Err(EvolutionError::UnsupportedDiff {
+            detail: format!(
+                "table `{table}` reorders its surviving columns; the SMO \
+                 vocabulary cannot express a reorder"
+            ),
+        });
+    }
+
+    // Dropped, then added (append-only: added columns must come last,
+    // in order — `AddColumn` always appends).
+    for &ci in &old_left {
+        ops.push(Smo::DropColumn {
+            table: table.clone(),
+            column: ot.columns[ci].name.clone(),
+            restore_default: ColumnDefault::Null,
+        });
+    }
+    let min_new_pos = new_left.iter().copied().min();
+    if let Some(pos) = min_new_pos {
+        let max_matched = sorted_by_old.iter().copied().max().unwrap_or(0);
+        if !sorted_by_old.is_empty() && pos < max_matched {
+            return Err(EvolutionError::UnsupportedDiff {
+                detail: format!(
+                    "table `{table}` inserts column `{}` before existing \
+                     columns; `AddColumn` can only append",
+                    nt.columns[pos].name
+                ),
+            });
+        }
+    }
+    for &ni in &new_left {
+        ops.push(Smo::AddColumn {
+            table: table.clone(),
+            column: nt.columns[ni].name.clone(),
+            ty: nt.columns[ni].ty,
+            default: ColumnDefault::Null,
+        });
+    }
+    Ok(ops)
+}
+
+fn internal_diff() -> EvolutionError {
+    EvolutionError::UnsupportedDiff {
+        detail: "internal diff invariant violated".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_relational::{RelSchema, Schema};
+
+    fn schema(decls: &[(&str, &[&str])]) -> Schema {
+        Schema::with_relations(
+            decls
+                .iter()
+                .map(|(n, attrs)| {
+                    RelSchema::untyped(*n, attrs.iter().map(|a| a.to_string()).collect::<Vec<_>>())
+                        .unwrap()
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn diff_schemas(old: &Schema, new: &Schema) -> Result<Vec<Smo>, EvolutionError> {
+        diff(&Catalog::from_schema(old), &Catalog::from_schema(new))
+    }
+
+    #[test]
+    fn identical_schemas_diff_to_nothing() {
+        let s = schema(&[("Emp", &["name", "dept"])]);
+        assert_eq!(diff_schemas(&s, &s).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn add_and_drop_columns() {
+        let old = schema(&[("Emp", &["name", "dept"])]);
+        let new = schema(&[("Emp", &["name", "office"])]);
+        // `dept` and `office` unmatched on both sides: single-pair
+        // rename, not drop+add.
+        let smos = diff_schemas(&old, &new).unwrap();
+        assert_eq!(
+            smos,
+            vec![Smo::RenameColumn {
+                table: Name::new("Emp"),
+                from: Name::new("dept"),
+                to: Name::new("office"),
+            }]
+        );
+        // A pure append is an AddColumn.
+        let wider = schema(&[("Emp", &["name", "dept", "office"])]);
+        let smos = diff_schemas(&old, &wider).unwrap();
+        assert!(matches!(&smos[..], [Smo::AddColumn { column, .. }] if column == "office"));
+    }
+
+    #[test]
+    fn table_rename_detected_by_shape() {
+        let old = schema(&[("Emp", &["name", "dept"]), ("Dept", &["dept", "head"])]);
+        let new = schema(&[("Employee", &["name", "dept"]), ("Dept", &["dept", "head"])]);
+        let smos = diff_schemas(&old, &new).unwrap();
+        assert_eq!(
+            smos,
+            vec![Smo::RenameTable {
+                from: Name::new("Emp"),
+                to: Name::new("Employee"),
+            }]
+        );
+    }
+
+    #[test]
+    fn ambiguous_table_rename_refused() {
+        let old = schema(&[("A", &["x", "y"]), ("B", &["x", "y"])]);
+        let new = schema(&[("C", &["x", "y"]), ("D", &["x", "y"])]);
+        let err = diff_schemas(&old, &new).unwrap_err();
+        assert!(matches!(err, EvolutionError::AmbiguousDiff { .. }), "{err}");
+    }
+
+    #[test]
+    fn shared_lineage_resolves_what_names_cannot() {
+        let old = schema(&[("A", &["x", "y"]), ("B", &["x", "y"])]);
+        let old_cat = Catalog::from_schema(&old);
+        let mut new_cat = old_cat.clone();
+        new_cat
+            .apply_all(&[
+                Smo::RenameTable {
+                    from: Name::new("A"),
+                    to: Name::new("C"),
+                },
+                Smo::RenameTable {
+                    from: Name::new("B"),
+                    to: Name::new("D"),
+                },
+            ])
+            .unwrap();
+        let smos = diff(&old_cat, &new_cat).unwrap();
+        assert_eq!(smos.len(), 2);
+        assert!(smos.iter().all(|s| matches!(s, Smo::RenameTable { .. })));
+    }
+
+    #[test]
+    fn vertical_partition_detected() {
+        let old = schema(&[("Emp", &["name", "dept", "office"])]);
+        let new = schema(&[
+            ("Names", &["name", "dept"]),
+            ("Offices", &["dept", "office"]),
+        ]);
+        let smos = diff_schemas(&old, &new).unwrap();
+        assert_eq!(smos.len(), 1);
+        assert!(matches!(&smos[0], Smo::PartitionVertical { table, .. } if table == "Emp"));
+    }
+
+    #[test]
+    fn create_and_drop_tables() {
+        let old = schema(&[("Emp", &["name"]), ("Legacy", &["a", "b", "c"])]);
+        let new = schema(&[("Emp", &["name"]), ("Audit", &["who", "what"])]);
+        let smos = diff_schemas(&old, &new).unwrap();
+        assert_eq!(smos.len(), 2);
+        assert!(matches!(&smos[0], Smo::DropTable(n) if n == "Legacy"));
+        assert!(matches!(&smos[1], Smo::CreateTable(rs) if rs.name() == "Audit"));
+    }
+
+    #[test]
+    fn rename_cycle_refused() {
+        let old = schema(&[("A", &["x"]), ("B", &["x", "y"])]);
+        let old_cat = Catalog::from_schema(&old);
+        let mut new_cat = old_cat.clone();
+        new_cat
+            .apply_all(&[
+                Smo::RenameTable {
+                    from: Name::new("A"),
+                    to: Name::new("Tmp"),
+                },
+                Smo::RenameTable {
+                    from: Name::new("B"),
+                    to: Name::new("A"),
+                },
+                Smo::RenameTable {
+                    from: Name::new("Tmp"),
+                    to: Name::new("B"),
+                },
+            ])
+            .unwrap();
+        let err = diff(&old_cat, &new_cat).unwrap_err();
+        assert!(
+            matches!(err, EvolutionError::UnsupportedDiff { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn column_reorder_refused() {
+        let old = schema(&[("Emp", &["name", "dept"])]);
+        let new = schema(&[("Emp", &["dept", "name"])]);
+        let err = diff_schemas(&old, &new).unwrap_err();
+        assert!(
+            matches!(err, EvolutionError::UnsupportedDiff { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn diff_sequence_applies_cleanly_via_apply_schema() {
+        let old = schema(&[
+            ("Emp", &["name", "dept"]),
+            ("Dept", &["dept", "head"]),
+            ("Legacy", &["z"]),
+        ]);
+        let new = schema(&[
+            ("Employee", &["name", "dept", "office"]),
+            ("Dept", &["dept", "head"]),
+            ("Audit", &["who"]),
+        ]);
+        let smos = diff_schemas(&old, &new).unwrap();
+        let mut s = old;
+        for smo in &smos {
+            s = smo.apply_schema(&s).unwrap();
+        }
+        let e = s.relation("Employee").unwrap();
+        assert_eq!(
+            e.attr_names().map(|n| n.as_str()).collect::<Vec<_>>(),
+            vec!["name", "dept", "office"]
+        );
+        assert!(s.relation("Audit").is_some());
+        assert!(s.relation("Legacy").is_none());
+    }
+}

@@ -31,6 +31,38 @@ pub enum EvolutionError {
         /// The row.
         row: String,
     },
+    /// `diff` found several equally plausible reconstructions and
+    /// refuses to guess (the caller should disambiguate by renaming in
+    /// steps or editing through a shared-lineage [`crate::Catalog`]).
+    AmbiguousDiff {
+        /// What could not be decided.
+        detail: String,
+    },
+    /// `diff` recognises the edit but cannot express it as an SMO
+    /// sequence (e.g. a column reorder or a rename cycle).
+    UnsupportedDiff {
+        /// The unsupported edit.
+        detail: String,
+    },
+    /// The operator has no st-tgd migration semantics (e.g. a
+    /// horizontal split's predicate is not in the tgd language).
+    NotCompilable {
+        /// The operator display.
+        smo: String,
+        /// Why.
+        reason: String,
+    },
+    /// Composing the step mappings left the first-order st-tgd
+    /// fragment, so the sequence cannot run as one chase.
+    NotFirstOrder {
+        /// The offending clause or function term.
+        detail: String,
+    },
+    /// A `dex-ops` operator refused during migration compilation.
+    Compose {
+        /// The operator's error display.
+        detail: String,
+    },
     /// An underlying relational error.
     Relational(RelationalError),
 }
@@ -53,6 +85,24 @@ impl fmt::Display for EvolutionError {
                     f,
                     "row {row} violates the predicate of split table `{table}`"
                 )
+            }
+            EvolutionError::AmbiguousDiff { detail } => {
+                write!(f, "ambiguous schema diff: {detail}")
+            }
+            EvolutionError::UnsupportedDiff { detail } => {
+                write!(f, "unsupported schema edit: {detail}")
+            }
+            EvolutionError::NotCompilable { smo, reason } => {
+                write!(f, "cannot compile `{smo}` to a migration mapping: {reason}")
+            }
+            EvolutionError::NotFirstOrder { detail } => {
+                write!(
+                    f,
+                    "the composed migration is not first-order expressible: {detail}"
+                )
+            }
+            EvolutionError::Compose { detail } => {
+                write!(f, "migration composition failed: {detail}")
             }
             EvolutionError::Relational(e) => write!(f, "{e}"),
         }

@@ -23,12 +23,21 @@
 #![deny(clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod catalog;
 pub mod channel;
+pub mod compile;
+pub mod diff;
 pub mod error;
 pub mod lens;
 pub mod smo;
 
+pub use catalog::{CatColumn, CatTable, Catalog, ColumnId, TableId};
 pub use channel::{propagate, propagate_all};
+pub use compile::{
+    compile_migration, prefix_instance, prefix_schema, render_mapping_dex, render_schema_dex,
+    version_prefix, Migration,
+};
+pub use diff::diff;
 pub use error::EvolutionError;
 pub use lens::{EvolutionLens, SmoLens};
 pub use smo::{ColumnDefault, Smo};

@@ -1,0 +1,237 @@
+//! Property tests for the bidirectional SMO semantics.
+//!
+//! The lens laws the migration compiler leans on: for every SMO,
+//! `backward(forward(I))` — with the original instance as memory where
+//! the operator is lossy — reproduces `I` exactly, and a repeated
+//! `forward` with the evolved side as memory is stable (edits and
+//! minted nulls survive). Both `ColumnDefault` paths (`Null` and
+//! `Const`) are exercised for add and drop.
+
+use dex_evolution::{ColumnDefault, Smo};
+use dex_relational::{tuple, AttrType, Expr, Instance, Name, RelSchema, Schema, Tuple};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn person_schema() -> Schema {
+    Schema::with_relations(vec![RelSchema::untyped(
+        "Person",
+        vec!["id", "name", "age"],
+    )
+    .unwrap()])
+    .unwrap()
+}
+
+/// Random Person rows, unique on `id` (the BTreeMap keys), so that
+/// vertical partitions on `id` are lossless joins and projections never
+/// collide rows.
+fn person_rows() -> impl Strategy<Value = BTreeMap<i64, (String, i64)>> {
+    proptest::collection::btree_map(
+        0..50i64,
+        ("[a-e]{1,4}".prop_map(String::from), 0..90i64),
+        0..10,
+    )
+}
+
+fn person_db(rows: &BTreeMap<i64, (String, i64)>) -> Instance {
+    let facts: Vec<Tuple> = rows
+        .iter()
+        .map(|(id, (name, age))| tuple![*id, name.as_str(), *age])
+        .collect();
+    Instance::with_facts(person_schema(), vec![("Person", facts)]).unwrap()
+}
+
+fn round_trip(smo: &Smo, db: &Instance, memory: bool) -> Instance {
+    let fwd = smo.forward(db, None).expect("forward");
+    smo.backward(&fwd, db.schema(), memory.then_some(db))
+        .expect("backward")
+}
+
+proptest! {
+    #[test]
+    fn rename_table_round_trips(rows in person_rows()) {
+        let db = person_db(&rows);
+        let smo = Smo::RenameTable { from: Name::new("Person"), to: Name::new("People") };
+        prop_assert_eq!(round_trip(&smo, &db, false), db);
+    }
+
+    #[test]
+    fn rename_column_round_trips(rows in person_rows()) {
+        let db = person_db(&rows);
+        let smo = Smo::RenameColumn {
+            table: Name::new("Person"),
+            from: Name::new("age"),
+            to: Name::new("years"),
+        };
+        prop_assert_eq!(round_trip(&smo, &db, false), db);
+    }
+
+    #[test]
+    fn create_table_round_trips_and_keeps_target_edits(rows in person_rows()) {
+        let db = person_db(&rows);
+        let smo = Smo::CreateTable(RelSchema::untyped("Log", vec!["msg"]).unwrap());
+        prop_assert_eq!(round_trip(&smo, &db, false), db.clone());
+        // Data entered in the created table is target-private: a later
+        // forward with the evolved side as memory must keep it.
+        let mut evolved = smo.forward(&db, None).unwrap();
+        evolved.insert("Log", tuple!["hello"]).unwrap();
+        let fwd2 = smo.forward(&db, Some(&evolved)).unwrap();
+        prop_assert_eq!(fwd2, evolved);
+    }
+
+    #[test]
+    fn drop_table_restores_from_memory(rows in person_rows()) {
+        let db = person_db(&rows);
+        let smo = Smo::DropTable(Name::new("Person"));
+        let fwd = smo.forward(&db, None).unwrap();
+        prop_assert!(fwd.relation("Person").is_none());
+        prop_assert_eq!(round_trip(&smo, &db, true), db);
+    }
+
+    #[test]
+    fn add_column_const_round_trips_without_minting_nulls(rows in person_rows()) {
+        let db = person_db(&rows);
+        let smo = Smo::AddColumn {
+            table: Name::new("Person"),
+            column: Name::new("city"),
+            ty: AttrType::Any,
+            default: ColumnDefault::Const("unknown".into()),
+        };
+        let fwd = smo.forward(&db, None).unwrap();
+        prop_assert!(fwd.nulls().is_empty(), "constant default mints no nulls");
+        for (id, (name, age)) in &rows {
+            prop_assert!(fwd.contains("Person", &tuple![*id, name.as_str(), *age, "unknown"]));
+        }
+        prop_assert_eq!(smo.backward(&fwd, db.schema(), None).unwrap(), db);
+    }
+
+    #[test]
+    fn add_column_null_mints_one_null_per_row_and_round_trips(rows in person_rows()) {
+        let db = person_db(&rows);
+        let smo = Smo::AddColumn {
+            table: Name::new("Person"),
+            column: Name::new("city"),
+            ty: AttrType::Any,
+            default: ColumnDefault::Null,
+        };
+        let fwd = smo.forward(&db, None).unwrap();
+        prop_assert_eq!(fwd.nulls().len(), rows.len(), "one fresh null per row");
+        prop_assert_eq!(smo.backward(&fwd, db.schema(), None).unwrap(), db.clone());
+        // Stability: re-running forward with the evolved side as memory
+        // must not re-mint — the first run's nulls are kept verbatim.
+        let fwd2 = smo.forward(&db, Some(&fwd)).unwrap();
+        prop_assert_eq!(fwd2, fwd);
+    }
+
+    #[test]
+    fn drop_column_with_memory_round_trips_exactly(rows in person_rows()) {
+        let db = person_db(&rows);
+        for restore in [ColumnDefault::Null, ColumnDefault::Const(0i64.into())] {
+            let smo = Smo::DropColumn {
+                table: Name::new("Person"),
+                column: Name::new("age"),
+                restore_default: restore,
+            };
+            prop_assert_eq!(round_trip(&smo, &db, true), db.clone());
+        }
+    }
+
+    #[test]
+    fn drop_column_without_memory_fills_the_restore_default(rows in person_rows()) {
+        let db = person_db(&rows);
+        let null_smo = Smo::DropColumn {
+            table: Name::new("Person"),
+            column: Name::new("age"),
+            restore_default: ColumnDefault::Null,
+        };
+        let cold = round_trip(&null_smo, &db, false);
+        prop_assert_eq!(cold.fact_count(), rows.len());
+        prop_assert_eq!(cold.nulls().len(), rows.len(), "one placeholder null per row");
+
+        let const_smo = Smo::DropColumn {
+            table: Name::new("Person"),
+            column: Name::new("age"),
+            restore_default: ColumnDefault::Const(0i64.into()),
+        };
+        let cold = round_trip(&const_smo, &db, false);
+        for (id, (name, _)) in &rows {
+            prop_assert!(cold.contains("Person", &tuple![*id, name.as_str(), 0i64]));
+        }
+    }
+
+    #[test]
+    fn split_horizontal_round_trips(rows in person_rows()) {
+        let db = person_db(&rows);
+        let smo = Smo::SplitHorizontal {
+            table: Name::new("Person"),
+            pred: Expr::attr("age").ge(Expr::lit(40i64)),
+            true_table: Name::new("Senior"),
+            false_table: Name::new("Junior"),
+        };
+        let fwd = smo.forward(&db, None).unwrap();
+        let split: usize = ["Senior", "Junior"]
+            .iter()
+            .map(|t| fwd.relation(t).unwrap().len())
+            .sum();
+        prop_assert_eq!(split, rows.len(), "split loses and invents nothing");
+        prop_assert_eq!(smo.backward(&fwd, db.schema(), None).unwrap(), db);
+    }
+
+    #[test]
+    fn merge_horizontal_restores_provenance_from_memory(rows in person_rows()) {
+        // Route rows to two same-header tables by id parity; rows are
+        // unique on id, so the two sides are disjoint.
+        let schema = Schema::with_relations(vec![
+            RelSchema::untyped("Old", vec!["id", "name", "age"]).unwrap(),
+            RelSchema::untyped("New", vec!["id", "name", "age"]).unwrap(),
+        ])
+        .unwrap();
+        let (mut old, mut new) = (Vec::new(), Vec::new());
+        for (id, (name, age)) in &rows {
+            let t = tuple![*id, name.as_str(), *age];
+            if id % 2 == 0 { old.push(t) } else { new.push(t) }
+        }
+        let db =
+            Instance::with_facts(schema.clone(), vec![("Old", old), ("New", new)]).unwrap();
+        let smo = Smo::MergeHorizontal {
+            left: Name::new("Old"),
+            right: Name::new("New"),
+            out: Name::new("All"),
+        };
+        let fwd = smo.forward(&db, None).unwrap();
+        prop_assert_eq!(fwd.relation("All").unwrap().len(), rows.len());
+        // With memory the original left/right provenance is restored;
+        // without it every merged row routes to the left table.
+        prop_assert_eq!(smo.backward(&fwd, &schema, Some(&db)).unwrap(), db);
+        let cold = smo.backward(&fwd, &schema, None).unwrap();
+        prop_assert_eq!(cold.relation("Old").unwrap().len(), rows.len());
+        prop_assert!(cold.relation("New").unwrap().is_empty());
+    }
+
+    #[test]
+    fn partition_vertical_on_a_key_is_a_lossless_join(rows in person_rows()) {
+        let db = person_db(&rows);
+        let smo = Smo::PartitionVertical {
+            table: Name::new("Person"),
+            left: (Name::new("Ident"), vec![Name::new("id"), Name::new("name")]),
+            right: (Name::new("Age"), vec![Name::new("id"), Name::new("age")]),
+        };
+        // `id` is unique, so the natural join back is exact.
+        prop_assert_eq!(round_trip(&smo, &db, false), db);
+    }
+
+    #[test]
+    fn partition_vertical_on_a_non_key_joins_to_a_superset(rows in person_rows()) {
+        // Shared column `name` repeats across rows, so the backward
+        // natural join may invent combinations — but never loses a row.
+        let db = person_db(&rows);
+        let smo = Smo::PartitionVertical {
+            table: Name::new("Person"),
+            left: (Name::new("Ident"), vec![Name::new("name"), Name::new("id")]),
+            right: (Name::new("Ages"), vec![Name::new("name"), Name::new("age")]),
+        };
+        let back = round_trip(&smo, &db, false);
+        for (id, (name, age)) in &rows {
+            prop_assert!(back.contains("Person", &tuple![*id, name.as_str(), *age]));
+        }
+    }
+}

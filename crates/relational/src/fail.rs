@@ -16,6 +16,9 @@
 //! | `store.wal_append`      | `dex-store` — before a WAL record write      |
 //! | `store.snapshot_write`  | `dex-store` — before the snapshot temp write |
 //! | `store.snapshot_rename` | `dex-store` — before the atomic rename       |
+//! | `migrate.plan`          | `dex-store` — before writing the staging plan|
+//! | `migrate.round_commit`  | migration — before persisting a chase round  |
+//! | `migrate.finalize`      | migration — before the commit-marker write   |
 //! | `server.accept`         | `dexd` — after accepting a connection        |
 //! | `server.read_request`   | `dexd` — before parsing the HTTP request     |
 //! | `server.dispatch`       | `dexd` — before executing the operation      |
@@ -65,6 +68,13 @@ pub const STORE_SITES: &[&str] = &[
     "store.snapshot_write",
     "store.snapshot_rename",
 ];
+
+/// Every registered live-migration fail-point site (probed via
+/// [`hit_io`], so `ShortWrite` can tear the staged file mid-write),
+/// for the migration crash-matrix tests in `dex-store`. The nested
+/// staging store additionally fires every `store.*` site, so a
+/// migration run is covered by both inventories.
+pub const MIGRATE_SITES: &[&str] = &["migrate.plan", "migrate.round_commit", "migrate.finalize"];
 
 /// Every registered `dexd` network-layer fail-point site, for the
 /// chaos-matrix tests in `crates/dexd`. All are probed via [`hit`]:

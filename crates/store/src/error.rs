@@ -37,6 +37,13 @@ pub enum StoreError {
         /// The occupied directory.
         dir: PathBuf,
     },
+    /// A migration is already staged under this store's `migrate/`
+    /// directory; it must be resumed or aborted before a new one can
+    /// begin.
+    MigrationInProgress {
+        /// The store directory holding the staged migration.
+        dir: PathBuf,
+    },
     /// An injected fault from the `failpoints` feature (the IO-layer
     /// analogue of `RelationalError::FaultInjected`).
     Injected {
@@ -76,6 +83,11 @@ impl fmt::Display for StoreError {
             StoreError::StoreExists { dir } => write!(
                 f,
                 "`{}` already holds a store (use `dexcli resume`, or point --store at a fresh directory)",
+                dir.display()
+            ),
+            StoreError::MigrationInProgress { dir } => write!(
+                f,
+                "`{}` has a staged migration under migrate/ (finish it with `dexcli migrate --resume`, or abort it)",
                 dir.display()
             ),
             StoreError::Injected { site } => write!(f, "injected fault at `{site}`"),

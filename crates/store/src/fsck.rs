@@ -12,6 +12,7 @@ use std::fs;
 use std::path::Path;
 
 use crate::error::StoreError;
+use crate::migrate::{self, MigrateStatus};
 use crate::snapshot::{self, SNAPSHOT_FILE};
 use crate::store::{Store, StoreOptions, META_FILE, SOURCE_FILE, WAL_FILE};
 use crate::wal;
@@ -52,6 +53,12 @@ pub struct FsckReport {
     /// Valid records at or below the snapshot round (left behind by a
     /// crash between snapshot rename and WAL truncation; harmless).
     pub stale_records: usize,
+    /// Where the store stands with respect to live migration (a
+    /// `migrate/` staging directory beside the live files).
+    pub migration: MigrateStatus,
+    /// Informational notes that do not make the store unclean (e.g. a
+    /// resumable migration in progress).
+    pub notes: Vec<String>,
     /// Human-readable problems, empty iff the store is clean.
     pub problems: Vec<String>,
 }
@@ -97,6 +104,9 @@ impl fmt::Display for FsckReport {
                 String::new()
             }
         )?;
+        for n in &self.notes {
+            writeln!(f, "note: {n}")?;
+        }
         for p in &self.problems {
             writeln!(f, "problem: {p}")?;
         }
@@ -185,6 +195,38 @@ pub fn fsck(dir: &Path) -> Result<FsckReport, StoreError> {
         ));
     }
 
+    let mut notes = Vec::new();
+    let migration = migrate::status(dir)?;
+    match &migration {
+        MigrateStatus::None => {}
+        MigrateStatus::InProgress {
+            round,
+            chase_complete,
+        } => {
+            // Not corruption: the live files above are untouched and
+            // authoritative until a commit marker verifies.
+            notes.push(format!(
+                "resumable migration in progress{}{} — the live store is authoritative; finish with `dexcli migrate --resume`",
+                match round {
+                    Some(r) => format!(" (round {r}"),
+                    None => " (no round committed yet".to_string(),
+                },
+                if *chase_complete {
+                    ", chase complete)"
+                } else {
+                    ")"
+                }
+            ));
+        }
+        MigrateStatus::Committed => {
+            problems.push(
+                "a committed migration awaits roll-forward (the live files may mix old and new); \
+                 finish with `dexcli fsck --repair` or `dexcli migrate --resume`"
+                    .to_string(),
+            );
+        }
+    }
+
     Ok(FsckReport {
         meta_ok,
         source_ok,
@@ -194,6 +236,8 @@ pub fn fsck(dir: &Path) -> Result<FsckReport, StoreError> {
         wal_total_bytes: wal_total,
         wal_torn,
         stale_records: stale,
+        migration,
+        notes,
         problems,
     })
 }
@@ -204,6 +248,13 @@ pub fn fsck(dir: &Path) -> Result<FsckReport, StoreError> {
 /// Corrupt snapshots and meta files are never touched.
 pub fn repair(dir: &Path) -> Result<Vec<String>, StoreError> {
     let mut actions = Vec::new();
+    // A committed migration's roll-forward is idempotent and the only
+    // way forward for that store: finishing it *is* the safe repair.
+    // An uncommitted staging directory is left strictly alone — it is
+    // resumable state, not damage.
+    if migrate::roll_forward(dir, true)? {
+        actions.push("completed the committed migration's roll-forward".to_string());
+    }
     let wal_path = dir.join(WAL_FILE);
     match fs::read(&wal_path) {
         Ok(bytes) => match wal::scan(&bytes, WAL_FILE) {

@@ -28,6 +28,7 @@ pub mod codec;
 pub mod crc;
 pub mod error;
 pub mod fsck;
+pub mod migrate;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
@@ -36,6 +37,7 @@ pub use codec::{decode_instance, encode_instance, Decoder, Encoder};
 pub use crc::crc32;
 pub use error::StoreError;
 pub use fsck::{fsck, repair, FsckReport, SnapshotStatus};
+pub use migrate::{MigrateError, MigratePlan, MigrateRun, MigrateStatus, Migration};
 pub use snapshot::ChaseState;
 pub use store::{Recovered, Store, StoreMode, StoreOptions, StoreSink};
 pub use wal::{WalRecord, WalScan};

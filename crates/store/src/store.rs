@@ -52,7 +52,7 @@ pub enum StoreMode {
 }
 
 impl StoreMode {
-    fn to_byte(self) -> u8 {
+    pub(crate) fn to_byte(self) -> u8 {
         match self {
             StoreMode::Chase => 0,
             StoreMode::Exchange => 1,
@@ -405,7 +405,7 @@ impl CheckpointSink for StoreSink<'_> {
 }
 
 /// Create-and-write a whole file (no fail-point site).
-fn write_plain(path: &Path, bytes: &[u8], sync: bool) -> Result<(), StoreError> {
+pub(crate) fn write_plain(path: &Path, bytes: &[u8], sync: bool) -> Result<(), StoreError> {
     let ctx = || format!("write {}", path.display());
     let mut f = fs::File::create(path).map_err(StoreError::io(ctx()))?;
     f.write_all(bytes).map_err(StoreError::io(ctx()))?;

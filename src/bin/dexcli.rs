@@ -10,6 +10,7 @@
 //! dexcli compose  <m1.dex> <m2.dex>                      compose mappings (SO-tgd or st-tgds)
 //! dexcli recover  <mapping.dex>                          maximum recovery (disjunctive rules)
 //! dexcli resume   <store-dir>                            continue a crashed/exhausted --store run
+//! dexcli migrate  <store-dir> <new-schema.dex>           crash-safe live schema migration
 //! dexcli fsck     <store-dir> [--repair]                 verify (and repair) a store directory
 //! ```
 //!
@@ -36,12 +37,18 @@ use dex::chase::{
     ChaseOptions, ChaseOutcome, ChaseStats, Governor, ResumeState,
 };
 use dex::core::{compile, Engine, EngineForward, ForwardStats};
+use dex::evolution::{
+    compile_migration, diff, prefix_instance, render_mapping_dex, render_schema_dex, Catalog,
+};
 use dex::logic::{parse_mapping, parse_mapping_with_spans, Mapping};
 use dex::ops::{compose, maximum_recovery};
 use dex::relational::budget_args::{parse_count, BudgetArgs};
 use dex::relational::{ExhaustionReport, Instance, Schema, SourceStats, Tuple, Value};
 use dex::rellens::Environment;
-use dex::store::{fsck, ChaseState, Store, StoreMode, StoreOptions, StoreSink};
+use dex::store::migrate::{self as store_migrate, MigrateStatus};
+use dex::store::{
+    fsck, ChaseState, MigratePlan, MigrateRun, Migration, Store, StoreMode, StoreOptions, StoreSink,
+};
 use serde_json::{json, Map, Value as Json};
 use std::path::Path;
 use std::process::ExitCode;
@@ -79,7 +86,7 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let usage =
-        "usage: dexcli <plan|check|lint|explain|chase|exchange|backward|compose|recover|query|resume|fsck|serve> <args…>\n\
+        "usage: dexcli <plan|check|lint|explain|chase|exchange|backward|compose|recover|query|resume|fsck|migrate|serve> <args…>\n\
                  run `dexcli help` for details";
     // Deterministic hook for exercising the panic barrier end-to-end
     // (tests/robustness_cli.rs pins exit code 70 through it).
@@ -194,6 +201,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             resume(dir, budget, &out)
         }
         "serve" => serve_cmd(&args[1..]),
+        "migrate" => migrate_cmd(&args[1..]),
         "fsck" => {
             let mut rest: Vec<&String> = args[1..].iter().collect();
             let repair = match rest.iter().position(|a| a.as_str() == "--repair") {
@@ -759,6 +767,222 @@ fn fsck_cmd(dir: &Path, repair: bool) -> Result<ExitCode, String> {
     Ok(ExitCode::FAILURE)
 }
 
+/// Remove a bare boolean `--flag` from `rest`, reporting presence.
+fn take_flag(rest: &mut Vec<&String>, flag: &str) -> bool {
+    match rest.iter().position(|a| a.as_str() == flag) {
+        Some(i) => {
+            rest.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+/// `dexcli migrate <store-dir> <new-schema.dex> [--dry-run] [--resume]`:
+/// crash-safe live schema migration of a persisted store.
+///
+/// Diffs the store's materialized schema against the evolved one,
+/// compiles the SMO sequence to one migration mapping (`dex-evolution`
+/// composition + de-skolemization), admits it through the static cost
+/// pass, then runs it as a governed, checkpointed chase into a staging
+/// directory — the old store's bytes change only after a checksummed
+/// commit marker is durable. Exit codes follow the house contract:
+/// 0 committed, 1 usage/IO, 2 refused (ambiguous diff, non-FO
+/// composition, DEX502 admission, unfinished store), 3 budget tripped
+/// at a durable, resumable boundary, 70 internal panic.
+fn migrate_cmd(args: &[String]) -> Result<ExitCode, String> {
+    let usage = "usage: dexcli migrate <store-dir> <new-schema.dex> [--dry-run] [--resume]\n\
+                 \x20      [--deny-cost <n>] [--auto-budget] [budget flags] [--threads <n>]\n\
+                 \x20      [--snapshot-every <n>] [--no-sync]";
+    let mut rest: Vec<&String> = args.iter().collect();
+    let budget = extract_budget(&mut rest)?;
+    let ctl = extract_cost_controls(&mut rest)?;
+    extract_threads(&mut rest)?;
+    let dry_run = take_flag(&mut rest, "--dry-run");
+    let resume_flag = take_flag(&mut rest, "--resume");
+    let every = take_flag_value(&mut rest, "--snapshot-every")?;
+    let no_sync = take_flag(&mut rest, "--no-sync");
+    reject_unknown_flags(&rest)?;
+    let dir = Path::new(rest.first().ok_or(usage)?.as_str());
+    let mut opts = StoreOptions::default();
+    if let Some(n) = every {
+        opts.snapshot_every = parse_count(&n, "--snapshot-every")?.max(1);
+    }
+    opts.sync = !no_sync;
+
+    if resume_flag {
+        match store_migrate::status(dir).map_err(|e| e.to_string())? {
+            MigrateStatus::Committed => {
+                store_migrate::roll_forward(dir, opts.sync).map_err(|e| e.to_string())?;
+                eprintln!("migration was already committed; completed the roll-forward");
+                return Ok(ExitCode::SUCCESS);
+            }
+            MigrateStatus::None => {
+                return Err(format!(
+                    "no staged migration at {} (nothing to resume)",
+                    dir.display()
+                ))
+            }
+            MigrateStatus::InProgress { round, .. } => {
+                eprintln!(
+                    "resuming staged migration{}",
+                    match round {
+                        Some(r) => format!(" from round {r}"),
+                        None => " (no round committed yet)".to_string(),
+                    }
+                );
+            }
+        }
+        let mig = Migration::resume(dir, opts).map_err(|e| e.to_string())?;
+        return run_migration(mig, dir, budget);
+    }
+
+    let schema_path = rest.get(1).ok_or(usage)?;
+    if !matches!(
+        store_migrate::status(dir).map_err(|e| e.to_string())?,
+        MigrateStatus::None
+    ) {
+        eprintln!(
+            "refusing to start: a migration is already staged at {}/migrate — \
+             continue it with `dexcli migrate {} --resume`",
+            dir.display(),
+            dir.display()
+        );
+        return Ok(ExitCode::from(EXIT_LINT));
+    }
+
+    // The old schema and data come from the store's materialized
+    // instance, which must be complete — migrating a half-finished
+    // chase would silently drop the un-derived remainder.
+    let store = Store::open(dir, opts).map_err(|e| e.to_string())?;
+    let state = match store.recover().map_err(|e| e.to_string())? {
+        Some(r) if r.state.complete => r.state,
+        Some(r) => {
+            eprintln!(
+                "refusing to migrate: the store holds an unfinished run (round {}); \
+                 finish it first with `dexcli resume {}`",
+                r.state.round,
+                dir.display()
+            );
+            return Ok(ExitCode::from(EXIT_LINT));
+        }
+        None => {
+            eprintln!(
+                "refusing to migrate: the store has no materialized instance yet; \
+                 run it to completion first (`dexcli resume {}`)",
+                dir.display()
+            );
+            return Ok(ExitCode::from(EXIT_LINT));
+        }
+    };
+    let old_schema = state.instance.schema().clone();
+
+    // The evolved schema: declarations only (conventionally `target`,
+    // plus `key`); rules belong in mappings, not schema files.
+    let (_, new_m) = load_mapping_text(schema_path)?;
+    if !new_m.st_tgds().is_empty() || !new_m.target_tgds().is_empty() {
+        eprintln!(
+            "refusing to migrate: `{schema_path}` must hold only schema declarations \
+             (source/target/key); it contains rules"
+        );
+        return Ok(ExitCode::from(EXIT_LINT));
+    }
+    let mut new_schema = new_m.target().clone();
+    for rel in new_m.source().relations() {
+        new_schema
+            .add_relation(rel.clone())
+            .map_err(|e| format!("{schema_path}: {e}"))?;
+    }
+
+    // Diff old → new and compile the SMO sequence to one migration
+    // mapping. Both refuse rather than guess: ambiguous diffs, rename
+    // cycles, and non-first-order compositions all exit 2 here, before
+    // any byte of the store is touched.
+    let old_cat = Catalog::from_schema(&old_schema);
+    let new_cat = Catalog::from_schema(&new_schema);
+    let smos = match diff(&old_cat, &new_cat) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot migrate: {e}");
+            return Ok(ExitCode::from(EXIT_LINT));
+        }
+    };
+    let migration = match compile_migration(&old_schema, &new_schema, &smos) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cannot migrate: {e}");
+            return Ok(ExitCode::from(EXIT_LINT));
+        }
+    };
+
+    // Cost admission over the *actual* stored data, same knobs as
+    // chase/exchange: --deny-cost refuses (DEX502, exit 2),
+    // --auto-budget synthesizes caps from the predicted bounds.
+    let prefixed = prefix_instance(&state.instance, 0).map_err(|e| e.to_string())?;
+    let (budget, predicted) = match admit(&migration.mapping, &prefixed, &ctl, budget) {
+        Ok(adm) => adm,
+        Err(code) => return Ok(code),
+    };
+
+    if dry_run {
+        println!("schema diff ({} operation(s)):", migration.smos.len());
+        for s in &migration.smos {
+            println!("  {s}");
+        }
+        println!("\nmigration mapping:");
+        print!("{}", render_mapping_dex(&migration.mapping));
+        println!("\npredicted cost bounds at the stored instance: {predicted}");
+        if let Some(back) = migration.backward() {
+            println!("\nbackward (maximum recovery):");
+            println!("{back}");
+        }
+        eprintln!("dry run: nothing written");
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    drop(store);
+    let plan = MigratePlan {
+        schema_text: render_schema_dex(&new_schema),
+        mapping_text: render_mapping_dex(&migration.mapping),
+    };
+    eprintln!(
+        "migrating {} tuple(s) through {} schema operation(s)",
+        state.instance.fact_count(),
+        migration.smos.len()
+    );
+    let mig = Migration::begin(dir, &plan, &prefixed, opts).map_err(|e| e.to_string())?;
+    run_migration(mig, dir, budget)
+}
+
+/// Run a staged migration to fixpoint (commit + roll-forward) or to a
+/// durable budget boundary (exit 3, resumable).
+fn run_migration(mut mig: Migration, dir: &Path, budget: Budget) -> Result<ExitCode, String> {
+    let gov = Governor::new(budget);
+    match mig
+        .run(ChaseOptions::default(), &gov)
+        .map_err(|e| e.to_string())?
+    {
+        MigrateRun::Done(state) => {
+            mig.finalize().map_err(|e| e.to_string())?;
+            eprintln!(
+                "migration committed: {} now serves {} tuple(s) under the new schema",
+                dir.display(),
+                state.instance.fact_count()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        MigrateRun::Suspended(report) => {
+            eprintln!("{report}");
+            eprintln!(
+                "the staged migration is durable and the old store is untouched; \
+                 continue with: dexcli migrate {} --resume",
+                dir.display()
+            );
+            Ok(ExitCode::from(EXIT_EXHAUSTED))
+        }
+    }
+}
+
 /// `dexcli serve --map name=mapping.dex … [flags]`: run the `dexd`
 /// daemon in the foreground until SIGTERM/ctrl-c, then drain
 /// gracefully (stop accepting, finish in-flight work under
@@ -896,6 +1120,8 @@ commands:
   query    <mapping.dex> <source.json> "q(x) :- R(x, y)"
                                                  certain answers over the exchange
   resume   <store-dir>                           continue a crashed/exhausted --store run
+  migrate  <store-dir> <new-schema.dex> [--dry-run] [--resume]
+                                                 crash-safe live schema migration
   fsck     <store-dir> [--repair]                verify a store; --repair truncates a torn WAL
   serve    --map name=mapping.dex …              multi-tenant HTTP daemon (dexd)
 
@@ -940,6 +1166,25 @@ when a budget trips, the partial result (a valid chase prefix) is
 printed to stdout, a report goes to stderr, and the exit code is 3;
 with --store the partial is durable and `dexcli resume <dir>` continues
 it with identical results to an uninterrupted run.
+
+schema migration (migrate):
+  dexcli migrate <store-dir> <new-schema.dex> [flags]
+    The schema file holds declarations only (target/key lines, no
+    rules). The store's current schema is diffed against it; the
+    resulting schema-modification operators compile to one migration
+    mapping, which runs as a governed, checkpointed chase into
+    <store-dir>/migrate/. The live store's bytes change only after a
+    checksummed commit marker is durable, so a crash at any instant
+    leaves either the old store intact (plus resumable staging) or a
+    committed migration that rolls forward idempotently.
+    --dry-run            print the diff, compiled mapping, predicted
+                         cost bounds, and backward recovery — write nothing
+    --resume             continue (or roll forward) a staged migration
+    budget / --deny-cost / --auto-budget / --snapshot-every / --no-sync
+                         behave exactly as for chase/exchange
+    ambiguous diffs, non-first-order compositions, and DEX502 admission
+    failures exit 2 before any byte of the store is touched; a budget
+    trip exits 3 at a durable boundary (`--resume` continues it).
 
 serving (dexd):
   dexcli serve --map emp=employees.dex [--map …] [mapping.dex …]
