@@ -85,6 +85,19 @@ pub enum Code {
     Dex502,
     /// One tgd's firing bound dwarfs the rest of the mapping combined.
     Dex503,
+    /// A dependency (tgd or egd) is implied by the remaining
+    /// dependencies; deleting it is a verified equivalence-preserving
+    /// rewrite.
+    Dex601,
+    /// A premise atom is redundant: the rule derives the same
+    /// conclusions without it.
+    Dex602,
+    /// The whole mapping is equivalent to a strictly smaller one found
+    /// by the verified optimizer.
+    Dex603,
+    /// A compose/migration output is not equivalent to its spec, where
+    /// the containment check could decide it.
+    Dex604,
 }
 
 impl Code {
@@ -115,11 +128,15 @@ impl Code {
             Code::Dex501 => "DEX501",
             Code::Dex502 => "DEX502",
             Code::Dex503 => "DEX503",
+            Code::Dex601 => "DEX601",
+            Code::Dex602 => "DEX602",
+            Code::Dex603 => "DEX603",
+            Code::Dex604 => "DEX604",
         }
     }
 
     /// Every registered code, in numeric order.
-    pub const ALL: [Code; 24] = [
+    pub const ALL: [Code; 28] = [
         Code::Dex000,
         Code::Dex001,
         Code::Dex002,
@@ -144,6 +161,10 @@ impl Code {
         Code::Dex501,
         Code::Dex502,
         Code::Dex503,
+        Code::Dex601,
+        Code::Dex602,
+        Code::Dex603,
+        Code::Dex604,
     ];
 
     /// Parse a textual code (`"DEX101"`, case-insensitive). `None` for
@@ -157,7 +178,9 @@ impl Code {
     /// promotion).
     pub fn default_severity(&self) -> Severity {
         match self {
-            Code::Dex000 | Code::Dex001 | Code::Dex104 | Code::Dex502 => Severity::Error,
+            Code::Dex000 | Code::Dex001 | Code::Dex104 | Code::Dex502 | Code::Dex604 => {
+                Severity::Error
+            }
             Code::Dex101
             | Code::Dex102
             | Code::Dex103
@@ -170,7 +193,10 @@ impl Code {
             | Code::Dex403
             | Code::Dex404
             | Code::Dex405
-            | Code::Dex501 => Severity::Warning,
+            | Code::Dex501
+            | Code::Dex601
+            | Code::Dex602
+            | Code::Dex603 => Severity::Warning,
             Code::Dex002
             | Code::Dex205
             | Code::Dex301
@@ -238,10 +264,15 @@ impl Code {
             }
             Code::Dex105 => {
                 "An st-tgd is implied by the remaining dependencies.\n\n\
-                 Chasing any source instance with the rule removed produces a target \
-                 instance that already satisfies the rule, so deleting it changes no \
-                 solution. Redundant rules cost chase time and obscure the mapping's \
-                 intent."
+                 The check freezes the rule's premise into a critical instance of \
+                 labeled nulls, chases it with the rule removed, and finds the \
+                 conclusion already satisfied — so deleting the rule changes no \
+                 solution. This is the same decision procedure behind DEX601 and \
+                 `dexcli optimize`, so the passes cannot disagree. Cost note: the \
+                 check runs one bounded chase per st-tgd (quadratic in the rule \
+                 count overall) and is gated behind `AnalyzeOptions::redundancy` \
+                 (on by default); set it to false to skip the pass on very large \
+                 mappings."
             }
             Code::Dex201 => {
                 "A premise self-join (the same relation appearing twice in one \
@@ -394,6 +425,59 @@ impl Code {
                  everything else combined): that one rule is where any budget will be \
                  spent, and the first place to look when tightening a mapping."
             }
+            Code::Dex601 => {
+                "A dependency (st-tgd, target tgd, or egd) is implied by the \
+                 remaining dependencies, and deleting it is a *verified* \
+                 equivalence-preserving rewrite.\n\n\
+                 The containment checker froze the dependency's premise into a \
+                 critical instance of labeled nulls, chased it under the mapping \
+                 with the dependency removed, and found the conclusion already \
+                 satisfied — so the reduced mapping has exactly the same solutions \
+                 on every source instance. The diagnostic carries a \
+                 machine-applicable suggestion (delete the rule). Caution: \
+                 individually-deletable dependencies need not be *jointly* \
+                 deletable — two identical rules each imply the other, but \
+                 deleting both changes the mapping. `dexcli lint --fix` therefore \
+                 applies one suggestion at a time and re-verifies after each."
+            }
+            Code::Dex602 => {
+                "A premise atom is redundant: the rule derives exactly the same \
+                 conclusions without it.\n\n\
+                 The checker built the rule with the atom pruned (refusing \
+                 up-front if that would orphan a frontier variable), then proved \
+                 the pruned mapping equivalent to the original by chasing the \
+                 critical instances of both in both directions. Duplicate atoms \
+                 and atoms subsumed by a more specific join are the common \
+                 causes. The suggestion rewrites the rule in place; at most one \
+                 atom is reported per rule per run, because pruning one atom can \
+                 change whether the next prune is safe — `dexcli lint --fix` \
+                 iterates to a fixpoint."
+            }
+            Code::Dex603 => {
+                "The mapping is equivalent to a strictly smaller one.\n\n\
+                 `dexcli optimize` found a sequence of individually verified \
+                 rewrites — conclusion splitting, implied-dependency deletion, \
+                 premise-atom pruning — whose result has fewer total atoms (and \
+                 no more dependencies) than the input, yet provably the same \
+                 solutions on every source instance. Smaller mappings chase \
+                 faster and admit tighter DEX5xx cost bounds, so this warning is \
+                 usually worth acting on: run `dexcli optimize <mapping> --emit \
+                 <out>` to materialize the smaller equivalent. The notes list \
+                 each verified rewrite."
+            }
+            Code::Dex604 => {
+                "A composition or migration output is not equivalent to its \
+                 spec, where the chase-based check could decide it.\n\n\
+                 `dexcli compose --check` (and `dexd` compile requests with \
+                 `\"optimize\": true`) re-verify operator outputs against their \
+                 inputs: the composed/compiled mapping is chased on the critical \
+                 instances of the spec and vice versa. A failure means the \
+                 operator's output provably admits different solutions than the \
+                 specification — a bug worth reporting, not a style issue, hence \
+                 an error. When either side is outside the decidable fragment \
+                 (non-terminating, SO-tgds), the check refuses silently rather \
+                 than guess."
+            }
         }
     }
 }
@@ -446,6 +530,18 @@ pub enum Witness {
     Position(Name, usize),
 }
 
+/// A rustc-style machine-applicable suggestion: replacing the spanned
+/// source text with `replacement` fixes the finding, and the rewrite
+/// has been verified equivalence-preserving before being attached.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Suggestion {
+    /// The source region to replace. For rule rewrites this covers the
+    /// whole rule including its trailing `;`.
+    pub span: Span,
+    /// Replacement text; empty means delete the region.
+    pub replacement: String,
+}
+
 /// One analyzer finding.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct Diagnostic {
@@ -461,6 +557,8 @@ pub struct Diagnostic {
     pub witness: Option<Witness>,
     /// Additional free-form context lines.
     pub notes: Vec<String>,
+    /// A machine-applicable fix, when one has been verified safe.
+    pub suggestion: Option<Suggestion>,
 }
 
 impl Diagnostic {
@@ -473,6 +571,7 @@ impl Diagnostic {
             span: None,
             witness: None,
             notes: Vec::new(),
+            suggestion: None,
         }
     }
 
@@ -491,6 +590,12 @@ impl Diagnostic {
     /// Append a note line.
     pub fn with_note(mut self, note: impl Into<String>) -> Diagnostic {
         self.notes.push(note.into());
+        self
+    }
+
+    /// Attach a machine-applicable suggestion.
+    pub fn with_suggestion(mut self, suggestion: Suggestion) -> Diagnostic {
+        self.suggestion = Some(suggestion);
         self
     }
 }

@@ -14,9 +14,9 @@
 //!   whether the tgd is already satisfied.
 
 use crate::diagnostic::{Code, Diagnostic, Witness};
-use dex_chase::{classify_termination, exchange};
+use dex_chase::classify_termination;
 use dex_logic::{Mapping, SourceMap, StTgd, Term};
-use dex_relational::{Constant, Instance, Name, Schema, Tuple, Value};
+use dex_relational::{Constant, Name};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Count every occurrence of every variable (no deduplication —
@@ -188,64 +188,6 @@ fn constant_clashes(mapping: &Mapping, spans: Option<&SourceMap>, out: &mut Vec<
     }
 }
 
-/// Freeze a tgd's premise into a canonical instance over `schema`:
-/// each variable becomes a distinguished fresh constant.
-fn freeze_premise(tgd: &StTgd, schema: &Schema) -> Option<Instance> {
-    let mut facts: BTreeMap<Name, Vec<Tuple>> = BTreeMap::new();
-    for atom in &tgd.lhs {
-        let mut vals = Vec::with_capacity(atom.args.len());
-        for t in &atom.args {
-            match t {
-                Term::Var(v) => vals.push(Value::Const(Constant::Str(format!("⟨{v}⟩")))),
-                Term::Const(c) => vals.push(Value::Const(c.clone())),
-                Term::Func(..) => return None,
-            }
-        }
-        facts
-            .entry(atom.relation.clone())
-            .or_default()
-            .push(Tuple::new(vals));
-    }
-    Instance::with_facts(
-        schema.clone(),
-        facts
-            .iter()
-            .map(|(rel, tuples)| (rel.as_str(), tuples.clone()))
-            .collect(),
-    )
-    .ok()
-}
-
-/// Chase-based implication: is st-tgd `i` implied by the remaining
-/// dependencies? Only sound to run when the target tgds' chase is
-/// certified to terminate — the caller checks.
-fn is_redundant(mapping: &Mapping, i: usize) -> bool {
-    let tgd = &mapping.st_tgds()[i];
-    let rest: Vec<StTgd> = mapping
-        .st_tgds()
-        .iter()
-        .enumerate()
-        .filter(|(j, _)| *j != i)
-        .map(|(_, t)| t.clone())
-        .collect();
-    let Ok(reduced) = Mapping::with_target_deps(
-        mapping.source().clone(),
-        mapping.target().clone(),
-        rest,
-        mapping.target_tgds().to_vec(),
-        mapping.target_egds().to_vec(),
-    ) else {
-        return false;
-    };
-    let Some(frozen) = freeze_premise(tgd, mapping.source()) else {
-        return false;
-    };
-    match exchange(&reduced, &frozen) {
-        Ok(res) => tgd.satisfied_by(&frozen, &res.target),
-        Err(_) => false,
-    }
-}
-
 fn redundant_tgds(mapping: &Mapping, spans: Option<&SourceMap>, out: &mut Vec<Diagnostic>) {
     if mapping.st_tgds().len() < 2 {
         return;
@@ -254,8 +196,11 @@ fn redundant_tgds(mapping: &Mapping, spans: Option<&SourceMap>, out: &mut Vec<Di
     if !classify_termination(mapping.target_tgds()).terminates() {
         return;
     }
+    // Delegates to the semantic layer's single deletion oracle so this
+    // pass, `DEX601`, and `dexcli optimize` can never disagree about
+    // which rules are redundant.
     for i in 0..mapping.st_tgds().len() {
-        if is_redundant(mapping, i) {
+        if crate::semantic::st_tgd_deletable(mapping, i) {
             let rest: Vec<usize> = (0..mapping.st_tgds().len()).filter(|j| *j != i).collect();
             let tgd = &mapping.st_tgds()[i];
             out.push(
@@ -269,8 +214,8 @@ fn redundant_tgds(mapping: &Mapping, spans: Option<&SourceMap>, out: &mut Vec<Di
                 .with_span(spans.and_then(|s| s.st_tgds.get(i).copied()))
                 .with_witness(Witness::TgdIndices(rest))
                 .with_note(
-                    "shown by chasing the frozen premise with the other rules and \
-                     finding the conclusion already satisfied",
+                    "shown by chasing the critical instance of the premise with the \
+                     other rules and finding the conclusion already satisfied",
                 ),
             );
         }

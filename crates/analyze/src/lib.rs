@@ -27,6 +27,12 @@
 //!    egds, reporting lossy/dead source positions, null-only target
 //!    positions, type conflicts, and update-policy conflicts. The same
 //!    graph powers the `dexcli explain` plan renderer ([`plan`]).
+//! 6. **Cost** ([`cost::cost_pass`], `DEX5xx`) — static chase-cost
+//!    bounds and admission thresholds.
+//! 7. **Semantic** ([`semantic::semantic_pass`], `DEX6xx`) —
+//!    chase-based containment: deletable dependencies, redundant
+//!    premise atoms, and an equivalent-to-smaller summary, each backed
+//!    by a verified rewrite with a machine-applicable suggestion.
 //!
 //! ```
 //! use dex_analyze::{analyze, Code};
@@ -55,15 +61,21 @@ pub mod hygiene;
 pub mod opscheck;
 pub mod plan;
 pub mod render;
+pub mod semantic;
 pub mod termination;
 
 pub use cost::{chase_bounds, cost_pass, cost_section};
 pub use dataflow::{dataflow_pass, DepRef, FlowClosure, FlowEdge, FlowGraph, PosRef};
 pub use diagnostic::{
-    deny_warnings, has_errors, sort_diagnostics, Code, Diagnostic, Severity, Witness,
+    deny_warnings, has_errors, sort_diagnostics, Code, Diagnostic, Severity, Suggestion, Witness,
 };
 pub use plan::{explain, explain_with, ExplainReport};
 pub use render::{render_all, render_text};
+pub use semantic::{
+    contains, equivalent, optimize, render_mapping_dex, semantic_pass, verify_containment_witness,
+    ContainmentVerdict, ContainmentWitness, EquivalenceVerdict, OptimizeOutcome, Rewrite,
+    RewriteKind, WitnessDep,
+};
 
 use dex_logic::{Mapping, SourceMap, Span};
 use dex_relational::SourceStats;
@@ -80,6 +92,9 @@ pub struct AnalyzeOptions {
     /// Admission threshold: raise `DEX502` when the headline cost bound
     /// exceeds this many (`dexcli lint --deny-cost N`).
     pub deny_cost: Option<u64>,
+    /// Run the chase-based semantic pass (`DEX601`–`DEX603`). Runs
+    /// several bounded chases per dependency; on by default.
+    pub semantic: bool,
 }
 
 impl Default for AnalyzeOptions {
@@ -88,6 +103,7 @@ impl Default for AnalyzeOptions {
             redundancy: true,
             stats: None,
             deny_cost: None,
+            semantic: true,
         }
     }
 }
@@ -112,6 +128,9 @@ pub fn analyze_with(
         .stats
         .unwrap_or_else(|| SourceStats::uniform(cost::DEFAULT_CARD));
     out.extend(cost::cost_pass(mapping, spans, &stats, options.deny_cost));
+    if options.semantic {
+        out.extend(semantic::semantic_pass(mapping, spans));
+    }
     out
 }
 

@@ -17,7 +17,7 @@
 
 use crate::dataflow::{pos_label, DepRef, FlowClosure, FlowGraph, PosRef};
 use dex_chase::TerminationClass;
-use dex_core::{CostSection, LensSection, MappingPlan, TgdPlan};
+use dex_core::{CostSection, LensSection, MappingPlan, OptimizedSection, TgdPlan};
 use dex_logic::{Mapping, PremisePlan, SourceMap, Span};
 use dex_relational::SourceStats;
 use dex_rellens::NodeSummary;
@@ -60,12 +60,29 @@ pub fn explain_with(
     let closure = flow.closure();
     let mut plan = dex_core::plan(mapping);
     plan.cost = Some(crate::cost::cost_section(mapping, stats));
+    plan.optimized = Some(optimized_section(mapping));
     ExplainReport {
         mapping: mapping.clone(),
         spans: spans.cloned(),
         plan,
         flow,
         closure,
+    }
+}
+
+/// Run the verified optimizer and summarize what it would do, for the
+/// plan IR's `optimized` section.
+pub fn optimized_section(mapping: &Mapping) -> OptimizedSection {
+    let outcome = crate::semantic::optimize(mapping);
+    OptimizedSection {
+        rewrites: outcome
+            .rewrites
+            .iter()
+            .map(|r| r.description.clone())
+            .collect(),
+        original_size: crate::semantic::mapping_size(mapping),
+        optimized_size: crate::semantic::mapping_size(&outcome.mapping),
+        refused: outcome.refused,
     }
 }
 
@@ -370,6 +387,31 @@ impl ExplainReport {
         if let Some(c) = &p.cost {
             let _ = writeln!(out);
             self.cost_tree(&mut out, c);
+        }
+        if let Some(o) = &p.optimized {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "optimized (verified rewrites):");
+            match &o.refused {
+                Some(reason) => {
+                    let _ = writeln!(out, "  refused: {reason}");
+                }
+                None if o.rewrites.is_empty() => {
+                    let _ = writeln!(out, "  already minimal under the implemented rewrites");
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "  {} atoms / {} deps  ->  {} atoms / {} deps",
+                        o.original_size.0,
+                        o.original_size.1,
+                        o.optimized_size.0,
+                        o.optimized_size.1
+                    );
+                    for r in &o.rewrites {
+                        let _ = writeln!(out, "  - {r}");
+                    }
+                }
+            }
         }
         let _ = writeln!(out);
         let _ = writeln!(out, "provenance (per target position):");

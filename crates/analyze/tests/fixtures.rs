@@ -256,6 +256,66 @@ fn dex302_max_recovery_refusal_on_multi_atom_rhs() {
 }
 
 #[test]
+fn dex601_deletable_dependency_with_machine_applicable_fix() {
+    let (_, ds) = lint("redundant_subsumed.dex");
+    let d = find(&ds, Code::Dex601);
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(
+        d.message
+            .contains("verified equivalence-preserving rewrite"),
+        "{}",
+        d.message
+    );
+    assert_eq!(d.span.unwrap().line, 11);
+    let s = d.suggestion.as_ref().expect("DEX601 is machine-applicable");
+    assert_eq!(s.replacement, "", "deletion suggestion");
+    assert_eq!((s.span.line, s.span.end_line), (11, 11));
+}
+
+#[test]
+fn dex602_redundant_premise_atom_with_pruned_replacement() {
+    let (_, ds) = lint("redundant_premise.dex");
+    let d = find(&ds, Code::Dex602);
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("redundant"), "{}", d.message);
+    assert_eq!(d.span.unwrap().line, 7);
+    let s = d.suggestion.as_ref().expect("DEX602 is machine-applicable");
+    assert_eq!(s.replacement, "Emp(x, y) -> T(y, x);");
+}
+
+#[test]
+fn dex603_summary_counts_the_verified_rewrites() {
+    let (_, ds) = lint("redundant_subsumed.dex");
+    let d = find(&ds, Code::Dex603);
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(
+        d.message.contains("equivalent to a smaller one"),
+        "{}",
+        d.message
+    );
+    assert!(d.message.contains("3 verified rewrites"), "{}", d.message);
+    assert_eq!(d.notes.len(), 3, "one note per rewrite: {:#?}", d.notes);
+}
+
+#[test]
+fn eq_fixture_pair_is_equivalent_and_eq_c_differs_with_witness() {
+    let a = parse_mapping_with_spans(&fixture("eq_a.dex")).unwrap().0;
+    let b = parse_mapping_with_spans(&fixture("eq_b.dex")).unwrap().0;
+    let c = parse_mapping_with_spans(&fixture("eq_c.dex")).unwrap().0;
+    assert!(dex_analyze::equivalent(&a, &b).holds());
+    let v = dex_analyze::equivalent(&a, &c);
+    assert!(v.refuted(), "eq_a and eq_c must provably differ");
+    for (m1, m2, dir) in [(&a, &c, &v.forward), (&c, &a, &v.backward)] {
+        if let dex_analyze::ContainmentVerdict::Fails(w) = dir {
+            assert!(
+                dex_analyze::verify_containment_witness(m1, m2, w),
+                "witness must re-verify"
+            );
+        }
+    }
+}
+
+#[test]
 fn good_fixtures_carry_no_warnings_or_errors() {
     for name in [
         "employees.dex",

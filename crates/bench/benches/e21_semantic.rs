@@ -1,0 +1,147 @@
+//! E21 — chase-based equivalence and the provably-safe optimizer.
+//!
+//! Two questions about the semantic pass (DESIGN.md §15):
+//!
+//! * **equivalence cost** — `equivalent(m, m)` chases one critical
+//!   instance per dependency per direction, so self-equivalence on `n`
+//!   copy rules is the clean scaling probe for the whole containment
+//!   machinery (shim construction, critical freeze, implication
+//!   chase). Benched at n = 2/8/32.
+//! * **optimizer cost** — `optimize` re-verifies every candidate
+//!   rewrite through that same machinery, so its cost is roughly
+//!   (candidates × containment checks). Benched on mappings with `n`
+//!   planted duplicate rules, which the optimizer must find and prove
+//!   deletable one at a time.
+//!
+//! `DEX_E21_JSON=path cargo bench -p dex-bench --bench e21_semantic`
+//! skips criterion and writes the CI smoke artifact instead: one JSON
+//! object with per-rule equivalence time, optimizer time, and the
+//! rewrite count (which doubles as a correctness probe — the optimizer
+//! must delete exactly the planted redundancy).
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use dex_analyze::{equivalent, optimize};
+use dex_logic::{parse_mapping, Mapping};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10)
+}
+
+/// `n` independent copy rules `S{i}(x, y) → T{i}(x, y)` — already
+/// minimal, so `equivalent(m, m)` exercises pure containment checking
+/// and `optimize` runs every candidate probe without finding anything.
+fn copy_mapping(n: usize) -> Mapping {
+    let mut text = String::new();
+    for i in 0..n {
+        let _ = writeln!(text, "source S{i}(a, b);");
+        let _ = writeln!(text, "target T{i}(a, b);");
+    }
+    for i in 0..n {
+        let _ = writeln!(text, "S{i}(x, y) -> T{i}(x, y);");
+    }
+    parse_mapping(&text).expect("copy mapping parses")
+}
+
+/// `n` copy rules, each stated twice — `n` planted deletions for the
+/// optimizer to find and prove, one containment obligation each.
+fn redundant_mapping(n: usize) -> Mapping {
+    let mut text = String::new();
+    for i in 0..n {
+        let _ = writeln!(text, "source S{i}(a, b);");
+        let _ = writeln!(text, "target T{i}(a, b);");
+    }
+    for i in 0..n {
+        let _ = writeln!(text, "S{i}(x, y) -> T{i}(x, y);");
+        let _ = writeln!(text, "S{i}(x, y) -> T{i}(x, y);");
+    }
+    parse_mapping(&text).expect("redundant mapping parses")
+}
+
+fn bench_semantic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e21_semantic");
+    for n in [2usize, 8, 32] {
+        group.throughput(Throughput::Elements(n as u64));
+        let m = copy_mapping(n);
+        group.bench_with_input(BenchmarkId::new("eq_self", n), &m, |b, m| {
+            b.iter(|| equivalent(black_box(m), black_box(m)))
+        });
+    }
+    for n in [2usize, 4, 8] {
+        group.throughput(Throughput::Elements(n as u64));
+        let m = redundant_mapping(n);
+        group.bench_with_input(BenchmarkId::new("optimize_redundant", n), &m, |b, m| {
+            b.iter(|| optimize(black_box(m)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_semantic
+}
+
+/// Median-of-9 wall time for `f`, in microseconds.
+fn median_us(mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..9)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// The CI smoke artifact: one data point per benchmark family, plus
+/// the optimizer's rewrite count as a built-in correctness probe.
+fn smoke(path: &str) {
+    let n_eq = 32usize;
+    let eq_m = copy_mapping(n_eq);
+    let eq_us = median_us(|| {
+        black_box(equivalent(black_box(&eq_m), black_box(&eq_m)));
+    });
+    assert!(
+        equivalent(&eq_m, &eq_m).holds(),
+        "self-equivalence must hold"
+    );
+
+    let n_opt = 8usize;
+    let opt_m = redundant_mapping(n_opt);
+    let opt_us = median_us(|| {
+        black_box(optimize(black_box(&opt_m)));
+    });
+    let out = optimize(&opt_m);
+    assert_eq!(
+        out.rewrites.len(),
+        n_opt,
+        "optimizer must delete exactly the planted duplicates"
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e21_semantic\",\n  \
+         \"eq_self\": {{\"rules\": {n_eq}, \"us_per_rule\": {:.3}}},\n  \
+         \"optimize\": {{\"planted\": {n_opt}, \"rewrites\": {}, \"us_total\": {:.1}}}\n}}\n",
+        eq_us / n_eq as f64,
+        out.rewrites.len(),
+        opt_us,
+    );
+    std::fs::write(path, &json).expect("write smoke artifact");
+    println!("e21 smoke metrics -> {path}\n{json}");
+}
+
+fn main() {
+    if let Ok(path) = std::env::var("DEX_E21_JSON") {
+        smoke(&path);
+        return;
+    }
+    benches();
+}

@@ -1,0 +1,128 @@
+//! Critical ("frozen") instances for chase-based implication checks.
+//!
+//! To decide whether a set of dependencies Σ implies a dependency σ,
+//! freeze σ's premise into a canonical instance — each distinct
+//! variable becomes a distinct **labeled null** — then chase it with Σ
+//! and test whether σ already holds in the result (Beeri–Vardi; the
+//! containment construction of *Containment of Schema Mappings for
+//! Data Exchange*).
+//!
+//! Freezing with labeled nulls rather than rigid constants is the load-
+//! bearing choice: an egd in Σ may legitimately equate two premise
+//! variables, and labeled nulls are exactly the values the chase is
+//! allowed to merge. Frozen constants would turn such merges into
+//! spurious hard failures (or, worse, silently decide implication for
+//! only the all-distinct valuations). The canonical instance built here
+//! is *universal* for the premise: any instance satisfying the premise
+//! under some valuation is a homomorphic image of it, which is what
+//! makes "chase the frozen premise, check σ" a sound implication test.
+
+use dex_logic::{Atom, Term};
+use dex_relational::{Instance, Name, NullId, Schema, Tuple, Value};
+use std::collections::BTreeMap;
+
+/// A frozen premise: the canonical instance plus the valuation that
+/// sent each premise variable to its labeled null.
+#[derive(Clone, Debug)]
+pub struct CriticalInstance {
+    /// The canonical instance over the premise's schema.
+    pub instance: Instance,
+    /// Variable → labeled null, numbered from `⊥0` in first-occurrence
+    /// order (deterministic, so downstream output is byte-stable).
+    pub valuation: BTreeMap<Name, Value>,
+}
+
+/// Freeze a premise conjunction over `schema`. `None` when the premise
+/// contains function (Skolem) terms or does not fit the schema — the
+/// caller must treat such dependencies as *undecidable*, never as
+/// implied.
+pub fn critical_instance(premise: &[Atom], schema: &Schema) -> Option<CriticalInstance> {
+    let mut valuation: BTreeMap<Name, Value> = BTreeMap::new();
+    let mut next = 0u64;
+    let mut facts: BTreeMap<Name, Vec<Tuple>> = BTreeMap::new();
+    for atom in premise {
+        let mut vals = Vec::with_capacity(atom.args.len());
+        for t in &atom.args {
+            match t {
+                Term::Var(v) => {
+                    let val = valuation.entry(v.clone()).or_insert_with(|| {
+                        let val = Value::Null(NullId(next));
+                        next += 1;
+                        val
+                    });
+                    vals.push(val.clone());
+                }
+                Term::Const(c) => vals.push(Value::Const(c.clone())),
+                Term::Func(..) => return None,
+            }
+        }
+        facts
+            .entry(atom.relation.clone())
+            .or_default()
+            .push(Tuple::new(vals));
+    }
+    let instance = Instance::with_facts(
+        schema.clone(),
+        facts
+            .iter()
+            .map(|(rel, tuples)| (rel.as_str(), tuples.clone()))
+            .collect(),
+    )
+    .ok()?;
+    Some(CriticalInstance {
+        instance,
+        valuation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_logic::parse_mapping;
+
+    #[test]
+    fn variables_freeze_to_distinct_nulls_in_order() {
+        let m = parse_mapping(
+            "source Emp(name, dept);\ntarget T(a, b);\nEmp(x, y) & Emp(y, z) -> T(x, z);",
+        )
+        .unwrap();
+        let crit = critical_instance(&m.st_tgds()[0].lhs, m.source()).unwrap();
+        assert_eq!(crit.valuation.len(), 3);
+        assert_eq!(crit.valuation[&Name::new("x")], Value::Null(NullId(0)));
+        assert_eq!(crit.valuation[&Name::new("y")], Value::Null(NullId(1)));
+        assert_eq!(crit.valuation[&Name::new("z")], Value::Null(NullId(2)));
+        let emp = crit.instance.relation("Emp").unwrap();
+        assert_eq!(emp.len(), 2);
+    }
+
+    #[test]
+    fn repeated_variable_freezes_to_one_null() {
+        let m = parse_mapping("source Emp(a, b);\ntarget T(a);\nEmp(x, x) -> T(x);").unwrap();
+        let crit = critical_instance(&m.st_tgds()[0].lhs, m.source()).unwrap();
+        assert_eq!(crit.valuation.len(), 1);
+        let emp = crit.instance.relation("Emp").unwrap();
+        let row: Vec<Value> = emp.iter().next().unwrap().iter().cloned().collect();
+        assert_eq!(row[0], row[1]);
+    }
+
+    #[test]
+    fn constants_stay_rigid() {
+        let m = parse_mapping("source R(a, tag);\ntarget T(a);\nR(x, 'v') -> T(x);").unwrap();
+        let crit = critical_instance(&m.st_tgds()[0].lhs, m.source()).unwrap();
+        let r = crit.instance.relation("R").unwrap();
+        let row: Vec<Value> = r.iter().next().unwrap().iter().cloned().collect();
+        assert!(matches!(row[1], Value::Const(_)));
+    }
+
+    #[test]
+    fn function_terms_refuse() {
+        use dex_logic::StTgd;
+        let m = parse_mapping("source R(a);\ntarget T(a);\nR(x) -> T(x);").unwrap();
+        let lhs = vec![Atom::new(
+            "R",
+            vec![Term::Func(Name::new("f"), vec![Term::Var(Name::new("x"))])],
+        )];
+        let tgd = StTgd::new(lhs, vec![Atom::vars("T", &["x"])]);
+        assert!(critical_instance(&tgd.lhs, m.source()).is_none());
+    }
+}

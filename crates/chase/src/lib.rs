@@ -22,6 +22,7 @@
 
 pub mod chase;
 pub mod core_min;
+pub mod critical;
 pub mod error;
 pub mod query;
 pub mod sochase;
@@ -34,6 +35,7 @@ pub use chase::{
     ExchangeResult, Exhausted, Matcher, ResumeState, CHASE_STATS_WIRE_V,
 };
 pub use core_min::{core_of, core_of_governed};
+pub use critical::{critical_instance, CriticalInstance};
 pub use error::ChaseError;
 pub use query::{certain_answers, certain_answers_governed, ConjunctiveQuery, UnionQuery};
 pub use sochase::{so_exchange, so_exchange_governed, SoOutcome};

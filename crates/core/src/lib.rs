@@ -46,7 +46,9 @@ pub mod template;
 pub use compiler::compile;
 pub use engine::{Engine, EngineForward, EngineSymLens, ForwardStats, RelationStats};
 pub use error::CoreError;
-pub use plan::{plan, CostSection, LensSection, MappingPlan, MatcherChoice, TgdPlan};
+pub use plan::{
+    plan, CostSection, LensSection, MappingPlan, MatcherChoice, OptimizedSection, TgdPlan,
+};
 pub use precheck::{precheck, PrecheckReason, PrecheckReport};
 pub use template::{
     CompileReport, Fidelity, Hole, HoleBinding, HoleSite, MappingTemplate, RelationLens,

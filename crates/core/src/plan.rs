@@ -182,6 +182,24 @@ pub struct CostSection {
     pub bounds: ChaseBounds,
 }
 
+/// Verified-optimizer section of the plan: what `dexcli optimize`
+/// would do to this mapping. Pure data — the semantic analysis lives
+/// in `dex-analyze`'s containment checker, which fills this in for
+/// `dexcli explain`; [`plan`] itself leaves the field `None`.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize)]
+pub struct OptimizedSection {
+    /// Descriptions of the verified rewrites, in application order;
+    /// empty when the mapping is already minimal.
+    pub rewrites: Vec<String>,
+    /// `(total atoms, dependencies)` before optimization.
+    pub original_size: (usize, usize),
+    /// `(total atoms, dependencies)` after optimization.
+    pub optimized_size: (usize, usize),
+    /// Why the optimizer refused to run, when it did (non-terminating
+    /// target tgds); the sizes are then equal and `rewrites` empty.
+    pub refused: Option<String>,
+}
+
 /// A complete, serializable execution plan for a mapping.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize)]
 pub struct MappingPlan {
@@ -196,6 +214,9 @@ pub struct MappingPlan {
     /// Static cost bounds (filled by the analyzer's cost pass; `None`
     /// straight out of [`plan`]).
     pub cost: Option<CostSection>,
+    /// Verified-optimizer summary (filled by the analyzer's semantic
+    /// pass; `None` straight out of [`plan`]).
+    pub optimized: Option<OptimizedSection>,
 }
 
 fn tgd_plan(
@@ -305,6 +326,7 @@ pub fn plan(mapping: &Mapping) -> MappingPlan {
         target_egds,
         lens,
         cost: None,
+        optimized: None,
     }
 }
 

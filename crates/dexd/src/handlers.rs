@@ -240,8 +240,8 @@ impl Drop for MigrationGuard {
 /// Execute one operation against one catalog entry (ladder steps 4–6).
 fn execute(op: &str, entry: &CatalogEntry, body: &Json, ctx: &ServerCtx) -> Response {
     match op {
-        "compile" => compile_op(entry),
-        "lint" => lint_op(entry),
+        "compile" => compile_op(entry, body),
+        "lint" => lint_op(entry, body),
         "explain" => explain_op(entry),
         "chase" => chase_op(entry, body, ctx),
         "exchange" => exchange_op(entry, body, ctx),
@@ -260,11 +260,69 @@ fn envelope(entry: &CatalogEntry, op: &str) -> Map<String, Json> {
     m
 }
 
-fn compile_op(entry: &CatalogEntry) -> Response {
+/// Did the request body opt into the verified optimizer
+/// (`{"optimize": true}`)?
+fn wants_optimize(body: &Json) -> bool {
+    body.get("optimize").and_then(Json::as_bool) == Some(true)
+}
+
+/// The `"optimized"` response section shared by `compile` and `lint`:
+/// the verified rewrites, size change, rendered optimized mapping —
+/// or the typed refusal for mappings outside the decidable fragment.
+fn optimized_json(mapping: &Mapping) -> (Json, Option<Mapping>) {
+    let outcome = dex_analyze::optimize(mapping);
+    if let Some(reason) = &outcome.refused {
+        return (json!({"refused": reason}), None);
+    }
+    let (a0, d0) = dex_analyze::semantic::mapping_size(mapping);
+    let (a1, d1) = dex_analyze::semantic::mapping_size(&outcome.mapping);
+    let rewrites: Vec<&String> = outcome.rewrites.iter().map(|r| &r.description).collect();
+    let section = json!({
+        "refused": Json::Null,
+        "rewrites": rewrites,
+        "original_size": json!({"atoms": a0, "deps": d0}),
+        "optimized_size": json!({"atoms": a1, "deps": d1}),
+        "mapping": dex_analyze::render_mapping_dex(&outcome.mapping),
+    });
+    let changed = outcome.changed();
+    (section, changed.then_some(outcome.mapping))
+}
+
+fn compile_op(entry: &CatalogEntry, req: &Json) -> Response {
     let mut body = envelope(entry, "compile");
-    match &entry.engine {
-        Ok(engine) => {
-            let t = engine.template();
+    // With {"optimize": true} the *optimized* mapping is compiled — a
+    // verified-equivalent mapping can compile where the original's
+    // redundant rules trip the union-lens restrictions (DEX206).
+    let optimized = wants_optimize(req).then(|| optimized_json(&entry.mapping));
+    let fresh_template;
+    let template = match &optimized {
+        Some((section, opt)) => {
+            body.insert("optimized".into(), section.clone());
+            match opt {
+                Some(m) => match dex_core::compile(m) {
+                    Ok(t) => {
+                        fresh_template = t;
+                        Ok(&fresh_template)
+                    }
+                    Err(e) => Err(e.to_string()),
+                },
+                // Refused or unchanged: fall back to the precompiled
+                // entry.
+                None => entry
+                    .engine
+                    .as_ref()
+                    .map(|e| e.template())
+                    .map_err(Clone::clone),
+            }
+        }
+        None => entry
+            .engine
+            .as_ref()
+            .map(|e| e.template())
+            .map_err(Clone::clone),
+    };
+    match template {
+        Ok(t) => {
             body.insert("compiled".into(), json!(true));
             body.insert(
                 "holes".into(),
@@ -284,7 +342,7 @@ fn compile_op(entry: &CatalogEntry) -> Response {
     }
 }
 
-fn lint_op(entry: &CatalogEntry) -> Response {
+fn lint_op(entry: &CatalogEntry, req: &Json) -> Response {
     let mut diags = analyze_with(&entry.mapping, Some(&entry.spans), Default::default());
     sort_diagnostics(&mut diags);
     let failed = has_errors(&diags);
@@ -294,6 +352,10 @@ fn lint_op(entry: &CatalogEntry) -> Response {
         serde_json::to_value(&diags).unwrap_or(Json::Null),
     );
     body.insert("errors".into(), json!(failed));
+    if wants_optimize(req) {
+        let (section, _) = optimized_json(&entry.mapping);
+        body.insert("optimized".into(), section);
+    }
     // Mirrors `dexcli lint`'s exit-2 contract: diagnostics are data,
     // but a mapping with errors is unprocessable.
     Response::json(if failed { 422 } else { 200 }, Json::Object(body))

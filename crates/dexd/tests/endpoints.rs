@@ -53,6 +53,60 @@ fn compile_lint_explain_surfaces() {
 }
 
 #[test]
+fn lint_and_compile_accept_optimize_flag() {
+    // A mapping with a redundant rule: the second st-tgd is subsumed
+    // by the first, so the verified optimizer can delete it.
+    const REDUNDANT: &str = "source Emp(name, dept);\n\
+                             target T(name, dept);\n\
+                             Emp(x, y) -> T(x, y);\n\
+                             Emp(x, x) -> T(x, x);\n";
+    let srv = spawn(&[("red", REDUNDANT)], |_| {});
+    let addr = srv.addr();
+    let l = request(
+        addr,
+        "POST",
+        "/v1/mappings/red/lint",
+        r#"{"optimize": true}"#,
+    );
+    assert_eq!(l.status, 200, "{}", l.raw_body);
+    assert!(
+        l.field("optimized.refused")
+            .is_some_and(|v| matches!(v, serde_json::Value::Null)),
+        "terminating mapping must not be refused: {}",
+        l.raw_body
+    );
+    assert_eq!(
+        l.field("optimized.optimized_size.deps")
+            .and_then(|v| v.as_u64()),
+        Some(1),
+        "the subsumed rule is deleted: {}",
+        l.raw_body
+    );
+    let rendered = l
+        .field("optimized.mapping")
+        .and_then(|v| v.as_str())
+        .expect("optimized mapping text");
+    assert!(rendered.contains("Emp(x, y) -> T(x, y);"));
+    assert!(!rendered.contains("Emp(x, x)"));
+
+    // compile with optimize:true compiles the optimized mapping.
+    let c = request(
+        addr,
+        "POST",
+        "/v1/mappings/red/compile",
+        r#"{"optimize": true}"#,
+    );
+    assert_eq!(c.status, 200, "{}", c.raw_body);
+    assert_eq!(c.field("compiled").and_then(|v| v.as_bool()), Some(true));
+    assert!(c.field("optimized.rewrites").is_some());
+
+    // Without the flag the response shape is unchanged.
+    let plain = request(addr, "POST", "/v1/mappings/red/lint", "{}");
+    assert!(plain.field("optimized").is_none());
+    srv.shutdown();
+}
+
+#[test]
 fn chase_exchange_put_happy_paths() {
     let srv = spawn(&[("emp", EMPLOYEES)], |_| {});
     let addr = srv.addr();

@@ -5,7 +5,7 @@
 //! rename, so a diff can tell `RenameTable` apart from drop+create).
 //! Two catalogs are id-comparable only when they share a *lineage* —
 //! one was produced from the other by [`Catalog::apply`] — which the
-//! lineage token tracks. [`diff`](crate::diff) falls back to
+//! lineage token tracks. [`diff`](crate::diff()) falls back to
 //! name/shape matching (with typed ambiguity refusals) when the
 //! lineages differ, which is the `dexcli migrate` case: the old schema
 //! comes from a persisted store, the new one from a `.dex` file, and

@@ -3,7 +3,7 @@
 //! Each step k becomes a mapping from the `v{k}__`-prefixed schema to
 //! the `v{k+1}__`-prefixed one (the prefix satisfies the mapping
 //! language's disjoint-vocabulary rule and makes consecutive steps
-//! chain exactly), the steps are folded through [`dex_ops::compose`]
+//! chain exactly), the steps are folded through [`dex_ops::compose()`]
 //! (Fagin–Kolaitis–Popa–Tan), and the result is **de-skolemized** back
 //! to plain st-tgds: a Skolem term produced by an earlier step's
 //! existential and threaded through later copies appears only in
@@ -360,13 +360,34 @@ impl Migration {
 /// mapping via pairwise composition and de-skolemization.
 ///
 /// `new` must be the schema the sequence actually reaches (the caller
-/// obtained `smos` from [`crate::diff`] or built them alongside the
+/// obtained `smos` from [`crate::diff()`] or built them alongside the
 /// schema); its keys become target egds, so the migration chase
 /// enforces the evolved schema's constraints as it copies.
 pub fn compile_migration(
     old: &Schema,
     new: &Schema,
     smos: &[Smo],
+) -> Result<Migration, EvolutionError> {
+    compile_migration_checked(old, new, smos, false)
+}
+
+/// [`compile_migration`] with an opt-in chase-agreement self-check.
+///
+/// With `self_check` set, every pairwise composition in the fold is
+/// refereed by [`dex_ops::verify_composition`]: the critical instances
+/// of both operands are chased through the two-step pipeline and
+/// through the composed mapping, and the results must be
+/// homomorphically equivalent. A disagreement aborts compilation with
+/// [`EvolutionError::SelfCheck`] (`DEX604`) *before* any migration
+/// plan is built — a miscompiled fold never reaches the store. Steps
+/// outside the decidable fragment (second-order intermediate, later
+/// de-skolemized) are skipped, not failed: refusal to certify is not a
+/// counterexample. `dexcli migrate --dry-run` runs with the check on.
+pub fn compile_migration_checked(
+    old: &Schema,
+    new: &Schema,
+    smos: &[Smo],
+    self_check: bool,
 ) -> Result<Migration, EvolutionError> {
     // Fold the steps into one v0 → vN mapping.
     let mut acc: Option<Mapping> = None;
@@ -380,6 +401,19 @@ pub fn compile_migration(
                 let comp = compose(&prev, &step).map_err(|e| EvolutionError::Compose {
                     detail: e.to_string(),
                 })?;
+                if self_check {
+                    if let Some(chk) = dex_ops::verify_composition(&prev, &step, &comp) {
+                        if !chk.agreed {
+                            return Err(EvolutionError::SelfCheck {
+                                detail: format!(
+                                    "step {k} (`{smo}`): counterexample found after \
+                                     {} critical instance(s)",
+                                    chk.checked
+                                ),
+                            });
+                        }
+                    }
+                }
                 let tgds = match comp.st_tgds {
                     Some(tgds) => tgds,
                     None => deskolemize(&comp.sotgd)?,
@@ -625,6 +659,33 @@ mod tests {
             .target;
         let (_, row) = out.facts().next().unwrap();
         assert!(row[1].is_null() && row[2].is_null() && row[1] != row[2]);
+    }
+
+    #[test]
+    fn self_check_passes_on_a_multi_step_fold() {
+        // Two folded compositions (rename then add-column), with the
+        // chase-agreement referee watching each one.
+        let old = schema(&[("R", &["a"])]);
+        let smos = vec![
+            Smo::RenameTable {
+                from: Name::new("R"),
+                to: Name::new("S"),
+            },
+            Smo::AddColumn {
+                table: Name::new("S"),
+                column: Name::new("b"),
+                ty: AttrType::Any,
+                default: ColumnDefault::Null,
+            },
+        ];
+        let new = schema(&[("S", &["a", "b"])]);
+        let checked = compile_migration_checked(&old, &new, &smos, true).unwrap();
+        let unchecked = compile_migration(&old, &new, &smos).unwrap();
+        assert_eq!(
+            checked.mapping.st_tgds().len(),
+            unchecked.mapping.st_tgds().len(),
+            "the self-check observes, it must not rewrite"
+        );
     }
 
     #[test]

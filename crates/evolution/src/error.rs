@@ -58,6 +58,13 @@ pub enum EvolutionError {
         /// The offending clause or function term.
         detail: String,
     },
+    /// The opt-in chase-agreement self-check caught a composed step
+    /// disagreeing with its two-step chase (`DEX604`): the compiled
+    /// migration would not faithfully replay the SMO sequence.
+    SelfCheck {
+        /// The failing step and counterexample description.
+        detail: String,
+    },
     /// A `dex-ops` operator refused during migration compilation.
     Compose {
         /// The operator's error display.
@@ -103,6 +110,13 @@ impl fmt::Display for EvolutionError {
             }
             EvolutionError::Compose { detail } => {
                 write!(f, "migration composition failed: {detail}")
+            }
+            EvolutionError::SelfCheck { detail } => {
+                write!(
+                    f,
+                    "migration self-check failed (DEX604): the composed mapping \
+                     is not equivalent to the step-by-step chase: {detail}"
+                )
             }
             EvolutionError::Relational(e) => write!(f, "{e}"),
         }

@@ -34,8 +34,8 @@ pub mod smo;
 pub use catalog::{CatColumn, CatTable, Catalog, ColumnId, TableId};
 pub use channel::{propagate, propagate_all};
 pub use compile::{
-    compile_migration, prefix_instance, prefix_schema, render_mapping_dex, render_schema_dex,
-    version_prefix, Migration,
+    compile_migration, compile_migration_checked, prefix_instance, prefix_schema,
+    render_mapping_dex, render_schema_dex, version_prefix, Migration,
 };
 pub use diff::diff;
 pub use error::EvolutionError;

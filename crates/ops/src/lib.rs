@@ -18,6 +18,11 @@
 //!   [`not_invertible_witness`]) make the negative results executable:
 //!   the naive flip is *not* a recovery; Example 3's mapping is *not*
 //!   Fagin-invertible.
+//! * [`verify_composition`] is the composition's independent referee:
+//!   it chases the critical instances of both mappings through the
+//!   two-step pipeline and through the composed mapping and demands
+//!   homomorphically equivalent results — surfaced as `DEX604` by
+//!   `dexcli compose --check`.
 
 #![deny(clippy::unwrap_used)]
 #![deny(clippy::expect_used)]
@@ -26,6 +31,7 @@
 pub mod compose;
 pub mod error;
 pub mod inverse;
+pub mod verify;
 
 pub use compose::{compose, Composition};
 pub use error::OpsError;
@@ -33,3 +39,4 @@ pub use inverse::{
     is_recovery_witness, is_recovery_witness_governed, maximum_recovery, not_invertible_witness,
     not_invertible_witness_governed, MaxRecovery,
 };
+pub use verify::{verify_composition, CompositionCheck, CompositionCounterexample};

@@ -1,0 +1,160 @@
+//! Chase-agreement self-check for composition.
+//!
+//! [`compose`](crate::compose()) is an algebraic transformation; this
+//! module is its independent referee. When the composition of
+//! `M₁₂ : A → B` and `M₂₃ : B → C` comes out first-order (plain
+//! st-tgds), the composed mapping *claims* to denote the same relation
+//! as the two-step pipeline. [`verify_composition`] puts that claim to
+//! the test by chasing a canonical family of source instances — the
+//! critical instances of every premise on both sides — through both
+//! routes:
+//!
+//! ```text
+//!   crit(σ) ──chase M₁₂──▶ J ──chase M₂₃──▶ K_two_step
+//!   crit(σ) ──────chase (M₁₂∘M₂₃)─────────▶ K_composed
+//! ```
+//!
+//! and requiring `K_two_step` and `K_composed` to be homomorphically
+//! equivalent. A disagreement is a *proof* of inequivalence — the
+//! critical instance is a concrete counterexample source on which the
+//! two routes produce non-interchangeable universal solutions — and is
+//! what `dexcli compose --check` surfaces as `DEX604`. Agreement means
+//! the two routes coincide on the entire critical-instance basis of
+//! both mappings, the same instances the containment checker
+//! (`dex-analyze`) uses as its decision basis for this fragment.
+//!
+//! The check returns `None` (undecidable, not "ok") when the
+//! composition needed second-order quantification or a premise falls
+//! outside the critical-instance fragment — refusal over false
+//! confidence, the same posture as `DEX001`.
+
+use crate::compose::Composition;
+use dex_chase::{critical_instance, exchange};
+use dex_logic::Mapping;
+use dex_relational::{homomorphically_equivalent, Instance};
+
+/// Outcome of [`verify_composition`] when the check is decidable.
+#[derive(Clone, Debug)]
+pub struct CompositionCheck {
+    /// Number of critical instances chased through both routes.
+    pub checked: usize,
+    /// Did every instance agree (homomorphically equivalent results)?
+    pub agreed: bool,
+    /// On disagreement: the counterexample — the critical source
+    /// instance plus both chase results, for independent re-checking.
+    pub counterexample: Option<Box<CompositionCounterexample>>,
+}
+
+/// A concrete source instance on which the composed mapping and the
+/// two-step chase produce homomorphically inequivalent targets.
+#[derive(Clone, Debug)]
+pub struct CompositionCounterexample {
+    /// The critical source instance (over the A schema).
+    pub source: Instance,
+    /// Chase through `m12` then `m23`.
+    pub two_step: Instance,
+    /// Chase through the composed mapping directly.
+    pub composed: Instance,
+}
+
+/// Check that a first-order [`Composition`] agrees with the two-step
+/// chase on every critical instance of both mappings' premises.
+///
+/// Returns `None` when the question is outside the decidable fragment:
+/// the composition is genuinely second-order (`st_tgds` is `None`), or
+/// some premise has no critical instance (function terms). Otherwise
+/// returns a [`CompositionCheck`]; `agreed == false` carries a
+/// machine-checkable counterexample.
+///
+/// Both inputs are st-tgd-only (compose rejects target dependencies),
+/// so every chase here terminates — no budget needed.
+pub fn verify_composition(
+    m12: &Mapping,
+    m23: &Mapping,
+    comp: &Composition,
+) -> Option<CompositionCheck> {
+    let composed = comp.clone().into_mapping()?;
+    // Test basis: critical instances of the first mapping's premises
+    // (exercising everything the pipeline can produce) and of the
+    // composed mapping's premises (exercising everything the composed
+    // rules can fire on).
+    let mut basis: Vec<Instance> = Vec::new();
+    for tgd in m12.st_tgds().iter().chain(composed.st_tgds()) {
+        basis.push(critical_instance(&tgd.lhs, m12.source())?.instance);
+    }
+    let mut checked = 0usize;
+    for src in basis {
+        // st-tgd-only chases cannot fail (no egds), but stay honest:
+        // treat an engine error as undecidable rather than agreement.
+        let j = exchange(m12, &src).ok()?.target;
+        let two_step = exchange(m23, &j).ok()?.target;
+        let direct = exchange(&composed, &src).ok()?.target;
+        checked += 1;
+        if !homomorphically_equivalent(&two_step, &direct) {
+            return Some(CompositionCheck {
+                checked,
+                agreed: false,
+                counterexample: Some(Box::new(CompositionCounterexample {
+                    source: src,
+                    two_step,
+                    composed: direct,
+                })),
+            });
+        }
+    }
+    Some(CompositionCheck {
+        checked,
+        agreed: true,
+        counterexample: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compose::compose;
+    use dex_logic::parse_mapping;
+
+    fn m(text: &str) -> Mapping {
+        parse_mapping(text).unwrap()
+    }
+
+    #[test]
+    fn correct_composition_agrees() {
+        let m12 = m("source Emp(name, dept);\ntarget Mid(name, dept);\n\
+                     Emp(x, d) -> Mid(x, d);");
+        let m23 = m("source Mid(name, dept);\ntarget Out(name);\nMid(x, d) -> Out(x);");
+        let comp = compose(&m12, &m23).unwrap();
+        let check = verify_composition(&m12, &m23, &comp).unwrap();
+        assert!(check.agreed, "compose output must pass its own referee");
+        assert!(check.checked >= 2);
+        assert!(check.counterexample.is_none());
+    }
+
+    #[test]
+    fn tampered_composition_yields_counterexample() {
+        let m12 = m("source Emp(name, dept);\ntarget Mid(name, dept);\n\
+                     Emp(x, d) -> Mid(x, d);");
+        let m23 = m("source Mid(name, dept);\ntarget Out(name);\nMid(x, d) -> Out(x);");
+        let mut comp = compose(&m12, &m23).unwrap();
+        // Sabotage: drop every composed rule. The composition now
+        // produces nothing, while the two-step chase produces Out.
+        comp.st_tgds = Some(Vec::new());
+        // An empty rule set has no critical instances of its own, but
+        // m12's premises still populate the basis.
+        let check = verify_composition(&m12, &m23, &comp).unwrap();
+        assert!(!check.agreed);
+        let cx = check.counterexample.unwrap();
+        assert!(!homomorphically_equivalent(&cx.two_step, &cx.composed));
+    }
+
+    #[test]
+    fn second_order_composition_is_undecidable() {
+        let m12 = m("source Emp(name);\ntarget Manager(emp, mgr);\nEmp(x) -> Manager(x, y);");
+        let m23 = m("source Manager(emp, mgr);\ntarget SelfMngr(emp);\n\
+                     Manager(x, x) -> SelfMngr(x);");
+        let comp = compose(&m12, &m23).unwrap();
+        assert!(comp.st_tgds.is_none());
+        assert!(verify_composition(&m12, &m23, &comp).is_none());
+    }
+}

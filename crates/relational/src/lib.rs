@@ -50,7 +50,9 @@ pub use error::RelationalError;
 pub use expr::{ArithOp, BinCmp, Expr};
 pub use fd::{Fd, FdSet, FdViolation};
 pub use governor::{Budget, CancelToken, ExhaustionReport, Governor, TripReason};
-pub use homomorphism::{find_homomorphism, is_homomorphic_to, Homomorphism};
+pub use homomorphism::{
+    find_homomorphism, homomorphically_equivalent, is_homomorphic_to, Homomorphism,
+};
 pub use index::{Probe, TupleId, TupleIndex};
 pub use instance::Instance;
 pub use name::Name;

@@ -7,7 +7,9 @@
 //! dexcli chase    <mapping.dex> <source.json> [--stats]  classical chase (universal solution)
 //! dexcli exchange <mapping.dex> <source.json> [prev.json] [--stats] lens-engine forward
 //! dexcli backward <mapping.dex> <target.json> <source.json> lens-engine backward
-//! dexcli compose  <m1.dex> <m2.dex>                      compose mappings (SO-tgd or st-tgds)
+//! dexcli compose  <m1.dex> <m2.dex> [--check]            compose mappings (SO-tgd or st-tgds)
+//! dexcli optimize <mapping.dex> [--emit out.dex]         provably-safe optimizer (verified rewrites)
+//! dexcli eq       <a.dex> <b.dex>                        decide equivalence (witness on differ)
 //! dexcli recover  <mapping.dex>                          maximum recovery (disjunctive rules)
 //! dexcli resume   <store-dir>                            continue a crashed/exhausted --store run
 //! dexcli migrate  <store-dir> <new-schema.dex>           crash-safe live schema migration
@@ -29,19 +31,18 @@
 //! `{"skolem": "f", "args": [...]}`.
 
 use dex::analyze::{
-    analyze_with, chase_bounds, cost::DEFAULT_CARD, deny_warnings, explain_with, has_errors,
-    parse_error_diagnostic, render_all, sort_diagnostics, AnalyzeOptions, Code,
+    analyze_with, chase_bounds, cost::DEFAULT_CARD, deny_warnings, equivalent, explain_with,
+    has_errors, parse_error_diagnostic, render_all, sort_diagnostics, verify_containment_witness,
+    AnalyzeOptions, Code, ContainmentVerdict,
 };
 use dex::chase::{
     certain_answers_governed, exchange_checkpointed, exchange_governed, resume_exchange, Budget,
     ChaseOptions, ChaseOutcome, ChaseStats, Governor, ResumeState,
 };
 use dex::core::{compile, Engine, EngineForward, ForwardStats};
-use dex::evolution::{
-    compile_migration, diff, prefix_instance, render_mapping_dex, render_schema_dex, Catalog,
-};
+use dex::evolution::{diff, prefix_instance, render_mapping_dex, render_schema_dex, Catalog};
 use dex::logic::{parse_mapping, parse_mapping_with_spans, Mapping};
-use dex::ops::{compose, maximum_recovery};
+use dex::ops::{compose, maximum_recovery, verify_composition};
 use dex::relational::budget_args::{parse_count, BudgetArgs};
 use dex::relational::{ExhaustionReport, Instance, Schema, SourceStats, Tuple, Value};
 use dex::rellens::Environment;
@@ -61,6 +62,9 @@ const EXIT_LINT: u8 = 2;
 /// Exit code when a budget trips: the run is neither a success nor an
 /// error — the partial result on stdout is a valid chase prefix.
 const EXIT_EXHAUSTED: u8 = 3;
+/// Exit code when `dexcli eq` proves two mappings inequivalent: not an
+/// error — stdout carries the machine-checkable counterexample witness.
+const EXIT_DIFFER: u8 = 4;
 /// Exit code for an internal panic caught at the process boundary
 /// (BSD `EX_SOFTWARE`).
 const EXIT_PANIC: u8 = 70;
@@ -86,7 +90,7 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let usage =
-        "usage: dexcli <plan|check|lint|explain|chase|exchange|backward|compose|recover|query|resume|fsck|migrate|serve> <args…>\n\
+        "usage: dexcli <plan|check|lint|explain|optimize|eq|chase|exchange|backward|compose|recover|query|resume|fsck|migrate|serve> <args…>\n\
                  run `dexcli help` for details";
     // Deterministic hook for exercising the panic barrier end-to-end
     // (tests/robustness_cli.rs pins exit code 70 through it).
@@ -112,6 +116,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         "lint" => lint(&args[1..]),
         "explain" => explain_cmd(&args[1..]),
+        "optimize" => optimize_cmd(&args[1..]),
+        "eq" => eq_cmd(&args[1..]),
         "chase" => {
             let mut rest: Vec<&String> = args[1..].iter().collect();
             let budget = extract_budget(&mut rest)?;
@@ -225,8 +231,17 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         "compose" => {
-            let m1 = load_mapping(args.get(1).ok_or(usage)?)?;
-            let m2 = load_mapping(args.get(2).ok_or(usage)?)?;
+            let mut rest: Vec<&String> = args[1..].iter().collect();
+            let check = match rest.iter().position(|a| a.as_str() == "--check") {
+                Some(i) => {
+                    rest.remove(i);
+                    true
+                }
+                None => false,
+            };
+            reject_unknown_flags(&rest)?;
+            let m1 = load_mapping(rest.first().ok_or(usage)?)?;
+            let m2 = load_mapping(rest.get(1).ok_or(usage)?)?;
             let comp = compose(&m1, &m2).map_err(|e| e.to_string())?;
             match &comp.st_tgds {
                 Some(tgds) => {
@@ -238,6 +253,33 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 None => {
                     eprintln!("composition requires second-order quantification:");
                     println!("{comp}");
+                }
+            }
+            if check {
+                match verify_composition(&m1, &m2, &comp) {
+                    Some(chk) if chk.agreed => eprintln!(
+                        "self-check: composition agrees with the two-step chase \
+                         on {} critical instance(s)",
+                        chk.checked
+                    ),
+                    Some(chk) => {
+                        eprintln!(
+                            "error[{}]: composed mapping is not equivalent to the \
+                             two-step chase (counterexample found after {} critical \
+                             instance(s))",
+                            Code::Dex604,
+                            chk.checked
+                        );
+                        if let Some(cx) = chk.counterexample {
+                            eprintln!("counterexample source instance:");
+                            eprintln!("{}", render_instance(&cx.source));
+                        }
+                        return Ok(ExitCode::from(EXIT_LINT));
+                    }
+                    None => eprintln!(
+                        "self-check: outside the decidable fragment \
+                         (second-order output); skipped"
+                    ),
                 }
             }
             Ok(ExitCode::SUCCESS)
@@ -305,23 +347,31 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
-/// `dexcli lint <files…> [--format text|json] [--deny warnings]`.
+/// `dexcli lint <files…> [--format text|json] [--deny warnings] [--fix]`.
 ///
 /// Exits [`EXIT_LINT`] (2) iff any file fails to parse or any
 /// diagnostic is an error after `--deny warnings` promotion; bad
 /// flags and unreadable files exit 1 like any other usage error.
+///
+/// `--fix` applies machine-applicable suggestions (DEX601/DEX602)
+/// in place before linting. Each suggestion is an individually
+/// verified equivalence-preserving rewrite, but two suggestions need
+/// not compose — so fixes are applied one at a time, re-parsing and
+/// re-linting after each, until a fixpoint.
 fn lint(args: &[String]) -> Result<ExitCode, String> {
     let usage = "usage: dexcli lint <mapping.dex>… [--format text|json] [--deny warnings]\n\
-                 \x20                               [--deny-cost <n>] [--cards <spec>]\n\
+                 \x20                               [--deny-cost <n>] [--cards <spec>] [--fix]\n\
                  \x20      dexcli lint --explain DEXnnn";
     let mut files: Vec<&String> = Vec::new();
     let mut format = "text";
     let mut deny = false;
+    let mut fix = false;
     let mut deny_cost: Option<u64> = None;
     let mut stats: Option<SourceStats> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--fix" => fix = true,
             "--explain" => {
                 let code_str = it
                     .next()
@@ -371,7 +421,16 @@ fn lint(args: &[String]) -> Result<ExitCode, String> {
     let mut failed = false;
     let mut json_report: Vec<Json> = Vec::new();
     for path in files {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let mut text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        if fix {
+            let (fixed, applied) = apply_fixes(&text, &options);
+            if applied > 0 {
+                std::fs::write(path, &fixed).map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!("{path}: applied {applied} verified fix(es)");
+                text = fixed;
+            }
+        }
         let mut diags = match parse_mapping_with_spans(&text) {
             Ok((m, spans)) => analyze_with(&m, Some(&spans), options.clone()),
             Err(e) => vec![parse_error_diagnostic(&e)],
@@ -448,6 +507,262 @@ fn explain_cmd(args: &[String]) -> Result<ExitCode, String> {
         _ => print!("{}", report.render_tree()),
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// Apply machine-applicable lint suggestions to `text`, one per
+/// iteration, until no suggestion remains (or a safety cap trips).
+///
+/// Suggestions are verified individually but not jointly — two
+/// dependencies can each be implied by the rest without being jointly
+/// deletable — so after each splice the text is re-parsed and
+/// re-linted from scratch. Returns the fixed text and the number of
+/// suggestions applied.
+fn apply_fixes(text: &str, options: &AnalyzeOptions) -> (String, usize) {
+    let mut cur = text.to_string();
+    let mut applied = 0usize;
+    for _ in 0..256 {
+        let Ok((m, spans)) = parse_mapping_with_spans(&cur) else {
+            break;
+        };
+        let mut diags = analyze_with(&m, Some(&spans), options.clone());
+        sort_diagnostics(&mut diags);
+        let Some(s) = diags.iter().find_map(|d| d.suggestion.clone()) else {
+            break;
+        };
+        let (Some(start), Some(end)) = (
+            offset_of(&cur, s.span.line, s.span.col),
+            offset_of(&cur, s.span.end_line, s.span.end_col),
+        ) else {
+            break;
+        };
+        if start > end || end > cur.len() {
+            break;
+        }
+        let mut next = String::with_capacity(cur.len());
+        next.push_str(&cur[..start]);
+        next.push_str(&s.replacement);
+        // A deletion leaves its line blank; absorb the dangling newline.
+        let mut rest = &cur[end..];
+        if s.replacement.is_empty()
+            && (start == 0 || cur[..start].ends_with('\n'))
+            && rest.starts_with('\n')
+        {
+            rest = &rest[1..];
+        }
+        next.push_str(rest);
+        cur = next;
+        applied += 1;
+    }
+    (cur, applied)
+}
+
+/// Byte offset of 1-based (line, col) in `text`; columns count chars.
+///
+/// The position one past the last character of the input is valid (an
+/// exclusive span end may point there); anything further is `None`.
+fn offset_of(text: &str, line: usize, col: usize) -> Option<usize> {
+    let (mut l, mut c) = (1usize, 1usize);
+    for (i, ch) in text.char_indices() {
+        if l == line && c == col {
+            return Some(i);
+        }
+        if ch == '\n' {
+            l += 1;
+            c = 1;
+        } else {
+            c += 1;
+        }
+    }
+    (l == line && c == col).then_some(text.len())
+}
+
+/// `dexcli optimize <mapping.dex> [--emit <out.dex>] [--check]`.
+///
+/// Runs the provably-safe optimizer: conclusion splitting, implied
+/// dependency deletion, and redundant-premise-atom pruning, each
+/// rewrite individually re-verified by the containment checker. The
+/// optimized mapping prints to stdout (or `--emit <file>`); `--check`
+/// reports the verified rewrites without emitting. Non-terminating
+/// mappings are refused with a typed reason and exit [`EXIT_LINT`] —
+/// never silently "optimized" without proof.
+fn optimize_cmd(args: &[String]) -> Result<ExitCode, String> {
+    let usage = "usage: dexcli optimize <mapping.dex> [--emit <out.dex>] [--check]";
+    let mut rest: Vec<&String> = args.iter().collect();
+    let emit = take_flag_value(&mut rest, "--emit")?;
+    let check = match rest.iter().position(|a| a.as_str() == "--check") {
+        Some(i) => {
+            rest.remove(i);
+            true
+        }
+        None => false,
+    };
+    reject_unknown_flags(&rest)?;
+    let path = rest.first().ok_or(usage)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let m = match parse_mapping_with_spans(&text) {
+        Ok((m, _)) => m,
+        Err(e) => {
+            let d = parse_error_diagnostic(&e);
+            print!("{}", render_all(&[d], path, &text));
+            return Ok(ExitCode::from(EXIT_LINT));
+        }
+    };
+    let outcome = dex::analyze::optimize(&m);
+    if let Some(reason) = &outcome.refused {
+        eprintln!("optimize: refused: {reason}");
+        return Ok(ExitCode::from(EXIT_LINT));
+    }
+    // Belt and braces: each rewrite was verified when it was applied,
+    // but re-verify the end-to-end result before letting it replace
+    // anything.
+    if outcome.changed() && !equivalent(&m, &outcome.mapping).holds() {
+        return Err(
+            "internal error: optimizer output failed final equivalence re-verification".into(),
+        );
+    }
+    let (a0, d0) = dex::analyze::semantic::mapping_size(&m);
+    let (a1, d1) = dex::analyze::semantic::mapping_size(&outcome.mapping);
+    for r in &outcome.rewrites {
+        eprintln!("verified: {}", r.description);
+    }
+    if outcome.changed() {
+        eprintln!(
+            "optimized: {a0} atoms / {d0} deps  ->  {a1} atoms / {d1} deps \
+             ({} verified rewrites)",
+            outcome.rewrites.len()
+        );
+    } else {
+        eprintln!("already minimal under the implemented rewrites");
+    }
+    if check {
+        return Ok(ExitCode::SUCCESS);
+    }
+    let rendered = dex::analyze::render_mapping_dex(&outcome.mapping);
+    // The rendered text must round-trip: re-parse it and check the
+    // reparse is still equivalent to the optimized mapping, so --emit
+    // can never write a file that means something else.
+    match parse_mapping(&rendered) {
+        Ok(back) if equivalent(&outcome.mapping, &back).holds() => {}
+        Ok(_) => return Err("internal error: rendered mapping re-parses inequivalent".into()),
+        Err(e) => {
+            return Err(format!(
+                "internal error: rendered mapping does not parse: {e}"
+            ))
+        }
+    }
+    match emit {
+        Some(out) => {
+            std::fs::write(&out, &rendered).map_err(|e| format!("cannot write {out}: {e}"))?;
+            eprintln!("wrote {out}");
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `dexcli eq <a.dex> <b.dex> [--format text|json]`.
+///
+/// Decides logical equivalence of two terminating mappings over the
+/// same schemas by chasing critical instances. Exit codes: 0 —
+/// equivalent; [`EXIT_DIFFER`] (4) — provably inequivalent, with a
+/// machine-checkable counterexample witness on stdout;
+/// [`EXIT_LINT`] (2) — parse error or outside the decidable fragment.
+fn eq_cmd(args: &[String]) -> Result<ExitCode, String> {
+    let usage = "usage: dexcli eq <a.dex> <b.dex> [--format text|json]";
+    let mut rest: Vec<&String> = args.iter().collect();
+    let json = match take_flag_value(&mut rest, "--format")?.as_deref() {
+        Some("json") => true,
+        Some("text") | None => false,
+        Some(f) => return Err(format!("--format takes `text` or `json`, got `{f}`")),
+    };
+    reject_unknown_flags(&rest)?;
+    let (path_a, path_b) = match rest.as_slice() {
+        [a, b] => (a.as_str(), b.as_str()),
+        _ => return Err(usage.into()),
+    };
+    let ma = load_mapping(path_a)?;
+    let mb = load_mapping(path_b)?;
+    let verdict = equivalent(&ma, &mb);
+    // A `Fails` witness names the mapping whose dependency is violated
+    // (the right-hand side of the failing containment) and carries the
+    // (source, target) pair that refutes it. Re-verify before showing
+    // it: a witness the checker itself cannot confirm is a bug.
+    let mut failures = Vec::new();
+    for (dir, holder, m1, m2, other) in [
+        ("forward", &verdict.forward, &ma, &mb, path_b),
+        ("backward", &verdict.backward, &mb, &ma, path_a),
+    ] {
+        if let ContainmentVerdict::Fails(w) = holder {
+            if !verify_containment_witness(m1, m2, w) {
+                return Err(format!(
+                    "internal error: {dir} containment witness failed re-verification"
+                ));
+            }
+            failures.push((dir, other, w));
+        }
+    }
+    if json {
+        let obj = json!({
+            "a": path_a,
+            "b": path_b,
+            "equivalent": verdict.holds(),
+            "forward": containment_json(&verdict.forward)?,
+            "backward": containment_json(&verdict.backward)?,
+        });
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&obj).map_err(|e| e.to_string())?
+        );
+    }
+    if verdict.holds() {
+        eprintln!("equivalent: {path_a} == {path_b}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    if verdict.refuted() {
+        for (dir, other, w) in &failures {
+            eprintln!(
+                "{dir} containment fails: the witness below satisfies every \
+                 dependency of one mapping but violates {:?} of {other} \
+                 (witness re-verified)",
+                w.dependency
+            );
+            if !json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(
+                        &serde_json::to_value(w.as_ref()) //
+                            .map_err(|e| e.to_string())?
+                    )
+                    .map_err(|e| e.to_string())?
+                );
+            }
+        }
+        eprintln!("mappings differ");
+        return Ok(ExitCode::from(EXIT_DIFFER));
+    }
+    for (dir, v) in [
+        ("forward", &verdict.forward),
+        ("backward", &verdict.backward),
+    ] {
+        if let ContainmentVerdict::Undecided { reason } = v {
+            eprintln!("{dir} containment undecided: {reason}");
+        }
+    }
+    Ok(ExitCode::from(EXIT_LINT))
+}
+
+/// Serialize one direction of an equivalence verdict for `--format json`.
+fn containment_json(v: &ContainmentVerdict) -> Result<Json, String> {
+    Ok(match v {
+        ContainmentVerdict::Holds => json!({"verdict": "holds"}),
+        ContainmentVerdict::Fails(w) => json!({
+            "verdict": "fails",
+            "witness": serde_json::to_value(w.as_ref()).map_err(|e| e.to_string())?,
+        }),
+        ContainmentVerdict::Undecided { reason } => {
+            json!({"verdict": "undecided", "reason": reason})
+        }
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -907,13 +1222,18 @@ fn migrate_cmd(args: &[String]) -> Result<ExitCode, String> {
             return Ok(ExitCode::from(EXIT_LINT));
         }
     };
-    let migration = match compile_migration(&old_schema, &new_schema, &smos) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("cannot migrate: {e}");
-            return Ok(ExitCode::from(EXIT_LINT));
-        }
-    };
+    // --dry-run also turns on the chase-agreement self-check: every
+    // pairwise composition in the fold is re-verified against the
+    // two-step chase (DEX604 on disagreement) — verification belongs
+    // in the rehearsal, not on the hot path of the real run.
+    let migration =
+        match dex::evolution::compile_migration_checked(&old_schema, &new_schema, &smos, dry_run) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("cannot migrate: {e}");
+                return Ok(ExitCode::from(EXIT_LINT));
+            }
+        };
 
     // Cost admission over the *actual* stored data, same knobs as
     // chase/exchange: --deny-cost refuses (DEX502, exit 2),
@@ -1105,17 +1425,30 @@ commands:
   plan     <mapping.dex>                         compile and show the lens plan
   check    <mapping.dex>                         fidelity + termination report
   lint     <mapping.dex>… [--format text|json] [--deny warnings]
-                          [--deny-cost <n>] [--cards <spec>]
-                                                 static analysis (DEX diagnostic codes)
+                          [--deny-cost <n>] [--cards <spec>] [--fix]
+                                                 static analysis (DEX diagnostic codes);
+                                                 --fix applies verified machine-applicable
+                                                 suggestions in place, one at a time
   lint     --explain DEXnnn                      long-form explanation of one code
   explain  <mapping.dex> [--format tree|json|dot] [--cards <spec>]
                                                  annotated execution plan: premise order,
                                                  index probes, null production, static cost
-                                                 bounds, lens update policies, provenance
+                                                 bounds, verified rewrites, lens update
+                                                 policies, provenance
+  optimize <mapping.dex> [--emit out.dex] [--check]
+                                                 provably-safe optimizer: every rewrite
+                                                 (split / delete / prune) is re-verified by
+                                                 the containment checker before it applies;
+                                                 non-terminating mappings are refused (exit 2)
+  eq       <a.dex> <b.dex> [--format text|json]  decide logical equivalence by chasing
+                                                 critical instances; inequivalence prints a
+                                                 machine-checkable witness and exits 4
   chase    <mapping.dex> <source.json> [--stats] materialize the universal solution
   exchange <mapping.dex> <source.json> [prev.json] [--stats]  lens-engine forward exchange
   backward <mapping.dex> <target.json> <source.json>  propagate target edits back
-  compose  <m1.dex> <m2.dex>                     compose two mappings
+  compose  <m1.dex> <m2.dex> [--check]           compose two mappings; --check chases the
+                                                 critical instances through both routes and
+                                                 raises DEX604 on disagreement
   recover  <mapping.dex>                         print the maximum recovery
   query    <mapping.dex> <source.json> "q(x) :- R(x, y)"
                                                  certain answers over the exchange
@@ -1207,6 +1540,7 @@ exit codes:
   1   usage or input error
   2   lint found errors (after --deny promotion)
   3   budget exhausted — stdout holds a valid partial result
+  4   mappings differ (dexcli eq) — stdout holds the counterexample witness
   70  internal panic caught at the process boundary
 
 mapping files use the dex mapping language:

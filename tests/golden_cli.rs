@@ -26,8 +26,13 @@ const FIXTURES: &[(&str, i32, i32)] = &[
     ("bad_uncompilable", 0, 0),
     ("bad_unused", 0, 0),
     ("employees", 0, 0),
+    ("eq_a", 0, 0),
+    ("eq_b", 0, 0),
+    ("eq_c", 0, 0),
     ("evolution", 0, 0),
     ("ja_terminating", 0, 0),
+    ("redundant_premise", 0, 0),
+    ("redundant_subsumed", 0, 0),
     ("university", 0, 0),
 ];
 
